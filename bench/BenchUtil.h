@@ -1,0 +1,146 @@
+//===- bench/BenchUtil.h - Shared benchmark harness helpers ----*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: cached
+/// compilation of the six benchmark programs, deduplicated partitioning
+/// lists, and normalized-time table printing in the paper's style (local
+/// execution = 1.0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_BENCH_BENCHUTIL_H
+#define PACO_BENCH_BENCHUTIL_H
+
+#include "interp/Interp.h"
+#include "programs/Programs.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace paco {
+namespace bench {
+
+/// Compiles a registered benchmark once per process.
+inline std::shared_ptr<CompiledProgram>
+compiled(const std::string &Name,
+         const ParametricOptions &Options = ParametricOptions()) {
+  static std::map<std::string, std::shared_ptr<CompiledProgram>> Cache;
+  auto It = Cache.find(Name);
+  if (It != Cache.end())
+    return It->second;
+  const programs::BenchProgram &Prog = programs::programByName(Name);
+  std::string Diags;
+  std::shared_ptr<CompiledProgram> CP =
+      compileForOffloading(Prog.Source, CostModel::defaults(), Options,
+                           &Diags);
+  if (!CP) {
+    std::fprintf(stderr, "error: %s failed to compile:\n%s", Name.c_str(),
+                 Diags.c_str());
+    std::exit(1);
+  }
+  Cache.emplace(Name, CP);
+  return CP;
+}
+
+/// One representative choice index per distinct task assignment,
+/// excluding the all-client assignment (which is the baseline), capped at
+/// \p MaxCount entries.
+inline std::vector<unsigned> distinctPartitionings(const CompiledProgram &CP,
+                                                   unsigned MaxCount = 6) {
+  std::vector<unsigned> Result;
+  std::vector<std::vector<bool>> Seen;
+  for (unsigned C = 0; C != CP.Partition.Choices.size(); ++C) {
+    const std::vector<bool> &Assign = CP.Partition.Choices[C].TaskOnServer;
+    bool AllClient = true;
+    for (bool OnServer : Assign)
+      AllClient &= !OnServer;
+    if (AllClient)
+      continue;
+    bool Duplicate = false;
+    for (const std::vector<bool> &Known : Seen)
+      Duplicate |= Known == Assign;
+    if (Duplicate)
+      continue;
+    Seen.push_back(Assign);
+    Result.push_back(C);
+    if (Result.size() == MaxCount)
+      break;
+  }
+  return Result;
+}
+
+/// Runs \p CP at \p Params / \p Inputs under a placement.
+inline ExecResult run(const CompiledProgram &CP,
+                      const std::vector<int64_t> &Params,
+                      const std::vector<int64_t> &Inputs,
+                      ExecOptions::Placement Mode, unsigned Forced = 0) {
+  ExecOptions Opts;
+  Opts.Mode = Mode;
+  Opts.ForcedChoice = Forced;
+  Opts.ParamValues = Params;
+  Opts.Inputs = Inputs;
+  ExecResult R = runProgram(CP, Opts);
+  if (!R.OK) {
+    std::fprintf(stderr, "error: run failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+/// A figure-style table of normalized execution times: one row per
+/// configuration, one column per partitioning plus local and adaptive.
+class NormalizedTable {
+public:
+  NormalizedTable(std::string RowHeader, unsigned NumPartitionings)
+      : RowHeader(std::move(RowHeader)), NumPartitionings(NumPartitionings) {}
+
+  void addRow(const std::string &Label, double LocalTime,
+              const std::vector<double> &PartitioningTimes,
+              double AdaptiveTime) {
+    Rows.push_back({Label, LocalTime, PartitioningTimes, AdaptiveTime});
+  }
+
+  void print() const {
+    std::printf("%-18s %8s", RowHeader.c_str(), "local");
+    for (unsigned P = 0; P != NumPartitionings; ++P)
+      std::printf("   part%u", P + 1);
+    std::printf(" %8s  best\n", "adaptive");
+    for (const Row &R : Rows) {
+      std::printf("%-18s %8.2f", R.Label.c_str(), 1.0);
+      double Best = 1.0;
+      for (double T : R.Partitionings)
+        Best = std::min(Best, T / R.Local);
+      for (unsigned P = 0; P != NumPartitionings; ++P) {
+        if (P < R.Partitionings.size())
+          std::printf(" %7.2f", R.Partitionings[P] / R.Local);
+        else
+          std::printf(" %7s", "-");
+      }
+      std::printf(" %8.2f  %s\n", R.Adaptive / R.Local,
+                  R.Adaptive / R.Local <= Best + 0.03 ? "yes" : "NO");
+    }
+  }
+
+private:
+  struct Row {
+    std::string Label;
+    double Local;
+    std::vector<double> Partitionings;
+    double Adaptive;
+  };
+  std::string RowHeader;
+  unsigned NumPartitionings;
+  std::vector<Row> Rows;
+};
+
+} // namespace bench
+} // namespace paco
+
+#endif // PACO_BENCH_BENCHUTIL_H

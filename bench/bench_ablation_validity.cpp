@@ -1,0 +1,138 @@
+//===- bench/bench_ablation_validity.cpp - Validity states vs DU chains ---===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation for the paper's section 2.2 motivation (Figure 3): the
+// data-validity-state model charges one transfer when a produced value is
+// consumed by several tasks on the other host, whereas the traditional
+// DU-chain model charges once per def-use pair. This bench builds
+// Figure-3-style programs with a growing number of consumer tasks and
+// compares the communication cost the two models assign to the same
+// partitioning, and the partitionings they pick.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include <cstdio>
+
+using namespace paco;
+
+namespace {
+
+/// A producer task followed by N consumer functions all reading the same
+/// buffer (Figure 3 with N consumers).
+std::string makeSharingProgram(unsigned Consumers) {
+  std::string Src = "param int n in [16, 4096];\n"
+                    "int *buf;\n"
+                    "int sink;\n"
+                    "void produce() {\n"
+                    "  for (int i = 0; i < n; i++)\n"
+                    "    buf[i] = (i * 7) & 255;\n"
+                    "}\n";
+  for (unsigned C = 0; C != Consumers; ++C) {
+    Src += "void consume" + std::to_string(C) + "() {\n";
+    Src += "  int s = 0;\n";
+    Src += "  for (int i = 0; i < n; i++) s += buf[i] * " +
+           std::to_string(C + 2) + ";\n";
+    Src += "  for (int i = 0; i < n; i++) s += (buf[i] >> 1) ^ s;\n";
+    Src += "  sink = sink + s;\n}\n";
+  }
+  Src += "void main() {\n  buf = malloc(n);\n  produce();\n";
+  for (unsigned C = 0; C != Consumers; ++C)
+    Src += "  consume" + std::to_string(C) + "();\n";
+  Src += "  io_write(sink);\n}\n";
+  return Src;
+}
+
+/// Communication cost the DU-chain model would charge for the same
+/// assignment: for every (writer task, reader task) pair on different
+/// hosts, one full transfer of every item the reader reads from the
+/// writer.
+Rational duChainCost(const CompiledProgram &CP, unsigned Choice,
+                     const std::vector<Rational> &Point) {
+  Rational Total;
+  const std::vector<bool> &OnServer =
+      CP.Partition.Choices[Choice].TaskOnServer;
+  for (unsigned D : CP.Problem.DataItems) {
+    LinExpr Bytes = CP.Memory->byteSize(D);
+    Rational Size = Bytes.evaluate(Point);
+    for (unsigned Writer = 0; Writer != CP.Graph.numTasks(); ++Writer) {
+      if (!CP.Access->query(Writer, D).anyWrite())
+        continue;
+      for (unsigned Reader = 0; Reader != CP.Graph.numTasks(); ++Reader) {
+        if (Reader == Writer || !CP.Access->query(Reader, D).UpwardRead)
+          continue;
+        if (OnServer[Writer] == OnServer[Reader])
+          continue;
+        Rational Startup =
+            OnServer[Writer] ? CP.Costs.Tsch : CP.Costs.Tcsh;
+        Rational Unit = OnServer[Writer] ? CP.Costs.Tscu : CP.Costs.Tcsu;
+        Total += Startup + Unit * Size;
+      }
+    }
+  }
+  return Total;
+}
+
+/// Communication cost the validity model charges: the transfer arcs the
+/// chosen cut actually pays, evaluated at the point.
+Rational validityCost(const CompiledProgram &CP, unsigned Choice,
+                      const std::vector<Rational> &Point) {
+  Rational Total;
+  const PartitionChoice &PC = CP.Partition.Choices[Choice];
+  const FlowNetwork &Net = CP.Partition.Solved.Net;
+  // Transfer arcs connect validity nodes; compute arcs touch s/t.
+  for (const Arc &A : Net.arcs()) {
+    if (A.Cap.Infinite)
+      continue;
+    if (!PC.Cut.SourceSide[A.From] || PC.Cut.SourceSide[A.To])
+      continue;
+    if (A.From == Net.source() || A.To == Net.sink())
+      continue;
+    Total += A.Cap.Expr.evaluate(Point);
+  }
+  return Total;
+}
+
+} // namespace
+
+int main() {
+  std::printf("== Ablation: validity states vs DU-chain transfer charging "
+              "==\n\n");
+  std::printf("%10s %16s %16s %8s\n", "consumers", "validity comm",
+              "du-chain comm", "ratio");
+  for (unsigned Consumers : {1u, 2u, 3u, 4u, 6u, 8u}) {
+    std::string Diags;
+    auto CP = compileForOffloading(makeSharingProgram(Consumers),
+                                   CostModel::defaults(), {}, &Diags);
+    if (!CP) {
+      std::fprintf(stderr, "compile failed:\n%s", Diags.c_str());
+      return 1;
+    }
+    // Pick a point where offloading is clearly attractive and find the
+    // offloaded choice.
+    std::vector<Rational> Point = CP->parameterPoint({4096});
+    unsigned Choice = CP->Partition.pickChoice(Point);
+    bool Offloads = false;
+    for (bool S : CP->Partition.Choices[Choice].TaskOnServer)
+      Offloads |= S;
+    if (!Offloads) {
+      std::printf("%10u %16s %16s %8s\n", Consumers, "(local)", "(local)",
+                  "-");
+      continue;
+    }
+    Rational Validity = validityCost(*CP, Choice, Point);
+    Rational DuChain = duChainCost(*CP, Choice, Point);
+    std::printf("%10u %16.0f %16.0f %7.2fx\n", Consumers,
+                Validity.toDouble(), DuChain.toDouble(),
+                DuChain.toDouble() / Validity.toDouble());
+  }
+  std::printf("\nThe DU-chain model's charge grows with the number of "
+              "consumers while the\nvalidity-state model pays for one "
+              "transfer (paper Figure 3): exaggerated\ncommunication "
+              "estimates would wrongly keep shared data on the client.\n");
+  return 0;
+}

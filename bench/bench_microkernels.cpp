@@ -1,0 +1,136 @@
+//===- bench/bench_microkernels.cpp - Substrate microbenchmarks -----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks for the substrates the analysis is
+// built on: exact big-integer arithmetic, the double-description
+// conversion, the exact min-cut solver, the end-to-end compilation of a
+// small program, and the interpreter's instruction throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "poly/Polyhedron.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace paco;
+
+namespace {
+
+void BM_BigIntMulDiv(benchmark::State &State) {
+  BigInt A = BigInt::fromString("123456789123456789123456789");
+  BigInt B = BigInt::fromString("987654321987654321");
+  for (auto _ : State) {
+    BigInt Product = A * B;
+    benchmark::DoNotOptimize(Product = Product / B);
+  }
+}
+BENCHMARK(BM_BigIntMulDiv);
+
+void BM_RationalSum(benchmark::State &State) {
+  for (auto _ : State) {
+    Rational Sum;
+    for (int64_t I = 1; I <= 50; ++I)
+      Sum += Rational::fraction(1, I);
+    benchmark::DoNotOptimize(Sum);
+  }
+}
+BENCHMARK(BM_RationalSum);
+
+void BM_PolyhedronVertices(benchmark::State &State) {
+  const unsigned Dim = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    Polyhedron Box(Dim);
+    for (unsigned K = 0; K != Dim; ++K) {
+      std::vector<BigInt> Up(Dim), Down(Dim);
+      Up[K] = BigInt(1);
+      Down[K] = BigInt(-1);
+      Box.addConstraint(LinConstraint(std::move(Up), BigInt(0)));
+      Box.addConstraint(LinConstraint(std::move(Down), BigInt(1000)));
+    }
+    // One diagonal face to break the pure-box structure.
+    std::vector<BigInt> Diag(Dim, BigInt(-1));
+    Box.addConstraint(LinConstraint(std::move(Diag), BigInt(900 * Dim)));
+    benchmark::DoNotOptimize(Box.generators().Vertices.size());
+  }
+}
+BENCHMARK(BM_PolyhedronVertices)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_MinCutGrid(benchmark::State &State) {
+  // A K x K grid network with constant capacities.
+  const unsigned K = static_cast<unsigned>(State.range(0));
+  FlowNetwork Net;
+  std::vector<std::vector<NodeId>> Grid(K, std::vector<NodeId>(K));
+  for (unsigned R = 0; R != K; ++R)
+    for (unsigned C = 0; C != K; ++C)
+      Grid[R][C] = Net.addNode("n");
+  for (unsigned R = 0; R != K; ++R) {
+    Net.addArc(Net.source(), Grid[R][0],
+               Capacity::finite(LinExpr::constant(7 + R)));
+    Net.addArc(Grid[R][K - 1], Net.sink(),
+               Capacity::finite(LinExpr::constant(5 + R)));
+    for (unsigned C = 0; C + 1 != K; ++C) {
+      Net.addArc(Grid[R][C], Grid[R][C + 1],
+                 Capacity::finite(LinExpr::constant(3 + ((R + C) % 5))));
+      if (R + 1 != K)
+        Net.addArc(Grid[R][C], Grid[R + 1][C],
+                   Capacity::finite(LinExpr::constant(2 + ((R * C) % 3))));
+    }
+  }
+  ParamSpace Space;
+  std::vector<Rational> Point(Space.size());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(solveMinCut(Net, Point).CutArcs.size());
+}
+BENCHMARK(BM_MinCutGrid)->Arg(8)->Arg(16);
+
+const char *kSmallProgram = R"MINIC(
+param int n in [1, 1024];
+int *buf;
+void work() {
+  for (int i = 0; i < n; i++)
+    buf[i] = (buf[i] * 3 + 1) & 255;
+}
+void main() {
+  buf = malloc(n);
+  io_read_buf(buf, n);
+  work();
+  io_write_buf(buf, n);
+}
+)MINIC";
+
+void BM_CompilePipeline(benchmark::State &State) {
+  for (auto _ : State) {
+    std::string Diags;
+    auto CP = compileForOffloading(kSmallProgram, CostModel::defaults(), {},
+                                   &Diags);
+    benchmark::DoNotOptimize(CP->Partition.Choices.size());
+  }
+}
+BENCHMARK(BM_CompilePipeline);
+
+void BM_InterpreterThroughput(benchmark::State &State) {
+  std::string Diags;
+  auto CP = compileForOffloading(kSmallProgram, CostModel::defaults(), {},
+                                 &Diags);
+  std::vector<int64_t> Inputs(1024, 7);
+  uint64_t Instrs = 0;
+  for (auto _ : State) {
+    ExecOptions Opts;
+    Opts.ParamValues = {1024};
+    Opts.Inputs = Inputs;
+    ExecResult R = runProgram(*CP, Opts);
+    Instrs += R.ClientInstrs + R.ServerInstrs;
+    benchmark::DoNotOptimize(R.Outputs.size());
+  }
+  State.counters["instrs/s"] = benchmark::Counter(
+      static_cast<double>(Instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+//===- bench/bench_table1_example.cpp - Paper Table 1 / Figure 2 ----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces the paper's worked example exactly: Table 1 (symbolic costs
+// of the three offloading choices for the Figure-1 program), the three
+// optimal regions of the parametric algorithm (section 4.2's R1/R2/R3),
+// and the Figure-2 dispatch conditions. Uses the paper's own cost
+// constants (startup 6, one unit per element, infinitely fast server).
+//
+//===----------------------------------------------------------------------===//
+
+#include "partition/Parametric.h"
+
+#include <cstdio>
+
+using namespace paco;
+
+int main() {
+  std::printf("== Table 1 + Figure 2: the paper's worked example ==\n\n");
+
+  // The Figure-6 network: tasks I, f1, g, f2, O with the paper's costs.
+  ParamSpace Space;
+  ParamId X = Space.addParam("x", BigInt(1), BigInt(1000));
+  ParamId Y = Space.addParam("y", BigInt(1), BigInt(1000));
+  ParamId Z = Space.addParam("z", BigInt(1), BigInt(1000));
+  ParamId XY = Space.internMonomial({X, Y});
+  ParamId XYZ = Space.internMonomial({X, Y, Z});
+
+  PartitionProblem Problem;
+  FlowNetwork &Net = Problem.Net;
+  NodeId I = Net.addNode("I"), F1 = Net.addNode("f1"), G = Net.addNode("g"),
+         F2 = Net.addNode("f2"), O = Net.addNode("O");
+  Problem.MNode = {I, F1, G, F2, O};
+  LinExpr ExprXY = LinExpr::param(XY);
+  LinExpr ExprXYZ = LinExpr::param(XYZ);
+  LinExpr Buffer = LinExpr::param(X) * Rational(6) + ExprXY; // (6+y)*x
+  LinExpr Unit = ExprXY * Rational(7);                       // (6+1)*y*x
+  Net.addArc(Net.source(), F1, Capacity::finite(ExprXY));
+  Net.addArc(Net.source(), F2, Capacity::finite(ExprXY));
+  Net.addArc(Net.source(), G, Capacity::finite(ExprXYZ));
+  Net.addArc(I, Net.sink(), Capacity::infinite());
+  Net.addArc(O, Net.sink(), Capacity::infinite());
+  Net.addArc(I, F1, Capacity::finite(Unit));
+  Net.addArc(F1, I, Capacity::finite(Unit));
+  Net.addArc(F2, O, Capacity::finite(Unit));
+  Net.addArc(O, F2, Capacity::finite(Unit));
+  Net.addArc(F1, G, Capacity::finite(Buffer));
+  Net.addArc(G, F1, Capacity::finite(Buffer));
+  Net.addArc(G, F2, Capacity::finite(Buffer));
+  Net.addArc(F2, G, Capacity::finite(Buffer));
+
+  // Table 1: evaluate the three candidate cuts symbolically.
+  struct Candidate {
+    const char *Label;
+    std::vector<bool> Side; // s, t, I, f1, g, f2, O
+  };
+  Candidate Table[] = {
+      {"offload -", {true, false, false, false, false, false, false}},
+      {"offload g", {true, false, false, false, true, false, false}},
+      {"offload f,g", {true, false, false, true, true, true, false}},
+  };
+  std::printf("%-14s %-22s %-22s %s\n", "", "computation", "communication",
+              "total");
+  for (const Candidate &Cand : Table) {
+    LinExpr Compute, Comm;
+    for (const Arc &A : Net.arcs()) {
+      if (!Cand.Side[A.From] || Cand.Side[A.To] || A.Cap.Infinite)
+        continue;
+      if (A.From == Net.source() || A.To == Net.sink())
+        Compute += A.Cap.Expr;
+      else
+        Comm += A.Cap.Expr;
+    }
+    std::printf("%-14s %-22s %-22s %s\n", Cand.Label,
+                Compute.toString(Space).c_str(), Comm.toString(Space).c_str(),
+                (Compute + Comm).toString(Space).c_str());
+  }
+  std::printf("\npaper Table 1:   xyz + 2xy | 12x + 2xy -> 12x + 4xy | "
+              "14xy\n\n");
+
+  // Regions (paper section 4.2: R1, R2, R3).
+  ParametricResult R = solveParametric(Problem, Space);
+  std::printf("parametric partitioning (%zu choices, %.3fs):\n\n",
+              R.Choices.size(), R.AnalysisSeconds);
+  TCFG Graph;
+  for (const char *Name : {"I", "f1", "g", "f2", "O"}) {
+    TCFG::Task T;
+    T.Label = Name;
+    Graph.Tasks.push_back(std::move(T));
+  }
+  std::printf("%s\n", R.describe(Space, Graph).c_str());
+  std::printf("paper regions:  R1: z <= 12 && yz <= 12 + 2y   (run all "
+              "locally)\n");
+  std::printf("                R2: yz >= 12 + 2y && 5y >= 6   (offload g)\n");
+  std::printf("                R3: z >= 12 && 5y <= 6         (offload f, "
+              "g)\n\n");
+
+  // Figure 2: evaluate the dispatch at the paper's sample points.
+  std::printf("dispatch checks (x, y, z) -> servers:\n");
+  for (auto [Xv, Yv, Zv] : {std::tuple<int64_t, int64_t, int64_t>{1, 6, 3},
+                            {1, 6, 6},
+                            {1, 1, 18}}) {
+    std::vector<Rational> Point(Space.size());
+    Point[X] = Rational(Xv);
+    Point[Y] = Rational(Yv);
+    Point[Z] = Rational(Zv);
+    Space.extendPoint(Point);
+    unsigned C = R.pickChoice(Point);
+    std::printf("  (%lld, %lld, %lld) -> {", (long long)Xv, (long long)Yv,
+                (long long)Zv);
+    bool First = true;
+    for (unsigned T = 0; T != R.Choices[C].TaskOnServer.size(); ++T)
+      if (R.Choices[C].TaskOnServer[T]) {
+        std::printf("%s%s", First ? "" : ", ", Graph.Tasks[T].Label.c_str());
+        First = false;
+      }
+    std::printf("}  cost=%s\n",
+                R.Choices[C].CostExpr.evaluate(Point).toString().c_str());
+  }
+  std::printf("\npaper: (1,6,3) local; (1,6,6) offload g; (1,1,18) offload "
+              "f,g\n");
+  return 0;
+}

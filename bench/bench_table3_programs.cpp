@@ -1,0 +1,33 @@
+//===- bench/bench_table3_programs.cpp - Paper Table 3 --------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Table 3: the benchmark inventory (program name, description,
+// number of run-time parameters, number of source lines) for the MiniC
+// ports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+#include <cstdio>
+
+using namespace paco::programs;
+
+int main() {
+  std::printf("== Table 3: test programs ==\n\n");
+  std::printf("%-11s %-52s %7s %7s\n", "Program", "Description", "Params",
+              "Lines");
+  for (const BenchProgram &P : allPrograms())
+    std::printf("%-11s %-52s %7zu %7u\n", P.Name, P.Description,
+                P.ParamNames.size(), sourceLineCount(P));
+  std::printf("\npaper Table 3: rawcaudio 1/205, rawdaudio 1/178, "
+              "encode 4/1118, decode 4/1248,\n"
+              "               fft 3/332, susan 12/2122 "
+              "(original C sources; the MiniC ports are smaller\n"
+              "               and option flags are unpacked into "
+              "individual 0/1 parameters)\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- bench/bench_table4_analysis.cpp - Paper Table 4 --------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces Table 4: per benchmark, the number of tasks the TCFG
+// construction forms, the number of required annotations (dummy
+// parameters that survive into the partitioning solution), the number of
+// distinct partitioning choices, and the analysis time.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstdio>
+
+using namespace paco;
+using namespace paco::bench;
+
+int main() {
+  std::printf("== Table 4: parametric analysis results ==\n\n");
+  std::printf("%-11s %7s %13s %20s %14s %10s\n", "Program", "Tasks",
+              "Annotations", "PartitioningChoices", "AnalysisTime",
+              "Regions");
+  for (const programs::BenchProgram &P : programs::allPrograms()) {
+    std::shared_ptr<CompiledProgram> CP = compiled(P.Name);
+    std::printf("%-11s %7u %13zu %20u %13.1fs %9zu%s\n", P.Name,
+                CP->numRealTasks(),
+                CP->Partition.RequiredAnnotations.size(),
+                CP->Partition.numDistinctPartitionings(),
+                CP->Partition.AnalysisSeconds,
+                CP->Partition.Choices.size(),
+                CP->Partition.Approximate ? "*" : "");
+  }
+  std::printf("\n(* sampled regions; Regions counts per-option-slice "
+              "entries)\n");
+  std::printf("\npaper Table 4: rawcaudio 10/2/1/164s, rawdaudio "
+              "10/2/1/185s, encode 107/4/4/2247s,\n"
+              "               decode 87/4/4/2159s, fft 26/3/2/748s, "
+              "susan 95/13/3/3482s\n"
+              "(task counts differ because MiniC lowers to a denser "
+              "block structure than GCC's\n"
+              " statement-level tasks, and 2004-era analysis ran on a "
+              "2 GHz P4)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+//===- examples/offload_explorer.cpp - CLI front end ----------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// A command-line driver for the offloading compiler: reads a MiniC file,
+// runs the full parametric analysis, and prints the task graph, the
+// partitioning choices with their regions, and the transformed-program
+// dispatch. Optionally evaluates the dispatch at given parameter values.
+//
+//   offload_explorer program.mc [--params v1,v2,...] [--dump-ir]
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "lang/PrintAST.h"
+#include "transform/Transform.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace paco;
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s program.mc [--params v1,v2,...] [--dump-ir] "
+                 "[--dump-source]\n",
+                 Argv[0]);
+    return 2;
+  }
+  std::ifstream In(Argv[1]);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  bool DumpIR = false;
+  bool DumpSource = false;
+  std::vector<int64_t> Params;
+  bool HaveParams = false;
+  for (int A = 2; A < Argc; ++A) {
+    if (std::strcmp(Argv[A], "--dump-ir") == 0) {
+      DumpIR = true;
+    } else if (std::strcmp(Argv[A], "--dump-source") == 0) {
+      DumpSource = true;
+    } else if (std::strcmp(Argv[A], "--params") == 0 && A + 1 < Argc) {
+      HaveParams = true;
+      std::stringstream List(Argv[++A]);
+      std::string Item;
+      while (std::getline(List, Item, ','))
+        Params.push_back(std::strtoll(Item.c_str(), nullptr, 10));
+    } else {
+      std::fprintf(stderr, "error: unknown argument %s\n", Argv[A]);
+      return 2;
+    }
+  }
+
+  std::string Diags;
+  auto CP = compileForOffloading(Buffer.str(), CostModel::defaults(), {},
+                                 &Diags);
+  if (!CP) {
+    std::fprintf(stderr, "%s", Diags.c_str());
+    return 1;
+  }
+  if (!Diags.empty())
+    std::fprintf(stderr, "%s", Diags.c_str());
+
+  if (DumpSource)
+    std::printf("// program after inlining (%u sites)\n%s\n",
+                CP->InlinedSites, printProgram(*CP->AST).c_str());
+  if (DumpIR)
+    std::printf("%s\n", CP->Module->dump(CP->Space).c_str());
+
+  std::printf("tasks (%u + entry/exit):\n", CP->numRealTasks());
+  std::printf("%s\n", CP->Graph.dump(CP->Space).c_str());
+  std::printf("network: %u nodes / %u arcs, simplified to %u / %u\n",
+              CP->Partition.FullNodes, CP->Partition.FullArcs,
+              CP->Partition.SolvedNodes, CP->Partition.SolvedArcs);
+  std::printf("analysis time: %.2fs%s\n\n", CP->Partition.AnalysisSeconds,
+              CP->Partition.Approximate ? " (sampled regions)" : "");
+  std::printf("%s\n", CP->Partition.describe(CP->Space, CP->Graph).c_str());
+  std::printf("%s", renderTransformedProgram(*CP).c_str());
+
+  if (HaveParams) {
+    if (Params.size() != CP->AST->RuntimeParams.size()) {
+      std::fprintf(stderr, "error: program declares %zu parameter(s)\n",
+                   CP->AST->RuntimeParams.size());
+      return 2;
+    }
+    unsigned Choice = CP->Partition.pickChoice(CP->parameterPoint(Params));
+    std::printf("\nat the given parameters, partitioning %u is optimal "
+                "(cost %s)\n",
+                Choice + 1,
+                CP->Partition.Choices[Choice]
+                    .CostExpr.evaluate(CP->parameterPoint(Params))
+                    .toString()
+                    .c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+//===- analysis/Memory.cpp - Abstract memory locations --------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Memory.h"
+
+using namespace paco;
+
+unsigned paco::elementBytes(TypeKind Ty) {
+  switch (Ty) {
+  case TypeKind::Double:
+    return 8;
+  case TypeKind::Void:
+  case TypeKind::Int:
+  case TypeKind::IntPtr:
+  case TypeKind::DoublePtr:
+  case TypeKind::Func:
+    return 4;
+  }
+  return 4;
+}
+
+MemoryModel::MemoryModel(const IRModule &M, ParamSpace &Space) {
+  GlobalBase = 0;
+  for (unsigned G = 0; G != M.Globals.size(); ++G) {
+    const GlobalVar &Var = M.Globals[G];
+    MemLocInfo Info;
+    Info.K = MemLocInfo::Kind::Global;
+    Info.Index = G;
+    Info.Name = Var.Name;
+    Info.ElemType = Var.Type;
+    Info.IsAggregate = Var.IsArray;
+    Info.TotalElems =
+        LinExpr::constant(Var.IsArray ? Var.ArraySize : 1);
+    Info.ElemBytes = elementBytes(Var.Type);
+    Locs.push_back(std::move(Info));
+  }
+  LocalBase.resize(M.Functions.size());
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    LocalBase[F] = static_cast<unsigned>(Locs.size());
+    const IRFunction &Func = *M.Functions[F];
+    for (unsigned L = 0; L != Func.Locals.size(); ++L) {
+      const LocalVar &Var = Func.Locals[L];
+      MemLocInfo Info;
+      Info.K = MemLocInfo::Kind::Local;
+      Info.FuncIdx = F;
+      Info.Index = L;
+      Info.Name = Func.Name + "." + Var.Name;
+      Info.ElemType = Var.Type;
+      Info.IsAggregate = Var.IsArray;
+      Info.TotalElems =
+          LinExpr::constant(Var.IsArray ? Var.ArraySize : 1);
+      Info.ElemBytes = elementBytes(Var.Type);
+      Locs.push_back(std::move(Info));
+    }
+  }
+  AllocBase = static_cast<unsigned>(Locs.size());
+  for (unsigned S = 0; S != M.AllocSites.size(); ++S) {
+    const AllocSiteInfo &Site = M.AllocSites[S];
+    MemLocInfo Info;
+    Info.K = MemLocInfo::Kind::Alloc;
+    Info.Index = S;
+    Info.Name = "alloc@" + Site.Loc.toString();
+    Info.ElemType = Site.ElemType;
+    Info.IsAggregate = true;
+    Info.IsDynamic = true;
+    // All run-time instances of the site fold into one location, so its
+    // transferable size is size-per-allocation times allocation count
+    // (the paper's s = r * S(h) flow constraint).
+    Info.TotalElems = LinExpr::mul(Site.SizeElems, Site.ExecCount, Space);
+    Info.AllocCount = Site.ExecCount;
+    Info.ElemBytes = elementBytes(Site.ElemType);
+    Locs.push_back(std::move(Info));
+  }
+  FuncBase = static_cast<unsigned>(Locs.size());
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    MemLocInfo Info;
+    Info.K = MemLocInfo::Kind::Func;
+    Info.Index = F;
+    Info.Name = "&" + M.Functions[F]->Name;
+    Info.ElemType = TypeKind::Func;
+    Info.TotalElems = LinExpr::constant(1);
+    Locs.push_back(std::move(Info));
+  }
+  RetBase = static_cast<unsigned>(Locs.size());
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    MemLocInfo Info;
+    Info.K = MemLocInfo::Kind::Ret;
+    Info.FuncIdx = F;
+    Info.Index = F;
+    Info.Name = M.Functions[F]->Name + ".ret";
+    Info.ElemType = M.Functions[F]->RetType == TypeKind::Void
+                        ? TypeKind::Int
+                        : M.Functions[F]->RetType;
+    Info.TotalElems = LinExpr::constant(1);
+    Info.ElemBytes = elementBytes(Info.ElemType);
+    Locs.push_back(std::move(Info));
+  }
+}
+
+unsigned MemoryModel::operandLoc(const Operand &O, unsigned FuncIdx) const {
+  if (O.K == Operand::Kind::Global)
+    return globalLoc(O.Index);
+  assert(O.K == Operand::Kind::Local && "operand names no location");
+  return localLoc(FuncIdx, O.Index);
+}

@@ -1,0 +1,91 @@
+//===- analysis/Memory.h - Abstract memory locations -----------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's memory abstraction (section 2.3): all memory a program may
+/// touch is represented by a finite set of typed abstract locations. One
+/// location exists per global, per local variable of each function (all
+/// activations merged), per malloc site (all instances merged), and per
+/// function (the target of `func` values). Locations are the "data items"
+/// of the data-validity analysis and carry the symbolic sizes the cost
+/// model charges for transfers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_ANALYSIS_MEMORY_H
+#define PACO_ANALYSIS_MEMORY_H
+
+#include "ir/IR.h"
+
+namespace paco {
+
+/// One abstract memory location.
+struct MemLocInfo {
+  enum class Kind { Global, Local, Alloc, Func, Ret };
+
+  Kind K = Kind::Global;
+  unsigned FuncIdx = KNone; ///< Owning function for Local/Ret.
+  unsigned Index = 0;       ///< Global/local/alloc-site/function index.
+  std::string Name;
+  TypeKind ElemType = TypeKind::Int;
+  bool IsAggregate = false; ///< Array or allocation: writes are partial.
+  bool IsDynamic = false;   ///< Malloc site: subject to registration cost.
+  /// Symbolic total element count (array size, or per-allocation size
+  /// times allocation count for malloc sites; 1 for scalars).
+  LinExpr TotalElems;
+  /// Symbolic execution count of the allocation statement (malloc sites
+  /// only) -- the r(d) factor of the registration cost.
+  LinExpr AllocCount;
+  unsigned ElemBytes = 4;
+};
+
+/// Enumerates the abstract locations of a module and maps IR entities to
+/// location ids.
+class MemoryModel {
+public:
+  MemoryModel(const IRModule &M, ParamSpace &Space);
+
+  unsigned numLocs() const { return static_cast<unsigned>(Locs.size()); }
+  const MemLocInfo &loc(unsigned Id) const {
+    assert(Id < Locs.size() && "location id out of range");
+    return Locs[Id];
+  }
+
+  unsigned globalLoc(unsigned GlobalIdx) const {
+    return GlobalBase + GlobalIdx;
+  }
+  unsigned localLoc(unsigned FuncIdx, unsigned LocalIdx) const {
+    return LocalBase[FuncIdx] + LocalIdx;
+  }
+  unsigned allocLoc(unsigned Site) const { return AllocBase + Site; }
+  unsigned funcLoc(unsigned FuncIdx) const { return FuncBase + FuncIdx; }
+  /// Pseudo-location holding the return value of a function.
+  unsigned retLoc(unsigned FuncIdx) const { return RetBase + FuncIdx; }
+
+  /// Location of a Local/Global operand (asserts on other kinds).
+  unsigned operandLoc(const Operand &O, unsigned FuncIdx) const;
+
+  /// Transfer size of the location in bytes (symbolic).
+  LinExpr byteSize(unsigned Id) const {
+    return loc(Id).TotalElems * Rational(int64_t(loc(Id).ElemBytes));
+  }
+
+private:
+  std::vector<MemLocInfo> Locs;
+  unsigned GlobalBase = 0;
+  std::vector<unsigned> LocalBase;
+  unsigned AllocBase = 0;
+  unsigned FuncBase = 0;
+  unsigned RetBase = 0;
+};
+
+/// Bytes used by the cost model for one element of \p Ty (models a
+/// 32-bit embedded target: int/pointers 4 bytes, double 8).
+unsigned elementBytes(TypeKind Ty);
+
+} // namespace paco
+
+#endif // PACO_ANALYSIS_MEMORY_H

@@ -1,0 +1,206 @@
+//===- analysis/PointsTo.cpp - Andersen-style points-to -------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PointsTo.h"
+
+using namespace paco;
+
+std::vector<unsigned>
+PointsToResult::callTargets(unsigned FuncVarLoc,
+                            const MemoryModel &Memory) const {
+  std::vector<unsigned> Targets;
+  for (unsigned Loc : pointsTo(FuncVarLoc)) {
+    const MemLocInfo &Info = Memory.loc(Loc);
+    if (Info.K == MemLocInfo::Kind::Func)
+      Targets.push_back(Info.Index);
+  }
+  return Targets;
+}
+
+namespace {
+
+/// Inclusion constraints over location contents.
+struct Constraint {
+  enum class Kind {
+    AddrOf,   ///< contents(Dst) includes {Loc}
+    Copy,     ///< contents(Dst) includes contents(Src)
+    Load,     ///< contents(Dst) includes contents(l) for l in contents(Src)
+    Store,    ///< contents(l) includes contents(Src) for l in contents(Dst)
+    StoreLit, ///< contents(l) includes {Loc} for l in contents(Dst)
+  };
+  Kind K;
+  unsigned Dst = 0;
+  unsigned Src = 0;
+  unsigned Loc = 0;
+};
+
+class AndersenSolver {
+public:
+  AndersenSolver(const IRModule &M, const MemoryModel &Memory)
+      : M(M), Memory(Memory), Result(Memory.numLocs()) {}
+
+  PointsToResult solve();
+
+private:
+  void collectConstraints();
+  void constraintsForInstr(const Instr &I, unsigned FuncIdx);
+  /// Location of a value operand, or KNone for constants/params.
+  unsigned valueLoc(const Operand &O, unsigned FuncIdx) const;
+
+  void addAddrOf(unsigned Dst, unsigned Loc) {
+    Constraints.push_back({Constraint::Kind::AddrOf, Dst, 0, Loc});
+  }
+  void addCopy(unsigned Dst, unsigned Src) {
+    Constraints.push_back({Constraint::Kind::Copy, Dst, Src, 0});
+  }
+
+  const IRModule &M;
+  const MemoryModel &Memory;
+  PointsToResult Result;
+  std::vector<Constraint> Constraints;
+};
+
+unsigned AndersenSolver::valueLoc(const Operand &O, unsigned FuncIdx) const {
+  switch (O.K) {
+  case Operand::Kind::Local:
+    return Memory.localLoc(FuncIdx, O.Index);
+  case Operand::Kind::Global:
+    return Memory.globalLoc(O.Index);
+  default:
+    return KNone;
+  }
+}
+
+void AndersenSolver::constraintsForInstr(const Instr &I, unsigned FuncIdx) {
+  auto dstLoc = [&]() { return Memory.localLoc(FuncIdx, I.Dst); };
+  switch (I.Op) {
+  case Opcode::AddrOfVar:
+    addAddrOf(dstLoc(), Memory.operandLoc(I.A, FuncIdx));
+    return;
+  case Opcode::Malloc:
+    addAddrOf(dstLoc(), Memory.allocLoc(I.AllocSite));
+    return;
+  case Opcode::Copy:
+  case Opcode::PtrAdd: {
+    if (I.A.K == Operand::Kind::FuncRef) {
+      addAddrOf(dstLoc(), Memory.funcLoc(I.A.Index));
+      return;
+    }
+    unsigned Src = valueLoc(I.A, FuncIdx);
+    if (Src != KNone)
+      addCopy(dstLoc(), Src);
+    return;
+  }
+  case Opcode::Load: {
+    unsigned Ptr = valueLoc(I.A, FuncIdx);
+    if (Ptr != KNone)
+      Constraints.push_back({Constraint::Kind::Load, dstLoc(), Ptr, 0});
+    return;
+  }
+  case Opcode::Store: {
+    unsigned Ptr = valueLoc(I.A, FuncIdx);
+    if (Ptr == KNone)
+      return;
+    if (I.C.K == Operand::Kind::FuncRef) {
+      Constraints.push_back(
+          {Constraint::Kind::StoreLit, Ptr, 0, Memory.funcLoc(I.C.Index)});
+      return;
+    }
+    unsigned Val = valueLoc(I.C, FuncIdx);
+    if (Val != KNone)
+      Constraints.push_back({Constraint::Kind::Store, Ptr, Val, 0});
+    return;
+  }
+  case Opcode::Call: {
+    const IRFunction &Callee = *M.Functions[I.Callee];
+    for (unsigned A = 0; A != I.Args.size(); ++A) {
+      if (I.Args[A].K == Operand::Kind::FuncRef) {
+        addAddrOf(Memory.localLoc(I.Callee, A),
+                  Memory.funcLoc(I.Args[A].Index));
+        continue;
+      }
+      unsigned Src = valueLoc(I.Args[A], FuncIdx);
+      if (Src != KNone)
+        addCopy(Memory.localLoc(I.Callee, A), Src);
+    }
+    if (I.Dst != KNone && Callee.RetType != TypeKind::Void)
+      addCopy(dstLoc(), Memory.retLoc(I.Callee));
+    return;
+  }
+  case Opcode::Ret: {
+    if (I.A.K == Operand::Kind::FuncRef) {
+      addAddrOf(Memory.retLoc(FuncIdx), Memory.funcLoc(I.A.Index));
+      return;
+    }
+    unsigned Src = valueLoc(I.A, FuncIdx);
+    if (Src != KNone)
+      addCopy(Memory.retLoc(FuncIdx), Src);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void AndersenSolver::collectConstraints() {
+  for (unsigned F = 0; F != M.Functions.size(); ++F)
+    for (const BasicBlock &B : M.Functions[F]->Blocks)
+      for (const Instr &I : B.Instrs)
+        constraintsForInstr(I, F);
+}
+
+PointsToResult AndersenSolver::solve() {
+  collectConstraints();
+  // Simple iterate-to-fixpoint evaluation; the constraint systems the
+  // benchmark programs generate are small enough that sophistication
+  // would not pay for itself.
+  bool Changed = true;
+  auto includeInto = [this](unsigned Dst, const std::set<unsigned> &Src) {
+    size_t Before = Result.contents(Dst).size();
+    Result.contents(Dst).insert(Src.begin(), Src.end());
+    return Result.contents(Dst).size() != Before;
+  };
+  while (Changed) {
+    Changed = false;
+    for (const Constraint &C : Constraints) {
+      switch (C.K) {
+      case Constraint::Kind::AddrOf:
+        Changed |= Result.contents(C.Dst).insert(C.Loc).second;
+        break;
+      case Constraint::Kind::Copy:
+        Changed |= includeInto(C.Dst, Result.contents(C.Src));
+        break;
+      case Constraint::Kind::Load: {
+        std::set<unsigned> Pointees = Result.contents(C.Src);
+        for (unsigned L : Pointees)
+          Changed |= includeInto(C.Dst, Result.contents(L));
+        break;
+      }
+      case Constraint::Kind::Store: {
+        std::set<unsigned> Pointees = Result.contents(C.Dst);
+        for (unsigned L : Pointees)
+          Changed |= includeInto(L, Result.contents(C.Src));
+        break;
+      }
+      case Constraint::Kind::StoreLit: {
+        std::set<unsigned> Pointees = Result.contents(C.Dst);
+        for (unsigned L : Pointees)
+          Changed |= Result.contents(L).insert(C.Loc).second;
+        break;
+      }
+      }
+    }
+  }
+  return std::move(Result);
+}
+
+} // namespace
+
+PointsToResult paco::runPointsTo(const IRModule &M,
+                                 const MemoryModel &Memory) {
+  AndersenSolver Solver(M, Memory);
+  return Solver.solve();
+}

@@ -1,0 +1,53 @@
+//===- analysis/PointsTo.h - Andersen-style points-to ----------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Flow- and context-insensitive inclusion-based (Andersen) points-to
+/// analysis over the abstract memory locations, as the paper uses for its
+/// memory abstraction (section 5 cites Andersen's thesis). The analysis
+/// tracks the *contents* of every location: which locations (or
+/// functions) a pointer/func value stored there may reference. Indirect
+/// call targets fall out of the contents of func-typed variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_ANALYSIS_POINTSTO_H
+#define PACO_ANALYSIS_POINTSTO_H
+
+#include "analysis/Memory.h"
+
+#include <set>
+
+namespace paco {
+
+/// Results: for each abstract location, the set of locations its stored
+/// value may point to (function locations model func values).
+class PointsToResult {
+public:
+  explicit PointsToResult(unsigned NumLocs) : Contents(NumLocs) {}
+
+  const std::set<unsigned> &pointsTo(unsigned Loc) const {
+    assert(Loc < Contents.size());
+    return Contents[Loc];
+  }
+
+  /// Functions an indirect call through \p FuncVarLoc may invoke.
+  std::vector<unsigned> callTargets(unsigned FuncVarLoc,
+                                    const MemoryModel &Memory) const;
+
+  /// Mutable access for the solver.
+  std::set<unsigned> &contents(unsigned Loc) { return Contents[Loc]; }
+
+private:
+  std::vector<std::set<unsigned>> Contents;
+};
+
+/// Runs the analysis to fixpoint.
+PointsToResult runPointsTo(const IRModule &M, const MemoryModel &Memory);
+
+} // namespace paco
+
+#endif // PACO_ANALYSIS_POINTSTO_H

@@ -1,0 +1,51 @@
+//===- cost/CostModel.h - Platform cost constants --------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The measured platform constants of the parametric cost analysis
+/// (paper section 3.2): per-instruction execution times on client and
+/// server, data transfer startup and per-byte times in both directions,
+/// task scheduling (RPC) times, and the registration overhead. The paper
+/// measures these with synthesized benchmarks on the iPAQ/P4/WaveLAN
+/// testbed; here they parameterize the simulator, with defaults shaped
+/// like that testbed (server ~5x faster, 11 Mbps link).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_COST_COSTMODEL_H
+#define PACO_COST_COSTMODEL_H
+
+#include "support/Rational.h"
+
+namespace paco {
+
+/// Calibration constants, in abstract time units (1 unit = one client
+/// instruction by default).
+struct CostModel {
+  Rational Tc{1};  ///< Client time per instruction.
+  Rational Ts;     ///< Server time per instruction.
+  Rational Tcsh;   ///< Client-to-server transfer startup.
+  Rational Tsch;   ///< Server-to-client transfer startup.
+  Rational Tcsu;   ///< Client-to-server time per byte.
+  Rational Tscu;   ///< Server-to-client time per byte.
+  Rational Tcst;   ///< Client-to-server task scheduling time.
+  Rational Tsct;   ///< Server-to-client task scheduling time.
+  Rational Ta;     ///< Registration time per dynamic allocation.
+
+  /// iPAQ-like defaults: server 5x faster; startup 6 units; 1/64 unit per
+  /// byte; scheduling 8 units; registration 2 units.
+  static CostModel defaults();
+
+  /// The constants of the paper's Figure-1 worked example: tc = 1,
+  /// infinitely fast server (ts = 0), startup 6, one unit per 4-byte
+  /// element, no scheduling or registration overhead. With these the
+  /// Table-1 formulas reproduce exactly.
+  static CostModel paperExample();
+};
+
+} // namespace paco
+
+#endif // PACO_COST_COSTMODEL_H

@@ -1,0 +1,217 @@
+//===- cost/PartitionProblem.cpp - Theorem-1 network reduction ------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cost/PartitionProblem.h"
+
+#include <queue>
+
+using namespace paco;
+
+CostModel CostModel::defaults() {
+  // Shaped like the paper's testbed: a ~400 MHz client against a ~5x
+  // faster server over ~11 Mbps WLAN. With one unit per client
+  // instruction, a byte on the wire costs ~16 units and a round-trip
+  // message costs a few thousand units.
+  CostModel C;
+  C.Tc = Rational(1);
+  C.Ts = Rational::fraction(1, 5);
+  C.Tcsh = Rational(2000);
+  C.Tsch = Rational(2000);
+  C.Tcsu = Rational(16);
+  C.Tscu = Rational(16);
+  C.Tcst = Rational(3000);
+  C.Tsct = Rational(3000);
+  C.Ta = Rational(500);
+  return C;
+}
+
+CostModel CostModel::paperExample() {
+  CostModel C;
+  C.Tc = Rational(1);
+  C.Ts = Rational(0);
+  C.Tcsh = Rational(6);
+  C.Tsch = Rational(6);
+  C.Tcsu = Rational::fraction(1, 4); // one unit per 4-byte element
+  C.Tscu = Rational::fraction(1, 4);
+  C.Tcst = Rational(0);
+  C.Tsct = Rational(0);
+  C.Ta = Rational(0);
+  return C;
+}
+
+namespace {
+
+/// Forward/backward reachability over the TCFG from a set of seed tasks.
+std::vector<bool> reach(const TCFG &Graph, const std::vector<unsigned> &Seeds,
+                        bool Forward) {
+  std::vector<bool> Seen(Graph.numTasks(), false);
+  std::queue<unsigned> Work;
+  for (unsigned S : Seeds) {
+    if (!Seen[S]) {
+      Seen[S] = true;
+      Work.push(S);
+    }
+  }
+  // Adjacency from the edge map.
+  std::vector<std::vector<unsigned>> Adj(Graph.numTasks());
+  for (const auto &[Edge, Count] : Graph.Edges) {
+    (void)Count;
+    if (Forward)
+      Adj[Edge.first].push_back(Edge.second);
+    else
+      Adj[Edge.second].push_back(Edge.first);
+  }
+  while (!Work.empty()) {
+    unsigned T = Work.front();
+    Work.pop();
+    for (unsigned Next : Adj[T])
+      if (!Seen[Next]) {
+        Seen[Next] = true;
+        Work.push(Next);
+      }
+  }
+  return Seen;
+}
+
+} // namespace
+
+PartitionProblem paco::buildPartitionProblem(const TCFG &Graph,
+                                             const TaskAccessInfo &Access,
+                                             const MemoryModel &Memory,
+                                             const CostModel &Costs,
+                                             ParamSpace &Space) {
+  PartitionProblem P;
+  FlowNetwork &Net = P.Net;
+  NodeId S = Net.source(), T = Net.sink();
+
+  // M(v) nodes with computation costs and the semantic (I/O) constraint.
+  P.MNode.resize(Graph.numTasks());
+  for (unsigned V = 0; V != Graph.numTasks(); ++V) {
+    const TCFG::Task &Task = Graph.Tasks[V];
+    NodeId MV = Net.addNode("M." + Task.Label);
+    P.MNode[V] = MV;
+    if (Task.HasIO) {
+      // Semantic constraint: M(v) => 0.
+      Net.addArc(MV, T, Capacity::infinite());
+    }
+    // not M(v) * cc(v): arc s -> M(v); M(v) * cs(v): arc M(v) -> t.
+    if (!Task.ComputeUnits.isZero()) {
+      if (!Costs.Tc.isZero())
+        Net.addArc(S, MV, Capacity::finite(Task.ComputeUnits * Costs.Tc));
+      if (!Costs.Ts.isZero())
+        Net.addArc(MV, T, Capacity::finite(Task.ComputeUnits * Costs.Ts));
+    }
+  }
+
+  // Task scheduling costs on TCFG edges.
+  for (const auto &[Edge, Count] : Graph.Edges) {
+    if (Count.isZero())
+      continue;
+    NodeId MU = P.MNode[Edge.first], MV = P.MNode[Edge.second];
+    // not M(u) * M(v) * ccst: arc M(v) -> M(u).
+    if (!Costs.Tcst.isZero())
+      Net.addArc(MV, MU, Capacity::finite(Count * Costs.Tcst));
+    // not M(v) * M(u) * csct: arc M(u) -> M(v).
+    if (!Costs.Tsct.isZero())
+      Net.addArc(MU, MV, Capacity::finite(Count * Costs.Tsct));
+  }
+
+  // Relevance: for each accessed data item, the tasks that access it or
+  // lie between two accesses in the TCFG.
+  P.DataItems = Access.accessedLocations();
+  for (unsigned D : P.DataItems) {
+    std::vector<unsigned> AccessTasks;
+    for (unsigned V = 0; V != Graph.numTasks(); ++V)
+      if (Access.query(V, D).Accessed)
+        AccessTasks.push_back(V);
+    // Data touched by a single task never moves and can never be
+    // registered on both hosts; it needs no nodes at all.
+    if (AccessTasks.size() < 2)
+      continue;
+    std::vector<bool> FromAccess = reach(Graph, AccessTasks, true);
+    std::vector<bool> ToAccess = reach(Graph, AccessTasks, false);
+
+    const MemLocInfo &Loc = Memory.loc(D);
+    LinExpr Bytes = Memory.byteSize(D);
+
+    // Registration nodes for dynamic data.
+    NodeId NsNode = KNone, NNcNode = KNone;
+    if (Loc.IsDynamic) {
+      NsNode = Net.addNode("Ns." + Loc.Name);
+      NNcNode = Net.addNode("nNc." + Loc.Name);
+      P.AccessNodes[D] = {NsNode, NNcNode};
+      // Registration cost Nc*Ns*ca: arc Ns -> nNc.
+      LinExpr RegCost = Loc.AllocCount * Costs.Ta;
+      if (!RegCost.isZero())
+        Net.addArc(NsNode, NNcNode, Capacity::finite(RegCost));
+    }
+
+    // Validity nodes and intra-task constraints.
+    std::vector<bool> Relevant(Graph.numTasks(), false);
+    for (unsigned V = 0; V != Graph.numTasks(); ++V)
+      Relevant[V] = FromAccess[V] && ToAccess[V];
+    for (unsigned V : AccessTasks)
+      Relevant[V] = true;
+
+    for (unsigned V = 0; V != Graph.numTasks(); ++V) {
+      if (!Relevant[V])
+        continue;
+      ValidityNodes Nodes;
+      const std::string Tag = Graph.Tasks[V].Label + "." + Loc.Name;
+      Nodes.Vsi = Net.addNode("Vsi." + Tag);
+      Nodes.Vso = Net.addNode("Vso." + Tag);
+      Nodes.NVci = Net.addNode("nVci." + Tag);
+      Nodes.NVco = Net.addNode("nVco." + Tag);
+      P.VNodes[{V, D}] = Nodes;
+
+      NodeId MV = P.MNode[V];
+      TaskAccessFlags Flags = Access.query(V, D);
+      if (Flags.UpwardRead || Flags.WeakWrite) {
+        // Read / Conservative constraints:
+        // M(v) => Vsi(v,d);  not M(v) => Vci(v,d) i.e. nVci => M(v).
+        Net.addArc(MV, Nodes.Vsi, Capacity::infinite());
+        Net.addArc(Nodes.NVci, MV, Capacity::infinite());
+      }
+      if (Flags.anyWrite()) {
+        // Write constraint: M(v) == Vso(v,d) and M(v) == nVco(v,d).
+        Net.addArc(MV, Nodes.Vso, Capacity::infinite());
+        Net.addArc(Nodes.Vso, MV, Capacity::infinite());
+        Net.addArc(MV, Nodes.NVco, Capacity::infinite());
+        Net.addArc(Nodes.NVco, MV, Capacity::infinite());
+      } else {
+        // Transitive constraint: Vso => Vsi and nVci => nVco.
+        Net.addArc(Nodes.Vso, Nodes.Vsi, Capacity::infinite());
+        Net.addArc(Nodes.NVci, Nodes.NVco, Capacity::infinite());
+      }
+      // Data access state constraint for dynamic data:
+      // M(v) => Ns(d); not M(v) => Nc(d) i.e. nNc(d) => M(v).
+      if (Loc.IsDynamic && Flags.Accessed) {
+        Net.addArc(MV, NsNode, Capacity::infinite());
+        Net.addArc(NNcNode, MV, Capacity::infinite());
+      }
+    }
+
+    // Data communication costs on TCFG edges where both ends are
+    // relevant.
+    LinExpr CsCost = LinExpr(Costs.Tcsh) + Bytes * Costs.Tcsu;
+    LinExpr ScCost = LinExpr(Costs.Tsch) + Bytes * Costs.Tscu;
+    for (const auto &[Edge, Count] : Graph.Edges) {
+      if (!Relevant[Edge.first] || !Relevant[Edge.second] ||
+          Count.isZero())
+        continue;
+      const ValidityNodes &U = P.VNodes[{Edge.first, D}];
+      const ValidityNodes &V = P.VNodes[{Edge.second, D}];
+      // not Vso(u) * Vsi(v) * ccsd: arc Vsi(v) -> Vso(u).
+      Net.addArc(V.Vsi, U.Vso,
+                 Capacity::finite(LinExpr::mul(Count, CsCost, Space)));
+      // not Vco(u) * Vci(v) * cscd == nVco(u) * (not nVci(v)) * cscd:
+      // arc nVco(u) -> nVci(v).
+      Net.addArc(U.NVco, V.NVci,
+                 Capacity::finite(LinExpr::mul(Count, ScCost, Space)));
+    }
+  }
+  return P;
+}

@@ -1,0 +1,75 @@
+//===- cost/PartitionProblem.h - Theorem-1 network reduction ---*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the single-source single-sink min-cut network of paper
+/// Theorem 1 from the TCFG, the task access summaries and the cost model.
+///
+/// Nodes represent the boolean terms M(v), Vsi(v,d), Vso(v,d), not-Vci(v,d),
+/// not-Vco(v,d), Ns(d) and not-Nc(d); a node on the source side S has term
+/// value 1 (source = server side for M). Constraints X => Y become
+/// infinite-capacity arcs X -> Y; every cost, normalized to the form
+/// (not Y) * X * c, becomes an arc X -> Y with capacity c, so the value of
+/// any finite s-t cut equals the total cost of the partitioning it
+/// encodes, and the minimum cut is the optimal partitioning.
+///
+/// Validity nodes exist only for *relevant* (task, item) pairs -- tasks
+/// that access the item or lie on a TCFG path between two accesses --
+/// which keeps the network near the size the paper's own simplification
+/// achieves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_COST_PARTITIONPROBLEM_H
+#define PACO_COST_PARTITIONPROBLEM_H
+
+#include "cost/CostModel.h"
+#include "netflow/FlowNetwork.h"
+#include "tcfg/TaskAccess.h"
+
+namespace paco {
+
+/// Node handles for one (task, item) validity group.
+struct ValidityNodes {
+  NodeId Vsi = KNone;
+  NodeId Vso = KNone;
+  NodeId NVci = KNone; ///< not Vci
+  NodeId NVco = KNone; ///< not Vco
+};
+
+/// The reduction output: the flow network plus the bookkeeping needed to
+/// read a partitioning back out of a cut.
+struct PartitionProblem {
+  FlowNetwork Net;
+  /// Per task: the M(v) node.
+  std::vector<NodeId> MNode;
+  /// Per relevant (task, item): validity nodes.
+  std::map<std::pair<unsigned, unsigned>, ValidityNodes> VNodes;
+  /// Per dynamic item: (Ns, not-Nc) nodes.
+  std::map<unsigned, std::pair<NodeId, NodeId>> AccessNodes;
+
+  /// Data items some task accesses (relevance domain).
+  std::vector<unsigned> DataItems;
+
+  /// \returns true if task \p T is assigned to the server under \p Cut.
+  bool onServer(const CutResult &Cut, unsigned T) const {
+    return Cut.SourceSide[MNode[T]];
+  }
+};
+
+/// Builds the Theorem-1 reduction.
+///
+/// \p Space provides parameter bounds for capacity expressions; monomials
+/// needed by cost products are interned into it.
+PartitionProblem buildPartitionProblem(const TCFG &Graph,
+                                       const TaskAccessInfo &Access,
+                                       const MemoryModel &Memory,
+                                       const CostModel &Costs,
+                                       ParamSpace &Space);
+
+} // namespace paco
+
+#endif // PACO_COST_PARTITIONPROBLEM_H

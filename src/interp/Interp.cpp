@@ -1,0 +1,734 @@
+//===- interp/Interp.cpp - Partitioned-program interpreter ----------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace paco;
+
+namespace {
+
+/// A runtime value. Pointers are (region, element offset) pairs; func
+/// values carry the function index.
+struct Value {
+  TypeKind K = TypeKind::Int;
+  int64_t I = 0;
+  double D = 0;
+  unsigned Region = KNone;
+  int64_t Off = 0;
+  unsigned Func = KNone;
+
+  static Value ofInt(int64_t V) {
+    Value R;
+    R.K = TypeKind::Int;
+    R.I = V;
+    return R;
+  }
+  static Value ofDouble(double V) {
+    Value R;
+    R.K = TypeKind::Double;
+    R.D = V;
+    return R;
+  }
+  static Value ofPointer(TypeKind PtrTy, unsigned Region, int64_t Off) {
+    Value R;
+    R.K = PtrTy;
+    R.Region = Region;
+    R.Off = Off;
+    return R;
+  }
+  static Value ofFunc(unsigned F) {
+    Value R;
+    R.K = TypeKind::Func;
+    R.Func = F;
+    return R;
+  }
+};
+
+/// One memory region with its two host copies and their ground-truth
+/// validity. A write on one host invalidates the other copy; a transfer
+/// always sources the valid copy (the static validity certificate does
+/// not constrain source-side validity -- see crossTask), and a read from
+/// an invalid copy is an analysis bug the interpreter reports.
+struct MemRegion {
+  unsigned LocId = KNone;
+  bool Live = true;
+  bool ClientValid = true;
+  bool ServerValid = true;
+  std::vector<Value> Client, Server;
+};
+
+struct Frame {
+  unsigned FuncIdx = KNone;
+  std::vector<unsigned> LocalRegions;
+  // Return linkage: where the caller resumes, and which caller local
+  // receives the return value.
+  unsigned RetFunc = KNone;
+  unsigned RetBlock = KNone;
+  unsigned RetDstVar = KNone;
+};
+
+class Machine {
+public:
+  Machine(const CompiledProgram &CP, const ExecOptions &Opts,
+          const EnergyModel &Energy)
+      : CP(CP), Opts(Opts), Energy(Energy), Sim(CP.Costs) {}
+
+  ExecResult run();
+
+private:
+  //===--------------------------------------------------------------===//
+  // Memory
+  //===--------------------------------------------------------------===//
+
+  unsigned newRegion(unsigned LocId, size_t Elems, TypeKind ElemTy) {
+    MemRegion Region;
+    Region.LocId = LocId;
+    Value Fill = ElemTy == TypeKind::Double ? Value::ofDouble(0.0)
+                                            : Value::ofInt(0);
+    Fill.K = ElemTy;
+    Region.Client.assign(Elems, Fill);
+    Region.Server.assign(Elems, Fill);
+    Regions.push_back(std::move(Region));
+    unsigned Id = static_cast<unsigned>(Regions.size() - 1);
+    LiveOfLoc[LocId].push_back(Id);
+    return Id;
+  }
+
+  void killRegion(unsigned Id) {
+    Regions[Id].Live = false;
+    std::vector<unsigned> &List = LiveOfLoc[Regions[Id].LocId];
+    for (size_t I = List.size(); I-- > 0;)
+      if (List[I] == Id)
+        List.erase(List.begin() + static_cast<long>(I));
+    Regions[Id].Client.clear();
+    Regions[Id].Server.clear();
+  }
+
+  std::vector<Value> &sideOf(unsigned Region) {
+    return OnServer ? Regions[Region].Server : Regions[Region].Client;
+  }
+
+  bool loadMem(unsigned Region, int64_t Off, Value &Out) {
+    if (Region == KNone || !Regions[Region].Live)
+      return fail("dereference of invalid pointer");
+    MemRegion &R = Regions[Region];
+    if (!(OnServer ? R.ServerValid : R.ClientValid))
+      return fail("read of an invalid copy of " +
+                  CP.Memory->loc(R.LocId).Name + " (analysis bug)");
+    std::vector<Value> &Data = sideOf(Region);
+    if (Off < 0 || static_cast<size_t>(Off) >= Data.size())
+      return fail("out-of-bounds access at offset " + std::to_string(Off));
+    Out = Data[static_cast<size_t>(Off)];
+    return true;
+  }
+
+  bool storeMem(unsigned Region, int64_t Off, const Value &V) {
+    if (Region == KNone || !Regions[Region].Live)
+      return fail("store through invalid pointer");
+    MemRegion &R = Regions[Region];
+    std::vector<Value> &Data = sideOf(Region);
+    if (Off < 0 || static_cast<size_t>(Off) >= Data.size())
+      return fail("out-of-bounds store at offset " + std::to_string(Off));
+    Data[static_cast<size_t>(Off)] = V;
+    // Writing makes this host's copy the truth.
+    if (OnServer) {
+      R.ServerValid = true;
+      R.ClientValid = false;
+    } else {
+      R.ClientValid = true;
+      R.ServerValid = false;
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Task transitions and transfers
+  //===--------------------------------------------------------------===//
+
+  bool taskOnServer(unsigned Task) const {
+    if (Choice == KNone)
+      return false;
+    return CP.Partition.Choices[Choice].TaskOnServer[Task];
+  }
+
+  /// Data movements dictated by the validity states on edge (A, B).
+  struct Movement {
+    unsigned LocId;
+    bool ToServer;
+  };
+  const std::vector<Movement> &transferSet(unsigned A, unsigned B);
+
+  void crossTask(unsigned NewTask);
+
+  //===--------------------------------------------------------------===//
+  // Execution
+  //===--------------------------------------------------------------===//
+
+  bool fail(const std::string &Message) {
+    if (Result.Error.empty()) {
+      Result.Error = Message;
+      if (CurFunc != KNone) {
+        Result.Error += " [in " + CP.Module->Functions[CurFunc]->Name +
+                        " bb" + std::to_string(CurBlock) + " instr " +
+                        std::to_string(InstrIdx) + " task " +
+                        std::to_string(CurrentTask) +
+                        (OnServer ? " on server]" : " on client]");
+      }
+    }
+    Failed = true;
+    return false;
+  }
+
+  Frame &frame() { return Stack.back(); }
+  const IRFunction &func() const { return *CP.Module->Functions[CurFunc]; }
+
+  bool evalOperand(const Operand &O, Value &Out);
+  bool writeLocal(unsigned Var, const Value &V) {
+    return storeMem(frame().LocalRegions[Var], 0, V);
+  }
+
+  bool pushFrame(unsigned FuncIdx, unsigned RetFunc, unsigned RetBlock,
+                 unsigned RetDstVar);
+
+  bool execInstr(const Instr &I);
+  bool execArith(const Instr &I);
+  int64_t nextInput() {
+    if (InputPos >= Opts.Inputs.size())
+      return 0;
+    return Opts.Inputs[InputPos++];
+  }
+
+  bool enterBlock(unsigned FuncIdx, unsigned Block);
+
+  const CompiledProgram &CP;
+  const ExecOptions &Opts;
+  EnergyModel Energy;
+  Simulator Sim;
+  ExecResult Result;
+
+  std::vector<MemRegion> Regions;
+  std::map<unsigned, std::vector<unsigned>> LiveOfLoc;
+  std::vector<unsigned> GlobalRegion; ///< Region per module global.
+  std::vector<unsigned> RetRegion;    ///< Region per function ret loc.
+  std::vector<Frame> Stack;
+
+  unsigned Choice = KNone;
+  unsigned CurrentTask = KNone;
+  bool OnServer = false;
+  unsigned CurFunc = KNone;
+  unsigned CurBlock = KNone;
+  size_t InstrIdx = 0;
+  size_t InputPos = 0;
+  uint64_t Executed = 0;
+  bool Failed = false;
+  bool Finished = false;
+
+  std::map<std::pair<unsigned, unsigned>, std::vector<Movement>>
+      MovementCache;
+  std::vector<uint64_t> TaskInstrCounts;
+};
+
+const std::vector<Machine::Movement> &Machine::transferSet(unsigned A,
+                                                           unsigned B) {
+  auto Key = std::make_pair(A, B);
+  auto It = MovementCache.find(Key);
+  if (It != MovementCache.end())
+    return It->second;
+  std::vector<Movement> Moves;
+  if (Choice != KNone) {
+    for (unsigned D : CP.Problem.DataItems) {
+      auto UIt = CP.Problem.VNodes.find({A, D});
+      auto VIt = CP.Problem.VNodes.find({B, D});
+      if (UIt == CP.Problem.VNodes.end() || VIt == CP.Problem.VNodes.end())
+        continue;
+      const ValidityNodes &U = UIt->second;
+      const ValidityNodes &V = VIt->second;
+      bool VsoU = CP.Partition.nodeValue(Choice, U.Vso);
+      bool VsiV = CP.Partition.nodeValue(Choice, V.Vsi);
+      bool VcoU = !CP.Partition.nodeValue(Choice, U.NVco);
+      bool VciV = !CP.Partition.nodeValue(Choice, V.NVci);
+      // Client-to-server: the item becomes server-valid on this edge.
+      if (!VsoU && VsiV)
+        Moves.push_back({D, /*ToServer=*/true});
+      // Server-to-client.
+      if (!VcoU && VciV)
+        Moves.push_back({D, /*ToServer=*/false});
+    }
+  }
+  return MovementCache.emplace(Key, std::move(Moves)).first->second;
+}
+
+void Machine::crossTask(unsigned NewTask) {
+  unsigned OldTask = CurrentTask;
+  CurrentTask = NewTask;
+  if (Choice == KNone)
+    return;
+  bool NewServer = taskOnServer(NewTask);
+  if (NewServer != OnServer) {
+    Sim.schedule(/*ToServer=*/NewServer);
+    OnServer = NewServer;
+  }
+  static const bool Trace = std::getenv("PACO_TRACE_TRANSFERS") != nullptr;
+  for (const Movement &Move : transferSet(OldTask, NewTask)) {
+    if (Trace)
+      std::fprintf(stderr, "[transfer] %s -> %s : %s %s\n",
+                   CP.Graph.Tasks[OldTask].Label.c_str(),
+                   CP.Graph.Tasks[NewTask].Label.c_str(),
+                   CP.Memory->loc(Move.LocId).Name.c_str(),
+                   Move.ToServer ? "c2s" : "s2c");
+    uint64_t Bytes = 0;
+    unsigned ElemBytes = elementBytes(CP.Memory->loc(Move.LocId).ElemType);
+    auto LiveIt = LiveOfLoc.find(Move.LocId);
+    if (LiveIt != LiveOfLoc.end()) {
+      for (unsigned RegionId : LiveIt->second) {
+        // The transfer's purpose is to validate the destination copy; the
+        // data always comes from the currently valid copy (the static
+        // certificate may schedule a transfer whose nominal source copy
+        // is stale -- nothing in the paper's constraint system forbids
+        // it -- in which case the destination is already up to date and
+        // only the cost is charged).
+        MemRegion &Region = Regions[RegionId];
+        if (Move.ToServer) {
+          if (Region.ClientValid) {
+            Region.Server = Region.Client;
+            Region.ServerValid = true;
+          }
+        } else {
+          if (Region.ServerValid) {
+            Region.Client = Region.Server;
+            Region.ClientValid = true;
+          }
+        }
+        Bytes += Region.Client.size() * ElemBytes;
+      }
+    }
+    Sim.transfer(Move.ToServer, Bytes);
+  }
+}
+
+bool Machine::evalOperand(const Operand &O, Value &Out) {
+  switch (O.K) {
+  case Operand::Kind::ConstInt:
+    Out = Value::ofInt(O.IntVal);
+    return true;
+  case Operand::Kind::ConstFloat:
+    Out = Value::ofDouble(O.FloatVal);
+    return true;
+  case Operand::Kind::Local:
+    return loadMem(frame().LocalRegions[O.Index], 0, Out);
+  case Operand::Kind::Global:
+    return loadMem(GlobalRegion[O.Index], 0, Out);
+  case Operand::Kind::FuncRef:
+    Out = Value::ofFunc(O.Index);
+    return true;
+  case Operand::Kind::RtParam:
+    Out = Value::ofInt(Opts.ParamValues[O.Index]);
+    return true;
+  case Operand::Kind::None:
+    Out = Value();
+    return true;
+  }
+  return fail("bad operand");
+}
+
+bool Machine::pushFrame(unsigned FuncIdx, unsigned RetFunc, unsigned RetBlock,
+                        unsigned RetDstVar) {
+  if (Stack.size() > 4096)
+    return fail("call stack overflow");
+  Frame F;
+  F.FuncIdx = FuncIdx;
+  F.RetFunc = RetFunc;
+  F.RetBlock = RetBlock;
+  F.RetDstVar = RetDstVar;
+  const IRFunction &Fn = *CP.Module->Functions[FuncIdx];
+  F.LocalRegions.reserve(Fn.Locals.size());
+  for (unsigned L = 0; L != Fn.Locals.size(); ++L) {
+    const LocalVar &Var = Fn.Locals[L];
+    size_t Elems = Var.IsArray ? static_cast<size_t>(Var.ArraySize) : 1;
+    F.LocalRegions.push_back(
+        newRegion(CP.Memory->localLoc(FuncIdx, L), Elems, Var.Type));
+  }
+  Stack.push_back(std::move(F));
+  return true;
+}
+
+bool Machine::enterBlock(unsigned FuncIdx, unsigned Block) {
+  CurFunc = FuncIdx;
+  CurBlock = Block;
+  InstrIdx = 0;
+  unsigned Task = CP.Graph.taskOfBlock(FuncIdx, Block);
+  if (Task != CurrentTask)
+    crossTask(Task);
+  return true;
+}
+
+bool Machine::execArith(const Instr &I) {
+  Value A, B;
+  if (!evalOperand(I.A, A) || !evalOperand(I.B, B))
+    return false;
+  Value Out;
+  bool IsDouble = I.Ty == TypeKind::Double;
+  switch (I.Op) {
+  case Opcode::Add:
+    Out = IsDouble ? Value::ofDouble(A.D + B.D) : Value::ofInt(A.I + B.I);
+    break;
+  case Opcode::Sub:
+    Out = IsDouble ? Value::ofDouble(A.D - B.D) : Value::ofInt(A.I - B.I);
+    break;
+  case Opcode::Mul:
+    Out = IsDouble ? Value::ofDouble(A.D * B.D) : Value::ofInt(A.I * B.I);
+    break;
+  case Opcode::Div:
+    if (IsDouble) {
+      Out = Value::ofDouble(B.D == 0.0 ? 0.0 : A.D / B.D);
+    } else {
+      if (B.I == 0)
+        return fail("integer division by zero");
+      Out = Value::ofInt(A.I / B.I);
+    }
+    break;
+  case Opcode::Rem:
+    if (B.I == 0)
+      return fail("integer remainder by zero");
+    Out = Value::ofInt(A.I % B.I);
+    break;
+  case Opcode::And: Out = Value::ofInt(A.I & B.I); break;
+  case Opcode::Or:  Out = Value::ofInt(A.I | B.I); break;
+  case Opcode::Xor: Out = Value::ofInt(A.I ^ B.I); break;
+  case Opcode::Shl: Out = Value::ofInt(A.I << (B.I & 63)); break;
+  case Opcode::Shr: Out = Value::ofInt(A.I >> (B.I & 63)); break;
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe: {
+    int Cmp = 0;
+    if (I.Ty == TypeKind::Double)
+      Cmp = A.D < B.D ? -1 : (A.D > B.D ? 1 : 0);
+    else if (isPointerType(I.Ty))
+      Cmp = A.Region != B.Region ? (A.Region < B.Region ? -1 : 1)
+                                 : (A.Off < B.Off ? -1 : (A.Off > B.Off));
+    else if (I.Ty == TypeKind::Func)
+      Cmp = A.Func != B.Func;
+    else
+      Cmp = A.I < B.I ? -1 : (A.I > B.I ? 1 : 0);
+    bool R = false;
+    switch (I.Op) {
+    case Opcode::CmpLt: R = Cmp < 0; break;
+    case Opcode::CmpLe: R = Cmp <= 0; break;
+    case Opcode::CmpGt: R = Cmp > 0; break;
+    case Opcode::CmpGe: R = Cmp >= 0; break;
+    case Opcode::CmpEq: R = Cmp == 0; break;
+    case Opcode::CmpNe: R = Cmp != 0; break;
+    default: break;
+    }
+    Out = Value::ofInt(R);
+    break;
+  }
+  default:
+    return fail("bad arithmetic opcode");
+  }
+  return writeLocal(I.Dst, Out);
+}
+
+bool Machine::execInstr(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::Copy: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    if (I.Dst != KNone)
+      return writeLocal(I.Dst, A);
+    return true;
+  }
+  case Opcode::IntToFloat: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    return writeLocal(I.Dst, Value::ofDouble(static_cast<double>(A.I)));
+  }
+  case Opcode::FloatToInt: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    return writeLocal(I.Dst, Value::ofInt(static_cast<int64_t>(A.D)));
+  }
+  case Opcode::Neg: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    return writeLocal(I.Dst, I.Ty == TypeKind::Double
+                                 ? Value::ofDouble(-A.D)
+                                 : Value::ofInt(-A.I));
+  }
+  case Opcode::Not: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    return writeLocal(I.Dst, Value::ofInt(A.I == 0));
+  }
+  case Opcode::BitNot: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    return writeLocal(I.Dst, Value::ofInt(~A.I));
+  }
+  case Opcode::AddrOfVar: {
+    unsigned Region = I.A.K == Operand::Kind::Global
+                          ? GlobalRegion[I.A.Index]
+                          : frame().LocalRegions[I.A.Index];
+    return writeLocal(I.Dst, Value::ofPointer(I.Ty, Region, 0));
+  }
+  case Opcode::PtrAdd: {
+    Value A, B;
+    if (!evalOperand(I.A, A) || !evalOperand(I.B, B))
+      return false;
+    return writeLocal(I.Dst,
+                      Value::ofPointer(I.Ty, A.Region, A.Off + B.I));
+  }
+  case Opcode::Load: {
+    Value A, B, Out;
+    if (!evalOperand(I.A, A) || !evalOperand(I.B, B))
+      return false;
+    if (!loadMem(A.Region, A.Off + B.I, Out))
+      return false;
+    return writeLocal(I.Dst, Out);
+  }
+  case Opcode::Store: {
+    Value A, B, C;
+    if (!evalOperand(I.A, A) || !evalOperand(I.B, B) ||
+        !evalOperand(I.C, C))
+      return false;
+    return storeMem(A.Region, A.Off + B.I, C);
+  }
+  case Opcode::Malloc: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    if (A.I < 0 || A.I > (int64_t(1) << 28))
+      return fail("malloc size out of range");
+    unsigned LocId = CP.Memory->allocLoc(I.AllocSite);
+    unsigned Region = newRegion(LocId, static_cast<size_t>(A.I),
+                                CP.Memory->loc(LocId).ElemType);
+    // Registration overhead when the static analysis decides the data is
+    // accessed by both hosts (paper section 2.3).
+    auto It = CP.Problem.AccessNodes.find(LocId);
+    if (Choice != KNone && It != CP.Problem.AccessNodes.end()) {
+      bool Ns = CP.Partition.nodeValue(Choice, It->second.first);
+      bool Nc = !CP.Partition.nodeValue(Choice, It->second.second);
+      if (Ns && Nc)
+        Sim.registration();
+    }
+    return writeLocal(I.Dst, Value::ofPointer(I.Ty, Region, 0));
+  }
+  case Opcode::IoRead: {
+    if (OnServer)
+      return fail("I/O executed on the server (analysis bug)");
+    return writeLocal(I.Dst, Value::ofInt(nextInput()));
+  }
+  case Opcode::IoWrite: {
+    if (OnServer)
+      return fail("I/O executed on the server (analysis bug)");
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    Result.Outputs.push_back(A.K == TypeKind::Double
+                                 ? A.D
+                                 : static_cast<double>(A.I));
+    return true;
+  }
+  case Opcode::IoReadBuf:
+  case Opcode::IoWriteBuf: {
+    if (OnServer)
+      return fail("I/O executed on the server (analysis bug)");
+    Value A, B;
+    if (!evalOperand(I.A, A) || !evalOperand(I.B, B))
+      return false;
+    bool IsRead = I.Op == Opcode::IoReadBuf;
+    for (int64_t K = 0; K != B.I; ++K) {
+      if (IsRead) {
+        int64_t In = nextInput();
+        Value V;
+        if (!loadMem(A.Region, A.Off + K, V))
+          return false;
+        Value New = V.K == TypeKind::Double
+                        ? Value::ofDouble(static_cast<double>(In))
+                        : Value::ofInt(In);
+        if (!storeMem(A.Region, A.Off + K, New))
+          return false;
+      } else {
+        Value V;
+        if (!loadMem(A.Region, A.Off + K, V))
+          return false;
+        Result.Outputs.push_back(V.K == TypeKind::Double
+                                     ? V.D
+                                     : static_cast<double>(V.I));
+      }
+    }
+    return true;
+  }
+  case Opcode::Call: {
+    std::vector<Value> Args(I.Args.size());
+    for (size_t A = 0; A != I.Args.size(); ++A)
+      if (!evalOperand(I.Args[A], Args[A]))
+        return false;
+    if (!pushFrame(I.Callee, CurFunc, I.Succ0, I.Dst))
+      return false;
+    // Parameter values are written on the caller's host; if the callee
+    // runs elsewhere, the validity transfers on the call edge move them.
+    for (size_t A = 0; A != Args.size(); ++A)
+      if (!storeMem(frame().LocalRegions[A], 0, Args[A]))
+        return false;
+    return enterBlock(I.Callee, 0);
+  }
+  case Opcode::CallInd: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    if (A.Func == KNone)
+      return fail("indirect call through null func value");
+    if (!pushFrame(A.Func, CurFunc, I.Succ0, KNone))
+      return false;
+    return enterBlock(A.Func, 0);
+  }
+  case Opcode::Ret: {
+    Value RetVal;
+    bool HasValue = !I.A.isNone();
+    if (HasValue) {
+      if (!evalOperand(I.A, RetVal))
+        return false;
+      if (!storeMem(RetRegion[CurFunc], 0, RetVal))
+        return false;
+    }
+    Frame Done = std::move(Stack.back());
+    for (unsigned Region : Done.LocalRegions)
+      killRegion(Region);
+    Stack.pop_back();
+    if (Stack.empty()) {
+      // main returned: hand control to the virtual exit task.
+      crossTask(CP.Graph.ExitTask);
+      Finished = true;
+      return true;
+    }
+    unsigned Callee = Done.FuncIdx;
+    if (!enterBlock(Done.RetFunc, Done.RetBlock))
+      return false;
+    if (Done.RetDstVar != KNone) {
+      // The continuation task receives the return value (after any
+      // transfer on the return edge).
+      Value Out;
+      if (!loadMem(RetRegion[Callee], 0, Out))
+        return false;
+      return writeLocal(Done.RetDstVar, Out);
+    }
+    return true;
+  }
+  case Opcode::Br: {
+    Value A;
+    if (!evalOperand(I.A, A))
+      return false;
+    return enterBlock(CurFunc, A.I != 0 ? I.Succ0 : I.Succ1);
+  }
+  case Opcode::Jmp:
+    return enterBlock(CurFunc, I.Succ0);
+  default:
+    return execArith(I);
+  }
+}
+
+ExecResult Machine::run() {
+  // Placement choice.
+  if (Opts.Mode == ExecOptions::Placement::Forced) {
+    Choice = Opts.ForcedChoice;
+  } else if (Opts.Mode == ExecOptions::Placement::Dispatch) {
+    Choice = CP.Partition.pickChoice(CP.parameterPoint(Opts.ParamValues));
+  }
+  Result.ChoiceUsed = Choice;
+
+  // Globals: client copies take the initializers, server copies start
+  // zeroed (they are invalid until a transfer).
+  GlobalRegion.resize(CP.Module->Globals.size());
+  for (unsigned G = 0; G != CP.Module->Globals.size(); ++G) {
+    const GlobalVar &Var = CP.Module->Globals[G];
+    size_t Elems = Var.IsArray ? static_cast<size_t>(Var.ArraySize) : 1;
+    GlobalRegion[G] = newRegion(CP.Memory->globalLoc(G), Elems, Var.Type);
+    MemRegion &Region = Regions[GlobalRegion[G]];
+    if (!Var.Init.empty()) {
+      Region.ClientValid = true;
+      Region.ServerValid = false;
+    }
+    std::vector<Value> &Client = Region.Client;
+    for (size_t K = 0; K != Var.Init.size() && K != Elems; ++K) {
+      const Operand &Init = Var.Init[K];
+      Client[K] = Var.Type == TypeKind::Double
+                      ? Value::ofDouble(Init.K == Operand::Kind::ConstFloat
+                                            ? Init.FloatVal
+                                            : double(Init.IntVal))
+                      : Value::ofInt(Init.IntVal);
+    }
+  }
+  RetRegion.resize(CP.Module->Functions.size());
+  for (unsigned F = 0; F != CP.Module->Functions.size(); ++F) {
+    TypeKind Ty = CP.Module->Functions[F]->RetType;
+    RetRegion[F] = newRegion(CP.Memory->retLoc(F), 1,
+                             Ty == TypeKind::Void ? TypeKind::Int : Ty);
+  }
+
+  TaskInstrCounts.assign(CP.Graph.numTasks(), 0);
+  CurrentTask = CP.Graph.EntryTask;
+  OnServer = false;
+  if (CP.Module->MainIndex == KNone) {
+    Result.Error = "no main function";
+    return Result;
+  }
+  if (!pushFrame(CP.Module->MainIndex, KNone, KNone, KNone))
+    return Result;
+  enterBlock(CP.Module->MainIndex, 0);
+
+  while (!Failed && !Finished) {
+    const BasicBlock &Block = func().Blocks[CurBlock];
+    if (InstrIdx >= Block.Instrs.size()) {
+      fail("fell off the end of a basic block");
+      break;
+    }
+    const Instr &I = Block.Instrs[InstrIdx++];
+    if (++Executed > Opts.MaxInstructions) {
+      fail("instruction budget exceeded");
+      break;
+    }
+    Sim.execInstructions(OnServer, 1);
+    ++TaskInstrCounts[CurrentTask];
+    if (!execInstr(I))
+      break;
+  }
+
+  Result.OK = !Failed;
+  Result.Time = Sim.elapsed();
+  Result.EnergyJoules = Sim.energyJoules(Energy);
+  Result.ClientInstrs = Sim.clientInstructions();
+  Result.ServerInstrs = Sim.serverInstructions();
+  Result.Migrations = Sim.migrations();
+  Result.TransferCount = Sim.transferCount();
+  Result.BytesToServer = Sim.bytesToServer();
+  Result.BytesToClient = Sim.bytesToClient();
+  Result.Registrations = Sim.registrationCount();
+  for (unsigned T = 0; T != TaskInstrCounts.size(); ++T)
+    if (TaskInstrCounts[T])
+      Result.TaskInstrs[T] = TaskInstrCounts[T];
+  return Result;
+}
+
+} // namespace
+
+ExecResult paco::runProgram(const CompiledProgram &CP, const ExecOptions &Opts,
+                            const EnergyModel &Energy) {
+  Machine M(CP, Opts, Energy);
+  return M.run();
+}

@@ -1,0 +1,72 @@
+//===- interp/Interp.h - Partitioned-program interpreter -------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a compiled MiniC program on the simulated client/server
+/// runtime. Every abstract memory location is materialized as a pair of
+/// copies (client and server); task transitions follow the TCFG, apply
+/// the scheduling messages of the paper's self-scheduling model, and
+/// perform exactly the data transfers the chosen partitioning's validity
+/// states dictate. Because reads always hit the current host's copy, an
+/// unsound validity analysis would corrupt program outputs -- runs under
+/// any partitioning must produce bit-identical outputs to the all-client
+/// run, which the test suite checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_INTERP_INTERP_H
+#define PACO_INTERP_INTERP_H
+
+#include "runtime/Simulator.h"
+#include "transform/Pipeline.h"
+
+namespace paco {
+
+/// How to run the program.
+struct ExecOptions {
+  enum class Placement {
+    AllClient, ///< Everything on the client (the paper's baseline).
+    Dispatch,  ///< Pick the optimal choice for the parameter values.
+    Forced,    ///< Run a specific partitioning choice.
+  };
+  Placement Mode = Placement::AllClient;
+  unsigned ForcedChoice = 0;
+  /// One value per declared run-time parameter, in declaration order.
+  std::vector<int64_t> ParamValues;
+  /// Stream feeding io_read / io_read_buf; exhausted reads yield zero.
+  std::vector<int64_t> Inputs;
+  /// Runaway guard.
+  uint64_t MaxInstructions = 2000000000ull;
+};
+
+/// Everything measured during one run.
+struct ExecResult {
+  bool OK = false;
+  std::string Error;
+  std::vector<double> Outputs;
+
+  Rational Time;            ///< Elapsed time in cost units.
+  double EnergyJoules = 0;  ///< Client energy under the EnergyModel.
+  uint64_t ClientInstrs = 0;
+  uint64_t ServerInstrs = 0;
+  uint64_t Migrations = 0;
+  uint64_t TransferCount = 0;
+  uint64_t BytesToServer = 0;
+  uint64_t BytesToClient = 0;
+  uint64_t Registrations = 0;
+  unsigned ChoiceUsed = KNone; ///< Partitioning choice, if any.
+
+  /// Measured instruction executions per task (for prediction error).
+  std::map<unsigned, uint64_t> TaskInstrs;
+};
+
+/// Runs the program.
+ExecResult runProgram(const CompiledProgram &CP, const ExecOptions &Opts,
+                      const EnergyModel &Energy = EnergyModel());
+
+} // namespace paco
+
+#endif // PACO_INTERP_INTERP_H

@@ -1,0 +1,138 @@
+//===- ir/IR.cpp - Quad-style control-flow-graph IR ------------ ---------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+using namespace paco;
+
+const char *paco::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Copy:       return "copy";
+  case Opcode::IntToFloat: return "itof";
+  case Opcode::FloatToInt: return "ftoi";
+  case Opcode::Neg:        return "neg";
+  case Opcode::Not:        return "not";
+  case Opcode::BitNot:     return "bitnot";
+  case Opcode::Add:        return "add";
+  case Opcode::Sub:        return "sub";
+  case Opcode::Mul:        return "mul";
+  case Opcode::Div:        return "div";
+  case Opcode::Rem:        return "rem";
+  case Opcode::And:        return "and";
+  case Opcode::Or:         return "or";
+  case Opcode::Xor:        return "xor";
+  case Opcode::Shl:        return "shl";
+  case Opcode::Shr:        return "shr";
+  case Opcode::CmpLt:      return "cmplt";
+  case Opcode::CmpLe:      return "cmple";
+  case Opcode::CmpGt:      return "cmpgt";
+  case Opcode::CmpGe:      return "cmpge";
+  case Opcode::CmpEq:      return "cmpeq";
+  case Opcode::CmpNe:      return "cmpne";
+  case Opcode::AddrOfVar:  return "addrof";
+  case Opcode::PtrAdd:     return "ptradd";
+  case Opcode::Load:       return "load";
+  case Opcode::Store:      return "store";
+  case Opcode::Malloc:     return "malloc";
+  case Opcode::IoRead:     return "io_read";
+  case Opcode::IoWrite:    return "io_write";
+  case Opcode::IoReadBuf:  return "io_read_buf";
+  case Opcode::IoWriteBuf: return "io_write_buf";
+  case Opcode::Call:       return "call";
+  case Opcode::CallInd:    return "callind";
+  case Opcode::Ret:        return "ret";
+  case Opcode::Br:         return "br";
+  case Opcode::Jmp:        return "jmp";
+  }
+  return "?";
+}
+
+std::vector<unsigned> IRFunction::successors(unsigned B) const {
+  const Instr &Term = Blocks[B].terminator();
+  switch (Term.Op) {
+  case Opcode::Br:
+    return {Term.Succ0, Term.Succ1};
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::CallInd:
+    return {Term.Succ0};
+  case Opcode::Ret:
+    return {};
+  default:
+    assert(false && "non-terminator at block end");
+    return {};
+  }
+}
+
+unsigned IRModule::findFunction(const std::string &Name) const {
+  for (unsigned I = 0; I != Functions.size(); ++I)
+    if (Functions[I]->Name == Name)
+      return I;
+  return KNone;
+}
+
+namespace {
+
+std::string operandToString(const Operand &O, const IRFunction *F,
+                            const IRModule &M) {
+  switch (O.K) {
+  case Operand::Kind::None:
+    return "_";
+  case Operand::Kind::ConstInt:
+    return std::to_string(O.IntVal);
+  case Operand::Kind::ConstFloat:
+    return std::to_string(O.FloatVal);
+  case Operand::Kind::Local:
+    return "%" + (F ? F->Locals[O.Index].Name : std::to_string(O.Index));
+  case Operand::Kind::Global:
+    return "@" + M.Globals[O.Index].Name;
+  case Operand::Kind::FuncRef:
+    return "&" + M.Functions[O.Index]->Name;
+  case Operand::Kind::RtParam:
+    return "$" + std::to_string(O.Index);
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string IRModule::dump(const ParamSpace &Space) const {
+  std::string Out;
+  for (const GlobalVar &G : Globals) {
+    Out += "global " + G.Name;
+    if (G.IsArray)
+      Out += "[" + std::to_string(G.ArraySize) + "]";
+    Out += " : " + std::string(typeName(G.Type)) + "\n";
+  }
+  for (const auto &FPtr : Functions) {
+    const IRFunction &F = *FPtr;
+    Out += "func " + F.Name + " (" + std::to_string(F.NumParams) +
+           " params) entry_count=" + F.EntryCount.toString(Space) + "\n";
+    for (unsigned B = 0; B != F.Blocks.size(); ++B) {
+      Out += "  bb" + std::to_string(B) +
+             ":  ; count=" + F.Blocks[B].Count.toString(Space) + "\n";
+      for (const Instr &I : F.Blocks[B].Instrs) {
+        Out += "    ";
+        if (I.Dst != KNone)
+          Out += "%" + F.Locals[I.Dst].Name + " = ";
+        Out += opcodeName(I.Op);
+        if (I.Op == Opcode::Call)
+          Out += " " + Functions[I.Callee]->Name;
+        for (const Operand *O : {&I.A, &I.B, &I.C})
+          if (!O->isNone())
+            Out += " " + operandToString(*O, &F, *this);
+        for (const Operand &Arg : I.Args)
+          Out += " " + operandToString(Arg, &F, *this);
+        if (I.Succ0 != KNone)
+          Out += " -> bb" + std::to_string(I.Succ0);
+        if (I.Succ1 != KNone)
+          Out += ", bb" + std::to_string(I.Succ1);
+        Out += "\n";
+      }
+    }
+  }
+  return Out;
+}

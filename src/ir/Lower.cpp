@@ -1,0 +1,935 @@
+//===- ir/Lower.cpp - AST to IR lowering ----------------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Lower.h"
+
+#include <set>
+
+using namespace paco;
+
+namespace {
+
+class Lowering {
+public:
+  Lowering(const Program &Prog, const SymbolicInfo &Info, ParamSpace &Space,
+           DiagEngine &Diags)
+      : Prog(Prog), Info(Info), Space(Space), Diags(Diags) {}
+
+  std::unique_ptr<IRModule> run();
+
+private:
+  //===--------------------------------------------------------------===//
+  // Block and instruction plumbing
+  //===--------------------------------------------------------------===//
+
+  unsigned newBlock(LinExpr Count) {
+    F->Blocks.push_back({});
+    F->Blocks.back().Count = std::move(Count);
+    return static_cast<unsigned>(F->Blocks.size() - 1);
+  }
+
+  Instr &emit(Instr I) {
+    assert(F->Blocks[CurBB].Instrs.empty() ||
+           !F->Blocks[CurBB].Instrs.back().isTerminator());
+    F->Blocks[CurBB].Instrs.push_back(std::move(I));
+    return F->Blocks[CurBB].Instrs.back();
+  }
+
+  bool blockOpen() const {
+    const std::vector<Instr> &Is = F->Blocks[CurBB].Instrs;
+    return Is.empty() || !Is.back().isTerminator();
+  }
+
+  void recordEdge(unsigned From, unsigned To, const LinExpr &Count) {
+    auto [It, Inserted] = F->EdgeCounts.emplace(std::make_pair(From, To),
+                                                Count);
+    if (!Inserted)
+      It->second += Count;
+  }
+
+  /// Emits an unconditional jump and records the edge count.
+  void emitJmp(unsigned Target) {
+    Instr I;
+    I.Op = Opcode::Jmp;
+    I.Succ0 = Target;
+    unsigned From = CurBB;
+    emit(std::move(I));
+    recordEdge(From, Target, CurCount);
+  }
+
+  unsigned addLocal(const std::string &Name, TypeKind Ty, bool IsArray,
+                    int64_t ArraySize, bool IsTemp) {
+    std::string Unique = Name;
+    if (UsedLocalNames.count(Unique))
+      Unique += "." + std::to_string(F->Locals.size());
+    UsedLocalNames.insert(Unique);
+    F->Locals.push_back({Unique, Ty, IsArray, ArraySize, IsTemp});
+    return static_cast<unsigned>(F->Locals.size() - 1);
+  }
+
+  unsigned newTemp(TypeKind Ty) {
+    return addLocal("t" + std::to_string(F->Locals.size()), Ty,
+                    /*IsArray=*/false, /*ArraySize=*/0, /*IsTemp=*/true);
+  }
+
+  TypeKind typeOfOperand(const Operand &O) const {
+    switch (O.K) {
+    case Operand::Kind::ConstInt:
+      return TypeKind::Int;
+    case Operand::Kind::ConstFloat:
+      return TypeKind::Double;
+    case Operand::Kind::Local:
+      return F->Locals[O.Index].Type;
+    case Operand::Kind::Global:
+      return M->Globals[O.Index].Type;
+    case Operand::Kind::FuncRef:
+      return TypeKind::Func;
+    case Operand::Kind::RtParam:
+      return TypeKind::Int;
+    case Operand::Kind::None:
+      return TypeKind::Void;
+    }
+    return TypeKind::Void;
+  }
+
+  /// Converts \p Value to \p Target type, emitting a conversion if needed.
+  Operand convert(Operand Value, TypeKind Target, SourceLoc Loc) {
+    TypeKind From = typeOfOperand(Value);
+    if (From == Target)
+      return Value;
+    if (From == TypeKind::Int && Target == TypeKind::Double) {
+      if (Value.K == Operand::Kind::ConstInt)
+        return Operand::constFloat(static_cast<double>(Value.IntVal));
+      unsigned T = newTemp(TypeKind::Double);
+      Instr I;
+      I.Op = Opcode::IntToFloat;
+      I.Ty = TypeKind::Double;
+      I.Dst = T;
+      I.A = Value;
+      I.Loc = Loc;
+      emit(std::move(I));
+      return Operand::local(T);
+    }
+    if (From == TypeKind::Double && Target == TypeKind::Int) {
+      if (Value.K == Operand::Kind::ConstFloat)
+        return Operand::constInt(static_cast<int64_t>(Value.FloatVal));
+      unsigned T = newTemp(TypeKind::Int);
+      Instr I;
+      I.Op = Opcode::FloatToInt;
+      I.Ty = TypeKind::Int;
+      I.Dst = T;
+      I.A = Value;
+      I.Loc = Loc;
+      emit(std::move(I));
+      return Operand::local(T);
+    }
+    // Same-category moves (e.g. malloc's int* into double*).
+    return Value;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------===//
+
+  Operand varSlot(const VarDecl *Var) const {
+    auto It = VarSlots.find(Var);
+    assert(It != VarSlots.end() && "variable without a slot");
+    return It->second;
+  }
+
+  /// Produces a pointer operand to the first element of an array
+  /// variable, or passes a pointer value through.
+  Operand lowerBasePointer(const Expr &Base) {
+    if (Base.getKind() == Expr::Kind::VarRef) {
+      const auto &Ref = static_cast<const VarRefExpr &>(Base);
+      if (Ref.Var && Ref.Var->IsArray) {
+        unsigned T = newTemp(pointerTo(Ref.Var->Type));
+        Instr I;
+        I.Op = Opcode::AddrOfVar;
+        I.Ty = pointerTo(Ref.Var->Type);
+        I.Dst = T;
+        I.A = varSlot(Ref.Var);
+        I.Loc = Base.loc();
+        emit(std::move(I));
+        return Operand::local(T);
+      }
+    }
+    return lowerExprValue(Base);
+  }
+
+  Operand lowerExprValue(const Expr &E);
+  Operand lowerBinary(const BinaryExpr &B);
+  Operand lowerShortCircuit(const BinaryExpr &B);
+  Operand lowerAssign(const AssignExpr &A);
+  Operand lowerCall(const CallExpr &Call);
+  Operand lowerTernary(const TernaryExpr &T);
+
+  //===--------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt &S);
+  void lowerIf(const IfStmt &S);
+  void lowerWhile(const WhileStmt &S);
+  void lowerFor(const ForStmt &S);
+  void lowerFunction(const FuncDecl &Func, IRFunction &Out);
+
+  const Program &Prog;
+  const SymbolicInfo &Info;
+  ParamSpace &Space;
+  DiagEngine &Diags;
+
+  IRModule *M = nullptr;
+  IRFunction *F = nullptr;
+  unsigned CurBB = 0;
+  LinExpr CurCount;
+  std::map<const VarDecl *, Operand> VarSlots;
+  std::map<const FuncDecl *, unsigned> FuncIndex;
+  std::set<std::string> UsedLocalNames;
+  std::vector<unsigned> BreakTargets;
+  std::vector<unsigned> ContinueTargets;
+};
+
+std::unique_ptr<IRModule> Lowering::run() {
+  auto Module = std::make_unique<IRModule>();
+  M = Module.get();
+
+  for (const auto &G : Prog.Globals) {
+    GlobalVar Out;
+    Out.Name = G->Name;
+    Out.Type = G->Type;
+    Out.IsArray = G->IsArray;
+    Out.ArraySize = G->ArraySize;
+    for (const ExprPtr &Init : G->Init) {
+      const Expr *E = Init.get();
+      double Sign = 1.0;
+      if (E->getKind() == Expr::Kind::Unary) {
+        Sign = -1.0;
+        E = static_cast<const UnaryExpr *>(E)->Operand.get();
+      }
+      if (E->getKind() == Expr::Kind::IntLit) {
+        int64_t V = static_cast<const IntLitExpr *>(E)->Value;
+        if (G->Type == TypeKind::Double)
+          Out.Init.push_back(Operand::constFloat(Sign * double(V)));
+        else
+          Out.Init.push_back(
+              Operand::constInt(Sign < 0 ? -V : V));
+      } else {
+        double V = static_cast<const FloatLitExpr *>(E)->Value;
+        Out.Init.push_back(Operand::constFloat(Sign * V));
+      }
+    }
+    VarSlots[G.get()] =
+        Operand::global(static_cast<unsigned>(Module->Globals.size()));
+    Module->Globals.push_back(std::move(Out));
+  }
+
+  // Register all functions first so calls and func values can refer
+  // forward.
+  for (const auto &Func : Prog.Functions) {
+    FuncIndex[Func.get()] =
+        static_cast<unsigned>(Module->Functions.size());
+    auto Out = std::make_unique<IRFunction>();
+    Out->Name = Func->Name;
+    Out->RetType = Func->ReturnType;
+    Out->NumParams = static_cast<unsigned>(Func->Params.size());
+    Module->Functions.push_back(std::move(Out));
+  }
+  Module->MainIndex = Module->findFunction("main");
+
+  for (const auto &Func : Prog.Functions)
+    lowerFunction(*Func, *Module->Functions[FuncIndex[Func.get()]]);
+  return Module;
+}
+
+void Lowering::lowerFunction(const FuncDecl &Func, IRFunction &Out) {
+  F = &Out;
+  UsedLocalNames.clear();
+  BreakTargets.clear();
+  ContinueTargets.clear();
+
+  F->EntryCount = Info.EntryCount.at(&Func);
+  CurCount = F->EntryCount;
+  CurBB = newBlock(CurCount);
+
+  for (const auto &Param : Func.Params) {
+    unsigned Slot = addLocal(Param->Name, Param->Type, /*IsArray=*/false,
+                             /*ArraySize=*/0, /*IsTemp=*/false);
+    VarSlots[Param.get()] = Operand::local(Slot);
+  }
+
+  lowerStmt(*Func.Body);
+
+  if (blockOpen()) {
+    Instr I;
+    I.Op = Opcode::Ret;
+    if (Func.ReturnType != TypeKind::Void)
+      I.A = Func.ReturnType == TypeKind::Double ? Operand::constFloat(0.0)
+                                                : Operand::constInt(0);
+    emit(std::move(I));
+  }
+}
+
+Operand Lowering::lowerExprValue(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+    return Operand::constInt(static_cast<const IntLitExpr &>(E).Value);
+  case Expr::Kind::FloatLit:
+    return Operand::constFloat(static_cast<const FloatLitExpr &>(E).Value);
+  case Expr::Kind::VarRef: {
+    const auto &Ref = static_cast<const VarRefExpr &>(E);
+    if (Ref.ParamIndex >= 0)
+      return Operand::rtParam(static_cast<unsigned>(Ref.ParamIndex));
+    if (Ref.Function)
+      return Operand::funcRef(FuncIndex.at(Ref.Function));
+    assert(Ref.Var && "unresolved variable reference");
+    if (Ref.Var->IsArray)
+      return lowerBasePointer(E); // decay
+    return varSlot(Ref.Var);
+  }
+  case Expr::Kind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    Operand V = lowerExprValue(*U.Operand);
+    V = convert(V, E.Type, E.loc());
+    unsigned T = newTemp(E.Type);
+    Instr I;
+    I.Ty = E.Type;
+    I.Dst = T;
+    I.A = V;
+    I.Loc = E.loc();
+    switch (U.Op) {
+    case UnaryOp::Neg:    I.Op = Opcode::Neg; break;
+    case UnaryOp::Not:    I.Op = Opcode::Not; break;
+    case UnaryOp::BitNot: I.Op = Opcode::BitNot; break;
+    }
+    emit(std::move(I));
+    return Operand::local(T);
+  }
+  case Expr::Kind::Binary:
+    return lowerBinary(static_cast<const BinaryExpr &>(E));
+  case Expr::Kind::Assign:
+    return lowerAssign(static_cast<const AssignExpr &>(E));
+  case Expr::Kind::Call:
+    return lowerCall(static_cast<const CallExpr &>(E));
+  case Expr::Kind::Index: {
+    const auto &Ix = static_cast<const IndexExpr &>(E);
+    Operand Ptr = lowerBasePointer(*Ix.Base);
+    Operand Idx = lowerExprValue(*Ix.Index);
+    unsigned T = newTemp(E.Type);
+    Instr I;
+    I.Op = Opcode::Load;
+    I.Ty = E.Type;
+    I.Dst = T;
+    I.A = Ptr;
+    I.B = Idx;
+    I.Loc = E.loc();
+    emit(std::move(I));
+    return Operand::local(T);
+  }
+  case Expr::Kind::Deref: {
+    const auto &D = static_cast<const DerefExpr &>(E);
+    Operand Ptr = lowerExprValue(*D.Pointer);
+    unsigned T = newTemp(E.Type);
+    Instr I;
+    I.Op = Opcode::Load;
+    I.Ty = E.Type;
+    I.Dst = T;
+    I.A = Ptr;
+    I.B = Operand::constInt(0);
+    I.Loc = E.loc();
+    emit(std::move(I));
+    return Operand::local(T);
+  }
+  case Expr::Kind::AddrOf: {
+    const auto &A = static_cast<const AddrOfExpr &>(E);
+    const auto &Ref = static_cast<const VarRefExpr &>(*A.Operand);
+    unsigned T = newTemp(E.Type);
+    Instr I;
+    I.Op = Opcode::AddrOfVar;
+    I.Ty = E.Type;
+    I.Dst = T;
+    I.A = varSlot(Ref.Var);
+    I.Loc = E.loc();
+    emit(std::move(I));
+    return Operand::local(T);
+  }
+  case Expr::Kind::Ternary:
+    return lowerTernary(static_cast<const TernaryExpr &>(E));
+  }
+  assert(false && "unhandled expression in lowering");
+  return Operand::none();
+}
+
+Operand Lowering::lowerBinary(const BinaryExpr &B) {
+  if (B.Op == BinaryOp::LAnd || B.Op == BinaryOp::LOr)
+    return lowerShortCircuit(B);
+
+  Operand L = lowerExprValue(*B.LHS);
+  Operand R = lowerExprValue(*B.RHS);
+  TypeKind LT = B.LHS->Type, RT = B.RHS->Type;
+
+  // Pointer arithmetic.
+  if ((B.Op == BinaryOp::Add || B.Op == BinaryOp::Sub) &&
+      (isPointerType(LT) || isPointerType(RT))) {
+    Operand Ptr = isPointerType(LT) ? L : R;
+    Operand Idx = isPointerType(LT) ? R : L;
+    if (B.Op == BinaryOp::Sub) {
+      unsigned NegT = newTemp(TypeKind::Int);
+      Instr NegI;
+      NegI.Op = Opcode::Neg;
+      NegI.Ty = TypeKind::Int;
+      NegI.Dst = NegT;
+      NegI.A = Idx;
+      NegI.Loc = B.loc();
+      emit(std::move(NegI));
+      Idx = Operand::local(NegT);
+    }
+    unsigned T = newTemp(B.Type);
+    Instr I;
+    I.Op = Opcode::PtrAdd;
+    I.Ty = B.Type;
+    I.Dst = T;
+    I.A = Ptr;
+    I.B = Idx;
+    I.Loc = B.loc();
+    emit(std::move(I));
+    return Operand::local(T);
+  }
+
+  bool IsCompare = B.Op == BinaryOp::Lt || B.Op == BinaryOp::Gt ||
+                   B.Op == BinaryOp::Le || B.Op == BinaryOp::Ge ||
+                   B.Op == BinaryOp::Eq || B.Op == BinaryOp::Ne;
+  TypeKind OperateTy;
+  if (IsCompare) {
+    if (isPointerType(LT) || LT == TypeKind::Func)
+      OperateTy = LT;
+    else
+      OperateTy = (LT == TypeKind::Double || RT == TypeKind::Double)
+                      ? TypeKind::Double
+                      : TypeKind::Int;
+  } else {
+    OperateTy = B.Type;
+  }
+  if (OperateTy == TypeKind::Int || OperateTy == TypeKind::Double) {
+    L = convert(L, OperateTy, B.loc());
+    R = convert(R, OperateTy, B.loc());
+  }
+
+  unsigned T = newTemp(B.Type);
+  Instr I;
+  I.Ty = OperateTy;
+  I.Dst = T;
+  I.A = L;
+  I.B = R;
+  I.Loc = B.loc();
+  switch (B.Op) {
+  case BinaryOp::Add: I.Op = Opcode::Add; break;
+  case BinaryOp::Sub: I.Op = Opcode::Sub; break;
+  case BinaryOp::Mul: I.Op = Opcode::Mul; break;
+  case BinaryOp::Div: I.Op = Opcode::Div; break;
+  case BinaryOp::Rem: I.Op = Opcode::Rem; break;
+  case BinaryOp::And: I.Op = Opcode::And; break;
+  case BinaryOp::Or:  I.Op = Opcode::Or; break;
+  case BinaryOp::Xor: I.Op = Opcode::Xor; break;
+  case BinaryOp::Shl: I.Op = Opcode::Shl; break;
+  case BinaryOp::Shr: I.Op = Opcode::Shr; break;
+  case BinaryOp::Lt:  I.Op = Opcode::CmpLt; break;
+  case BinaryOp::Gt:  I.Op = Opcode::CmpGt; break;
+  case BinaryOp::Le:  I.Op = Opcode::CmpLe; break;
+  case BinaryOp::Ge:  I.Op = Opcode::CmpGe; break;
+  case BinaryOp::Eq:  I.Op = Opcode::CmpEq; break;
+  case BinaryOp::Ne:  I.Op = Opcode::CmpNe; break;
+  case BinaryOp::LAnd:
+  case BinaryOp::LOr:
+    assert(false && "short-circuit handled above");
+    break;
+  }
+  emit(std::move(I));
+  return Operand::local(T);
+}
+
+Operand Lowering::lowerShortCircuit(const BinaryExpr &B) {
+  bool IsAnd = B.Op == BinaryOp::LAnd;
+  unsigned Dst = newTemp(TypeKind::Int);
+  Instr Seed;
+  Seed.Op = Opcode::Copy;
+  Seed.Ty = TypeKind::Int;
+  Seed.Dst = Dst;
+  Seed.A = Operand::constInt(IsAnd ? 0 : 1);
+  Seed.Loc = B.loc();
+  emit(std::move(Seed));
+
+  Operand L = lowerExprValue(*B.LHS);
+  // The RHS block runs conditionally; its count is approximated by the
+  // parent count (a deliberate cost over-approximation).
+  unsigned RhsBB = newBlock(CurCount);
+  unsigned JoinBB = newBlock(CurCount);
+  Instr Branch;
+  Branch.Op = Opcode::Br;
+  Branch.A = L;
+  Branch.Succ0 = IsAnd ? RhsBB : JoinBB;
+  Branch.Succ1 = IsAnd ? JoinBB : RhsBB;
+  Branch.Loc = B.loc();
+  unsigned From = CurBB;
+  emit(std::move(Branch));
+  recordEdge(From, RhsBB, CurCount);
+  recordEdge(From, JoinBB, CurCount);
+
+  CurBB = RhsBB;
+  Operand R = lowerExprValue(*B.RHS);
+  unsigned BoolT = newTemp(TypeKind::Int);
+  Instr Norm;
+  Norm.Op = Opcode::CmpNe;
+  Norm.Ty = typeOfOperand(R);
+  Norm.Dst = BoolT;
+  Norm.A = R;
+  Norm.B = Norm.Ty == TypeKind::Double ? Operand::constFloat(0.0)
+                                       : Operand::constInt(0);
+  Norm.Loc = B.loc();
+  emit(std::move(Norm));
+  Instr Set;
+  Set.Op = Opcode::Copy;
+  Set.Ty = TypeKind::Int;
+  Set.Dst = Dst;
+  Set.A = Operand::local(BoolT);
+  Set.Loc = B.loc();
+  emit(std::move(Set));
+  emitJmp(JoinBB);
+
+  CurBB = JoinBB;
+  return Operand::local(Dst);
+}
+
+Operand Lowering::lowerAssign(const AssignExpr &A) {
+  switch (A.Target->getKind()) {
+  case Expr::Kind::VarRef: {
+    const auto &Ref = static_cast<const VarRefExpr &>(*A.Target);
+    Operand Value = lowerExprValue(*A.Value);
+    Value = convert(Value, Ref.Var->Type, A.loc());
+    Operand Slot = varSlot(Ref.Var);
+    Instr I;
+    I.Op = Opcode::Copy;
+    I.Ty = Ref.Var->Type;
+    assert(Slot.K == Operand::Kind::Local ||
+           Slot.K == Operand::Kind::Global);
+    if (Slot.K == Operand::Kind::Local) {
+      I.Dst = Slot.Index;
+      I.A = Value;
+      emit(std::move(I));
+    } else {
+      // Globals are written through a store to their location.
+      unsigned T = newTemp(pointerTo(Ref.Var->Type == TypeKind::Double
+                                         ? TypeKind::Double
+                                         : TypeKind::Int));
+      Instr Addr;
+      Addr.Op = Opcode::AddrOfVar;
+      Addr.Ty = F->Locals[T].Type;
+      Addr.Dst = T;
+      Addr.A = Slot;
+      Addr.Loc = A.loc();
+      emit(std::move(Addr));
+      Instr St;
+      St.Op = Opcode::Store;
+      St.Ty = Ref.Var->Type;
+      St.A = Operand::local(T);
+      St.B = Operand::constInt(0);
+      St.C = Value;
+      St.Loc = A.loc();
+      emit(std::move(St));
+    }
+    return Value;
+  }
+  case Expr::Kind::Index: {
+    const auto &Ix = static_cast<const IndexExpr &>(*A.Target);
+    Operand Ptr = lowerBasePointer(*Ix.Base);
+    Operand Idx = lowerExprValue(*Ix.Index);
+    Operand Value = lowerExprValue(*A.Value);
+    Value = convert(Value, A.Target->Type, A.loc());
+    Instr I;
+    I.Op = Opcode::Store;
+    I.Ty = A.Target->Type;
+    I.A = Ptr;
+    I.B = Idx;
+    I.C = Value;
+    I.Loc = A.loc();
+    emit(std::move(I));
+    return Value;
+  }
+  case Expr::Kind::Deref: {
+    const auto &D = static_cast<const DerefExpr &>(*A.Target);
+    Operand Ptr = lowerExprValue(*D.Pointer);
+    Operand Value = lowerExprValue(*A.Value);
+    Value = convert(Value, A.Target->Type, A.loc());
+    Instr I;
+    I.Op = Opcode::Store;
+    I.Ty = A.Target->Type;
+    I.A = Ptr;
+    I.B = Operand::constInt(0);
+    I.C = Value;
+    I.Loc = A.loc();
+    emit(std::move(I));
+    return Value;
+  }
+  default:
+    assert(false && "sema rejects other assignment targets");
+    return Operand::none();
+  }
+}
+
+Operand Lowering::lowerCall(const CallExpr &Call) {
+  const auto &Callee = static_cast<const VarRefExpr &>(*Call.Callee);
+
+  // Builtins first: they are straight-line instructions.
+  switch (Call.BuiltinKind) {
+  case CallExpr::Builtin::IoRead: {
+    unsigned T = newTemp(TypeKind::Int);
+    Instr I;
+    I.Op = Opcode::IoRead;
+    I.Ty = TypeKind::Int;
+    I.Dst = T;
+    I.Loc = Call.loc();
+    emit(std::move(I));
+    return Operand::local(T);
+  }
+  case CallExpr::Builtin::IoWrite: {
+    Operand V = lowerExprValue(*Call.Args[0]);
+    Instr I;
+    I.Op = Opcode::IoWrite;
+    I.Ty = Call.Args[0]->Type;
+    I.A = V;
+    I.Loc = Call.loc();
+    emit(std::move(I));
+    return Operand::none();
+  }
+  case CallExpr::Builtin::IoReadBuf:
+  case CallExpr::Builtin::IoWriteBuf: {
+    Operand Ptr = lowerBasePointer(*Call.Args[0]);
+    Operand Count = lowerExprValue(*Call.Args[1]);
+    Instr I;
+    I.Op = Call.BuiltinKind == CallExpr::Builtin::IoReadBuf
+               ? Opcode::IoReadBuf
+               : Opcode::IoWriteBuf;
+    I.Ty = Call.Args[0]->Type;
+    I.A = Ptr;
+    I.B = Count;
+    I.Loc = Call.loc();
+    emit(std::move(I));
+    return Operand::none();
+  }
+  case CallExpr::Builtin::Malloc: {
+    Operand Count = lowerExprValue(*Call.Args[0]);
+    unsigned Site = static_cast<unsigned>(M->AllocSites.size());
+    AllocSiteInfo SiteInfo;
+    SiteInfo.SizeElems = Info.MallocSize.at(&Call);
+    SiteInfo.ExecCount = CurCount;
+    SiteInfo.ElemType = isPointerType(Call.Type) ? pointeeType(Call.Type)
+                                                 : TypeKind::Int;
+    SiteInfo.Loc = Call.loc();
+    M->AllocSites.push_back(std::move(SiteInfo));
+    unsigned T = newTemp(Call.Type);
+    Instr I;
+    I.Op = Opcode::Malloc;
+    I.Ty = Call.Type;
+    I.Dst = T;
+    I.A = Count;
+    I.AllocSite = Site;
+    I.Loc = Call.loc();
+    emit(std::move(I));
+    return Operand::local(T);
+  }
+  case CallExpr::Builtin::None:
+    break;
+  }
+
+  // Direct or indirect call: a block terminator with a continuation.
+  Instr I;
+  I.Loc = Call.loc();
+  Operand Result = Operand::none();
+  if (Callee.Function) {
+    const FuncDecl *Target = Callee.Function;
+    I.Op = Opcode::Call;
+    I.Callee = FuncIndex.at(Target);
+    I.Ty = Target->ReturnType;
+    for (size_t Idx = 0; Idx != Call.Args.size(); ++Idx) {
+      Operand Arg = lowerExprValue(*Call.Args[Idx]);
+      Arg = convert(Arg, Target->Params[Idx]->Type, Call.loc());
+      I.Args.push_back(Arg);
+    }
+    if (Target->ReturnType != TypeKind::Void) {
+      unsigned T = newTemp(Target->ReturnType);
+      I.Dst = T;
+      Result = Operand::local(T);
+    }
+  } else {
+    I.Op = Opcode::CallInd;
+    I.Ty = TypeKind::Void;
+    I.A = varSlot(Callee.Var);
+  }
+  unsigned Cont = newBlock(CurCount);
+  I.Succ0 = Cont;
+  unsigned From = CurBB;
+  emit(std::move(I));
+  recordEdge(From, Cont, CurCount);
+  CurBB = Cont;
+  return Result;
+}
+
+Operand Lowering::lowerTernary(const TernaryExpr &T) {
+  Operand Cond = lowerExprValue(*T.Cond);
+  unsigned Dst = newTemp(T.Type);
+  unsigned ThenBB = newBlock(CurCount);
+  unsigned ElseBB = newBlock(CurCount);
+  unsigned JoinBB = newBlock(CurCount);
+  Instr Branch;
+  Branch.Op = Opcode::Br;
+  Branch.A = Cond;
+  Branch.Succ0 = ThenBB;
+  Branch.Succ1 = ElseBB;
+  Branch.Loc = T.loc();
+  unsigned From = CurBB;
+  emit(std::move(Branch));
+  recordEdge(From, ThenBB, CurCount);
+  recordEdge(From, ElseBB, CurCount);
+
+  CurBB = ThenBB;
+  Operand ThenV = convert(lowerExprValue(*T.Then), T.Type, T.loc());
+  Instr CopyThen;
+  CopyThen.Op = Opcode::Copy;
+  CopyThen.Ty = T.Type;
+  CopyThen.Dst = Dst;
+  CopyThen.A = ThenV;
+  emit(std::move(CopyThen));
+  emitJmp(JoinBB);
+
+  CurBB = ElseBB;
+  Operand ElseV = convert(lowerExprValue(*T.Else), T.Type, T.loc());
+  Instr CopyElse;
+  CopyElse.Op = Opcode::Copy;
+  CopyElse.Ty = T.Type;
+  CopyElse.Dst = Dst;
+  CopyElse.A = ElseV;
+  emit(std::move(CopyElse));
+  emitJmp(JoinBB);
+
+  CurBB = JoinBB;
+  return Operand::local(Dst);
+}
+
+void Lowering::lowerStmt(const Stmt &S) {
+  switch (S.getKind()) {
+  case Stmt::Kind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
+      lowerStmt(*Child);
+    return;
+  case Stmt::Kind::DeclStmt: {
+    const auto &D = static_cast<const DeclStmt &>(S);
+    unsigned Slot = addLocal(D.Var->Name, D.Var->Type, D.Var->IsArray,
+                             D.Var->ArraySize, /*IsTemp=*/false);
+    VarSlots[D.Var.get()] = Operand::local(Slot);
+    if (D.InitExpr) {
+      Operand Value = lowerExprValue(*D.InitExpr);
+      Value = convert(Value, D.Var->Type, S.loc());
+      Instr I;
+      I.Op = Opcode::Copy;
+      I.Ty = D.Var->Type;
+      I.Dst = Slot;
+      I.A = Value;
+      I.Loc = S.loc();
+      emit(std::move(I));
+    }
+    return;
+  }
+  case Stmt::Kind::ExprStmt:
+    lowerExprValue(*static_cast<const ExprStmt &>(S).E);
+    return;
+  case Stmt::Kind::If:
+    lowerIf(static_cast<const IfStmt &>(S));
+    return;
+  case Stmt::Kind::While:
+    lowerWhile(static_cast<const WhileStmt &>(S));
+    return;
+  case Stmt::Kind::For:
+    lowerFor(static_cast<const ForStmt &>(S));
+    return;
+  case Stmt::Kind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    Instr I;
+    I.Op = Opcode::Ret;
+    I.Loc = S.loc();
+    if (R.Value) {
+      Operand V = lowerExprValue(*R.Value);
+      I.A = convert(V, F->RetType, S.loc());
+    }
+    emit(std::move(I));
+    CurCount = LinExpr();
+    CurBB = newBlock(CurCount); // unreachable continuation
+    return;
+  }
+  case Stmt::Kind::Break: {
+    assert(!BreakTargets.empty() && "sema rejects stray break");
+    emitJmp(BreakTargets.back());
+    CurCount = LinExpr();
+    CurBB = newBlock(CurCount);
+    return;
+  }
+  case Stmt::Kind::Continue: {
+    assert(!ContinueTargets.empty() && "sema rejects stray continue");
+    emitJmp(ContinueTargets.back());
+    CurCount = LinExpr();
+    CurBB = newBlock(CurCount);
+    return;
+  }
+  }
+}
+
+void Lowering::lowerIf(const IfStmt &S) {
+  LinExpr Freq = Info.IfFreq.at(&S);
+  LinExpr Count = CurCount;
+  LinExpr ThenCount = LinExpr::mul(Count, Freq, Space);
+  LinExpr ElseCount =
+      LinExpr::mul(Count, LinExpr::constant(1) - Freq, Space);
+
+  Operand Cond = lowerExprValue(*S.Cond);
+  unsigned ThenBB = newBlock(ThenCount);
+  unsigned JoinBB = KNone;
+  unsigned ElseBB = KNone;
+  if (S.Else) {
+    ElseBB = newBlock(ElseCount);
+    JoinBB = newBlock(Count);
+  } else {
+    JoinBB = newBlock(Count);
+  }
+  Instr Branch;
+  Branch.Op = Opcode::Br;
+  Branch.A = Cond;
+  Branch.Succ0 = ThenBB;
+  Branch.Succ1 = S.Else ? ElseBB : JoinBB;
+  Branch.Loc = S.loc();
+  unsigned From = CurBB;
+  emit(std::move(Branch));
+  recordEdge(From, ThenBB, ThenCount);
+  recordEdge(From, S.Else ? ElseBB : JoinBB, ElseCount);
+
+  CurBB = ThenBB;
+  CurCount = ThenCount;
+  lowerStmt(*S.Then);
+  if (blockOpen())
+    emitJmp(JoinBB);
+
+  if (S.Else) {
+    CurBB = ElseBB;
+    CurCount = ElseCount;
+    lowerStmt(*S.Else);
+    if (blockOpen())
+      emitJmp(JoinBB);
+  }
+
+  CurBB = JoinBB;
+  CurCount = Count;
+}
+
+void Lowering::lowerWhile(const WhileStmt &S) {
+  LinExpr Trip = Info.LoopTrip.at(&S);
+  LinExpr Count = CurCount;
+  LinExpr BodyCount = LinExpr::mul(Count, Trip, Space);
+  LinExpr HeaderCount = BodyCount + Count;
+
+  unsigned HeaderBB = newBlock(HeaderCount);
+  unsigned BodyBB = newBlock(BodyCount);
+  unsigned ExitBB = newBlock(Count);
+  emitJmp(HeaderBB);
+
+  CurBB = HeaderBB;
+  CurCount = HeaderCount;
+  Operand Cond = lowerExprValue(*S.Cond);
+  Instr Branch;
+  Branch.Op = Opcode::Br;
+  Branch.A = Cond;
+  Branch.Succ0 = BodyBB;
+  Branch.Succ1 = ExitBB;
+  Branch.Loc = S.loc();
+  unsigned From = CurBB;
+  emit(std::move(Branch));
+  recordEdge(From, BodyBB, BodyCount);
+  recordEdge(From, ExitBB, Count);
+
+  CurBB = BodyBB;
+  CurCount = BodyCount;
+  BreakTargets.push_back(ExitBB);
+  ContinueTargets.push_back(HeaderBB);
+  lowerStmt(*S.Body);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+  if (blockOpen())
+    emitJmp(HeaderBB);
+
+  CurBB = ExitBB;
+  CurCount = Count;
+}
+
+void Lowering::lowerFor(const ForStmt &S) {
+  if (S.Init)
+    lowerStmt(*S.Init);
+
+  LinExpr Trip = Info.LoopTrip.at(&S);
+  LinExpr Count = CurCount;
+  LinExpr BodyCount = LinExpr::mul(Count, Trip, Space);
+  LinExpr HeaderCount = BodyCount + Count;
+
+  unsigned HeaderBB = newBlock(HeaderCount);
+  unsigned BodyBB = newBlock(BodyCount);
+  unsigned StepBB = newBlock(BodyCount);
+  unsigned ExitBB = newBlock(Count);
+  emitJmp(HeaderBB);
+
+  CurBB = HeaderBB;
+  CurCount = HeaderCount;
+  if (S.Cond) {
+    Operand Cond = lowerExprValue(*S.Cond);
+    Instr Branch;
+    Branch.Op = Opcode::Br;
+    Branch.A = Cond;
+    Branch.Succ0 = BodyBB;
+    Branch.Succ1 = ExitBB;
+    Branch.Loc = S.loc();
+    unsigned From = CurBB;
+    emit(std::move(Branch));
+    recordEdge(From, BodyBB, BodyCount);
+    recordEdge(From, ExitBB, Count);
+  } else {
+    CurCount = BodyCount;
+    emitJmp(BodyBB);
+  }
+
+  CurBB = BodyBB;
+  CurCount = BodyCount;
+  BreakTargets.push_back(ExitBB);
+  ContinueTargets.push_back(StepBB);
+  lowerStmt(*S.Body);
+  BreakTargets.pop_back();
+  ContinueTargets.pop_back();
+  if (blockOpen())
+    emitJmp(StepBB);
+
+  CurBB = StepBB;
+  CurCount = BodyCount;
+  if (S.Step)
+    lowerExprValue(*S.Step);
+  emitJmp(HeaderBB);
+
+  CurBB = ExitBB;
+  CurCount = Count;
+}
+
+} // namespace
+
+std::unique_ptr<IRModule> paco::lowerProgram(const Program &Prog,
+                                             const SymbolicInfo &Info,
+                                             ParamSpace &Space,
+                                             DiagEngine &Diags) {
+  Lowering L(Prog, Info, Space, Diags);
+  return L.run();
+}

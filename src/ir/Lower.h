@@ -1,0 +1,32 @@
+//===- ir/Lower.h - AST to IR lowering -------------------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked MiniC Program into an IRModule, consuming the
+/// SymbolicInfo flow analysis to stamp every basic block and CFG edge
+/// with its symbolic execution count and every malloc site with its
+/// symbolic size -- the inputs of the parametric cost analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_IR_LOWER_H
+#define PACO_IR_LOWER_H
+
+#include "ir/IR.h"
+#include "lang/Symbolics.h"
+
+namespace paco {
+
+/// Lowers \p Prog to IR. Requires successful sema and symbolic analysis.
+/// Short-circuit and ternary subexpressions are counted at their parent
+/// block's frequency (a documented over-approximation of the cost model).
+std::unique_ptr<IRModule> lowerProgram(const Program &Prog,
+                                       const SymbolicInfo &Info,
+                                       ParamSpace &Space, DiagEngine &Diags);
+
+} // namespace paco
+
+#endif // PACO_IR_LOWER_H

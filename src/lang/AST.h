@@ -1,0 +1,372 @@
+//===- lang/AST.h - MiniC abstract syntax tree -----------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MiniC. Nodes use a Kind enum discriminator in
+/// the LLVM style (no RTTI); ownership is expressed with unique_ptr and
+/// the tree is immutable after semantic analysis apart from the
+/// resolution fields Sema fills in (symbol links and computed types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_LANG_AST_H
+#define PACO_LANG_AST_H
+
+#include "lang/Token.h"
+
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace paco {
+
+/// MiniC value types. Pointers are one level deep; `func` is a value that
+/// names a `void(void)` function, used for indirect calls (the paper's
+/// Figure-1 encoder dispatch).
+enum class TypeKind {
+  Void,
+  Int,
+  Double,
+  IntPtr,
+  DoublePtr,
+  Func,
+};
+
+/// \returns true for `int*` or `double*`.
+inline bool isPointerType(TypeKind T) {
+  return T == TypeKind::IntPtr || T == TypeKind::DoublePtr;
+}
+
+/// \returns the pointee of a pointer type.
+inline TypeKind pointeeType(TypeKind T) {
+  assert(isPointerType(T) && "not a pointer type");
+  return T == TypeKind::IntPtr ? TypeKind::Int : TypeKind::Double;
+}
+
+/// \returns the pointer type to \p T.
+inline TypeKind pointerTo(TypeKind T) {
+  assert((T == TypeKind::Int || T == TypeKind::Double) &&
+         "unsupported pointee");
+  return T == TypeKind::Int ? TypeKind::IntPtr : TypeKind::DoublePtr;
+}
+
+const char *typeName(TypeKind T);
+
+class FuncDecl;
+class VarDecl;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Expression base. Type is filled in by Sema.
+class Expr {
+public:
+  enum class Kind {
+    IntLit,
+    FloatLit,
+    VarRef,
+    Unary,
+    Binary,
+    Assign,
+    Call,
+    Index,
+    Deref,
+    AddrOf,
+    Ternary,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+  TypeKind Type = TypeKind::Void; ///< Set by Sema.
+
+  virtual ~Expr() = default;
+
+protected:
+  Expr(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(Kind::IntLit, Loc), Value(Value) {}
+  int64_t Value;
+};
+
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(double Value, SourceLoc Loc)
+      : Expr(Kind::FloatLit, Loc), Value(Value) {}
+  double Value;
+};
+
+/// A name reference; Sema resolves it to a variable, run-time parameter,
+/// or function (for `func` values and direct calls).
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, SourceLoc Loc)
+      : Expr(Kind::VarRef, Loc), Name(std::move(Name)) {}
+  std::string Name;
+  VarDecl *Var = nullptr;        ///< Set by Sema when naming a variable.
+  FuncDecl *Function = nullptr;  ///< Set by Sema when naming a function.
+  int ParamIndex = -1;           ///< Set by Sema for run-time parameters.
+};
+
+enum class UnaryOp { Neg, Not, BitNot };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(Kind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp Op;
+  ExprPtr Operand;
+};
+
+enum class BinaryOp {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  LAnd, LOr,
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr LHS, ExprPtr RHS, SourceLoc Loc)
+      : Expr(Kind::Binary, Loc), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+  BinaryOp Op;
+  ExprPtr LHS;
+  ExprPtr RHS;
+};
+
+/// Assignment `lhs = rhs` where lhs is a VarRef, Index or Deref.
+class AssignExpr : public Expr {
+public:
+  AssignExpr(ExprPtr Target, ExprPtr Value, SourceLoc Loc)
+      : Expr(Kind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  ExprPtr Target;
+  ExprPtr Value;
+};
+
+/// A call `callee(args)`. The callee expression is a VarRef naming either
+/// a function (direct call), a `func` variable (indirect call) or a
+/// builtin (io_*, malloc).
+class CallExpr : public Expr {
+public:
+  enum class Builtin { None, IoRead, IoWrite, IoReadBuf, IoWriteBuf, Malloc };
+
+  CallExpr(ExprPtr Callee, std::vector<ExprPtr> Args, SourceLoc Loc)
+      : Expr(Kind::Call, Loc), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+  ExprPtr Callee;
+  std::vector<ExprPtr> Args;
+  Builtin BuiltinKind = Builtin::None; ///< Set by Sema.
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(Kind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  ExprPtr Base;
+  ExprPtr Index;
+};
+
+class DerefExpr : public Expr {
+public:
+  DerefExpr(ExprPtr Pointer, SourceLoc Loc)
+      : Expr(Kind::Deref, Loc), Pointer(std::move(Pointer)) {}
+  ExprPtr Pointer;
+};
+
+class AddrOfExpr : public Expr {
+public:
+  AddrOfExpr(ExprPtr Operand, SourceLoc Loc)
+      : Expr(Kind::AddrOf, Loc), Operand(std::move(Operand)) {}
+  ExprPtr Operand; ///< Must resolve to a variable (scalar or array).
+};
+
+class TernaryExpr : public Expr {
+public:
+  TernaryExpr(ExprPtr Cond, ExprPtr Then, ExprPtr Else, SourceLoc Loc)
+      : Expr(Kind::Ternary, Loc), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+  ExprPtr Cond;
+  ExprPtr Then;
+  ExprPtr Else;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and statements
+//===----------------------------------------------------------------------===//
+
+/// A variable: global, local, or function parameter. Arrays carry a
+/// constant element count.
+class VarDecl {
+public:
+  std::string Name;
+  TypeKind Type = TypeKind::Int;
+  SourceLoc Loc;
+  bool IsGlobal = false;
+  bool IsArray = false;
+  int64_t ArraySize = 0;
+  /// Constant initializer values for global scalars/arrays.
+  std::vector<ExprPtr> Init;
+};
+
+class Stmt {
+public:
+  enum class Kind {
+    Block,
+    DeclStmt,
+    ExprStmt,
+    If,
+    While,
+    For,
+    Return,
+    Break,
+    Continue,
+  };
+
+  Kind getKind() const { return TheKind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// @trip / @cond annotation attached to this statement (loops and ifs).
+  ExprPtr TripAnnot;
+  ExprPtr CondAnnot;
+
+  virtual ~Stmt() = default;
+
+protected:
+  Stmt(Kind K, SourceLoc Loc) : TheKind(K), Loc(Loc) {}
+
+private:
+  Kind TheKind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt : public Stmt {
+public:
+  explicit BlockStmt(SourceLoc Loc) : Stmt(Kind::Block, Loc) {}
+  std::vector<StmtPtr> Body;
+};
+
+/// Local variable declaration with an optional initializer. A @size
+/// annotation on a malloc initializer gives its symbolic size.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(std::unique_ptr<VarDecl> Var, ExprPtr InitExpr, SourceLoc Loc)
+      : Stmt(Kind::DeclStmt, Loc), Var(std::move(Var)),
+        InitExpr(std::move(InitExpr)) {}
+  std::unique_ptr<VarDecl> Var;
+  ExprPtr InitExpr;
+  ExprPtr SizeAnnot; ///< @size(expr) for the malloc in InitExpr.
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc)
+      : Stmt(Kind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprPtr E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(Kind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(Kind::While, Loc), Cond(std::move(Cond)), Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr InitStmt, ExprPtr Cond, ExprPtr Step, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(Kind::For, Loc), Init(std::move(InitStmt)),
+        Cond(std::move(Cond)), Step(std::move(Step)), Body(std::move(Body)) {}
+  StmtPtr Init; ///< DeclStmt or ExprStmt; may be null.
+  ExprPtr Cond; ///< May be null (infinite loop).
+  ExprPtr Step; ///< May be null.
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(Kind::Return, Loc), Value(std::move(Value)) {}
+  ExprPtr Value; ///< May be null.
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(Kind::Break, Loc) {}
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(Kind::Continue, Loc) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Top level
+//===----------------------------------------------------------------------===//
+
+class FuncDecl {
+public:
+  std::string Name;
+  TypeKind ReturnType = TypeKind::Void;
+  SourceLoc Loc;
+  std::vector<std::unique_ptr<VarDecl>> Params;
+  std::unique_ptr<BlockStmt> Body;
+};
+
+/// A declared run-time parameter `param int name in [lo, hi];`.
+struct RuntimeParamDecl {
+  std::string Name;
+  int64_t Lower = 0;
+  int64_t Upper = 0;
+  SourceLoc Loc;
+};
+
+/// A whole translation unit.
+class Program {
+public:
+  std::vector<RuntimeParamDecl> RuntimeParams;
+  std::vector<std::unique_ptr<VarDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Functions;
+
+  /// \returns the function named \p Name, or null.
+  FuncDecl *findFunction(const std::string &Name) const {
+    for (const auto &F : Functions)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+};
+
+} // namespace paco
+
+#endif // PACO_LANG_AST_H

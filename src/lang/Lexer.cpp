@@ -1,0 +1,317 @@
+//===- lang/Lexer.cpp - MiniC lexer ---------------------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace paco;
+
+const char *paco::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Identifier:     return "identifier";
+  case TokKind::IntLiteral:     return "integer literal";
+  case TokKind::FloatLiteral:   return "floating literal";
+  case TokKind::KwInt:          return "'int'";
+  case TokKind::KwDouble:       return "'double'";
+  case TokKind::KwVoid:         return "'void'";
+  case TokKind::KwFunc:         return "'func'";
+  case TokKind::KwIf:           return "'if'";
+  case TokKind::KwElse:         return "'else'";
+  case TokKind::KwWhile:        return "'while'";
+  case TokKind::KwFor:          return "'for'";
+  case TokKind::KwReturn:       return "'return'";
+  case TokKind::KwBreak:        return "'break'";
+  case TokKind::KwContinue:     return "'continue'";
+  case TokKind::KwParam:        return "'param'";
+  case TokKind::KwIn:           return "'in'";
+  case TokKind::AtTrip:         return "'@trip'";
+  case TokKind::AtCond:         return "'@cond'";
+  case TokKind::AtSize:         return "'@size'";
+  case TokKind::LParen:         return "'('";
+  case TokKind::RParen:         return "')'";
+  case TokKind::LBrace:         return "'{'";
+  case TokKind::RBrace:         return "'}'";
+  case TokKind::LBracket:       return "'['";
+  case TokKind::RBracket:       return "']'";
+  case TokKind::Comma:          return "','";
+  case TokKind::Semicolon:      return "';'";
+  case TokKind::Question:       return "'?'";
+  case TokKind::Colon:          return "':'";
+  case TokKind::Plus:           return "'+'";
+  case TokKind::Minus:          return "'-'";
+  case TokKind::Star:           return "'*'";
+  case TokKind::Slash:          return "'/'";
+  case TokKind::Percent:        return "'%'";
+  case TokKind::Amp:            return "'&'";
+  case TokKind::Pipe:           return "'|'";
+  case TokKind::Caret:          return "'^'";
+  case TokKind::Tilde:          return "'~'";
+  case TokKind::Bang:           return "'!'";
+  case TokKind::Less:           return "'<'";
+  case TokKind::Greater:        return "'>'";
+  case TokKind::LessEqual:      return "'<='";
+  case TokKind::GreaterEqual:   return "'>='";
+  case TokKind::EqualEqual:     return "'=='";
+  case TokKind::BangEqual:      return "'!='";
+  case TokKind::AmpAmp:         return "'&&'";
+  case TokKind::PipePipe:       return "'||'";
+  case TokKind::LessLess:       return "'<<'";
+  case TokKind::GreaterGreater: return "'>>'";
+  case TokKind::Equal:          return "'='";
+  case TokKind::PlusEqual:      return "'+='";
+  case TokKind::MinusEqual:     return "'-='";
+  case TokKind::StarEqual:      return "'*='";
+  case TokKind::SlashEqual:     return "'/='";
+  case TokKind::PercentEqual:   return "'%='";
+  case TokKind::AmpEqual:       return "'&='";
+  case TokKind::PipeEqual:      return "'|='";
+  case TokKind::CaretEqual:     return "'^='";
+  case TokKind::LessLessEqual:  return "'<<='";
+  case TokKind::GreaterGreaterEqual: return "'>>='";
+  case TokKind::PlusPlus:       return "'++'";
+  case TokKind::MinusMinus:     return "'--'";
+  case TokKind::Eof:            return "end of input";
+  case TokKind::Error:          return "invalid token";
+  }
+  return "unknown token";
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  while (true) {
+    Token Tok = next();
+    bool Done = Tok.is(TokKind::Eof);
+    Tokens.push_back(std::move(Tok));
+    if (Done)
+      break;
+  }
+  return Tokens;
+}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (Pos < Source.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Source.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start{Line, Column};
+      advance();
+      advance();
+      while (Pos < Source.size() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (Pos >= Source.size()) {
+        Diags.error(Start, "unterminated block comment");
+        return;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, SourceLoc Loc) const {
+  Token Tok;
+  Tok.Kind = Kind;
+  Tok.Loc = Loc;
+  return Tok;
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc Loc{Line, Column};
+  if (Pos >= Source.size())
+    return makeToken(TokKind::Eof, Loc);
+  char C = advance();
+  if (std::isdigit(static_cast<unsigned char>(C)) ||
+      (C == '.' && std::isdigit(static_cast<unsigned char>(peek())))) {
+    --Pos;
+    --Column;
+    return lexNumber(Loc);
+  }
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    --Pos;
+    --Column;
+    return lexIdentifier(Loc);
+  }
+  switch (C) {
+  case '@': return lexAnnotation(Loc);
+  case '(': return makeToken(TokKind::LParen, Loc);
+  case ')': return makeToken(TokKind::RParen, Loc);
+  case '{': return makeToken(TokKind::LBrace, Loc);
+  case '}': return makeToken(TokKind::RBrace, Loc);
+  case '[': return makeToken(TokKind::LBracket, Loc);
+  case ']': return makeToken(TokKind::RBracket, Loc);
+  case ',': return makeToken(TokKind::Comma, Loc);
+  case ';': return makeToken(TokKind::Semicolon, Loc);
+  case '?': return makeToken(TokKind::Question, Loc);
+  case ':': return makeToken(TokKind::Colon, Loc);
+  case '~': return makeToken(TokKind::Tilde, Loc);
+  case '^':
+    return makeToken(match('=') ? TokKind::CaretEqual : TokKind::Caret, Loc);
+  case '%':
+    return makeToken(match('=') ? TokKind::PercentEqual : TokKind::Percent,
+                     Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokKind::PlusPlus, Loc);
+    return makeToken(match('=') ? TokKind::PlusEqual : TokKind::Plus, Loc);
+  case '-':
+    if (match('-'))
+      return makeToken(TokKind::MinusMinus, Loc);
+    return makeToken(match('=') ? TokKind::MinusEqual : TokKind::Minus, Loc);
+  case '*':
+    return makeToken(match('=') ? TokKind::StarEqual : TokKind::Star, Loc);
+  case '/':
+    return makeToken(match('=') ? TokKind::SlashEqual : TokKind::Slash, Loc);
+  case '!':
+    return makeToken(match('=') ? TokKind::BangEqual : TokKind::Bang, Loc);
+  case '=':
+    return makeToken(match('=') ? TokKind::EqualEqual : TokKind::Equal, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokKind::AmpAmp, Loc);
+    return makeToken(match('=') ? TokKind::AmpEqual : TokKind::Amp, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokKind::PipePipe, Loc);
+    return makeToken(match('=') ? TokKind::PipeEqual : TokKind::Pipe, Loc);
+  case '<':
+    if (match('='))
+      return makeToken(TokKind::LessEqual, Loc);
+    if (match('<'))
+      return makeToken(match('=') ? TokKind::LessLessEqual
+                                  : TokKind::LessLess,
+                       Loc);
+    return makeToken(TokKind::Less, Loc);
+  case '>':
+    if (match('='))
+      return makeToken(TokKind::GreaterEqual, Loc);
+    if (match('>'))
+      return makeToken(match('=') ? TokKind::GreaterGreaterEqual
+                                  : TokKind::GreaterGreater,
+                       Loc);
+    return makeToken(TokKind::Greater, Loc);
+  default:
+    Diags.error(Loc, std::string("unexpected character '") + C + "'");
+    return makeToken(TokKind::Error, Loc);
+  }
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Start = Pos;
+  bool IsFloat = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+    Token Tok = makeToken(TokKind::IntLiteral, Loc);
+    Tok.IntValue = static_cast<int64_t>(
+        std::strtoull(Source.substr(Start, Pos - Start).c_str(), nullptr, 16));
+    return Tok;
+  }
+  while (std::isdigit(static_cast<unsigned char>(peek())))
+    advance();
+  if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+    IsFloat = true;
+    advance();
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+  }
+  if (peek() == 'e' || peek() == 'E') {
+    size_t Mark = Pos;
+    advance();
+    if (peek() == '+' || peek() == '-')
+      advance();
+    if (std::isdigit(static_cast<unsigned char>(peek()))) {
+      IsFloat = true;
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    } else {
+      Pos = Mark; // Not an exponent after all; leave 'e' for the caller.
+    }
+  }
+  std::string Text = Source.substr(Start, Pos - Start);
+  if (IsFloat) {
+    Token Tok = makeToken(TokKind::FloatLiteral, Loc);
+    Tok.FloatValue = std::strtod(Text.c_str(), nullptr);
+    return Tok;
+  }
+  Token Tok = makeToken(TokKind::IntLiteral, Loc);
+  Tok.IntValue = static_cast<int64_t>(std::strtoll(Text.c_str(), nullptr, 10));
+  return Tok;
+}
+
+Token Lexer::lexIdentifier(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text = Source.substr(Start, Pos - Start);
+  static const std::map<std::string, TokKind> Keywords = {
+      {"int", TokKind::KwInt},         {"double", TokKind::KwDouble},
+      {"void", TokKind::KwVoid},       {"func", TokKind::KwFunc},
+      {"if", TokKind::KwIf},           {"else", TokKind::KwElse},
+      {"while", TokKind::KwWhile},     {"for", TokKind::KwFor},
+      {"return", TokKind::KwReturn},   {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"param", TokKind::KwParam},
+      {"in", TokKind::KwIn}};
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    return makeToken(It->second, Loc);
+  Token Tok = makeToken(TokKind::Identifier, Loc);
+  Tok.Text = std::move(Text);
+  return Tok;
+}
+
+Token Lexer::lexAnnotation(SourceLoc Loc) {
+  size_t Start = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  std::string Text = Source.substr(Start, Pos - Start);
+  if (Text == "trip")
+    return makeToken(TokKind::AtTrip, Loc);
+  if (Text == "cond")
+    return makeToken(TokKind::AtCond, Loc);
+  if (Text == "size")
+    return makeToken(TokKind::AtSize, Loc);
+  Diags.error(Loc, "unknown annotation '@" + Text +
+                       "'. Valid: @trip, @cond, @size");
+  return makeToken(TokKind::Error, Loc);
+}

@@ -1,0 +1,53 @@
+//===- lang/Lexer.h - MiniC lexer ------------------------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Supports // and /* */ comments, decimal
+/// and hexadecimal integers, floating literals, and @-prefixed annotation
+/// keywords.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_LANG_LEXER_H
+#define PACO_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <vector>
+
+namespace paco {
+
+/// Lexes a whole MiniC buffer into tokens (always terminated by Eof).
+class Lexer {
+public:
+  Lexer(std::string Source, DiagEngine &Diags)
+      : Source(std::move(Source)), Diags(Diags) {}
+
+  /// Lexes the entire buffer. Errors are reported to the DiagEngine and
+  /// produce Error tokens.
+  std::vector<Token> lexAll();
+
+private:
+  Token next();
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  Token makeToken(TokKind Kind, SourceLoc Loc) const;
+  Token lexNumber(SourceLoc Loc);
+  Token lexIdentifier(SourceLoc Loc);
+  Token lexAnnotation(SourceLoc Loc);
+
+  std::string Source;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace paco
+
+#endif // PACO_LANG_LEXER_H

@@ -1,0 +1,76 @@
+//===- lang/Parser.h - MiniC recursive-descent parser ----------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for MiniC producing the AST in lang/AST.h.
+/// Compound assignments and ++/-- are desugared into plain assignments
+/// during parsing so later phases see a minimal expression language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_LANG_PARSER_H
+#define PACO_LANG_PARSER_H
+
+#include "lang/AST.h"
+
+#include <optional>
+#include <vector>
+
+namespace paco {
+
+/// Parses a token stream into a Program. Returns null if any parse error
+/// was reported.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokKind Kind) const { return peek().is(Kind); }
+  bool accept(TokKind Kind);
+  bool expect(TokKind Kind, const char *Context);
+  void synchronizeToStmt();
+
+  bool parseTopLevel(Program &Prog);
+  bool parseRuntimeParam(Program &Prog);
+  std::optional<TypeKind> parseType(bool AllowVoid);
+  std::unique_ptr<FuncDecl> parseFunctionRest(TypeKind RetTy,
+                                              std::string Name, SourceLoc Loc);
+  std::unique_ptr<VarDecl> parseGlobalRest(TypeKind Ty, std::string Name,
+                                           SourceLoc Loc);
+
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseDeclStmt();
+  StmtPtr parseSimpleStmtForInit();
+
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseTernary();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagEngine &Diags;
+  size_t Pos = 0;
+};
+
+/// Convenience: lex + parse a source buffer.
+std::unique_ptr<Program> parseMiniC(const std::string &Source,
+                                    DiagEngine &Diags);
+
+} // namespace paco
+
+#endif // PACO_LANG_PARSER_H

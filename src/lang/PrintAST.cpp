@@ -1,0 +1,245 @@
+//===- lang/PrintAST.cpp - MiniC source printer ---------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/PrintAST.h"
+
+#include <cstdio>
+
+using namespace paco;
+
+namespace {
+
+const char *typeSpelling(TypeKind T) {
+  switch (T) {
+  case TypeKind::Void:      return "void";
+  case TypeKind::Int:       return "int";
+  case TypeKind::Double:    return "double";
+  case TypeKind::IntPtr:    return "int *";
+  case TypeKind::DoublePtr: return "double *";
+  case TypeKind::Func:      return "func";
+  }
+  return "?";
+}
+
+const char *binOpSpelling(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:  return "+";
+  case BinaryOp::Sub:  return "-";
+  case BinaryOp::Mul:  return "*";
+  case BinaryOp::Div:  return "/";
+  case BinaryOp::Rem:  return "%";
+  case BinaryOp::And:  return "&";
+  case BinaryOp::Or:   return "|";
+  case BinaryOp::Xor:  return "^";
+  case BinaryOp::Shl:  return "<<";
+  case BinaryOp::Shr:  return ">>";
+  case BinaryOp::Lt:   return "<";
+  case BinaryOp::Gt:   return ">";
+  case BinaryOp::Le:   return "<=";
+  case BinaryOp::Ge:   return ">=";
+  case BinaryOp::Eq:   return "==";
+  case BinaryOp::Ne:   return "!=";
+  case BinaryOp::LAnd: return "&&";
+  case BinaryOp::LOr:  return "||";
+  }
+  return "?";
+}
+
+std::string floatLiteral(double V) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", V);
+  std::string Text(Buffer);
+  // Ensure the literal re-lexes as a float.
+  if (Text.find('.') == std::string::npos &&
+      Text.find('e') == std::string::npos &&
+      Text.find("inf") == std::string::npos &&
+      Text.find("nan") == std::string::npos)
+    Text += ".0";
+  return Text;
+}
+
+std::string indentOf(unsigned Indent) { return std::string(Indent * 2, ' '); }
+
+} // namespace
+
+std::string paco::printExpr(const Expr &E) {
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+    return std::to_string(static_cast<const IntLitExpr &>(E).Value);
+  case Expr::Kind::FloatLit:
+    return floatLiteral(static_cast<const FloatLitExpr &>(E).Value);
+  case Expr::Kind::VarRef:
+    return static_cast<const VarRefExpr &>(E).Name;
+  case Expr::Kind::Unary: {
+    const auto &U = static_cast<const UnaryExpr &>(E);
+    const char *Op = U.Op == UnaryOp::Neg ? "-"
+                     : U.Op == UnaryOp::Not ? "!"
+                                            : "~";
+    return std::string(Op) + "(" + printExpr(*U.Operand) + ")";
+  }
+  case Expr::Kind::Binary: {
+    const auto &B = static_cast<const BinaryExpr &>(E);
+    return "(" + printExpr(*B.LHS) + " " + binOpSpelling(B.Op) + " " +
+           printExpr(*B.RHS) + ")";
+  }
+  case Expr::Kind::Assign: {
+    const auto &A = static_cast<const AssignExpr &>(E);
+    return printExpr(*A.Target) + " = " + printExpr(*A.Value);
+  }
+  case Expr::Kind::Call: {
+    const auto &C = static_cast<const CallExpr &>(E);
+    std::string Out = printExpr(*C.Callee) + "(";
+    for (size_t A = 0; A != C.Args.size(); ++A) {
+      if (A)
+        Out += ", ";
+      Out += printExpr(*C.Args[A]);
+    }
+    return Out + ")";
+  }
+  case Expr::Kind::Index: {
+    const auto &I = static_cast<const IndexExpr &>(E);
+    return printExpr(*I.Base) + "[" + printExpr(*I.Index) + "]";
+  }
+  case Expr::Kind::Deref:
+    return "*(" + printExpr(*static_cast<const DerefExpr &>(E).Pointer) +
+           ")";
+  case Expr::Kind::AddrOf:
+    return "&" + printExpr(*static_cast<const AddrOfExpr &>(E).Operand);
+  case Expr::Kind::Ternary: {
+    const auto &T = static_cast<const TernaryExpr &>(E);
+    return "(" + printExpr(*T.Cond) + " ? " + printExpr(*T.Then) + " : " +
+           printExpr(*T.Else) + ")";
+  }
+  }
+  return "?";
+}
+
+std::string paco::printStmt(const Stmt &S, unsigned Indent) {
+  std::string Pad = indentOf(Indent);
+  std::string Out;
+  if (S.TripAnnot)
+    Out += Pad + "@trip(" + printExpr(*S.TripAnnot) + ")\n";
+  if (S.CondAnnot)
+    Out += Pad + "@cond(" + printExpr(*S.CondAnnot) + ")\n";
+  switch (S.getKind()) {
+  case Stmt::Kind::Block: {
+    const auto &B = static_cast<const BlockStmt &>(S);
+    Out += Pad + "{\n";
+    for (const StmtPtr &Child : B.Body)
+      Out += printStmt(*Child, Indent + 1);
+    Out += Pad + "}\n";
+    return Out;
+  }
+  case Stmt::Kind::DeclStmt: {
+    const auto &D = static_cast<const DeclStmt &>(S);
+    if (D.SizeAnnot)
+      Out += Pad + "@size(" + printExpr(*D.SizeAnnot) + ")\n";
+    Out += Pad + std::string(typeSpelling(D.Var->Type)) + " " + D.Var->Name;
+    if (D.Var->IsArray)
+      Out += "[" + std::to_string(D.Var->ArraySize) + "]";
+    if (D.InitExpr)
+      Out += " = " + printExpr(*D.InitExpr);
+    Out += ";\n";
+    return Out;
+  }
+  case Stmt::Kind::ExprStmt:
+    return Out + Pad + printExpr(*static_cast<const ExprStmt &>(S).E) +
+           ";\n";
+  case Stmt::Kind::If: {
+    const auto &I = static_cast<const IfStmt &>(S);
+    Out += Pad + "if (" + printExpr(*I.Cond) + ")\n";
+    Out += printStmt(*I.Then, Indent + 1);
+    if (I.Else) {
+      Out += Pad + "else\n";
+      Out += printStmt(*I.Else, Indent + 1);
+    }
+    return Out;
+  }
+  case Stmt::Kind::While: {
+    const auto &W = static_cast<const WhileStmt &>(S);
+    Out += Pad + "while (" + printExpr(*W.Cond) + ")\n";
+    Out += printStmt(*W.Body, Indent + 1);
+    return Out;
+  }
+  case Stmt::Kind::For: {
+    const auto &F = static_cast<const ForStmt &>(S);
+    Out += Pad + "for (";
+    if (F.Init) {
+      std::string Init = printStmt(*F.Init, 0);
+      // Strip indentation and the trailing newline; keep the ';'.
+      while (!Init.empty() && (Init.back() == '\n' || Init.back() == ' '))
+        Init.pop_back();
+      Out += Init;
+    } else {
+      Out += ";";
+    }
+    Out += " ";
+    if (F.Cond)
+      Out += printExpr(*F.Cond);
+    Out += "; ";
+    if (F.Step)
+      Out += printExpr(*F.Step);
+    Out += ")\n";
+    Out += printStmt(*F.Body, Indent + 1);
+    return Out;
+  }
+  case Stmt::Kind::Return: {
+    const auto &R = static_cast<const ReturnStmt &>(S);
+    Out += Pad + "return";
+    if (R.Value)
+      Out += " " + printExpr(*R.Value);
+    return Out + ";\n";
+  }
+  case Stmt::Kind::Break:
+    return Out + Pad + "break;\n";
+  case Stmt::Kind::Continue:
+    return Out + Pad + "continue;\n";
+  }
+  return Out;
+}
+
+std::string paco::printProgram(const Program &Prog) {
+  std::string Out;
+  for (const RuntimeParamDecl &P : Prog.RuntimeParams)
+    Out += "param int " + P.Name + " in [" + std::to_string(P.Lower) + ", " +
+           std::to_string(P.Upper) + "];\n";
+  if (!Prog.RuntimeParams.empty())
+    Out += "\n";
+  for (const auto &G : Prog.Globals) {
+    Out += std::string(typeSpelling(G->Type)) + " " + G->Name;
+    if (G->IsArray)
+      Out += "[" + std::to_string(G->ArraySize) + "]";
+    if (!G->Init.empty()) {
+      if (G->IsArray) {
+        Out += " = {";
+        for (size_t I = 0; I != G->Init.size(); ++I) {
+          if (I)
+            Out += ", ";
+          Out += printExpr(*G->Init[I]);
+        }
+        Out += "}";
+      } else {
+        Out += " = " + printExpr(*G->Init[0]);
+      }
+    }
+    Out += ";\n";
+  }
+  if (!Prog.Globals.empty())
+    Out += "\n";
+  for (const auto &F : Prog.Functions) {
+    Out += std::string(typeSpelling(F->ReturnType)) + " " + F->Name + "(";
+    for (size_t P = 0; P != F->Params.size(); ++P) {
+      if (P)
+        Out += ", ";
+      Out += std::string(typeSpelling(F->Params[P]->Type)) + " " +
+             F->Params[P]->Name;
+    }
+    Out += ")\n";
+    Out += printStmt(*F->Body, 0);
+    Out += "\n";
+  }
+  return Out;
+}

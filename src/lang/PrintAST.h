@@ -1,0 +1,35 @@
+//===- lang/PrintAST.h - MiniC source printer ------------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints an AST back to MiniC source. The output re-parses to an
+/// equivalent program (the test suite round-trips every benchmark through
+/// print + parse and compares execution outputs), which makes the printer
+/// useful for inspecting what the inliner and other AST passes produced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_LANG_PRINTAST_H
+#define PACO_LANG_PRINTAST_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace paco {
+
+/// Renders a whole program as MiniC source.
+std::string printProgram(const Program &Prog);
+
+/// Renders one expression (no trailing newline).
+std::string printExpr(const Expr &E);
+
+/// Renders one statement at the given indentation depth.
+std::string printStmt(const Stmt &S, unsigned Indent = 0);
+
+} // namespace paco
+
+#endif // PACO_LANG_PRINTAST_H

@@ -1,0 +1,579 @@
+//===- lang/Sema.cpp - MiniC semantic analysis ----------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Sema.h"
+
+#include <map>
+#include <vector>
+
+using namespace paco;
+
+const char *paco::typeName(TypeKind T) {
+  switch (T) {
+  case TypeKind::Void:      return "void";
+  case TypeKind::Int:       return "int";
+  case TypeKind::Double:    return "double";
+  case TypeKind::IntPtr:    return "int*";
+  case TypeKind::DoublePtr: return "double*";
+  case TypeKind::Func:      return "func";
+  }
+  return "?";
+}
+
+namespace {
+
+class Sema {
+public:
+  Sema(Program &Prog, DiagEngine &Diags) : Prog(Prog), Diags(Diags) {}
+
+  bool run();
+
+private:
+  void declareGlobals();
+  void checkFunction(FuncDecl &Func);
+  void checkStmt(Stmt &S);
+  void checkAnnotation(Expr &E);
+  /// Type checks an expression; AllowArray permits a raw array reference
+  /// (for decay and AddrOf contexts).
+  TypeKind checkExpr(Expr &E, bool AllowArray = false);
+  TypeKind checkCall(CallExpr &Call);
+  bool checkAssignable(Expr &Target);
+  bool convertible(TypeKind From, TypeKind To) const;
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  void declare(VarDecl *Var);
+  VarDecl *lookupVar(const std::string &Name) const;
+
+  Program &Prog;
+  DiagEngine &Diags;
+  std::vector<std::map<std::string, VarDecl *>> Scopes;
+  std::map<std::string, int> ParamIndex;
+  FuncDecl *CurrentFunc = nullptr;
+  unsigned LoopDepth = 0;
+  bool InAnnotation = false;
+};
+
+bool Sema::run() {
+  declareGlobals();
+  for (const auto &Func : Prog.Functions)
+    checkFunction(*Func);
+  FuncDecl *Main = Prog.findFunction("main");
+  if (!Main) {
+    Diags.error(SourceLoc(), "program has no 'main' function");
+  } else if (Main->ReturnType != TypeKind::Void || !Main->Params.empty()) {
+    Diags.error(Main->Loc, "'main' must have signature 'void main()'");
+  }
+  return !Diags.hasErrors();
+}
+
+void Sema::declareGlobals() {
+  pushScope();
+  for (unsigned I = 0; I != Prog.RuntimeParams.size(); ++I) {
+    const RuntimeParamDecl &P = Prog.RuntimeParams[I];
+    if (ParamIndex.count(P.Name))
+      Diags.error(P.Loc, "duplicate parameter '" + P.Name + "'");
+    ParamIndex[P.Name] = static_cast<int>(I);
+  }
+  for (const auto &G : Prog.Globals) {
+    if (ParamIndex.count(G->Name))
+      Diags.error(G->Loc, "global '" + G->Name + "' shadows a parameter");
+    declare(G.get());
+    // Validate constant initializers.
+    if (!G->Init.empty() && G->IsArray &&
+        static_cast<int64_t>(G->Init.size()) > G->ArraySize)
+      Diags.error(G->Loc, "too many initializers for array '" + G->Name + "'");
+    if (!G->Init.empty() && !G->IsArray && G->Init.size() != 1)
+      Diags.error(G->Loc, "scalar initializer list for '" + G->Name + "'");
+    for (const ExprPtr &Init : G->Init) {
+      const Expr *E = Init.get();
+      bool Ok = false;
+      if (E->getKind() == Expr::Kind::IntLit ||
+          E->getKind() == Expr::Kind::FloatLit) {
+        Ok = true;
+      } else if (E->getKind() == Expr::Kind::Unary) {
+        const auto &U = static_cast<const UnaryExpr &>(*E);
+        Ok = U.Op == UnaryOp::Neg &&
+             (U.Operand->getKind() == Expr::Kind::IntLit ||
+              U.Operand->getKind() == Expr::Kind::FloatLit);
+      }
+      if (!Ok)
+        Diags.error(E->loc(), "global initializers must be literals");
+    }
+  }
+}
+
+void Sema::declare(VarDecl *Var) {
+  assert(!Scopes.empty() && "no active scope");
+  auto [It, Inserted] = Scopes.back().emplace(Var->Name, Var);
+  (void)It;
+  if (!Inserted)
+    Diags.error(Var->Loc, "redefinition of '" + Var->Name + "'");
+}
+
+VarDecl *Sema::lookupVar(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Sema::checkFunction(FuncDecl &Func) {
+  CurrentFunc = &Func;
+  pushScope();
+  for (const auto &Param : Func.Params)
+    declare(Param.get());
+  checkStmt(*Func.Body);
+  popScope();
+  CurrentFunc = nullptr;
+}
+
+void Sema::checkAnnotation(Expr &E) {
+  InAnnotation = true;
+  TypeKind Ty = checkExpr(E);
+  InAnnotation = false;
+  if (Ty != TypeKind::Int)
+    Diags.error(E.loc(), "annotation expression must have type int");
+}
+
+void Sema::checkStmt(Stmt &S) {
+  if (S.TripAnnot)
+    checkAnnotation(*S.TripAnnot);
+  if (S.CondAnnot)
+    checkAnnotation(*S.CondAnnot);
+  switch (S.getKind()) {
+  case Stmt::Kind::Block: {
+    auto &Block = static_cast<BlockStmt &>(S);
+    pushScope();
+    for (const StmtPtr &Child : Block.Body)
+      checkStmt(*Child);
+    popScope();
+    return;
+  }
+  case Stmt::Kind::DeclStmt: {
+    auto &Decl = static_cast<DeclStmt &>(S);
+    if (Decl.SizeAnnot)
+      checkAnnotation(*Decl.SizeAnnot);
+    if (Decl.InitExpr) {
+      TypeKind ValueTy = checkExpr(*Decl.InitExpr);
+      // malloc takes its pointer type from the declaration.
+      if (Decl.InitExpr->getKind() == Expr::Kind::Call) {
+        auto &Call = static_cast<CallExpr &>(*Decl.InitExpr);
+        if (Call.BuiltinKind == CallExpr::Builtin::Malloc &&
+            isPointerType(Decl.Var->Type)) {
+          Call.Type = Decl.Var->Type;
+          ValueTy = Call.Type;
+        }
+      }
+      if (!convertible(ValueTy, Decl.Var->Type))
+        Diags.error(Decl.loc(), std::string("cannot initialize '") +
+                                    typeName(Decl.Var->Type) + "' from '" +
+                                    typeName(ValueTy) + "'");
+    }
+    declare(Decl.Var.get());
+    return;
+  }
+  case Stmt::Kind::ExprStmt:
+    checkExpr(*static_cast<ExprStmt &>(S).E);
+    return;
+  case Stmt::Kind::If: {
+    auto &If = static_cast<IfStmt &>(S);
+    if (checkExpr(*If.Cond) != TypeKind::Int)
+      Diags.error(If.Cond->loc(), "if condition must have type int");
+    checkStmt(*If.Then);
+    if (If.Else)
+      checkStmt(*If.Else);
+    return;
+  }
+  case Stmt::Kind::While: {
+    auto &While = static_cast<WhileStmt &>(S);
+    if (checkExpr(*While.Cond) != TypeKind::Int)
+      Diags.error(While.Cond->loc(), "while condition must have type int");
+    ++LoopDepth;
+    checkStmt(*While.Body);
+    --LoopDepth;
+    return;
+  }
+  case Stmt::Kind::For: {
+    auto &For = static_cast<ForStmt &>(S);
+    pushScope();
+    if (For.Init)
+      checkStmt(*For.Init);
+    if (For.Cond && checkExpr(*For.Cond) != TypeKind::Int)
+      Diags.error(For.Cond->loc(), "for condition must have type int");
+    if (For.Step)
+      checkExpr(*For.Step);
+    ++LoopDepth;
+    checkStmt(*For.Body);
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case Stmt::Kind::Return: {
+    auto &Ret = static_cast<ReturnStmt &>(S);
+    assert(CurrentFunc && "return outside function");
+    if (!Ret.Value) {
+      if (CurrentFunc->ReturnType != TypeKind::Void)
+        Diags.error(Ret.loc(), "non-void function must return a value");
+      return;
+    }
+    TypeKind Ty = checkExpr(*Ret.Value);
+    if (CurrentFunc->ReturnType == TypeKind::Void)
+      Diags.error(Ret.loc(), "void function cannot return a value");
+    else if (!convertible(Ty, CurrentFunc->ReturnType))
+      Diags.error(Ret.loc(), std::string("cannot return '") + typeName(Ty) +
+                                 "' from function returning '" +
+                                 typeName(CurrentFunc->ReturnType) + "'");
+    return;
+  }
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      Diags.error(S.loc(), "break/continue outside of a loop");
+    return;
+  }
+}
+
+bool Sema::convertible(TypeKind From, TypeKind To) const {
+  if (From == To)
+    return true;
+  // Numeric conversions both ways.
+  if ((From == TypeKind::Int && To == TypeKind::Double) ||
+      (From == TypeKind::Double && To == TypeKind::Int))
+    return true;
+  return false;
+}
+
+bool Sema::checkAssignable(Expr &Target) {
+  switch (Target.getKind()) {
+  case Expr::Kind::VarRef: {
+    auto &Ref = static_cast<VarRefExpr &>(Target);
+    if (Ref.ParamIndex >= 0) {
+      Diags.error(Target.loc(),
+                  "run-time parameter '" + Ref.Name + "' is read-only");
+      return false;
+    }
+    if (Ref.Var && Ref.Var->IsArray) {
+      Diags.error(Target.loc(), "cannot assign to an array");
+      return false;
+    }
+    if (Ref.Function) {
+      Diags.error(Target.loc(), "cannot assign to a function");
+      return false;
+    }
+    return true;
+  }
+  case Expr::Kind::Index:
+  case Expr::Kind::Deref:
+    return true;
+  default:
+    Diags.error(Target.loc(), "expression is not assignable");
+    return false;
+  }
+}
+
+TypeKind Sema::checkExpr(Expr &E, bool AllowArray) {
+  switch (E.getKind()) {
+  case Expr::Kind::IntLit:
+    return E.Type = TypeKind::Int;
+  case Expr::Kind::FloatLit:
+    return E.Type = TypeKind::Double;
+  case Expr::Kind::VarRef: {
+    auto &Ref = static_cast<VarRefExpr &>(E);
+    auto ParamIt = ParamIndex.find(Ref.Name);
+    if (ParamIt != ParamIndex.end()) {
+      Ref.ParamIndex = ParamIt->second;
+      return E.Type = TypeKind::Int;
+    }
+    if (InAnnotation) {
+      Diags.error(E.loc(), "annotation may only reference run-time "
+                           "parameters, found '" +
+                               Ref.Name + "'");
+      return E.Type = TypeKind::Int;
+    }
+    if (VarDecl *Var = lookupVar(Ref.Name)) {
+      Ref.Var = Var;
+      if (Var->IsArray) {
+        if (AllowArray)
+          return E.Type = Var->Type; // element type; caller handles decay
+        // Arrays decay to a pointer to their first element.
+        return E.Type = pointerTo(Var->Type);
+      }
+      return E.Type = Var->Type;
+    }
+    if (FuncDecl *Func = Prog.findFunction(Ref.Name)) {
+      Ref.Function = Func;
+      if (Func->ReturnType != TypeKind::Void || !Func->Params.empty())
+        Diags.error(E.loc(), "only 'void(void)' functions can be used as "
+                             "func values");
+      return E.Type = TypeKind::Func;
+    }
+    Diags.error(E.loc(), "use of undeclared identifier '" + Ref.Name + "'");
+    return E.Type = TypeKind::Int;
+  }
+  case Expr::Kind::Unary: {
+    auto &U = static_cast<UnaryExpr &>(E);
+    TypeKind Ty = checkExpr(*U.Operand);
+    switch (U.Op) {
+    case UnaryOp::Neg:
+      if (Ty != TypeKind::Int && Ty != TypeKind::Double)
+        Diags.error(E.loc(), "operand of unary '-' must be numeric");
+      return E.Type = Ty;
+    case UnaryOp::Not:
+      if (Ty != TypeKind::Int)
+        Diags.error(E.loc(), "operand of '!' must have type int");
+      return E.Type = TypeKind::Int;
+    case UnaryOp::BitNot:
+      if (Ty != TypeKind::Int)
+        Diags.error(E.loc(), "operand of '~' must have type int");
+      return E.Type = TypeKind::Int;
+    }
+    return E.Type = Ty;
+  }
+  case Expr::Kind::Binary: {
+    auto &B = static_cast<BinaryExpr &>(E);
+    TypeKind L = checkExpr(*B.LHS);
+    TypeKind R = checkExpr(*B.RHS);
+    switch (B.Op) {
+    case BinaryOp::Add:
+    case BinaryOp::Sub:
+      if (isPointerType(L) && R == TypeKind::Int)
+        return E.Type = L;
+      if (B.Op == BinaryOp::Add && L == TypeKind::Int && isPointerType(R))
+        return E.Type = R;
+      [[fallthrough]];
+    case BinaryOp::Mul:
+    case BinaryOp::Div: {
+      bool Numeric = (L == TypeKind::Int || L == TypeKind::Double) &&
+                     (R == TypeKind::Int || R == TypeKind::Double);
+      if (!Numeric) {
+        Diags.error(E.loc(), "invalid operand types for arithmetic");
+        return E.Type = TypeKind::Int;
+      }
+      return E.Type = (L == TypeKind::Double || R == TypeKind::Double)
+                          ? TypeKind::Double
+                          : TypeKind::Int;
+    }
+    case BinaryOp::Rem:
+    case BinaryOp::And:
+    case BinaryOp::Or:
+    case BinaryOp::Xor:
+    case BinaryOp::Shl:
+    case BinaryOp::Shr:
+      if (L != TypeKind::Int || R != TypeKind::Int)
+        Diags.error(E.loc(), "bitwise operands must have type int");
+      return E.Type = TypeKind::Int;
+    case BinaryOp::Lt:
+    case BinaryOp::Gt:
+    case BinaryOp::Le:
+    case BinaryOp::Ge: {
+      bool Numeric = (L == TypeKind::Int || L == TypeKind::Double) &&
+                     (R == TypeKind::Int || R == TypeKind::Double);
+      if (!Numeric && !(isPointerType(L) && L == R))
+        Diags.error(E.loc(), "invalid operand types for comparison");
+      return E.Type = TypeKind::Int;
+    }
+    case BinaryOp::Eq:
+    case BinaryOp::Ne: {
+      bool Numeric = (L == TypeKind::Int || L == TypeKind::Double) &&
+                     (R == TypeKind::Int || R == TypeKind::Double);
+      bool SamePtr = isPointerType(L) && L == R;
+      bool FuncCmp = L == TypeKind::Func && R == TypeKind::Func;
+      if (!Numeric && !SamePtr && !FuncCmp)
+        Diags.error(E.loc(), "invalid operand types for equality");
+      return E.Type = TypeKind::Int;
+    }
+    case BinaryOp::LAnd:
+    case BinaryOp::LOr:
+      if (L != TypeKind::Int || R != TypeKind::Int)
+        Diags.error(E.loc(), "logical operands must have type int");
+      return E.Type = TypeKind::Int;
+    }
+    return E.Type = TypeKind::Int;
+  }
+  case Expr::Kind::Assign: {
+    auto &A = static_cast<AssignExpr &>(E);
+    TypeKind TargetTy = checkExpr(*A.Target);
+    TypeKind ValueTy = checkExpr(*A.Value);
+    checkAssignable(*A.Target);
+    // malloc adopts the pointer type of its assignment target.
+    if (A.Value->getKind() == Expr::Kind::Call) {
+      auto &Call = static_cast<CallExpr &>(*A.Value);
+      if (Call.BuiltinKind == CallExpr::Builtin::Malloc &&
+          isPointerType(TargetTy)) {
+        Call.Type = TargetTy;
+        ValueTy = TargetTy;
+      }
+    }
+    if (!convertible(ValueTy, TargetTy))
+      Diags.error(E.loc(), std::string("cannot assign '") +
+                               typeName(ValueTy) + "' to '" +
+                               typeName(TargetTy) + "'");
+    return E.Type = TargetTy;
+  }
+  case Expr::Kind::Call:
+    return checkCall(static_cast<CallExpr &>(E));
+  case Expr::Kind::Index: {
+    auto &I = static_cast<IndexExpr &>(E);
+    TypeKind BaseTy = checkExpr(*I.Base, /*AllowArray=*/true);
+    TypeKind Element;
+    if (I.Base->getKind() == Expr::Kind::VarRef &&
+        static_cast<VarRefExpr &>(*I.Base).Var &&
+        static_cast<VarRefExpr &>(*I.Base).Var->IsArray) {
+      Element = BaseTy; // AllowArray returned the element type directly
+    } else if (isPointerType(BaseTy)) {
+      Element = pointeeType(BaseTy);
+    } else {
+      Diags.error(E.loc(), "indexed expression is not an array or pointer");
+      Element = TypeKind::Int;
+    }
+    if (checkExpr(*I.Index) != TypeKind::Int)
+      Diags.error(I.Index->loc(), "array index must have type int");
+    return E.Type = Element;
+  }
+  case Expr::Kind::Deref: {
+    auto &D = static_cast<DerefExpr &>(E);
+    TypeKind Ty = checkExpr(*D.Pointer);
+    if (!isPointerType(Ty)) {
+      Diags.error(E.loc(), "cannot dereference a non-pointer");
+      return E.Type = TypeKind::Int;
+    }
+    return E.Type = pointeeType(Ty);
+  }
+  case Expr::Kind::AddrOf: {
+    auto &A = static_cast<AddrOfExpr &>(E);
+    if (A.Operand->getKind() != Expr::Kind::VarRef) {
+      Diags.error(E.loc(), "'&' requires a named variable");
+      return E.Type = TypeKind::IntPtr;
+    }
+    TypeKind Ty = checkExpr(*A.Operand, /*AllowArray=*/true);
+    auto &Ref = static_cast<VarRefExpr &>(*A.Operand);
+    if (Ref.Function || Ref.ParamIndex >= 0) {
+      Diags.error(E.loc(), "cannot take the address of this entity");
+      return E.Type = TypeKind::IntPtr;
+    }
+    if (Ty != TypeKind::Int && Ty != TypeKind::Double) {
+      Diags.error(E.loc(), "'&' operand must be int or double");
+      return E.Type = TypeKind::IntPtr;
+    }
+    return E.Type = pointerTo(Ty);
+  }
+  case Expr::Kind::Ternary: {
+    auto &T = static_cast<TernaryExpr &>(E);
+    if (checkExpr(*T.Cond) != TypeKind::Int)
+      Diags.error(T.Cond->loc(), "ternary condition must have type int");
+    TypeKind Then = checkExpr(*T.Then);
+    TypeKind Else = checkExpr(*T.Else);
+    if (Then == Else)
+      return E.Type = Then;
+    bool Numeric = (Then == TypeKind::Int || Then == TypeKind::Double) &&
+                   (Else == TypeKind::Int || Else == TypeKind::Double);
+    if (!Numeric) {
+      Diags.error(E.loc(), "ternary branches have incompatible types");
+      return E.Type = Then;
+    }
+    return E.Type = TypeKind::Double;
+  }
+  }
+  assert(false && "unhandled expression kind");
+  return TypeKind::Void;
+}
+
+TypeKind Sema::checkCall(CallExpr &Call) {
+  if (Call.Callee->getKind() != Expr::Kind::VarRef) {
+    Diags.error(Call.loc(), "call target must be a name");
+    return Call.Type = TypeKind::Int;
+  }
+  auto &Callee = static_cast<VarRefExpr &>(*Call.Callee);
+  const std::string &Name = Callee.Name;
+
+  auto checkArgCount = [&](size_t Expected) {
+    if (Call.Args.size() == Expected)
+      return true;
+    Diags.error(Call.loc(), "'" + Name + "' expects " +
+                                std::to_string(Expected) + " argument(s)");
+    return false;
+  };
+
+  // Builtins.
+  if (Name == "io_read") {
+    Call.BuiltinKind = CallExpr::Builtin::IoRead;
+    checkArgCount(0);
+    return Call.Type = TypeKind::Int;
+  }
+  if (Name == "io_write") {
+    Call.BuiltinKind = CallExpr::Builtin::IoWrite;
+    if (checkArgCount(1)) {
+      TypeKind Ty = checkExpr(*Call.Args[0]);
+      if (Ty != TypeKind::Int && Ty != TypeKind::Double)
+        Diags.error(Call.loc(), "io_write argument must be numeric");
+    }
+    return Call.Type = TypeKind::Void;
+  }
+  if (Name == "io_read_buf" || Name == "io_write_buf") {
+    Call.BuiltinKind = Name == "io_read_buf" ? CallExpr::Builtin::IoReadBuf
+                                             : CallExpr::Builtin::IoWriteBuf;
+    if (checkArgCount(2)) {
+      TypeKind Ptr = checkExpr(*Call.Args[0]);
+      if (!isPointerType(Ptr))
+        Diags.error(Call.Args[0]->loc(), "first argument must be a pointer");
+      if (checkExpr(*Call.Args[1]) != TypeKind::Int)
+        Diags.error(Call.Args[1]->loc(), "element count must have type int");
+    }
+    return Call.Type = TypeKind::Void;
+  }
+  if (Name == "malloc") {
+    Call.BuiltinKind = CallExpr::Builtin::Malloc;
+    if (checkArgCount(1)) {
+      if (checkExpr(*Call.Args[0]) != TypeKind::Int)
+        Diags.error(Call.Args[0]->loc(), "malloc size must have type int");
+    }
+    // Refined to the target pointer type by the assignment context.
+    return Call.Type = TypeKind::IntPtr;
+  }
+
+  // Indirect call through a func variable.
+  if (VarDecl *Var = lookupVar(Name)) {
+    Callee.Var = Var;
+    if (Var->Type != TypeKind::Func) {
+      Diags.error(Call.loc(), "'" + Name + "' is not callable");
+      return Call.Type = TypeKind::Int;
+    }
+    checkArgCount(0);
+    return Call.Type = TypeKind::Void;
+  }
+
+  // Direct call.
+  FuncDecl *Func = Prog.findFunction(Name);
+  if (!Func) {
+    Diags.error(Call.loc(), "call to undeclared function '" + Name + "'");
+    return Call.Type = TypeKind::Int;
+  }
+  Callee.Function = Func;
+  if (checkArgCount(Func->Params.size())) {
+    for (size_t I = 0; I != Call.Args.size(); ++I) {
+      TypeKind ArgTy = checkExpr(*Call.Args[I]);
+      if (!convertible(ArgTy, Func->Params[I]->Type))
+        Diags.error(Call.Args[I]->loc(),
+                    std::string("cannot pass '") + typeName(ArgTy) +
+                        "' as parameter of type '" +
+                        typeName(Func->Params[I]->Type) + "'");
+    }
+  } else {
+    for (const ExprPtr &Arg : Call.Args)
+      checkExpr(*Arg);
+  }
+  return Call.Type = Func->ReturnType;
+}
+
+} // namespace
+
+bool paco::runSema(Program &Prog, DiagEngine &Diags) {
+  Sema S(Prog, Diags);
+  return S.run();
+}

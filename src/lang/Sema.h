@@ -1,0 +1,44 @@
+//===- lang/Sema.h - MiniC semantic analysis -------------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MiniC: name resolution, type checking, builtin
+/// recognition (io_*, malloc), run-time parameter binding, and annotation
+/// validation. On success every expression carries its type and every
+/// VarRef is linked to its declaration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_LANG_SEMA_H
+#define PACO_LANG_SEMA_H
+
+#include "lang/AST.h"
+
+#include <map>
+
+namespace paco {
+
+/// Runs semantic analysis over a parsed program.
+///
+/// MiniC rules enforced here:
+///  * `main` must exist with signature `void main()`.
+///  * Run-time parameters are read-only int values.
+///  * Global initializers are integer/floating literals (possibly
+///    negated).
+///  * Conditions are int-typed; int and double convert implicitly in
+///    arithmetic; pointers support +/- int and comparisons.
+///  * `func` values name `void(void)` functions and support zero-argument
+///    indirect calls.
+///  * Annotation expressions (@trip/@cond/@size) may reference run-time
+///    parameters and literals only, since they must be analyzable as
+///    functions of the parameter vector.
+///
+/// \returns true on success (no errors reported).
+bool runSema(Program &Prog, DiagEngine &Diags);
+
+} // namespace paco
+
+#endif // PACO_LANG_SEMA_H

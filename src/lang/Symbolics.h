@@ -1,0 +1,73 @@
+//===- lang/Symbolics.h - Symbolic count/size analysis ---------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structure-driven symbolic analysis over the MiniC AST: derives loop
+/// trip counts, branch frequencies, dynamic allocation sizes and function
+/// entry counts as affine functions of the run-time parameters.
+///
+/// This implements the paper's program flow constraints (section 3.3) in
+/// their structured-program form: the execution count of the program
+/// entry is 1; a loop body count is the header count times the trip
+/// function L(h); branch counts split the header count by the condition
+/// function B(h); dynamic allocation size is r * S(h). Values that cannot
+/// be expressed over the parameter vector become *dummy parameters*
+/// (section 3.4): if a dummy survives into the partitioning solution the
+/// tool reports that a user annotation (@trip/@cond/@size) is required.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_LANG_SYMBOLICS_H
+#define PACO_LANG_SYMBOLICS_H
+
+#include "lang/AST.h"
+#include "support/LinExpr.h"
+
+#include <map>
+#include <optional>
+
+namespace paco {
+
+/// Why a dummy parameter was introduced (used for annotation reports).
+struct DummyOrigin {
+  ParamId Id;
+  std::string Description; ///< e.g. "trip count of loop at 12:3"
+};
+
+/// Results of the symbolic analysis, keyed by AST nodes.
+struct SymbolicInfo {
+  /// Per loop (While/For): trip count of the body per header execution.
+  std::map<const Stmt *, LinExpr> LoopTrip;
+  /// Per if: execution frequency of the true branch in [0, 1].
+  std::map<const Stmt *, LinExpr> IfFreq;
+  /// Per malloc call: element count of one allocation.
+  std::map<const CallExpr *, LinExpr> MallocSize;
+  /// Per function: how many times it is entered.
+  std::map<const FuncDecl *, LinExpr> EntryCount;
+  /// Dummy parameters introduced, with their origin.
+  std::vector<DummyOrigin> Dummies;
+
+  /// \returns the description of dummy \p Id, or empty if \p Id is not a
+  /// dummy from this analysis.
+  std::string dummyDescription(ParamId Id) const;
+};
+
+/// Runs the analysis. Registers the program's declared run-time
+/// parameters (in declaration order) and any needed dummies/monomials
+/// into \p Space.
+///
+/// Policy for unannotated, unanalyzable counts:
+///  * loop trips become dummy parameters;
+///  * if-branch frequencies with roughly balanced branch workloads use
+///    the constant 1/2 (the paper's observation that balanced branches do
+///    not affect partitioning); unbalanced ones (a call, loop, or a large
+///    statement-count difference on one side) get a dummy frequency.
+SymbolicInfo analyzeSymbolics(const Program &Prog, ParamSpace &Space,
+                              DiagEngine &Diags);
+
+} // namespace paco
+
+#endif // PACO_LANG_SYMBOLICS_H

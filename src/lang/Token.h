@@ -1,0 +1,115 @@
+//===- lang/Token.h - MiniC token definitions ------------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MiniC, the small C-like input language of the
+/// offloading compiler. MiniC stands in for the paper's GCC frontend: it
+/// provides functions, loops, pointers, arrays, dynamic allocation,
+/// function variables, I/O builtins, declared run-time parameters and
+/// cost annotations -- everything the analyses consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_LANG_TOKEN_H
+#define PACO_LANG_TOKEN_H
+
+#include "support/Diag.h"
+
+#include <cstdint>
+#include <string>
+
+namespace paco {
+
+enum class TokKind {
+  // Literals and identifiers.
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwFunc,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwFor,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwParam,
+  KwIn,
+  // Annotations.
+  AtTrip, // @trip(expr)
+  AtCond, // @cond(expr)
+  AtSize, // @size(expr)
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Question,
+  Colon,
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Less,
+  Greater,
+  LessEqual,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  LessLess,
+  GreaterGreater,
+  Equal,
+  PlusEqual,
+  MinusEqual,
+  StarEqual,
+  SlashEqual,
+  PercentEqual,
+  AmpEqual,
+  PipeEqual,
+  CaretEqual,
+  LessLessEqual,
+  GreaterGreaterEqual,
+  PlusPlus,
+  MinusMinus,
+  // End of input / error.
+  Eof,
+  Error,
+};
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier spelling.
+  int64_t IntValue = 0;
+  double FloatValue = 0.0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// \returns a human-readable name for diagnostics ("'+'", "identifier").
+const char *tokKindName(TokKind Kind);
+
+} // namespace paco
+
+#endif // PACO_LANG_TOKEN_H

@@ -1,0 +1,638 @@
+//===- partition/Parametric.cpp - Parametric min-cut (Algorithm 2) --------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "partition/Parametric.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <set>
+
+using namespace paco;
+
+namespace {
+
+/// Maps LinExprs into the effective-dimension space and back.
+class DimMapper {
+public:
+  /// \p ExtraDims are appended to the dimensions found in \p Net's
+  /// capacities (used for the global space, which must also cover option
+  /// flags and their residual monomials).
+  DimMapper(const FlowNetwork &Net, const ParamSpace &Space,
+            const std::vector<ParamId> &ExtraDims = {}) {
+    std::set<ParamId> Seen(ExtraDims.begin(), ExtraDims.end());
+    for (const Arc &A : Net.arcs()) {
+      if (A.Cap.Infinite)
+        continue;
+      for (const auto &[Id, Coeff] : A.Cap.Expr.terms()) {
+        (void)Coeff;
+        Seen.insert(Id);
+      }
+    }
+    Dims.assign(Seen.begin(), Seen.end());
+    for (unsigned K = 0; K != Dims.size(); ++K)
+      DimOf[Dims[K]] = K;
+    Box = Polyhedron(dim());
+    for (unsigned K = 0; K != Dims.size(); ++K) {
+      std::vector<BigInt> Lower(dim()), Upper(dim());
+      Lower[K] = BigInt(1);
+      Upper[K] = BigInt(-1);
+      Box.addConstraint(
+          LinConstraint(std::move(Lower), -Space.lower(Dims[K])));
+      Box.addConstraint(
+          LinConstraint(std::move(Upper), Space.upper(Dims[K])));
+    }
+    // Linear coupling between a monomial dimension and its sub-products:
+    // for m = f * rest with every parameter non-negative,
+    // restLower * f <= m <= restUpper * f. This trims the worst of the
+    // relaxation's unrealizable corners (the paper accepts them as
+    // harmless "false solutions"; the couplings simply discharge most of
+    // them up front).
+    for (unsigned K = 0; K != Dims.size(); ++K) {
+      if (!Space.isMonomial(Dims[K]))
+        continue;
+      const std::vector<ParamId> &MF = Space.factors(Dims[K]);
+      for (unsigned J = 0; J != Dims.size(); ++J) {
+        if (J == K)
+          continue;
+        const std::vector<ParamId> &FF = Space.factors(Dims[J]);
+        // Multiset difference Rest = MF - FF; FF must be consumed fully
+        // and leave a non-empty rest to be a proper sub-product.
+        std::vector<ParamId> Rest;
+        size_t Fi = 0;
+        for (ParamId P : MF) {
+          if (Fi < FF.size() && FF[Fi] == P)
+            ++Fi;
+          else
+            Rest.push_back(P);
+        }
+        if (Fi != FF.size() || Rest.empty() ||
+            Space.lower(Dims[J]).isNegative())
+          continue;
+        BigInt RestLo(1), RestHi(1);
+        bool NonNeg = true;
+        for (ParamId P : Rest) {
+          if (Space.lower(P).isNegative())
+            NonNeg = false;
+          RestLo = RestLo * Space.lower(P);
+          RestHi = RestHi * Space.upper(P);
+        }
+        if (!NonNeg)
+          continue;
+        // m - RestLo * f >= 0.
+        std::vector<BigInt> LowerC(dim());
+        LowerC[K] = BigInt(1);
+        LowerC[J] = -RestLo;
+        Box.addConstraint(LinConstraint(std::move(LowerC), BigInt(0)));
+        // RestHi * f - m >= 0.
+        std::vector<BigInt> UpperC(dim());
+        UpperC[K] = BigInt(-1);
+        UpperC[J] = RestHi;
+        Box.addConstraint(LinConstraint(std::move(UpperC), BigInt(0)));
+      }
+    }
+    // The monomial relaxation (paper section 4.2) admits corners where
+    // capacity expressions would be negative; such points are never
+    // realizable, so restrict the domain to where every capacity is
+    // non-negative. This keeps min-cut values well defined over X.
+    std::set<std::string> SeenConstraints;
+    for (const Arc &A : Net.arcs()) {
+      if (A.Cap.Infinite || A.Cap.Expr.isConstant())
+        continue;
+      // Capacities provably non-negative over the box need no constraint.
+      if (alwaysGE(A.Cap.Expr, LinExpr(), Space))
+        continue;
+      LinConstraint C = constraintGE(A.Cap.Expr);
+      if (C.isTautology())
+        continue;
+      std::string Key =
+          C.toString([](unsigned K) { return "d" + std::to_string(K); });
+      if (SeenConstraints.insert(Key).second)
+        Box.addConstraint(std::move(C));
+    }
+  }
+
+  unsigned dim() const { return static_cast<unsigned>(Dims.size()); }
+  const std::vector<ParamId> &dims() const { return Dims; }
+  const Polyhedron &box() const { return Box; }
+  bool hasDim(ParamId Id) const { return DimOf.count(Id) != 0; }
+  unsigned dimOf(ParamId Id) const { return DimOf.at(Id); }
+
+  /// Constraint Expr >= 0 over the effective dimensions.
+  LinConstraint constraintGE(const LinExpr &Expr) const {
+    std::vector<Rational> Coeffs(dim());
+    for (const auto &[Id, Coeff] : Expr.terms()) {
+      auto It = DimOf.find(Id);
+      assert(It != DimOf.end() && "expression uses ineffective parameter");
+      Coeffs[It->second] = Coeff;
+    }
+    return makeConstraint(Coeffs, Expr.constantTerm(), /*IsEquality=*/false);
+  }
+
+  /// Expands an effective-space point into a full parameter point;
+  /// parameters outside the effective set take their lower bound (they
+  /// cannot influence any capacity).
+  std::vector<Rational> fullPoint(const std::vector<Rational> &EffPoint,
+                                  const ParamSpace &Space) const {
+    std::vector<Rational> Full(Space.size());
+    for (unsigned Id = 0; Id != Space.size(); ++Id)
+      Full[Id] = Rational(Space.lower(Id));
+    for (unsigned K = 0; K != Dims.size(); ++K)
+      Full[Dims[K]] = EffPoint[K];
+    return Full;
+  }
+
+private:
+  std::vector<ParamId> Dims;
+  std::map<ParamId, unsigned> DimOf;
+  Polyhedron Box{0};
+};
+
+std::string pointKey(const std::vector<Rational> &Point) {
+  std::string Key;
+  for (const Rational &R : Point) {
+    Key += R.toString();
+    Key += ",";
+  }
+  return Key;
+}
+
+/// Substitutes fixed 0/1 option values into an affine capacity: terms
+/// whose monomial contains a zero-valued flag vanish; flags valued one
+/// are divided out, leaving the residual monomial.
+LinExpr substituteFlags(const LinExpr &Expr,
+                        const std::map<ParamId, int64_t> &FlagVals,
+                        ParamSpace &Space) {
+  LinExpr Out(Expr.constantTerm());
+  for (const auto &[Id, Coeff] : Expr.terms()) {
+    std::vector<ParamId> Residual;
+    bool Zero = false;
+    for (ParamId F : Space.factors(Id)) {
+      auto It = FlagVals.find(F);
+      if (It == FlagVals.end())
+        Residual.push_back(F);
+      else if (It->second == 0)
+        Zero = true;
+    }
+    if (Zero)
+      continue;
+    if (Residual.empty())
+      Out += LinExpr(Coeff);
+    else
+      Out += LinExpr::param(Space.internMonomial(Residual)) * Coeff;
+  }
+  return Out;
+}
+
+/// Value of the cut with source side \p SourceSide on \p Net.
+LinExpr cutValueOn(const FlowNetwork &Net,
+                   const std::vector<bool> &SourceSide) {
+  LinExpr Value;
+  for (const Arc &A : Net.arcs()) {
+    if (!SourceSide[A.From] || SourceSide[A.To])
+      continue;
+    assert(!A.Cap.Infinite && "infinite arc crosses a finite cut");
+    Value += A.Cap.Expr;
+  }
+  return Value;
+}
+
+} // namespace
+
+unsigned
+ParametricResult::pickChoice(const std::vector<Rational> &FullPoint) const {
+  std::vector<Rational> Eff(EffectiveDims.size());
+  for (unsigned K = 0; K != EffectiveDims.size(); ++K)
+    Eff[K] = FullPoint[EffectiveDims[K]];
+  for (unsigned C = 0; C != Choices.size(); ++C)
+    if (Choices[C].Region.contains(Eff))
+      return C;
+  // Boundary/relaxation corner case: pick the cheapest choice directly.
+  unsigned Best = 0;
+  Rational BestCost = Choices[0].CostExpr.evaluate(FullPoint);
+  for (unsigned C = 1; C != Choices.size(); ++C) {
+    Rational Cost = Choices[C].CostExpr.evaluate(FullPoint);
+    if (Cost < BestCost) {
+      Best = C;
+      BestCost = Cost;
+    }
+  }
+  return Best;
+}
+
+unsigned ParametricResult::numDistinctPartitionings() const {
+  std::set<std::vector<bool>> Unique;
+  for (const PartitionChoice &Choice : Choices)
+    Unique.insert(Choice.TaskOnServer);
+  return static_cast<unsigned>(Unique.size());
+}
+
+std::string ParametricResult::describe(const ParamSpace &Space,
+                                       const TCFG &Graph) const {
+  std::string Out;
+  auto DimName = [this, &Space](unsigned K) {
+    return Space.displayName(EffectiveDims[K]);
+  };
+  for (unsigned C = 0; C != Choices.size(); ++C) {
+    Out += "partitioning " + std::to_string(C + 1) + ": server={";
+    bool First = true;
+    for (unsigned T = 0; T != Choices[C].TaskOnServer.size(); ++T) {
+      if (!Choices[C].TaskOnServer[T])
+        continue;
+      if (!First)
+        Out += ", ";
+      Out += Graph.Tasks[T].Label;
+      First = false;
+    }
+    Out += "}\n  cost: " + Choices[C].CostExpr.toString(Space);
+    Out += "\n  region: " + Choices[C].Region.toString(DimName);
+    Out += "\n";
+  }
+  if (!RequiredAnnotations.empty()) {
+    Out += "required annotations:";
+    for (ParamId Id : RequiredAnnotations)
+      Out += " " + Space.name(Id);
+    Out += "\n";
+  }
+  return Out;
+}
+
+ParametricResult paco::solveParametric(const PartitionProblem &Problem,
+                                       ParamSpace &Space,
+                                       const ParametricOptions &Options) {
+  auto StartTime = std::chrono::steady_clock::now();
+  ParametricResult Result;
+  Result.FullNodes = Problem.Net.numNodes();
+  Result.FullArcs = Problem.Net.numArcs();
+
+  if (Options.Simplify) {
+    Result.Solved = simplifyNetwork(Problem.Net, Space);
+  } else {
+    Result.Solved.Net = Problem.Net;
+    Result.Solved.NodeMap.resize(Problem.Net.numNodes());
+    for (unsigned N = 0; N != Problem.Net.numNodes(); ++N)
+      Result.Solved.NodeMap[N] = N;
+  }
+  const FlowNetwork &Net = Result.Solved.Net;
+  Result.SolvedNodes = Net.numNodes();
+  Result.SolvedArcs = Net.numArcs();
+
+  // Identify 0/1 option parameters ("flags") among the capacity factors.
+  // Each assignment of the flags is analyzed as its own slice with the
+  // flags substituted into the capacities, which keeps the certification
+  // polytopes low-dimensional; the paper's evaluation likewise reports
+  // partitionings per command-option combination.
+  std::set<ParamId> BaseSeen;
+  std::set<ParamId> FlagSet;
+  std::vector<ParamId> ResidualDims;
+  for (const Arc &A : Net.arcs()) {
+    if (A.Cap.Infinite)
+      continue;
+    for (const auto &[Id, Coeff] : A.Cap.Expr.terms()) {
+      (void)Coeff;
+      for (ParamId F : Space.factors(Id))
+        if (Space.kind(F) == ParamSpace::Kind::Base &&
+            Space.lower(F).isZero() && Space.upper(F).isOne())
+          FlagSet.insert(F);
+    }
+  }
+  if (FlagSet.size() > Options.MaxFlagSplit)
+    FlagSet.clear();
+  std::vector<ParamId> Flags(FlagSet.begin(), FlagSet.end());
+
+  // Global dimension set: capacity dims + flags + residual monomials (so
+  // every per-slice region can be expressed in one space).
+  {
+    std::set<ParamId> Extra(Flags.begin(), Flags.end());
+    // Snapshot the dims first; interning residuals extends the space.
+    std::vector<ParamId> CapDims;
+    {
+      DimMapper Probe(Net, Space);
+      CapDims = Probe.dims();
+    }
+    for (ParamId Id : CapDims) {
+      std::vector<ParamId> Residual;
+      for (ParamId F : Space.factors(Id))
+        if (!FlagSet.count(F))
+          Residual.push_back(F);
+      if (!Residual.empty() && Residual.size() != Space.factors(Id).size())
+        Extra.insert(Space.internMonomial(Residual));
+    }
+    Result.GlobalExtraDims.assign(Extra.begin(), Extra.end());
+  }
+  DimMapper GlobalMapper(Net, Space, Result.GlobalExtraDims);
+  Result.EffectiveDims = GlobalMapper.dims();
+
+  // Solve one slice per flag assignment (a single empty assignment when
+  // no flags exist).
+  unsigned NumCases = 1u << Flags.size();
+  for (unsigned CaseBits = 0; CaseBits != NumCases; ++CaseBits) {
+    std::map<ParamId, int64_t> FlagVals;
+    for (unsigned F = 0; F != Flags.size(); ++F)
+      FlagVals[Flags[F]] = (CaseBits >> F) & 1;
+
+    // Substituted network (same node ids; zero capacities drop out).
+    FlowNetwork SubNet;
+    for (unsigned N = 2; N < Net.numNodes(); ++N)
+      SubNet.addNode(Net.label(N));
+    for (const Arc &A : Net.arcs()) {
+      if (A.Cap.Infinite) {
+        SubNet.addArc(A.From, A.To, Capacity::infinite());
+        continue;
+      }
+      LinExpr Sub = substituteFlags(A.Cap.Expr, FlagVals, Space);
+      if (!Sub.isZero())
+        SubNet.addArc(A.From, A.To, Capacity::finite(std::move(Sub)));
+    }
+    DimMapper Mapper(SubNet, Space);
+    if (Options.Verbose)
+      std::fprintf(stderr, "[parametric] case %u/%u dims=%u arcs=%u\n",
+                   CaseBits + 1, NumCases, Mapper.dim(), SubNet.numArcs());
+
+    // Lifts a slice-local cut into a global PartitionChoice.
+    auto emitChoice = [&](const CutResult &Cut, const Polyhedron &Region,
+                          bool SimplifyRegion) {
+      Polyhedron Lifted(GlobalMapper.dim());
+      Polyhedron Simplified =
+          SimplifyRegion ? Region.simplified() : Region;
+      for (const LinConstraint &C : Simplified.constraints()) {
+        std::vector<BigInt> Coeffs(GlobalMapper.dim());
+        for (unsigned K = 0; K != Mapper.dim(); ++K)
+          Coeffs[GlobalMapper.dimOf(Mapper.dims()[K])] = C.Coeffs[K];
+        Lifted.addConstraint(
+            LinConstraint(std::move(Coeffs), C.Const, C.IsEquality));
+      }
+      for (const auto &[Flag, Val] : FlagVals) {
+        if (!GlobalMapper.hasDim(Flag))
+          continue;
+        std::vector<BigInt> Coeffs(GlobalMapper.dim());
+        Coeffs[GlobalMapper.dimOf(Flag)] = BigInt(1);
+        Lifted.addConstraint(LinConstraint(std::move(Coeffs), BigInt(-Val),
+                                           /*Equality=*/true));
+      }
+      for (ParamId Id : GlobalMapper.dims()) {
+        if (!Space.isMonomial(Id))
+          continue;
+        std::vector<ParamId> Residual;
+        bool Zero = false, HasFlag = false;
+        for (ParamId F : Space.factors(Id)) {
+          auto It = FlagVals.find(F);
+          if (It == FlagVals.end()) {
+            Residual.push_back(F);
+          } else {
+            HasFlag = true;
+            Zero |= It->second == 0;
+          }
+        }
+        if (!HasFlag)
+          continue;
+        // Id == 0, or Id == residual monomial (or the constant 1).
+        std::vector<BigInt> Coeffs(GlobalMapper.dim());
+        Coeffs[GlobalMapper.dimOf(Id)] = BigInt(1);
+        BigInt Const(0);
+        if (!Zero) {
+          if (Residual.empty()) {
+            Const = BigInt(-1);
+          } else {
+            ParamId Res = Space.internMonomial(Residual);
+            assert(GlobalMapper.hasDim(Res) && "residual dim missing");
+            Coeffs[GlobalMapper.dimOf(Res)] = BigInt(-1);
+          }
+        }
+        Lifted.addConstraint(LinConstraint(std::move(Coeffs),
+                                           std::move(Const),
+                                           /*Equality=*/true));
+      }
+      PartitionChoice Choice;
+      Choice.Cut = Cut;
+      Choice.CostExpr = cutValueOn(Net, Cut.SourceSide);
+      Choice.Region = std::move(Lifted);
+      Choice.TaskOnServer.resize(Problem.MNode.size());
+      for (unsigned T = 0; T != Problem.MNode.size(); ++T)
+        Choice.TaskOnServer[T] =
+            Cut.SourceSide[Result.Solved.NodeMap[Problem.MNode[T]]];
+      Result.Choices.push_back(std::move(Choice));
+    };
+
+    // High-dimensional slices (deeply nested parametric loops produce
+    // quadratic monomials) are solved approximately: discover cuts by
+    // sampling the domain, then emit each cut with its dominance region
+    // over the discovered set. Documented approximation; the benchmarks'
+    // option slices stay below the threshold.
+    if (Mapper.dim() > Options.MaxExactDims) {
+      Result.Approximate = true;
+      uint64_t Seed = 0x9e3779b97f4a7c15ull + CaseBits;
+      auto NextRand = [&Seed]() {
+        Seed ^= Seed << 13;
+        Seed ^= Seed >> 7;
+        Seed ^= Seed << 17;
+        return Seed;
+      };
+      std::vector<CutResult> Cuts;
+      auto tryPoint = [&](std::vector<Rational> Full) {
+        // Reject points with negative capacities (relaxation corners).
+        for (const Arc &A : SubNet.arcs())
+          if (!A.Cap.Infinite && A.Cap.Expr.evaluate(Full).isNegative())
+            return;
+        CutResult Cut = solveMinCut(SubNet, Full);
+        for (const CutResult &Known : Cuts)
+          if (Known == Cut)
+            return;
+        Cuts.push_back(std::move(Cut));
+      };
+      // Realizable samples: random base parameters with monomials
+      // computed consistently.
+      for (unsigned S = 0; S != Options.SampleBudget; ++S) {
+        std::vector<Rational> Full(Space.size());
+        for (unsigned Id = 0; Id != Space.size(); ++Id) {
+          if (Space.isMonomial(Id))
+            continue;
+          BigInt Lo = Space.lower(Id), Hi = Space.upper(Id);
+          auto It = FlagVals.find(Id);
+          if (It != FlagVals.end()) {
+            Full[Id] = Rational(It->second);
+            continue;
+          }
+          // Log-uniform-ish sampling over the range.
+          BigInt Width = Hi - Lo + BigInt(1);
+          BigInt Offset =
+              Width.fitsInt64()
+                  ? BigInt(int64_t(NextRand() %
+                                   uint64_t(Width.toInt64())))
+                  : BigInt(int64_t(NextRand() % (uint64_t(1) << 62)));
+          if (NextRand() % 2 && Width > BigInt(16))
+            Offset = Offset % (Width / BigInt(16) + BigInt(1));
+          Full[Id] = Rational(Lo + Offset);
+        }
+        Space.extendPoint(Full);
+        tryPoint(std::move(Full));
+      }
+      if (Options.Verbose)
+        std::fprintf(stderr, "[parametric]   sampled cuts=%zu\n",
+                     Cuts.size());
+      for (const CutResult &Cut : Cuts) {
+        Polyhedron Region = Mapper.box();
+        for (const CutResult &Other : Cuts) {
+          if (Other == Cut)
+            continue;
+          Region.addConstraint(
+              Mapper.constraintGE(Other.Value - Cut.Value));
+        }
+        emitChoice(Cut, Region, /*SimplifyRegion=*/false);
+      }
+      continue;
+    }
+
+    // Cache min-cut solutions per sample point within this slice.
+    std::map<std::string, CutResult> CutCache;
+    auto minCutAt = [&](const std::vector<Rational> &EffPoint)
+        -> CutResult & {
+      std::string Key = pointKey(EffPoint);
+      auto It = CutCache.find(Key);
+      if (It != CutCache.end())
+        return It->second;
+      CutResult Cut = solveMinCut(SubNet, Mapper.fullPoint(EffPoint, Space));
+      assert(Cut.Finite && "no finite cut: every program can run locally");
+      return CutCache.emplace(Key, std::move(Cut)).first->second;
+    };
+
+    std::vector<CutResult> KnownCuts;
+    auto isKnown = [&KnownCuts](const CutResult &Cut) {
+      for (const CutResult &Known : KnownCuts)
+        if (Known == Cut)
+          return true;
+      return false;
+    };
+
+    std::deque<Polyhedron> Frontier;
+    Frontier.push_back(Mapper.box());
+
+    while (!Frontier.empty() &&
+           Result.Choices.size() < Options.MaxChoices) {
+      Polyhedron Domain = std::move(Frontier.front());
+      Frontier.pop_front();
+      if (Domain.isEmpty())
+        continue;
+      std::optional<std::vector<Rational>> Sample = Domain.samplePoint();
+      if (!Sample)
+        continue;
+      CutResult Cut = minCutAt(*Sample);
+      if (!isKnown(Cut))
+        KnownCuts.push_back(Cut);
+
+      // Region where this cut dominates every discovered cut, refined
+      // until it is optimal at each vertex (and hence everywhere: the
+      // min-cut value is concave piecewise-affine).
+      Polyhedron Region = Mapper.box();
+      for (const CutResult &Other : KnownCuts) {
+        if (Other == Cut)
+          continue;
+        Region.addConstraint(Mapper.constraintGE(Other.Value - Cut.Value));
+      }
+      bool Certified = false;
+      while (!Certified) {
+        Certified = true;
+        const Generators &Gens = Region.generators();
+        if (Options.Verbose)
+          std::fprintf(stderr, "[parametric]   certify vertices=%zu\n",
+                       Gens.Vertices.size());
+        if (Gens.Vertices.size() > Options.MaxVertices) {
+          Result.VertexLimitHit = true;
+          break;
+        }
+        for (const std::vector<Rational> &Vertex : Gens.Vertices) {
+          CutResult &AtVertex = minCutAt(Vertex);
+          std::vector<Rational> FullVertex =
+              Mapper.fullPoint(Vertex, Space);
+          if (AtVertex.Value.evaluate(FullVertex) <
+              Cut.Value.evaluate(FullVertex)) {
+            if (!isKnown(AtVertex))
+              KnownCuts.push_back(AtVertex);
+            Region.addConstraint(
+                Mapper.constraintGE(AtVertex.Value - Cut.Value));
+            Certified = false;
+            break;
+          }
+        }
+      }
+      if (Region.isEmpty())
+        continue;
+
+      emitChoice(Cut, Region, /*SimplifyRegion=*/true);
+
+      // Remove the certified region from the sampled domain and the rest
+      // of the frontier.
+      std::deque<Polyhedron> NextFrontier;
+      auto pushRemainder = [&NextFrontier,
+                            &Region](const Polyhedron &Piece) {
+        for (Polyhedron &Rest : Piece.subtractIntegral(Region))
+          NextFrontier.push_back(std::move(Rest));
+      };
+      pushRemainder(Domain);
+      for (const Polyhedron &Piece : Frontier)
+        pushRemainder(Piece);
+      Frontier = std::move(NextFrontier);
+    }
+  }
+
+  // Degeneracy heuristic (paper section 5.2): drop choices whose region
+  // is covered by another choice's region. Containment needs generator
+  // representations, so it is skipped for sampled (high-dimensional)
+  // results.
+  if (Options.PruneContained && !Result.Approximate &&
+      Result.Choices.size() > 1) {
+    std::vector<bool> Pruned(Result.Choices.size(), false);
+    for (unsigned I = 0; I != Result.Choices.size(); ++I) {
+      for (unsigned J = 0; J != Result.Choices.size(); ++J) {
+        if (I == J || Pruned[J] || Pruned[I])
+          continue;
+        if (!Result.Choices[J].Region.containsPolyhedron(
+                Result.Choices[I].Region))
+          continue;
+        bool Mutual = Result.Choices[I].Region.containsPolyhedron(
+            Result.Choices[J].Region);
+        if (!Mutual || J < I)
+          Pruned[I] = true;
+      }
+    }
+    std::vector<PartitionChoice> Kept;
+    for (unsigned I = 0; I != Result.Choices.size(); ++I)
+      if (!Pruned[I])
+        Kept.push_back(std::move(Result.Choices[I]));
+    Result.Choices = std::move(Kept);
+  }
+
+  // Dummies surviving into region constraints require user annotations.
+  // Plain domain bounds and flag bindings carry no decision information.
+  std::vector<LinConstraint> BoxConstraints =
+      GlobalMapper.box().constraints();
+  auto isBoxBound = [&BoxConstraints](const LinConstraint &C) {
+    for (const LinConstraint &B : BoxConstraints)
+      if (B == C)
+        return true;
+    return false;
+  };
+  std::set<ParamId> Needed;
+  for (const PartitionChoice &Choice : Result.Choices)
+    for (const LinConstraint &C : Choice.Region.constraints()) {
+      if (C.IsEquality || isBoxBound(C))
+        continue;
+      for (unsigned K = 0; K != C.Coeffs.size(); ++K) {
+        if (C.Coeffs[K].isZero())
+          continue;
+        for (ParamId Factor : Space.factors(Result.EffectiveDims[K]))
+          if (Space.isDummy(Factor))
+            Needed.insert(Factor);
+      }
+    }
+  Result.RequiredAnnotations.assign(Needed.begin(), Needed.end());
+
+  Result.AnalysisSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    StartTime)
+          .count();
+  return Result;
+}

@@ -1,0 +1,110 @@
+//===- poly/Constraint.cpp - Integer linear constraints ------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Constraint.h"
+
+using namespace paco;
+
+bool LinConstraint::isTrivial() const {
+  for (const BigInt &C : Coeffs)
+    if (!C.isZero())
+      return false;
+  return true;
+}
+
+bool LinConstraint::isTautology() const {
+  if (!isTrivial())
+    return false;
+  return IsEquality ? Const.isZero() : !Const.isNegative();
+}
+
+bool LinConstraint::isContradiction() const {
+  if (!isTrivial())
+    return false;
+  return IsEquality ? !Const.isZero() : Const.isNegative();
+}
+
+Rational LinConstraint::evaluate(const std::vector<Rational> &Point) const {
+  assert(Point.size() == Coeffs.size() && "point has wrong dimension");
+  Rational Result(Const);
+  for (size_t I = 0; I != Coeffs.size(); ++I)
+    if (!Coeffs[I].isZero())
+      Result += Rational(Coeffs[I]) * Point[I];
+  return Result;
+}
+
+bool LinConstraint::satisfiedBy(const std::vector<Rational> &Point) const {
+  Rational Value = evaluate(Point);
+  return IsEquality ? Value.isZero() : !Value.isNegative();
+}
+
+LinConstraint LinConstraint::integerComplement() const {
+  assert(!IsEquality && "cannot complement an equality as one constraint");
+  LinConstraint Result;
+  Result.Coeffs.reserve(Coeffs.size());
+  for (const BigInt &C : Coeffs)
+    Result.Coeffs.push_back(-C);
+  Result.Const = -Const - BigInt(1);
+  Result.IsEquality = false;
+  return Result;
+}
+
+void LinConstraint::normalize() {
+  BigInt Common = Const.abs();
+  for (const BigInt &C : Coeffs)
+    Common = BigInt::gcd(Common, C);
+  if (Common.isZero() || Common.isOne())
+    return;
+  for (BigInt &C : Coeffs)
+    C = C / Common;
+  Const = Const / Common;
+}
+
+std::string LinConstraint::toString(
+    const std::function<std::string(unsigned)> &DimName) const {
+  std::string Result;
+  for (unsigned I = 0; I != Coeffs.size(); ++I) {
+    const BigInt &C = Coeffs[I];
+    if (C.isZero())
+      continue;
+    BigInt Abs = C.abs();
+    if (Result.empty()) {
+      if (C.isNegative())
+        Result += "-";
+    } else {
+      Result += C.isNegative() ? " - " : " + ";
+    }
+    if (!Abs.isOne())
+      Result += Abs.toString() + "*";
+    Result += DimName(I);
+  }
+  if (Result.empty()) {
+    Result = Const.toString();
+  } else if (!Const.isZero()) {
+    Result += Const.isNegative() ? " - " : " + ";
+    Result += Const.abs().toString();
+  }
+  Result += IsEquality ? " == 0" : " >= 0";
+  return Result;
+}
+
+LinConstraint paco::makeConstraint(const std::vector<Rational> &Coeffs,
+                                   const Rational &Const, bool IsEquality) {
+  BigInt Lcm(1);
+  auto foldDen = [&Lcm](const Rational &R) {
+    const BigInt &Den = R.denominator();
+    Lcm = Lcm / BigInt::gcd(Lcm, Den) * Den;
+  };
+  for (const Rational &R : Coeffs)
+    foldDen(R);
+  foldDen(Const);
+  std::vector<BigInt> IntCoeffs;
+  IntCoeffs.reserve(Coeffs.size());
+  for (const Rational &R : Coeffs)
+    IntCoeffs.push_back(R.numerator() * (Lcm / R.denominator()));
+  BigInt IntConst = Const.numerator() * (Lcm / Const.denominator());
+  return LinConstraint(std::move(IntCoeffs), std::move(IntConst), IsEquality);
+}

@@ -1,0 +1,81 @@
+//===- poly/Constraint.h - Integer linear constraints ----------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear constraints with integer (BigInt) coefficients over a fixed
+/// number of dimensions. A constraint represents either
+/// `Coeffs . x + Const >= 0` or `Coeffs . x + Const == 0`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_POLY_CONSTRAINT_H
+#define PACO_POLY_CONSTRAINT_H
+
+#include "support/Rational.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace paco {
+
+/// One linear constraint over Dim variables.
+struct LinConstraint {
+  std::vector<BigInt> Coeffs;
+  BigInt Const;
+  bool IsEquality = false;
+
+  LinConstraint() = default;
+  LinConstraint(std::vector<BigInt> Coefficients, BigInt Constant,
+                bool Equality = false)
+      : Coeffs(std::move(Coefficients)), Const(std::move(Constant)),
+        IsEquality(Equality) {
+    normalize();
+  }
+
+  unsigned dimension() const { return static_cast<unsigned>(Coeffs.size()); }
+
+  /// \returns true if every coefficient is zero (trivial or infeasible).
+  bool isTrivial() const;
+
+  /// \returns true for a constraint no integer/rational point can violate
+  /// ("c >= 0" with c >= 0, or "0 == 0").
+  bool isTautology() const;
+
+  /// \returns true for a constraint no point can satisfy.
+  bool isContradiction() const;
+
+  /// Evaluates Coeffs . Point + Const.
+  Rational evaluate(const std::vector<Rational> &Point) const;
+
+  /// \returns true if \p Point satisfies the constraint.
+  bool satisfiedBy(const std::vector<Rational> &Point) const;
+
+  /// Integer complement of an inequality: points violating
+  /// `Coeffs.x + Const >= 0` over the integers satisfy
+  /// `-Coeffs.x - Const - 1 >= 0`. Asserts on equalities.
+  LinConstraint integerComplement() const;
+
+  /// Divides all coefficients and the constant by their common gcd.
+  void normalize();
+
+  bool operator==(const LinConstraint &RHS) const {
+    return IsEquality == RHS.IsEquality && Const == RHS.Const &&
+           Coeffs == RHS.Coeffs;
+  }
+
+  /// Renders e.g. "2*d0 - d1 + 3 >= 0" with a dimension-naming callback.
+  std::string
+  toString(const std::function<std::string(unsigned)> &DimName) const;
+};
+
+/// Builds a constraint from rational coefficients by clearing denominators.
+LinConstraint makeConstraint(const std::vector<Rational> &Coeffs,
+                             const Rational &Const, bool IsEquality);
+
+} // namespace paco
+
+#endif // PACO_POLY_CONSTRAINT_H

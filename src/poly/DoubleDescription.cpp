@@ -1,0 +1,203 @@
+//===- poly/DoubleDescription.cpp - Chernikova / DD conversion -----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/DoubleDescription.h"
+
+#include <cassert>
+
+using namespace paco;
+
+BigInt paco::dotProduct(const std::vector<BigInt> &A,
+                        const std::vector<BigInt> &B) {
+  assert(A.size() == B.size() && "dot product dimension mismatch");
+  BigInt Result;
+  for (size_t I = 0; I != A.size(); ++I)
+    if (!A[I].isZero() && !B[I].isZero())
+      Result += A[I] * B[I];
+  return Result;
+}
+
+void paco::normalizeVector(std::vector<BigInt> &V) {
+  BigInt Common;
+  for (const BigInt &X : V)
+    Common = BigInt::gcd(Common, X);
+  if (Common.isZero() || Common.isOne())
+    return;
+  for (BigInt &X : V)
+    X = X / Common;
+}
+
+namespace {
+
+/// Incremental double-description state: the cone is the set of
+/// non-negative combinations of Rays plus arbitrary combinations of Lines.
+/// Sat[i][k] records whether ray i saturates (lies on the boundary of) the
+/// k-th processed inequality; lines always saturate every processed
+/// constraint, which is the key invariant of the incremental step.
+class DDState {
+public:
+  explicit DDState(unsigned Dim) {
+    Lines.reserve(Dim);
+    for (unsigned I = 0; I != Dim; ++I) {
+      std::vector<BigInt> Unit(Dim);
+      Unit[I] = BigInt(1);
+      Lines.push_back(std::move(Unit));
+    }
+  }
+
+  void addInequality(const std::vector<BigInt> &Normal);
+
+  ConeGenerators takeResult() && {
+    return ConeGenerators{std::move(Rays), std::move(Lines)};
+  }
+
+private:
+  bool rayPairAdjacent(size_t I, size_t J) const;
+
+  std::vector<std::vector<BigInt>> Lines;
+  std::vector<std::vector<BigInt>> Rays;
+  std::vector<std::vector<bool>> Sat;
+  unsigned NumProcessed = 0;
+};
+
+void DDState::addInequality(const std::vector<BigInt> &Normal) {
+  // Case 1: some line is not orthogonal to the new halfspace. That line
+  // leaves the lineality space: the direction pointing into the halfspace
+  // becomes an extreme ray, and every other generator is combined with it
+  // so it saturates the new constraint. No combinatorial work is needed.
+  for (size_t PivotIdx = 0; PivotIdx != Lines.size(); ++PivotIdx) {
+    BigInt D0 = dotProduct(Normal, Lines[PivotIdx]);
+    if (D0.isZero())
+      continue;
+    std::vector<BigInt> Pivot = std::move(Lines[PivotIdx]);
+    Lines.erase(Lines.begin() + static_cast<long>(PivotIdx));
+    if (D0.isNegative()) {
+      for (BigInt &X : Pivot)
+        X = -X;
+      D0 = -D0;
+    }
+    for (std::vector<BigInt> &Line : Lines) {
+      BigInt D = dotProduct(Normal, Line);
+      if (D.isZero())
+        continue;
+      for (size_t I = 0; I != Line.size(); ++I)
+        Line[I] = D0 * Line[I] - D * Pivot[I];
+      normalizeVector(Line);
+    }
+    for (size_t R = 0; R != Rays.size(); ++R) {
+      BigInt D = dotProduct(Normal, Rays[R]);
+      if (!D.isZero()) {
+        // Ray + multiple of a line stays in the cone; D0 > 0 keeps the
+        // combination a positive multiple of the original ray direction.
+        for (size_t I = 0; I != Rays[R].size(); ++I)
+          Rays[R][I] = D0 * Rays[R][I] - D * Pivot[I];
+        normalizeVector(Rays[R]);
+      }
+      Sat[R].push_back(true);
+    }
+    // The pivot saturates every previously processed constraint (it was a
+    // line, and lines are orthogonal to all processed normals) but not the
+    // new one.
+    std::vector<bool> PivotSat(NumProcessed, true);
+    PivotSat.push_back(false);
+    Rays.push_back(std::move(Pivot));
+    Sat.push_back(std::move(PivotSat));
+    ++NumProcessed;
+    return;
+  }
+
+  // Case 2: all lines are orthogonal; split the rays by the sign of their
+  // product with the normal and combine adjacent (+,-) pairs.
+  std::vector<BigInt> Dots(Rays.size());
+  std::vector<size_t> Pos, Neg;
+  for (size_t R = 0; R != Rays.size(); ++R) {
+    Dots[R] = dotProduct(Normal, Rays[R]);
+    if (Dots[R].isPositive())
+      Pos.push_back(R);
+    else if (Dots[R].isNegative())
+      Neg.push_back(R);
+  }
+  if (Neg.empty()) {
+    for (size_t R = 0; R != Rays.size(); ++R)
+      Sat[R].push_back(Dots[R].isZero());
+    ++NumProcessed;
+    return;
+  }
+
+  std::vector<std::vector<BigInt>> NewRays;
+  std::vector<std::vector<bool>> NewSat;
+  for (size_t P : Pos) {
+    for (size_t N : Neg) {
+      if (!rayPairAdjacent(P, N))
+        continue;
+      std::vector<BigInt> Combined(Rays[P].size());
+      // Dots[P] > 0 and Dots[N] < 0, so both source rays enter with
+      // positive weight and the result saturates the new constraint.
+      for (size_t I = 0; I != Combined.size(); ++I)
+        Combined[I] = Dots[P] * Rays[N][I] - Dots[N] * Rays[P][I];
+      normalizeVector(Combined);
+      std::vector<bool> CombinedSat(NumProcessed + 1);
+      for (unsigned K = 0; K != NumProcessed; ++K)
+        CombinedSat[K] = Sat[P][K] && Sat[N][K];
+      CombinedSat[NumProcessed] = true;
+      NewRays.push_back(std::move(Combined));
+      NewSat.push_back(std::move(CombinedSat));
+    }
+  }
+  std::vector<std::vector<BigInt>> KeptRays;
+  std::vector<std::vector<bool>> KeptSat;
+  for (size_t R = 0; R != Rays.size(); ++R) {
+    if (Dots[R].isNegative())
+      continue;
+    KeptSat.push_back(std::move(Sat[R]));
+    KeptSat.back().push_back(Dots[R].isZero());
+    KeptRays.push_back(std::move(Rays[R]));
+  }
+  for (size_t I = 0; I != NewRays.size(); ++I) {
+    KeptRays.push_back(std::move(NewRays[I]));
+    KeptSat.push_back(std::move(NewSat[I]));
+  }
+  Rays = std::move(KeptRays);
+  Sat = std::move(KeptSat);
+  ++NumProcessed;
+}
+
+bool DDState::rayPairAdjacent(size_t I, size_t J) const {
+  // Combinatorial adjacency: rays I and J are adjacent iff no third ray
+  // saturates every constraint they both saturate.
+  for (size_t R = 0; R != Rays.size(); ++R) {
+    if (R == I || R == J)
+      continue;
+    bool Covers = true;
+    for (unsigned K = 0; K != NumProcessed && Covers; ++K)
+      if (Sat[I][K] && Sat[J][K] && !Sat[R][K])
+        Covers = false;
+    if (Covers)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ConeGenerators paco::coneFromHalfspaces(
+    unsigned Dim, const std::vector<std::vector<BigInt>> &Inequalities,
+    const std::vector<std::vector<BigInt>> &Equalities) {
+  DDState State(Dim);
+  for (const std::vector<BigInt> &E : Equalities) {
+    assert(E.size() == Dim && "equality has wrong dimension");
+    std::vector<BigInt> Neg(E.size());
+    for (size_t I = 0; I != E.size(); ++I)
+      Neg[I] = -E[I];
+    State.addInequality(E);
+    State.addInequality(Neg);
+  }
+  for (const std::vector<BigInt> &I : Inequalities) {
+    assert(I.size() == Dim && "inequality has wrong dimension");
+    State.addInequality(I);
+  }
+  return std::move(State).takeResult();
+}

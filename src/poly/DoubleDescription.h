@@ -1,0 +1,55 @@
+//===- poly/DoubleDescription.h - Chernikova / DD conversion ---*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The double-description (Chernikova) method: converts a polyhedral cone
+/// given as an intersection of homogeneous halfspaces into its generator
+/// representation (extreme rays plus the lineality space), with exact
+/// BigInt arithmetic.
+///
+/// This is the engine behind all Polyhedron operations and plays the role
+/// PolyLib plays in the paper's implementation (section 5). The method is
+/// self-dual: running it on the generators of a cone (rays as halfspace
+/// normals, lines as equalities) yields the irredundant constraints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_POLY_DOUBLEDESCRIPTION_H
+#define PACO_POLY_DOUBLEDESCRIPTION_H
+
+#include "support/BigInt.h"
+
+#include <vector>
+
+namespace paco {
+
+/// Generator description of a polyhedral cone.
+struct ConeGenerators {
+  /// Extreme rays of the pointed part (each normalized, gcd 1).
+  std::vector<std::vector<BigInt>> Rays;
+  /// Basis of the lineality space.
+  std::vector<std::vector<BigInt>> Lines;
+};
+
+/// Computes the extreme rays and lineality space of the cone
+/// `{ y : I.y >= 0 for I in Inequalities, E.y == 0 for E in Equalities }`.
+///
+/// Every vector must have length \p Dim. The whole space (no constraints)
+/// yields Dim lines and no rays; the zero cone yields neither.
+ConeGenerators
+coneFromHalfspaces(unsigned Dim,
+                   const std::vector<std::vector<BigInt>> &Inequalities,
+                   const std::vector<std::vector<BigInt>> &Equalities);
+
+/// Divides a vector by the gcd of its entries (no-op on the zero vector).
+void normalizeVector(std::vector<BigInt> &V);
+
+/// Exact dot product.
+BigInt dotProduct(const std::vector<BigInt> &A, const std::vector<BigInt> &B);
+
+} // namespace paco
+
+#endif // PACO_POLY_DOUBLEDESCRIPTION_H

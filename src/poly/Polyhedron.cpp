@@ -1,0 +1,231 @@
+//===- poly/Polyhedron.cpp - Rational convex polyhedra -------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Polyhedron.h"
+
+#include "poly/DoubleDescription.h"
+
+using namespace paco;
+
+void Polyhedron::addConstraint(LinConstraint C) {
+  assert(C.dimension() == Dim && "constraint dimension mismatch");
+  Gens.reset();
+  if (C.isTautology())
+    return;
+  Constrs.push_back(std::move(C));
+}
+
+void Polyhedron::computeGenerators() const {
+  if (Gens)
+    return;
+  // Homogenize: P = {x : A.x + b >= 0} becomes the cone
+  // {(x, xi) : A.x + b*xi >= 0, xi >= 0}; rays with xi > 0 are vertices.
+  std::vector<std::vector<BigInt>> Ineqs, Eqs;
+  for (const LinConstraint &C : Constrs) {
+    std::vector<BigInt> Row = C.Coeffs;
+    Row.push_back(C.Const);
+    (C.IsEquality ? Eqs : Ineqs).push_back(std::move(Row));
+  }
+  std::vector<BigInt> XiNonNeg(Dim + 1);
+  XiNonNeg[Dim] = BigInt(1);
+  Ineqs.push_back(std::move(XiNonNeg));
+
+  ConeGenerators Cone = coneFromHalfspaces(Dim + 1, Ineqs, Eqs);
+  Generators Result;
+  for (std::vector<BigInt> &Ray : Cone.Rays) {
+    BigInt Xi = Ray[Dim];
+    assert(!Xi.isNegative() && "cone ray violates xi >= 0");
+    if (Xi.isZero()) {
+      Ray.pop_back();
+      Result.Rays.push_back(std::move(Ray));
+      continue;
+    }
+    std::vector<Rational> Vertex;
+    Vertex.reserve(Dim);
+    for (unsigned I = 0; I != Dim; ++I)
+      Vertex.push_back(Rational(Ray[I], Xi));
+    Result.Vertices.push_back(std::move(Vertex));
+  }
+  for (std::vector<BigInt> &Line : Cone.Lines) {
+    assert(Line[Dim].isZero() && "lineality escaped the xi >= 0 halfspace");
+    Line.pop_back();
+    Result.Lines.push_back(std::move(Line));
+  }
+  Gens = std::move(Result);
+}
+
+bool Polyhedron::isEmpty() const {
+  for (const LinConstraint &C : Constrs)
+    if (C.isContradiction())
+      return true;
+  computeGenerators();
+  return Gens->empty();
+}
+
+const Generators &Polyhedron::generators() const {
+  computeGenerators();
+  return *Gens;
+}
+
+bool Polyhedron::contains(const std::vector<Rational> &Point) const {
+  assert(Point.size() == Dim && "point dimension mismatch");
+  for (const LinConstraint &C : Constrs)
+    if (!C.satisfiedBy(Point))
+      return false;
+  return true;
+}
+
+bool Polyhedron::containsPolyhedron(const Polyhedron &Other) const {
+  assert(Other.Dim == Dim && "dimension mismatch");
+  if (Other.isEmpty())
+    return true;
+  const Generators &G = Other.generators();
+  for (const LinConstraint &C : Constrs) {
+    for (const std::vector<Rational> &V : G.Vertices)
+      if (!C.satisfiedBy(V))
+        return false;
+    for (const std::vector<BigInt> &R : G.Rays) {
+      BigInt Dot = dotProduct(C.Coeffs, R);
+      if (C.IsEquality ? !Dot.isZero() : Dot.isNegative())
+        return false;
+    }
+    for (const std::vector<BigInt> &L : G.Lines)
+      if (!dotProduct(C.Coeffs, L).isZero())
+        return false;
+  }
+  return true;
+}
+
+Polyhedron Polyhedron::intersect(const Polyhedron &Other) const {
+  assert(Other.Dim == Dim && "dimension mismatch");
+  Polyhedron Result = *this;
+  Result.Gens.reset();
+  for (const LinConstraint &C : Other.Constrs)
+    Result.addConstraint(C);
+  return Result;
+}
+
+std::vector<Polyhedron>
+Polyhedron::subtractIntegral(const Polyhedron &Other) const {
+  assert(Other.Dim == Dim && "dimension mismatch");
+  // Expand equalities of Other into inequality pairs so each one can be
+  // complemented individually.
+  std::vector<LinConstraint> Cuts;
+  for (const LinConstraint &C : Other.Constrs) {
+    if (!C.IsEquality) {
+      Cuts.push_back(C);
+      continue;
+    }
+    LinConstraint Fwd = C, Bwd = C;
+    Fwd.IsEquality = false;
+    Bwd.IsEquality = false;
+    for (BigInt &X : Bwd.Coeffs)
+      X = -X;
+    Bwd.Const = -Bwd.Const;
+    Cuts.push_back(std::move(Fwd));
+    Cuts.push_back(std::move(Bwd));
+  }
+  // Piece i keeps the first i constraints of Other and violates the next,
+  // which makes the pieces pairwise disjoint.
+  std::vector<Polyhedron> Pieces;
+  Polyhedron Prefix = *this;
+  for (const LinConstraint &C : Cuts) {
+    Polyhedron Piece = Prefix;
+    Piece.addConstraint(C.integerComplement());
+    if (!Piece.isEmpty())
+      Pieces.push_back(std::move(Piece));
+    Prefix.addConstraint(C);
+    if (Prefix.isEmpty())
+      break;
+  }
+  return Pieces;
+}
+
+std::optional<std::vector<Rational>> Polyhedron::samplePoint() const {
+  computeGenerators();
+  if (Gens->empty())
+    return std::nullopt;
+  // Centroid of the vertices, pushed one unit along every ray, lands in
+  // the relative interior of the vertex hull extended into the recession
+  // cone -- a robust, tie-avoiding sample.
+  std::vector<Rational> Point(Dim);
+  for (const std::vector<Rational> &V : Gens->Vertices)
+    for (unsigned I = 0; I != Dim; ++I)
+      Point[I] += V[I];
+  Rational Count(static_cast<int64_t>(Gens->Vertices.size()));
+  for (unsigned I = 0; I != Dim; ++I)
+    Point[I] /= Count;
+  for (const std::vector<BigInt> &R : Gens->Rays)
+    for (unsigned I = 0; I != Dim; ++I)
+      Point[I] += Rational(R[I]);
+  return Point;
+}
+
+Polyhedron Polyhedron::simplified() const {
+  if (isEmpty()) {
+    Polyhedron Result(Dim);
+    Result.addConstraint(
+        LinConstraint(std::vector<BigInt>(Dim), BigInt(-1), false));
+    return Result;
+  }
+  // Dualize: the irredundant constraints of the homogenized cone are the
+  // extreme rays of its dual, computed by the same DD conversion with the
+  // generators acting as halfspace normals.
+  const Generators &G = generators();
+  std::vector<std::vector<BigInt>> Ineqs, Eqs;
+  for (const std::vector<Rational> &V : G.Vertices) {
+    BigInt Lcm(1);
+    for (const Rational &X : V) {
+      const BigInt &Den = X.denominator();
+      Lcm = Lcm / BigInt::gcd(Lcm, Den) * Den;
+    }
+    std::vector<BigInt> Row;
+    Row.reserve(Dim + 1);
+    for (const Rational &X : V)
+      Row.push_back(X.numerator() * (Lcm / X.denominator()));
+    Row.push_back(Lcm);
+    Ineqs.push_back(std::move(Row));
+  }
+  for (const std::vector<BigInt> &R : G.Rays) {
+    std::vector<BigInt> Row = R;
+    Row.push_back(BigInt(0));
+    Ineqs.push_back(std::move(Row));
+  }
+  for (const std::vector<BigInt> &L : G.Lines) {
+    std::vector<BigInt> Row = L;
+    Row.push_back(BigInt(0));
+    Eqs.push_back(std::move(Row));
+  }
+  ConeGenerators Dual = coneFromHalfspaces(Dim + 1, Ineqs, Eqs);
+
+  Polyhedron Result(Dim);
+  for (std::vector<BigInt> &Ray : Dual.Rays) {
+    BigInt Const = Ray.back();
+    Ray.pop_back();
+    Result.addConstraint(LinConstraint(std::move(Ray), std::move(Const),
+                                       /*Equality=*/false));
+  }
+  for (std::vector<BigInt> &Line : Dual.Lines) {
+    BigInt Const = Line.back();
+    Line.pop_back();
+    Result.addConstraint(LinConstraint(std::move(Line), std::move(Const),
+                                       /*Equality=*/true));
+  }
+  return Result;
+}
+
+std::string Polyhedron::toString(
+    const std::function<std::string(unsigned)> &DimName) const {
+  if (Constrs.empty())
+    return "true";
+  std::string Result;
+  for (const LinConstraint &C : Constrs) {
+    if (!Result.empty())
+      Result += " && ";
+    Result += C.toString(DimName);
+  }
+  return Result;
+}

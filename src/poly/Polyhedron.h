@@ -1,0 +1,101 @@
+//===- poly/Polyhedron.h - Rational convex polyhedra -----------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convex polyhedra over a fixed dimension with exact arithmetic, built on
+/// the double-description method. This is the library the parametric
+/// partitioning algorithm (paper Algorithm 2) manipulates parameter-value
+/// sets with: emptiness, intersection, set difference, sampling,
+/// containment and redundancy removal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_POLY_POLYHEDRON_H
+#define PACO_POLY_POLYHEDRON_H
+
+#include "poly/Constraint.h"
+
+#include <optional>
+
+namespace paco {
+
+/// Generator (vertex/ray/line) representation of a polyhedron.
+struct Generators {
+  /// Vertices with exact rational coordinates.
+  std::vector<std::vector<Rational>> Vertices;
+  /// Recession-cone extreme rays (integer, gcd-normalized).
+  std::vector<std::vector<BigInt>> Rays;
+  /// Lineality-space basis (integer, gcd-normalized).
+  std::vector<std::vector<BigInt>> Lines;
+
+  bool empty() const { return Vertices.empty(); }
+};
+
+/// A convex polyhedron `{ x in Q^Dim : constraints }`.
+///
+/// The constraint list is the primary representation; generators are
+/// computed lazily and cached. A polyhedron with no vertex is empty (every
+/// nonempty polyhedron that contains no line has a vertex; lineality is
+/// handled inside the conversion, and a nonempty polyhedron with lines
+/// still reports at least one "vertex" point on the affine hull of its
+/// minimal faces).
+class Polyhedron {
+public:
+  /// Constructs the universe (no constraints) of dimension \p Dim.
+  explicit Polyhedron(unsigned Dim) : Dim(Dim) {}
+
+  unsigned dimension() const { return Dim; }
+
+  /// Appends a constraint (must match the dimension).
+  void addConstraint(LinConstraint C);
+
+  const std::vector<LinConstraint> &constraints() const { return Constrs; }
+
+  /// \returns true if no rational point satisfies all constraints.
+  bool isEmpty() const;
+
+  /// Vertices/rays/lines (cached).
+  const Generators &generators() const;
+
+  /// \returns true if \p Point satisfies all constraints.
+  bool contains(const std::vector<Rational> &Point) const;
+
+  /// \returns true if \p Other is a subset of this polyhedron.
+  bool containsPolyhedron(const Polyhedron &Other) const;
+
+  /// Conjunction of both constraint systems.
+  Polyhedron intersect(const Polyhedron &Other) const;
+
+  /// Set difference `this \ Other` over *integer* points, returned as a
+  /// list of pairwise-disjoint polyhedra (PolyLib-style decomposition:
+  /// the i-th piece satisfies the first i-1 constraints of Other and the
+  /// integer complement of the i-th).
+  std::vector<Polyhedron> subtractIntegral(const Polyhedron &Other) const;
+
+  /// A point in the relative interior (centroid of vertices pushed along
+  /// rays); nullopt if empty.
+  std::optional<std::vector<Rational>> samplePoint() const;
+
+  /// Equivalent polyhedron with an irredundant constraint system
+  /// (computed by dualizing the generators). The empty polyhedron
+  /// simplifies to a single contradiction constraint.
+  Polyhedron simplified() const;
+
+  /// Renders all constraints joined by " && ".
+  std::string
+  toString(const std::function<std::string(unsigned)> &DimName) const;
+
+private:
+  void computeGenerators() const;
+
+  unsigned Dim;
+  std::vector<LinConstraint> Constrs;
+  mutable std::optional<Generators> Gens;
+};
+
+} // namespace paco
+
+#endif // PACO_POLY_POLYHEDRON_H

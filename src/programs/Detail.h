@@ -1,0 +1,33 @@
+//===- programs/Detail.h - Benchmark source declarations -------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal declarations of the embedded MiniC sources, one per
+/// translation unit. Users include programs/Programs.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_PROGRAMS_DETAIL_H
+#define PACO_PROGRAMS_DETAIL_H
+
+#include "programs/Programs.h"
+
+namespace paco {
+namespace programs {
+namespace detail {
+
+extern const char *RawcaudioSource;
+extern const char *RawdaudioSource;
+extern const char *EncodeSource;
+extern const char *DecodeSource;
+extern const char *FftSource;
+extern const char *SusanSource;
+
+} // namespace detail
+} // namespace programs
+} // namespace paco
+
+#endif // PACO_PROGRAMS_DETAIL_H

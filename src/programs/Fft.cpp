@@ -1,0 +1,141 @@
+//===- programs/Fft.cpp - Discrete fast Fourier transform -----------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniC port of MiBench's fft: synthesizes a signal from a number of
+// sinusoids, then runs an iterative radix-2 FFT (or its inverse).
+// Parameters: the sinusoid count, the sample count (with its log2, since
+// log2 is not affine), and the inverse flag. Trigonometry is a
+// Taylor-series sine inlined into the hot loops -- the same
+// small-function inlining the paper applies for path sensitivity
+// (section 5.3), which also keeps per-call task transitions out of the
+// innermost loops.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Detail.h"
+
+const char *paco::programs::detail::FftSource = R"MINIC(
+// fft: discrete fast Fourier transform (MiBench port).
+param int waves in [1, 64];      // number of sinusoids to synthesize
+param int m in [4, 65536];       // sample count (must equal 1 << logm)
+param int logm in [2, 16];       // log2 of the sample count
+param int inv in [0, 1];         // inverse transform flag
+
+double *realbuf;
+double *imagbuf;
+double *amps;
+double *freqs;
+
+// Builds the input signal as a sum of sinusoids (Taylor sine inlined).
+void generate() {
+  for (int i = 0; i < m; i++) {
+    realbuf[i] = 0.0;
+    imagbuf[i] = 0.0;
+  }
+  for (int w = 0; w < waves; w++) {
+    double amp = amps[w];
+    double fr = freqs[w];
+    for (int i = 0; i < m; i++) {
+      double x = fr * i;
+      int k = x / 6.283185307179586;
+      x = x - k * 6.283185307179586;
+      if (x > 3.141592653589793) x = x - 6.283185307179586;
+      if (x < -3.141592653589793) x = x + 6.283185307179586;
+      double x2 = x * x;
+      double t = 1.0 - x2 / 72.0;
+      t = 1.0 - x2 / 42.0 * t;
+      t = 1.0 - x2 / 20.0 * t;
+      t = 1.0 - x2 / 6.0 * t;
+      realbuf[i] = realbuf[i] + amp * (x * t);
+    }
+  }
+}
+
+// In-place bit reversal permutation.
+void bitreverse() {
+  for (int i = 0; i < m; i++) {
+    int j = 0;
+    for (int b = 0; b < logm; b++)
+      j = (j << 1) | ((i >> b) & 1);
+    if (j > i) {
+      double tr = realbuf[i];
+      double ti = imagbuf[i];
+      realbuf[i] = realbuf[j];
+      imagbuf[i] = imagbuf[j];
+      realbuf[j] = tr;
+      imagbuf[j] = ti;
+    }
+  }
+}
+
+// Iterative radix-2 FFT: logm stages of m/2 butterflies, with the
+// twiddle sine/cosine series inlined.
+void fft() {
+  bitreverse();
+  for (int stage = 0; stage < logm; stage++) {
+    int len = 1 << (stage + 1);
+    int half = len >> 1;
+    double ang = -6.283185307179586 / len;
+    if (inv) ang = -ang;
+    for (int k = 0; k < m / 2; k++) {
+      int group = k / half;
+      int pos = k - group * half;
+      int idx1 = group * len + pos;
+      int idx2 = idx1 + half;
+      // wi = sin(ang*pos), wr = sin(ang*pos + pi/2), via a shared
+      // range-reduced Taylor evaluation.
+      double wr = 0.0;
+      double wi = 0.0;
+      for (int part = 0; part < 2; part++) {
+        double x = ang * pos;
+        if (part) x = x + 1.5707963267948966;
+        int c = x / 6.283185307179586;
+        x = x - c * 6.283185307179586;
+        if (x > 3.141592653589793) x = x - 6.283185307179586;
+        if (x < -3.141592653589793) x = x + 6.283185307179586;
+        double x2 = x * x;
+        double t = 1.0 - x2 / 72.0;
+        t = 1.0 - x2 / 42.0 * t;
+        t = 1.0 - x2 / 20.0 * t;
+        t = 1.0 - x2 / 6.0 * t;
+        if (part) wr = x * t;
+        else wi = x * t;
+      }
+      double xr = realbuf[idx2] * wr - imagbuf[idx2] * wi;
+      double xi = realbuf[idx2] * wi + imagbuf[idx2] * wr;
+      realbuf[idx2] = realbuf[idx1] - xr;
+      imagbuf[idx2] = imagbuf[idx1] - xi;
+      realbuf[idx1] = realbuf[idx1] + xr;
+      imagbuf[idx1] = imagbuf[idx1] + xi;
+    }
+  }
+  // The inverse transform scales by 1/m.
+  @cond(inv) if (inv) {
+    for (int i = 0; i < m; i++) {
+      realbuf[i] = realbuf[i] / m;
+      imagbuf[i] = imagbuf[i] / m;
+    }
+  }
+}
+
+void main() {
+  realbuf = malloc(m);
+  imagbuf = malloc(m);
+  amps = malloc(waves);
+  freqs = malloc(waves);
+  io_read_buf(amps, waves);
+  io_read_buf(freqs, waves);
+  // Inputs arrive as integers; rescale to useful ranges.
+  for (int w = 0; w < waves; w++) {
+    amps[w] = amps[w] / 8.0;
+    freqs[w] = freqs[w] / 100.0;
+  }
+  generate();
+  fft();
+  io_write_buf(realbuf, m);
+  io_write_buf(imagbuf, m);
+}
+)MINIC";

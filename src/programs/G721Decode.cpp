@@ -1,0 +1,151 @@
+//===- programs/G721Decode.cpp - CCITT-style voice decompression ----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniC port of the matching G.721/G.723 decoder: reconstructs linear
+// PCM from the encoder's codes and re-compresses it into the selected
+// output format. Same parameter set as the encoder.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Detail.h"
+
+const char *paco::programs::detail::DecodeSource = R"MINIC(
+// decode: CCITT-style adaptive-predictive voice decompression.
+param int use3 in [0, 1];      // -3: 24 kbps (8-level quantizer)
+param int use4 in [0, 1];      // -4: 32 kbps (16-level quantizer)
+param int fmt_a in [0, 1];     // -a: a-law output samples
+param int fmt_u in [0, 1];     // -u: u-law output samples
+param int nframes in [1, 4096];
+param int bufsize in [1, 8192];
+
+int pred_coef[6] = {64, -32, 16, -8, 4, -2};
+int pred_hist[6];
+int step_size;
+
+int *inbuf;
+int *work;
+int *outbuf;
+
+// Linear to a-law compression (CCITT segment search).
+int linear2alaw(int v) {
+  int sign = 128;
+  if (v < 0) { sign = 0; v = -v; }
+  if (v > 32635) v = 32635;
+  int seg = 0;
+  int bound = 256;
+  for (int s = 0; s < 7; s++) {
+    if (v >= bound) seg = s + 1;
+    bound = bound << 1;
+  }
+  int code;
+  if (seg == 0) code = v >> 4;
+  else code = (seg << 4) | ((v >> (seg + 3)) & 15);
+  return (code | sign) ^ 85;
+}
+
+// Linear to u-law compression.
+int linear2ulaw(int v) {
+  int sign = 128;
+  if (v < 0) { sign = 0; v = -v; }
+  if (v > 32635) v = 32635;
+  v = v + 132;
+  int seg = 0;
+  int bound = 256;
+  for (int s = 0; s < 7; s++) {
+    if (v >= bound) seg = s + 1;
+    bound = bound << 1;
+  }
+  int code = (seg << 4) | ((v >> (seg + 3)) & 15);
+  return ~(code | sign) & 255;
+}
+
+void compress_alaw() {
+  for (int i = 0; i < bufsize; i++)
+    outbuf[i] = linear2alaw(work[i]);
+}
+
+void compress_ulaw() {
+  for (int i = 0; i < bufsize; i++)
+    outbuf[i] = linear2ulaw(work[i]);
+}
+
+void copy_linear() {
+  for (int i = 0; i < bufsize; i++)
+    outbuf[i] = work[i];
+}
+
+int predict() {
+  int acc = 0;
+  for (int k = 0; k < 6; k++)
+    acc = acc + pred_coef[k] * pred_hist[k];
+  return acc >> 6;
+}
+
+void adapt(int reconstructed, int err) {
+  for (int k = 5; k > 0; k--)
+    pred_hist[k] = pred_hist[k - 1];
+  pred_hist[0] = reconstructed;
+  for (int k = 0; k < 6; k++) {
+    int s = 0;
+    if (err > 0) s = 1;
+    if (err < 0) s = -1;
+    int h = 0;
+    if (pred_hist[k] > 0) h = 1;
+    if (pred_hist[k] < 0) h = -1;
+    pred_coef[k] = pred_coef[k] + s * h;
+    if (pred_coef[k] > 127) pred_coef[k] = 127;
+    if (pred_coef[k] < -128) pred_coef[k] = -128;
+  }
+}
+
+// Rebuilds one frame of linear PCM from the codes. The reconstruction
+// work mirrors the encoder: per-sample prediction, inverse quantization
+// and a small verification loop whose length follows the method.
+void decode_frame() {
+  int levels = 4 * use3 + 8 * use4 + 16 * (1 - use3 - use4);
+  for (int i = 0; i < bufsize; i++) {
+    int packed = inbuf[i] & 255;
+    int sign = (packed >> 7) & 1;
+    int code = packed & 127;
+    if (code > levels) code = levels;
+    int predicted = predict();
+    int dq = code * step_size;
+    // Inverse-quantizer refinement sweep (method-dependent cost).
+    int refine = 0;
+    for (int l = 0; l < levels; l++)
+      refine = refine + ((dq >> 1) & l);
+    int reconstructed = predicted;
+    if (sign) reconstructed = reconstructed - dq;
+    else reconstructed = reconstructed + dq;
+    if (reconstructed > 32767) reconstructed = 32767;
+    if (reconstructed < -32768) reconstructed = -32768;
+    adapt(reconstructed, dq - (refine & 1));
+    if (code > (levels >> 1)) step_size = step_size + (step_size >> 3) + 1;
+    else step_size = step_size - (step_size >> 4);
+    if (step_size < 4) step_size = 4;
+    if (step_size > 2048) step_size = 2048;
+    work[i] = reconstructed;
+  }
+}
+
+void main() {
+  step_size = 16;
+  inbuf = malloc(bufsize);
+  work = malloc(bufsize);
+  outbuf = malloc(bufsize);
+  for (int f = 0; f < nframes; f++) {
+    io_read_buf(inbuf, bufsize);
+    decode_frame();
+    @cond(fmt_a) if (fmt_a) compress_alaw();
+    else {
+      @cond(fmt_u) if (fmt_u) compress_ulaw();
+      else copy_linear();
+    }
+    io_write_buf(outbuf, bufsize);
+  }
+  io_write(step_size);
+}
+)MINIC";

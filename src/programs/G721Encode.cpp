@@ -1,0 +1,162 @@
+//===- programs/G721Encode.cpp - CCITT-style voice compression ------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniC port of MediaBench's G.721/G.723 encoder family. Like the paper's
+// modified version it uses buffered I/O with the buffer size as a
+// run-time parameter; the coding method (-3/-4/-5) and the audio format
+// (-l/-a/-u) arrive as indicator parameters, mirroring command-line
+// option flags.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Detail.h"
+
+const char *paco::programs::detail::EncodeSource = R"MINIC(
+// encode: CCITT-style adaptive-predictive voice compression.
+param int use3 in [0, 1];      // -3: 24 kbps (8-level quantizer)
+param int use4 in [0, 1];      // -4: 32 kbps (16-level quantizer)
+param int fmt_a in [0, 1];     // -a: a-law input samples
+param int fmt_u in [0, 1];     // -u: u-law input samples
+param int nframes in [1, 4096];
+param int bufsize in [1, 8192];
+
+// Adaptive predictor state.
+int pred_coef[6] = {64, -32, 16, -8, 4, -2};
+int pred_hist[6];
+int step_size;
+int pred_value;
+
+int *inbuf;
+int *work;
+int *outbuf;
+
+// A-law expansion (bit-twiddling port of the CCITT table logic).
+int alaw2linear(int a) {
+  a = a ^ 85;
+  int t = (a & 15) << 4;
+  int seg = (a & 112) >> 4;
+  if (seg == 0) t = t + 8;
+  else if (seg == 1) t = t + 264;
+  else t = (t + 264) << (seg - 1);
+  if (a & 128) return t;
+  return -t;
+}
+
+// u-law expansion.
+int ulaw2linear(int u) {
+  u = ~u & 255;
+  int t = ((u & 15) << 3) + 132;
+  t = t << ((u & 112) >> 4);
+  if (u & 128) return 132 - t;
+  return t - 132;
+}
+
+void expand_alaw() {
+  for (int i = 0; i < bufsize; i++)
+    work[i] = alaw2linear(inbuf[i] & 255);
+}
+
+void expand_ulaw() {
+  for (int i = 0; i < bufsize; i++)
+    work[i] = ulaw2linear(inbuf[i] & 255);
+}
+
+void copy_linear() {
+  for (int i = 0; i < bufsize; i++)
+    work[i] = inbuf[i];
+}
+
+// Predicts the next sample from the adaptive filter history.
+int predict() {
+  int acc = 0;
+  for (int k = 0; k < 6; k++)
+    acc = acc + pred_coef[k] * pred_hist[k];
+  return acc >> 6;
+}
+
+// Updates the filter history and adapts the coefficients (simplified
+// sign-sign LMS, like the G.726 predictor family).
+void adapt(int reconstructed, int err) {
+  for (int k = 5; k > 0; k--)
+    pred_hist[k] = pred_hist[k - 1];
+  pred_hist[0] = reconstructed;
+  for (int k = 0; k < 6; k++) {
+    int s = 0;
+    if (err > 0) s = 1;
+    if (err < 0) s = -1;
+    int h = 0;
+    if (pred_hist[k] > 0) h = 1;
+    if (pred_hist[k] < 0) h = -1;
+    pred_coef[k] = pred_coef[k] + s * h;
+    if (pred_coef[k] > 127) pred_coef[k] = 127;
+    if (pred_coef[k] < -128) pred_coef[k] = -128;
+  }
+}
+
+// Quantizes one frame; the level count depends on the coding method.
+void encode_frame() {
+  int levels = 4 * use3 + 8 * use4 + 16 * (1 - use3 - use4);
+  for (int i = 0; i < bufsize; i++) {
+    int val = work[i];
+    int predicted = predict();
+    int diff = val - predicted;
+    int sign = 0;
+    if (diff < 0) { sign = 1; diff = -diff; }
+    // Linear search over the quantizer levels (cost tracks the method).
+    int code = 0;
+    int bound = step_size;
+    for (int l = 0; l < levels; l++) {
+      if (diff >= bound) code = l + 1;
+      bound = bound + step_size;
+    }
+    if (code > levels) code = levels;
+    int dq = code * step_size;
+    int reconstructed = predicted;
+    if (sign) reconstructed = reconstructed - dq;
+    else reconstructed = reconstructed + dq;
+    if (reconstructed > 32767) reconstructed = 32767;
+    if (reconstructed < -32768) reconstructed = -32768;
+    int err = val - reconstructed;
+    adapt(reconstructed, err);
+    // Step size adaptation.
+    if (code > (levels >> 1)) step_size = step_size + (step_size >> 3) + 1;
+    else step_size = step_size - (step_size >> 4);
+    if (step_size < 4) step_size = 4;
+    if (step_size > 2048) step_size = 2048;
+    outbuf[i] = sign << 7 | code;
+  }
+}
+
+// Extra noise shaping pass, only for the 40 kbps method (-5).
+void shape_frame() {
+  int carry = 0;
+  for (int i = 0; i < bufsize; i++) {
+    int v = outbuf[i];
+    outbuf[i] = v ^ (carry & 1);
+    carry = carry + (v & 3);
+  }
+}
+
+void main() {
+  step_size = 16;
+  inbuf = malloc(bufsize);
+  work = malloc(bufsize);
+  outbuf = malloc(bufsize);
+  for (int f = 0; f < nframes; f++) {
+    io_read_buf(inbuf, bufsize);
+    @cond(fmt_a) if (fmt_a) expand_alaw();
+    else {
+      @cond(fmt_u) if (fmt_u) expand_ulaw();
+      else copy_linear();
+    }
+    encode_frame();
+    @cond(1 - use3 - use4) if (use3 + use4 == 0) shape_frame();
+    io_write_buf(outbuf, bufsize);
+  }
+  io_write(pred_value);
+  io_write(step_size);
+}
+)MINIC";

@@ -1,0 +1,129 @@
+//===- programs/Programs.cpp - Benchmark program registry -----------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Detail.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace paco;
+using namespace paco::programs;
+
+const std::vector<BenchProgram> &paco::programs::allPrograms() {
+  static const std::vector<BenchProgram> Programs = {
+      {"rawcaudio", "ADPCM in Mediabench, Speech Compression",
+       detail::RawcaudioSource, {"n"}},
+      {"rawdaudio", "ADPCM in Mediabench, Speech Decompression",
+       detail::RawdaudioSource, {"n"}},
+      {"encode", "G.721 in Mediabench, CCITT Voice Compression",
+       detail::EncodeSource,
+       {"use3", "use4", "fmt_a", "fmt_u", "nframes", "bufsize"}},
+      {"decode", "G.721 in Mediabench, CCITT Voice Decompression",
+       detail::DecodeSource,
+       {"use3", "use4", "fmt_a", "fmt_u", "nframes", "bufsize"}},
+      {"fft", "FFT in Mibench, Discrete Fast Fourier Transforms",
+       detail::FftSource, {"waves", "m", "logm", "inv"}},
+      {"susan", "susan in Mibench, Photo Processing", detail::SusanSource,
+       {"mode_s", "mode_e", "mode_c", "px", "py", "mask_r", "bt", "edge_th",
+        "corner_th", "smooth_iters", "border", "report"}},
+  };
+  return Programs;
+}
+
+const BenchProgram &paco::programs::programByName(const std::string &Name) {
+  for (const BenchProgram &P : allPrograms())
+    if (Name == P.Name)
+      return P;
+  assert(false && "unknown benchmark program");
+  return allPrograms().front();
+}
+
+unsigned paco::programs::sourceLineCount(const BenchProgram &Prog) {
+  unsigned Lines = 0;
+  bool NonEmpty = false;
+  for (const char *C = Prog.Source; *C; ++C) {
+    if (*C == '\n') {
+      Lines += NonEmpty;
+      NonEmpty = false;
+    } else if (*C != ' ' && *C != '\t') {
+      NonEmpty = true;
+    }
+  }
+  return Lines + NonEmpty;
+}
+
+namespace {
+
+/// xorshift64* deterministic generator.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b9ull) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1dull;
+  }
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(next() % uint64_t(Hi - Lo + 1));
+  }
+};
+
+} // namespace
+
+std::vector<int64_t> paco::programs::makeAudioSamples(size_t Count,
+                                                      uint64_t Seed) {
+  Rng R(Seed);
+  double F1 = 0.01 + 0.002 * double(R.range(0, 20));
+  double F2 = 0.07 + 0.003 * double(R.range(0, 20));
+  std::vector<int64_t> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I != Count; ++I) {
+    double V = 9000.0 * std::sin(F1 * double(I)) +
+               4000.0 * std::sin(F2 * double(I) + 1.3);
+    V += double(R.range(-400, 400));
+    Out.push_back(static_cast<int64_t>(V));
+  }
+  return Out;
+}
+
+std::vector<int64_t> paco::programs::makeBytes(size_t Count, uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<int64_t> Out;
+  Out.reserve(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Out.push_back(R.range(0, 255));
+  return Out;
+}
+
+std::vector<int64_t> paco::programs::makeImage(unsigned Width,
+                                               unsigned Height,
+                                               uint64_t Seed) {
+  Rng R(Seed);
+  // Smooth gradient + a few bright blobs + one hard vertical edge.
+  double Cx = double(R.range(0, Width - 1));
+  double Cy = double(R.range(0, Height - 1));
+  unsigned EdgeX = Width / 2 + unsigned(R.range(0, Width / 8));
+  std::vector<int64_t> Out;
+  Out.reserve(size_t(Width) * Height);
+  for (unsigned Y = 0; Y != Height; ++Y)
+    for (unsigned X = 0; X != Width; ++X) {
+      double V = 60.0 + 60.0 * double(X) / double(Width) +
+                 30.0 * double(Y) / double(Height);
+      double Dx = double(X) - Cx, Dy = double(Y) - Cy;
+      double D2 = Dx * Dx + Dy * Dy;
+      V += 90.0 * std::exp(-D2 / 220.0);
+      if (X > EdgeX)
+        V += 70.0;
+      V += double(R.range(-6, 6));
+      if (V < 0)
+        V = 0;
+      if (V > 255)
+        V = 255;
+      Out.push_back(static_cast<int64_t>(V));
+    }
+  return Out;
+}

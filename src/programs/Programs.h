@@ -1,0 +1,70 @@
+//===- programs/Programs.h - Benchmark program registry --------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniC ports of the paper's six benchmark programs (Table 3):
+///
+///   rawcaudio  ADPCM speech compression (MediaBench)     1 parameter
+///   rawdaudio  ADPCM speech decompression (MediaBench)   1 parameter
+///   encode     G.721-style voice compression (MediaBench) 4+ parameters
+///   decode     G.721-style voice decompression            4+ parameters
+///   fft        Discrete fast Fourier transform (MiBench)  3 parameters
+///   susan      Photo smoothing/edges/corners (MiBench)    12 parameters
+///
+/// The ports keep the original loop and buffer structure (which drives
+/// the partitioning) while fitting MiniC; input generators supply
+/// synthetic audio samples and images in place of the benchmark data
+/// files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_PROGRAMS_PROGRAMS_H
+#define PACO_PROGRAMS_PROGRAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paco {
+namespace programs {
+
+/// One registered benchmark.
+struct BenchProgram {
+  const char *Name;
+  const char *Description;
+  const char *Source;
+  /// Names of the declared run-time parameters, in order.
+  std::vector<const char *> ParamNames;
+};
+
+/// All six benchmarks in Table-3 order.
+const std::vector<BenchProgram> &allPrograms();
+
+/// Looks up a benchmark by name; asserts if missing.
+const BenchProgram &programByName(const std::string &Name);
+
+/// Number of non-empty source lines (Table 3's "No. of Source Lines").
+unsigned sourceLineCount(const BenchProgram &Prog);
+
+//===----------------------------------------------------------------------===//
+// Input generators (stand-ins for the benchmark data files)
+//===----------------------------------------------------------------------===//
+
+/// Synthetic 16-bit speech-like samples: a sum of two detuned sine-ish
+/// oscillators plus deterministic noise.
+std::vector<int64_t> makeAudioSamples(size_t Count, uint64_t Seed);
+
+/// Uniform deterministic bytes in [0, 255] (compressed bitstreams).
+std::vector<int64_t> makeBytes(size_t Count, uint64_t Seed);
+
+/// Synthetic grayscale image with smooth gradients, blobs, and edges.
+std::vector<int64_t> makeImage(unsigned Width, unsigned Height,
+                               uint64_t Seed);
+
+} // namespace programs
+} // namespace paco
+
+#endif // PACO_PROGRAMS_PROGRAMS_H

@@ -1,0 +1,99 @@
+//===- programs/Rawcaudio.cpp - ADPCM speech compression ------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniC port of MediaBench's rawcaudio: the Intel/DVI ADPCM coder. One
+// run-time parameter: the number of input samples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Detail.h"
+
+const char *paco::programs::detail::RawcaudioSource = R"MINIC(
+// rawcaudio: ADPCM speech compression (MediaBench port).
+param int n in [2, 262144];
+
+int indexTable[16] = {
+  -1, -1, -1, -1, 2, 4, 6, 8,
+  -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int stepsizeTable[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+  19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+  50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+  130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+  337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+  876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+  2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+  5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+  15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+int state_valprev;
+int state_index;
+
+void adpcm_coder(int *inp, int *outp, int len) {
+  int valpred = state_valprev;
+  int index = state_index;
+  int step = stepsizeTable[index];
+  int outputbuffer = 0;
+  int bufferstep = 1;
+  int count = 0;
+  for (int i = 0; i < len; i++) {
+    int val = inp[i];
+    int diff = val - valpred;       // difference from predicted
+    int sign = 0;
+    if (diff < 0) { sign = 8; diff = -diff; }
+
+    // Quantize: divide diff by step, in 3 bits with rounding toward
+    // truncation, computing the prediction update on the way.
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) { delta = 4; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta | 2; diff = diff - step; vpdiff = vpdiff + step; }
+    step = step >> 1;
+    if (diff >= step) { delta = delta | 1; vpdiff = vpdiff + step; }
+
+    if (sign) valpred = valpred - vpdiff;
+    else valpred = valpred + vpdiff;
+
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+
+    delta = delta | sign;
+    index = index + indexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+    step = stepsizeTable[index];
+
+    // Pack two 4-bit codes per output byte.
+    if (bufferstep) {
+      outputbuffer = (delta << 4) & 240;
+    } else {
+      outp[count] = (delta & 15) | outputbuffer;
+      count = count + 1;
+    }
+    bufferstep = !bufferstep;
+  }
+  if (!bufferstep) {
+    outp[count] = outputbuffer;
+    count = count + 1;
+  }
+  state_valprev = valpred;
+  state_index = index;
+}
+
+void main() {
+  int *inbuf = malloc(n);
+  int *outbuf = malloc(n / 2 + 1);
+  io_read_buf(inbuf, n);
+  adpcm_coder(inbuf, outbuf, n);
+  io_write_buf(outbuf, n / 2);
+  io_write(state_valprev);
+  io_write(state_index);
+}
+)MINIC";

@@ -1,0 +1,90 @@
+//===- programs/Rawdaudio.cpp - ADPCM speech decompression ----------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniC port of MediaBench's rawdaudio: the Intel/DVI ADPCM decoder. One
+// run-time parameter: the number of output samples.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Detail.h"
+
+const char *paco::programs::detail::RawdaudioSource = R"MINIC(
+// rawdaudio: ADPCM speech decompression (MediaBench port).
+param int n in [2, 262144];
+
+int indexTable[16] = {
+  -1, -1, -1, -1, 2, 4, 6, 8,
+  -1, -1, -1, -1, 2, 4, 6, 8
+};
+
+int stepsizeTable[89] = {
+  7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+  19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+  50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+  130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+  337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+  876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+  2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+  5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+  15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767
+};
+
+int state_valprev;
+int state_index;
+
+void adpcm_decoder(int *inp, int *outp, int len) {
+  int valpred = state_valprev;
+  int index = state_index;
+  int step = stepsizeTable[index];
+  int inputbuffer = 0;
+  int bufferstep = 0;
+  int inpos = 0;
+  for (int i = 0; i < len; i++) {
+    // Unpack one 4-bit code.
+    int delta;
+    if (bufferstep) {
+      delta = inputbuffer & 15;
+    } else {
+      inputbuffer = inp[inpos];
+      inpos = inpos + 1;
+      delta = (inputbuffer >> 4) & 15;
+    }
+    bufferstep = !bufferstep;
+
+    index = index + indexTable[delta];
+    if (index < 0) index = 0;
+    if (index > 88) index = 88;
+
+    int sign = delta & 8;
+    delta = delta & 7;
+
+    // Recompute the prediction difference.
+    int vpdiff = step >> 3;
+    if (delta & 4) vpdiff = vpdiff + step;
+    if (delta & 2) vpdiff = vpdiff + (step >> 1);
+    if (delta & 1) vpdiff = vpdiff + (step >> 2);
+
+    if (sign) valpred = valpred - vpdiff;
+    else valpred = valpred + vpdiff;
+
+    if (valpred > 32767) valpred = 32767;
+    else if (valpred < -32768) valpred = -32768;
+
+    step = stepsizeTable[index];
+    outp[i] = valpred;
+  }
+  state_valprev = valpred;
+  state_index = index;
+}
+
+void main() {
+  int *inbuf = malloc(n / 2 + 1);
+  int *outbuf = malloc(n);
+  io_read_buf(inbuf, n / 2 + 1);
+  adpcm_decoder(inbuf, outbuf, n);
+  io_write_buf(outbuf, n);
+}
+)MINIC";

@@ -1,0 +1,151 @@
+//===- programs/Susan.cpp - SUSAN photo processing -------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// MiniC port of MiBench's susan: smoothing (-s), edge detection (-e) and
+// corner detection (-c) over a grayscale photo, using the classic
+// 37-pixel circular USAN mask. Twelve run-time parameters: three mode
+// flags, the photo dimensions, and the tuning options, mirroring the
+// paper's 10 command options plus the two image dimensions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Detail.h"
+
+const char *paco::programs::detail::SusanSource = R"MINIC(
+// susan: photo smoothing / edge detection / corner detection (MiBench).
+param int mode_s in [0, 1];        // -s: smoothing
+param int mode_e in [0, 1];        // -e: edge detection
+param int mode_c in [0, 1];        // -c: corner detection
+param int px in [8, 1024];         // photo width
+param int py in [8, 1024];         // photo height
+param int mask_r in [1, 3];        // smoothing mask radius
+param int bt in [1, 255];          // brightness threshold
+param int edge_th in [1, 40];      // USAN edge threshold
+param int corner_th in [1, 30];    // USAN corner threshold
+param int smooth_iters in [1, 4];  // smoothing passes
+param int border in [3, 8];        // untouched frame width
+param int report in [0, 1];        // 1: emit feature map, 0: counts only
+
+// The classic 37-pixel circular mask offsets.
+int maskdx[37] = {
+  -1, 0, 1, -2, -1, 0, 1, 2, -3, -2, -1, 0, 1, 2, 3,
+  -3, -2, -1, 1, 2, 3, -3, -2, -1, 0, 1, 2, 3,
+  -2, -1, 0, 1, 2, -1, 0, 1, 0
+};
+int maskdy[37] = {
+  -3, -3, -3, -2, -2, -2, -2, -2, -1, -1, -1, -1, -1, -1, -1,
+  0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1,
+  2, 2, 2, 2, 2, 3, 3, 3, 0
+};
+
+int *img;
+int *tmp;
+int *featmap;
+int edge_count;
+int corner_count;
+
+// Brightness similarity: 1 when within the threshold (the MiBench code
+// uses a lookup table; the comparison form keeps the same work shape).
+// Written single-return so the section-5.3 inliner can expand it into
+// the USAN loops.
+int similar(int a, int b) {
+  int d = a - b;
+  if (d < 0) d = -d;
+  int r = 0;
+  if (d <= bt) r = 1;
+  return r;
+}
+
+// Brightness-weighted box smoothing, repeated smooth_iters times.
+void susan_smooth() {
+  for (int it = 0; it < smooth_iters; it++) {
+    for (int y = border; y < py - border; y++) {
+      for (int x = border; x < px - border; x++) {
+        int center = img[y * px + x];
+        int total = 0;
+        int weight = 0;
+        for (int dy = -mask_r; dy <= mask_r; dy++) {
+          for (int dx = -mask_r; dx <= mask_r; dx++) {
+            int v = img[(y + dy) * px + (x + dx)];
+            int sim = similar(center, v);
+            int w = sim * 2 + 1;
+            total = total + v * w;
+            weight = weight + w;
+          }
+        }
+        tmp[y * px + x] = total / weight;
+      }
+    }
+    for (int y = border; y < py - border; y++)
+      for (int x = border; x < px - border; x++)
+        img[y * px + x] = tmp[y * px + x];
+  }
+}
+
+// USAN edge detection: a pixel is an edge when few mask pixels share its
+// brightness.
+void susan_edges() {
+  edge_count = 0;
+  for (int y = border; y < py - border; y++) {
+    for (int x = border; x < px - border; x++) {
+      int center = img[y * px + x];
+      int usan = 0;
+      for (int k = 0; k < 37; k++) {
+        int v = img[(y + maskdy[k]) * px + (x + maskdx[k])];
+        int sim = similar(center, v);
+        usan = usan + sim;
+      }
+      int e = 0;
+      if (usan < edge_th) e = 1;
+      featmap[y * px + x] = e * 255;
+      edge_count = edge_count + e;
+    }
+  }
+}
+
+// USAN corner detection: a smaller USAN plus a centroid test.
+void susan_corners() {
+  corner_count = 0;
+  for (int y = border; y < py - border; y++) {
+    for (int x = border; x < px - border; x++) {
+      int center = img[y * px + x];
+      int usan = 0;
+      int cgx = 0;
+      int cgy = 0;
+      for (int k = 0; k < 37; k++) {
+        int v = img[(y + maskdy[k]) * px + (x + maskdx[k])];
+        int s = similar(center, v);
+        usan = usan + s;
+        cgx = cgx + s * maskdx[k];
+        cgy = cgy + s * maskdy[k];
+      }
+      int c = 0;
+      if (usan < corner_th) {
+        int dist2 = cgx * cgx + cgy * cgy;
+        if (dist2 > usan * 2) c = 1;
+      }
+      featmap[y * px + x] = featmap[y * px + x] | (c * 128);
+      corner_count = corner_count + c;
+    }
+  }
+}
+
+void main() {
+  img = malloc(px * py);
+  tmp = malloc(px * py);
+  featmap = malloc(px * py);
+  io_read_buf(img, px * py);
+  @cond(mode_s) if (mode_s) susan_smooth();
+  @cond(mode_e) if (mode_e) susan_edges();
+  @cond(mode_c) if (mode_c) susan_corners();
+  @cond(report) if (report) {
+    io_write_buf(featmap, px * py);
+  } else {
+    io_write(edge_count);
+    io_write(corner_count);
+  }
+}
+)MINIC";

@@ -1,0 +1,21 @@
+//===- runtime/Simulator.cpp - Client/server runtime simulator ------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Simulator.h"
+
+using namespace paco;
+
+std::string Simulator::summary() const {
+  std::string Out = "elapsed=" + elapsed().toString();
+  Out += " client_instrs=" + std::to_string(ClientInstrs);
+  Out += " server_instrs=" + std::to_string(ServerInstrs);
+  Out += " migrations=" + std::to_string(Migrations);
+  Out += " transfers=" + std::to_string(Transfers);
+  Out += " to_server=" + std::to_string(BytesToServer) + "B";
+  Out += " to_client=" + std::to_string(BytesToClient) + "B";
+  Out += " registrations=" + std::to_string(Registrations);
+  return Out;
+}

@@ -1,0 +1,126 @@
+//===- runtime/Simulator.h - Client/server runtime simulator ---*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The distributed-execution substrate, simulated: two hosts (the mobile
+/// client and the server) connected by a message-passing link. Matching
+/// the paper's model, exactly one host is active at a time; the other
+/// blocks until a scheduling message arrives. The simulator accounts
+/// time for computation on either host, task-scheduling messages, data
+/// transfers (startup + per-byte) and registration overhead, all driven
+/// by the same CostModel constants the static analysis used, plus an
+/// energy model for the client (the paper's multimeter stands in).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_RUNTIME_SIMULATOR_H
+#define PACO_RUNTIME_SIMULATOR_H
+
+#include "cost/CostModel.h"
+
+#include <cstdint>
+#include <string>
+
+namespace paco {
+
+/// Client energy model: the client draws ActiveAmps while computing or
+/// communicating and IdleAmps while blocked on the server, at Volts.
+/// UnitSeconds converts abstract cost units to seconds.
+struct EnergyModel {
+  double ActiveAmps = 0.28;
+  double IdleAmps = 0.16;
+  double Volts = 5.0;
+  double UnitSeconds = 1e-6;
+};
+
+/// Accumulates the execution costs of one run.
+class Simulator {
+public:
+  explicit Simulator(const CostModel &Costs) : Costs(Costs) {}
+
+  /// Accounts \p N instructions on the active host. Costs are derived
+  /// from the counters on demand, so this is a bare increment on the
+  /// interpreter's hottest path.
+  void execInstructions(bool OnServer, uint64_t N) {
+    if (OnServer)
+      ServerInstrs += N;
+    else
+      ClientInstrs += N;
+  }
+
+  /// Accounts one task-scheduling message.
+  void schedule(bool ToServer) {
+    ++Migrations;
+    SchedulingTime += ToServer ? Costs.Tcst : Costs.Tsct;
+  }
+
+  /// Accounts one data transfer of \p Bytes.
+  void transfer(bool ToServer, uint64_t Bytes) {
+    ++Transfers;
+    Rational Size(static_cast<int64_t>(Bytes));
+    if (ToServer) {
+      BytesToServer += Bytes;
+      TransferTime += Costs.Tcsh + Costs.Tcsu * Size;
+    } else {
+      BytesToClient += Bytes;
+      TransferTime += Costs.Tsch + Costs.Tscu * Size;
+    }
+  }
+
+  /// Accounts one dynamic-data registration.
+  void registration() {
+    ++Registrations;
+    RegistrationTime += Costs.Ta;
+  }
+
+  /// Computation time per host, derived from the instruction counters.
+  Rational clientCompute() const {
+    return Costs.Tc * Rational(static_cast<int64_t>(ClientInstrs));
+  }
+  Rational serverCompute() const {
+    return Costs.Ts * Rational(static_cast<int64_t>(ServerInstrs));
+  }
+
+  /// Total elapsed time in cost units (hosts never overlap).
+  Rational elapsed() const {
+    return clientCompute() + serverCompute() + SchedulingTime +
+           TransferTime + RegistrationTime;
+  }
+
+  /// Time the client radio/CPU is active (everything except waiting for
+  /// server computation).
+  Rational clientActive() const { return elapsed() - serverCompute(); }
+
+  /// Client energy in joules under \p Model.
+  double energyJoules(const EnergyModel &Model) const {
+    double Active = clientActive().toDouble() * Model.UnitSeconds;
+    double Idle = serverCompute().toDouble() * Model.UnitSeconds;
+    return Model.Volts *
+           (Model.ActiveAmps * Active + Model.IdleAmps * Idle);
+  }
+
+  uint64_t clientInstructions() const { return ClientInstrs; }
+  uint64_t serverInstructions() const { return ServerInstrs; }
+  uint64_t migrations() const { return Migrations; }
+  uint64_t transferCount() const { return Transfers; }
+  uint64_t registrationCount() const { return Registrations; }
+  uint64_t bytesToServer() const { return BytesToServer; }
+  uint64_t bytesToClient() const { return BytesToClient; }
+
+  /// One-line summary for logs.
+  std::string summary() const;
+
+private:
+  CostModel Costs;
+  Rational SchedulingTime, TransferTime, RegistrationTime;
+  uint64_t ClientInstrs = 0, ServerInstrs = 0;
+  uint64_t Migrations = 0, Transfers = 0, Registrations = 0;
+  uint64_t BytesToServer = 0, BytesToClient = 0;
+};
+
+} // namespace paco
+
+#endif // PACO_RUNTIME_SIMULATOR_H

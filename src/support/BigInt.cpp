@@ -1,0 +1,312 @@
+//===- support/BigInt.cpp - Arbitrary-precision signed integers ----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+
+using namespace paco;
+
+BigInt::BigInt(int64_t Value) {
+  if (Value == 0)
+    return;
+  Sign = Value < 0 ? -1 : 1;
+  // Negate via uint64_t so INT64_MIN does not overflow.
+  uint64_t Mag = Value < 0 ? ~static_cast<uint64_t>(Value) + 1
+                           : static_cast<uint64_t>(Value);
+  while (Mag != 0) {
+    Limbs.push_back(static_cast<uint32_t>(Mag & 0xffffffffu));
+    Mag >>= 32;
+  }
+}
+
+BigInt BigInt::fromString(const std::string &Text) {
+  assert(!Text.empty() && "empty decimal string");
+  size_t Pos = 0;
+  bool Negative = false;
+  if (Text[0] == '-') {
+    Negative = true;
+    Pos = 1;
+    assert(Text.size() > 1 && "sign without digits");
+  }
+  BigInt Result;
+  BigInt Ten(10);
+  for (; Pos != Text.size(); ++Pos) {
+    assert(Text[Pos] >= '0' && Text[Pos] <= '9' && "non-digit in decimal");
+    Result = Result * Ten + BigInt(Text[Pos] - '0');
+  }
+  return Negative ? -Result : Result;
+}
+
+bool BigInt::fitsInt64() const {
+  if (Limbs.size() > 2)
+    return false;
+  if (Limbs.size() < 2)
+    return true;
+  uint64_t Mag =
+      (static_cast<uint64_t>(Limbs[1]) << 32) | static_cast<uint64_t>(Limbs[0]);
+  if (Sign > 0)
+    return Mag <= static_cast<uint64_t>(INT64_MAX);
+  return Mag <= static_cast<uint64_t>(INT64_MAX) + 1;
+}
+
+int64_t BigInt::toInt64() const {
+  assert(fitsInt64() && "value does not fit in int64_t");
+  uint64_t Mag = 0;
+  if (Limbs.size() >= 1)
+    Mag |= static_cast<uint64_t>(Limbs[0]);
+  if (Limbs.size() >= 2)
+    Mag |= static_cast<uint64_t>(Limbs[1]) << 32;
+  if (Sign < 0)
+    return static_cast<int64_t>(~Mag + 1);
+  return static_cast<int64_t>(Mag);
+}
+
+std::string BigInt::toString() const {
+  if (isZero())
+    return "0";
+  // Repeated division by 10^9 produces nine decimal digits per step.
+  std::vector<uint32_t> Mag = Limbs;
+  std::string Digits;
+  while (!Mag.empty()) {
+    uint64_t Rem = 0;
+    for (size_t I = Mag.size(); I-- > 0;) {
+      uint64_t Cur = (Rem << 32) | Mag[I];
+      Mag[I] = static_cast<uint32_t>(Cur / 1000000000u);
+      Rem = Cur % 1000000000u;
+    }
+    trim(Mag);
+    for (int I = 0; I != 9; ++I) {
+      Digits.push_back(static_cast<char>('0' + Rem % 10));
+      Rem /= 10;
+    }
+  }
+  while (Digits.size() > 1 && Digits.back() == '0')
+    Digits.pop_back();
+  if (Sign < 0)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt Result = *this;
+  Result.Sign = -Result.Sign;
+  return Result;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  if (isZero())
+    return RHS;
+  if (RHS.isZero())
+    return *this;
+  BigInt Result;
+  if (Sign == RHS.Sign) {
+    Result.Sign = Sign;
+    Result.Limbs = addMagnitude(Limbs, RHS.Limbs);
+    return Result;
+  }
+  int Cmp = compareMagnitude(Limbs, RHS.Limbs);
+  if (Cmp == 0)
+    return Result; // zero
+  if (Cmp > 0) {
+    Result.Sign = Sign;
+    Result.Limbs = subMagnitude(Limbs, RHS.Limbs);
+  } else {
+    Result.Sign = RHS.Sign;
+    Result.Limbs = subMagnitude(RHS.Limbs, Limbs);
+  }
+  return Result;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  if (isZero() || RHS.isZero())
+    return BigInt();
+  BigInt Result;
+  Result.Sign = Sign * RHS.Sign;
+  Result.Limbs = mulMagnitude(Limbs, RHS.Limbs);
+  return Result;
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  BigInt Quot, Rem;
+  divMod(*this, RHS, Quot, Rem);
+  return Quot;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  BigInt Quot, Rem;
+  divMod(*this, RHS, Quot, Rem);
+  return Rem;
+}
+
+void BigInt::divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                    BigInt &Rem) {
+  assert(!Den.isZero() && "division by zero");
+  Quot = BigInt();
+  Rem = BigInt();
+  if (Num.isZero())
+    return;
+  divModMagnitude(Num.Limbs, Den.Limbs, Quot.Limbs, Rem.Limbs);
+  Quot.Sign = Quot.Limbs.empty() ? 0 : Num.Sign * Den.Sign;
+  Rem.Sign = Rem.Limbs.empty() ? 0 : Num.Sign;
+  Quot.canonicalize();
+  Rem.canonicalize();
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Sign != RHS.Sign)
+    return Sign < RHS.Sign ? -1 : 1;
+  int MagCmp = compareMagnitude(Limbs, RHS.Limbs);
+  return Sign < 0 ? -MagCmp : MagCmp;
+}
+
+BigInt BigInt::abs() const {
+  BigInt Result = *this;
+  if (Result.Sign < 0)
+    Result.Sign = 1;
+  return Result;
+}
+
+BigInt BigInt::gcd(BigInt A, BigInt B) {
+  A = A.abs();
+  B = B.abs();
+  while (!B.isZero()) {
+    BigInt Rem = A % B;
+    A = B;
+    B = Rem;
+  }
+  return A;
+}
+
+size_t BigInt::hash() const {
+  size_t Result = static_cast<size_t>(Sign + 1);
+  for (uint32_t Limb : Limbs)
+    Result = Result * 1000003u + Limb;
+  return Result;
+}
+
+int BigInt::compareMagnitude(const std::vector<uint32_t> &A,
+                             const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::addMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  std::vector<uint32_t> Result;
+  Result.reserve(std::max(A.size(), B.size()) + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0, E = std::max(A.size(), B.size()); I != E; ++I) {
+    uint64_t Sum = Carry;
+    if (I < A.size())
+      Sum += A[I];
+    if (I < B.size())
+      Sum += B[I];
+    Result.push_back(static_cast<uint32_t>(Sum & 0xffffffffu));
+    Carry = Sum >> 32;
+  }
+  if (Carry != 0)
+    Result.push_back(static_cast<uint32_t>(Carry));
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::subMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  assert(compareMagnitude(A, B) >= 0 && "subtraction would underflow");
+  std::vector<uint32_t> Result;
+  Result.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I != A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow;
+    if (I < B.size())
+      Diff -= static_cast<int64_t>(B[I]);
+    if (Diff < 0) {
+      Diff += static_cast<int64_t>(1) << 32;
+      Borrow = 1;
+    } else {
+      Borrow = 0;
+    }
+    Result.push_back(static_cast<uint32_t>(Diff));
+  }
+  trim(Result);
+  return Result;
+}
+
+std::vector<uint32_t> BigInt::mulMagnitude(const std::vector<uint32_t> &A,
+                                           const std::vector<uint32_t> &B) {
+  std::vector<uint32_t> Result(A.size() + B.size(), 0);
+  for (size_t I = 0; I != A.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J != B.size(); ++J) {
+      uint64_t Cur = static_cast<uint64_t>(A[I]) * B[J] + Result[I + J] + Carry;
+      Result[I + J] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + B.size();
+    while (Carry != 0) {
+      uint64_t Cur = Result[K] + Carry;
+      Result[K] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  trim(Result);
+  return Result;
+}
+
+void BigInt::divModMagnitude(const std::vector<uint32_t> &A,
+                             const std::vector<uint32_t> &B,
+                             std::vector<uint32_t> &Quot,
+                             std::vector<uint32_t> &Rem) {
+  assert(!B.empty() && "division by zero magnitude");
+  Quot.clear();
+  Rem.clear();
+  if (compareMagnitude(A, B) < 0) {
+    Rem = A;
+    trim(Rem);
+    return;
+  }
+  // Bit-by-bit long division: simple and obviously correct; the magnitudes
+  // in this library stay small enough that the O(bits * limbs) cost is
+  // irrelevant next to the polyhedral algorithms above it.
+  size_t TotalBits = A.size() * 32;
+  Quot.assign(A.size(), 0);
+  for (size_t BitIdx = TotalBits; BitIdx-- > 0;) {
+    // Rem = Rem << 1 | bit(A, BitIdx)
+    uint32_t Carry = (A[BitIdx / 32] >> (BitIdx % 32)) & 1u;
+    for (size_t I = 0; I != Rem.size(); ++I) {
+      uint32_t Next = Rem[I] >> 31;
+      Rem[I] = (Rem[I] << 1) | Carry;
+      Carry = Next;
+    }
+    if (Carry != 0)
+      Rem.push_back(Carry);
+    if (compareMagnitude(Rem, B) >= 0) {
+      Rem = subMagnitude(Rem, B);
+      Quot[BitIdx / 32] |= 1u << (BitIdx % 32);
+    }
+  }
+  trim(Quot);
+  trim(Rem);
+}
+
+void BigInt::trim(std::vector<uint32_t> &Limbs) {
+  while (!Limbs.empty() && Limbs.back() == 0)
+    Limbs.pop_back();
+}
+
+void BigInt::canonicalize() {
+  trim(Limbs);
+  if (Limbs.empty())
+    Sign = 0;
+}

@@ -1,0 +1,138 @@
+//===- support/BigInt.h - Arbitrary-precision signed integers --*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Arbitrary-precision signed integer arithmetic.
+///
+/// Polyhedral operations (double-description conversion, Fourier-style
+/// combinations) and exact max-flow computations can grow coefficients far
+/// beyond 64 bits, so every exact-arithmetic layer of the library is built
+/// on this type. The representation is a sign plus a little-endian vector
+/// of 32-bit limbs; the zero value always has an empty limb vector and
+/// sign 0, which makes equality a plain member-wise comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_SUPPORT_BIGINT_H
+#define PACO_SUPPORT_BIGINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paco {
+
+/// Arbitrary-precision signed integer.
+///
+/// Supports the operations needed by exact rational arithmetic: ring
+/// operations, Euclidean division with truncation toward zero, gcd and
+/// decimal conversion. All operations are total except division by zero,
+/// which asserts.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer.
+  BigInt(int64_t Value);
+
+  /// Parses a decimal string with an optional leading '-'.
+  ///
+  /// Asserts on malformed input; use this for trusted (test/internal)
+  /// strings only.
+  static BigInt fromString(const std::string &Text);
+
+  /// \returns true if the value is zero.
+  bool isZero() const { return Sign == 0; }
+  /// \returns true if the value is strictly negative.
+  bool isNegative() const { return Sign < 0; }
+  /// \returns true if the value is strictly positive.
+  bool isPositive() const { return Sign > 0; }
+  /// \returns true if the value is one.
+  bool isOne() const { return Sign == 1 && Limbs.size() == 1 && Limbs[0] == 1; }
+
+  /// \returns -1, 0 or +1 according to the sign of the value.
+  int sign() const { return Sign; }
+
+  /// \returns true if the value fits in int64_t.
+  bool fitsInt64() const;
+
+  /// Converts to int64_t.
+  ///
+  /// Asserts unless fitsInt64().
+  int64_t toInt64() const;
+
+  /// Renders the value in decimal.
+  std::string toString() const;
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+  /// Quotient truncated toward zero. Asserts if \p RHS is zero.
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder with the sign of the dividend. Asserts if \p RHS is zero.
+  BigInt operator%(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+  BigInt &operator/=(const BigInt &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const BigInt &RHS) const {
+    return Sign == RHS.Sign && Limbs == RHS.Limbs;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison: negative, zero or positive result.
+  int compare(const BigInt &RHS) const;
+
+  /// \returns the absolute value.
+  BigInt abs() const;
+
+  /// Greatest common divisor; always non-negative, gcd(0, 0) == 0.
+  static BigInt gcd(BigInt A, BigInt B);
+
+  /// Computes quotient and remainder in one pass (truncated division).
+  static void divMod(const BigInt &Num, const BigInt &Den, BigInt &Quot,
+                     BigInt &Rem);
+
+  /// Hash suitable for unordered containers.
+  size_t hash() const;
+
+private:
+  /// Compares magnitudes only, ignoring sign.
+  static int compareMagnitude(const std::vector<uint32_t> &A,
+                              const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> addMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint32_t> subMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> mulMagnitude(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B);
+  /// Schoolbook long division on magnitudes; requires B non-empty.
+  static void divModMagnitude(const std::vector<uint32_t> &A,
+                              const std::vector<uint32_t> &B,
+                              std::vector<uint32_t> &Quot,
+                              std::vector<uint32_t> &Rem);
+  static void trim(std::vector<uint32_t> &Limbs);
+
+  /// Re-establishes the invariant that zero has Sign == 0 and no limbs.
+  void canonicalize();
+
+  int Sign = 0;
+  std::vector<uint32_t> Limbs;
+};
+
+} // namespace paco
+
+#endif // PACO_SUPPORT_BIGINT_H

@@ -1,0 +1,33 @@
+//===- support/Diag.cpp - Source locations and diagnostics ---------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diag.h"
+
+using namespace paco;
+
+std::string Diag::toString() const {
+  const char *LevelName = "note";
+  if (Level == DiagLevel::Warning)
+    LevelName = "warning";
+  else if (Level == DiagLevel::Error)
+    LevelName = "error";
+  std::string Result;
+  if (Loc.isValid())
+    Result += Loc.toString() + ": ";
+  Result += LevelName;
+  Result += ": ";
+  Result += Message;
+  return Result;
+}
+
+std::string DiagEngine::dump() const {
+  std::string Result;
+  for (const Diag &D : Diags) {
+    Result += D.toString();
+    Result += "\n";
+  }
+  return Result;
+}

@@ -1,0 +1,80 @@
+//===- support/Diag.h - Source locations and diagnostics -------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a small diagnostic collector used by the MiniC
+/// frontend and the analyses. Library code never prints directly or
+/// exits; it records diagnostics and the caller decides what to do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_SUPPORT_DIAG_H
+#define PACO_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace paco {
+
+/// A 1-based line/column position in a MiniC source buffer.
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &RHS) const {
+    return Line == RHS.Line && Column == RHS.Column;
+  }
+
+  std::string toString() const {
+    return std::to_string(Line) + ":" + std::to_string(Column);
+  }
+};
+
+/// Severity of a diagnostic.
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diag {
+  DiagLevel Level;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "line:col: error: message" in the compiler-tool style the
+  /// coding standard asks for (lowercase, no trailing period).
+  std::string toString() const;
+};
+
+/// Accumulates diagnostics during a frontend or analysis run.
+class DiagEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagLevel::Error, Loc, Message});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagLevel::Warning, Loc, Message});
+  }
+  void note(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagLevel::Note, Loc, Message});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diag> &diags() const { return Diags; }
+
+  /// Renders all diagnostics, one per line.
+  std::string dump() const;
+
+private:
+  std::vector<Diag> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace paco
+
+#endif // PACO_SUPPORT_DIAG_H

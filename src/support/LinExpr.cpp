@@ -1,0 +1,124 @@
+//===- support/LinExpr.cpp - Affine expressions over parameters ----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/LinExpr.h"
+
+using namespace paco;
+
+Rational LinExpr::coeff(ParamId Id) const {
+  auto It = Coeffs.find(Id);
+  return It == Coeffs.end() ? Rational() : It->second;
+}
+
+void LinExpr::addTerm(ParamId Id, const Rational &Coeff) {
+  if (Coeff.isZero())
+    return;
+  auto [It, Inserted] = Coeffs.emplace(Id, Coeff);
+  if (Inserted)
+    return;
+  It->second += Coeff;
+  if (It->second.isZero())
+    Coeffs.erase(It);
+}
+
+LinExpr LinExpr::operator-() const {
+  LinExpr Result;
+  Result.Const = -Const;
+  for (const auto &[Id, Coeff] : Coeffs)
+    Result.Coeffs.emplace(Id, -Coeff);
+  return Result;
+}
+
+LinExpr LinExpr::operator+(const LinExpr &RHS) const {
+  LinExpr Result = *this;
+  Result.Const += RHS.Const;
+  for (const auto &[Id, Coeff] : RHS.Coeffs)
+    Result.addTerm(Id, Coeff);
+  return Result;
+}
+
+LinExpr LinExpr::operator-(const LinExpr &RHS) const { return *this + (-RHS); }
+
+LinExpr LinExpr::operator*(const Rational &Scale) const {
+  LinExpr Result;
+  if (Scale.isZero())
+    return Result;
+  Result.Const = Const * Scale;
+  for (const auto &[Id, Coeff] : Coeffs)
+    Result.Coeffs.emplace(Id, Coeff * Scale);
+  return Result;
+}
+
+LinExpr LinExpr::mul(const LinExpr &A, const LinExpr &B, ParamSpace &Space) {
+  LinExpr Result(A.Const * B.Const);
+  for (const auto &[Id, Coeff] : A.Coeffs)
+    Result.addTerm(Id, Coeff * B.Const);
+  for (const auto &[Id, Coeff] : B.Coeffs)
+    Result.addTerm(Id, Coeff * A.Const);
+  for (const auto &[IdA, CoeffA] : A.Coeffs)
+    for (const auto &[IdB, CoeffB] : B.Coeffs)
+      Result.addTerm(Space.internMonomial({IdA, IdB}), CoeffA * CoeffB);
+  return Result;
+}
+
+Rational LinExpr::evaluate(const std::vector<Rational> &Point) const {
+  Rational Result = Const;
+  for (const auto &[Id, Coeff] : Coeffs) {
+    assert(Id < Point.size() && "point misses a parameter value");
+    Result += Coeff * Point[Id];
+  }
+  return Result;
+}
+
+std::optional<Rational> LinExpr::asConstant() const {
+  if (!isConstant())
+    return std::nullopt;
+  return Const;
+}
+
+std::optional<ParamId> LinExpr::asSingleParam() const {
+  if (!Const.isZero() || Coeffs.size() != 1)
+    return std::nullopt;
+  const auto &[Id, Coeff] = *Coeffs.begin();
+  if (Coeff != Rational(1))
+    return std::nullopt;
+  return Id;
+}
+
+bool LinExpr::mentionsDummy(const ParamSpace &Space) const {
+  for (const auto &[Id, Coeff] : Coeffs) {
+    (void)Coeff;
+    for (ParamId Factor : Space.factors(Id))
+      if (Space.isDummy(Factor))
+        return true;
+  }
+  return false;
+}
+
+std::string LinExpr::toString(const ParamSpace &Space) const {
+  std::string Result;
+  auto appendSigned = [&Result](const Rational &Value, const std::string &Sym) {
+    Rational Abs = Value.abs();
+    if (Result.empty()) {
+      if (Value.isNegative())
+        Result += "-";
+    } else {
+      Result += Value.isNegative() ? " - " : " + ";
+    }
+    if (Sym.empty()) {
+      Result += Abs.toString();
+      return;
+    }
+    if (Abs != Rational(1))
+      Result += Abs.toString() + "*";
+    Result += Sym;
+  };
+  if (!Const.isZero() || Coeffs.empty())
+    appendSigned(Const, "");
+  for (const auto &[Id, Coeff] : Coeffs)
+    appendSigned(Coeff, Space.displayName(Id));
+  return Result;
+}

@@ -1,0 +1,102 @@
+//===- support/LinExpr.h - Affine expressions over parameters --*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Affine (linear + constant) expressions over the parameters of a
+/// ParamSpace, with exact rational coefficients.
+///
+/// All parametric costs in the analysis are LinExprs. Nonlinear products
+/// are handled by interning monomials into the ParamSpace (see
+/// LinExpr::mul), so an expression such as x*y*z + 2*x*y is affine in the
+/// extended parameter space {x, y, z, x*y, x*y*z}.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_SUPPORT_LINEXPR_H
+#define PACO_SUPPORT_LINEXPR_H
+
+#include "support/ParamSpace.h"
+
+#include <map>
+#include <optional>
+
+namespace paco {
+
+/// An affine expression Constant + sum(Coeff[i] * Param[i]).
+class LinExpr {
+public:
+  /// Constructs the zero expression.
+  LinExpr() = default;
+
+  /// Constructs a constant expression.
+  explicit LinExpr(Rational Constant) : Const(std::move(Constant)) {}
+
+  /// Constructs a constant integer expression.
+  static LinExpr constant(int64_t Value) { return LinExpr(Rational(Value)); }
+
+  /// Constructs the expression consisting of a single parameter.
+  static LinExpr param(ParamId Id) {
+    LinExpr Result;
+    Result.Coeffs[Id] = Rational(1);
+    return Result;
+  }
+
+  bool isZero() const { return Const.isZero() && Coeffs.empty(); }
+  bool isConstant() const { return Coeffs.empty(); }
+
+  /// The constant term.
+  const Rational &constantTerm() const { return Const; }
+
+  /// The coefficient of \p Id (zero if absent).
+  Rational coeff(ParamId Id) const;
+
+  /// Sparse iteration over nonzero coefficients.
+  const std::map<ParamId, Rational> &terms() const { return Coeffs; }
+
+  LinExpr operator-() const;
+  LinExpr operator+(const LinExpr &RHS) const;
+  LinExpr operator-(const LinExpr &RHS) const;
+  LinExpr operator*(const Rational &Scale) const;
+
+  LinExpr &operator+=(const LinExpr &RHS) { return *this = *this + RHS; }
+  LinExpr &operator-=(const LinExpr &RHS) { return *this = *this - RHS; }
+  LinExpr &operator*=(const Rational &S) { return *this = *this * S; }
+
+  bool operator==(const LinExpr &RHS) const {
+    return Const == RHS.Const && Coeffs == RHS.Coeffs;
+  }
+  bool operator!=(const LinExpr &RHS) const { return !(*this == RHS); }
+
+  /// Multiplies two affine expressions, interning product monomials into
+  /// \p Space so the result is again affine (paper section 4.2 / 5.1).
+  static LinExpr mul(const LinExpr &A, const LinExpr &B, ParamSpace &Space);
+
+  /// Evaluates at a full point (one value per parameter in \p Space order).
+  Rational evaluate(const std::vector<Rational> &Point) const;
+
+  /// If the expression is a plain constant, returns it.
+  std::optional<Rational> asConstant() const;
+
+  /// If the expression is exactly one parameter with coefficient one and
+  /// no constant, returns that parameter.
+  std::optional<ParamId> asSingleParam() const;
+
+  /// \returns true if any dummy parameter of \p Space occurs.
+  bool mentionsDummy(const ParamSpace &Space) const;
+
+  /// Renders e.g. "3 + 2*x - 1/2*x*y".
+  std::string toString(const ParamSpace &Space) const;
+
+private:
+  void addTerm(ParamId Id, const Rational &Coeff);
+
+  Rational Const;
+  std::map<ParamId, Rational> Coeffs;
+};
+
+} // namespace paco
+
+#endif // PACO_SUPPORT_LINEXPR_H

@@ -1,0 +1,95 @@
+//===- support/ParamSpace.cpp - Run-time parameter registry --------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ParamSpace.h"
+
+#include <algorithm>
+
+using namespace paco;
+
+ParamId ParamSpace::addParam(const std::string &Name, BigInt Lower,
+                             BigInt Upper) {
+  assert(Lower <= Upper && "empty parameter range");
+  assert(ByName.find(Name) == ByName.end() && "duplicate parameter name");
+  ParamId Id = static_cast<ParamId>(Params.size());
+  Params.push_back({Name, Kind::Base, std::move(Lower), std::move(Upper),
+                    {Id}});
+  ByName.emplace(Name, Id);
+  return Id;
+}
+
+ParamId ParamSpace::addDummy(const std::string &Name, BigInt Lower,
+                             BigInt Upper) {
+  assert(Lower <= Upper && "empty parameter range");
+  assert(ByName.find(Name) == ByName.end() && "duplicate parameter name");
+  ParamId Id = static_cast<ParamId>(Params.size());
+  Params.push_back({Name, Kind::Dummy, std::move(Lower), std::move(Upper),
+                    {Id}});
+  ByName.emplace(Name, Id);
+  return Id;
+}
+
+ParamId ParamSpace::internMonomial(std::vector<ParamId> Factors) {
+  assert(!Factors.empty() && "monomial needs at least one factor");
+  // Flatten nested monomials into base/dummy factors.
+  std::vector<ParamId> Flat;
+  for (ParamId F : Factors) {
+    assert(F < Params.size() && "factor id out of range");
+    const std::vector<ParamId> &Sub = Params[F].Factors;
+    Flat.insert(Flat.end(), Sub.begin(), Sub.end());
+  }
+  std::sort(Flat.begin(), Flat.end());
+  if (Flat.size() == 1)
+    return Flat[0];
+  auto Cached = MonomialCache.find(Flat);
+  if (Cached != MonomialCache.end())
+    return Cached->second;
+
+  // Interval product of the factor bounds.
+  BigInt Lower(1), Upper(1);
+  std::string Name;
+  for (ParamId F : Flat) {
+    const Entry &Fe = Params[F];
+    BigInt Candidates[4] = {Lower * Fe.Lower, Lower * Fe.Upper,
+                            Upper * Fe.Lower, Upper * Fe.Upper};
+    Lower = *std::min_element(std::begin(Candidates), std::end(Candidates));
+    Upper = *std::max_element(std::begin(Candidates), std::end(Candidates));
+    if (!Name.empty())
+      Name += "*";
+    Name += Fe.Name;
+  }
+  ParamId Id = static_cast<ParamId>(Params.size());
+  Params.push_back({Name, Kind::Monomial, std::move(Lower), std::move(Upper),
+                    Flat});
+  MonomialCache.emplace(std::move(Flat), Id);
+  return Id;
+}
+
+const std::vector<ParamId> &ParamSpace::factors(ParamId Id) const {
+  return entry(Id).Factors;
+}
+
+bool ParamSpace::lookup(const std::string &Name, ParamId &Id) const {
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return false;
+  Id = It->second;
+  return true;
+}
+
+void ParamSpace::extendPoint(std::vector<Rational> &Values) const {
+  assert(Values.size() == Params.size() && "point has wrong dimension");
+  for (unsigned I = 0; I != Params.size(); ++I) {
+    if (Params[I].ParamKind != Kind::Monomial)
+      continue;
+    Rational Product(1);
+    for (ParamId F : Params[I].Factors)
+      Product *= Values[F];
+    Values[I] = Product;
+  }
+}
+
+std::string ParamSpace::displayName(ParamId Id) const { return name(Id); }

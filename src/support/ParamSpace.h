@@ -1,0 +1,108 @@
+//===- support/ParamSpace.h - Run-time parameter registry ------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of run-time parameters (the paper's vector "h-bar").
+///
+/// The parametric analysis expresses every cost as a function of the
+/// program's run-time parameters. Three kinds of parameters exist:
+///
+///  * Base parameters: declared program inputs (command options, data
+///    sizes) with a bounded integer range supplied by the user. The
+///    partitioning algorithm requires a bounded domain box X.
+///  * Dummy parameters (paper section 3.4): introduced when symbolic
+///    analysis cannot express an execution count or allocation size; if a
+///    dummy survives into the partitioning solution, the tool reports that
+///    a user annotation is required for it.
+///  * Monomial parameters (paper section 4.2): a product of base/dummy
+///    parameters, interned as a fresh dimension so all cost functions stay
+///    affine. This is exactly the paper's "approximate a nonlinear
+///    function as a new parameter independent of h" device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_SUPPORT_PARAMSPACE_H
+#define PACO_SUPPORT_PARAMSPACE_H
+
+#include "support/Rational.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace paco {
+
+/// Index of a parameter within a ParamSpace.
+using ParamId = unsigned;
+
+/// Registry of run-time parameters and interned monomials.
+class ParamSpace {
+public:
+  enum class Kind { Base, Dummy, Monomial };
+
+  /// Registers a base parameter with inclusive integer bounds.
+  ParamId addParam(const std::string &Name, BigInt Lower, BigInt Upper);
+
+  /// Registers a dummy parameter standing in for an unanalyzable count.
+  ParamId addDummy(const std::string &Name, BigInt Lower, BigInt Upper);
+
+  /// Interns the monomial that is the product of \p Factors.
+  ///
+  /// Factors may repeat (powers) and may themselves be monomials, in which
+  /// case their factor lists are flattened. A single-factor monomial is the
+  /// factor itself. Bounds are derived by interval multiplication.
+  ParamId internMonomial(std::vector<ParamId> Factors);
+
+  /// Number of registered parameters (all kinds).
+  unsigned size() const { return static_cast<unsigned>(Params.size()); }
+
+  const std::string &name(ParamId Id) const { return entry(Id).Name; }
+  Kind kind(ParamId Id) const { return entry(Id).ParamKind; }
+  bool isDummy(ParamId Id) const { return kind(Id) == Kind::Dummy; }
+  bool isMonomial(ParamId Id) const { return kind(Id) == Kind::Monomial; }
+  const BigInt &lower(ParamId Id) const { return entry(Id).Lower; }
+  const BigInt &upper(ParamId Id) const { return entry(Id).Upper; }
+
+  /// For a monomial, the sorted flattened list of base/dummy factor ids.
+  /// For base/dummy parameters, a singleton list of the id itself.
+  const std::vector<ParamId> &factors(ParamId Id) const;
+
+  /// Looks up a base or dummy parameter by name; returns true on success.
+  bool lookup(const std::string &Name, ParamId &Id) const;
+
+  /// Extends a vector of base/dummy parameter values (indexed by id, with
+  /// monomial slots ignored) into a full point where every monomial slot
+  /// holds the product of its factors.
+  ///
+  /// \p Values must have size() entries; monomial entries are overwritten.
+  void extendPoint(std::vector<Rational> &Values) const;
+
+  /// Renders a human-readable name: base params print as-is, monomials as
+  /// "x*y".
+  std::string displayName(ParamId Id) const;
+
+private:
+  struct Entry {
+    std::string Name;
+    Kind ParamKind;
+    BigInt Lower;
+    BigInt Upper;
+    std::vector<ParamId> Factors;
+  };
+
+  const Entry &entry(ParamId Id) const {
+    assert(Id < Params.size() && "parameter id out of range");
+    return Params[Id];
+  }
+
+  std::vector<Entry> Params;
+  std::map<std::string, ParamId> ByName;
+  std::map<std::vector<ParamId>, ParamId> MonomialCache;
+};
+
+} // namespace paco
+
+#endif // PACO_SUPPORT_PARAMSPACE_H

@@ -1,0 +1,95 @@
+//===- support/Rational.cpp - Exact rational arithmetic ------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+using namespace paco;
+
+Rational::Rational(BigInt Numerator, BigInt Denominator)
+    : Num(std::move(Numerator)), Den(std::move(Denominator)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNegative()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt Common = BigInt::gcd(Num, Den);
+  if (!Common.isOne()) {
+    Num = Num / Common;
+    Den = Den / Common;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational Result = *this;
+  Result.Num = -Result.Num;
+  return Result;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+int Rational::compare(const Rational &RHS) const {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+BigInt Rational::floor() const {
+  BigInt Quot, Rem;
+  BigInt::divMod(Num, Den, Quot, Rem);
+  if (Rem.isNegative())
+    Quot -= BigInt(1);
+  return Quot;
+}
+
+BigInt Rational::ceil() const {
+  BigInt Quot, Rem;
+  BigInt::divMod(Num, Den, Quot, Rem);
+  if (Rem.isPositive())
+    Quot += BigInt(1);
+  return Quot;
+}
+
+double Rational::toDouble() const {
+  // Sufficient precision for reporting: scale into int64 range by repeated
+  // halving of both parts.
+  BigInt N = Num, D = Den;
+  BigInt Two(2);
+  while (!N.fitsInt64() || !D.fitsInt64()) {
+    N = N / Two;
+    D = D / Two;
+    if (D.isZero())
+      return N.isNegative() ? -1e308 : 1e308;
+  }
+  return static_cast<double>(N.toInt64()) / static_cast<double>(D.toInt64());
+}
+
+std::string Rational::toString() const {
+  if (Den.isOne())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}

@@ -1,0 +1,103 @@
+//===- support/Rational.h - Exact rational arithmetic ----------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational numbers over BigInt, always kept in lowest terms with a
+/// positive denominator. Used for parametric cost coefficients, polyhedral
+/// vertices and flow capacities.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_SUPPORT_RATIONAL_H
+#define PACO_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+#include <string>
+
+namespace paco {
+
+/// Exact rational number.
+///
+/// Invariants: the denominator is strictly positive and gcd(|num|, den)
+/// is 1; zero is represented as 0/1.
+class Rational {
+public:
+  /// Constructs zero.
+  Rational() : Den(1) {}
+
+  /// Constructs an integer value.
+  Rational(int64_t Value) : Num(Value), Den(1) {}
+
+  /// Constructs an integer value.
+  Rational(BigInt Value) : Num(std::move(Value)), Den(1) {}
+
+  /// Constructs Num/Den and normalizes. Asserts if \p Den is zero.
+  Rational(BigInt Numerator, BigInt Denominator);
+
+  /// Convenience for small fractions in tests and cost tables.
+  static Rational fraction(int64_t Numerator, int64_t Denominator) {
+    return Rational(BigInt(Numerator), BigInt(Denominator));
+  }
+
+  const BigInt &numerator() const { return Num; }
+  const BigInt &denominator() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isNegative() const { return Num.isNegative(); }
+  bool isPositive() const { return Num.isPositive(); }
+  bool isInteger() const { return Den.isOne(); }
+  int sign() const { return Num.sign(); }
+
+  Rational operator-() const;
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// Asserts if \p RHS is zero.
+  Rational operator/(const Rational &RHS) const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const Rational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const Rational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const Rational &RHS) const { return compare(RHS) >= 0; }
+
+  /// Three-way comparison.
+  int compare(const Rational &RHS) const;
+
+  Rational abs() const { return isNegative() ? -*this : *this; }
+
+  /// Largest integer not greater than the value.
+  BigInt floor() const;
+  /// Smallest integer not less than the value.
+  BigInt ceil() const;
+
+  /// Nearest double approximation (for reporting only).
+  double toDouble() const;
+
+  /// Renders "n" or "n/d".
+  std::string toString() const;
+
+  size_t hash() const { return Num.hash() * 31 + Den.hash(); }
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den;
+};
+
+} // namespace paco
+
+#endif // PACO_SUPPORT_RATIONAL_H

@@ -1,0 +1,240 @@
+//===- tcfg/TaskAccess.cpp - Per-task data access summaries ---------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tcfg/TaskAccess.h"
+
+using namespace paco;
+
+std::vector<unsigned> TaskAccessInfo::accessedLocations() const {
+  std::set<unsigned> Locs;
+  for (const auto &TaskMap : PerTask)
+    for (const auto &[Loc, Flags] : TaskMap)
+      if (Flags.Accessed)
+        Locs.insert(Loc);
+  return std::vector<unsigned>(Locs.begin(), Locs.end());
+}
+
+namespace {
+
+/// One memory access in program order within a block.
+struct Access {
+  enum class Kind { Read, DefWrite, WeakWrite };
+  Kind K;
+  unsigned Loc;
+};
+
+class AccessBuilder {
+public:
+  AccessBuilder(const IRModule &M, const MemoryModel &Memory,
+                const PointsToResult &PT, const TCFG &Graph)
+      : M(M), Memory(Memory), PT(PT), Graph(Graph) {}
+
+  TaskAccessInfo build();
+
+private:
+  void instrAccesses(const Instr &I, unsigned FuncIdx,
+                     std::vector<Access> &Out) const;
+  void readOperand(const Operand &O, unsigned FuncIdx,
+                   std::vector<Access> &Out) const;
+  void pointeeAccess(const Operand &Ptr, unsigned FuncIdx, bool IsWrite,
+                     std::vector<Access> &Out) const;
+  bool isDataLoc(unsigned Loc) const {
+    return Memory.loc(Loc).K != MemLocInfo::Kind::Func;
+  }
+
+  const IRModule &M;
+  const MemoryModel &Memory;
+  const PointsToResult &PT;
+  const TCFG &Graph;
+};
+
+void AccessBuilder::readOperand(const Operand &O, unsigned FuncIdx,
+                                std::vector<Access> &Out) const {
+  if (O.K != Operand::Kind::Local && O.K != Operand::Kind::Global)
+    return;
+  Out.push_back({Access::Kind::Read, Memory.operandLoc(O, FuncIdx)});
+}
+
+void AccessBuilder::pointeeAccess(const Operand &Ptr, unsigned FuncIdx,
+                                  bool IsWrite,
+                                  std::vector<Access> &Out) const {
+  if (Ptr.K != Operand::Kind::Local && Ptr.K != Operand::Kind::Global)
+    return;
+  unsigned PtrLoc = Memory.operandLoc(Ptr, FuncIdx);
+  const std::set<unsigned> &Pointees = PT.pointsTo(PtrLoc);
+  for (unsigned L : Pointees) {
+    if (!isDataLoc(L))
+      continue;
+    if (!IsWrite) {
+      Out.push_back({Access::Kind::Read, L});
+      continue;
+    }
+    // A write through a pointer is definite only when the target is
+    // unique and scalar; aggregates take partial writes, multiple
+    // targets make the write possible (paper Figure 5).
+    bool Definite = Pointees.size() == 1 && !Memory.loc(L).IsAggregate;
+    Out.push_back(
+        {Definite ? Access::Kind::DefWrite : Access::Kind::WeakWrite, L});
+  }
+}
+
+void AccessBuilder::instrAccesses(const Instr &I, unsigned FuncIdx,
+                                  std::vector<Access> &Out) const {
+  auto writeDst = [&]() {
+    if (I.Dst != KNone)
+      Out.push_back(
+          {Access::Kind::DefWrite, Memory.localLoc(FuncIdx, I.Dst)});
+  };
+  switch (I.Op) {
+  case Opcode::AddrOfVar:
+    // Taking an address reads no data.
+    writeDst();
+    return;
+  case Opcode::Load:
+    readOperand(I.A, FuncIdx, Out);
+    readOperand(I.B, FuncIdx, Out);
+    pointeeAccess(I.A, FuncIdx, /*IsWrite=*/false, Out);
+    writeDst();
+    return;
+  case Opcode::Store:
+    readOperand(I.A, FuncIdx, Out);
+    readOperand(I.B, FuncIdx, Out);
+    readOperand(I.C, FuncIdx, Out);
+    pointeeAccess(I.A, FuncIdx, /*IsWrite=*/true, Out);
+    return;
+  case Opcode::Malloc:
+    readOperand(I.A, FuncIdx, Out);
+    // Fresh memory: the allocating host holds the only valid copy.
+    Out.push_back({Access::Kind::DefWrite, Memory.allocLoc(I.AllocSite)});
+    writeDst();
+    return;
+  case Opcode::IoRead:
+    writeDst();
+    return;
+  case Opcode::IoWrite:
+    readOperand(I.A, FuncIdx, Out);
+    return;
+  case Opcode::IoReadBuf:
+    readOperand(I.A, FuncIdx, Out);
+    readOperand(I.B, FuncIdx, Out);
+    pointeeAccess(I.A, FuncIdx, /*IsWrite=*/true, Out);
+    return;
+  case Opcode::IoWriteBuf:
+    readOperand(I.A, FuncIdx, Out);
+    readOperand(I.B, FuncIdx, Out);
+    pointeeAccess(I.A, FuncIdx, /*IsWrite=*/false, Out);
+    return;
+  case Opcode::Call: {
+    for (unsigned A = 0; A != I.Args.size(); ++A) {
+      readOperand(I.Args[A], FuncIdx, Out);
+      Out.push_back(
+          {Access::Kind::DefWrite, Memory.localLoc(I.Callee, A)});
+    }
+    return;
+  }
+  case Opcode::CallInd:
+    readOperand(I.A, FuncIdx, Out);
+    return;
+  case Opcode::Ret:
+    readOperand(I.A, FuncIdx, Out);
+    if (!I.A.isNone())
+      Out.push_back({Access::Kind::DefWrite, Memory.retLoc(FuncIdx)});
+    return;
+  default:
+    readOperand(I.A, FuncIdx, Out);
+    readOperand(I.B, FuncIdx, Out);
+    readOperand(I.C, FuncIdx, Out);
+    writeDst();
+    return;
+  }
+}
+
+TaskAccessInfo AccessBuilder::build() {
+  TaskAccessInfo Info(Graph.numTasks());
+
+  // Ordered accesses per global block id, with call-return effects (the
+  // write of the call's destination from the callee's return value)
+  // attributed to the continuation block, where they happen.
+  std::vector<std::vector<Access>> BlockAccesses(Graph.BlockTask.size());
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    const IRFunction &Func = *M.Functions[F];
+    for (unsigned B = 0; B != Func.Blocks.size(); ++B) {
+      unsigned Gid = Graph.blockId(F, B);
+      if (Gid >= Graph.BlockTask.size() ||
+          Graph.BlockTask[Gid] == KNone)
+        continue;
+      std::vector<Access> &Accs = BlockAccesses[Gid];
+      for (const Instr &I : Func.Blocks[B].Instrs)
+        instrAccesses(I, F, Accs);
+      const Instr &Term = Func.Blocks[B].terminator();
+      if (Term.Op == Opcode::Call && Term.Dst != KNone) {
+        unsigned ContGid = Graph.blockId(F, Term.Succ0);
+        std::vector<Access> RetHalf = {
+            {Access::Kind::Read, Memory.retLoc(Term.Callee)},
+            {Access::Kind::DefWrite, Memory.localLoc(F, Term.Dst)}};
+        std::vector<Access> &Cont = BlockAccesses[ContGid];
+        Cont.insert(Cont.begin(), RetHalf.begin(), RetHalf.end());
+      }
+    }
+  }
+
+  // Aggregate per task.
+  for (unsigned T = 0; T != Graph.numTasks(); ++T) {
+    const TCFG::Task &Task = Graph.Tasks[T];
+    std::map<unsigned, TaskAccessFlags> &Flags = Info.flags(T);
+    for (unsigned Idx = 0; Idx != Task.Blocks.size(); ++Idx) {
+      unsigned Gid = Task.Blocks[Idx];
+      bool IsHeader = Idx == 0;
+      // Within a block, a write (of either strength) covers later reads:
+      // either the definite write validates the local copy, or the
+      // conservative constraint of the weak write already demanded
+      // validity at task entry.
+      std::set<unsigned> CoveredByWrite;
+      for (const Access &A : BlockAccesses[Gid]) {
+        TaskAccessFlags &LocFlags = Flags[A.Loc];
+        LocFlags.Accessed = true;
+        switch (A.K) {
+        case Access::Kind::Read:
+          if (!CoveredByWrite.count(A.Loc))
+            LocFlags.UpwardRead = true;
+          break;
+        case Access::Kind::DefWrite:
+          // Only a first-write-definite in the header makes the task's
+          // write definite overall (the header dominates the task).
+          if (IsHeader && !LocFlags.anyWrite())
+            LocFlags.DefWrite = true;
+          else if (!LocFlags.DefWrite)
+            LocFlags.WeakWrite = true;
+          CoveredByWrite.insert(A.Loc);
+          break;
+        case Access::Kind::WeakWrite:
+          if (!LocFlags.DefWrite)
+            LocFlags.WeakWrite = true;
+          CoveredByWrite.insert(A.Loc);
+          break;
+        }
+      }
+    }
+  }
+
+  // Virtual entry: definitely writes all globals.
+  for (unsigned G = 0; G != M.Globals.size(); ++G) {
+    TaskAccessFlags &Flags = Info.flags(Graph.EntryTask)[Memory.globalLoc(G)];
+    Flags.DefWrite = true;
+    Flags.Accessed = true;
+  }
+  return Info;
+}
+
+} // namespace
+
+TaskAccessInfo paco::computeTaskAccess(const IRModule &M,
+                                       const MemoryModel &Memory,
+                                       const PointsToResult &PT,
+                                       const TCFG &Graph) {
+  AccessBuilder Builder(M, Memory, PT, Graph);
+  return Builder.build();
+}

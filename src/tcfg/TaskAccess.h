@@ -1,0 +1,75 @@
+//===- tcfg/TaskAccess.h - Per-task data access summaries ------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Task-level data access summaries feeding the data-validity-state
+/// constraints (paper section 2.4): for every (task, data item) pair,
+/// whether the task has an upward-exposed read, whether it definitely
+/// writes the item first (Write Constraint without the conservative
+/// companion), whether it possibly/partially writes it (Conservative
+/// Constraint), and whether it accesses the item at all (Data Access
+/// State Constraint / registration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_TCFG_TASKACCESS_H
+#define PACO_TCFG_TASKACCESS_H
+
+#include "tcfg/TaskGraph.h"
+
+namespace paco {
+
+/// Access flags of one (task, data item) pair.
+struct TaskAccessFlags {
+  /// A read of the item may execute before any write within the task.
+  bool UpwardRead = false;
+  /// The item is definitely overwritten before any weaker access (the
+  /// first write in the task header is a definite full write).
+  bool DefWrite = false;
+  /// The item is possibly or partially written (triggers the paper's
+  /// Conservative Constraint).
+  bool WeakWrite = false;
+  /// The item is read or written at all (data access states Ns/Nc).
+  bool Accessed = false;
+
+  bool anyWrite() const { return DefWrite || WeakWrite; }
+};
+
+/// Summaries for all tasks. Data items are the Global/Local/Alloc/Ret
+/// abstract locations; Func locations never appear.
+class TaskAccessInfo {
+public:
+  explicit TaskAccessInfo(unsigned NumTasks) : PerTask(NumTasks) {}
+
+  const std::map<unsigned, TaskAccessFlags> &flags(unsigned Task) const {
+    return PerTask[Task];
+  }
+  std::map<unsigned, TaskAccessFlags> &flags(unsigned Task) {
+    return PerTask[Task];
+  }
+
+  /// Convenience lookup; returns default flags when the task does not
+  /// touch the item.
+  TaskAccessFlags query(unsigned Task, unsigned Loc) const {
+    auto It = PerTask[Task].find(Loc);
+    return It == PerTask[Task].end() ? TaskAccessFlags() : It->second;
+  }
+
+  /// All data items some task accesses.
+  std::vector<unsigned> accessedLocations() const;
+
+private:
+  std::vector<std::map<unsigned, TaskAccessFlags>> PerTask;
+};
+
+/// Computes the summaries. The virtual entry task definitely writes every
+/// global (program data starts valid on the client only).
+TaskAccessInfo computeTaskAccess(const IRModule &M, const MemoryModel &Memory,
+                                 const PointsToResult &PT, const TCFG &Graph);
+
+} // namespace paco
+
+#endif // PACO_TCFG_TASKACCESS_H

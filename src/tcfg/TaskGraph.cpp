@@ -1,0 +1,432 @@
+//===- tcfg/TaskGraph.cpp - Task control flow graph (Algorithm 1) ---------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tcfg/TaskGraph.h"
+
+#include <queue>
+
+using namespace paco;
+
+std::string TCFG::dump(const ParamSpace &Space) const {
+  std::string Out;
+  for (unsigned T = 0; T != Tasks.size(); ++T) {
+    Out += "task " + std::to_string(T) + " [" + Tasks[T].Label + "]";
+    if (Tasks[T].HasIO)
+      Out += " io";
+    Out += " units=" + Tasks[T].ComputeUnits.toString(Space) + "\n";
+  }
+  for (const auto &[Edge, Count] : Edges)
+    Out += "  " + std::to_string(Edge.first) + " -> " +
+           std::to_string(Edge.second) + " x" + Count.toString(Space) + "\n";
+  return Out;
+}
+
+namespace {
+
+/// Working data for Algorithm 1 at block granularity.
+class TCFGBuilder {
+public:
+  TCFGBuilder(const IRModule &M, const MemoryModel &Memory,
+              const PointsToResult &PT)
+      : M(M), Memory(Memory), PT(PT) {}
+
+  TCFG build();
+
+private:
+  void computeReachableFunctions();
+  void buildBlockGraph();
+  void runAlgorithm1();
+  void formTasks(TCFG &Out);
+  void addTCFGEdges(TCFG &Out);
+
+  std::vector<unsigned> indirectTargets(unsigned FuncIdx,
+                                        const Instr &I) const {
+    unsigned VarLoc = I.A.K == Operand::Kind::Global
+                          ? Memory.globalLoc(I.A.Index)
+                          : Memory.localLoc(FuncIdx, I.A.Index);
+    return PT.callTargets(VarLoc, Memory);
+  }
+
+  const IRModule &M;
+  const MemoryModel &Memory;
+  const PointsToResult &PT;
+
+  std::vector<bool> FuncReachable;
+  std::vector<unsigned> FuncOffset;
+  unsigned NumBlocks = 0;
+
+  // Per global block id:
+  std::vector<bool> BlockLive;             ///< Reachable within function.
+  std::vector<std::vector<unsigned>> PropSuccs; ///< Intra-function edges.
+  std::vector<std::vector<unsigned>> PropPreds;
+  std::vector<bool> IsHeader;
+  std::vector<unsigned> Header;
+
+  struct CallSite {
+    unsigned CallBlock;
+    unsigned ContBlock;
+    unsigned Callee;
+  };
+  std::vector<CallSite> CallSites;
+  std::vector<std::vector<unsigned>> RetBlocks; ///< Per function.
+};
+
+void TCFGBuilder::computeReachableFunctions() {
+  FuncReachable.assign(M.Functions.size(), false);
+  if (M.MainIndex == KNone)
+    return;
+  std::queue<unsigned> Work;
+  FuncReachable[M.MainIndex] = true;
+  Work.push(M.MainIndex);
+  while (!Work.empty()) {
+    unsigned F = Work.front();
+    Work.pop();
+    for (const BasicBlock &B : M.Functions[F]->Blocks)
+      for (const Instr &I : B.Instrs) {
+        std::vector<unsigned> Callees;
+        if (I.Op == Opcode::Call)
+          Callees.push_back(I.Callee);
+        else if (I.Op == Opcode::CallInd)
+          Callees = indirectTargets(F, I);
+        for (unsigned Callee : Callees)
+          if (!FuncReachable[Callee]) {
+            FuncReachable[Callee] = true;
+            Work.push(Callee);
+          }
+      }
+  }
+}
+
+void TCFGBuilder::buildBlockGraph() {
+  FuncOffset.assign(M.Functions.size(), 0);
+  NumBlocks = 0;
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    FuncOffset[F] = NumBlocks;
+    NumBlocks += static_cast<unsigned>(M.Functions[F]->Blocks.size());
+  }
+  PropSuccs.assign(NumBlocks, {});
+  PropPreds.assign(NumBlocks, {});
+  BlockLive.assign(NumBlocks, false);
+  RetBlocks.assign(M.Functions.size(), {});
+
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    if (!FuncReachable[F])
+      continue;
+    const IRFunction &Func = *M.Functions[F];
+    for (unsigned B = 0; B != Func.Blocks.size(); ++B) {
+      unsigned Gid = FuncOffset[F] + B;
+      const Instr &Term = Func.Blocks[B].terminator();
+      switch (Term.Op) {
+      case Opcode::Br:
+        PropSuccs[Gid] = {FuncOffset[F] + Term.Succ0,
+                          FuncOffset[F] + Term.Succ1};
+        break;
+      case Opcode::Jmp:
+      case Opcode::Call:
+      case Opcode::CallInd:
+        PropSuccs[Gid] = {FuncOffset[F] + Term.Succ0};
+        break;
+      case Opcode::Ret:
+        break;
+      default:
+        assert(false && "block without terminator");
+      }
+    }
+    // Intra-function liveness from the entry block.
+    std::queue<unsigned> Work;
+    unsigned Entry = FuncOffset[F];
+    BlockLive[Entry] = true;
+    Work.push(Entry);
+    while (!Work.empty()) {
+      unsigned Gid = Work.front();
+      Work.pop();
+      for (unsigned Succ : PropSuccs[Gid])
+        if (!BlockLive[Succ]) {
+          BlockLive[Succ] = true;
+          Work.push(Succ);
+        }
+    }
+    // Call sites and return blocks matter only when they can execute.
+    for (unsigned B = 0; B != Func.Blocks.size(); ++B) {
+      unsigned Gid = FuncOffset[F] + B;
+      if (!BlockLive[Gid])
+        continue;
+      const Instr &Term = Func.Blocks[B].terminator();
+      if (Term.Op == Opcode::Call) {
+        CallSites.push_back({Gid, FuncOffset[F] + Term.Succ0, Term.Callee});
+      } else if (Term.Op == Opcode::CallInd) {
+        for (unsigned Callee : indirectTargets(F, Term))
+          CallSites.push_back({Gid, FuncOffset[F] + Term.Succ0, Callee});
+      } else if (Term.Op == Opcode::Ret) {
+        RetBlocks[F].push_back(Gid);
+      }
+    }
+  }
+  for (unsigned Gid = 0; Gid != NumBlocks; ++Gid)
+    for (unsigned Succ : PropSuccs[Gid])
+      if (BlockLive[Gid])
+        PropPreds[Succ].push_back(Gid);
+}
+
+void TCFGBuilder::runAlgorithm1() {
+  IsHeader.assign(NumBlocks, false);
+  for (unsigned F = 0; F != M.Functions.size(); ++F)
+    if (FuncReachable[F])
+      IsHeader[FuncOffset[F]] = true;
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Assign each live block the header it traces back to; a block fed
+    // by two different tasks must itself become a header.
+    Header.assign(NumBlocks, KNone);
+    bool Stable = false;
+    while (!Stable) {
+      Stable = true;
+      for (unsigned Gid = 0; Gid != NumBlocks; ++Gid) {
+        if (!BlockLive[Gid])
+          continue;
+        if (IsHeader[Gid]) {
+          if (Header[Gid] != Gid) {
+            Header[Gid] = Gid;
+            Stable = false;
+          }
+          continue;
+        }
+        for (unsigned Pred : PropPreds[Gid]) {
+          if (Header[Pred] == KNone)
+            continue;
+          if (Header[Gid] == KNone) {
+            Header[Gid] = Header[Pred];
+            Stable = false;
+          } else if (Header[Gid] != Header[Pred]) {
+            IsHeader[Gid] = true;
+            Header[Gid] = Gid;
+            Stable = false;
+            Changed = true;
+          }
+        }
+      }
+    }
+
+    // Branch rules: a branch whose source and target lie in different
+    // tasks makes both the target and the statement following the branch
+    // task headers (Algorithm 1's inner loop).
+    auto makeHeader = [&](unsigned Gid) {
+      if (!IsHeader[Gid]) {
+        IsHeader[Gid] = true;
+        Changed = true;
+      }
+    };
+    for (unsigned F = 0; F != M.Functions.size(); ++F) {
+      if (!FuncReachable[F])
+        continue;
+      const IRFunction &Func = *M.Functions[F];
+      for (unsigned B = 0; B != Func.Blocks.size(); ++B) {
+        unsigned Gid = FuncOffset[F] + B;
+        if (!BlockLive[Gid])
+          continue;
+        const Instr &Term = Func.Blocks[B].terminator();
+        switch (Term.Op) {
+        case Opcode::Br: {
+          unsigned T0 = FuncOffset[F] + Term.Succ0;
+          unsigned T1 = FuncOffset[F] + Term.Succ1;
+          if (Header[Gid] != Header[T0] || Header[Gid] != Header[T1]) {
+            if (Header[Gid] != Header[T0])
+              makeHeader(T0);
+            if (Header[Gid] != Header[T1])
+              makeHeader(T1);
+          }
+          break;
+        }
+        case Opcode::Jmp: {
+          unsigned T0 = FuncOffset[F] + Term.Succ0;
+          if (Header[Gid] != Header[T0])
+            makeHeader(T0);
+          break;
+        }
+        case Opcode::Call:
+        case Opcode::CallInd:
+          // The callee entry is always a different task; both it and the
+          // continuation become headers.
+          makeHeader(FuncOffset[F] + Term.Succ0);
+          break;
+        case Opcode::Ret:
+          break;
+        default:
+          break;
+        }
+      }
+    }
+    // Return continuations: every call continuation is a branch target of
+    // the callee's return, which crosses functions and thus tasks.
+    for (const CallSite &Site : CallSites)
+      makeHeader(Site.ContBlock);
+  }
+}
+
+void TCFGBuilder::formTasks(TCFG &Out) {
+  Out.FuncOffset = FuncOffset;
+  Out.BlockTask.assign(NumBlocks, KNone);
+  std::vector<unsigned> HeaderTask(NumBlocks, KNone);
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    if (!FuncReachable[F])
+      continue;
+    const IRFunction &Func = *M.Functions[F];
+    for (unsigned B = 0; B != Func.Blocks.size(); ++B) {
+      unsigned Gid = FuncOffset[F] + B;
+      if (!BlockLive[Gid] || !IsHeader[Gid])
+        continue;
+      TCFG::Task Task;
+      Task.FuncIdx = F;
+      Task.Label = Func.Name + "#" + std::to_string(B);
+      HeaderTask[Gid] = static_cast<unsigned>(Out.Tasks.size());
+      Out.Tasks.push_back(std::move(Task));
+    }
+  }
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    if (!FuncReachable[F])
+      continue;
+    const IRFunction &Func = *M.Functions[F];
+    for (unsigned B = 0; B != Func.Blocks.size(); ++B) {
+      unsigned Gid = FuncOffset[F] + B;
+      if (!BlockLive[Gid])
+        continue;
+      unsigned TaskId = HeaderTask[Header[Gid]];
+      Out.BlockTask[Gid] = TaskId;
+      TCFG::Task &Task = Out.Tasks[TaskId];
+      if (Gid == Header[Gid]) {
+        Task.Blocks.insert(Task.Blocks.begin(), Gid);
+      } else {
+        Task.Blocks.push_back(Gid);
+      }
+      LinExpr Units =
+          Func.Blocks[B].Count *
+          Rational(static_cast<int64_t>(Func.Blocks[B].Instrs.size()));
+      Task.ComputeUnits += Units;
+      for (const Instr &I : Func.Blocks[B].Instrs)
+        switch (I.Op) {
+        case Opcode::IoRead:
+        case Opcode::IoWrite:
+        case Opcode::IoReadBuf:
+        case Opcode::IoWriteBuf:
+          Task.HasIO = true;
+          break;
+        default:
+          break;
+        }
+    }
+  }
+
+  TCFG::Task Entry;
+  Entry.Label = "<entry>";
+  Entry.HasIO = true;
+  Entry.IsVirtual = true;
+  Out.EntryTask = static_cast<unsigned>(Out.Tasks.size());
+  Out.Tasks.push_back(std::move(Entry));
+
+  TCFG::Task Exit;
+  Exit.Label = "<exit>";
+  Exit.HasIO = true;
+  Exit.IsVirtual = true;
+  Out.ExitTask = static_cast<unsigned>(Out.Tasks.size());
+  Out.Tasks.push_back(std::move(Exit));
+}
+
+void TCFGBuilder::addTCFGEdges(TCFG &Out) {
+  auto addEdge = [&Out](unsigned From, unsigned To, const LinExpr &Count) {
+    if (From == To)
+      return;
+    auto [It, Inserted] =
+        Out.Edges.emplace(std::make_pair(From, To), Count);
+    if (!Inserted)
+      It->second += Count;
+  };
+
+  // Intra-function branch edges (call->continuation is *not* a TCFG edge;
+  // control reaches the continuation through the callee's return).
+  std::vector<std::vector<unsigned>> CallBlocks(NumBlocks);
+  for (unsigned F = 0; F != M.Functions.size(); ++F) {
+    if (!FuncReachable[F])
+      continue;
+    const IRFunction &Func = *M.Functions[F];
+    for (unsigned B = 0; B != Func.Blocks.size(); ++B) {
+      unsigned Gid = FuncOffset[F] + B;
+      if (!BlockLive[Gid])
+        continue;
+      const Instr &Term = Func.Blocks[B].terminator();
+      if (Term.Op != Opcode::Br && Term.Op != Opcode::Jmp)
+        continue;
+      for (unsigned Succ : Func.successors(B)) {
+        unsigned SuccGid = FuncOffset[F] + Succ;
+        if (Out.BlockTask[Gid] == Out.BlockTask[SuccGid])
+          continue;
+        auto CountIt = Func.EdgeCounts.find({B, Succ});
+        LinExpr Count = CountIt != Func.EdgeCounts.end() ? CountIt->second
+                                                         : LinExpr();
+        addEdge(Out.BlockTask[Gid], Out.BlockTask[SuccGid], Count);
+      }
+    }
+  }
+
+  // Call edges: caller block -> callee entry task; and return edges:
+  // callee return blocks -> continuation task.
+  std::map<unsigned, unsigned> SiteCountPerCallee;
+  for (const CallSite &Site : CallSites)
+    ++SiteCountPerCallee[Site.Callee];
+  for (const CallSite &Site : CallSites) {
+    unsigned CallerFunc = KNone;
+    for (unsigned F = 0; F != M.Functions.size(); ++F)
+      if (Site.CallBlock >= FuncOffset[F] &&
+          (F + 1 == M.Functions.size() ||
+           Site.CallBlock < FuncOffset[F + 1]))
+        CallerFunc = F;
+    const IRFunction &Caller = *M.Functions[CallerFunc];
+    LinExpr CallCount =
+        Caller.Blocks[Site.CallBlock - FuncOffset[CallerFunc]].Count;
+    unsigned CalleeEntryGid = FuncOffset[Site.Callee];
+    addEdge(Out.BlockTask[Site.CallBlock], Out.BlockTask[CalleeEntryGid],
+            CallCount);
+    bool SingleSite = SiteCountPerCallee[Site.Callee] == 1;
+    for (unsigned RetGid : RetBlocks[Site.Callee]) {
+      const IRFunction &Callee = *M.Functions[Site.Callee];
+      LinExpr RetCount =
+          SingleSite ? Callee.Blocks[RetGid - FuncOffset[Site.Callee]].Count
+                     : CallCount;
+      addEdge(Out.BlockTask[RetGid], Out.BlockTask[Site.ContBlock],
+              RetCount);
+    }
+  }
+
+  // Virtual entry and exit.
+  if (M.MainIndex != KNone && FuncReachable[M.MainIndex]) {
+    unsigned MainEntryGid = FuncOffset[M.MainIndex];
+    addEdge(Out.EntryTask, Out.BlockTask[MainEntryGid],
+            LinExpr::constant(1));
+    const IRFunction &Main = *M.Functions[M.MainIndex];
+    for (unsigned RetGid : RetBlocks[M.MainIndex])
+      addEdge(Out.BlockTask[RetGid], Out.ExitTask,
+              Main.Blocks[RetGid - FuncOffset[M.MainIndex]].Count);
+  }
+}
+
+TCFG TCFGBuilder::build() {
+  TCFG Out;
+  computeReachableFunctions();
+  buildBlockGraph();
+  runAlgorithm1();
+  formTasks(Out);
+  addTCFGEdges(Out);
+  return Out;
+}
+
+} // namespace
+
+TCFG paco::buildTCFG(const IRModule &M, const MemoryModel &Memory,
+                     const PointsToResult &PT) {
+  TCFGBuilder Builder(M, Memory, PT);
+  return Builder.build();
+}

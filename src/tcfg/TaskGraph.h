@@ -1,0 +1,72 @@
+//===- tcfg/TaskGraph.h - Task control flow graph (Algorithm 1) -*- C++ -*-=//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Task formation and the Task Control Flow Graph (paper section 2.1,
+/// Algorithm 1), computed at basic-block granularity: a task is a maximal
+/// single-header group of blocks within one function; function calls,
+/// returns, and any branch that crosses tasks are task branches. Two
+/// virtual tasks bracket the program: the entry task (on the client,
+/// produces all initialized global data) and the exit task (on the
+/// client, receives control when main returns).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_TCFG_TASKGRAPH_H
+#define PACO_TCFG_TASKGRAPH_H
+
+#include "analysis/PointsTo.h"
+
+#include <map>
+
+namespace paco {
+
+/// The task control flow graph.
+class TCFG {
+public:
+  struct Task {
+    std::string Label;
+    /// Global block ids belonging to this task (header first). Empty for
+    /// the virtual entry/exit tasks.
+    std::vector<unsigned> Blocks;
+    unsigned FuncIdx = KNone; ///< Owning function; KNone for virtual.
+    bool HasIO = false;       ///< Performs I/O: pinned to the client.
+    bool IsVirtual = false;
+    /// Symbolic total instruction executions in this task.
+    LinExpr ComputeUnits;
+  };
+
+  std::vector<Task> Tasks;
+  /// Edge traversal counts; key is (from task, to task).
+  std::map<std::pair<unsigned, unsigned>, LinExpr> Edges;
+  unsigned EntryTask = KNone;
+  unsigned ExitTask = KNone;
+
+  /// Per global block id: the owning task.
+  std::vector<unsigned> BlockTask;
+  /// Global block id = FuncOffset[f] + local block index.
+  std::vector<unsigned> FuncOffset;
+
+  unsigned numTasks() const { return static_cast<unsigned>(Tasks.size()); }
+  unsigned blockId(unsigned Func, unsigned Block) const {
+    return FuncOffset[Func] + Block;
+  }
+  unsigned taskOfBlock(unsigned Func, unsigned Block) const {
+    return BlockTask[blockId(Func, Block)];
+  }
+
+  /// Renders tasks and edges for debugging.
+  std::string dump(const ParamSpace &Space) const;
+};
+
+/// Runs Algorithm 1 over the module. \p PT resolves indirect call
+/// targets. Only functions reachable from main are included.
+TCFG buildTCFG(const IRModule &M, const MemoryModel &Memory,
+               const PointsToResult &PT);
+
+} // namespace paco
+
+#endif // PACO_TCFG_TASKGRAPH_H

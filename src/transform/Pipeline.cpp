@@ -1,0 +1,58 @@
+//===- transform/Pipeline.cpp - End-to-end compilation pipeline -----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+using namespace paco;
+
+std::vector<Rational>
+CompiledProgram::parameterPoint(const std::vector<int64_t> &Values) const {
+  assert(Values.size() == AST->RuntimeParams.size() &&
+         "one value per declared parameter");
+  std::vector<Rational> Point(Space.size());
+  for (unsigned Id = 0; Id != Space.size(); ++Id)
+    Point[Id] = Rational(Space.lower(Id));
+  for (unsigned I = 0; I != Values.size(); ++I)
+    Point[I] = Rational(Values[I]);
+  Space.extendPoint(Point);
+  return Point;
+}
+
+std::unique_ptr<CompiledProgram>
+paco::compileForOffloading(const std::string &Source, const CostModel &Costs,
+                           const ParametricOptions &Options,
+                           std::string *DiagsOut,
+                           const InlineOptions &Inline) {
+  auto CP = std::make_unique<CompiledProgram>();
+  CP->Costs = Costs;
+  CP->AST = parseMiniC(Source, CP->Diags);
+  if (CP->AST && Inline.Enabled)
+    CP->InlinedSites = inlineSmallFunctions(*CP->AST, Inline);
+  if (!CP->AST || !runSema(*CP->AST, CP->Diags)) {
+    if (DiagsOut)
+      *DiagsOut = CP->Diags.dump();
+    return nullptr;
+  }
+  CP->Symbolic = analyzeSymbolics(*CP->AST, CP->Space, CP->Diags);
+  if (CP->Diags.hasErrors()) {
+    if (DiagsOut)
+      *DiagsOut = CP->Diags.dump();
+    return nullptr;
+  }
+  CP->Module = lowerProgram(*CP->AST, CP->Symbolic, CP->Space, CP->Diags);
+  CP->Memory = std::make_unique<MemoryModel>(*CP->Module, CP->Space);
+  CP->PT = std::make_unique<PointsToResult>(
+      runPointsTo(*CP->Module, *CP->Memory));
+  CP->Graph = buildTCFG(*CP->Module, *CP->Memory, *CP->PT);
+  CP->Access = std::make_unique<TaskAccessInfo>(
+      computeTaskAccess(*CP->Module, *CP->Memory, *CP->PT, CP->Graph));
+  CP->Problem = buildPartitionProblem(CP->Graph, *CP->Access, *CP->Memory,
+                                      Costs, CP->Space);
+  CP->Partition = solveParametric(CP->Problem, CP->Space, Options);
+  if (DiagsOut)
+    *DiagsOut = CP->Diags.dump();
+  return CP;
+}

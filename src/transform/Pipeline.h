@@ -1,0 +1,71 @@
+//===- transform/Pipeline.h - End-to-end compilation pipeline --*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's main entry point: compiles MiniC source through the
+/// whole offloading pipeline -- parse, sema, symbolic analysis, lowering,
+/// memory abstraction, points-to, task formation, access summaries, the
+/// Theorem-1 reduction and the parametric partitioning -- and bundles
+/// every intermediate result for the transformer, interpreter, examples
+/// and benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_TRANSFORM_PIPELINE_H
+#define PACO_TRANSFORM_PIPELINE_H
+
+#include "partition/Parametric.h"
+
+#include "ir/Lower.h"
+#include "lang/Inliner.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+namespace paco {
+
+/// Everything the pipeline produces for one program.
+struct CompiledProgram {
+  DiagEngine Diags;
+  std::unique_ptr<Program> AST;
+  ParamSpace Space;
+  SymbolicInfo Symbolic;
+  std::unique_ptr<IRModule> Module;
+  std::unique_ptr<MemoryModel> Memory;
+  std::unique_ptr<PointsToResult> PT;
+  TCFG Graph;
+  std::unique_ptr<TaskAccessInfo> Access;
+  PartitionProblem Problem;
+  ParametricResult Partition;
+  CostModel Costs;
+  /// Call sites expanded by the optional section-5.3 inlining pass.
+  unsigned InlinedSites = 0;
+
+  /// Number of non-virtual tasks (the paper's Table-4 "No. of Tasks").
+  unsigned numRealTasks() const {
+    unsigned N = 0;
+    for (const TCFG::Task &T : Graph.Tasks)
+      N += !T.IsVirtual;
+    return N;
+  }
+
+  /// Builds a full-space parameter point from declared parameter values
+  /// (in declaration order), filling monomial dimensions consistently.
+  std::vector<Rational>
+  parameterPoint(const std::vector<int64_t> &Values) const;
+};
+
+/// Compiles \p Source end to end. Returns null (with diagnostics in
+/// \p DiagsOut if provided) when the program does not compile.
+std::unique_ptr<CompiledProgram>
+compileForOffloading(const std::string &Source,
+                     const CostModel &Costs = CostModel::defaults(),
+                     const ParametricOptions &Options = {},
+                     std::string *DiagsOut = nullptr,
+                     const InlineOptions &Inline = InlineOptions());
+
+} // namespace paco
+
+#endif // PACO_TRANSFORM_PIPELINE_H

@@ -1,0 +1,147 @@
+//===- transform/Transform.cpp - Partitioned-program rendering ------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Transform.h"
+
+using namespace paco;
+
+namespace {
+
+/// Renders one constraint "expr >= 0" as "lhs <= rhs" with the negative
+/// terms moved to the left, which reads like the paper's conditions
+/// ("12 + 2y <= yz").
+std::string renderCondition(const LinConstraint &C,
+                            const std::vector<ParamId> &Dims,
+                            const ParamSpace &Space) {
+  std::string Lhs, Rhs;
+  auto append = [&Space, &Dims](std::string &Side, const BigInt &Coeff,
+                                unsigned Dim) {
+    if (!Side.empty())
+      Side += " + ";
+    BigInt Abs = Coeff.abs();
+    if (!Abs.isOne())
+      Side += Abs.toString() + "*";
+    Side += Space.displayName(Dims[Dim]);
+  };
+  for (unsigned K = 0; K != C.Coeffs.size(); ++K) {
+    if (C.Coeffs[K].isZero())
+      continue;
+    if (C.Coeffs[K].isNegative())
+      append(Lhs, C.Coeffs[K], K);
+    else
+      append(Rhs, C.Coeffs[K], K);
+  }
+  // Constant joins the smaller side.
+  if (!C.Const.isZero()) {
+    std::string Text = C.Const.abs().toString();
+    std::string &Side = C.Const.isNegative() ? Lhs : Rhs;
+    if (!Side.empty())
+      Side += " + ";
+    Side += Text;
+  }
+  if (Lhs.empty())
+    Lhs = "0";
+  if (Rhs.empty())
+    Rhs = "0";
+  return Lhs + (C.IsEquality ? " == " : " <= ") + Rhs;
+}
+
+/// \returns true if \p C is one of the plain domain bounds.
+bool isDomainBound(const LinConstraint &C, const std::vector<ParamId> &Dims,
+                   const ParamSpace &Space) {
+  unsigned NonZero = 0, Dim = 0;
+  for (unsigned K = 0; K != C.Coeffs.size(); ++K)
+    if (!C.Coeffs[K].isZero()) {
+      ++NonZero;
+      Dim = K;
+    }
+  if (NonZero != 1 || C.IsEquality)
+    return false;
+  // c*d + b >= 0 is a domain bound iff it is implied by the declared
+  // range of d alone.
+  const BigInt &Coeff = C.Coeffs[Dim];
+  const BigInt &Bound =
+      Coeff.isPositive() ? Space.lower(Dims[Dim]) : Space.upper(Dims[Dim]);
+  return !(Coeff * Bound + C.Const).isNegative();
+}
+
+} // namespace
+
+std::string paco::renderGuard(const CompiledProgram &CP, unsigned Choice) {
+  const PartitionChoice &PC = CP.Partition.Choices[Choice];
+  Polyhedron Region = PC.Region.simplified();
+  std::string Out;
+  for (const LinConstraint &C : Region.constraints()) {
+    if (isDomainBound(C, CP.Partition.EffectiveDims, CP.Space))
+      continue;
+    if (!Out.empty())
+      Out += " && ";
+    Out += "(" + renderCondition(C, CP.Partition.EffectiveDims, CP.Space) +
+           ")";
+  }
+  if (Out.empty())
+    Out = "1";
+  return Out;
+}
+
+std::string paco::renderTransformedProgram(const CompiledProgram &CP) {
+  const ParametricResult &R = CP.Partition;
+  std::string Out = "// self-scheduling transformed program\n";
+
+  // Guards.
+  for (unsigned C = 0; C != R.Choices.size(); ++C)
+    Out += "// partitioning " + std::to_string(C + 1) + " when " +
+           renderGuard(CP, C) + "\n";
+
+  // Per-function dispatch in Figure-2 style. A function is "on the
+  // server" under a choice when all of its tasks are.
+  for (unsigned F = 0; F != CP.Module->Functions.size(); ++F) {
+    std::vector<int> Placement(R.Choices.size(), -1); // -1 mixed
+    bool HasTasks = false;
+    for (unsigned C = 0; C != R.Choices.size(); ++C) {
+      bool AllServer = true, AllClient = true;
+      for (unsigned T = 0; T != CP.Graph.numTasks(); ++T) {
+        if (CP.Graph.Tasks[T].FuncIdx != F)
+          continue;
+        HasTasks = true;
+        if (R.Choices[C].TaskOnServer[T])
+          AllClient = false;
+        else
+          AllServer = false;
+      }
+      Placement[C] = AllServer ? 1 : (AllClient ? 0 : -1);
+    }
+    if (!HasTasks)
+      continue;
+    const std::string &Name = CP.Module->Functions[F]->Name;
+    bool AlwaysClient = true;
+    for (int P : Placement)
+      AlwaysClient &= P == 0;
+    if (AlwaysClient) {
+      Out += "// " + Name + ": always client_" + Name + "()\n";
+      continue;
+    }
+    Out += "in the caller of " + Name + "():\n";
+    std::string ServerCond;
+    for (unsigned C = 0; C != R.Choices.size(); ++C) {
+      if (Placement[C] != 1)
+        continue;
+      if (!ServerCond.empty())
+        ServerCond += " || ";
+      ServerCond += renderGuard(CP, C);
+    }
+    if (ServerCond.empty()) {
+      // Mixed placements: tasks inside the function self-schedule.
+      Out += "  call " + Name + "(); // tasks self-schedule per choice\n";
+      continue;
+    }
+    Out += "  if (" + ServerCond + ")\n";
+    Out += "    call server_" + Name + "();\n";
+    Out += "  else\n";
+    Out += "    call client_" + Name + "();\n";
+  }
+  return Out;
+}

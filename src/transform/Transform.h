@@ -1,0 +1,35 @@
+//===- transform/Transform.h - Partitioned-program rendering ---*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the transformed, self-scheduling program form of paper
+/// Figure 2: for every function whose placement differs between
+/// partitioning choices, a guarded dispatch between `server_f()` and
+/// `client_f()` stubs, with the guard conditions taken from the
+/// parametric regions. Execution itself is carried out by the
+/// interpreter, which consumes the same dispatch structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_TRANSFORM_TRANSFORM_H
+#define PACO_TRANSFORM_TRANSFORM_H
+
+#include "transform/Pipeline.h"
+
+namespace paco {
+
+/// Pretty-prints one region as a source-level guard, e.g.
+/// "(12 + 2*y <= y*z) && (12 <= z)". Domain bounds are omitted.
+std::string renderGuard(const CompiledProgram &CP, unsigned Choice);
+
+/// Renders the Figure-2 style transformed program: per-task placements
+/// per choice and, for each function, the dispatch between client and
+/// server variants.
+std::string renderTransformedProgram(const CompiledProgram &CP);
+
+} // namespace paco
+
+#endif // PACO_TRANSFORM_TRANSFORM_H

@@ -1,0 +1,164 @@
+//===- tests/analysis/PointsToTest.cpp - Points-to analysis tests ---------===//
+
+#include "analysis/PointsTo.h"
+
+#include "ir/Lower.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<Program> Prog;
+  ParamSpace Space;
+  SymbolicInfo Info;
+  std::unique_ptr<IRModule> Module;
+  std::unique_ptr<MemoryModel> Memory;
+  std::unique_ptr<PointsToResult> PT;
+  DiagEngine Diags;
+
+  /// Location of a named global.
+  unsigned globalByName(const std::string &Name) const {
+    for (unsigned G = 0; G != Module->Globals.size(); ++G)
+      if (Module->Globals[G].Name == Name)
+        return Memory->globalLoc(G);
+    return KNone;
+  }
+
+  /// Location of a named local within a named function.
+  unsigned localByName(const std::string &Func,
+                       const std::string &Local) const {
+    unsigned F = Module->findFunction(Func);
+    EXPECT_NE(F, KNone);
+    const IRFunction &Fn = *Module->Functions[F];
+    for (unsigned L = 0; L != Fn.Locals.size(); ++L)
+      if (Fn.Locals[L].Name == Local)
+        return Memory->localLoc(F, L);
+    return KNone;
+  }
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string &Source) {
+  auto R = std::make_unique<Analyzed>();
+  R->Prog = parseMiniC(Source, R->Diags);
+  EXPECT_TRUE(R->Prog != nullptr) << R->Diags.dump();
+  if (!R->Prog)
+    return nullptr;
+  EXPECT_TRUE(runSema(*R->Prog, R->Diags)) << R->Diags.dump();
+  R->Info = analyzeSymbolics(*R->Prog, R->Space, R->Diags);
+  R->Module = lowerProgram(*R->Prog, R->Info, R->Space, R->Diags);
+  R->Memory = std::make_unique<MemoryModel>(*R->Module, R->Space);
+  R->PT = std::make_unique<PointsToResult>(
+      runPointsTo(*R->Module, *R->Memory));
+  return R;
+}
+
+TEST(MemoryModelTest, EnumeratesAllKinds) {
+  auto A = analyze("param int n in [1, 16];\n"
+                   "int g;\n"
+                   "int arr[8];\n"
+                   "void main() { int local = 0; int *p = malloc(n); }");
+  ASSERT_TRUE(A);
+  const MemoryModel &Mem = *A->Memory;
+  EXPECT_EQ(Mem.loc(A->globalByName("g")).K, MemLocInfo::Kind::Global);
+  EXPECT_FALSE(Mem.loc(A->globalByName("g")).IsAggregate);
+  EXPECT_TRUE(Mem.loc(A->globalByName("arr")).IsAggregate);
+  EXPECT_EQ(Mem.loc(A->globalByName("arr")).TotalElems,
+            LinExpr::constant(8));
+  unsigned Alloc = Mem.allocLoc(0);
+  EXPECT_TRUE(Mem.loc(Alloc).IsDynamic);
+  EXPECT_EQ(Mem.loc(Alloc).TotalElems, LinExpr::param(0));
+  // Byte size of the int array is 8 * 4.
+  EXPECT_EQ(Mem.byteSize(A->globalByName("arr")), LinExpr::constant(32));
+}
+
+TEST(PointsToTest, AddressOfScalar) {
+  auto A = analyze("int v;\n"
+                   "void main() { int *p = &v; *p = 3; }");
+  ASSERT_TRUE(A);
+  unsigned P = A->localByName("main", "p");
+  unsigned V = A->globalByName("v");
+  ASSERT_NE(P, KNone);
+  EXPECT_EQ(A->PT->pointsTo(P).count(V), 1u);
+  EXPECT_EQ(A->PT->pointsTo(P).size(), 1u);
+}
+
+TEST(PointsToTest, ArrayDecayAndCopy) {
+  auto A = analyze("int buf[16];\n"
+                   "void main() { int *p = buf; int *q = p + 2; q[0] = 1; }");
+  ASSERT_TRUE(A);
+  unsigned Q = A->localByName("main", "q");
+  unsigned Buf = A->globalByName("buf");
+  EXPECT_EQ(A->PT->pointsTo(Q).count(Buf), 1u);
+}
+
+TEST(PointsToTest, MallocSiteFlowsThroughCall) {
+  auto A = analyze("param int n in [1, 64];\n"
+                   "void fill(int *dst) { dst[0] = 1; }\n"
+                   "void main() { int *p = malloc(n); fill(p); }");
+  ASSERT_TRUE(A);
+  unsigned Dst = A->localByName("fill", "dst");
+  unsigned Alloc = A->Memory->allocLoc(0);
+  EXPECT_EQ(A->PT->pointsTo(Dst).count(Alloc), 1u);
+}
+
+TEST(PointsToTest, ReturnValuePropagates) {
+  auto A = analyze("param int n in [1, 64];\n"
+                   "int *make() { int *p = malloc(n); return p; }\n"
+                   "void main() { int *q = make(); q[0] = 1; }");
+  ASSERT_TRUE(A);
+  unsigned Q = A->localByName("main", "q");
+  unsigned Alloc = A->Memory->allocLoc(0);
+  EXPECT_EQ(A->PT->pointsTo(Q).count(Alloc), 1u);
+}
+
+TEST(PointsToTest, PointerStoredInMemory) {
+  auto A = analyze("param int n in [1, 64];\n"
+                   "int *slot;\n"
+                   "void main() {\n"
+                   "  int *p = malloc(n);\n"
+                   "  slot = p;\n"
+                   "  int *q = slot;\n"
+                   "  q[0] = 1;\n"
+                   "}\n");
+  ASSERT_TRUE(A);
+  unsigned Q = A->localByName("main", "q");
+  unsigned Alloc = A->Memory->allocLoc(0);
+  EXPECT_EQ(A->PT->pointsTo(Q).count(Alloc), 1u);
+}
+
+TEST(PointsToTest, TwoTargetsMerge) {
+  auto A = analyze("int a; int b;\n"
+                   "void main() { int c = io_read(); int *p;\n"
+                   "  if (c) p = &a; else p = &b; *p = 1; }");
+  ASSERT_TRUE(A);
+  unsigned P = A->localByName("main", "p");
+  EXPECT_EQ(A->PT->pointsTo(P).count(A->globalByName("a")), 1u);
+  EXPECT_EQ(A->PT->pointsTo(P).count(A->globalByName("b")), 1u);
+}
+
+TEST(PointsToTest, FuncValueTargets) {
+  auto A = analyze("void enc_a() { }\n"
+                   "void enc_b() { }\n"
+                   "func g;\n"
+                   "void main() { g = enc_a; if (io_read()) g = enc_b; g(); }");
+  ASSERT_TRUE(A);
+  unsigned G = A->globalByName("g");
+  std::vector<unsigned> Targets = A->PT->callTargets(G, *A->Memory);
+  EXPECT_EQ(Targets.size(), 2u);
+}
+
+TEST(PointsToTest, UnrelatedPointerStaysClean) {
+  auto A = analyze("int a; int b;\n"
+                   "void main() { int *p = &a; int *q = &b; *p = 1; *q = 2; }");
+  ASSERT_TRUE(A);
+  unsigned P = A->localByName("main", "p");
+  EXPECT_EQ(A->PT->pointsTo(P).size(), 1u);
+  EXPECT_EQ(A->PT->pointsTo(P).count(A->globalByName("b")), 0u);
+}
+
+} // namespace

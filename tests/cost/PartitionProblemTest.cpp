@@ -1,0 +1,197 @@
+//===- tests/cost/PartitionProblemTest.cpp - Theorem-1 reduction tests ----===//
+
+#include "cost/PartitionProblem.h"
+
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> compileOk(const std::string &Source) {
+  std::string Diags;
+  auto CP = compileForOffloading(Source, CostModel::defaults(), {}, &Diags);
+  EXPECT_TRUE(CP != nullptr) << Diags;
+  return CP;
+}
+
+/// Compiles with the section-5.3 inlining pass disabled, for tests whose
+/// premise is a specific task structure.
+std::unique_ptr<CompiledProgram> compileNoInline(const std::string &Source) {
+  std::string Diags;
+  InlineOptions NoInline;
+  NoInline.Enabled = false;
+  auto CP = compileForOffloading(Source, CostModel::defaults(), {}, &Diags,
+                                 NoInline);
+  EXPECT_TRUE(CP != nullptr) << Diags;
+  return CP;
+}
+
+TEST(PartitionProblemTest, IoTaskPinnedByInfiniteArc) {
+  auto CP = compileOk("void main() { io_write(1); }");
+  ASSERT_TRUE(CP);
+  // Every choice keeps the I/O task on the client.
+  for (const PartitionChoice &Choice : CP->Partition.Choices)
+    for (unsigned T = 0; T != CP->Graph.numTasks(); ++T)
+      if (CP->Graph.Tasks[T].HasIO) {
+        EXPECT_FALSE(Choice.TaskOnServer[T]);
+      }
+  // And the network carries an infinite arc from the pinned M node.
+  bool FoundPin = false;
+  for (const Arc &A : CP->Problem.Net.arcs())
+    FoundPin |= A.Cap.Infinite && A.To == CP->Problem.Net.sink();
+  EXPECT_TRUE(FoundPin);
+}
+
+TEST(PartitionProblemTest, SingleTaskDataGetsNoValidityNodes) {
+  auto CP = compileOk("void main() { int local = 3;\n"
+                      "  local = local * 2; io_write(local); }");
+  ASSERT_TRUE(CP);
+  // Everything is one task: no (task, item) validity nodes at all.
+  EXPECT_TRUE(CP->Problem.VNodes.empty());
+}
+
+TEST(PartitionProblemTest, SharedDataGetsFourNodesPerRelevantTask) {
+  auto CP = compileOk(
+      "param int n in [64, 4096];\n"
+      "int shared;\n"
+      "void heavy() { int s = 0;\n"
+      "  for (int i = 0; i < n; i++) { s += (s ^ i) * 3; }\n"
+      "  for (int i = 0; i < n; i++) { s += (s >> 2) + i * s; }\n"
+      "  for (int i = 0; i < n; i++) { s ^= (s << 1) + i; }\n"
+      "  shared = s; }\n"
+      "void main() { heavy(); io_write(shared); }");
+  ASSERT_TRUE(CP);
+  unsigned SharedLoc = KNone;
+  for (unsigned G = 0; G != CP->Module->Globals.size(); ++G)
+    if (CP->Module->Globals[G].Name == "shared")
+      SharedLoc = CP->Memory->globalLoc(G);
+  ASSERT_NE(SharedLoc, KNone);
+  unsigned NodeGroups = 0;
+  for (const auto &[Key, Nodes] : CP->Problem.VNodes) {
+    if (Key.second != SharedLoc)
+      continue;
+    ++NodeGroups;
+    EXPECT_NE(Nodes.Vsi, KNone);
+    EXPECT_NE(Nodes.Vso, KNone);
+    EXPECT_NE(Nodes.NVci, KNone);
+    EXPECT_NE(Nodes.NVco, KNone);
+  }
+  EXPECT_GE(NodeGroups, 2u);
+}
+
+TEST(PartitionProblemTest, RegistrationNodesOnlyForDynamicData) {
+  // Inlining is disabled so fill() stays a separate task and the malloc
+  // is genuinely shared between tasks.
+  auto CP = compileNoInline(
+      "param int n in [64, 4096];\n"
+      "int table[8];\n"
+      "void fill(int *p) { for (int i = 0; i < n; i++)\n"
+      "  p[i & 7] = p[i & 7] * 3 + table[i & 7] + i; }\n"
+      "void main() { int *buf = malloc(n);\n"
+      "  fill(buf);\n"
+      "  io_write(buf[0]); }");
+  ASSERT_TRUE(CP);
+  // Exactly the malloc site has Ns/Nc nodes; the static array does not.
+  ASSERT_EQ(CP->Problem.AccessNodes.size(), 1u);
+  unsigned Loc = CP->Problem.AccessNodes.begin()->first;
+  EXPECT_TRUE(CP->Memory->loc(Loc).IsDynamic);
+}
+
+TEST(PartitionProblemTest, PaperExampleCostModelReproducesTable1) {
+  // With CostModel::paperExample(), one 4-byte element costs startup 6
+  // plus 1 unit, as in the worked example.
+  CostModel Paper = CostModel::paperExample();
+  EXPECT_EQ(Paper.Tcsh + Paper.Tcsu * Rational(4), Rational(7));
+  EXPECT_TRUE(Paper.Ts.isZero());
+  EXPECT_TRUE(Paper.Tcst.isZero());
+}
+
+//===----------------------------------------------------------------------===//
+// The validity model's loop-hoisting behavior
+//===----------------------------------------------------------------------===//
+
+TEST(ValidityHoistingTest, ConstantTableTransfersOncePerRun) {
+  // A server-side kernel repeatedly reads a table the client initialized.
+  // The validity states keep the table valid on the server across loop
+  // iterations: it must be transferred once, not once per frame.
+  auto CP = compileNoInline(
+      "param int frames in [1, 64];\n"
+      "param int work in [256, 65536];\n"
+      "int table[64];\n"
+      "int acc;\n"
+      "void kernel() {\n"
+      "  int s = acc;\n"
+      "  for (int i = 0; i < work; i++)\n"
+      "    s = (s * 3 + table[i & 63] + (s >> 3)) & 262143;\n"
+      "  acc = s;\n"
+      "}\n"
+      "void main() {\n"
+      "  for (int i = 0; i < 64; i++) table[i] = io_read();\n"
+      "  for (int f = 0; f < frames; f++) kernel();\n"
+      "  io_write(acc);\n"
+      "}\n");
+  ASSERT_TRUE(CP);
+
+  std::vector<int64_t> Inputs(64, 5);
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Dispatch;
+  Opts.ParamValues = {32, 65536};
+  Opts.Inputs = Inputs;
+  ExecResult R = runProgram(*CP, Opts);
+  ASSERT_TRUE(R.OK) << R.Error;
+  ASSERT_GT(R.ServerInstrs, 0u) << "kernel should offload at this size";
+
+  // Count how many transfers moved the table to the server.
+  unsigned TableLoc = KNone;
+  for (unsigned G = 0; G != CP->Module->Globals.size(); ++G)
+    if (CP->Module->Globals[G].Name == "table")
+      TableLoc = CP->Memory->globalLoc(G);
+  ASSERT_NE(TableLoc, KNone);
+  // The table is 64*4 = 256 bytes; 32 frames would cost 8192 bytes if it
+  // were re-sent per frame. Hoisting means total to-server traffic stays
+  // far below that: the table plus a few scalars per frame.
+  EXPECT_LT(R.BytesToServer, 256u + 32 * 64);
+  // And acc's scalar round trip dominates migrations, not table traffic.
+  EXPECT_GE(R.Migrations, 2u);
+}
+
+TEST(ValidityHoistingTest, DirtyBufferRetransfersPerFrame) {
+  // Contrast: when the client rewrites the buffer every frame, the write
+  // constraint invalidates the server copy and the transfer must repeat.
+  auto CP = compileNoInline(
+      "param int frames in [1, 64];\n"
+      "param int work in [256, 65536];\n"
+      "int buf[64];\n"
+      "int acc;\n"
+      "void kernel() {\n"
+      "  int s = acc;\n"
+      "  for (int i = 0; i < work; i++)\n"
+      "    s = (s * 3 + buf[i & 63] + (s >> 3)) & 262143;\n"
+      "  acc = s;\n"
+      "}\n"
+      "void main() {\n"
+      "  for (int f = 0; f < frames; f++) {\n"
+      "    for (int i = 0; i < 64; i++) buf[i] = io_read();\n"
+      "    kernel();\n"
+      "  }\n"
+      "  io_write(acc);\n"
+      "}\n");
+  ASSERT_TRUE(CP);
+  std::vector<int64_t> Inputs(64 * 32, 9);
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Dispatch;
+  Opts.ParamValues = {32, 65536};
+  Opts.Inputs = Inputs;
+  ExecResult R = runProgram(*CP, Opts);
+  ASSERT_TRUE(R.OK) << R.Error;
+  if (R.ServerInstrs == 0)
+    GTEST_SKIP() << "kernel not offloaded under this cost model";
+  // Every frame must resend the freshly-written buffer: at least
+  // frames * 256 bytes to the server.
+  EXPECT_GE(R.BytesToServer, 32u * 256u);
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- tests/ir/LowerTest.cpp - AST to IR lowering tests ------------------===//
+
+#include "ir/Lower.h"
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+struct Lowered {
+  std::unique_ptr<Program> Prog;
+  ParamSpace Space;
+  SymbolicInfo Info;
+  std::unique_ptr<IRModule> Module;
+  DiagEngine Diags;
+};
+
+std::unique_ptr<Lowered> lower(const std::string &Source) {
+  auto R = std::make_unique<Lowered>();
+  R->Prog = parseMiniC(Source, R->Diags);
+  EXPECT_TRUE(R->Prog != nullptr) << R->Diags.dump();
+  if (!R->Prog)
+    return nullptr;
+  EXPECT_TRUE(runSema(*R->Prog, R->Diags)) << R->Diags.dump();
+  R->Info = analyzeSymbolics(*R->Prog, R->Space, R->Diags);
+  R->Module = lowerProgram(*R->Prog, R->Info, R->Space, R->Diags);
+  EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.dump();
+  return R;
+}
+
+/// Counts instructions with a given opcode across a function.
+unsigned countOps(const IRFunction &F, Opcode Op) {
+  unsigned N = 0;
+  for (const BasicBlock &B : F.Blocks)
+    for (const Instr &I : B.Instrs)
+      N += I.Op == Op;
+  return N;
+}
+
+TEST(LowerTest, MinimalMain) {
+  auto L = lower("void main() { }");
+  ASSERT_TRUE(L);
+  ASSERT_EQ(L->Module->MainIndex, 0u);
+  const IRFunction &Main = *L->Module->Functions[0];
+  ASSERT_EQ(Main.Blocks.size(), 1u);
+  EXPECT_EQ(Main.Blocks[0].terminator().Op, Opcode::Ret);
+  EXPECT_EQ(Main.EntryCount, LinExpr::constant(1));
+}
+
+TEST(LowerTest, EveryBlockHasTerminator) {
+  auto L = lower("param int n in [1, 50];\n"
+                 "int work(int v) { if (v > 2) return v * 2; return v; }\n"
+                 "void main() {\n"
+                 "  int acc = 0;\n"
+                 "  for (int i = 0; i < n; i++) acc += work(i);\n"
+                 "  io_write(acc);\n"
+                 "}\n");
+  ASSERT_TRUE(L);
+  for (const auto &F : L->Module->Functions)
+    for (const BasicBlock &B : F->Blocks) {
+      ASSERT_FALSE(B.Instrs.empty());
+      EXPECT_TRUE(B.Instrs.back().isTerminator());
+      for (size_t I = 0; I + 1 < B.Instrs.size(); ++I)
+        EXPECT_FALSE(B.Instrs[I].isTerminator());
+    }
+}
+
+TEST(LowerTest, CallsTerminateBlocks) {
+  auto L = lower("int id(int v) { return v; }\n"
+                 "void main() { int a = id(1); int b = id(2); io_write(a+b); }");
+  ASSERT_TRUE(L);
+  const IRFunction &Main =
+      *L->Module->Functions[L->Module->MainIndex];
+  unsigned Calls = countOps(Main, Opcode::Call);
+  EXPECT_EQ(Calls, 2u);
+  for (const BasicBlock &B : Main.Blocks)
+    for (const Instr &I : B.Instrs)
+      if (I.Op == Opcode::Call) {
+        EXPECT_EQ(&I, &B.Instrs.back());
+      }
+}
+
+TEST(LowerTest, GlobalInitializers) {
+  auto L = lower("int table[3] = {1, -2, 3};\n"
+                 "double rate = -2.5;\n"
+                 "void main() { }");
+  ASSERT_TRUE(L);
+  ASSERT_EQ(L->Module->Globals.size(), 2u);
+  const GlobalVar &Table = L->Module->Globals[0];
+  ASSERT_EQ(Table.Init.size(), 3u);
+  EXPECT_EQ(Table.Init[1].IntVal, -2);
+  EXPECT_DOUBLE_EQ(L->Module->Globals[1].Init[0].FloatVal, -2.5);
+}
+
+TEST(LowerTest, LoopBlockCountsScaleWithTrip) {
+  auto L = lower("param int n in [1, 100];\n"
+                 "void main() { int s = 0;\n"
+                 "  for (int i = 0; i < n; i++) s += i; io_write(s); }");
+  ASSERT_TRUE(L);
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  // Some block must carry count == n (the loop body).
+  bool FoundBody = false;
+  for (const BasicBlock &B : Main.Blocks)
+    FoundBody |= B.Count == LinExpr::param(0);
+  EXPECT_TRUE(FoundBody);
+}
+
+TEST(LowerTest, NestedLoopCountsMultiply) {
+  auto L = lower("param int x in [1, 10];\n"
+                 "param int y in [1, 10];\n"
+                 "void main() { int s = 0;\n"
+                 "  for (int i = 0; i < x; i++)\n"
+                 "    for (int j = 0; j < y; j++)\n"
+                 "      s += 1;\n"
+                 "  io_write(s); }");
+  ASSERT_TRUE(L);
+  ParamId XY = L->Space.internMonomial({0, 1});
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  bool FoundInner = false;
+  for (const BasicBlock &B : Main.Blocks)
+    FoundInner |= B.Count == LinExpr::param(XY);
+  EXPECT_TRUE(FoundInner);
+}
+
+TEST(LowerTest, MallocRegistersAllocSite) {
+  auto L = lower("param int n in [1, 4096];\n"
+                 "void main() { int *p = malloc(n); p[0] = 1; }");
+  ASSERT_TRUE(L);
+  ASSERT_EQ(L->Module->AllocSites.size(), 1u);
+  EXPECT_EQ(L->Module->AllocSites[0].SizeElems, LinExpr::param(0));
+  EXPECT_EQ(L->Module->AllocSites[0].ExecCount, LinExpr::constant(1));
+  EXPECT_EQ(L->Module->AllocSites[0].ElemType, TypeKind::Int);
+}
+
+TEST(LowerTest, ImplicitConversionsInserted) {
+  auto L = lower("void main() { double d = 3; int i = d; io_write(i); }");
+  ASSERT_TRUE(L);
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  // "double d = 3" folds the constant; "int i = d" needs ftoi.
+  EXPECT_EQ(countOps(Main, Opcode::FloatToInt), 1u);
+}
+
+TEST(LowerTest, ShortCircuitCreatesBranches) {
+  auto L = lower("void main() { int a = io_read(); int b = io_read();\n"
+                 "  if (a > 0 && b > 0) io_write(1); }");
+  ASSERT_TRUE(L);
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  EXPECT_GE(countOps(Main, Opcode::Br), 2u);
+}
+
+TEST(LowerTest, IndirectCallLowered) {
+  auto L = lower("void enc() { }\n"
+                 "func g;\n"
+                 "void main() { g = enc; g(); }");
+  ASSERT_TRUE(L);
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  EXPECT_EQ(countOps(Main, Opcode::CallInd), 1u);
+  // The func-value assignment stores a FuncRef to the global.
+  bool StoresFuncRef = false;
+  for (const BasicBlock &B : Main.Blocks)
+    for (const Instr &I : B.Instrs)
+      for (const Operand *O : {&I.A, &I.B, &I.C})
+        StoresFuncRef |= O->K == Operand::Kind::FuncRef;
+  EXPECT_TRUE(StoresFuncRef);
+}
+
+TEST(LowerTest, PointerIndexingProducesLoadsAndStores) {
+  auto L = lower("int g[4];\n"
+                 "void main() { int *p = g; p[1] = 5; int v = g[1];\n"
+                 "  io_write(v); }");
+  ASSERT_TRUE(L);
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  EXPECT_EQ(countOps(Main, Opcode::Store), 1u);
+  EXPECT_EQ(countOps(Main, Opcode::Load), 1u);
+  EXPECT_GE(countOps(Main, Opcode::AddrOfVar), 2u);
+}
+
+TEST(LowerTest, EdgeCountsRecordedForBranches) {
+  auto L = lower("param int n in [1, 100];\n"
+                 "void main() {\n"
+                 "  for (int i = 0; i < n; i++) { }\n"
+                 "}\n");
+  ASSERT_TRUE(L);
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  // There is an edge whose symbolic count equals n (header -> body).
+  bool Found = false;
+  for (const auto &[Edge, Count] : Main.EdgeCounts)
+    Found |= Count == LinExpr::param(0);
+  EXPECT_TRUE(Found);
+}
+
+TEST(LowerTest, ReturnConvertsToFunctionType) {
+  auto L = lower("double half(int v) { return v; }\n"
+                 "void main() { io_write(half(3)); }");
+  ASSERT_TRUE(L);
+  unsigned HalfIdx = L->Module->findFunction("half");
+  ASSERT_NE(HalfIdx, KNone);
+  EXPECT_EQ(countOps(*L->Module->Functions[HalfIdx], Opcode::IntToFloat), 1u);
+}
+
+TEST(LowerTest, BreakJumpsToExit) {
+  auto L = lower("param int n in [1, 100];\n"
+                 "void main() {\n"
+                 "  for (int i = 0; i < n; i++) { if (i == 2) break; }\n"
+                 "}\n");
+  ASSERT_TRUE(L);
+  // Program lowers without assertion failures and every block terminates.
+  const IRFunction &Main = *L->Module->Functions[L->Module->MainIndex];
+  for (const BasicBlock &B : Main.Blocks)
+    EXPECT_TRUE(!B.Instrs.empty() && B.Instrs.back().isTerminator());
+}
+
+TEST(LowerTest, DumpContainsFunctionAndCounts) {
+  auto L = lower("param int n in [1, 8];\n"
+                 "void main() { for (int i = 0; i < n; i++) { } }");
+  ASSERT_TRUE(L);
+  std::string Text = L->Module->dump(L->Space);
+  EXPECT_NE(Text.find("func main"), std::string::npos);
+  EXPECT_NE(Text.find("count=n"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,239 @@
+//===- tests/lang/InlinerTest.cpp - Small-function inlining tests ---------===//
+
+#include "lang/Inliner.h"
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Source) {
+  DiagEngine Diags;
+  auto Prog = parseMiniC(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.dump();
+  return Prog;
+}
+
+/// Inlines, then checks the result still passes sema.
+unsigned inlineAndCheck(Program &Prog) {
+  unsigned Count = inlineSmallFunctions(Prog);
+  DiagEngine Diags;
+  EXPECT_TRUE(runSema(Prog, Diags)) << Diags.dump();
+  return Count;
+}
+
+/// Direct call sites to \p Name remaining in the program.
+unsigned countCalls(const Program &Prog, const std::string &Name);
+
+unsigned countCallsExpr(const Expr *E, const std::string &Name) {
+  if (!E)
+    return 0;
+  unsigned N = 0;
+  switch (E->getKind()) {
+  case Expr::Kind::Call: {
+    const auto *C = static_cast<const CallExpr *>(E);
+    N += static_cast<const VarRefExpr *>(C->Callee.get())->Name == Name;
+    for (const ExprPtr &Arg : C->Args)
+      N += countCallsExpr(Arg.get(), Name);
+    return N;
+  }
+  case Expr::Kind::Unary:
+    return countCallsExpr(static_cast<const UnaryExpr *>(E)->Operand.get(),
+                          Name);
+  case Expr::Kind::Binary:
+    return countCallsExpr(static_cast<const BinaryExpr *>(E)->LHS.get(),
+                          Name) +
+           countCallsExpr(static_cast<const BinaryExpr *>(E)->RHS.get(),
+                          Name);
+  case Expr::Kind::Assign:
+    return countCallsExpr(static_cast<const AssignExpr *>(E)->Target.get(),
+                          Name) +
+           countCallsExpr(static_cast<const AssignExpr *>(E)->Value.get(),
+                          Name);
+  case Expr::Kind::Index:
+    return countCallsExpr(static_cast<const IndexExpr *>(E)->Base.get(),
+                          Name) +
+           countCallsExpr(static_cast<const IndexExpr *>(E)->Index.get(),
+                          Name);
+  case Expr::Kind::Deref:
+    return countCallsExpr(static_cast<const DerefExpr *>(E)->Pointer.get(),
+                          Name);
+  case Expr::Kind::Ternary:
+    return countCallsExpr(static_cast<const TernaryExpr *>(E)->Cond.get(),
+                          Name) +
+           countCallsExpr(static_cast<const TernaryExpr *>(E)->Then.get(),
+                          Name) +
+           countCallsExpr(static_cast<const TernaryExpr *>(E)->Else.get(),
+                          Name);
+  default:
+    return 0;
+  }
+}
+
+unsigned countCallsStmt(const Stmt *S, const std::string &Name) {
+  if (!S)
+    return 0;
+  switch (S->getKind()) {
+  case Stmt::Kind::Block: {
+    unsigned N = 0;
+    for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Body)
+      N += countCallsStmt(Child.get(), Name);
+    return N;
+  }
+  case Stmt::Kind::DeclStmt:
+    return countCallsExpr(
+        static_cast<const DeclStmt *>(S)->InitExpr.get(), Name);
+  case Stmt::Kind::ExprStmt:
+    return countCallsExpr(static_cast<const ExprStmt *>(S)->E.get(), Name);
+  case Stmt::Kind::If: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    return countCallsExpr(I->Cond.get(), Name) +
+           countCallsStmt(I->Then.get(), Name) +
+           countCallsStmt(I->Else.get(), Name);
+  }
+  case Stmt::Kind::While: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    return countCallsExpr(W->Cond.get(), Name) +
+           countCallsStmt(W->Body.get(), Name);
+  }
+  case Stmt::Kind::For: {
+    const auto *F = static_cast<const ForStmt *>(S);
+    return countCallsStmt(F->Init.get(), Name) +
+           countCallsExpr(F->Cond.get(), Name) +
+           countCallsExpr(F->Step.get(), Name) +
+           countCallsStmt(F->Body.get(), Name);
+  }
+  case Stmt::Kind::Return:
+    return countCallsExpr(static_cast<const ReturnStmt *>(S)->Value.get(),
+                          Name);
+  default:
+    return 0;
+  }
+}
+
+unsigned countCalls(const Program &Prog, const std::string &Name) {
+  unsigned N = 0;
+  for (const auto &Func : Prog.Functions)
+    N += countCallsStmt(Func->Body.get(), Name);
+  return N;
+}
+
+TEST(InlinerTest, InlinesVoidLeaf) {
+  auto Prog = parseOk("int acc;\n"
+                      "void bump() { acc = acc + 1; }\n"
+                      "void main() { bump(); bump(); io_write(acc); }");
+  EXPECT_EQ(inlineAndCheck(*Prog), 2u);
+  EXPECT_EQ(countCalls(*Prog, "bump"), 0u);
+}
+
+TEST(InlinerTest, InlinesValueReturningLeafIntoDecl) {
+  auto Prog = parseOk("int square(int v) { int r = v * v; return r; }\n"
+                      "void main() { int a = square(3); io_write(a); }");
+  EXPECT_EQ(inlineAndCheck(*Prog), 1u);
+  EXPECT_EQ(countCalls(*Prog, "square"), 0u);
+}
+
+TEST(InlinerTest, InlinesValueReturningLeafIntoAssignment) {
+  auto Prog = parseOk("int twice(int v) { return v + v; }\n"
+                      "void main() { int a = 0; a = twice(21);\n"
+                      "  io_write(a); }");
+  EXPECT_EQ(inlineAndCheck(*Prog), 1u);
+}
+
+TEST(InlinerTest, SkipsEarlyReturns) {
+  auto Prog = parseOk("int absval(int v) { if (v < 0) return -v;\n"
+                      "  return v; }\n"
+                      "void main() { io_write(absval(-4)); }");
+  EXPECT_EQ(inlineAndCheck(*Prog), 0u);
+  EXPECT_EQ(countCalls(*Prog, "absval"), 1u);
+}
+
+TEST(InlinerTest, SkipsRecursion) {
+  auto Prog = parseOk("int f(int v) { int r = v;\n"
+                      "  if (v > 0) r = f(v - 1);\n"
+                      "  return r; }\n"
+                      "void main() { io_write(f(3)); }");
+  EXPECT_EQ(inlineAndCheck(*Prog), 0u);
+}
+
+TEST(InlinerTest, SkipsLargeBodies) {
+  std::string Big = "int big(int v) {\n";
+  for (int I = 0; I != 30; ++I)
+    Big += "  v = v * 3 + " + std::to_string(I) + ";\n";
+  Big += "  return v; }\n"
+         "void main() { io_write(big(1)); }";
+  auto Prog = parseOk(Big);
+  InlineOptions Small;
+  Small.MaxNodes = 20;
+  EXPECT_EQ(inlineSmallFunctions(*Prog, Small), 0u);
+}
+
+TEST(InlinerTest, RenamesLocalsHygienically) {
+  auto Prog = parseOk("int helper(int v) { int tmp = v * 2; return tmp; }\n"
+                      "void main() {\n"
+                      "  int tmp = 5;\n"
+                      "  int a = helper(tmp);\n"
+                      "  io_write(a + tmp);\n" // caller's tmp preserved
+                      "}\n");
+  EXPECT_EQ(inlineAndCheck(*Prog), 1u);
+}
+
+TEST(InlinerTest, SkipsWhenCalleeGlobalCollidesWithCallerLocal) {
+  // helper reads the *global* named g; main declares a local g. Inlining
+  // would re-bind the reference, so the site is skipped.
+  auto Prog = parseOk("int g = 7;\n"
+                      "int helper() { return g + 1; }\n"
+                      "void main() { int g = 100; io_write(helper() + g); }");
+  // helper() appears inside a bigger expression anyway; also hygiene
+  // forbids it. No sites inlined.
+  EXPECT_EQ(inlineAndCheck(*Prog), 0u);
+}
+
+TEST(InlinerTest, InlinesThroughHelperChains) {
+  auto Prog = parseOk("int base(int v) { return v + 1; }\n"
+                      "int mid(int v) { int r = base(v); return r; }\n"
+                      "void main() { int a = mid(4); io_write(a); }");
+  // mid into main, base into mid's own body, and base into the copy
+  // inlined into main (second round).
+  EXPECT_EQ(inlineAndCheck(*Prog), 3u);
+  EXPECT_EQ(countCalls(*Prog, "base"), 0u);
+  EXPECT_EQ(countCalls(*Prog, "mid"), 0u);
+}
+
+TEST(InlinerTest, InlinesInsideLoopBodies) {
+  auto Prog = parseOk("int acc;\n"
+                      "void add(int v) { acc = acc + v; }\n"
+                      "void main() {\n"
+                      "  for (int i = 0; i < 4; i++) add(i);\n"
+                      "  io_write(acc);\n"
+                      "}\n");
+  EXPECT_EQ(inlineAndCheck(*Prog), 1u);
+  EXPECT_EQ(countCalls(*Prog, "add"), 0u);
+}
+
+TEST(InlinerTest, PreservesAnnotations) {
+  auto Prog = parseOk("param int n in [1, 64];\n"
+                      "int acc;\n"
+                      "void work() {\n"
+                      "  int i = 0;\n"
+                      "  @trip(n) while (i < 1000) { acc += i; i++; }\n"
+                      "}\n"
+                      "void main() { work(); io_write(acc); }");
+  EXPECT_EQ(inlineAndCheck(*Prog), 1u);
+  // The @trip annotation survived on the inlined loop.
+  bool Found = false;
+  for (const auto &Func : Prog->Functions) {
+    if (Func->Name != "main")
+      continue;
+    for (const StmtPtr &S : Func->Body->Body)
+      if (S->getKind() == Stmt::Kind::While && S->TripAnnot)
+        Found = true;
+  }
+  EXPECT_TRUE(Found);
+}
+
+} // namespace

@@ -1,0 +1,112 @@
+//===- tests/lang/LexerTest.cpp - MiniC lexer tests -----------------------===//
+
+#include "lang/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Source, bool ExpectErrors = false) {
+  DiagEngine Diags;
+  Lexer Lex(Source, Diags);
+  std::vector<Token> Tokens = Lex.lexAll();
+  EXPECT_EQ(Diags.hasErrors(), ExpectErrors) << Diags.dump();
+  return Tokens;
+}
+
+TEST(LexerTest, EmptyInput) {
+  std::vector<Token> Tokens = lex("");
+  ASSERT_EQ(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokKind::Eof));
+}
+
+TEST(LexerTest, KeywordsAndIdentifiers) {
+  std::vector<Token> Tokens = lex("int foo while whileFoo _bar param in");
+  EXPECT_TRUE(Tokens[0].is(TokKind::KwInt));
+  EXPECT_TRUE(Tokens[1].is(TokKind::Identifier));
+  EXPECT_EQ(Tokens[1].Text, "foo");
+  EXPECT_TRUE(Tokens[2].is(TokKind::KwWhile));
+  EXPECT_TRUE(Tokens[3].is(TokKind::Identifier));
+  EXPECT_EQ(Tokens[3].Text, "whileFoo");
+  EXPECT_TRUE(Tokens[4].is(TokKind::Identifier));
+  EXPECT_TRUE(Tokens[5].is(TokKind::KwParam));
+  EXPECT_TRUE(Tokens[6].is(TokKind::KwIn));
+}
+
+TEST(LexerTest, IntegerLiterals) {
+  std::vector<Token> Tokens = lex("0 42 123456789 0x1F");
+  EXPECT_EQ(Tokens[0].IntValue, 0);
+  EXPECT_EQ(Tokens[1].IntValue, 42);
+  EXPECT_EQ(Tokens[2].IntValue, 123456789);
+  EXPECT_EQ(Tokens[3].IntValue, 31);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  std::vector<Token> Tokens = lex("3.5 0.25 1e3 2.5e-2");
+  EXPECT_TRUE(Tokens[0].is(TokKind::FloatLiteral));
+  EXPECT_DOUBLE_EQ(Tokens[0].FloatValue, 3.5);
+  EXPECT_DOUBLE_EQ(Tokens[1].FloatValue, 0.25);
+  EXPECT_DOUBLE_EQ(Tokens[2].FloatValue, 1000.0);
+  EXPECT_DOUBLE_EQ(Tokens[3].FloatValue, 0.025);
+}
+
+TEST(LexerTest, OperatorsMaximalMunch) {
+  std::vector<Token> Tokens = lex("<= << < == = ++ += + && &");
+  TokKind Expected[] = {TokKind::LessEqual, TokKind::LessLess, TokKind::Less,
+                        TokKind::EqualEqual, TokKind::Equal,
+                        TokKind::PlusPlus, TokKind::PlusEqual, TokKind::Plus,
+                        TokKind::AmpAmp, TokKind::Amp};
+  for (size_t I = 0; I != std::size(Expected); ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << I;
+}
+
+TEST(LexerTest, CompoundAssignmentOperators) {
+  std::vector<Token> Tokens = lex("%= &= |= ^= <<= >>= >> >");
+  TokKind Expected[] = {TokKind::PercentEqual, TokKind::AmpEqual,
+                        TokKind::PipeEqual, TokKind::CaretEqual,
+                        TokKind::LessLessEqual, TokKind::GreaterGreaterEqual,
+                        TokKind::GreaterGreater, TokKind::Greater};
+  for (size_t I = 0; I != std::size(Expected); ++I)
+    EXPECT_TRUE(Tokens[I].is(Expected[I])) << I;
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  std::vector<Token> Tokens = lex("a // line comment\n b /* block\n */ c");
+  ASSERT_EQ(Tokens.size(), 4u);
+  EXPECT_EQ(Tokens[0].Text, "a");
+  EXPECT_EQ(Tokens[1].Text, "b");
+  EXPECT_EQ(Tokens[2].Text, "c");
+}
+
+TEST(LexerTest, Annotations) {
+  std::vector<Token> Tokens = lex("@trip @cond @size");
+  EXPECT_TRUE(Tokens[0].is(TokKind::AtTrip));
+  EXPECT_TRUE(Tokens[1].is(TokKind::AtCond));
+  EXPECT_TRUE(Tokens[2].is(TokKind::AtSize));
+}
+
+TEST(LexerTest, UnknownAnnotationIsError) {
+  std::vector<Token> Tokens = lex("@bogus", /*ExpectErrors=*/true);
+  EXPECT_TRUE(Tokens[0].is(TokKind::Error));
+}
+
+TEST(LexerTest, SourceLocationsTracked) {
+  std::vector<Token> Tokens = lex("a\n  b");
+  EXPECT_EQ(Tokens[0].Loc.Line, 1u);
+  EXPECT_EQ(Tokens[0].Loc.Column, 1u);
+  EXPECT_EQ(Tokens[1].Loc.Line, 2u);
+  EXPECT_EQ(Tokens[1].Loc.Column, 3u);
+}
+
+TEST(LexerTest, UnexpectedCharacter) {
+  std::vector<Token> Tokens = lex("a $ b", /*ExpectErrors=*/true);
+  EXPECT_TRUE(Tokens[1].is(TokKind::Error));
+}
+
+TEST(LexerTest, UnterminatedBlockComment) {
+  lex("a /* never closed", /*ExpectErrors=*/true);
+}
+
+} // namespace

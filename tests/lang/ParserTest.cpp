@@ -1,0 +1,224 @@
+//===- tests/lang/ParserTest.cpp - MiniC parser tests ---------------------===//
+
+#include "lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+std::unique_ptr<Program> parseOk(const std::string &Source) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseMiniC(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.dump();
+  return Prog;
+}
+
+void parseFail(const std::string &Source) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseMiniC(Source, Diags);
+  EXPECT_TRUE(Prog == nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(ParserTest, EmptyProgram) {
+  auto Prog = parseOk("");
+  EXPECT_TRUE(Prog->Functions.empty());
+  EXPECT_TRUE(Prog->Globals.empty());
+}
+
+TEST(ParserTest, RuntimeParamDecl) {
+  auto Prog = parseOk("param int n in [1, 1024];");
+  ASSERT_EQ(Prog->RuntimeParams.size(), 1u);
+  EXPECT_EQ(Prog->RuntimeParams[0].Name, "n");
+  EXPECT_EQ(Prog->RuntimeParams[0].Lower, 1);
+  EXPECT_EQ(Prog->RuntimeParams[0].Upper, 1024);
+}
+
+TEST(ParserTest, RuntimeParamNegativeBounds) {
+  auto Prog = parseOk("param int bias in [-8, 8];");
+  EXPECT_EQ(Prog->RuntimeParams[0].Lower, -8);
+  EXPECT_EQ(Prog->RuntimeParams[0].Upper, 8);
+}
+
+TEST(ParserTest, EmptyParamRangeRejected) {
+  parseFail("param int n in [5, 4];");
+}
+
+TEST(ParserTest, GlobalScalarAndArray) {
+  auto Prog = parseOk("int counter = 3;\n"
+                      "int table[4] = {1, 2, 3, 4};\n"
+                      "double rate;\n");
+  ASSERT_EQ(Prog->Globals.size(), 3u);
+  EXPECT_FALSE(Prog->Globals[0]->IsArray);
+  EXPECT_EQ(Prog->Globals[0]->Init.size(), 1u);
+  EXPECT_TRUE(Prog->Globals[1]->IsArray);
+  EXPECT_EQ(Prog->Globals[1]->ArraySize, 4);
+  EXPECT_EQ(Prog->Globals[1]->Init.size(), 4u);
+  EXPECT_EQ(Prog->Globals[2]->Type, TypeKind::Double);
+}
+
+TEST(ParserTest, FunctionWithParams) {
+  auto Prog = parseOk("int add(int a, int b) { return a + b; }");
+  ASSERT_EQ(Prog->Functions.size(), 1u);
+  const FuncDecl &F = *Prog->Functions[0];
+  EXPECT_EQ(F.Name, "add");
+  EXPECT_EQ(F.ReturnType, TypeKind::Int);
+  ASSERT_EQ(F.Params.size(), 2u);
+  EXPECT_EQ(F.Params[1]->Name, "b");
+  ASSERT_EQ(F.Body->Body.size(), 1u);
+  EXPECT_EQ(F.Body->Body[0]->getKind(), Stmt::Kind::Return);
+}
+
+TEST(ParserTest, PointerTypes) {
+  auto Prog = parseOk("void f(int *p, double *q) { *p = 1; q[2] = 3.0; }");
+  const FuncDecl &F = *Prog->Functions[0];
+  EXPECT_EQ(F.Params[0]->Type, TypeKind::IntPtr);
+  EXPECT_EQ(F.Params[1]->Type, TypeKind::DoublePtr);
+}
+
+TEST(ParserTest, MultiLevelPointerRejected) {
+  parseFail("void f(int **p) { }");
+}
+
+TEST(ParserTest, ControlFlowStatements) {
+  auto Prog = parseOk(
+      "void main() {\n"
+      "  int i;\n"
+      "  for (i = 0; i < 10; i++) {\n"
+      "    if (i == 5) break; else continue;\n"
+      "  }\n"
+      "  while (i > 0) i -= 1;\n"
+      "}\n");
+  const BlockStmt &Body = *Prog->Functions[0]->Body;
+  ASSERT_EQ(Body.Body.size(), 3u);
+  EXPECT_EQ(Body.Body[1]->getKind(), Stmt::Kind::For);
+  EXPECT_EQ(Body.Body[2]->getKind(), Stmt::Kind::While);
+}
+
+TEST(ParserTest, CompoundAssignDesugarsToAssign) {
+  auto Prog = parseOk("void main() { int a = 1; a += 2 * 3; }");
+  const BlockStmt &Body = *Prog->Functions[0]->Body;
+  const auto &ES = static_cast<const ExprStmt &>(*Body.Body[1]);
+  ASSERT_EQ(ES.E->getKind(), Expr::Kind::Assign);
+  const auto &A = static_cast<const AssignExpr &>(*ES.E);
+  EXPECT_EQ(A.Value->getKind(), Expr::Kind::Binary);
+}
+
+TEST(ParserTest, BitwiseCompoundAssignDesugars) {
+  auto Prog = parseOk("void main() { int a = 6;\n"
+                      "  a ^= 3; a &= 12; a |= 1; a %= 5; a <<= 2;\n"
+                      "  a >>= 1; }");
+  const BlockStmt &Body = *Prog->Functions[0]->Body;
+  for (size_t I = 1; I != Body.Body.size(); ++I) {
+    const auto &ES = static_cast<const ExprStmt &>(*Body.Body[I]);
+    EXPECT_EQ(ES.E->getKind(), Expr::Kind::Assign) << I;
+  }
+}
+
+TEST(ParserTest, IncrementDesugarsToAssign) {
+  auto Prog = parseOk("void main() { int a = 0; a++; ++a; a--; }");
+  const BlockStmt &Body = *Prog->Functions[0]->Body;
+  for (size_t I = 1; I != 4; ++I) {
+    const auto &ES = static_cast<const ExprStmt &>(*Body.Body[I]);
+    EXPECT_EQ(ES.E->getKind(), Expr::Kind::Assign) << I;
+  }
+}
+
+TEST(ParserTest, PrecedenceMulOverAdd) {
+  auto Prog = parseOk("void main() { int a = 1 + 2 * 3; }");
+  const auto &Decl =
+      static_cast<const DeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  const auto &Top = static_cast<const BinaryExpr &>(*Decl.InitExpr);
+  EXPECT_EQ(Top.Op, BinaryOp::Add);
+  const auto &RHS = static_cast<const BinaryExpr &>(*Top.RHS);
+  EXPECT_EQ(RHS.Op, BinaryOp::Mul);
+}
+
+TEST(ParserTest, PrecedenceLogicalVsBitwise) {
+  auto Prog = parseOk("void main() { int a = 1 | 2 && 3; }");
+  const auto &Decl =
+      static_cast<const DeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  const auto &Top = static_cast<const BinaryExpr &>(*Decl.InitExpr);
+  EXPECT_EQ(Top.Op, BinaryOp::LAnd);
+}
+
+TEST(ParserTest, TernaryParses) {
+  auto Prog = parseOk("void main() { int a = 1 < 2 ? 3 : 4; }");
+  const auto &Decl =
+      static_cast<const DeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  EXPECT_EQ(Decl.InitExpr->getKind(), Expr::Kind::Ternary);
+}
+
+TEST(ParserTest, CallsAndIndexChains) {
+  auto Prog = parseOk("int get(int i) { return i; }\n"
+                      "void main() { int a[8]; a[get(2)] = get(a[1]); }");
+  EXPECT_EQ(Prog->Functions.size(), 2u);
+}
+
+TEST(ParserTest, AddrOfAndDeref) {
+  auto Prog = parseOk("void main() { int v; int *p = &v; *p = 7; }");
+  const auto &Decl =
+      static_cast<const DeclStmt &>(*Prog->Functions[0]->Body->Body[1]);
+  EXPECT_EQ(Decl.InitExpr->getKind(), Expr::Kind::AddrOf);
+}
+
+TEST(ParserTest, TripAnnotationOnLoop) {
+  auto Prog = parseOk("param int n in [1, 10];\n"
+                      "void main() { int i = 0;\n"
+                      "  @trip(n) while (i < 100) { i++; } }");
+  const BlockStmt &Body = *Prog->Functions[0]->Body;
+  EXPECT_TRUE(Body.Body[1]->TripAnnot != nullptr);
+}
+
+TEST(ParserTest, CondAnnotationOnIf) {
+  auto Prog = parseOk("param int mode in [0, 1];\n"
+                      "void main() { @cond(mode) if (1) { } }");
+  EXPECT_TRUE(Prog->Functions[0]->Body->Body[0]->CondAnnot != nullptr);
+}
+
+TEST(ParserTest, SizeAnnotationOnDecl) {
+  auto Prog = parseOk("param int n in [1, 10];\n"
+                      "void main() { @size(n) int *p = malloc(n); }");
+  const auto &Decl =
+      static_cast<const DeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  EXPECT_TRUE(Decl.SizeAnnot != nullptr);
+}
+
+TEST(ParserTest, TripOnNonLoopRejected) {
+  parseFail("void main() { @trip(1) return; }");
+}
+
+TEST(ParserTest, CondOnNonIfRejected) {
+  parseFail("void main() { @cond(1) while (1) { } }");
+}
+
+TEST(ParserTest, MissingSemicolonRejected) {
+  parseFail("void main() { int a = 1 }");
+}
+
+TEST(ParserTest, ForWithDeclInit) {
+  auto Prog = parseOk("void main() { for (int i = 0; i < 4; i++) { } }");
+  const auto &For =
+      static_cast<const ForStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  ASSERT_TRUE(For.Init != nullptr);
+  EXPECT_EQ(For.Init->getKind(), Stmt::Kind::DeclStmt);
+}
+
+TEST(ParserTest, ForWithEmptyClauses) {
+  auto Prog = parseOk("void main() { for (;;) { break; } }");
+  const auto &For =
+      static_cast<const ForStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  EXPECT_TRUE(For.Init == nullptr);
+  EXPECT_TRUE(For.Cond == nullptr);
+  EXPECT_TRUE(For.Step == nullptr);
+}
+
+TEST(ParserTest, FuncTypeVariable) {
+  auto Prog = parseOk("void enc() { }\n"
+                      "void main() { func g; g = enc; g(); }");
+  EXPECT_EQ(Prog->Functions.size(), 2u);
+}
+
+} // namespace

@@ -1,0 +1,100 @@
+//===- tests/lang/PrintASTTest.cpp - Pretty-printer round-trips -----------===//
+
+#include "lang/PrintAST.h"
+
+#include "interp/Interp.h"
+#include "lang/Parser.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+TEST(PrintASTTest, SimpleProgramRendering) {
+  DiagEngine Diags;
+  auto Prog = parseMiniC("param int n in [1, 8];\n"
+                         "int table[2] = {1, -2};\n"
+                         "void main() { int a = n * 2 + 1; io_write(a); }",
+                         Diags);
+  ASSERT_TRUE(Prog != nullptr) << Diags.dump();
+  std::string Text = printProgram(*Prog);
+  EXPECT_NE(Text.find("param int n in [1, 8];"), std::string::npos);
+  EXPECT_NE(Text.find("int table[2] = {1, -(2)};"), std::string::npos);
+  EXPECT_NE(Text.find("void main()"), std::string::npos);
+  EXPECT_NE(Text.find("io_write(a);"), std::string::npos);
+}
+
+TEST(PrintASTTest, AnnotationsSurvivePrinting) {
+  DiagEngine Diags;
+  auto Prog = parseMiniC("param int n in [1, 8];\n"
+                         "void main() { int i = 0;\n"
+                         "  @trip(n) while (i < 100) i++;\n"
+                         "  @size(n) int *p = malloc(io_read());\n"
+                         "}",
+                         Diags);
+  ASSERT_TRUE(Prog != nullptr) << Diags.dump();
+  std::string Text = printProgram(*Prog);
+  EXPECT_NE(Text.find("@trip(n)"), std::string::npos);
+  EXPECT_NE(Text.find("@size(n)"), std::string::npos);
+}
+
+/// Round-trip property: print, reparse, and compare program *behavior*
+/// (outputs of the interpreter on the same inputs), for every benchmark.
+struct RoundTripCase {
+  const char *Name;
+  std::vector<int64_t> Params;
+  size_t InputCount;
+};
+
+class PrintRoundTripTest : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(PrintRoundTripTest, ReparsedProgramBehavesIdentically) {
+  const RoundTripCase &C = GetParam();
+  const programs::BenchProgram &Prog = programs::programByName(C.Name);
+
+  // Analysis is irrelevant here: disable the heavy parts.
+  ParametricOptions Cheap;
+  Cheap.MaxExactDims = 0;
+  Cheap.SampleBudget = 4;
+
+  std::string Diags;
+  auto Original =
+      compileForOffloading(Prog.Source, CostModel::defaults(), Cheap, &Diags);
+  ASSERT_TRUE(Original != nullptr) << Diags;
+
+  std::string Printed = printProgram(*Original->AST);
+  auto Reparsed =
+      compileForOffloading(Printed, CostModel::defaults(), Cheap, &Diags);
+  ASSERT_TRUE(Reparsed != nullptr) << Diags << "\n--- printed ---\n"
+                                   << Printed;
+
+  std::vector<int64_t> Inputs = programs::makeAudioSamples(C.InputCount, 77);
+  ExecOptions Opts;
+  Opts.ParamValues = C.Params;
+  Opts.Inputs = Inputs;
+  ExecResult A = runProgram(*Original, Opts);
+  ExecResult B = runProgram(*Reparsed, Opts);
+  ASSERT_TRUE(A.OK) << A.Error;
+  ASSERT_TRUE(B.OK) << B.Error;
+  EXPECT_EQ(A.Outputs, B.Outputs);
+  // Identical ASTs execute identical instruction streams.
+  EXPECT_EQ(A.ClientInstrs, B.ClientInstrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benchmarks, PrintRoundTripTest,
+    ::testing::Values(
+        RoundTripCase{"rawcaudio", {64}, 64},
+        RoundTripCase{"rawdaudio", {64}, 33},
+        RoundTripCase{"encode", {0, 1, 0, 0, 2, 32}, 64},
+        RoundTripCase{"decode", {1, 0, 0, 1, 2, 32}, 64},
+        RoundTripCase{"fft", {2, 16, 4, 1}, 4},
+        RoundTripCase{"susan", {1, 1, 1, 16, 12, 1, 15, 20, 7, 1, 3, 1},
+                      16 * 12}),
+    [](const ::testing::TestParamInfo<RoundTripCase> &Info) {
+      return std::string(Info.param.Name);
+    });
+
+} // namespace

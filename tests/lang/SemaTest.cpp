@@ -1,0 +1,182 @@
+//===- tests/lang/SemaTest.cpp - MiniC semantic analysis tests ------------===//
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+std::unique_ptr<Program> analyzeOk(const std::string &Source) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseMiniC(Source, Diags);
+  EXPECT_TRUE(Prog != nullptr) << Diags.dump();
+  if (!Prog)
+    return nullptr;
+  EXPECT_TRUE(runSema(*Prog, Diags)) << Diags.dump();
+  return Prog;
+}
+
+void analyzeFail(const std::string &Source, const std::string &Fragment) {
+  DiagEngine Diags;
+  std::unique_ptr<Program> Prog = parseMiniC(Source, Diags);
+  ASSERT_TRUE(Prog != nullptr) << Diags.dump();
+  EXPECT_FALSE(runSema(*Prog, Diags));
+  EXPECT_NE(Diags.dump().find(Fragment), std::string::npos) << Diags.dump();
+}
+
+TEST(SemaTest, MinimalProgram) { analyzeOk("void main() { }"); }
+
+TEST(SemaTest, MissingMain) {
+  analyzeFail("void f() { }", "no 'main'");
+}
+
+TEST(SemaTest, MainWrongSignature) {
+  analyzeFail("int main(int a) { return a; }", "'main' must have signature");
+}
+
+TEST(SemaTest, UndeclaredVariable) {
+  analyzeFail("void main() { x = 1; }", "undeclared identifier 'x'");
+}
+
+TEST(SemaTest, VariableScopes) {
+  analyzeOk("void main() { int x = 1; { int y = x; { int x2 = y; } } }");
+  analyzeFail("void main() { { int y = 1; } y = 2; }", "undeclared");
+}
+
+TEST(SemaTest, RedefinitionInSameScope) {
+  analyzeFail("void main() { int x; int x; }", "redefinition");
+}
+
+TEST(SemaTest, ShadowingInInnerScopeAllowed) {
+  analyzeOk("void main() { int x = 1; { int x = 2; x = 3; } }");
+}
+
+TEST(SemaTest, RuntimeParamIsReadOnlyInt) {
+  auto Prog = analyzeOk("param int n in [1, 8];\n"
+                        "void main() { int a = n + 1; }");
+  (void)Prog;
+  analyzeFail("param int n in [1, 8]; void main() { n = 2; }", "read-only");
+}
+
+TEST(SemaTest, TypeMismatchReported) {
+  analyzeFail("void main() { int *p; int x; p = x; }", "cannot assign");
+  analyzeFail("void main() { double d; int *p = &d; }", "cannot initialize");
+}
+
+TEST(SemaTest, NumericConversionsAllowed) {
+  analyzeOk("void main() { double d = 3; int i = 2.5; d = i; i = d; }");
+}
+
+TEST(SemaTest, PointerArithmetic) {
+  analyzeOk("void main() { int a[4]; int *p = a; p = p + 1; p = 2 + p;\n"
+            "  p = p - 1; int ok = p == a; }");
+  analyzeFail("void main() { int *p; int *q; p = p + q; }", "arithmetic");
+}
+
+TEST(SemaTest, ArrayDecayAndIndexing) {
+  analyzeOk("int g[8];\n"
+            "void main() { int *p = g; g[2] = 5; int v = p[1]; }");
+  analyzeFail("void main() { int x; x[0] = 1; }", "not an array or pointer");
+}
+
+TEST(SemaTest, ArrayNotAssignable) {
+  analyzeFail("int g[4]; void main() { g = 0; }", "cannot assign to an array");
+}
+
+TEST(SemaTest, DerefNonPointer) {
+  analyzeFail("void main() { int x; *x = 1; }", "non-pointer");
+}
+
+TEST(SemaTest, AddrOfVariable) {
+  analyzeOk("void main() { int v; int *p = &v; double d; double *q = &d; }");
+  analyzeFail("void f() { } void main() { int *p = &f; }", "address");
+}
+
+TEST(SemaTest, ConditionMustBeInt) {
+  analyzeFail("void main() { double d = 1.0; if (d) { } }", "must have type");
+  analyzeOk("void main() { double d = 1.0; if (d > 0.5) { } }");
+}
+
+TEST(SemaTest, BreakOutsideLoop) {
+  analyzeFail("void main() { break; }", "outside of a loop");
+}
+
+TEST(SemaTest, ReturnTypeChecked) {
+  analyzeFail("int f() { return; } void main() { }", "must return a value");
+  analyzeFail("void f() { return 3; } void main() { }", "void function");
+  analyzeOk("int f() { return 3; } void main() { int a = f(); }");
+}
+
+TEST(SemaTest, CallArgumentChecking) {
+  analyzeFail("int f(int a) { return a; } void main() { f(1, 2); }",
+              "expects 1 argument");
+  analyzeFail("int f(int *p) { return *p; } void main() { f(3); }",
+              "cannot pass");
+  analyzeOk("int f(double d) { return d > 0.0; } void main() { f(3); }");
+}
+
+TEST(SemaTest, BuiltinsRecognized) {
+  auto Prog = analyzeOk(
+      "param int n in [1, 64];\n"
+      "void main() {\n"
+      "  int *buf = malloc(n);\n"
+      "  io_read_buf(buf, n);\n"
+      "  int v = io_read();\n"
+      "  io_write(v);\n"
+      "  io_write_buf(buf, n);\n"
+      "}\n");
+  const BlockStmt &Body = *Prog->Functions[0]->Body;
+  const auto &Decl = static_cast<const DeclStmt &>(*Body.Body[0]);
+  const auto &Call = static_cast<const CallExpr &>(*Decl.InitExpr);
+  EXPECT_EQ(Call.BuiltinKind, CallExpr::Builtin::Malloc);
+  EXPECT_EQ(Call.Type, TypeKind::IntPtr);
+}
+
+TEST(SemaTest, MallocAdoptsDoublePointerType) {
+  auto Prog = analyzeOk("void main() { double *p = malloc(16); }");
+  const auto &Decl =
+      static_cast<const DeclStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  EXPECT_EQ(Decl.InitExpr->Type, TypeKind::DoublePtr);
+}
+
+TEST(SemaTest, FuncValuesAndIndirectCalls) {
+  analyzeOk("void enc_a() { } void enc_b() { }\n"
+            "func g;\n"
+            "void main() { g = enc_a; if (1) g = enc_b; g(); }");
+  analyzeFail("int f(int a) { return a; } void main() { func g = f; }",
+              "void(void)");
+}
+
+TEST(SemaTest, AnnotationsOnlyReferenceParams) {
+  analyzeOk("param int n in [1, 10];\n"
+            "void main() { int i = 0; @trip(n * 2) while (i < 5) i++; }");
+  analyzeFail("void main() { int k = 3; @trip(k) while (1) { } }",
+              "annotation may only reference");
+}
+
+TEST(SemaTest, GlobalInitializersMustBeLiterals) {
+  analyzeOk("int a = -5; double b = 2.5; int t[2] = {1, -2};\n"
+            "void main() { }");
+  analyzeFail("int a = 1 + 2; void main() { }", "literals");
+}
+
+TEST(SemaTest, TooManyArrayInitializers) {
+  analyzeFail("int t[2] = {1, 2, 3}; void main() { }", "too many");
+}
+
+TEST(SemaTest, VarRefsResolvedAfterSema) {
+  auto Prog = analyzeOk("int g;\n"
+                        "void main() { g = 2; }");
+  const auto &ES =
+      static_cast<const ExprStmt &>(*Prog->Functions[0]->Body->Body[0]);
+  const auto &Assign = static_cast<const AssignExpr &>(*ES.E);
+  const auto &Ref = static_cast<const VarRefExpr &>(*Assign.Target);
+  ASSERT_TRUE(Ref.Var != nullptr);
+  EXPECT_EQ(Ref.Var->Name, "g");
+  EXPECT_TRUE(Ref.Var->IsGlobal);
+}
+
+} // namespace

@@ -1,0 +1,283 @@
+//===- tests/lang/SymbolicsTest.cpp - Symbolic analysis tests -------------===//
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "lang/Symbolics.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+struct Analyzed {
+  std::unique_ptr<Program> Prog;
+  ParamSpace Space;
+  SymbolicInfo Info;
+  DiagEngine Diags;
+};
+
+std::unique_ptr<Analyzed> analyze(const std::string &Source) {
+  auto Result = std::make_unique<Analyzed>();
+  Result->Prog = parseMiniC(Source, Result->Diags);
+  EXPECT_TRUE(Result->Prog != nullptr) << Result->Diags.dump();
+  if (!Result->Prog)
+    return nullptr;
+  EXPECT_TRUE(runSema(*Result->Prog, Result->Diags)) << Result->Diags.dump();
+  Result->Info =
+      analyzeSymbolics(*Result->Prog, Result->Space, Result->Diags);
+  EXPECT_FALSE(Result->Diags.hasErrors()) << Result->Diags.dump();
+  return Result;
+}
+
+/// First loop statement found in a depth-first walk of main's body.
+const Stmt *findLoop(const Stmt *S) {
+  if (!S)
+    return nullptr;
+  if (S->getKind() == Stmt::Kind::While || S->getKind() == Stmt::Kind::For)
+    return S;
+  if (S->getKind() == Stmt::Kind::Block)
+    for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Body)
+      if (const Stmt *Found = findLoop(Child.get()))
+        return Found;
+  if (S->getKind() == Stmt::Kind::If) {
+    const auto *I = static_cast<const IfStmt *>(S);
+    if (const Stmt *Found = findLoop(I->Then.get()))
+      return Found;
+    return findLoop(I->Else.get());
+  }
+  return nullptr;
+}
+
+TEST(SymbolicsTest, ParamsRegisteredInOrder) {
+  auto A = analyze("param int x in [1, 10];\n"
+                   "param int y in [2, 20];\n"
+                   "void main() { }");
+  ASSERT_TRUE(A);
+  ASSERT_GE(A->Space.size(), 2u);
+  EXPECT_EQ(A->Space.name(0), "x");
+  EXPECT_EQ(A->Space.name(1), "y");
+  EXPECT_EQ(A->Space.lower(1).toInt64(), 2);
+}
+
+TEST(SymbolicsTest, SimpleForTripRecognized) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void main() { int s = 0;\n"
+                   "  for (int i = 0; i < n; i++) s += i; }");
+  ASSERT_TRUE(A);
+  const Stmt *Loop = findLoop(A->Prog->findFunction("main")->Body.get());
+  ASSERT_TRUE(Loop);
+  const LinExpr &Trip = A->Info.LoopTrip.at(Loop);
+  EXPECT_EQ(Trip, LinExpr::param(0));
+  EXPECT_TRUE(A->Info.Dummies.empty());
+}
+
+TEST(SymbolicsTest, ForTripWithBoundsAndStep) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void main() {\n"
+                   "  for (int i = 2; i <= n; i += 2) { } }");
+  ASSERT_TRUE(A);
+  const Stmt *Loop = findLoop(A->Prog->findFunction("main")->Body.get());
+  // (n - 2 + 2) / 2 = n/2.
+  EXPECT_EQ(A->Info.LoopTrip.at(Loop),
+            LinExpr::param(0) * Rational::fraction(1, 2));
+}
+
+TEST(SymbolicsTest, DownCountingForRecognized) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void main() { for (int i = n; i > 0; i--) { } }");
+  ASSERT_TRUE(A);
+  const Stmt *Loop = findLoop(A->Prog->findFunction("main")->Body.get());
+  EXPECT_EQ(A->Info.LoopTrip.at(Loop), LinExpr::param(0));
+}
+
+TEST(SymbolicsTest, TripThroughLocalCopy) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void main() { int len = n * 2;\n"
+                   "  for (int i = 0; i < len; i++) { } }");
+  ASSERT_TRUE(A);
+  const Stmt *Loop = findLoop(A->Prog->findFunction("main")->Body.get());
+  EXPECT_EQ(A->Info.LoopTrip.at(Loop), LinExpr::param(0) * Rational(2));
+}
+
+TEST(SymbolicsTest, UnknownBoundBecomesDummy) {
+  auto A = analyze("void main() { int v = io_read();\n"
+                   "  for (int i = 0; i < v; i++) { } }");
+  ASSERT_TRUE(A);
+  ASSERT_EQ(A->Info.Dummies.size(), 1u);
+  EXPECT_NE(A->Info.Dummies[0].Description.find("trip count"),
+            std::string::npos);
+  EXPECT_TRUE(A->Space.isDummy(A->Info.Dummies[0].Id));
+}
+
+TEST(SymbolicsTest, LoopWithBreakBecomesDummy) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void main() { for (int i = 0; i < n; i++) {\n"
+                   "  if (i == 3) break; } }");
+  ASSERT_TRUE(A);
+  // The break defeats recognition; a dummy trip is introduced.
+  bool HasTripDummy = false;
+  for (const DummyOrigin &D : A->Info.Dummies)
+    HasTripDummy |= D.Description.find("trip count") != std::string::npos;
+  EXPECT_TRUE(HasTripDummy);
+}
+
+TEST(SymbolicsTest, TripAnnotationWins) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void main() { int i = 0;\n"
+                   "  @trip(n * 3) while (i < 1000) i++; }");
+  ASSERT_TRUE(A);
+  const Stmt *Loop = findLoop(A->Prog->findFunction("main")->Body.get());
+  EXPECT_EQ(A->Info.LoopTrip.at(Loop), LinExpr::param(0) * Rational(3));
+  EXPECT_TRUE(A->Info.Dummies.empty());
+}
+
+TEST(SymbolicsTest, NestedLoopsMultiplyIntoCallee) {
+  auto A = analyze("param int x in [1, 10];\n"
+                   "param int y in [1, 10];\n"
+                   "void work() { }\n"
+                   "void main() {\n"
+                   "  for (int i = 0; i < x; i++)\n"
+                   "    for (int j = 0; j < y; j++)\n"
+                   "      work();\n"
+                   "}\n");
+  ASSERT_TRUE(A);
+  const FuncDecl *Work = A->Prog->findFunction("work");
+  // Entry count = x*y, the interned monomial.
+  ParamId XY = A->Space.internMonomial({0, 1});
+  EXPECT_EQ(A->Info.EntryCount.at(Work), LinExpr::param(XY));
+}
+
+TEST(SymbolicsTest, ArgumentBindingPropagates) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "int sum(int len) { int s = 0;\n"
+                   "  for (int i = 0; i < len; i++) s += i;\n"
+                   "  return s; }\n"
+                   "void main() { int r = sum(n * 4); }");
+  ASSERT_TRUE(A);
+  const Stmt *Loop = findLoop(A->Prog->findFunction("sum")->Body.get());
+  EXPECT_EQ(A->Info.LoopTrip.at(Loop), LinExpr::param(0) * Rational(4));
+}
+
+TEST(SymbolicsTest, ConflictingArgBindingsBecomeUnknown) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void f(int len) { for (int i = 0; i < len; i++) { } }\n"
+                   "void main() { f(n); f(n + 1); }");
+  ASSERT_TRUE(A);
+  // Two call sites disagree, so the trip falls back to a dummy.
+  EXPECT_FALSE(A->Info.Dummies.empty());
+  // But the entry count of f is exactly 2.
+  const FuncDecl *F = A->Prog->findFunction("f");
+  EXPECT_EQ(A->Info.EntryCount.at(F), LinExpr::constant(2));
+}
+
+TEST(SymbolicsTest, BalancedIfUsesHalfFrequency) {
+  auto A = analyze("void main() { int v = io_read();\n"
+                   "  if (v > 0) v = v + 1; else v = v - 1; }");
+  ASSERT_TRUE(A);
+  const FuncDecl *Main = A->Prog->findFunction("main");
+  const auto &Body = Main->Body->Body;
+  const Stmt *If = Body[1].get();
+  EXPECT_EQ(A->Info.IfFreq.at(If), LinExpr(Rational::fraction(1, 2)));
+  EXPECT_TRUE(A->Info.Dummies.empty());
+}
+
+TEST(SymbolicsTest, HeavyIfGetsDummyFrequency) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void heavy() { for (int i = 0; i < 100; i++) { } }\n"
+                   "void main() { int v = io_read();\n"
+                   "  if (v > 0) heavy(); }");
+  ASSERT_TRUE(A);
+  bool HasFreqDummy = false;
+  for (const DummyOrigin &D : A->Info.Dummies)
+    HasFreqDummy |= D.Description.find("frequency") != std::string::npos;
+  EXPECT_TRUE(HasFreqDummy);
+}
+
+TEST(SymbolicsTest, CondAnnotationGivesExactFrequency) {
+  auto A = analyze("param int mode in [0, 1];\n"
+                   "void heavy() { for (int i = 0; i < 100; i++) { } }\n"
+                   "void main() { int v = io_read();\n"
+                   "  @cond(mode) if (v > 0) heavy(); }");
+  ASSERT_TRUE(A);
+  const FuncDecl *Main = A->Prog->findFunction("main");
+  const Stmt *If = Main->Body->Body[1].get();
+  EXPECT_EQ(A->Info.IfFreq.at(If), LinExpr::param(0));
+  EXPECT_TRUE(A->Info.Dummies.empty());
+  // heavy's entry count is 1 * mode.
+  EXPECT_EQ(A->Info.EntryCount.at(A->Prog->findFunction("heavy")),
+            LinExpr::param(0));
+}
+
+TEST(SymbolicsTest, MallocSizeFromArgument) {
+  auto A = analyze("param int n in [1, 4096];\n"
+                   "void main() { int *p = malloc(n * 2); }");
+  ASSERT_TRUE(A);
+  ASSERT_EQ(A->Info.MallocSize.size(), 1u);
+  EXPECT_EQ(A->Info.MallocSize.begin()->second,
+            LinExpr::param(0) * Rational(2));
+}
+
+TEST(SymbolicsTest, MallocSizeAnnotationOverrides) {
+  auto A = analyze("param int n in [1, 4096];\n"
+                   "void main() { int v = io_read();\n"
+                   "  @size(n) int *p = malloc(v); }");
+  ASSERT_TRUE(A);
+  ASSERT_EQ(A->Info.MallocSize.size(), 1u);
+  EXPECT_EQ(A->Info.MallocSize.begin()->second, LinExpr::param(0));
+  EXPECT_TRUE(A->Info.Dummies.empty());
+}
+
+TEST(SymbolicsTest, MallocUnknownSizeBecomesDummy) {
+  auto A = analyze("void main() { int v = io_read(); int *p = malloc(v); }");
+  ASSERT_TRUE(A);
+  ASSERT_EQ(A->Info.Dummies.size(), 1u);
+  EXPECT_NE(A->Info.Dummies[0].Description.find("allocation size"),
+            std::string::npos);
+}
+
+TEST(SymbolicsTest, LoopInvariantKilledByBodyAssignment) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void main() { int len = n;\n"
+                   "  for (int i = 0; i < len; i++) {\n"
+                   "    int inner = len;\n"
+                   "    for (int j = 0; j < inner; j++) { }\n"
+                   "  } }");
+  ASSERT_TRUE(A);
+  // len is never assigned in the loop: both trips resolve to n, and the
+  // inner body count is n*n.
+  EXPECT_TRUE(A->Info.Dummies.empty());
+}
+
+TEST(SymbolicsTest, IndirectCallCountsAllTakenFunctions) {
+  auto A = analyze("param int n in [1, 100];\n"
+                   "void enc_a() { }\n"
+                   "void enc_b() { }\n"
+                   "void unrelated() { }\n"
+                   "func g;\n"
+                   "void main() {\n"
+                   "  g = enc_a;\n"
+                   "  if (n > 50) g = enc_b;\n"
+                   "  for (int i = 0; i < n; i++) g();\n"
+                   "}\n");
+  ASSERT_TRUE(A);
+  // Both address-taken encoders get the call count; unrelated stays 0.
+  EXPECT_EQ(A->Info.EntryCount.at(A->Prog->findFunction("enc_a")),
+            LinExpr::param(0));
+  EXPECT_EQ(A->Info.EntryCount.at(A->Prog->findFunction("enc_b")),
+            LinExpr::param(0));
+  EXPECT_TRUE(
+      A->Info.EntryCount.at(A->Prog->findFunction("unrelated")).isZero());
+}
+
+TEST(SymbolicsTest, DummyDescriptionLookup) {
+  auto A = analyze("void main() { int v = io_read();\n"
+                   "  while (v > 0) v -= 1; }");
+  ASSERT_TRUE(A);
+  ASSERT_EQ(A->Info.Dummies.size(), 1u);
+  ParamId Id = A->Info.Dummies[0].Id;
+  EXPECT_FALSE(A->Info.dummyDescription(Id).empty());
+  EXPECT_TRUE(A->Info.dummyDescription(Id + 1000).empty());
+}
+
+} // namespace

@@ -1,0 +1,166 @@
+//===- tests/netflow/MinCutPropertyTest.cpp - Exhaustive cut checks -------===//
+//
+// Property suite: on random small networks, the solver's cut value must
+// equal the minimum over ALL 2^n node partitions (brute force), for
+// several network shapes and capacity ranges (parameterized).
+//
+//===----------------------------------------------------------------------===//
+
+#include "netflow/FlowNetwork.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+struct CutCase {
+  unsigned Nodes;       ///< Free nodes besides s/t.
+  unsigned Arcs;        ///< Random arcs to draw.
+  uint64_t Seed;
+  int64_t MaxCapacity;
+  bool WithInfinite;    ///< Sprinkle infinite (constraint) arcs.
+};
+
+class MinCutPropertyTest : public ::testing::TestWithParam<CutCase> {};
+
+uint64_t nextRand(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+TEST_P(MinCutPropertyTest, MatchesBruteForce) {
+  const CutCase &C = GetParam();
+  uint64_t Seed = C.Seed;
+  FlowNetwork Net;
+  std::vector<NodeId> Nodes = {Net.source(), Net.sink()};
+  for (unsigned N = 0; N != C.Nodes; ++N)
+    Nodes.push_back(Net.addNode("n" + std::to_string(N)));
+
+  for (unsigned A = 0; A != C.Arcs; ++A) {
+    NodeId From = Nodes[nextRand(Seed) % Nodes.size()];
+    NodeId To = Nodes[nextRand(Seed) % Nodes.size()];
+    if (From == To || To == Net.source() || From == Net.sink())
+      continue;
+    // Keep infinite arcs off the source/sink boundary so the trivial
+    // {s} cut stays finite and a minimum always exists.
+    if (C.WithInfinite && nextRand(Seed) % 5 == 0 &&
+        From != Net.source() && To != Net.sink()) {
+      Net.addArc(From, To, Capacity::infinite());
+    } else {
+      int64_t Cap = 1 + int64_t(nextRand(Seed) % uint64_t(C.MaxCapacity));
+      Net.addArc(From, To, Capacity::finite(LinExpr::constant(Cap)));
+    }
+  }
+  ParamSpace Space;
+  std::vector<Rational> Point(Space.size());
+  CutResult Got = solveMinCut(Net, Point);
+
+  // Brute force over all assignments of the free nodes.
+  Rational BestValue;
+  bool BestValid = false;
+  for (uint64_t Mask = 0; Mask != (uint64_t(1) << C.Nodes); ++Mask) {
+    std::vector<bool> Side(Net.numNodes(), false);
+    Side[Net.source()] = true;
+    for (unsigned N = 0; N != C.Nodes; ++N)
+      Side[Nodes[2 + N]] = (Mask >> N) & 1;
+    Rational Value;
+    bool Finite = true;
+    for (const Arc &A : Net.arcs()) {
+      if (!Side[A.From] || Side[A.To])
+        continue;
+      if (A.Cap.Infinite) {
+        Finite = false;
+        break;
+      }
+      Value += A.Cap.Expr.evaluate(Point);
+    }
+    if (!Finite)
+      continue;
+    if (!BestValid || Value < BestValue) {
+      BestValid = true;
+      BestValue = Value;
+    }
+  }
+  ASSERT_TRUE(BestValid);
+  ASSERT_TRUE(Got.Finite);
+  EXPECT_EQ(Got.Value.evaluate(Point), BestValue);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomNetworks, MinCutPropertyTest,
+    ::testing::Values(CutCase{4, 10, 0x1111, 9, false},
+                      CutCase{5, 14, 0x2222, 20, false},
+                      CutCase{6, 18, 0x3333, 6, false},
+                      CutCase{6, 22, 0x4444, 50, true},
+                      CutCase{7, 25, 0x5555, 12, true},
+                      CutCase{8, 30, 0x6666, 7, true},
+                      CutCase{8, 35, 0x7777, 100, false},
+                      CutCase{9, 40, 0x8888, 15, true},
+                      CutCase{10, 45, 0x9999, 8, true},
+                      CutCase{10, 50, 0xaaaa, 33, false}));
+
+struct SimplifyCase {
+  unsigned Nodes;
+  unsigned Arcs;
+  uint64_t Seed;
+};
+
+class SimplifyPropertyTest : public ::testing::TestWithParam<SimplifyCase> {
+};
+
+TEST_P(SimplifyPropertyTest, PreservesMinCutValue) {
+  const SimplifyCase &C = GetParam();
+  uint64_t Seed = C.Seed;
+  ParamSpace Space;
+  ParamId P0 = Space.addParam("p", BigInt(1), BigInt(9));
+  FlowNetwork Net;
+  std::vector<NodeId> Nodes = {Net.source(), Net.sink()};
+  for (unsigned N = 0; N != C.Nodes; ++N)
+    Nodes.push_back(Net.addNode("n" + std::to_string(N)));
+  for (unsigned A = 0; A != C.Arcs; ++A) {
+    NodeId From = Nodes[nextRand(Seed) % Nodes.size()];
+    NodeId To = Nodes[nextRand(Seed) % Nodes.size()];
+    if (From == To || To == Net.source() || From == Net.sink())
+      continue;
+    switch (nextRand(Seed) % 4) {
+    case 0:
+      if (From != Net.source() && To != Net.sink())
+        Net.addArc(From, To, Capacity::infinite());
+      break;
+    case 1:
+      Net.addArc(From, To,
+                 Capacity::finite(LinExpr::param(P0) *
+                                  Rational(int64_t(nextRand(Seed) % 4 + 1))));
+      break;
+    default:
+      Net.addArc(From, To,
+                 Capacity::finite(LinExpr::constant(
+                     int64_t(nextRand(Seed) % 30 + 1))));
+    }
+  }
+  SimplifiedNetwork Simple = simplifyNetwork(Net, Space);
+  EXPECT_LE(Simple.Net.numNodes(), Net.numNodes());
+  for (int64_t P = 1; P <= 9; P += 2) {
+    std::vector<Rational> Point = {Rational(P)};
+    CutResult Before = solveMinCut(Net, Point);
+    CutResult After = solveMinCut(Simple.Net, Point);
+    ASSERT_EQ(Before.Finite, After.Finite) << "p=" << P;
+    if (Before.Finite) {
+      EXPECT_EQ(Before.Value.evaluate(Point), After.Value.evaluate(Point))
+          << "p=" << P;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomNetworks, SimplifyPropertyTest,
+                         ::testing::Values(SimplifyCase{5, 15, 0xabc1},
+                                           SimplifyCase{6, 20, 0xabc2},
+                                           SimplifyCase{8, 28, 0xabc3},
+                                           SimplifyCase{10, 40, 0xabc4},
+                                           SimplifyCase{12, 50, 0xabc5},
+                                           SimplifyCase{14, 60, 0xabc6}));
+
+} // namespace

@@ -1,0 +1,279 @@
+//===- tests/partition/ParametricTest.cpp - Algorithm 2 tests -------------===//
+
+#include "partition/Parametric.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+/// The paper's Figure-6 network for the Figure-1 example, wrapped in a
+/// PartitionProblem so Algorithm 2 can run on it. Tasks: 0=I, 1=f1, 2=g,
+/// 3=f2, 4=O.
+struct PaperProblem {
+  ParamSpace Space;
+  ParamId X, Y, Z, XY, XYZ;
+  PartitionProblem Problem;
+
+  PaperProblem() {
+    X = Space.addParam("x", BigInt(1), BigInt(1000));
+    Y = Space.addParam("y", BigInt(1), BigInt(1000));
+    Z = Space.addParam("z", BigInt(1), BigInt(1000));
+    XY = Space.internMonomial({X, Y});
+    XYZ = Space.internMonomial({X, Y, Z});
+    FlowNetwork &Net = Problem.Net;
+    NodeId I = Net.addNode("I"), F1 = Net.addNode("f1"),
+           G = Net.addNode("g"), F2 = Net.addNode("f2"),
+           O = Net.addNode("O");
+    Problem.MNode = {I, F1, G, F2, O};
+    LinExpr ExprXY = LinExpr::param(XY);
+    LinExpr ExprXYZ = LinExpr::param(XYZ);
+    LinExpr Buffer = LinExpr::param(X) * Rational(6) + ExprXY;
+    LinExpr Unit = ExprXY * Rational(7);
+    Net.addArc(Net.source(), F1, Capacity::finite(ExprXY));
+    Net.addArc(Net.source(), F2, Capacity::finite(ExprXY));
+    Net.addArc(Net.source(), G, Capacity::finite(ExprXYZ));
+    Net.addArc(I, Net.sink(), Capacity::infinite());
+    Net.addArc(O, Net.sink(), Capacity::infinite());
+    Net.addArc(I, F1, Capacity::finite(Unit));
+    Net.addArc(F1, I, Capacity::finite(Unit));
+    Net.addArc(F2, O, Capacity::finite(Unit));
+    Net.addArc(O, F2, Capacity::finite(Unit));
+    Net.addArc(F1, G, Capacity::finite(Buffer));
+    Net.addArc(G, F1, Capacity::finite(Buffer));
+    Net.addArc(G, F2, Capacity::finite(Buffer));
+    Net.addArc(F2, G, Capacity::finite(Buffer));
+  }
+
+  std::vector<Rational> point(int64_t Xv, int64_t Yv, int64_t Zv) {
+    std::vector<Rational> P(Space.size());
+    P[X] = Rational(Xv);
+    P[Y] = Rational(Yv);
+    P[Z] = Rational(Zv);
+    Space.extendPoint(P);
+    return P;
+  }
+};
+
+/// Finds the choice whose server set is exactly \p Servers (task ids).
+unsigned findChoice(const ParametricResult &R,
+                    const std::vector<unsigned> &Servers) {
+  for (unsigned C = 0; C != R.Choices.size(); ++C) {
+    std::vector<unsigned> Actual;
+    for (unsigned T = 0; T != R.Choices[C].TaskOnServer.size(); ++T)
+      if (R.Choices[C].TaskOnServer[T])
+        Actual.push_back(T);
+    if (Actual == Servers)
+      return C;
+  }
+  return KNone;
+}
+
+TEST(ParametricTest, PaperExampleFindsThreeChoices) {
+  PaperProblem P;
+  ParametricResult R = solveParametric(P.Problem, P.Space);
+  ASSERT_EQ(R.Choices.size(), 3u);
+  EXPECT_NE(findChoice(R, {}), KNone);           // all local
+  EXPECT_NE(findChoice(R, {2}), KNone);          // offload g
+  EXPECT_NE(findChoice(R, {1, 2, 3}), KNone);    // offload f1, g, f2
+  EXPECT_TRUE(R.RequiredAnnotations.empty());
+  EXPECT_FALSE(R.VertexLimitHit);
+}
+
+TEST(ParametricTest, PaperExampleRegionsMatchPaper) {
+  // R1: z <= 12 && yz <= 12 + 2y  (all local)
+  // R2: yz >= 12 + 2y && 5y >= 6  (offload g)
+  // R3: z >= 12 && 5y <= 6        (offload f and g)
+  PaperProblem P;
+  ParametricResult R = solveParametric(P.Problem, P.Space);
+  ASSERT_EQ(R.Choices.size(), 3u);
+  unsigned Local = findChoice(R, {});
+  unsigned OffG = findChoice(R, {2});
+  unsigned OffFG = findChoice(R, {1, 2, 3});
+  ASSERT_NE(Local, KNone);
+  ASSERT_NE(OffG, KNone);
+  ASSERT_NE(OffFG, KNone);
+
+  // The paper's three sample points land in the right regions.
+  EXPECT_EQ(R.pickChoice(P.point(1, 6, 3)), Local);
+  EXPECT_EQ(R.pickChoice(P.point(1, 6, 6)), OffG);
+  EXPECT_EQ(R.pickChoice(P.point(1, 1, 18)), OffFG);
+
+  // Probe the analytical region boundaries on a realizable grid.
+  for (int64_t Xv : {1, 3}) {
+    for (int64_t Yv = 1; Yv <= 8; ++Yv) {
+      for (int64_t Zv = 1; Zv <= 20; ++Zv) {
+        unsigned Got = R.pickChoice(P.point(Xv, Yv, Zv));
+        bool InR1 = Zv <= 12 && Yv * Zv <= 12 + 2 * Yv;
+        bool InR2 = Yv * Zv >= 12 + 2 * Yv && 5 * Yv >= 6;
+        bool InR3 = Zv >= 12 && 5 * Yv <= 6;
+        // Boundaries can favor either side; require membership only at
+        // interior points.
+        bool Strict1 = Zv < 12 && Yv * Zv < 12 + 2 * Yv;
+        bool Strict2 = Yv * Zv > 12 + 2 * Yv && 5 * Yv > 6;
+        bool Strict3 = Zv > 12 && 5 * Yv < 6;
+        if (Strict1)
+          EXPECT_EQ(Got, Local) << Xv << "," << Yv << "," << Zv;
+        else if (Strict2)
+          EXPECT_EQ(Got, OffG) << Xv << "," << Yv << "," << Zv;
+        else if (Strict3)
+          EXPECT_EQ(Got, OffFG) << Xv << "," << Yv << "," << Zv;
+        else
+          EXPECT_TRUE(InR1 || InR2 || InR3);
+      }
+    }
+  }
+}
+
+TEST(ParametricTest, PaperExampleRegionsIndependentOfX) {
+  // The paper highlights that although all costs scale with x, the
+  // optimal choice never depends on x.
+  PaperProblem P;
+  ParametricResult R = solveParametric(P.Problem, P.Space);
+  for (int64_t Yv : {1, 2, 6, 20})
+    for (int64_t Zv : {1, 6, 12, 13, 100}) {
+      unsigned AtX1 = R.pickChoice(P.point(1, Yv, Zv));
+      unsigned AtX9 = R.pickChoice(P.point(937, Yv, Zv));
+      EXPECT_EQ(AtX1, AtX9) << "y=" << Yv << " z=" << Zv;
+    }
+}
+
+TEST(ParametricTest, ChoiceCostsMatchDirectMinCut) {
+  // Exactness property: at every realizable grid point, the dispatched
+  // choice has exactly the min-cut cost.
+  PaperProblem P;
+  ParametricResult R = solveParametric(P.Problem, P.Space);
+  for (int64_t Xv : {1, 2}) {
+    for (int64_t Yv = 1; Yv <= 5; ++Yv) {
+      for (int64_t Zv = 1; Zv <= 16; Zv += 3) {
+        std::vector<Rational> Point = P.point(Xv, Yv, Zv);
+        Rational Direct =
+            solveMinCut(R.Solved.Net, Point).Value.evaluate(Point);
+        unsigned C = R.pickChoice(Point);
+        EXPECT_EQ(R.Choices[C].CostExpr.evaluate(Point), Direct)
+            << Xv << "," << Yv << "," << Zv;
+      }
+    }
+  }
+}
+
+TEST(ParametricTest, SimplificationDoesNotChangeChoices) {
+  PaperProblem P;
+  ParametricOptions Plain;
+  Plain.Simplify = false;
+  ParametricResult WithSimplify = solveParametric(P.Problem, P.Space);
+  ParametricResult Without = solveParametric(P.Problem, P.Space, Plain);
+  EXPECT_EQ(WithSimplify.Choices.size(), Without.Choices.size());
+  for (int64_t Yv : {1, 3, 7})
+    for (int64_t Zv : {2, 12, 19}) {
+      std::vector<Rational> Point = P.point(2, Yv, Zv);
+      unsigned A = WithSimplify.pickChoice(Point);
+      unsigned B = Without.pickChoice(Point);
+      EXPECT_EQ(WithSimplify.Choices[A].CostExpr.evaluate(Point),
+                Without.Choices[B].CostExpr.evaluate(Point));
+    }
+}
+
+TEST(ParametricTest, SingleParameterSeriesNetwork) {
+  // s -> a capacity n, a -> t capacity 10: cut switches at n = 10.
+  ParamSpace Space;
+  ParamId N = Space.addParam("n", BigInt(0), BigInt(100));
+  PartitionProblem Problem;
+  NodeId A = Problem.Net.addNode("a");
+  Problem.MNode = {A};
+  Problem.Net.addArc(Problem.Net.source(), A,
+                     Capacity::finite(LinExpr::param(N)));
+  Problem.Net.addArc(A, Problem.Net.sink(),
+                     Capacity::finite(LinExpr::constant(10)));
+  ParametricResult R = solveParametric(Problem, Space);
+  ASSERT_EQ(R.Choices.size(), 2u);
+  std::vector<Rational> Small = {Rational(3)};
+  std::vector<Rational> Large = {Rational(50)};
+  unsigned CSmall = R.pickChoice(Small);
+  unsigned CLarge = R.pickChoice(Large);
+  // Small n: the s->a arc (cost n, i.e. "client" side cheap) is cut:
+  // a ends up on the sink side = client.
+  EXPECT_FALSE(R.Choices[CSmall].TaskOnServer[0]);
+  EXPECT_TRUE(R.Choices[CLarge].TaskOnServer[0]);
+  EXPECT_EQ(R.Choices[CSmall].CostExpr, LinExpr::param(N));
+  EXPECT_EQ(R.Choices[CLarge].CostExpr, LinExpr::constant(10));
+}
+
+TEST(ParametricTest, ConstantNetworkGivesSingleChoice) {
+  ParamSpace Space;
+  Space.addParam("unused", BigInt(1), BigInt(9));
+  PartitionProblem Problem;
+  NodeId A = Problem.Net.addNode("a");
+  Problem.MNode = {A};
+  Problem.Net.addArc(Problem.Net.source(), A,
+                     Capacity::finite(LinExpr::constant(4)));
+  Problem.Net.addArc(A, Problem.Net.sink(),
+                     Capacity::finite(LinExpr::constant(9)));
+  ParametricResult R = solveParametric(Problem, Space);
+  ASSERT_EQ(R.Choices.size(), 1u);
+  EXPECT_TRUE(R.EffectiveDims.empty());
+  EXPECT_EQ(R.Choices[0].CostExpr, LinExpr::constant(4));
+}
+
+TEST(ParametricTest, RandomNetworksExactOnGrid) {
+  // Property sweep: random two-parameter diamond networks; the region
+  // dispatch must agree with a direct min cut at every integer point.
+  uint64_t Seed = 0x2545f4914f6cdd1dull;
+  auto Next = [&Seed]() {
+    Seed ^= Seed << 13;
+    Seed ^= Seed >> 7;
+    Seed ^= Seed << 17;
+    return Seed;
+  };
+  for (int Trial = 0; Trial != 12; ++Trial) {
+    ParamSpace Space;
+    ParamId P0 = Space.addParam("p", BigInt(1), BigInt(7));
+    ParamId P1 = Space.addParam("q", BigInt(1), BigInt(7));
+    PartitionProblem Problem;
+    NodeId A = Problem.Net.addNode("a");
+    NodeId B = Problem.Net.addNode("b");
+    Problem.MNode = {A, B};
+    auto randomCap = [&]() {
+      LinExpr E = LinExpr::constant(static_cast<int64_t>(Next() % 9));
+      if (Next() % 2)
+        E += LinExpr::param(P0) * Rational(int64_t(Next() % 4));
+      if (Next() % 2)
+        E += LinExpr::param(P1) * Rational(int64_t(Next() % 4));
+      return Capacity::finite(E + LinExpr::constant(1));
+    };
+    Problem.Net.addArc(Problem.Net.source(), A, randomCap());
+    Problem.Net.addArc(Problem.Net.source(), B, randomCap());
+    Problem.Net.addArc(A, B, randomCap());
+    Problem.Net.addArc(B, A, randomCap());
+    Problem.Net.addArc(A, Problem.Net.sink(), randomCap());
+    Problem.Net.addArc(B, Problem.Net.sink(), randomCap());
+    ParametricResult R = solveParametric(Problem, Space);
+    ASSERT_GE(R.Choices.size(), 1u);
+    for (int64_t Pv = 1; Pv <= 7; ++Pv)
+      for (int64_t Qv = 1; Qv <= 7; ++Qv) {
+        std::vector<Rational> Point = {Rational(Pv), Rational(Qv)};
+        Rational Direct =
+            solveMinCut(R.Solved.Net, Point).Value.evaluate(Point);
+        unsigned C = R.pickChoice(Point);
+        ASSERT_EQ(R.Choices[C].CostExpr.evaluate(Point), Direct)
+            << "trial " << Trial << " at (" << Pv << "," << Qv << ")";
+      }
+  }
+}
+
+TEST(ParametricTest, DescribeMentionsRegions) {
+  PaperProblem P;
+  ParametricResult R = solveParametric(P.Problem, P.Space);
+  TCFG Graph;
+  for (const char *Name : {"I", "f1", "g", "f2", "O"}) {
+    TCFG::Task T;
+    T.Label = Name;
+    Graph.Tasks.push_back(std::move(T));
+  }
+  std::string Text = R.describe(P.Space, Graph);
+  EXPECT_NE(Text.find("partitioning 1"), std::string::npos);
+  EXPECT_NE(Text.find("region:"), std::string::npos);
+}
+
+} // namespace

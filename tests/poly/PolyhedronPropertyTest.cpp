@@ -1,0 +1,170 @@
+//===- tests/poly/PolyhedronPropertyTest.cpp - Randomized DD checks -------===//
+//
+// Property suite: random constraint systems in low dimensions are
+// cross-checked against brute-force integer-point enumeration --
+// membership, emptiness, set difference partitioning, simplification
+// equivalence and vertex extremality.
+//
+//===----------------------------------------------------------------------===//
+
+#include "poly/Polyhedron.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+struct PolyCase {
+  unsigned Dim;
+  unsigned Constraints;
+  uint64_t Seed;
+  int64_t BoxSize; ///< Enumerate integer points in [0, BoxSize]^Dim.
+};
+
+class PolyhedronPropertyTest : public ::testing::TestWithParam<PolyCase> {};
+
+uint64_t nextRand(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+/// Random polyhedron inside [0, BoxSize]^Dim (box bounds always added so
+/// the result is bounded).
+Polyhedron randomPoly(const PolyCase &C, uint64_t &Seed) {
+  Polyhedron P(C.Dim);
+  for (unsigned K = 0; K != C.Dim; ++K) {
+    std::vector<BigInt> Up(C.Dim), Down(C.Dim);
+    Up[K] = BigInt(1);
+    Down[K] = BigInt(-1);
+    P.addConstraint(LinConstraint(std::move(Up), BigInt(0)));
+    P.addConstraint(LinConstraint(std::move(Down), BigInt(C.BoxSize)));
+  }
+  for (unsigned I = 0; I != C.Constraints; ++I) {
+    std::vector<BigInt> Coeffs(C.Dim);
+    for (unsigned K = 0; K != C.Dim; ++K)
+      Coeffs[K] = BigInt(int64_t(nextRand(Seed) % 7) - 3);
+    BigInt Const(int64_t(nextRand(Seed) % uint64_t(4 * C.BoxSize)) -
+                 C.BoxSize);
+    P.addConstraint(LinConstraint(std::move(Coeffs), std::move(Const)));
+  }
+  return P;
+}
+
+/// All integer points of [0, BoxSize]^Dim inside P (brute force).
+std::vector<std::vector<Rational>> integerPoints(const Polyhedron &P,
+                                                 int64_t BoxSize) {
+  std::vector<std::vector<Rational>> Result;
+  unsigned Dim = P.dimension();
+  std::vector<int64_t> Point(Dim, 0);
+  while (true) {
+    std::vector<Rational> Candidate(Dim);
+    for (unsigned K = 0; K != Dim; ++K)
+      Candidate[K] = Rational(Point[K]);
+    if (P.contains(Candidate))
+      Result.push_back(std::move(Candidate));
+    unsigned K = 0;
+    while (K != Dim && ++Point[K] > BoxSize)
+      Point[K++] = 0;
+    if (K == Dim)
+      break;
+  }
+  return Result;
+}
+
+TEST_P(PolyhedronPropertyTest, EmptinessMatchesEnumeration) {
+  PolyCase C = GetParam();
+  uint64_t Seed = C.Seed;
+  Polyhedron P = randomPoly(C, Seed);
+  std::vector<std::vector<Rational>> Points = integerPoints(P, C.BoxSize);
+  // A nonempty integer set implies a nonempty polyhedron; the converse
+  // needs rational points, so only check one direction plus the sample.
+  if (!Points.empty()) {
+    EXPECT_FALSE(P.isEmpty());
+  }
+  if (!P.isEmpty()) {
+    auto Sample = P.samplePoint();
+    ASSERT_TRUE(Sample.has_value());
+    EXPECT_TRUE(P.contains(*Sample));
+  }
+}
+
+TEST_P(PolyhedronPropertyTest, SimplifiedIsEquivalent) {
+  PolyCase C = GetParam();
+  uint64_t Seed = C.Seed * 31 + 7;
+  Polyhedron P = randomPoly(C, Seed);
+  Polyhedron S = P.simplified();
+  EXPECT_LE(S.constraints().size(), P.constraints().size() + 1);
+  EXPECT_TRUE(S.containsPolyhedron(P));
+  EXPECT_TRUE(P.containsPolyhedron(S));
+  // Same integer points.
+  EXPECT_EQ(integerPoints(P, C.BoxSize).size(),
+            integerPoints(S, C.BoxSize).size());
+}
+
+TEST_P(PolyhedronPropertyTest, SubtractIntegralPartitions) {
+  PolyCase C = GetParam();
+  uint64_t SeedA = C.Seed * 1299709 + 11, SeedB = C.Seed * 104729 + 3;
+  Polyhedron A = randomPoly(C, SeedA);
+  Polyhedron B = randomPoly(C, SeedB);
+  std::vector<Polyhedron> Pieces = A.subtractIntegral(B);
+  // Every integer point of A is either in B or in exactly one piece.
+  unsigned Dim = C.Dim;
+  std::vector<int64_t> Point(Dim, 0);
+  while (true) {
+    std::vector<Rational> Candidate(Dim);
+    for (unsigned K = 0; K != Dim; ++K)
+      Candidate[K] = Rational(Point[K]);
+    if (A.contains(Candidate)) {
+      unsigned InPieces = 0;
+      for (const Polyhedron &Piece : Pieces)
+        InPieces += Piece.contains(Candidate);
+      if (B.contains(Candidate))
+        EXPECT_EQ(InPieces, 0u);
+      else
+        EXPECT_EQ(InPieces, 1u);
+    }
+    unsigned K = 0;
+    while (K != Dim && ++Point[K] > C.BoxSize)
+      Point[K++] = 0;
+    if (K == Dim)
+      break;
+  }
+}
+
+TEST_P(PolyhedronPropertyTest, VerticesAreExtreme) {
+  PolyCase C = GetParam();
+  uint64_t Seed = C.Seed * 613 + 1;
+  Polyhedron P = randomPoly(C, Seed);
+  if (P.isEmpty())
+    return;
+  const Generators &G = P.generators();
+  // Every vertex satisfies the system and no vertex is a midpoint of two
+  // other vertices.
+  for (const std::vector<Rational> &V : G.Vertices)
+    EXPECT_TRUE(P.contains(V));
+  for (size_t I = 0; I != G.Vertices.size(); ++I)
+    for (size_t J = I + 1; J != G.Vertices.size(); ++J)
+      for (size_t K = 0; K != G.Vertices.size(); ++K) {
+        if (K == I || K == J)
+          continue;
+        bool IsMidpoint = true;
+        for (unsigned D = 0; D != C.Dim; ++D)
+          IsMidpoint &= G.Vertices[K][D] * Rational(2) ==
+                        G.Vertices[I][D] + G.Vertices[J][D];
+        EXPECT_FALSE(IsMidpoint)
+            << "vertex " << K << " is the midpoint of " << I << "," << J;
+      }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomSystems, PolyhedronPropertyTest,
+    ::testing::Values(PolyCase{1, 2, 0x11, 12}, PolyCase{2, 2, 0x22, 8},
+                      PolyCase{2, 4, 0x33, 8}, PolyCase{2, 6, 0x44, 6},
+                      PolyCase{3, 3, 0x55, 5}, PolyCase{3, 5, 0x66, 5},
+                      PolyCase{3, 7, 0x77, 4}, PolyCase{4, 4, 0x88, 3},
+                      PolyCase{4, 6, 0x99, 3}, PolyCase{4, 8, 0xaa, 3}));
+
+} // namespace

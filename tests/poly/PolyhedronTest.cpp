@@ -1,0 +1,320 @@
+//===- tests/poly/PolyhedronTest.cpp - Polyhedron unit tests --------------===//
+
+#include "poly/Polyhedron.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace paco;
+
+namespace {
+
+LinConstraint ineq(std::vector<int64_t> Coeffs, int64_t Const) {
+  std::vector<BigInt> C;
+  for (int64_t V : Coeffs)
+    C.push_back(BigInt(V));
+  return LinConstraint(std::move(C), BigInt(Const), /*Equality=*/false);
+}
+
+LinConstraint eq(std::vector<int64_t> Coeffs, int64_t Const) {
+  std::vector<BigInt> C;
+  for (int64_t V : Coeffs)
+    C.push_back(BigInt(V));
+  return LinConstraint(std::move(C), BigInt(Const), /*Equality=*/true);
+}
+
+std::vector<Rational> pt(std::vector<int64_t> Values) {
+  std::vector<Rational> P;
+  for (int64_t V : Values)
+    P.push_back(Rational(V));
+  return P;
+}
+
+/// Canonical string form of a vertex set for order-insensitive compares.
+std::set<std::string> vertexSet(const Polyhedron &P) {
+  std::set<std::string> Result;
+  for (const std::vector<Rational> &V : P.generators().Vertices) {
+    std::string S;
+    for (const Rational &X : V)
+      S += X.toString() + ",";
+    Result.insert(S);
+  }
+  return Result;
+}
+
+/// [0,K]^Dim box.
+Polyhedron box(unsigned Dim, int64_t K) {
+  Polyhedron P(Dim);
+  for (unsigned I = 0; I != Dim; ++I) {
+    std::vector<int64_t> Up(Dim, 0), Down(Dim, 0);
+    Up[I] = 1;
+    Down[I] = -1;
+    P.addConstraint(ineq(Up, 0));
+    P.addConstraint(ineq(Down, K));
+  }
+  return P;
+}
+
+TEST(PolyhedronTest, UniverseIsNonEmpty) {
+  Polyhedron P(2);
+  EXPECT_FALSE(P.isEmpty());
+  EXPECT_TRUE(P.contains(pt({5, -7})));
+  EXPECT_EQ(P.generators().Lines.size(), 2u);
+}
+
+TEST(PolyhedronTest, UnitSquareVertices) {
+  Polyhedron P = box(2, 1);
+  ASSERT_FALSE(P.isEmpty());
+  std::set<std::string> Expected = {"0,0,", "0,1,", "1,0,", "1,1,"};
+  EXPECT_EQ(vertexSet(P), Expected);
+  EXPECT_TRUE(P.generators().Rays.empty());
+  EXPECT_TRUE(P.generators().Lines.empty());
+}
+
+TEST(PolyhedronTest, CubeHasEightVertices) {
+  EXPECT_EQ(box(3, 2).generators().Vertices.size(), 8u);
+  EXPECT_EQ(box(4, 1).generators().Vertices.size(), 16u);
+}
+
+TEST(PolyhedronTest, TriangleWithRationalVertex) {
+  // x >= 0, y >= 0, 2x + 3y <= 6  =>  vertices (0,0), (3,0), (0,2).
+  Polyhedron P(2);
+  P.addConstraint(ineq({1, 0}, 0));
+  P.addConstraint(ineq({0, 1}, 0));
+  P.addConstraint(ineq({-2, -3}, 6));
+  std::set<std::string> Expected = {"0,0,", "3,0,", "0,2,"};
+  EXPECT_EQ(vertexSet(P), Expected);
+}
+
+TEST(PolyhedronTest, UnboundedQuadrantHasRays) {
+  Polyhedron P(2);
+  P.addConstraint(ineq({1, 0}, 0));
+  P.addConstraint(ineq({0, 1}, 0));
+  const Generators &G = P.generators();
+  EXPECT_EQ(G.Vertices.size(), 1u);
+  EXPECT_EQ(G.Rays.size(), 2u);
+  EXPECT_TRUE(G.Lines.empty());
+}
+
+TEST(PolyhedronTest, EqualityGivesSegment) {
+  Polyhedron P(2);
+  P.addConstraint(eq({1, 1}, -2)); // x + y == 2
+  P.addConstraint(ineq({1, 0}, 0));
+  P.addConstraint(ineq({0, 1}, 0));
+  std::set<std::string> Expected = {"2,0,", "0,2,"};
+  EXPECT_EQ(vertexSet(P), Expected);
+}
+
+TEST(PolyhedronTest, HyperplaneHasLine) {
+  Polyhedron P(2);
+  P.addConstraint(eq({0, 1}, 0)); // y == 0
+  const Generators &G = P.generators();
+  EXPECT_FALSE(P.isEmpty());
+  EXPECT_EQ(G.Lines.size(), 1u);
+  EXPECT_TRUE(G.Rays.empty());
+}
+
+TEST(PolyhedronTest, EmptyDetected) {
+  Polyhedron P(1);
+  P.addConstraint(ineq({1}, -1)); // x >= 1
+  P.addConstraint(ineq({-1}, 0)); // x <= 0
+  EXPECT_TRUE(P.isEmpty());
+  EXPECT_FALSE(P.samplePoint().has_value());
+}
+
+TEST(PolyhedronTest, ThinEqualityIntersectionEmpty) {
+  Polyhedron P(2);
+  P.addConstraint(eq({1, 0}, -3)); // x == 3
+  P.addConstraint(eq({1, 0}, -4)); // x == 4
+  EXPECT_TRUE(P.isEmpty());
+}
+
+TEST(PolyhedronTest, ContainsPoint) {
+  Polyhedron P = box(2, 2);
+  EXPECT_TRUE(P.contains(pt({1, 2})));
+  EXPECT_FALSE(P.contains(pt({3, 0})));
+  EXPECT_TRUE(P.contains({Rational::fraction(1, 2), Rational::fraction(3, 2)}));
+}
+
+TEST(PolyhedronTest, SamplePointLandsInside) {
+  Polyhedron P(2);
+  P.addConstraint(ineq({1, 0}, -2));  // x >= 2
+  P.addConstraint(ineq({0, 1}, -5));  // y >= 5
+  P.addConstraint(ineq({-1, -1}, 9)); // x + y <= 9
+  auto Point = P.samplePoint();
+  ASSERT_TRUE(Point.has_value());
+  EXPECT_TRUE(P.contains(*Point));
+}
+
+TEST(PolyhedronTest, SamplePointUnboundedRegion) {
+  Polyhedron P(1);
+  P.addConstraint(ineq({1}, -10)); // x >= 10
+  auto Point = P.samplePoint();
+  ASSERT_TRUE(Point.has_value());
+  EXPECT_TRUE(P.contains(*Point));
+}
+
+TEST(PolyhedronTest, ContainsPolyhedron) {
+  Polyhedron Big = box(2, 10);
+  Polyhedron Small = box(2, 3);
+  EXPECT_TRUE(Big.containsPolyhedron(Small));
+  EXPECT_FALSE(Small.containsPolyhedron(Big));
+  EXPECT_TRUE(Big.containsPolyhedron(Big));
+  // Unbounded is never inside bounded.
+  Polyhedron Quad(2);
+  Quad.addConstraint(ineq({1, 0}, 0));
+  Quad.addConstraint(ineq({0, 1}, 0));
+  EXPECT_FALSE(Big.containsPolyhedron(Quad));
+  EXPECT_TRUE(Quad.containsPolyhedron(Small));
+  // Empty is inside everything.
+  Polyhedron Empty(2);
+  Empty.addConstraint(ineq({0, 0}, -1));
+  EXPECT_TRUE(Small.containsPolyhedron(Empty));
+}
+
+TEST(PolyhedronTest, IntersectComposes) {
+  Polyhedron A(2);
+  A.addConstraint(ineq({1, 0}, 0)); // x >= 0
+  Polyhedron B(2);
+  B.addConstraint(ineq({-1, 0}, 4)); // x <= 4
+  Polyhedron AB = A.intersect(B);
+  EXPECT_TRUE(AB.contains(pt({2, 100})));
+  EXPECT_FALSE(AB.contains(pt({5, 0})));
+}
+
+TEST(PolyhedronTest, SimplifiedDropsRedundant) {
+  Polyhedron P = box(2, 1);
+  P.addConstraint(ineq({-1, -1}, 10)); // x + y <= 10, redundant
+  P.addConstraint(ineq({1, 1}, 5));    // x + y >= -5, redundant
+  Polyhedron S = P.simplified();
+  EXPECT_EQ(S.constraints().size(), 4u);
+  EXPECT_TRUE(S.containsPolyhedron(P));
+  EXPECT_TRUE(P.containsPolyhedron(S));
+}
+
+TEST(PolyhedronTest, SimplifiedRecoversEquality) {
+  Polyhedron P(2);
+  P.addConstraint(ineq({1, 1}, -2));  // x + y >= 2
+  P.addConstraint(ineq({-1, -1}, 2)); // x + y <= 2
+  P.addConstraint(ineq({1, 0}, 0));   // x >= 0
+  Polyhedron S = P.simplified();
+  EXPECT_TRUE(S.containsPolyhedron(P));
+  EXPECT_TRUE(P.containsPolyhedron(S));
+  bool HasEquality =
+      std::any_of(S.constraints().begin(), S.constraints().end(),
+                  [](const LinConstraint &C) { return C.IsEquality; });
+  EXPECT_TRUE(HasEquality);
+}
+
+TEST(PolyhedronTest, SimplifiedOfEmptyIsContradiction) {
+  Polyhedron P(2);
+  P.addConstraint(ineq({1, 0}, -1)); // x >= 1
+  P.addConstraint(ineq({-1, 0}, 0)); // x <= 0
+  Polyhedron S = P.simplified();
+  EXPECT_TRUE(S.isEmpty());
+  ASSERT_EQ(S.constraints().size(), 1u);
+  EXPECT_TRUE(S.constraints()[0].isContradiction());
+}
+
+TEST(PolyhedronTest, SubtractIntegralSplitsInterval) {
+  // [0,10] \ [0,5] over the integers = [6,10].
+  Polyhedron Whole = box(1, 10);
+  Polyhedron Low = box(1, 5);
+  std::vector<Polyhedron> Pieces = Whole.subtractIntegral(Low);
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_TRUE(Pieces[0].contains(pt({6})));
+  EXPECT_TRUE(Pieces[0].contains(pt({10})));
+  EXPECT_FALSE(Pieces[0].contains(pt({5})));
+}
+
+TEST(PolyhedronTest, SubtractIntegralMiddleGivesDisjointPieces) {
+  // [0,10] \ [3,6] = [0,2] and [7,10], pairwise disjoint.
+  Polyhedron Whole = box(1, 10);
+  Polyhedron Mid(1);
+  Mid.addConstraint(ineq({1}, -3));
+  Mid.addConstraint(ineq({-1}, 6));
+  std::vector<Polyhedron> Pieces = Whole.subtractIntegral(Mid);
+  ASSERT_EQ(Pieces.size(), 2u);
+  for (int64_t X = 0; X <= 10; ++X) {
+    int Count = 0;
+    for (const Polyhedron &P : Pieces)
+      Count += P.contains(pt({X}));
+    EXPECT_EQ(Count, (X <= 2 || X >= 7) ? 1 : 0) << "x=" << X;
+  }
+}
+
+TEST(PolyhedronTest, SubtractIntegralEverythingLeavesNothing) {
+  Polyhedron Whole = box(2, 4);
+  std::vector<Polyhedron> Pieces = Whole.subtractIntegral(box(2, 4));
+  EXPECT_TRUE(Pieces.empty());
+}
+
+TEST(PolyhedronTest, SubtractEmptyLeavesWhole) {
+  Polyhedron Whole = box(1, 4);
+  Polyhedron Empty(1);
+  Empty.addConstraint(ineq({0}, -1));
+  std::vector<Polyhedron> Pieces = Whole.subtractIntegral(Empty);
+  ASSERT_EQ(Pieces.size(), 1u);
+  EXPECT_TRUE(Pieces[0].containsPolyhedron(Whole));
+}
+
+TEST(PolyhedronTest, PaperExampleRegionSplit) {
+  // The Figure-1 regions in (y, z)-like space: R3 is z >= 12 (with 5y <= 6
+  // in paper form); here check that the three half-plane conditions from
+  // the worked example partition a box without overlap on integer points.
+  // Dim 0 = y in [1,20], dim 1 = z in [1,40], dim 2 = yz stand-in t in
+  // [1,800] with the coupling left to the caller (relaxation, as in the
+  // paper).
+  Polyhedron X(2);
+  X.addConstraint(ineq({1, 0}, -1));
+  X.addConstraint(ineq({-1, 0}, 20));
+  X.addConstraint(ineq({0, 1}, -1));
+  X.addConstraint(ineq({0, -1}, 40));
+  Polyhedron R3 = X;
+  R3.addConstraint(ineq({0, 1}, -12)); // z >= 12
+  std::vector<Polyhedron> Rest = X.subtractIntegral(R3);
+  // Remaining integer points all have z <= 11.
+  for (const Polyhedron &P : Rest) {
+    EXPECT_FALSE(P.contains(pt({5, 12})));
+    EXPECT_FALSE(P.contains(pt({5, 40})));
+  }
+  int Count = 0;
+  for (const Polyhedron &P : Rest)
+    Count += P.contains(pt({5, 11}));
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(PolyhedronTest, VerticesSatisfyAllConstraints) {
+  // Property: every reported vertex satisfies every constraint, and every
+  // irredundant inequality is tight at some vertex (for bounded P).
+  Polyhedron P(3);
+  P.addConstraint(ineq({1, 0, 0}, 0));
+  P.addConstraint(ineq({0, 1, 0}, 0));
+  P.addConstraint(ineq({0, 0, 1}, 0));
+  P.addConstraint(ineq({-1, -1, -2}, 7));
+  P.addConstraint(ineq({-2, -1, -1}, 8));
+  const Generators &G = P.generators();
+  ASSERT_FALSE(G.Vertices.empty());
+  for (const std::vector<Rational> &V : G.Vertices)
+    EXPECT_TRUE(P.contains(V));
+  Polyhedron S = P.simplified();
+  for (const LinConstraint &C : S.constraints()) {
+    bool Tight = false;
+    for (const std::vector<Rational> &V : G.Vertices)
+      Tight |= C.evaluate(V).isZero();
+    EXPECT_TRUE(Tight) << C.toString(
+        [](unsigned I) { return "d" + std::to_string(I); });
+  }
+}
+
+TEST(PolyhedronTest, ToStringReadable) {
+  Polyhedron P(2);
+  P.addConstraint(ineq({1, -2}, 3));
+  auto Name = [](unsigned I) { return std::string(1, char('x' + I)); };
+  EXPECT_EQ(P.toString(Name), "x - 2*y + 3 >= 0");
+  EXPECT_EQ(Polyhedron(2).toString(Name), "true");
+}
+
+} // namespace

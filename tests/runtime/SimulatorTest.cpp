@@ -1,0 +1,104 @@
+//===- tests/runtime/SimulatorTest.cpp - Runtime simulator tests ----------===//
+
+#include "runtime/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator Sim(CostModel::defaults());
+  EXPECT_TRUE(Sim.elapsed().isZero());
+  EXPECT_EQ(Sim.clientInstructions(), 0u);
+  EXPECT_EQ(Sim.migrations(), 0u);
+}
+
+TEST(SimulatorTest, InstructionAccounting) {
+  CostModel Costs = CostModel::defaults();
+  Simulator Sim(Costs);
+  Sim.execInstructions(false, 100);
+  Sim.execInstructions(true, 50);
+  EXPECT_EQ(Sim.clientInstructions(), 100u);
+  EXPECT_EQ(Sim.serverInstructions(), 50u);
+  EXPECT_EQ(Sim.elapsed(), Costs.Tc * Rational(100) + Costs.Ts * Rational(50));
+}
+
+TEST(SimulatorTest, TransferCostsStartupPlusBytes) {
+  CostModel Costs = CostModel::defaults();
+  Simulator Sim(Costs);
+  Sim.transfer(true, 256);
+  EXPECT_EQ(Sim.elapsed(), Costs.Tcsh + Costs.Tcsu * Rational(256));
+  EXPECT_EQ(Sim.bytesToServer(), 256u);
+  Sim.transfer(false, 64);
+  EXPECT_EQ(Sim.bytesToClient(), 64u);
+  EXPECT_EQ(Sim.transferCount(), 2u);
+}
+
+TEST(SimulatorTest, SchedulingAndRegistration) {
+  CostModel Costs = CostModel::defaults();
+  Simulator Sim(Costs);
+  Sim.schedule(true);
+  Sim.schedule(false);
+  Sim.registration();
+  EXPECT_EQ(Sim.migrations(), 2u);
+  EXPECT_EQ(Sim.registrationCount(), 1u);
+  EXPECT_EQ(Sim.elapsed(), Costs.Tcst + Costs.Tsct + Costs.Ta);
+}
+
+TEST(SimulatorTest, ClientActiveExcludesServerCompute) {
+  CostModel Costs = CostModel::defaults();
+  Simulator Sim(Costs);
+  Sim.execInstructions(false, 10);
+  Sim.execInstructions(true, 10);
+  Sim.transfer(true, 100);
+  Rational ServerTime = Costs.Ts * Rational(10);
+  EXPECT_EQ(Sim.clientActive(), Sim.elapsed() - ServerTime);
+}
+
+TEST(SimulatorTest, EnergyModelSplitsActiveAndIdle) {
+  CostModel Costs;
+  Costs.Tc = Rational(1);
+  Costs.Ts = Rational(1);
+  Simulator Sim(Costs);
+  Sim.execInstructions(false, 1000); // 1000 units active
+  Sim.execInstructions(true, 500);   // 500 units idle (waiting)
+  EnergyModel Model;
+  Model.ActiveAmps = 0.3;
+  Model.IdleAmps = 0.1;
+  Model.Volts = 5.0;
+  Model.UnitSeconds = 1e-3;
+  double Expected = 5.0 * (0.3 * 1.0 + 0.1 * 0.5);
+  EXPECT_NEAR(Sim.energyJoules(Model), Expected, 1e-12);
+}
+
+TEST(SimulatorTest, AllClientRunDrawsOnlyActiveCurrent) {
+  Simulator Sim(CostModel::defaults());
+  Sim.execInstructions(false, 12345);
+  EnergyModel Model;
+  double Expected = Model.Volts * Model.ActiveAmps *
+                    Sim.elapsed().toDouble() * Model.UnitSeconds;
+  EXPECT_NEAR(Sim.energyJoules(Model), Expected, Expected * 1e-12);
+}
+
+TEST(SimulatorTest, SummaryMentionsCounters) {
+  Simulator Sim(CostModel::defaults());
+  Sim.execInstructions(false, 3);
+  Sim.transfer(true, 8);
+  std::string Text = Sim.summary();
+  EXPECT_NE(Text.find("client_instrs=3"), std::string::npos);
+  EXPECT_NE(Text.find("to_server=8B"), std::string::npos);
+}
+
+TEST(SimulatorTest, PaperExampleCostsAreFree) {
+  // The worked-example cost model zeroes scheduling and registration.
+  Simulator Sim(CostModel::paperExample());
+  Sim.schedule(true);
+  Sim.registration();
+  EXPECT_TRUE(Sim.elapsed().isZero());
+  Sim.transfer(true, 4); // one 4-byte element: startup 6 + 1
+  EXPECT_EQ(Sim.elapsed(), Rational(7));
+}
+
+} // namespace

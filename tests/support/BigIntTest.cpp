@@ -1,0 +1,150 @@
+//===- tests/support/BigIntTest.cpp - BigInt unit tests -------------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace paco;
+
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_EQ(Zero.sign(), 0);
+  EXPECT_EQ(Zero.toString(), "0");
+  EXPECT_EQ(Zero.toInt64(), 0);
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (int64_t V : {int64_t(0), int64_t(1), int64_t(-1), int64_t(42),
+                    int64_t(-987654321), INT64_MAX, INT64_MIN}) {
+    BigInt B(V);
+    ASSERT_TRUE(B.fitsInt64());
+    EXPECT_EQ(B.toInt64(), V);
+    EXPECT_EQ(B.toString(), std::to_string(V));
+  }
+}
+
+TEST(BigIntTest, StringRoundTrip) {
+  const char *Cases[] = {"0",
+                         "1",
+                         "-1",
+                         "123456789012345678901234567890",
+                         "-999999999999999999999999999999999"};
+  for (const char *Text : Cases)
+    EXPECT_EQ(BigInt::fromString(Text).toString(), Text);
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt A = BigInt::fromString("4294967295"); // 2^32 - 1
+  BigInt One(1);
+  EXPECT_EQ((A + One).toString(), "4294967296");
+  EXPECT_EQ((A + A).toString(), "8589934590");
+}
+
+TEST(BigIntTest, MixedSignAddition) {
+  BigInt A(100), B(-30);
+  EXPECT_EQ((A + B).toInt64(), 70);
+  EXPECT_EQ((B + A).toInt64(), 70);
+  EXPECT_EQ((A + (-A)).sign(), 0);
+  EXPECT_EQ(((-A) + B).toInt64(), -130);
+}
+
+TEST(BigIntTest, SubtractionBorrow) {
+  BigInt A = BigInt::fromString("18446744073709551616"); // 2^64
+  EXPECT_EQ((A - BigInt(1)).toString(), "18446744073709551615");
+  EXPECT_EQ((BigInt(1) - A).toString(), "-18446744073709551615");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  BigInt A = BigInt::fromString("123456789123456789");
+  BigInt B = BigInt::fromString("987654321987654321");
+  EXPECT_EQ((A * B).toString(), "121932631356500531347203169112635269");
+  EXPECT_EQ((A * BigInt(0)).sign(), 0);
+  EXPECT_EQ(((-A) * B).sign(), -1);
+  EXPECT_EQ(((-A) * (-B)).sign(), 1);
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).toInt64(), 3);
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).toInt64(), -3);
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).toInt64(), -3);
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).toInt64(), 3);
+  EXPECT_EQ((BigInt(7) % BigInt(2)).toInt64(), 1);
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).toInt64(), -1);
+  EXPECT_EQ((BigInt(7) % BigInt(-2)).toInt64(), 1);
+}
+
+TEST(BigIntTest, DivisionLarge) {
+  BigInt A = BigInt::fromString("121932631356500531347203169112635269");
+  BigInt B = BigInt::fromString("123456789123456789");
+  EXPECT_EQ((A / B).toString(), "987654321987654321");
+  EXPECT_EQ((A % B).sign(), 0);
+  BigInt C = A + BigInt(5);
+  EXPECT_EQ((C / B).toString(), "987654321987654321");
+  EXPECT_EQ((C % B).toInt64(), 5);
+}
+
+TEST(BigIntTest, DivModIdentityRandomized) {
+  // Property: A == (A/B)*B + A%B and |A%B| < |B| for pseudo-random values.
+  uint64_t Seed = 0x9e3779b97f4a7c15ull;
+  auto Next = [&Seed]() {
+    Seed ^= Seed << 13;
+    Seed ^= Seed >> 7;
+    Seed ^= Seed << 17;
+    return Seed;
+  };
+  for (int I = 0; I != 200; ++I) {
+    BigInt A = BigInt(static_cast<int64_t>(Next())) *
+               BigInt(static_cast<int64_t>(Next() % 100000));
+    BigInt B(static_cast<int64_t>(Next() % 999983) + 1);
+    if (I % 2)
+      B = -B;
+    if (I % 3)
+      A = -A;
+    BigInt Quot, Rem;
+    BigInt::divMod(A, B, Quot, Rem);
+    EXPECT_EQ(Quot * B + Rem, A);
+    EXPECT_TRUE(Rem.abs() < B.abs());
+  }
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_LT(BigInt(3), BigInt::fromString("99999999999999999999"));
+  EXPECT_LT(BigInt::fromString("-99999999999999999999"), BigInt(-3));
+  EXPECT_EQ(BigInt(7).compare(BigInt(7)), 0);
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)).toInt64(), 6);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)).toInt64(), 5);
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)).toInt64(), 0);
+  BigInt A = BigInt::fromString("123456789123456789") * BigInt(77);
+  BigInt B = BigInt::fromString("123456789123456789") * BigInt(21);
+  EXPECT_EQ(BigInt::gcd(A, B).toString(),
+            (BigInt::fromString("123456789123456789") * BigInt(7)).toString());
+}
+
+TEST(BigIntTest, FitsInt64Boundaries) {
+  EXPECT_TRUE(BigInt(INT64_MAX).fitsInt64());
+  EXPECT_TRUE(BigInt(INT64_MIN).fitsInt64());
+  EXPECT_FALSE((BigInt(INT64_MAX) + BigInt(1)).fitsInt64());
+  EXPECT_FALSE((BigInt(INT64_MIN) - BigInt(1)).fitsInt64());
+  EXPECT_TRUE((BigInt(INT64_MIN)).toInt64() == INT64_MIN);
+}
+
+TEST(BigIntTest, HashConsistentWithEquality) {
+  BigInt A = BigInt::fromString("123456789123456789");
+  BigInt B = BigInt::fromString("123456789123456788") + BigInt(1);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+//===- tests/support/LinExprTest.cpp - LinExpr unit tests -----------------===//
+
+#include "support/LinExpr.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+class LinExprTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    X = Space.addParam("x", BigInt(1), BigInt(100));
+    Y = Space.addParam("y", BigInt(1), BigInt(100));
+    Z = Space.addParam("z", BigInt(1), BigInt(100));
+  }
+
+  ParamSpace Space;
+  ParamId X = 0, Y = 0, Z = 0;
+};
+
+TEST_F(LinExprTest, ConstantAndZero) {
+  LinExpr Zero;
+  EXPECT_TRUE(Zero.isZero());
+  EXPECT_TRUE(Zero.isConstant());
+  LinExpr Five = LinExpr::constant(5);
+  EXPECT_FALSE(Five.isZero());
+  EXPECT_EQ(Five.asConstant(), Rational(5));
+}
+
+TEST_F(LinExprTest, AdditionMergesTerms) {
+  LinExpr E = LinExpr::param(X) + LinExpr::param(X) + LinExpr::constant(3);
+  EXPECT_EQ(E.coeff(X), Rational(2));
+  EXPECT_EQ(E.constantTerm(), Rational(3));
+  LinExpr Cancel = E - LinExpr::param(X) * Rational(2);
+  EXPECT_TRUE(Cancel.isConstant());
+  EXPECT_EQ(Cancel.asConstant(), Rational(3));
+}
+
+TEST_F(LinExprTest, ScalarMultiply) {
+  LinExpr E = (LinExpr::param(X) + LinExpr::constant(2)) * Rational(3);
+  EXPECT_EQ(E.coeff(X), Rational(3));
+  EXPECT_EQ(E.constantTerm(), Rational(6));
+  EXPECT_TRUE((E * Rational(0)).isZero());
+}
+
+TEST_F(LinExprTest, MulInternsMonomials) {
+  // (x + 2) * (y + 3) = x*y + 3x + 2y + 6
+  LinExpr A = LinExpr::param(X) + LinExpr::constant(2);
+  LinExpr B = LinExpr::param(Y) + LinExpr::constant(3);
+  LinExpr Product = LinExpr::mul(A, B, Space);
+  ParamId XY = Space.internMonomial({X, Y});
+  EXPECT_EQ(Product.coeff(XY), Rational(1));
+  EXPECT_EQ(Product.coeff(X), Rational(3));
+  EXPECT_EQ(Product.coeff(Y), Rational(2));
+  EXPECT_EQ(Product.constantTerm(), Rational(6));
+}
+
+TEST_F(LinExprTest, TripleProductMatchesPaperExample) {
+  // The Figure-1 cost x*y*z is affine in the interned monomial x*y*z.
+  LinExpr XYZ = LinExpr::mul(
+      LinExpr::mul(LinExpr::param(X), LinExpr::param(Y), Space),
+      LinExpr::param(Z), Space);
+  ParamId M = Space.internMonomial({X, Y, Z});
+  EXPECT_EQ(XYZ.coeff(M), Rational(1));
+  EXPECT_EQ(XYZ.terms().size(), 1u);
+}
+
+TEST_F(LinExprTest, EvaluateAtExtendedPoint) {
+  LinExpr E = LinExpr::mul(LinExpr::param(X), LinExpr::param(Y), Space) *
+                  Rational(2) +
+              LinExpr::param(Z) - LinExpr::constant(1);
+  std::vector<Rational> Point(Space.size());
+  Point[X] = Rational(3);
+  Point[Y] = Rational(4);
+  Point[Z] = Rational(5);
+  Space.extendPoint(Point);
+  EXPECT_EQ(E.evaluate(Point), Rational(2 * 12 + 5 - 1));
+}
+
+TEST_F(LinExprTest, AsSingleParam) {
+  EXPECT_EQ(LinExpr::param(Y).asSingleParam(), Y);
+  EXPECT_FALSE((LinExpr::param(Y) * Rational(2)).asSingleParam().has_value());
+  EXPECT_FALSE(
+      (LinExpr::param(Y) + LinExpr::constant(1)).asSingleParam().has_value());
+}
+
+TEST_F(LinExprTest, MentionsDummyThroughMonomial) {
+  ParamId D = Space.addDummy("d", BigInt(0), BigInt(10));
+  LinExpr Clean = LinExpr::param(X) + LinExpr::constant(7);
+  EXPECT_FALSE(Clean.mentionsDummy(Space));
+  LinExpr Dirty = LinExpr::mul(LinExpr::param(X), LinExpr::param(D), Space);
+  EXPECT_TRUE(Dirty.mentionsDummy(Space));
+}
+
+TEST_F(LinExprTest, ToStringReadable) {
+  LinExpr E = LinExpr::param(X) * Rational(2) - LinExpr::param(Y) +
+              LinExpr::constant(3);
+  EXPECT_EQ(E.toString(Space), "3 + 2*x - y");
+  EXPECT_EQ(LinExpr().toString(Space), "0");
+  LinExpr Neg = LinExpr::param(X) * Rational::fraction(-1, 2);
+  EXPECT_EQ(Neg.toString(Space), "-1/2*x");
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/support/ParamSpaceTest.cpp - ParamSpace unit tests -----------===//
+
+#include "support/ParamSpace.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+TEST(ParamSpaceTest, AddAndLookup) {
+  ParamSpace Space;
+  ParamId X = Space.addParam("x", BigInt(1), BigInt(100));
+  ParamId Y = Space.addParam("y", BigInt(0), BigInt(10));
+  EXPECT_EQ(Space.size(), 2u);
+  EXPECT_EQ(Space.name(X), "x");
+  EXPECT_EQ(Space.lower(Y).toInt64(), 0);
+  EXPECT_EQ(Space.upper(X).toInt64(), 100);
+  ParamId Found;
+  ASSERT_TRUE(Space.lookup("y", Found));
+  EXPECT_EQ(Found, Y);
+  EXPECT_FALSE(Space.lookup("z", Found));
+}
+
+TEST(ParamSpaceTest, DummyKind) {
+  ParamSpace Space;
+  ParamId D = Space.addDummy("unknown_trip", BigInt(0), BigInt(1000));
+  EXPECT_TRUE(Space.isDummy(D));
+  EXPECT_FALSE(Space.isMonomial(D));
+}
+
+TEST(ParamSpaceTest, MonomialInterningIsCanonical) {
+  ParamSpace Space;
+  ParamId X = Space.addParam("x", BigInt(1), BigInt(10));
+  ParamId Y = Space.addParam("y", BigInt(2), BigInt(20));
+  ParamId XY = Space.internMonomial({X, Y});
+  ParamId YX = Space.internMonomial({Y, X});
+  EXPECT_EQ(XY, YX);
+  EXPECT_TRUE(Space.isMonomial(XY));
+  EXPECT_EQ(Space.name(XY), "x*y");
+  // Bounds are the interval product.
+  EXPECT_EQ(Space.lower(XY).toInt64(), 2);
+  EXPECT_EQ(Space.upper(XY).toInt64(), 200);
+}
+
+TEST(ParamSpaceTest, MonomialFlattening) {
+  ParamSpace Space;
+  ParamId X = Space.addParam("x", BigInt(1), BigInt(10));
+  ParamId Y = Space.addParam("y", BigInt(1), BigInt(10));
+  ParamId Z = Space.addParam("z", BigInt(1), BigInt(10));
+  ParamId XY = Space.internMonomial({X, Y});
+  ParamId XYZ1 = Space.internMonomial({XY, Z});
+  ParamId XYZ2 = Space.internMonomial({X, Y, Z});
+  EXPECT_EQ(XYZ1, XYZ2);
+  EXPECT_EQ(Space.factors(XYZ1).size(), 3u);
+}
+
+TEST(ParamSpaceTest, SingleFactorMonomialIsIdentity) {
+  ParamSpace Space;
+  ParamId X = Space.addParam("x", BigInt(1), BigInt(10));
+  EXPECT_EQ(Space.internMonomial({X}), X);
+}
+
+TEST(ParamSpaceTest, PowerMonomial) {
+  ParamSpace Space;
+  ParamId X = Space.addParam("x", BigInt(-3), BigInt(2));
+  ParamId XX = Space.internMonomial({X, X});
+  // Interval square of [-3,2] is [-6,9] by naive interval product; the
+  // registry uses plain interval multiplication (sound, not tight).
+  EXPECT_EQ(Space.lower(XX).toInt64(), -6);
+  EXPECT_EQ(Space.upper(XX).toInt64(), 9);
+}
+
+TEST(ParamSpaceTest, ExtendPointComputesMonomials) {
+  ParamSpace Space;
+  ParamId X = Space.addParam("x", BigInt(1), BigInt(10));
+  ParamId Y = Space.addParam("y", BigInt(1), BigInt(10));
+  ParamId XY = Space.internMonomial({X, Y});
+  std::vector<Rational> Point(Space.size());
+  Point[X] = Rational(6);
+  Point[Y] = Rational(7);
+  Space.extendPoint(Point);
+  EXPECT_EQ(Point[XY], Rational(42));
+}
+
+} // namespace

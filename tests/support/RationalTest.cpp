@@ -1,0 +1,78 @@
+//===- tests/support/RationalTest.cpp - Rational unit tests ---------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+TEST(RationalTest, NormalizationLowestTerms) {
+  Rational R = Rational::fraction(6, 8);
+  EXPECT_EQ(R.numerator().toInt64(), 3);
+  EXPECT_EQ(R.denominator().toInt64(), 4);
+  EXPECT_EQ(R.toString(), "3/4");
+}
+
+TEST(RationalTest, NormalizationSign) {
+  Rational R = Rational::fraction(3, -6);
+  EXPECT_EQ(R.numerator().toInt64(), -1);
+  EXPECT_EQ(R.denominator().toInt64(), 2);
+  EXPECT_TRUE(R.isNegative());
+}
+
+TEST(RationalTest, ZeroCanonical) {
+  Rational R = Rational::fraction(0, -17);
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(R.denominator().toInt64(), 1);
+  EXPECT_EQ(R, Rational());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational Half = Rational::fraction(1, 2);
+  Rational Third = Rational::fraction(1, 3);
+  EXPECT_EQ(Half + Third, Rational::fraction(5, 6));
+  EXPECT_EQ(Half - Third, Rational::fraction(1, 6));
+  EXPECT_EQ(Half * Third, Rational::fraction(1, 6));
+  EXPECT_EQ(Half / Third, Rational::fraction(3, 2));
+  EXPECT_EQ(-Half, Rational::fraction(-1, 2));
+}
+
+TEST(RationalTest, Comparison) {
+  EXPECT_LT(Rational::fraction(1, 3), Rational::fraction(1, 2));
+  EXPECT_LT(Rational::fraction(-1, 2), Rational::fraction(-1, 3));
+  EXPECT_LE(Rational(2), Rational(2));
+  EXPECT_GT(Rational(3), Rational::fraction(5, 2));
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational::fraction(7, 2).floor().toInt64(), 3);
+  EXPECT_EQ(Rational::fraction(7, 2).ceil().toInt64(), 4);
+  EXPECT_EQ(Rational::fraction(-7, 2).floor().toInt64(), -4);
+  EXPECT_EQ(Rational::fraction(-7, 2).ceil().toInt64(), -3);
+  EXPECT_EQ(Rational(5).floor().toInt64(), 5);
+  EXPECT_EQ(Rational(5).ceil().toInt64(), 5);
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational::fraction(1, 2).toDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational::fraction(-3, 4).toDouble(), -0.75);
+  EXPECT_DOUBLE_EQ(Rational(0).toDouble(), 0.0);
+}
+
+TEST(RationalTest, AbsAndInteger) {
+  EXPECT_EQ(Rational::fraction(-3, 4).abs(), Rational::fraction(3, 4));
+  EXPECT_TRUE(Rational(9).isInteger());
+  EXPECT_FALSE(Rational::fraction(9, 2).isInteger());
+}
+
+TEST(RationalTest, LargeValuesStayExact) {
+  Rational A(BigInt::fromString("123456789123456789123456789"), BigInt(3));
+  Rational B(BigInt(1), BigInt::fromString("987654321987654321"));
+  Rational Product = A * B;
+  // (x/3) * (1/y): exactness means multiplying back recovers A.
+  EXPECT_EQ(Product * Rational(BigInt::fromString("987654321987654321")), A);
+}
+
+} // namespace

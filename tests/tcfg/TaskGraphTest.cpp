@@ -1,0 +1,275 @@
+//===- tests/tcfg/TaskGraphTest.cpp - TCFG / Algorithm 1 tests ------------===//
+
+#include "tcfg/TaskAccess.h"
+
+#include "ir/Lower.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+struct Built {
+  std::unique_ptr<Program> Prog;
+  ParamSpace Space;
+  SymbolicInfo Info;
+  std::unique_ptr<IRModule> Module;
+  std::unique_ptr<MemoryModel> Memory;
+  std::unique_ptr<PointsToResult> PT;
+  TCFG Graph;
+  std::unique_ptr<TaskAccessInfo> Access;
+  DiagEngine Diags;
+
+  unsigned nonVirtualTasks() const {
+    unsigned N = 0;
+    for (const TCFG::Task &T : Graph.Tasks)
+      N += !T.IsVirtual;
+    return N;
+  }
+
+  /// Tasks whose label starts with "<func>#".
+  std::vector<unsigned> tasksOf(const std::string &Func) const {
+    std::vector<unsigned> Result;
+    for (unsigned T = 0; T != Graph.numTasks(); ++T)
+      if (Graph.Tasks[T].Label.rfind(Func + "#", 0) == 0)
+        Result.push_back(T);
+    return Result;
+  }
+
+  unsigned globalLocByName(const std::string &Name) const {
+    for (unsigned G = 0; G != Module->Globals.size(); ++G)
+      if (Module->Globals[G].Name == Name)
+        return Memory->globalLoc(G);
+    return KNone;
+  }
+};
+
+std::unique_ptr<Built> build(const std::string &Source) {
+  auto R = std::make_unique<Built>();
+  R->Prog = parseMiniC(Source, R->Diags);
+  EXPECT_TRUE(R->Prog != nullptr) << R->Diags.dump();
+  if (!R->Prog)
+    return nullptr;
+  EXPECT_TRUE(runSema(*R->Prog, R->Diags)) << R->Diags.dump();
+  R->Info = analyzeSymbolics(*R->Prog, R->Space, R->Diags);
+  R->Module = lowerProgram(*R->Prog, R->Info, R->Space, R->Diags);
+  R->Memory = std::make_unique<MemoryModel>(*R->Module, R->Space);
+  R->PT = std::make_unique<PointsToResult>(
+      runPointsTo(*R->Module, *R->Memory));
+  R->Graph = buildTCFG(*R->Module, *R->Memory, *R->PT);
+  R->Access = std::make_unique<TaskAccessInfo>(
+      computeTaskAccess(*R->Module, *R->Memory, *R->PT, R->Graph));
+  return R;
+}
+
+TEST(TaskGraphTest, StraightLineMainIsOneTask) {
+  auto B = build("void main() { int a = 1; int b = a + 2; io_write(b); }");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->nonVirtualTasks(), 1u);
+  EXPECT_NE(B->Graph.EntryTask, KNone);
+  EXPECT_NE(B->Graph.ExitTask, KNone);
+  // Entry -> main task -> exit edges exist.
+  unsigned MainTask = B->tasksOf("main")[0];
+  EXPECT_TRUE(B->Graph.Edges.count({B->Graph.EntryTask, MainTask}));
+  EXPECT_TRUE(B->Graph.Edges.count({MainTask, B->Graph.ExitTask}));
+}
+
+TEST(TaskGraphTest, BranchesAndLoopsStayInOneTask) {
+  // No calls: the whole function collapses into a single task, exactly
+  // like the paper's f1/f2 loop tasks.
+  auto B = build("param int n in [1, 100];\n"
+                 "void main() {\n"
+                 "  int s = 0;\n"
+                 "  for (int i = 0; i < n; i++) {\n"
+                 "    if (i & 1) s += i; else s -= i;\n"
+                 "  }\n"
+                 "  io_write(s);\n"
+                 "}\n");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->nonVirtualTasks(), 1u);
+}
+
+TEST(TaskGraphTest, CallSplitsCallerIntoTasks) {
+  // Like Figure 1: f's loop halves become separate tasks around the call.
+  auto B = build("param int x in [1, 100];\n"
+                 "param int y in [1, 64];\n"
+                 "int inbuf[64]; int outbuf[64];\n"
+                 "void g() { for (int i = 0; i < y; i++)\n"
+                 "  outbuf[i] = inbuf[i] * 2; }\n"
+                 "void main() {\n"
+                 "  for (int j = 0; j < x; j++) {\n"
+                 "    for (int i = 0; i < y; i++) inbuf[i] = io_read();\n"
+                 "    g();\n"
+                 "    for (int i = 0; i < y; i++) io_write(outbuf[i]);\n"
+                 "  }\n"
+                 "}\n");
+  ASSERT_TRUE(B);
+  // main splits into >= 2 tasks (before/after the call) and g is its own.
+  EXPECT_GE(B->tasksOf("main").size(), 2u);
+  EXPECT_GE(B->tasksOf("g").size(), 1u);
+  // There are TCFG edges main->g and g->main.
+  bool MainToG = false, GToMain = false;
+  for (const auto &[Edge, Count] : B->Graph.Edges) {
+    const std::string &FromLabel = B->Graph.Tasks[Edge.first].Label;
+    const std::string &ToLabel = B->Graph.Tasks[Edge.second].Label;
+    MainToG |= FromLabel.rfind("main#", 0) == 0 && ToLabel.rfind("g#", 0) == 0;
+    GToMain |= FromLabel.rfind("g#", 0) == 0 && ToLabel.rfind("main#", 0) == 0;
+  }
+  EXPECT_TRUE(MainToG);
+  EXPECT_TRUE(GToMain);
+}
+
+TEST(TaskGraphTest, CallEdgeCountMatchesLoopTrip) {
+  auto B = build("param int x in [1, 100];\n"
+                 "void g() { }\n"
+                 "void main() { for (int j = 0; j < x; j++) g(); }");
+  ASSERT_TRUE(B);
+  unsigned GTask = B->tasksOf("g")[0];
+  LinExpr CallCount;
+  for (const auto &[Edge, Count] : B->Graph.Edges)
+    if (Edge.second == GTask)
+      CallCount += Count;
+  EXPECT_EQ(CallCount, LinExpr::param(0));
+}
+
+TEST(TaskGraphTest, IoPinsTask) {
+  auto B = build("int compute(int v) { return v * 3; }\n"
+                 "void main() { int v = io_read(); io_write(compute(v)); }");
+  ASSERT_TRUE(B);
+  bool SomeIO = false, ComputePure = true;
+  for (unsigned T : B->tasksOf("main"))
+    SomeIO |= B->Graph.Tasks[T].HasIO;
+  for (unsigned T : B->tasksOf("compute"))
+    ComputePure &= !B->Graph.Tasks[T].HasIO;
+  EXPECT_TRUE(SomeIO);
+  EXPECT_TRUE(ComputePure);
+}
+
+TEST(TaskGraphTest, ComputeUnitsScaleWithParams) {
+  auto B = build("param int n in [1, 1000];\n"
+                 "void work() { int s = 0;\n"
+                 "  for (int i = 0; i < n; i++) s += i; }\n"
+                 "void main() { work(); }");
+  ASSERT_TRUE(B);
+  unsigned WorkTask = B->tasksOf("work")[0];
+  const LinExpr &Units = B->Graph.Tasks[WorkTask].ComputeUnits;
+  // Loop body cost must grow with n.
+  EXPECT_FALSE(Units.coeff(0).isZero());
+}
+
+TEST(TaskGraphTest, UnreachableFunctionExcluded) {
+  auto B = build("void dead() { }\n"
+                 "void main() { }");
+  ASSERT_TRUE(B);
+  EXPECT_TRUE(B->tasksOf("dead").empty());
+}
+
+TEST(TaskGraphTest, IndirectCallTargetsGetTasksAndEdges) {
+  auto B = build("void enc_a() { }\n"
+                 "void enc_b() { }\n"
+                 "func g;\n"
+                 "void main() { g = enc_a; if (io_read()) g = enc_b; g(); }");
+  ASSERT_TRUE(B);
+  EXPECT_EQ(B->tasksOf("enc_a").size(), 1u);
+  EXPECT_EQ(B->tasksOf("enc_b").size(), 1u);
+}
+
+TEST(TaskAccessTest, UpwardExposedReadAndWrite) {
+  auto B = build("int d;\n"
+                 "void g() { d = d + 1; }\n"
+                 "void main() { d = 5; g(); io_write(d); }");
+  ASSERT_TRUE(B);
+  unsigned D = B->globalLocByName("d");
+  // g reads d before writing it: upward-exposed.
+  unsigned GTask = B->tasksOf("g")[0];
+  TaskAccessFlags GFlags = B->Access->query(GTask, D);
+  EXPECT_TRUE(GFlags.UpwardRead);
+  EXPECT_TRUE(GFlags.anyWrite());
+  // First main task writes d definitely without reading it first.
+  unsigned FirstMain = B->tasksOf("main")[0];
+  TaskAccessFlags MainFlags = B->Access->query(FirstMain, D);
+  EXPECT_TRUE(MainFlags.anyWrite());
+  EXPECT_FALSE(MainFlags.UpwardRead);
+}
+
+TEST(TaskAccessTest, ArrayWritesArePartial) {
+  auto B = build("param int n in [1, 64];\n"
+                 "int buf[64];\n"
+                 "void fill() { for (int i = 0; i < n; i++) buf[i] = i; }\n"
+                 "void main() { fill(); io_write(buf[0]); }");
+  ASSERT_TRUE(B);
+  unsigned Buf = B->globalLocByName("buf");
+  unsigned FillTask = B->tasksOf("fill")[0];
+  TaskAccessFlags Flags = B->Access->query(FillTask, Buf);
+  EXPECT_TRUE(Flags.WeakWrite);
+  EXPECT_FALSE(Flags.DefWrite);
+}
+
+TEST(TaskAccessTest, ScalarThroughUniquePointerIsDefinite) {
+  auto B = build("int v;\n"
+                 "void set(int *p) { *p = 9; }\n"
+                 "void main() { set(&v); io_write(v); }");
+  ASSERT_TRUE(B);
+  unsigned V = B->globalLocByName("v");
+  unsigned SetTask = B->tasksOf("set")[0];
+  TaskAccessFlags Flags = B->Access->query(SetTask, V);
+  EXPECT_TRUE(Flags.DefWrite);
+  EXPECT_FALSE(Flags.UpwardRead);
+}
+
+TEST(TaskAccessTest, AmbiguousPointerWriteIsWeak) {
+  auto B = build("int a; int b;\n"
+                 "void set(int *p) { *p = 9; }\n"
+                 "void main() {\n"
+                 "  if (io_read()) set(&a); else set(&b);\n"
+                 "  io_write(a + b);\n"
+                 "}\n");
+  ASSERT_TRUE(B);
+  unsigned A = B->globalLocByName("a");
+  unsigned SetTask = B->tasksOf("set")[0];
+  TaskAccessFlags Flags = B->Access->query(SetTask, A);
+  EXPECT_TRUE(Flags.WeakWrite);
+  EXPECT_FALSE(Flags.DefWrite);
+}
+
+TEST(TaskAccessTest, EntryWritesGlobals) {
+  auto B = build("int table[4] = {1, 2, 3, 4};\n"
+                 "void main() { io_write(table[0]); }");
+  ASSERT_TRUE(B);
+  unsigned Table = B->globalLocByName("table");
+  TaskAccessFlags Flags = B->Access->query(B->Graph.EntryTask, Table);
+  EXPECT_TRUE(Flags.DefWrite);
+}
+
+TEST(TaskAccessTest, ReturnValueFlowsThroughRetLocation) {
+  auto B = build("int make() { return 7; }\n"
+                 "void main() { int v = make(); io_write(v); }");
+  ASSERT_TRUE(B);
+  unsigned MakeIdx = B->Module->findFunction("make");
+  unsigned RetLoc = B->Memory->retLoc(MakeIdx);
+  // make's task writes the ret location...
+  unsigned MakeTask = B->tasksOf("make")[0];
+  EXPECT_TRUE(B->Access->query(MakeTask, RetLoc).anyWrite());
+  // ...and some main task has an upward-exposed read of it.
+  bool SomeRead = false;
+  for (unsigned T : B->tasksOf("main"))
+    SomeRead |= B->Access->query(T, RetLoc).UpwardRead;
+  EXPECT_TRUE(SomeRead);
+}
+
+TEST(TaskAccessTest, MallocSiteDefinitelyWrittenAtAllocation) {
+  auto B = build("param int n in [1, 64];\n"
+                 "void main() { int *p = malloc(n); p[0] = 1;\n"
+                 "  io_write(p[0]); }");
+  ASSERT_TRUE(B);
+  unsigned Alloc = B->Memory->allocLoc(0);
+  unsigned MainTask = B->tasksOf("main")[0];
+  TaskAccessFlags Flags = B->Access->query(MainTask, Alloc);
+  EXPECT_TRUE(Flags.anyWrite());
+  EXPECT_TRUE(Flags.Accessed);
+}
+
+} // namespace
