@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/poly_tests[1]_include.cmake")
+include("/root/repo/build/tests/netflow_tests[1]_include.cmake")
+include("/root/repo/build/tests/lang_tests[1]_include.cmake")
+include("/root/repo/build/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build/tests/tcfg_tests[1]_include.cmake")
+include("/root/repo/build/tests/partition_tests[1]_include.cmake")
+include("/root/repo/build/tests/interp_tests[1]_include.cmake")
+include("/root/repo/build/tests/transform_tests[1]_include.cmake")
+include("/root/repo/build/tests/runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/printast_tests[1]_include.cmake")
+include("/root/repo/build/tests/cost_tests[1]_include.cmake")
+add_test(programs_tests "/root/repo/build/tests/programs_tests")
+set_tests_properties(programs_tests PROPERTIES  TIMEOUT "3000" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;71;add_test;/root/repo/tests/CMakeLists.txt;0;")
