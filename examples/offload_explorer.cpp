@@ -7,9 +7,15 @@
 // A command-line driver for the offloading compiler: reads a MiniC file,
 // runs the full parametric analysis, and prints the task graph, the
 // partitioning choices with their regions, and the transformed-program
-// dispatch. Optionally evaluates the dispatch at given parameter values.
+// dispatch. Optionally evaluates the dispatch at given parameter values,
+// and executes the program on the simulated runtime -- including under an
+// injected fault schedule (lossy link, disconnection windows), where the
+// run retries with backoff and degrades gracefully to local execution.
 //
-//   offload_explorer program.mc [--params v1,v2,...] [--dump-ir]
+//   offload_explorer program.mc [--params v1,v2,...] [--inputs v1,v2,...]
+//       [--run] [--dump-ir] [--dump-source]
+//       [--fault-seed N] [--drop-rate P] [--jitter U]
+//       [--disconnect-at MSG[:LEN]] [--policy fail-fast|retry-only|degrade]
 //
 //===----------------------------------------------------------------------===//
 
@@ -24,11 +30,39 @@
 
 using namespace paco;
 
+namespace {
+
+std::vector<int64_t> parseList(const char *Text) {
+  std::vector<int64_t> Values;
+  std::stringstream List(Text);
+  std::string Item;
+  while (std::getline(List, Item, ','))
+    Values.push_back(std::strtoll(Item.c_str(), nullptr, 10));
+  return Values;
+}
+
+const char *policyName(FaultPolicy Policy) {
+  switch (Policy) {
+  case FaultPolicy::FailFast:
+    return "fail-fast";
+  case FaultPolicy::RetryOnly:
+    return "retry-only";
+  case FaultPolicy::DegradeToLocal:
+    return "degrade";
+  }
+  return "?";
+}
+
+} // namespace
+
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s program.mc [--params v1,v2,...] [--dump-ir] "
-                 "[--dump-source]\n",
+                 "usage: %s program.mc [--params v1,v2,...] "
+                 "[--inputs v1,v2,...] [--run] [--dump-ir] [--dump-source]\n"
+                 "  fault injection: [--fault-seed N] [--drop-rate P] "
+                 "[--jitter U] [--disconnect-at MSG[:LEN]]\n"
+                 "                   [--policy fail-fast|retry-only|degrade]\n",
                  Argv[0]);
     return 2;
   }
@@ -42,19 +76,53 @@ int main(int Argc, char **Argv) {
 
   bool DumpIR = false;
   bool DumpSource = false;
+  bool Run = false;
   std::vector<int64_t> Params;
   bool HaveParams = false;
+  std::vector<int64_t> Inputs;
+  FaultSpec Link;
+  FaultPolicy Policy = FaultPolicy::DegradeToLocal;
   for (int A = 2; A < Argc; ++A) {
     if (std::strcmp(Argv[A], "--dump-ir") == 0) {
       DumpIR = true;
     } else if (std::strcmp(Argv[A], "--dump-source") == 0) {
       DumpSource = true;
+    } else if (std::strcmp(Argv[A], "--run") == 0) {
+      Run = true;
     } else if (std::strcmp(Argv[A], "--params") == 0 && A + 1 < Argc) {
       HaveParams = true;
-      std::stringstream List(Argv[++A]);
-      std::string Item;
-      while (std::getline(List, Item, ','))
-        Params.push_back(std::strtoll(Item.c_str(), nullptr, 10));
+      Params = parseList(Argv[++A]);
+    } else if (std::strcmp(Argv[A], "--inputs") == 0 && A + 1 < Argc) {
+      Inputs = parseList(Argv[++A]);
+    } else if (std::strcmp(Argv[A], "--fault-seed") == 0 && A + 1 < Argc) {
+      Link.Seed = std::strtoull(Argv[++A], nullptr, 10);
+      Run = true;
+    } else if (std::strcmp(Argv[A], "--drop-rate") == 0 && A + 1 < Argc) {
+      Link.DropRate = std::strtod(Argv[++A], nullptr);
+      Run = true;
+    } else if (std::strcmp(Argv[A], "--jitter") == 0 && A + 1 < Argc) {
+      Link.JitterUnits =
+          static_cast<unsigned>(std::strtoul(Argv[++A], nullptr, 10));
+      Run = true;
+    } else if (std::strcmp(Argv[A], "--disconnect-at") == 0 && A + 1 < Argc) {
+      char *End = nullptr;
+      Link.DisconnectAt = std::strtoull(Argv[++A], &End, 10);
+      Link.DisconnectLength =
+          (End && *End == ':') ? std::strtoull(End + 1, nullptr, 10) : ~0ull;
+      Run = true;
+    } else if (std::strcmp(Argv[A], "--policy") == 0 && A + 1 < Argc) {
+      const char *Name = Argv[++A];
+      if (std::strcmp(Name, "fail-fast") == 0)
+        Policy = FaultPolicy::FailFast;
+      else if (std::strcmp(Name, "retry-only") == 0)
+        Policy = FaultPolicy::RetryOnly;
+      else if (std::strcmp(Name, "degrade") == 0)
+        Policy = FaultPolicy::DegradeToLocal;
+      else {
+        std::fprintf(stderr, "error: unknown policy %s\n", Name);
+        return 2;
+      }
+      Run = true;
     } else {
       std::fprintf(stderr, "error: unknown argument %s\n", Argv[A]);
       return 2;
@@ -87,12 +155,12 @@ int main(int Argc, char **Argv) {
   std::printf("%s\n", CP->Partition.describe(CP->Space, CP->Graph).c_str());
   std::printf("%s", renderTransformedProgram(*CP).c_str());
 
+  if (HaveParams && Params.size() != CP->AST->RuntimeParams.size()) {
+    std::fprintf(stderr, "error: program declares %zu parameter(s)\n",
+                 CP->AST->RuntimeParams.size());
+    return 2;
+  }
   if (HaveParams) {
-    if (Params.size() != CP->AST->RuntimeParams.size()) {
-      std::fprintf(stderr, "error: program declares %zu parameter(s)\n",
-                   CP->AST->RuntimeParams.size());
-      return 2;
-    }
     unsigned Choice = CP->Partition.pickChoice(CP->parameterPoint(Params));
     std::printf("\nat the given parameters, partitioning %u is optimal "
                 "(cost %s)\n",
@@ -102,5 +170,72 @@ int main(int Argc, char **Argv) {
                     .toString()
                     .c_str());
   }
-  return 0;
+
+  if (!Run)
+    return 0;
+  if (!HaveParams && !CP->AST->RuntimeParams.empty()) {
+    std::fprintf(stderr,
+                 "error: --run needs --params (program declares %zu)\n",
+                 CP->AST->RuntimeParams.size());
+    return 2;
+  }
+
+  // Reference outputs: the all-client run on a perfect link.
+  ExecOptions LocalOpts;
+  LocalOpts.Mode = ExecOptions::Placement::AllClient;
+  LocalOpts.ParamValues = Params;
+  LocalOpts.Inputs = Inputs;
+  ExecResult Local = runProgram(*CP, LocalOpts);
+  if (!Local.OK) {
+    std::fprintf(stderr, "error: local run failed: %s\n",
+                 Local.Error.c_str());
+    return 1;
+  }
+
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Dispatch;
+  Opts.ParamValues = Params;
+  Opts.Inputs = Inputs;
+  Opts.Link = Link;
+  Opts.OnLinkFailure = Policy;
+  ExecResult R = runProgram(*CP, Opts);
+
+  std::printf("\n== adaptive run (policy %s", policyName(Policy));
+  if (!Link.faultFree()) {
+    std::printf(", seed %llu, drop %.3g",
+                static_cast<unsigned long long>(Link.Seed), Link.DropRate);
+    if (Link.JitterUnits)
+      std::printf(", jitter %u", Link.JitterUnits);
+    if (Link.DisconnectLength)
+      std::printf(", disconnect @%llu",
+                  static_cast<unsigned long long>(Link.DisconnectAt));
+  }
+  std::printf(") ==\n");
+  if (!R.OK) {
+    std::printf("run FAILED: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("choice %u  time %s (local %s)  energy %.4f J\n",
+              R.ChoiceUsed == KNone ? 0 : R.ChoiceUsed + 1,
+              R.Time.toString().c_str(), Local.Time.toString().c_str(),
+              R.EnergyJoules);
+  std::printf("client instrs %llu  server instrs %llu  migrations %llu  "
+              "transfers %llu\n",
+              static_cast<unsigned long long>(R.ClientInstrs),
+              static_cast<unsigned long long>(R.ServerInstrs),
+              static_cast<unsigned long long>(R.Migrations),
+              static_cast<unsigned long long>(R.TransferCount));
+  if (!Link.faultFree())
+    std::printf("faults: timeouts %llu  retries %llu  fallbacks %llu  "
+                "time lost %s%s\n",
+                static_cast<unsigned long long>(R.Timeouts),
+                static_cast<unsigned long long>(R.Retries),
+                static_cast<unsigned long long>(R.Fallbacks),
+                R.FaultTime.toString().c_str(),
+                R.Degraded ? "  (degraded to local)" : "");
+  std::printf("outputs: %zu value(s), %s the all-client run\n",
+              R.Outputs.size(),
+              R.Outputs == Local.Outputs ? "bit-identical to"
+                                         : "DIFFERENT from");
+  return R.Outputs == Local.Outputs ? 0 : 1;
 }

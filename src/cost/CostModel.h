@@ -34,6 +34,7 @@ struct CostModel {
   Rational Tcst;   ///< Client-to-server task scheduling time.
   Rational Tsct;   ///< Server-to-client task scheduling time.
   Rational Ta;     ///< Registration time per dynamic allocation.
+  Rational Tto;    ///< Timeout: time to declare one message attempt lost.
 
   /// iPAQ-like defaults: server 5x faster; startup 6 units; 1/64 unit per
   /// byte; scheduling 8 units; registration 2 units.

@@ -25,6 +25,8 @@ CostModel CostModel::defaults() {
   C.Tcst = Rational(3000);
   C.Tsct = Rational(3000);
   C.Ta = Rational(500);
+  // A lost message is noticed after a bit more than one round trip.
+  C.Tto = Rational(4000);
   return C;
 }
 

@@ -73,11 +73,20 @@ struct Frame {
   unsigned RetDstVar = KNone;
 };
 
+/// FailFast means "no retries": the first lost attempt is terminal.
+RetryPolicy effectiveRetry(const ExecOptions &Opts) {
+  RetryPolicy Retry = Opts.Retry;
+  if (Opts.OnLinkFailure == FaultPolicy::FailFast)
+    Retry.MaxRetries = 0;
+  return Retry;
+}
+
 class Machine {
 public:
   Machine(const CompiledProgram &CP, const ExecOptions &Opts,
           const EnergyModel &Energy)
-      : CP(CP), Opts(Opts), Energy(Energy), Sim(CP.Costs) {}
+      : CP(CP), Opts(Opts), Energy(Energy),
+        Sim(CP.Costs, Opts.Link, effectiveRetry(Opts)) {}
 
   ExecResult run();
 
@@ -152,7 +161,7 @@ private:
   //===--------------------------------------------------------------===//
 
   bool taskOnServer(unsigned Task) const {
-    if (Choice == KNone)
+    if (Choice == KNone || Degraded)
       return false;
     return CP.Partition.Choices[Choice].TaskOnServer[Task];
   }
@@ -164,15 +173,101 @@ private:
   };
   const std::vector<Movement> &transferSet(unsigned A, unsigned B);
 
-  void crossTask(unsigned NewTask);
+  bool crossTask(unsigned NewTask);
+
+  //===--------------------------------------------------------------===//
+  // Fault recovery
+  //
+  // While the link can fault and the policy allows degrading, the
+  // machine snapshots its full state at every task boundary (taken at
+  // the top of the interpreter loop, where no instruction is mid-
+  // flight). When a message later exhausts its retries, the run rolls
+  // back to that snapshot and finishes on the client alone: I/O done
+  // since the checkpoint is rewound with it, so outputs stay exactly
+  // the all-client outputs.
+  //===--------------------------------------------------------------===//
+
+  struct Checkpoint {
+    std::vector<MemRegion> Regions;
+    std::map<unsigned, std::vector<unsigned>> LiveOfLoc;
+    std::vector<Frame> Stack;
+    unsigned CurrentTask = KNone;
+    unsigned CurFunc = KNone;
+    unsigned CurBlock = KNone;
+    size_t InstrIdx = 0;
+    size_t InputPos = 0;
+    size_t OutputCount = 0;
+  };
+
+  void takeCheckpoint() {
+    Ckpt.Regions = Regions;
+    Ckpt.LiveOfLoc = LiveOfLoc;
+    Ckpt.Stack = Stack;
+    Ckpt.CurrentTask = CurrentTask;
+    Ckpt.CurFunc = CurFunc;
+    Ckpt.CurBlock = CurBlock;
+    Ckpt.InstrIdx = InstrIdx;
+    Ckpt.InputPos = InputPos;
+    Ckpt.OutputCount = Result.Outputs.size();
+  }
+
+  /// Restores the last checkpoint and pins the rest of the run to the
+  /// client. Degradation is permanent, so the snapshot can be moved out.
+  void restoreCheckpoint() {
+    Regions = std::move(Ckpt.Regions);
+    LiveOfLoc = std::move(Ckpt.LiveOfLoc);
+    Stack = std::move(Ckpt.Stack);
+    CurrentTask = Ckpt.CurrentTask;
+    CurFunc = Ckpt.CurFunc;
+    CurBlock = Ckpt.CurBlock;
+    InstrIdx = Ckpt.InstrIdx;
+    InputPos = Ckpt.InputPos;
+    Result.Outputs.resize(Ckpt.OutputCount);
+    Degraded = true;
+    OnServer = false;
+    // The client recovers data it had shipped to the server from its
+    // shadow copies (the checkpoint retains them); after this merge the
+    // client copy of every live region is authoritative.
+    for (MemRegion &Region : Regions)
+      if (Region.Live && !Region.ClientValid && Region.ServerValid) {
+        Region.Client = Region.Server;
+        Region.ClientValid = true;
+      }
+    ++Fallbacks;
+  }
+
+  /// Called when a message exhausted its retries. Either requests a
+  /// rollback (DegradeToLocal) or fails the run with a structured
+  /// LinkFailure classification.
+  bool linkLost(const char *What) {
+    if (Opts.OnLinkFailure == FaultPolicy::DegradeToLocal) {
+      WantRollback = true;
+      return false;
+    }
+    return fail(std::string("link failure: ") + What + " lost after " +
+                    std::to_string(Sim.timeouts()) + " timed-out attempt(s)",
+                ExecResult::FailureKind::LinkFailure);
+  }
+
+  /// Turns a pending rollback request into an actual restore; returns
+  /// false when the failure was not a recoverable link fault.
+  bool rollback() {
+    if (!WantRollback)
+      return false;
+    WantRollback = false;
+    restoreCheckpoint();
+    return true;
+  }
 
   //===--------------------------------------------------------------===//
   // Execution
   //===--------------------------------------------------------------===//
 
-  bool fail(const std::string &Message) {
+  bool fail(const std::string &Message, ExecResult::FailureKind Kind =
+                                            ExecResult::FailureKind::BadInput) {
     if (Result.Error.empty()) {
       Result.Error = Message;
+      Result.Failure = Kind;
       if (CurFunc != KNone) {
         Result.Error += " [in " + CP.Module->Functions[CurFunc]->Name +
                         " bb" + std::to_string(CurBlock) + " instr " +
@@ -229,6 +324,12 @@ private:
   bool Failed = false;
   bool Finished = false;
 
+  Checkpoint Ckpt;
+  bool CheckpointsOn = false; ///< Snapshot at task boundaries.
+  bool Degraded = false;      ///< Link declared dead; run pinned to client.
+  bool WantRollback = false;  ///< A link failure requested a rollback.
+  uint64_t Fallbacks = 0;
+
   std::map<std::pair<unsigned, unsigned>, std::vector<Movement>>
       MovementCache;
   std::vector<uint64_t> TaskInstrCounts;
@@ -264,14 +365,17 @@ const std::vector<Machine::Movement> &Machine::transferSet(unsigned A,
   return MovementCache.emplace(Key, std::move(Moves)).first->second;
 }
 
-void Machine::crossTask(unsigned NewTask) {
+bool Machine::crossTask(unsigned NewTask) {
   unsigned OldTask = CurrentTask;
   CurrentTask = NewTask;
-  if (Choice == KNone)
-    return;
+  // A degraded run self-schedules everything on the client: no messages,
+  // no transfers, exactly like running under the all-client partitioning.
+  if (Choice == KNone || Degraded)
+    return true;
   bool NewServer = taskOnServer(NewTask);
   if (NewServer != OnServer) {
-    Sim.schedule(/*ToServer=*/NewServer);
+    if (!Sim.trySchedule(/*ToServer=*/NewServer))
+      return linkLost("task-scheduling message");
     OnServer = NewServer;
   }
   static const bool Trace = std::getenv("PACO_TRACE_TRANSFERS") != nullptr;
@@ -285,6 +389,13 @@ void Machine::crossTask(unsigned NewTask) {
     uint64_t Bytes = 0;
     unsigned ElemBytes = elementBytes(CP.Memory->loc(Move.LocId).ElemType);
     auto LiveIt = LiveOfLoc.find(Move.LocId);
+    if (LiveIt != LiveOfLoc.end())
+      for (unsigned RegionId : LiveIt->second)
+        Bytes += Regions[RegionId].Client.size() * ElemBytes;
+    // Drive the message through the (possibly lossy) link first; the
+    // destination copies change only when the data actually arrives.
+    if (!Sim.tryTransfer(Move.ToServer, Bytes))
+      return linkLost("data transfer");
     if (LiveIt != LiveOfLoc.end()) {
       for (unsigned RegionId : LiveIt->second) {
         // The transfer's purpose is to validate the destination copy; the
@@ -305,11 +416,10 @@ void Machine::crossTask(unsigned NewTask) {
             Region.ClientValid = true;
           }
         }
-        Bytes += Region.Client.size() * ElemBytes;
       }
     }
-    Sim.transfer(Move.ToServer, Bytes);
   }
+  return true;
 }
 
 bool Machine::evalOperand(const Operand &O, Value &Out) {
@@ -364,7 +474,7 @@ bool Machine::enterBlock(unsigned FuncIdx, unsigned Block) {
   InstrIdx = 0;
   unsigned Task = CP.Graph.taskOfBlock(FuncIdx, Block);
   if (Task != CurrentTask)
-    crossTask(Task);
+    return crossTask(Task);
   return true;
 }
 
@@ -520,11 +630,12 @@ bool Machine::execInstr(const Instr &I) {
     // Registration overhead when the static analysis decides the data is
     // accessed by both hosts (paper section 2.3).
     auto It = CP.Problem.AccessNodes.find(LocId);
-    if (Choice != KNone && It != CP.Problem.AccessNodes.end()) {
+    if (Choice != KNone && !Degraded &&
+        It != CP.Problem.AccessNodes.end()) {
       bool Ns = CP.Partition.nodeValue(Choice, It->second.first);
       bool Nc = !CP.Partition.nodeValue(Choice, It->second.second);
-      if (Ns && Nc)
-        Sim.registration();
+      if (Ns && Nc && !Sim.tryRegistration())
+        return linkLost("registration");
     }
     return writeLocal(I.Dst, Value::ofPointer(I.Ty, Region, 0));
   }
@@ -613,7 +724,8 @@ bool Machine::execInstr(const Instr &I) {
     Stack.pop_back();
     if (Stack.empty()) {
       // main returned: hand control to the virtual exit task.
-      crossTask(CP.Graph.ExitTask);
+      if (!crossTask(CP.Graph.ExitTask))
+        return false;
       Finished = true;
       return true;
     }
@@ -686,13 +798,35 @@ ExecResult Machine::run() {
   OnServer = false;
   if (CP.Module->MainIndex == KNone) {
     Result.Error = "no main function";
+    Result.Failure = ExecResult::FailureKind::BadInput;
     return Result;
   }
   if (!pushFrame(CP.Module->MainIndex, KNone, KNone, KNone))
     return Result;
-  enterBlock(CP.Module->MainIndex, 0);
+
+  // Arm task-boundary checkpointing only when a fault can actually
+  // strike and the policy wants recovery; the common (fault-free) case
+  // never pays for it. The initial checkpoint describes the state "about
+  // to execute main's first instruction, locally": even a failure on the
+  // very first task boundary can roll back to it.
+  CheckpointsOn = Opts.OnLinkFailure == FaultPolicy::DegradeToLocal &&
+                  Choice != KNone && !Opts.Link.faultFree();
+  if (CheckpointsOn) {
+    unsigned SavedTask = CurrentTask;
+    CurrentTask = CP.Graph.taskOfBlock(CP.Module->MainIndex, 0);
+    CurFunc = CP.Module->MainIndex;
+    CurBlock = 0;
+    InstrIdx = 0;
+    takeCheckpoint();
+    CurrentTask = SavedTask;
+  }
+
+  if (!enterBlock(CP.Module->MainIndex, 0))
+    rollback(); // Either restores into the loop below or leaves Failed set.
 
   while (!Failed && !Finished) {
+    if (CheckpointsOn && !Degraded && CurrentTask != Ckpt.CurrentTask)
+      takeCheckpoint();
     const BasicBlock &Block = func().Blocks[CurBlock];
     if (InstrIdx >= Block.Instrs.size()) {
       fail("fell off the end of a basic block");
@@ -700,12 +834,13 @@ ExecResult Machine::run() {
     }
     const Instr &I = Block.Instrs[InstrIdx++];
     if (++Executed > Opts.MaxInstructions) {
-      fail("instruction budget exceeded");
+      fail("instruction budget exceeded",
+           ExecResult::FailureKind::InstructionLimit);
       break;
     }
     Sim.execInstructions(OnServer, 1);
     ++TaskInstrCounts[CurrentTask];
-    if (!execInstr(I))
+    if (!execInstr(I) && !rollback())
       break;
   }
 
@@ -719,6 +854,11 @@ ExecResult Machine::run() {
   Result.BytesToServer = Sim.bytesToServer();
   Result.BytesToClient = Sim.bytesToClient();
   Result.Registrations = Sim.registrationCount();
+  Result.Timeouts = Sim.timeouts();
+  Result.Retries = Sim.retries();
+  Result.Fallbacks = Fallbacks;
+  Result.FaultTime = Sim.faultTime() + Sim.jitterTime();
+  Result.Degraded = Degraded;
   for (unsigned T = 0; T != TaskInstrCounts.size(); ++T)
     if (TaskInstrCounts[T])
       Result.TaskInstrs[T] = TaskInstrCounts[T];

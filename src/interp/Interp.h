@@ -40,11 +40,29 @@ struct ExecOptions {
   std::vector<int64_t> Inputs;
   /// Runaway guard.
   uint64_t MaxInstructions = 2000000000ull;
+  /// Injected fault schedule for the client/server link. The default is
+  /// a perfect link, which keeps the whole fault layer off the hot path.
+  FaultSpec Link;
+  /// Retry/backoff schedule for lost messages (ignored under FailFast).
+  RetryPolicy Retry;
+  /// Recovery policy when a message exhausts its retries.
+  FaultPolicy OnLinkFailure = FaultPolicy::DegradeToLocal;
 };
 
 /// Everything measured during one run.
 struct ExecResult {
+  /// Structured classification of a failed run (Error carries the text).
+  enum class FailureKind {
+    None,             ///< The run succeeded.
+    InstructionLimit, ///< The MaxInstructions runaway guard tripped.
+    LinkFailure,      ///< A message exhausted its retries and the policy
+                      ///< forbade degrading to local execution.
+    BadInput,         ///< Program-level fault (bad pointer, div by zero,
+                      ///< missing main, analysis bug, ...).
+  };
+
   bool OK = false;
+  FailureKind Failure = FailureKind::None;
   std::string Error;
   std::vector<double> Outputs;
 
@@ -58,6 +76,14 @@ struct ExecResult {
   uint64_t BytesToClient = 0;
   uint64_t Registrations = 0;
   unsigned ChoiceUsed = KNone; ///< Partitioning choice, if any.
+
+  /// Fault accounting (all zero on a fault-free link).
+  uint64_t Timeouts = 0;  ///< Message attempts declared lost.
+  uint64_t Retries = 0;   ///< Re-sends after a timeout.
+  uint64_t Fallbacks = 0; ///< Rollbacks that degraded the run to local.
+  Rational FaultTime;     ///< Time lost to timeouts, backoff and jitter.
+  bool Degraded = false;  ///< The run finished on the client after a
+                          ///< link failure.
 
   /// Measured instruction executions per task (for prediction error).
   std::map<unsigned, uint64_t> TaskInstrs;

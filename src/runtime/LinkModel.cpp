@@ -1,0 +1,72 @@
+//===- runtime/LinkModel.cpp - Deterministic lossy-link model -------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/LinkModel.h"
+
+using namespace paco;
+
+Rational paco::backoffDelay(const RetryPolicy &Policy, unsigned Attempt) {
+  // min(Base * 2^Attempt, Cap), with the doubling stopped at the cap so
+  // the exact arithmetic stays bounded for absurd attempt counts.
+  Rational Delay = Policy.BackoffBase;
+  for (unsigned K = 0; K != Attempt && Delay < Policy.BackoffCap; ++K)
+    Delay *= Rational(2);
+  return Delay < Policy.BackoffCap ? Delay : Policy.BackoffCap;
+}
+
+namespace {
+
+/// SplitMix64 finalizer: a high-quality stateless mix of one 64-bit word.
+uint64_t mix64(uint64_t X) {
+  X += 0x9E3779B97F4A7C15ull;
+  X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ull;
+  X = (X ^ (X >> 27)) * 0x94D049BB133111EBull;
+  return X ^ (X >> 31);
+}
+
+} // namespace
+
+LinkModel::Attempt LinkModel::next() {
+  uint64_t Index = NextAttempt++;
+  Event E;
+  E.Attempt = Index;
+  if (Spec.DisconnectLength != 0 && Index >= Spec.DisconnectAt &&
+      Index - Spec.DisconnectAt < Spec.DisconnectLength) {
+    E.What = Outcome::Disconnected;
+  } else {
+    // One hash decides delivery, a second (chained) one the jitter, so
+    // enabling jitter does not perturb the drop schedule.
+    uint64_t H = mix64(Spec.Seed ^ mix64(Index));
+    double Uniform = static_cast<double>(H >> 11) * 0x1.0p-53;
+    if (Uniform < Spec.DropRate)
+      E.What = Outcome::Dropped;
+    else if (Spec.JitterUnits != 0)
+      E.Jitter = static_cast<unsigned>(
+          mix64(H) % (static_cast<uint64_t>(Spec.JitterUnits) + 1));
+  }
+  if (Trace.size() < kMaxTraceEvents)
+    Trace.push_back(E);
+  return {E.What == Outcome::Delivered, E.Jitter};
+}
+
+std::string LinkModel::traceString() const {
+  std::string Out;
+  Out.reserve(Trace.size());
+  for (const Event &E : Trace) {
+    switch (E.What) {
+    case Outcome::Delivered:
+      Out += E.Jitter ? 'j' : '.';
+      break;
+    case Outcome::Dropped:
+      Out += 'X';
+      break;
+    case Outcome::Disconnected:
+      Out += 'D';
+      break;
+    }
+  }
+  return Out;
+}

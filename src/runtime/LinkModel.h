@@ -1,0 +1,121 @@
+//===- runtime/LinkModel.h - Deterministic lossy-link model ----*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic, seed-driven fault schedule for the client/server
+/// link. Every scheduling message, data transfer and registration the
+/// runtime sends consumes one link *attempt*; the model decides, purely
+/// from the seed and the attempt index, whether that attempt is
+/// delivered, dropped, or swallowed by a disconnection window, and how
+/// much latency jitter a delivered attempt suffers. Because the decision
+/// is a stateless hash of (seed, attempt index), the same seed always
+/// reproduces the exact same fault trace -- the property the recovery
+/// tests and the cost accounting lean on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_RUNTIME_LINKMODEL_H
+#define PACO_RUNTIME_LINKMODEL_H
+
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paco {
+
+/// The injected fault schedule. The default spec is a perfect link, and
+/// `faultFree()` lets the runtime skip the whole layer in that case.
+struct FaultSpec {
+  /// Seed of the deterministic schedule; runs with equal specs produce
+  /// identical fault traces.
+  uint64_t Seed = 0;
+  /// Per-attempt probability that the message is silently lost.
+  double DropRate = 0.0;
+  /// Maximum extra latency (in cost units) added to a delivered message;
+  /// the actual jitter is drawn uniformly from [0, JitterUnits].
+  unsigned JitterUnits = 0;
+  /// Full-disconnection window: every attempt whose index falls in
+  /// [DisconnectAt, DisconnectAt + DisconnectLength) fails, regardless of
+  /// the drop rate. A zero length disables the window.
+  uint64_t DisconnectAt = 0;
+  uint64_t DisconnectLength = 0;
+
+  bool faultFree() const {
+    return DropRate <= 0.0 && JitterUnits == 0 && DisconnectLength == 0;
+  }
+};
+
+/// Bounded-exponential-backoff retry schedule for lost messages: after
+/// failed attempt k (0-based) the sender waits min(Base * 2^k, Cap) cost
+/// units before resending, and gives up after MaxRetries resends.
+struct RetryPolicy {
+  unsigned MaxRetries = 6;
+  Rational BackoffBase{4};
+  Rational BackoffCap{64};
+};
+
+/// The backoff wait after failed attempt \p Attempt (0-based), capped.
+Rational backoffDelay(const RetryPolicy &Policy, unsigned Attempt);
+
+/// What the runtime does when a message exhausts its retries.
+enum class FaultPolicy {
+  FailFast,       ///< No retries; the run errors on the first fault.
+  RetryOnly,      ///< Retry with backoff; error when retries run out.
+  DegradeToLocal, ///< Retry, then roll back to the last task-boundary
+                  ///< checkpoint and finish the run on the client.
+};
+
+/// Consumes link attempts against a FaultSpec and records the trace.
+class LinkModel {
+public:
+  enum class Outcome : uint8_t { Delivered, Dropped, Disconnected };
+
+  struct Event {
+    uint64_t Attempt = 0;
+    Outcome What = Outcome::Delivered;
+    unsigned Jitter = 0; ///< Latency jitter in cost units (delivered only).
+  };
+
+  /// What the runtime needs to know about one attempt.
+  struct Attempt {
+    bool Delivered = false;
+    unsigned Jitter = 0;
+  };
+
+  LinkModel() = default;
+  explicit LinkModel(const FaultSpec &Spec) : Spec(Spec) {}
+
+  const FaultSpec &spec() const { return Spec; }
+  bool faultFree() const { return Spec.faultFree(); }
+
+  /// Decides the next attempt. Deterministic in (seed, attempt index).
+  Attempt next();
+
+  /// Number of attempts consumed so far.
+  uint64_t attempts() const { return NextAttempt; }
+
+  /// The recorded fault trace (capped; see kMaxTraceEvents).
+  const std::vector<Event> &trace() const { return Trace; }
+
+  /// Compact text form of the trace, e.g. "..X.d." (delivered / dropped /
+  /// disconnected), for golden comparisons in tests and logs.
+  std::string traceString() const;
+
+private:
+  /// Traces are for tests and post-mortems; cap them so a long lossy run
+  /// cannot grow memory without bound.
+  static constexpr size_t kMaxTraceEvents = 1u << 20;
+
+  FaultSpec Spec;
+  uint64_t NextAttempt = 0;
+  std::vector<Event> Trace;
+};
+
+} // namespace paco
+
+#endif // PACO_RUNTIME_LINKMODEL_H

@@ -17,5 +17,10 @@ std::string Simulator::summary() const {
   Out += " to_server=" + std::to_string(BytesToServer) + "B";
   Out += " to_client=" + std::to_string(BytesToClient) + "B";
   Out += " registrations=" + std::to_string(Registrations);
+  if (Timeouts || Retries) {
+    Out += " timeouts=" + std::to_string(Timeouts);
+    Out += " retries=" + std::to_string(Retries);
+    Out += " fault_time=" + (FaultTime + JitterTime).toString();
+  }
   return Out;
 }

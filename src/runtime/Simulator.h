@@ -20,6 +20,7 @@
 #define PACO_RUNTIME_SIMULATOR_H
 
 #include "cost/CostModel.h"
+#include "runtime/LinkModel.h"
 
 #include <cstdint>
 #include <string>
@@ -40,6 +41,12 @@ struct EnergyModel {
 class Simulator {
 public:
   explicit Simulator(const CostModel &Costs) : Costs(Costs) {}
+
+  /// A simulator whose link follows the injected fault schedule \p Faults
+  /// and retries lost messages under \p Retry.
+  Simulator(const CostModel &Costs, const FaultSpec &Faults,
+            const RetryPolicy &Retry)
+      : Costs(Costs), Link(Faults), Retry(Retry) {}
 
   /// Accounts \p N instructions on the active host. Costs are derived
   /// from the counters on demand, so this is a bare increment on the
@@ -76,6 +83,38 @@ public:
     RegistrationTime += Costs.Ta;
   }
 
+  //===------------------------------------------------------------------===//
+  // Fault-aware sends
+  //
+  // The try* variants drive the message through the lossy link first: a
+  // delivered message is accounted exactly like the plain call (plus its
+  // latency jitter); every lost attempt charges the timeout-detection
+  // time and the bounded-exponential backoff wait to the client. They
+  // return false when the message exhausts its retries. On a fault-free
+  // link they collapse to the plain calls with no per-message overhead.
+  //===------------------------------------------------------------------===//
+
+  bool trySchedule(bool ToServer) {
+    if (!sendMessage())
+      return false;
+    schedule(ToServer);
+    return true;
+  }
+
+  bool tryTransfer(bool ToServer, uint64_t Bytes) {
+    if (!sendMessage())
+      return false;
+    transfer(ToServer, Bytes);
+    return true;
+  }
+
+  bool tryRegistration() {
+    if (!sendMessage())
+      return false;
+    registration();
+    return true;
+  }
+
   /// Computation time per host, derived from the instruction counters.
   Rational clientCompute() const {
     return Costs.Tc * Rational(static_cast<int64_t>(ClientInstrs));
@@ -84,10 +123,12 @@ public:
     return Costs.Ts * Rational(static_cast<int64_t>(ServerInstrs));
   }
 
-  /// Total elapsed time in cost units (hosts never overlap).
+  /// Total elapsed time in cost units (hosts never overlap). Time lost
+  /// to faults -- timeouts, backoff waits and latency jitter -- elapses
+  /// on the client like any other communication time.
   Rational elapsed() const {
     return clientCompute() + serverCompute() + SchedulingTime +
-           TransferTime + RegistrationTime;
+           TransferTime + RegistrationTime + FaultTime + JitterTime;
   }
 
   /// Time the client radio/CPU is active (everything except waiting for
@@ -110,15 +151,49 @@ public:
   uint64_t bytesToServer() const { return BytesToServer; }
   uint64_t bytesToClient() const { return BytesToClient; }
 
+  uint64_t retries() const { return Retries; }
+  uint64_t timeouts() const { return Timeouts; }
+  /// Time spent detecting lost messages and waiting out backoff.
+  Rational faultTime() const { return FaultTime; }
+  /// Extra latency suffered by delivered messages.
+  Rational jitterTime() const { return JitterTime; }
+  /// The link, exposed for fault-trace inspection.
+  const LinkModel &link() const { return Link; }
+
   /// One-line summary for logs.
   std::string summary() const;
 
 private:
+  /// Runs one logical message through the link: up to 1 + MaxRetries
+  /// attempts, charging Tto plus the capped exponential backoff for each
+  /// failure. Returns false when every attempt was lost.
+  bool sendMessage() {
+    if (Link.faultFree())
+      return true;
+    for (unsigned Attempt = 0;; ++Attempt) {
+      LinkModel::Attempt A = Link.next();
+      if (A.Delivered) {
+        JitterTime += Rational(static_cast<int64_t>(A.Jitter));
+        return true;
+      }
+      ++Timeouts;
+      FaultTime += Costs.Tto;
+      if (Attempt == Retry.MaxRetries)
+        return false;
+      ++Retries;
+      FaultTime += backoffDelay(Retry, Attempt);
+    }
+  }
+
   CostModel Costs;
+  LinkModel Link;
+  RetryPolicy Retry;
   Rational SchedulingTime, TransferTime, RegistrationTime;
+  Rational FaultTime, JitterTime;
   uint64_t ClientInstrs = 0, ServerInstrs = 0;
   uint64_t Migrations = 0, Transfers = 0, Registrations = 0;
   uint64_t BytesToServer = 0, BytesToClient = 0;
+  uint64_t Retries = 0, Timeouts = 0;
 };
 
 } // namespace paco

@@ -1,0 +1,186 @@
+//===- tests/interp/FaultToleranceTest.cpp - Paper programs under faults --===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// The core robustness invariant: under ANY injected fault schedule and
+// ANY recovery policy, a run that completes produces outputs bit-identical
+// to the all-client run. Exercised here on the paper's benchmark programs
+// with seeded drop rates and forced disconnection windows.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Interp.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+using namespace paco::programs;
+
+namespace {
+
+/// Compiles each benchmark once per process (the parametric analysis of
+/// the larger programs is deliberately heavy).
+std::shared_ptr<CompiledProgram> compileBench(const std::string &Name) {
+  static std::map<std::string, std::shared_ptr<CompiledProgram>> Cache;
+  auto It = Cache.find(Name);
+  if (It != Cache.end())
+    return It->second;
+  const BenchProgram &Prog = programByName(Name);
+  std::string Diags;
+  std::shared_ptr<CompiledProgram> CP =
+      compileForOffloading(Prog.Source, CostModel::defaults(), {}, &Diags);
+  EXPECT_TRUE(CP != nullptr) << Name << ":\n" << Diags;
+  Cache.emplace(Name, CP);
+  return CP;
+}
+
+/// A forced partitioning that actually uses the server (so the run sends
+/// messages a lossy link can eat); KNone if the program has none.
+unsigned offloadingChoice(const CompiledProgram &CP) {
+  for (unsigned C = 0; C != CP.Partition.Choices.size(); ++C)
+    for (bool OnServer : CP.Partition.Choices[C].TaskOnServer)
+      if (OnServer)
+        return C;
+  return KNone;
+}
+
+/// One benchmark instance small enough for repeated faulty runs.
+struct Instance {
+  const char *Program;
+  std::vector<int64_t> Params;
+  std::vector<int64_t> Inputs;
+};
+
+std::vector<Instance> paperInstances() {
+  return {
+      {"rawcaudio", {256}, makeAudioSamples(256, 1)},
+      {"rawdaudio", {256}, makeBytes(129, 2)},
+      {"encode", {0, 1, 0, 0, 2, 64}, makeAudioSamples(128, 3)},
+      {"decode", {0, 1, 0, 0, 2, 64}, makeBytes(128, 5)},
+      {"fft", {2, 64, 6, 0}, {8, 12, 30, 71}},
+      {"susan", {0, 1, 0, 48, 36, 1, 18, 22, 7, 1, 3, 0},
+       makeImage(48, 36, 6)},
+  };
+}
+
+ExecResult runLocal(const CompiledProgram &CP, const Instance &I) {
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::AllClient;
+  Opts.ParamValues = I.Params;
+  Opts.Inputs = I.Inputs;
+  ExecResult R = runProgram(CP, Opts);
+  EXPECT_TRUE(R.OK) << I.Program << ": " << R.Error;
+  return R;
+}
+
+ExecOptions faultyOpts(const Instance &I, unsigned Choice,
+                       const FaultSpec &Link) {
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Forced;
+  Opts.ForcedChoice = Choice;
+  Opts.ParamValues = I.Params;
+  Opts.Inputs = I.Inputs;
+  Opts.Link = Link;
+  Opts.OnLinkFailure = FaultPolicy::DegradeToLocal;
+  return Opts;
+}
+
+/// The ISSUE acceptance schedule: drop-rate 0.5 plus one forced
+/// disconnection window early in the run.
+FaultSpec acceptanceSchedule(uint64_t Seed) {
+  FaultSpec Link;
+  Link.Seed = Seed;
+  Link.DropRate = 0.5;
+  Link.DisconnectAt = 3;
+  Link.DisconnectLength = 100;
+  return Link;
+}
+
+TEST(FaultToleranceTest, AllProgramsSurviveDropsAndDisconnection) {
+  unsigned Offloaded = 0;
+  for (const Instance &I : paperInstances()) {
+    auto CP = compileBench(I.Program);
+    ASSERT_TRUE(CP != nullptr);
+    ExecResult Local = runLocal(*CP, I);
+
+    unsigned Choice = offloadingChoice(*CP);
+    if (Choice == KNone) {
+      // rawcaudio/rawdaudio partition all-client under the default cost
+      // model: no messages exist, so the faulty run is trivially intact.
+      ExecOptions Opts = faultyOpts(I, KNone, acceptanceSchedule(2026));
+      Opts.Mode = ExecOptions::Placement::Dispatch;
+      ExecResult Faulty = runProgram(*CP, Opts);
+      ASSERT_TRUE(Faulty.OK) << I.Program << ": " << Faulty.Error;
+      EXPECT_EQ(Faulty.Outputs, Local.Outputs) << I.Program;
+      EXPECT_EQ(Faulty.Retries, 0u) << I.Program;
+      continue;
+    }
+    ++Offloaded;
+
+    ExecOptions Opts = faultyOpts(I, Choice, acceptanceSchedule(2026));
+    ExecResult Faulty = runProgram(*CP, Opts);
+    ASSERT_TRUE(Faulty.OK) << I.Program << ": " << Faulty.Error;
+    EXPECT_EQ(Faulty.Outputs, Local.Outputs) << I.Program;
+    EXPECT_GT(Faulty.Retries, 0u) << I.Program;
+    EXPECT_GE(Faulty.Fallbacks, 1u) << I.Program;
+    EXPECT_GT(Faulty.FaultTime.toDouble(), 0.0) << I.Program;
+
+    // The same seed reproduces the exact same fault trace and costs.
+    ExecResult Replay = runProgram(*CP, Opts);
+    ASSERT_TRUE(Replay.OK) << I.Program << ": " << Replay.Error;
+    EXPECT_EQ(Replay.Outputs, Faulty.Outputs) << I.Program;
+    EXPECT_EQ(Replay.Time, Faulty.Time) << I.Program;
+    EXPECT_EQ(Replay.FaultTime, Faulty.FaultTime) << I.Program;
+    EXPECT_EQ(Replay.Timeouts, Faulty.Timeouts) << I.Program;
+    EXPECT_EQ(Replay.Retries, Faulty.Retries) << I.Program;
+    EXPECT_EQ(Replay.Fallbacks, Faulty.Fallbacks) << I.Program;
+  }
+  // The schedule must have actually been exercised on offloaded runs.
+  EXPECT_GE(Offloaded, 4u);
+}
+
+TEST(FaultToleranceTest, EncodeAndSusanAcrossDropRates) {
+  for (const char *Name : {"encode", "susan"}) {
+    const Instance *Inst = nullptr;
+    std::vector<Instance> Instances = paperInstances();
+    for (const Instance &I : Instances)
+      if (std::string(I.Program) == Name)
+        Inst = &I;
+    ASSERT_TRUE(Inst != nullptr);
+    auto CP = compileBench(Name);
+    ASSERT_TRUE(CP != nullptr);
+    unsigned Choice = offloadingChoice(*CP);
+    ASSERT_NE(Choice, KNone) << Name;
+    ExecResult Local = runLocal(*CP, *Inst);
+
+    for (double DropRate : {0.0, 0.1, 0.5}) {
+      FaultSpec Link;
+      Link.Seed = 99;
+      Link.DropRate = DropRate;
+      ExecResult R = runProgram(*CP, faultyOpts(*Inst, Choice, Link));
+      ASSERT_TRUE(R.OK) << Name << " drop " << DropRate << ": " << R.Error;
+      EXPECT_EQ(R.Outputs, Local.Outputs) << Name << " drop " << DropRate;
+      // A short message trace can legitimately see no drops at 10%; a
+      // fair coin over the whole trace cannot stay silent.
+      if (DropRate >= 0.5) {
+        EXPECT_GT(R.Timeouts, 0u) << Name << " drop " << DropRate;
+      }
+    }
+
+    // Mid-run permanent disconnection: the run must fall back to local
+    // execution and still match bit for bit.
+    FaultSpec Dead;
+    Dead.DisconnectAt = 5;
+    Dead.DisconnectLength = ~0ull - 5;
+    ExecResult R = runProgram(*CP, faultyOpts(*Inst, Choice, Dead));
+    ASSERT_TRUE(R.OK) << Name << ": " << R.Error;
+    EXPECT_EQ(R.Outputs, Local.Outputs) << Name;
+    EXPECT_TRUE(R.Degraded) << Name;
+    EXPECT_EQ(R.Fallbacks, 1u) << Name;
+  }
+}
+
+} // namespace

@@ -337,6 +337,187 @@ TEST(InterpTest, EnergyTracksTime) {
   EXPECT_NEAR(Large.EnergyJoules, Expected, Expected * 1e-9);
 }
 
+//===----------------------------------------------------------------------===//
+// Fault tolerance
+//===----------------------------------------------------------------------===//
+
+/// A forced partitioning choice that actually uses the server, so the
+/// run sends messages a lossy link can eat. KNone if none exists.
+unsigned offloadingChoice(const CompiledProgram &CP) {
+  for (unsigned C = 0; C != CP.Partition.Choices.size(); ++C)
+    for (bool OnServer : CP.Partition.Choices[C].TaskOnServer)
+      if (OnServer)
+        return C;
+  return KNone;
+}
+
+TEST(InterpTest, LossyLinkKeepsOutputsBitIdentical) {
+  auto CP = compileOk(kPipelineSource);
+  unsigned Choice = offloadingChoice(*CP);
+  ASSERT_NE(Choice, KNone);
+  std::vector<int64_t> Inputs;
+  for (int I = 0; I != 512; ++I)
+    Inputs.push_back((I * 37 + 11) & 127);
+  std::vector<int64_t> Params = {4, 8, 600};
+  ExecResult Local = runClient(*CP, Params, Inputs);
+
+  for (double DropRate : {0.0, 0.1, 0.5}) {
+    ExecOptions Opts;
+    Opts.Mode = ExecOptions::Placement::Forced;
+    Opts.ForcedChoice = Choice;
+    Opts.ParamValues = Params;
+    Opts.Inputs = Inputs;
+    Opts.Link.Seed = 1234;
+    Opts.Link.DropRate = DropRate;
+    Opts.OnLinkFailure = FaultPolicy::DegradeToLocal;
+    ExecResult R = runProgram(*CP, Opts);
+    ASSERT_TRUE(R.OK) << "drop " << DropRate << ": " << R.Error;
+    EXPECT_EQ(R.Outputs, Local.Outputs) << "drop " << DropRate;
+    if (DropRate == 0.0) {
+      EXPECT_EQ(R.Timeouts, 0u);
+      EXPECT_TRUE(R.FaultTime.isZero());
+    } else {
+      EXPECT_GT(R.Timeouts, 0u) << "drop " << DropRate;
+      EXPECT_GT(R.FaultTime.toDouble(), 0.0);
+    }
+  }
+}
+
+TEST(InterpTest, DisconnectionDegradesToLocalExecution) {
+  auto CP = compileOk(kPipelineSource);
+  unsigned Choice = offloadingChoice(*CP);
+  ASSERT_NE(Choice, KNone);
+  std::vector<int64_t> Inputs;
+  for (int I = 0; I != 512; ++I)
+    Inputs.push_back((I * 13 + 5) & 127);
+  std::vector<int64_t> Params = {4, 8, 600};
+  ExecResult Local = runClient(*CP, Params, Inputs);
+
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Forced;
+  Opts.ForcedChoice = Choice;
+  Opts.ParamValues = Params;
+  Opts.Inputs = Inputs;
+  // The link dies for good after a couple of delivered messages.
+  Opts.Link.DisconnectAt = 2;
+  Opts.Link.DisconnectLength = ~0ull - 2;
+  Opts.OnLinkFailure = FaultPolicy::DegradeToLocal;
+  ExecResult R = runProgram(*CP, Opts);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Outputs, Local.Outputs);
+  EXPECT_TRUE(R.Degraded);
+  EXPECT_EQ(R.Fallbacks, 1u);
+  EXPECT_GT(R.Retries, 0u);
+  // Degrading is not free: the failed offload and replay cost time.
+  EXPECT_GT(R.Time.toDouble(), Local.Time.toDouble());
+}
+
+TEST(InterpTest, FailFastReportsLinkFailureImmediately) {
+  auto CP = compileOk(kPipelineSource);
+  unsigned Choice = offloadingChoice(*CP);
+  ASSERT_NE(Choice, KNone);
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Forced;
+  Opts.ForcedChoice = Choice;
+  Opts.ParamValues = {2, 4, 600};
+  Opts.Inputs = std::vector<int64_t>(64, 7);
+  Opts.Link.DisconnectAt = 0;
+  Opts.Link.DisconnectLength = ~0ull;
+  Opts.OnLinkFailure = FaultPolicy::FailFast;
+  ExecResult R = runProgram(*CP, Opts);
+  EXPECT_FALSE(R.OK);
+  EXPECT_EQ(R.Failure, ExecResult::FailureKind::LinkFailure);
+  EXPECT_EQ(R.Retries, 0u); // fail-fast never re-sends
+  EXPECT_EQ(R.Timeouts, 1u);
+  EXPECT_NE(R.Error.find("link failure"), std::string::npos);
+}
+
+TEST(InterpTest, RetryOnlyExhaustsRetriesThenFails) {
+  auto CP = compileOk(kPipelineSource);
+  unsigned Choice = offloadingChoice(*CP);
+  ASSERT_NE(Choice, KNone);
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Forced;
+  Opts.ForcedChoice = Choice;
+  Opts.ParamValues = {2, 4, 600};
+  Opts.Inputs = std::vector<int64_t>(64, 7);
+  Opts.Link.DisconnectAt = 0;
+  Opts.Link.DisconnectLength = ~0ull;
+  Opts.Retry.MaxRetries = 4;
+  Opts.OnLinkFailure = FaultPolicy::RetryOnly;
+  ExecResult R = runProgram(*CP, Opts);
+  EXPECT_FALSE(R.OK);
+  EXPECT_EQ(R.Failure, ExecResult::FailureKind::LinkFailure);
+  EXPECT_EQ(R.Retries, 4u);
+  EXPECT_EQ(R.Timeouts, 5u);
+}
+
+TEST(InterpTest, SameSeedReproducesFaultScheduleAndCosts) {
+  auto CP = compileOk(kPipelineSource);
+  unsigned Choice = offloadingChoice(*CP);
+  ASSERT_NE(Choice, KNone);
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::Forced;
+  Opts.ForcedChoice = Choice;
+  Opts.ParamValues = {4, 8, 600};
+  Opts.Inputs = std::vector<int64_t>(512, 9);
+  Opts.Link.Seed = 77;
+  Opts.Link.DropRate = 0.5;
+  Opts.Link.JitterUnits = 12;
+  Opts.OnLinkFailure = FaultPolicy::DegradeToLocal;
+  ExecResult A = runProgram(*CP, Opts);
+  ExecResult B = runProgram(*CP, Opts);
+  ASSERT_TRUE(A.OK) << A.Error;
+  ASSERT_TRUE(B.OK) << B.Error;
+  EXPECT_EQ(A.Outputs, B.Outputs);
+  EXPECT_EQ(A.Time, B.Time);
+  EXPECT_EQ(A.FaultTime, B.FaultTime);
+  EXPECT_EQ(A.Timeouts, B.Timeouts);
+  EXPECT_EQ(A.Retries, B.Retries);
+  EXPECT_EQ(A.Fallbacks, B.Fallbacks);
+}
+
+TEST(InterpTest, FaultKnobsAreFreeOnAllClientRuns) {
+  // A lossy link cannot touch a run that never uses it: the all-client
+  // placement sends no messages, so even a dead link changes nothing.
+  auto CP = compileOk(kPipelineSource);
+  ExecOptions Opts;
+  Opts.Mode = ExecOptions::Placement::AllClient;
+  Opts.ParamValues = {2, 4, 100};
+  Opts.Inputs = std::vector<int64_t>(64, 3);
+  Opts.Link.DropRate = 1.0;
+  Opts.OnLinkFailure = FaultPolicy::FailFast;
+  ExecResult R = runProgram(*CP, Opts);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.Timeouts, 0u);
+  EXPECT_EQ(R.Fallbacks, 0u);
+}
+
+TEST(InterpTest, FailureKindsAreStructured) {
+  // Instruction-budget runaway.
+  auto Runaway = compileOk("void main() { int i = 0;\n"
+                           "  @trip(1) while (1) { i++; } }");
+  ExecOptions Opts;
+  Opts.MaxInstructions = 1000;
+  ExecResult R = runProgram(*Runaway, Opts);
+  EXPECT_FALSE(R.OK);
+  EXPECT_EQ(R.Failure, ExecResult::FailureKind::InstructionLimit);
+
+  // Program-level fault.
+  auto DivZero = compileOk("void main() { int z = io_read(); io_write(5 / z); }");
+  ExecOptions DivOpts;
+  DivOpts.Inputs = {0};
+  ExecResult D = runProgram(*DivZero, DivOpts);
+  EXPECT_FALSE(D.OK);
+  EXPECT_EQ(D.Failure, ExecResult::FailureKind::BadInput);
+
+  // Success resets nothing: the kind stays None.
+  auto Fine = compileOk("void main() { io_write(1); }");
+  ExecResult F = runProgram(*Fine, ExecOptions());
+  EXPECT_TRUE(F.OK);
+  EXPECT_EQ(F.Failure, ExecResult::FailureKind::None);
+}
+
 TEST(InterpTest, MeasuredTaskInstrsMatchSymbolicCounts) {
   // Prediction check: measured instructions per task equal the symbolic
   // ComputeUnits evaluated at the parameter point (loops here are exactly

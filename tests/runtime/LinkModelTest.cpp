@@ -1,0 +1,211 @@
+//===- tests/runtime/LinkModelTest.cpp - Lossy-link model tests -----------===//
+
+#include "runtime/LinkModel.h"
+
+#include "runtime/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+FaultSpec lossy(uint64_t Seed, double DropRate) {
+  FaultSpec Spec;
+  Spec.Seed = Seed;
+  Spec.DropRate = DropRate;
+  return Spec;
+}
+
+TEST(LinkModelTest, DefaultSpecIsFaultFree) {
+  EXPECT_TRUE(FaultSpec().faultFree());
+  EXPECT_TRUE(LinkModel().faultFree());
+  FaultSpec Drop = lossy(1, 0.5);
+  EXPECT_FALSE(Drop.faultFree());
+  FaultSpec Jitter;
+  Jitter.JitterUnits = 3;
+  EXPECT_FALSE(Jitter.faultFree());
+  FaultSpec Window;
+  Window.DisconnectAt = 10;
+  Window.DisconnectLength = 5;
+  EXPECT_FALSE(Window.faultFree());
+}
+
+TEST(LinkModelTest, SameSeedSameTrace) {
+  FaultSpec Spec = lossy(42, 0.3);
+  Spec.JitterUnits = 7;
+  LinkModel A(Spec), B(Spec);
+  for (int I = 0; I != 1000; ++I) {
+    LinkModel::Attempt X = A.next();
+    LinkModel::Attempt Y = B.next();
+    EXPECT_EQ(X.Delivered, Y.Delivered) << "attempt " << I;
+    EXPECT_EQ(X.Jitter, Y.Jitter) << "attempt " << I;
+  }
+  EXPECT_EQ(A.traceString(), B.traceString());
+  ASSERT_EQ(A.trace().size(), 1000u);
+}
+
+TEST(LinkModelTest, DifferentSeedsDifferentTrace) {
+  LinkModel A(lossy(1, 0.5)), B(lossy(2, 0.5));
+  for (int I = 0; I != 256; ++I) {
+    A.next();
+    B.next();
+  }
+  EXPECT_NE(A.traceString(), B.traceString());
+}
+
+TEST(LinkModelTest, DisconnectWindowSwallowsEveryAttempt) {
+  FaultSpec Spec; // drop rate 0: outside the window everything arrives
+  Spec.DisconnectAt = 10;
+  Spec.DisconnectLength = 5;
+  LinkModel Link(Spec);
+  for (uint64_t I = 0; I != 30; ++I) {
+    bool InWindow = I >= 10 && I < 15;
+    EXPECT_EQ(Link.next().Delivered, !InWindow) << "attempt " << I;
+  }
+  EXPECT_EQ(Link.traceString(), "..........DDDDD...............");
+}
+
+TEST(LinkModelTest, DropRateMatchesFrequency) {
+  LinkModel Link(lossy(7, 0.5));
+  unsigned Dropped = 0;
+  const unsigned N = 20000;
+  for (unsigned I = 0; I != N; ++I)
+    Dropped += !Link.next().Delivered;
+  double Rate = double(Dropped) / N;
+  EXPECT_GT(Rate, 0.45);
+  EXPECT_LT(Rate, 0.55);
+}
+
+TEST(LinkModelTest, JitterBoundedAndDeterministic) {
+  FaultSpec Spec;
+  Spec.Seed = 9;
+  Spec.DropRate = 0.001; // armed, but nearly everything delivered
+  Spec.JitterUnits = 5;
+  LinkModel A(Spec), B(Spec);
+  bool SawNonZero = false;
+  for (int I = 0; I != 500; ++I) {
+    LinkModel::Attempt X = A.next();
+    EXPECT_LE(X.Jitter, 5u);
+    SawNonZero |= X.Jitter != 0;
+    EXPECT_EQ(X.Jitter, B.next().Jitter);
+  }
+  EXPECT_TRUE(SawNonZero);
+}
+
+TEST(LinkModelTest, BackoffDoublesUpToCap) {
+  RetryPolicy Policy;
+  Policy.BackoffBase = Rational(4);
+  Policy.BackoffCap = Rational(64);
+  EXPECT_EQ(backoffDelay(Policy, 0), Rational(4));
+  EXPECT_EQ(backoffDelay(Policy, 1), Rational(8));
+  EXPECT_EQ(backoffDelay(Policy, 2), Rational(16));
+  EXPECT_EQ(backoffDelay(Policy, 3), Rational(32));
+  EXPECT_EQ(backoffDelay(Policy, 4), Rational(64));
+  EXPECT_EQ(backoffDelay(Policy, 5), Rational(64));   // capped
+  EXPECT_EQ(backoffDelay(Policy, 100), Rational(64)); // stays capped
+}
+
+//===----------------------------------------------------------------------===//
+// Simulator retry accounting over the lossy link
+//===----------------------------------------------------------------------===//
+
+CostModel timeoutCosts() {
+  CostModel Costs = CostModel::defaults();
+  Costs.Tto = Rational(5);
+  return Costs;
+}
+
+RetryPolicy smallRetry() {
+  RetryPolicy Retry;
+  Retry.MaxRetries = 3;
+  Retry.BackoffBase = Rational(4);
+  Retry.BackoffCap = Rational(8);
+  return Retry;
+}
+
+TEST(SimulatorFaultTest, ExhaustedRetriesChargeTimeoutsAndBackoff) {
+  FaultSpec DeadLink;
+  DeadLink.DisconnectAt = 0;
+  DeadLink.DisconnectLength = 1000; // link is down for the whole test
+  Simulator Sim(timeoutCosts(), DeadLink, smallRetry());
+  EXPECT_FALSE(Sim.trySchedule(true));
+  // 4 attempts time out (5 units each); backoff waits 4, 8, 8 between
+  // them (base 4 doubling, capped at 8); no backoff after the last.
+  EXPECT_EQ(Sim.timeouts(), 4u);
+  EXPECT_EQ(Sim.retries(), 3u);
+  EXPECT_EQ(Sim.faultTime(), Rational(4 * 5 + 4 + 8 + 8));
+  // The message never arrived, so no scheduling cost was charged.
+  EXPECT_EQ(Sim.migrations(), 0u);
+  EXPECT_EQ(Sim.elapsed(), Sim.faultTime());
+}
+
+TEST(SimulatorFaultTest, TransientOutageRetriesThenDelivers) {
+  FaultSpec Blip;
+  Blip.DisconnectAt = 0;
+  Blip.DisconnectLength = 2; // the first two attempts fail
+  CostModel Costs = timeoutCosts();
+  Simulator Sim(Costs, Blip, smallRetry());
+  EXPECT_TRUE(Sim.trySchedule(true));
+  EXPECT_EQ(Sim.timeouts(), 2u);
+  EXPECT_EQ(Sim.retries(), 2u);
+  EXPECT_EQ(Sim.faultTime(), Rational(2 * 5 + 4 + 8));
+  EXPECT_EQ(Sim.migrations(), 1u);
+  EXPECT_EQ(Sim.elapsed(), Costs.Tcst + Sim.faultTime());
+}
+
+TEST(SimulatorFaultTest, DeliveredJitterIsCharged) {
+  FaultSpec Spec;
+  Spec.Seed = 3;
+  Spec.JitterUnits = 9;
+  CostModel Costs = timeoutCosts();
+  // Twin link predicts the deterministic jitter draw.
+  LinkModel Twin(Spec);
+  unsigned Jitter = Twin.next().Jitter;
+  Simulator Sim(Costs, Spec, smallRetry());
+  EXPECT_TRUE(Sim.tryTransfer(true, 64));
+  EXPECT_EQ(Sim.jitterTime(), Rational(static_cast<int64_t>(Jitter)));
+  EXPECT_EQ(Sim.elapsed(),
+            Costs.Tcsh + Costs.Tcsu * Rational(64) + Sim.jitterTime());
+}
+
+TEST(SimulatorFaultTest, SameSeedSameCosts) {
+  FaultSpec Spec = lossy(11, 0.4);
+  Spec.JitterUnits = 6;
+  Simulator A(timeoutCosts(), Spec, smallRetry());
+  Simulator B(timeoutCosts(), Spec, smallRetry());
+  for (int I = 0; I != 50; ++I) {
+    A.trySchedule(I & 1);
+    B.trySchedule(I & 1);
+    A.tryTransfer(I & 1, 128);
+    B.tryTransfer(I & 1, 128);
+  }
+  EXPECT_EQ(A.elapsed(), B.elapsed());
+  EXPECT_EQ(A.retries(), B.retries());
+  EXPECT_EQ(A.timeouts(), B.timeouts());
+  EXPECT_EQ(A.link().traceString(), B.link().traceString());
+}
+
+TEST(SimulatorFaultTest, FaultFreeLinkBypassesTheLayer) {
+  Simulator Sim(CostModel::defaults());
+  EXPECT_TRUE(Sim.trySchedule(true));
+  EXPECT_TRUE(Sim.tryTransfer(false, 32));
+  EXPECT_TRUE(Sim.tryRegistration());
+  EXPECT_EQ(Sim.timeouts(), 0u);
+  EXPECT_EQ(Sim.retries(), 0u);
+  EXPECT_TRUE(Sim.faultTime().isZero());
+  EXPECT_EQ(Sim.link().attempts(), 0u); // no PRNG consumed
+}
+
+TEST(SimulatorFaultTest, SummaryMentionsFaultCounters) {
+  FaultSpec DeadLink;
+  DeadLink.DisconnectAt = 0;
+  DeadLink.DisconnectLength = 100;
+  Simulator Sim(timeoutCosts(), DeadLink, smallRetry());
+  EXPECT_FALSE(Sim.trySchedule(true));
+  std::string Text = Sim.summary();
+  EXPECT_NE(Text.find("timeouts=4"), std::string::npos);
+  EXPECT_NE(Text.find("retries=3"), std::string::npos);
+}
+
+} // namespace
