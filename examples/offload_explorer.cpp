@@ -13,7 +13,7 @@
 // run retries with backoff and degrades gracefully to local execution.
 //
 //   offload_explorer program.mc [--params v1,v2,...] [--inputs v1,v2,...]
-//       [--run] [--dump-ir] [--dump-source]
+//       [--run] [--jobs N] [--dump-ir] [--dump-source]
 //       [--fault-seed N] [--drop-rate P] [--jitter U]
 //       [--disconnect-at MSG[:LEN]] [--policy fail-fast|retry-only|degrade]
 //
@@ -59,7 +59,8 @@ int main(int Argc, char **Argv) {
   if (Argc < 2) {
     std::fprintf(stderr,
                  "usage: %s program.mc [--params v1,v2,...] "
-                 "[--inputs v1,v2,...] [--run] [--dump-ir] [--dump-source]\n"
+                 "[--inputs v1,v2,...] [--run] [--jobs N] [--dump-ir] "
+                 "[--dump-source]\n"
                  "  fault injection: [--fault-seed N] [--drop-rate P] "
                  "[--jitter U] [--disconnect-at MSG[:LEN]]\n"
                  "                   [--policy fail-fast|retry-only|degrade]\n",
@@ -82,8 +83,13 @@ int main(int Argc, char **Argv) {
   std::vector<int64_t> Inputs;
   FaultSpec Link;
   FaultPolicy Policy = FaultPolicy::DegradeToLocal;
+  ParametricOptions AnalysisOpts;
   for (int A = 2; A < Argc; ++A) {
-    if (std::strcmp(Argv[A], "--dump-ir") == 0) {
+    if (std::strcmp(Argv[A], "--jobs") == 0 && A + 1 < Argc) {
+      // 0 = hardware concurrency; any value yields identical results.
+      AnalysisOpts.Threads =
+          static_cast<unsigned>(std::strtoul(Argv[++A], nullptr, 10));
+    } else if (std::strcmp(Argv[A], "--dump-ir") == 0) {
       DumpIR = true;
     } else if (std::strcmp(Argv[A], "--dump-source") == 0) {
       DumpSource = true;
@@ -130,8 +136,8 @@ int main(int Argc, char **Argv) {
   }
 
   std::string Diags;
-  auto CP = compileForOffloading(Buffer.str(), CostModel::defaults(), {},
-                                 &Diags);
+  auto CP = compileForOffloading(Buffer.str(), CostModel::defaults(),
+                                 AnalysisOpts, &Diags);
   if (!CP) {
     std::fprintf(stderr, "%s", Diags.c_str());
     return 1;

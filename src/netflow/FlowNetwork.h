@@ -109,6 +109,30 @@ struct CutResult {
   }
 };
 
+/// Combinatorial part of a min cut: the source side and crossing arcs,
+/// without the parametric value (which callers that memoize cuts by
+/// signature only want to build once per distinct cut).
+struct CutStructure {
+  std::vector<bool> SourceSide;
+  std::vector<unsigned> CutArcs;
+  bool Finite = true;
+  /// True if the checked int64 solver produced this cut; false when the
+  /// capacities forced (or the caller requested) the BigInt solver.
+  bool UsedFastPath = false;
+};
+
+/// Computes a minimum s-t cut of \p Net with capacities evaluated at
+/// \p Point, returning only the cut structure. When every capacity (and
+/// every intermediate residual value, bounded by the finite-capacity
+/// total) fits comfortably in int64_t, the augmentation runs entirely in
+/// machine arithmetic; otherwise -- or when \p ForceBigInt is set -- it
+/// falls back to exact BigInt arithmetic. Both paths return the identical
+/// canonical minimal source side (the residual-reachable set is unique
+/// across all maximum flows).
+CutStructure solveMinCutStructure(const FlowNetwork &Net,
+                                  const std::vector<Rational> &Point,
+                                  bool ForceBigInt = false);
+
 /// Computes a minimum s-t cut of \p Net with capacities evaluated at
 /// \p Point (one Rational per parameter; use ParamSpace::extendPoint to
 /// fill monomial slots). Capacities must evaluate to non-negative values.

@@ -6,6 +6,9 @@
 
 #include "partition/Parametric.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -20,9 +23,13 @@ class DimMapper {
 public:
   /// \p ExtraDims are appended to the dimensions found in \p Net's
   /// capacities (used for the global space, which must also cover option
-  /// flags and their residual monomials).
+  /// flags and their residual monomials). When \p Reuse is given and its
+  /// dimension set matches, the bound and coupling constraints -- which
+  /// depend only on the dimension set, but cost O(D^2) multiset diffs to
+  /// rebuild -- are copied from it instead of recomputed.
   DimMapper(const FlowNetwork &Net, const ParamSpace &Space,
-            const std::vector<ParamId> &ExtraDims = {}) {
+            const std::vector<ParamId> &ExtraDims = {},
+            const DimMapper *Reuse = nullptr) {
     std::set<ParamId> Seen(ExtraDims.begin(), ExtraDims.end());
     for (const Arc &A : Net.arcs()) {
       if (A.Cap.Infinite)
@@ -35,65 +42,70 @@ public:
     Dims.assign(Seen.begin(), Seen.end());
     for (unsigned K = 0; K != Dims.size(); ++K)
       DimOf[Dims[K]] = K;
-    Box = Polyhedron(dim());
-    for (unsigned K = 0; K != Dims.size(); ++K) {
-      std::vector<BigInt> Lower(dim()), Upper(dim());
-      Lower[K] = BigInt(1);
-      Upper[K] = BigInt(-1);
-      Box.addConstraint(
-          LinConstraint(std::move(Lower), -Space.lower(Dims[K])));
-      Box.addConstraint(
-          LinConstraint(std::move(Upper), Space.upper(Dims[K])));
-    }
-    // Linear coupling between a monomial dimension and its sub-products:
-    // for m = f * rest with every parameter non-negative,
-    // restLower * f <= m <= restUpper * f. This trims the worst of the
-    // relaxation's unrealizable corners (the paper accepts them as
-    // harmless "false solutions"; the couplings simply discharge most of
-    // them up front).
-    for (unsigned K = 0; K != Dims.size(); ++K) {
-      if (!Space.isMonomial(Dims[K]))
-        continue;
-      const std::vector<ParamId> &MF = Space.factors(Dims[K]);
-      for (unsigned J = 0; J != Dims.size(); ++J) {
-        if (J == K)
+    if (Reuse && Reuse->Dims == Dims) {
+      CoreBox = Reuse->CoreBox;
+    } else {
+      CoreBox = Polyhedron(dim());
+      for (unsigned K = 0; K != Dims.size(); ++K) {
+        std::vector<BigInt> Lower(dim()), Upper(dim());
+        Lower[K] = BigInt(1);
+        Upper[K] = BigInt(-1);
+        CoreBox.addConstraint(
+            LinConstraint(std::move(Lower), -Space.lower(Dims[K])));
+        CoreBox.addConstraint(
+            LinConstraint(std::move(Upper), Space.upper(Dims[K])));
+      }
+      // Linear coupling between a monomial dimension and its sub-products:
+      // for m = f * rest with every parameter non-negative,
+      // restLower * f <= m <= restUpper * f. This trims the worst of the
+      // relaxation's unrealizable corners (the paper accepts them as
+      // harmless "false solutions"; the couplings simply discharge most of
+      // them up front).
+      for (unsigned K = 0; K != Dims.size(); ++K) {
+        if (!Space.isMonomial(Dims[K]))
           continue;
-        const std::vector<ParamId> &FF = Space.factors(Dims[J]);
-        // Multiset difference Rest = MF - FF; FF must be consumed fully
-        // and leave a non-empty rest to be a proper sub-product.
-        std::vector<ParamId> Rest;
-        size_t Fi = 0;
-        for (ParamId P : MF) {
-          if (Fi < FF.size() && FF[Fi] == P)
-            ++Fi;
-          else
-            Rest.push_back(P);
+        const std::vector<ParamId> &MF = Space.factors(Dims[K]);
+        for (unsigned J = 0; J != Dims.size(); ++J) {
+          if (J == K)
+            continue;
+          const std::vector<ParamId> &FF = Space.factors(Dims[J]);
+          // Multiset difference Rest = MF - FF; FF must be consumed fully
+          // and leave a non-empty rest to be a proper sub-product.
+          std::vector<ParamId> Rest;
+          size_t Fi = 0;
+          for (ParamId P : MF) {
+            if (Fi < FF.size() && FF[Fi] == P)
+              ++Fi;
+            else
+              Rest.push_back(P);
+          }
+          if (Fi != FF.size() || Rest.empty() ||
+              Space.lower(Dims[J]).isNegative())
+            continue;
+          BigInt RestLo(1), RestHi(1);
+          bool NonNeg = true;
+          for (ParamId P : Rest) {
+            if (Space.lower(P).isNegative())
+              NonNeg = false;
+            RestLo = RestLo * Space.lower(P);
+            RestHi = RestHi * Space.upper(P);
+          }
+          if (!NonNeg)
+            continue;
+          // m - RestLo * f >= 0.
+          std::vector<BigInt> LowerC(dim());
+          LowerC[K] = BigInt(1);
+          LowerC[J] = -RestLo;
+          CoreBox.addConstraint(LinConstraint(std::move(LowerC), BigInt(0)));
+          // RestHi * f - m >= 0.
+          std::vector<BigInt> UpperC(dim());
+          UpperC[K] = BigInt(-1);
+          UpperC[J] = RestHi;
+          CoreBox.addConstraint(LinConstraint(std::move(UpperC), BigInt(0)));
         }
-        if (Fi != FF.size() || Rest.empty() ||
-            Space.lower(Dims[J]).isNegative())
-          continue;
-        BigInt RestLo(1), RestHi(1);
-        bool NonNeg = true;
-        for (ParamId P : Rest) {
-          if (Space.lower(P).isNegative())
-            NonNeg = false;
-          RestLo = RestLo * Space.lower(P);
-          RestHi = RestHi * Space.upper(P);
-        }
-        if (!NonNeg)
-          continue;
-        // m - RestLo * f >= 0.
-        std::vector<BigInt> LowerC(dim());
-        LowerC[K] = BigInt(1);
-        LowerC[J] = -RestLo;
-        Box.addConstraint(LinConstraint(std::move(LowerC), BigInt(0)));
-        // RestHi * f - m >= 0.
-        std::vector<BigInt> UpperC(dim());
-        UpperC[K] = BigInt(-1);
-        UpperC[J] = RestHi;
-        Box.addConstraint(LinConstraint(std::move(UpperC), BigInt(0)));
       }
     }
+    Box = CoreBox;
     // The monomial relaxation (paper section 4.2) admits corners where
     // capacity expressions would be negative; such points are never
     // realizable, so restrict the domain to where every capacity is
@@ -148,6 +160,10 @@ public:
 private:
   std::vector<ParamId> Dims;
   std::map<ParamId, unsigned> DimOf;
+  /// Bounds + monomial couplings only: a function of the dimension set,
+  /// kept so the next slice with the same dimensions can copy it (and its
+  /// cached double-description state) instead of rebuilding.
+  Polyhedron CoreBox{0};
   Polyhedron Box{0};
 };
 
@@ -167,8 +183,9 @@ LinExpr substituteFlags(const LinExpr &Expr,
                         const std::map<ParamId, int64_t> &FlagVals,
                         ParamSpace &Space) {
   LinExpr Out(Expr.constantTerm());
+  std::vector<ParamId> Residual;
   for (const auto &[Id, Coeff] : Expr.terms()) {
-    std::vector<ParamId> Residual;
+    Residual.clear();
     bool Zero = false;
     for (ParamId F : Space.factors(Id)) {
       auto It = FlagVals.find(F);
@@ -180,9 +197,9 @@ LinExpr substituteFlags(const LinExpr &Expr,
     if (Zero)
       continue;
     if (Residual.empty())
-      Out += LinExpr(Coeff);
+      Out.addConstant(Coeff);
     else
-      Out += LinExpr::param(Space.internMonomial(Residual)) * Coeff;
+      Out.addTerm(Space.internMonomial(Residual), Coeff);
   }
   return Out;
 }
@@ -199,6 +216,107 @@ LinExpr cutValueOn(const FlowNetwork &Net,
   }
   return Value;
 }
+
+/// One flag-assignment slice of the parametric analysis: inputs built
+/// serially up front, caches and outputs filled while the slice solves
+/// (each slice is touched by exactly one thread at a time).
+struct SliceState {
+  unsigned CaseBits = 0;
+  std::map<ParamId, int64_t> FlagVals;
+  FlowNetwork SubNet;
+  std::optional<DimMapper> Mapper;
+
+  // Outputs, merged into the ParametricResult in case order.
+  std::vector<PartitionChoice> Choices;
+  bool Approximate = false;
+  bool VertexLimitHit = false;
+  unsigned FlowSolves = 0, PointCacheHits = 0, CutSignatureHits = 0,
+           FastPathSolves = 0, BigIntSolves = 0;
+
+  /// Canonical cut per source-side signature; the deque keeps addresses
+  /// stable so cache entries and KnownCuts lists can hold pointers.
+  std::deque<CutResult> CutStore;
+  std::map<std::vector<bool>, CutResult *> BySignature;
+  /// Sample-point memo (keyed on the effective-space point rendering).
+  std::map<std::string, CutResult *> PointCache;
+
+  /// Canonicalizes a solved structure: a rediscovered signature reuses
+  /// the stored cut (and its already-built value expression); a fresh one
+  /// gets its parametric value summed exactly once. Second result is
+  /// true when the signature was new.
+  std::pair<CutResult *, bool> internStructure(CutStructure &&St) {
+    ++FlowSolves;
+    if (St.UsedFastPath)
+      ++FastPathSolves;
+    else
+      ++BigIntSolves;
+    auto It = BySignature.find(St.SourceSide);
+    if (It != BySignature.end()) {
+      ++CutSignatureHits;
+      return {It->second, false};
+    }
+    CutStore.emplace_back();
+    CutResult &Cut = CutStore.back();
+    Cut.SourceSide = std::move(St.SourceSide);
+    Cut.CutArcs = std::move(St.CutArcs);
+    Cut.Finite = St.Finite;
+    const std::vector<Arc> &Arcs = SubNet.arcs();
+    for (unsigned I : Cut.CutArcs)
+      if (!Arcs[I].Cap.Infinite)
+        Cut.Value += Arcs[I].Cap.Expr;
+    BySignature.emplace(Cut.SourceSide, &Cut);
+    return {&Cut, true};
+  }
+
+  /// Min cut at an effective-space point, through both caches.
+  CutResult &minCutAt(const std::vector<Rational> &EffPoint,
+                      const ParamSpace &Space) {
+    std::string Key = pointKey(EffPoint);
+    auto It = PointCache.find(Key);
+    if (It != PointCache.end()) {
+      ++PointCacheHits;
+      return *It->second;
+    }
+    CutStructure St =
+        solveMinCutStructure(SubNet, Mapper->fullPoint(EffPoint, Space));
+    CutResult *Cut = internStructure(std::move(St)).first;
+    assert(Cut->Finite && "no finite cut: every program can run locally");
+    PointCache.emplace(std::move(Key), Cut);
+    return *Cut;
+  }
+
+  /// Solves every not-yet-cached vertex of a certification round through
+  /// the pool, so the subsequent in-order scan only reads the cache. The
+  /// set of solved points depends only on the cache state, never on the
+  /// thread count, which keeps results and counters deterministic.
+  void presolveVertices(const std::vector<std::vector<Rational>> &Vertices,
+                        const ParamSpace &Space, ThreadPool &Pool) {
+    std::vector<std::string> Keys;
+    std::vector<const std::vector<Rational> *> Missing;
+    for (const std::vector<Rational> &V : Vertices) {
+      std::string Key = pointKey(V);
+      if (PointCache.count(Key))
+        continue;
+      Keys.push_back(std::move(Key));
+      Missing.push_back(&V);
+    }
+    if (Missing.size() < 2)
+      return; // nothing to overlap; the scan solves it inline
+    std::vector<std::vector<Rational>> FullPts(Missing.size());
+    for (size_t J = 0; J != Missing.size(); ++J)
+      FullPts[J] = Mapper->fullPoint(*Missing[J], Space);
+    std::vector<CutStructure> Structs(Missing.size());
+    Pool.parallelFor(Missing.size(), [&](size_t J) {
+      Structs[J] = solveMinCutStructure(SubNet, FullPts[J]);
+    });
+    // Serial, in vertex order: cache layout stays deterministic.
+    for (size_t J = 0; J != Missing.size(); ++J) {
+      CutResult *Cut = internStructure(std::move(Structs[J])).first;
+      assert(Cut->Finite && "no finite cut: every program can run locally");
+      PointCache.emplace(std::move(Keys[J]), Cut);
+    }
+  }
+};
 
 } // namespace
 
@@ -326,31 +444,54 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
   DimMapper GlobalMapper(Net, Space, Result.GlobalExtraDims);
   Result.EffectiveDims = GlobalMapper.dims();
 
-  // Solve one slice per flag assignment (a single empty assignment when
-  // no flags exist).
+  unsigned Threads =
+      Options.Threads == 0 ? ThreadPool::hardwareThreads() : Options.Threads;
+  Result.ThreadsUsed = Threads;
+
+  // Phase 1 (serial): construct one slice per flag assignment (a single
+  // empty assignment when no flags exist) -- the substituted network and
+  // its dimension mapper. Every ParamSpace mutation (monomial interning)
+  // happens in this phase; while slices solve, the space is only read
+  // (the residual monomials emitChoice interns were all interned for
+  // GlobalExtraDims above, so those calls are cache hits).
   unsigned NumCases = 1u << Flags.size();
+  std::vector<SliceState> Slices;
+  Slices.reserve(NumCases);
   for (unsigned CaseBits = 0; CaseBits != NumCases; ++CaseBits) {
-    std::map<ParamId, int64_t> FlagVals;
+    Slices.emplace_back();
+    SliceState &S = Slices.back();
+    S.CaseBits = CaseBits;
     for (unsigned F = 0; F != Flags.size(); ++F)
-      FlagVals[Flags[F]] = (CaseBits >> F) & 1;
+      S.FlagVals[Flags[F]] = (CaseBits >> F) & 1;
 
     // Substituted network (same node ids; zero capacities drop out).
-    FlowNetwork SubNet;
     for (unsigned N = 2; N < Net.numNodes(); ++N)
-      SubNet.addNode(Net.label(N));
+      S.SubNet.addNode(Net.label(N));
     for (const Arc &A : Net.arcs()) {
       if (A.Cap.Infinite) {
-        SubNet.addArc(A.From, A.To, Capacity::infinite());
+        S.SubNet.addArc(A.From, A.To, Capacity::infinite());
         continue;
       }
-      LinExpr Sub = substituteFlags(A.Cap.Expr, FlagVals, Space);
+      LinExpr Sub = substituteFlags(A.Cap.Expr, S.FlagVals, Space);
       if (!Sub.isZero())
-        SubNet.addArc(A.From, A.To, Capacity::finite(std::move(Sub)));
+        S.SubNet.addArc(A.From, A.To, Capacity::finite(std::move(Sub)));
     }
-    DimMapper Mapper(SubNet, Space);
+    const DimMapper *Prev =
+        CaseBits == 0 ? nullptr : &Slices[CaseBits - 1].Mapper.value();
+    S.Mapper.emplace(S.SubNet, Space, std::vector<ParamId>{}, Prev);
     if (Options.Verbose)
       std::fprintf(stderr, "[parametric] case %u/%u dims=%u arcs=%u\n",
-                   CaseBits + 1, NumCases, Mapper.dim(), SubNet.numArcs());
+                   CaseBits + 1, NumCases, S.Mapper->dim(),
+                   S.SubNet.numArcs());
+  }
+
+  // Phase 2: solve the slices, concurrently when Threads > 1. Slices are
+  // fully independent (separate networks, mappers, caches, outputs), so
+  // each one computes exactly what it would compute serially.
+  ThreadPool Pool(Threads);
+  auto solveSlice = [&](SliceState &S) {
+    const DimMapper &Mapper = *S.Mapper;
+    const std::map<ParamId, int64_t> &FlagVals = S.FlagVals;
 
     // Lifts a slice-local cut into a global PartitionChoice.
     auto emitChoice = [&](const CutResult &Cut, const Polyhedron &Region,
@@ -414,7 +555,7 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
       for (unsigned T = 0; T != Problem.MNode.size(); ++T)
         Choice.TaskOnServer[T] =
             Cut.SourceSide[Result.Solved.NodeMap[Problem.MNode[T]]];
-      Result.Choices.push_back(std::move(Choice));
+      S.Choices.push_back(std::move(Choice));
     };
 
     // High-dimensional slices (deeply nested parametric loops produce
@@ -423,29 +564,28 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
     // over the discovered set. Documented approximation; the benchmarks'
     // option slices stay below the threshold.
     if (Mapper.dim() > Options.MaxExactDims) {
-      Result.Approximate = true;
-      uint64_t Seed = 0x9e3779b97f4a7c15ull + CaseBits;
+      S.Approximate = true;
+      uint64_t Seed = 0x9e3779b97f4a7c15ull + S.CaseBits;
       auto NextRand = [&Seed]() {
         Seed ^= Seed << 13;
         Seed ^= Seed >> 7;
         Seed ^= Seed << 17;
         return Seed;
       };
-      std::vector<CutResult> Cuts;
+      std::vector<const CutResult *> Cuts;
       auto tryPoint = [&](std::vector<Rational> Full) {
         // Reject points with negative capacities (relaxation corners).
-        for (const Arc &A : SubNet.arcs())
+        for (const Arc &A : S.SubNet.arcs())
           if (!A.Cap.Infinite && A.Cap.Expr.evaluate(Full).isNegative())
             return;
-        CutResult Cut = solveMinCut(SubNet, Full);
-        for (const CutResult &Known : Cuts)
-          if (Known == Cut)
-            return;
-        Cuts.push_back(std::move(Cut));
+        auto [Cut, Fresh] =
+            S.internStructure(solveMinCutStructure(S.SubNet, Full));
+        if (Fresh)
+          Cuts.push_back(Cut);
       };
       // Realizable samples: random base parameters with monomials
       // computed consistently.
-      for (unsigned S = 0; S != Options.SampleBudget; ++S) {
+      for (unsigned Sample = 0; Sample != Options.SampleBudget; ++Sample) {
         std::vector<Rational> Full(Space.size());
         for (unsigned Id = 0; Id != Space.size(); ++Id) {
           if (Space.isMonomial(Id))
@@ -473,45 +613,29 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
       if (Options.Verbose)
         std::fprintf(stderr, "[parametric]   sampled cuts=%zu\n",
                      Cuts.size());
-      for (const CutResult &Cut : Cuts) {
+      for (const CutResult *Cut : Cuts) {
         Polyhedron Region = Mapper.box();
-        for (const CutResult &Other : Cuts) {
+        for (const CutResult *Other : Cuts) {
           if (Other == Cut)
             continue;
           Region.addConstraint(
-              Mapper.constraintGE(Other.Value - Cut.Value));
+              Mapper.constraintGE(Other->Value - Cut->Value));
         }
-        emitChoice(Cut, Region, /*SimplifyRegion=*/false);
+        emitChoice(*Cut, Region, /*SimplifyRegion=*/false);
       }
-      continue;
+      return;
     }
 
-    // Cache min-cut solutions per sample point within this slice.
-    std::map<std::string, CutResult> CutCache;
-    auto minCutAt = [&](const std::vector<Rational> &EffPoint)
-        -> CutResult & {
-      std::string Key = pointKey(EffPoint);
-      auto It = CutCache.find(Key);
-      if (It != CutCache.end())
-        return It->second;
-      CutResult Cut = solveMinCut(SubNet, Mapper.fullPoint(EffPoint, Space));
-      assert(Cut.Finite && "no finite cut: every program can run locally");
-      return CutCache.emplace(Key, std::move(Cut)).first->second;
-    };
-
-    std::vector<CutResult> KnownCuts;
+    std::vector<const CutResult *> KnownCuts;
     auto isKnown = [&KnownCuts](const CutResult &Cut) {
-      for (const CutResult &Known : KnownCuts)
-        if (Known == Cut)
-          return true;
-      return false;
+      return std::find(KnownCuts.begin(), KnownCuts.end(), &Cut) !=
+             KnownCuts.end();
     };
 
     std::deque<Polyhedron> Frontier;
     Frontier.push_back(Mapper.box());
 
-    while (!Frontier.empty() &&
-           Result.Choices.size() < Options.MaxChoices) {
+    while (!Frontier.empty() && S.Choices.size() < Options.MaxChoices) {
       Polyhedron Domain = std::move(Frontier.front());
       Frontier.pop_front();
       if (Domain.isEmpty())
@@ -519,18 +643,18 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
       std::optional<std::vector<Rational>> Sample = Domain.samplePoint();
       if (!Sample)
         continue;
-      CutResult Cut = minCutAt(*Sample);
+      const CutResult &Cut = S.minCutAt(*Sample, Space);
       if (!isKnown(Cut))
-        KnownCuts.push_back(Cut);
+        KnownCuts.push_back(&Cut);
 
       // Region where this cut dominates every discovered cut, refined
       // until it is optimal at each vertex (and hence everywhere: the
       // min-cut value is concave piecewise-affine).
       Polyhedron Region = Mapper.box();
-      for (const CutResult &Other : KnownCuts) {
-        if (Other == Cut)
+      for (const CutResult *Other : KnownCuts) {
+        if (Other == &Cut)
           continue;
-        Region.addConstraint(Mapper.constraintGE(Other.Value - Cut.Value));
+        Region.addConstraint(Mapper.constraintGE(Other->Value - Cut.Value));
       }
       bool Certified = false;
       while (!Certified) {
@@ -540,17 +664,18 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
           std::fprintf(stderr, "[parametric]   certify vertices=%zu\n",
                        Gens.Vertices.size());
         if (Gens.Vertices.size() > Options.MaxVertices) {
-          Result.VertexLimitHit = true;
+          S.VertexLimitHit = true;
           break;
         }
+        S.presolveVertices(Gens.Vertices, Space, Pool);
         for (const std::vector<Rational> &Vertex : Gens.Vertices) {
-          CutResult &AtVertex = minCutAt(Vertex);
+          const CutResult &AtVertex = S.minCutAt(Vertex, Space);
           std::vector<Rational> FullVertex =
               Mapper.fullPoint(Vertex, Space);
           if (AtVertex.Value.evaluate(FullVertex) <
               Cut.Value.evaluate(FullVertex)) {
             if (!isKnown(AtVertex))
-              KnownCuts.push_back(AtVertex);
+              KnownCuts.push_back(&AtVertex);
             Region.addConstraint(
                 Mapper.constraintGE(AtVertex.Value - Cut.Value));
             Certified = false;
@@ -575,6 +700,37 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
       for (const Polyhedron &Piece : Frontier)
         pushRemainder(Piece);
       Frontier = std::move(NextFrontier);
+    }
+  };
+
+  Pool.parallelFor(Slices.size(),
+                   [&](size_t I) { solveSlice(Slices[I]); });
+
+  // Merge slice results in case order: identical to the serial traversal
+  // for every thread count. An exact slice obeys the global choice cap --
+  // the serial solver stops emitting once the cap is reached, and a
+  // slice's emission stream does not depend on the cap, so truncating the
+  // merged stream reproduces the serial result. (Sampled slices ignore
+  // the cap, exactly as they do serially.)
+  for (SliceState &S : Slices) {
+    Result.FlowSolves += S.FlowSolves;
+    Result.PointCacheHits += S.PointCacheHits;
+    Result.CutSignatureHits += S.CutSignatureHits;
+    Result.FastPathSolves += S.FastPathSolves;
+    Result.BigIntSolves += S.BigIntSolves;
+    if (S.Approximate) {
+      Result.Approximate = true;
+      for (PartitionChoice &Choice : S.Choices)
+        Result.Choices.push_back(std::move(Choice));
+      continue;
+    }
+    if (Result.Choices.size() >= Options.MaxChoices)
+      continue;
+    Result.VertexLimitHit |= S.VertexLimitHit;
+    for (PartitionChoice &Choice : S.Choices) {
+      if (Result.Choices.size() >= Options.MaxChoices)
+        break;
+      Result.Choices.push_back(std::move(Choice));
     }
   }
 

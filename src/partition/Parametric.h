@@ -54,6 +54,12 @@ struct ParametricOptions {
   unsigned MaxExactDims = 9;
   /// Number of random parameter samples per approximate slice.
   unsigned SampleBudget = 300;
+  /// Threads for the parallel solver: flag slices solve concurrently and
+  /// the vertices of each certification round are probed through the same
+  /// pool. 0 means hardware concurrency; 1 solves serially. The result is
+  /// bit-identical for every thread count (slices are independent, merged
+  /// in slice order, and all shared state is read-only while solving).
+  unsigned Threads = 0;
   /// Print solver progress to stderr.
   bool Verbose = false;
 };
@@ -96,6 +102,21 @@ struct ParametricResult {
   bool VertexLimitHit = false;
   /// True when some slice used sampled (approximate) region discovery.
   bool Approximate = false;
+
+  /// Threads the solver ran with (after resolving Threads == 0).
+  unsigned ThreadsUsed = 1;
+  /// Solver work counters; deterministic across thread counts.
+  /// Min-cut solver invocations (point-cache misses).
+  unsigned FlowSolves = 0;
+  /// Sample points answered from a per-slice point cache.
+  unsigned PointCacheHits = 0;
+  /// Solved points whose cut matched an already-discovered source-side
+  /// signature, so the cut value expression was reused, not rebuilt.
+  unsigned CutSignatureHits = 0;
+  /// Flow solves that ran in checked int64 arithmetic / the BigInt
+  /// fallback.
+  unsigned FastPathSolves = 0;
+  unsigned BigIntSolves = 0;
 
   /// Value of full-network node \p N under choice \p C.
   bool nodeValue(unsigned C, NodeId N) const {

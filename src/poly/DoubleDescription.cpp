@@ -22,48 +22,37 @@ BigInt paco::dotProduct(const std::vector<BigInt> &A,
 
 void paco::normalizeVector(std::vector<BigInt> &V) {
   BigInt Common;
-  for (const BigInt &X : V)
+  for (const BigInt &X : V) {
     Common = BigInt::gcd(Common, X);
+    if (Common.isOne())
+      return;
+  }
   if (Common.isZero() || Common.isOne())
     return;
   for (BigInt &X : V)
     X = X / Common;
 }
 
-namespace {
-
-/// Incremental double-description state: the cone is the set of
-/// non-negative combinations of Rays plus arbitrary combinations of Lines.
-/// Sat[i][k] records whether ray i saturates (lies on the boundary of) the
-/// k-th processed inequality; lines always saturate every processed
-/// constraint, which is the key invariant of the incremental step.
-class DDState {
-public:
-  explicit DDState(unsigned Dim) {
-    Lines.reserve(Dim);
-    for (unsigned I = 0; I != Dim; ++I) {
-      std::vector<BigInt> Unit(Dim);
-      Unit[I] = BigInt(1);
-      Lines.push_back(std::move(Unit));
-    }
+ConeBuilder::ConeBuilder(unsigned Dim) : Dim(Dim) {
+  Lines.reserve(Dim);
+  for (unsigned I = 0; I != Dim; ++I) {
+    std::vector<BigInt> Unit(Dim);
+    Unit[I] = BigInt(1);
+    Lines.push_back(std::move(Unit));
   }
+}
 
-  void addInequality(const std::vector<BigInt> &Normal);
+void ConeBuilder::pushSatBit(std::vector<uint64_t> &Row,
+                             bool Saturates) const {
+  unsigned Word = NumProcessed / 64;
+  if (Word == Row.size())
+    Row.push_back(0);
+  if (Saturates)
+    Row[Word] |= uint64_t(1) << (NumProcessed % 64);
+}
 
-  ConeGenerators takeResult() && {
-    return ConeGenerators{std::move(Rays), std::move(Lines)};
-  }
-
-private:
-  bool rayPairAdjacent(size_t I, size_t J) const;
-
-  std::vector<std::vector<BigInt>> Lines;
-  std::vector<std::vector<BigInt>> Rays;
-  std::vector<std::vector<bool>> Sat;
-  unsigned NumProcessed = 0;
-};
-
-void DDState::addInequality(const std::vector<BigInt> &Normal) {
+void ConeBuilder::addInequality(const std::vector<BigInt> &Normal) {
+  assert(Normal.size() == Dim && "halfspace normal has wrong dimension");
   // Case 1: some line is not orthogonal to the new halfspace. That line
   // leaves the lineality space: the direction pointing into the halfspace
   // becomes an extreme ray, and every other generator is combined with it
@@ -96,13 +85,16 @@ void DDState::addInequality(const std::vector<BigInt> &Normal) {
           Rays[R][I] = D0 * Rays[R][I] - D * Pivot[I];
         normalizeVector(Rays[R]);
       }
-      Sat[R].push_back(true);
+      pushSatBit(Sat[R], true);
     }
     // The pivot saturates every previously processed constraint (it was a
     // line, and lines are orthogonal to all processed normals) but not the
     // new one.
-    std::vector<bool> PivotSat(NumProcessed, true);
-    PivotSat.push_back(false);
+    std::vector<uint64_t> PivotSat(NumProcessed / 64 + 1, ~uint64_t(0));
+    // Clear the bits at and above NumProcessed in the last word; the new
+    // constraint's bit (exactly bit NumProcessed) stays 0.
+    unsigned Tail = NumProcessed % 64;
+    PivotSat.back() = Tail == 0 ? 0 : (uint64_t(1) << Tail) - 1;
     Rays.push_back(std::move(Pivot));
     Sat.push_back(std::move(PivotSat));
     ++NumProcessed;
@@ -122,13 +114,13 @@ void DDState::addInequality(const std::vector<BigInt> &Normal) {
   }
   if (Neg.empty()) {
     for (size_t R = 0; R != Rays.size(); ++R)
-      Sat[R].push_back(Dots[R].isZero());
+      pushSatBit(Sat[R], Dots[R].isZero());
     ++NumProcessed;
     return;
   }
 
   std::vector<std::vector<BigInt>> NewRays;
-  std::vector<std::vector<bool>> NewSat;
+  std::vector<std::vector<uint64_t>> NewSat;
   for (size_t P : Pos) {
     for (size_t N : Neg) {
       if (!rayPairAdjacent(P, N))
@@ -139,21 +131,21 @@ void DDState::addInequality(const std::vector<BigInt> &Normal) {
       for (size_t I = 0; I != Combined.size(); ++I)
         Combined[I] = Dots[P] * Rays[N][I] - Dots[N] * Rays[P][I];
       normalizeVector(Combined);
-      std::vector<bool> CombinedSat(NumProcessed + 1);
-      for (unsigned K = 0; K != NumProcessed; ++K)
-        CombinedSat[K] = Sat[P][K] && Sat[N][K];
-      CombinedSat[NumProcessed] = true;
+      std::vector<uint64_t> CombinedSat(NumProcessed / 64 + 1, 0);
+      for (size_t W = 0; W != Sat[P].size(); ++W)
+        CombinedSat[W] = Sat[P][W] & Sat[N][W];
+      CombinedSat[NumProcessed / 64] |= uint64_t(1) << (NumProcessed % 64);
       NewRays.push_back(std::move(Combined));
       NewSat.push_back(std::move(CombinedSat));
     }
   }
   std::vector<std::vector<BigInt>> KeptRays;
-  std::vector<std::vector<bool>> KeptSat;
+  std::vector<std::vector<uint64_t>> KeptSat;
   for (size_t R = 0; R != Rays.size(); ++R) {
     if (Dots[R].isNegative())
       continue;
     KeptSat.push_back(std::move(Sat[R]));
-    KeptSat.back().push_back(Dots[R].isZero());
+    pushSatBit(KeptSat.back(), Dots[R].isZero());
     KeptRays.push_back(std::move(Rays[R]));
   }
   for (size_t I = 0; I != NewRays.size(); ++I) {
@@ -165,15 +157,18 @@ void DDState::addInequality(const std::vector<BigInt> &Normal) {
   ++NumProcessed;
 }
 
-bool DDState::rayPairAdjacent(size_t I, size_t J) const {
+bool ConeBuilder::rayPairAdjacent(size_t I, size_t J) const {
   // Combinatorial adjacency: rays I and J are adjacent iff no third ray
-  // saturates every constraint they both saturate.
+  // saturates every constraint they both saturate. Word-parallel: ray R
+  // fails to cover iff some common-saturation bit is missing from R.
+  const std::vector<uint64_t> &SatI = Sat[I], &SatJ = Sat[J];
   for (size_t R = 0; R != Rays.size(); ++R) {
     if (R == I || R == J)
       continue;
+    const std::vector<uint64_t> &SatR = Sat[R];
     bool Covers = true;
-    for (unsigned K = 0; K != NumProcessed && Covers; ++K)
-      if (Sat[I][K] && Sat[J][K] && !Sat[R][K])
+    for (size_t W = 0; W != SatI.size() && Covers; ++W)
+      if ((SatI[W] & SatJ[W]) & ~SatR[W])
         Covers = false;
     if (Covers)
       return false;
@@ -181,12 +176,10 @@ bool DDState::rayPairAdjacent(size_t I, size_t J) const {
   return true;
 }
 
-} // namespace
-
 ConeGenerators paco::coneFromHalfspaces(
     unsigned Dim, const std::vector<std::vector<BigInt>> &Inequalities,
     const std::vector<std::vector<BigInt>> &Equalities) {
-  DDState State(Dim);
+  ConeBuilder State(Dim);
   for (const std::vector<BigInt> &E : Equalities) {
     assert(E.size() == Dim && "equality has wrong dimension");
     std::vector<BigInt> Neg(E.size());
@@ -195,9 +188,7 @@ ConeGenerators paco::coneFromHalfspaces(
     State.addInequality(E);
     State.addInequality(Neg);
   }
-  for (const std::vector<BigInt> &I : Inequalities) {
-    assert(I.size() == Dim && "inequality has wrong dimension");
+  for (const std::vector<BigInt> &I : Inequalities)
     State.addInequality(I);
-  }
   return std::move(State).takeResult();
 }

@@ -34,6 +34,52 @@ struct ConeGenerators {
   std::vector<std::vector<BigInt>> Lines;
 };
 
+/// Incremental double-description state: the cone is the set of
+/// non-negative combinations of extreme rays plus arbitrary combinations
+/// of lineality-space lines, refined one halfspace at a time.
+///
+/// The builder is copyable, which is what makes it useful beyond
+/// coneFromHalfspaces: a caller that repeatedly refines one constraint
+/// system (region certification, set-difference decompositions) keeps a
+/// builder per polyhedron and pays one incremental step per added
+/// halfspace instead of reconverting the whole system. Saturation rows
+/// are packed into 64-bit words so the adjacency tests of the
+/// combinatorial step cost O(constraints/64) per ray pair.
+class ConeBuilder {
+public:
+  explicit ConeBuilder(unsigned Dim);
+
+  unsigned dimension() const { return Dim; }
+
+  /// Number of halfspaces processed so far.
+  unsigned numProcessed() const { return NumProcessed; }
+
+  /// Current number of extreme rays (monitoring/limits).
+  size_t numRays() const { return Rays.size(); }
+
+  /// Intersects the cone with `{ y : Normal . y >= 0 }`.
+  void addInequality(const std::vector<BigInt> &Normal);
+
+  /// Extracts the generators; the builder is left empty.
+  ConeGenerators takeResult() && {
+    return ConeGenerators{std::move(Rays), std::move(Lines)};
+  }
+
+private:
+  bool rayPairAdjacent(size_t I, size_t J) const;
+  void pushSatBit(std::vector<uint64_t> &Row, bool Saturates) const;
+
+  unsigned Dim;
+  std::vector<std::vector<BigInt>> Lines;
+  std::vector<std::vector<BigInt>> Rays;
+  /// Sat[i] bit k records whether ray i saturates (lies on the boundary
+  /// of) the k-th processed inequality; lines always saturate every
+  /// processed constraint, which is the key invariant of the incremental
+  /// step.
+  std::vector<std::vector<uint64_t>> Sat;
+  unsigned NumProcessed = 0;
+};
+
 /// Computes the extreme rays and lineality space of the cone
 /// `{ y : I.y >= 0 for I in Inequalities, E.y == 0 for E in Equalities }`.
 ///

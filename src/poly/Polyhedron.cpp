@@ -13,8 +13,21 @@ using namespace paco;
 void Polyhedron::addConstraint(LinConstraint C) {
   assert(C.dimension() == Dim && "constraint dimension mismatch");
   Gens.reset();
+  SimplifiedCache.reset();
   if (C.isTautology())
     return;
+  if (C.IsEquality) {
+    // Equalities are fed to the batch conversion ahead of inequalities;
+    // the incremental builder cannot match that order, so drop it.
+    HasEquality = true;
+    Builder.reset();
+  } else if (Builder) {
+    if (Builder.use_count() > 1)
+      Builder = std::make_shared<ConeBuilder>(*Builder);
+    std::vector<BigInt> Row = C.Coeffs;
+    Row.push_back(C.Const);
+    Builder->addInequality(Row);
+  }
   Constrs.push_back(std::move(C));
 }
 
@@ -23,17 +36,37 @@ void Polyhedron::computeGenerators() const {
     return;
   // Homogenize: P = {x : A.x + b >= 0} becomes the cone
   // {(x, xi) : A.x + b*xi >= 0, xi >= 0}; rays with xi > 0 are vertices.
-  std::vector<std::vector<BigInt>> Ineqs, Eqs;
-  for (const LinConstraint &C : Constrs) {
-    std::vector<BigInt> Row = C.Coeffs;
-    Row.push_back(C.Const);
-    (C.IsEquality ? Eqs : Ineqs).push_back(std::move(Row));
+  ConeGenerators Cone;
+  if (!HasEquality) {
+    // All-inequality system: reuse (or build) the incremental DD state
+    // over Constrs in insertion order, then finalize a copy with the
+    // xi >= 0 row -- the same halfspace order the batch path uses.
+    if (!Builder) {
+      auto Fresh = std::make_shared<ConeBuilder>(Dim + 1);
+      for (const LinConstraint &C : Constrs) {
+        std::vector<BigInt> Row = C.Coeffs;
+        Row.push_back(C.Const);
+        Fresh->addInequality(Row);
+      }
+      Builder = std::move(Fresh);
+    }
+    ConeBuilder Finalized = *Builder;
+    std::vector<BigInt> XiNonNeg(Dim + 1);
+    XiNonNeg[Dim] = BigInt(1);
+    Finalized.addInequality(XiNonNeg);
+    Cone = std::move(Finalized).takeResult();
+  } else {
+    std::vector<std::vector<BigInt>> Ineqs, Eqs;
+    for (const LinConstraint &C : Constrs) {
+      std::vector<BigInt> Row = C.Coeffs;
+      Row.push_back(C.Const);
+      (C.IsEquality ? Eqs : Ineqs).push_back(std::move(Row));
+    }
+    std::vector<BigInt> XiNonNeg(Dim + 1);
+    XiNonNeg[Dim] = BigInt(1);
+    Ineqs.push_back(std::move(XiNonNeg));
+    Cone = coneFromHalfspaces(Dim + 1, Ineqs, Eqs);
   }
-  std::vector<BigInt> XiNonNeg(Dim + 1);
-  XiNonNeg[Dim] = BigInt(1);
-  Ineqs.push_back(std::move(XiNonNeg));
-
-  ConeGenerators Cone = coneFromHalfspaces(Dim + 1, Ineqs, Eqs);
   Generators Result;
   for (std::vector<BigInt> &Ray : Cone.Rays) {
     BigInt Xi = Ray[Dim];
@@ -165,10 +198,13 @@ std::optional<std::vector<Rational>> Polyhedron::samplePoint() const {
 }
 
 Polyhedron Polyhedron::simplified() const {
+  if (SimplifiedCache)
+    return *SimplifiedCache;
   if (isEmpty()) {
     Polyhedron Result(Dim);
     Result.addConstraint(
         LinConstraint(std::vector<BigInt>(Dim), BigInt(-1), false));
+    SimplifiedCache = std::make_shared<const Polyhedron>(Result);
     return Result;
   }
   // Dualize: the irredundant constraints of the homogenized cone are the
@@ -214,6 +250,7 @@ Polyhedron Polyhedron::simplified() const {
     Result.addConstraint(LinConstraint(std::move(Line), std::move(Const),
                                        /*Equality=*/true));
   }
+  SimplifiedCache = std::make_shared<const Polyhedron>(Result);
   return Result;
 }
 

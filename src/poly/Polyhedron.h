@@ -17,7 +17,9 @@
 #define PACO_POLY_POLYHEDRON_H
 
 #include "poly/Constraint.h"
+#include "poly/DoubleDescription.h"
 
+#include <memory>
 #include <optional>
 
 namespace paco {
@@ -42,6 +44,15 @@ struct Generators {
 /// handled inside the conversion, and a nonempty polyhedron with lines
 /// still reports at least one "vertex" point on the affine hull of its
 /// minimal faces).
+///
+/// For all-inequality systems the homogenized double-description state is
+/// kept alive (copy-on-write, shared across copies) so the common pattern
+/// "copy a polyhedron, add one constraint, enumerate generators" pays one
+/// incremental DD step instead of reconverting the whole system. The lazy
+/// caches make const accessors (generators(), isEmpty(), samplePoint(),
+/// simplified()) non-reentrant across threads: a Polyhedron must not be
+/// accessed concurrently, even read-only, without external
+/// synchronization.
 class Polyhedron {
 public:
   /// Constructs the universe (no constraints) of dimension \p Dim.
@@ -93,7 +104,18 @@ private:
 
   unsigned Dim;
   std::vector<LinConstraint> Constrs;
+  /// True once any equality constraint has been added; equalities are
+  /// processed before inequalities by the batch conversion, so the
+  /// incremental builder (insertion order) cannot reproduce that order
+  /// bit-for-bit and is disabled.
+  bool HasEquality = false;
   mutable std::optional<Generators> Gens;
+  /// Incremental homogenized cone over Constrs, in insertion order,
+  /// without the trailing `xi >= 0` row (appended on finalization).
+  /// Shared across copies; copy-on-write on addConstraint.
+  mutable std::shared_ptr<ConeBuilder> Builder;
+  /// Cache for simplified(); shared across copies, reset on mutation.
+  mutable std::shared_ptr<const Polyhedron> SimplifiedCache;
 };
 
 } // namespace paco

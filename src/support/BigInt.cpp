@@ -10,6 +10,42 @@
 
 using namespace paco;
 
+namespace {
+
+/// \returns the magnitude as a uint64_t if it fits in two limbs.
+inline bool magToUint64(const std::vector<uint32_t> &Limbs, uint64_t &Out) {
+  switch (Limbs.size()) {
+  case 0:
+    Out = 0;
+    return true;
+  case 1:
+    Out = Limbs[0];
+    return true;
+  case 2:
+    Out = (static_cast<uint64_t>(Limbs[1]) << 32) | Limbs[0];
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Overwrites \p Limbs with the little-endian limbs of \p Value.
+inline void uint64ToMag(uint64_t Value, std::vector<uint32_t> &Limbs) {
+  Limbs.clear();
+  while (Value != 0) {
+    Limbs.push_back(static_cast<uint32_t>(Value & 0xffffffffu));
+    Value >>= 32;
+  }
+}
+
+inline std::vector<uint32_t> magFromUint64(uint64_t Value) {
+  std::vector<uint32_t> Limbs;
+  uint64ToMag(Value, Limbs);
+  return Limbs;
+}
+
+} // namespace
+
 BigInt::BigInt(int64_t Value) {
   if (Value == 0)
     return;
@@ -177,6 +213,20 @@ BigInt BigInt::gcd(BigInt A, BigInt B) {
   A = A.abs();
   B = B.abs();
   while (!B.isZero()) {
+    // Once both magnitudes fit in machine words, finish with a native
+    // Euclid loop: the arbitrary-precision remainders below would
+    // otherwise allocate a vector per step.
+    uint64_t SmallA, SmallB;
+    if (magToUint64(A.Limbs, SmallA) && magToUint64(B.Limbs, SmallB)) {
+      while (SmallB != 0) {
+        uint64_t Rem = SmallA % SmallB;
+        SmallA = SmallB;
+        SmallB = Rem;
+      }
+      uint64ToMag(SmallA, A.Limbs);
+      A.Sign = A.Limbs.empty() ? 0 : 1;
+      return A;
+    }
     BigInt Rem = A % B;
     A = B;
     B = Rem;
@@ -203,6 +253,12 @@ int BigInt::compareMagnitude(const std::vector<uint32_t> &A,
 
 std::vector<uint32_t> BigInt::addMagnitude(const std::vector<uint32_t> &A,
                                            const std::vector<uint32_t> &B) {
+  uint64_t SmallA, SmallB;
+  if (magToUint64(A, SmallA) && magToUint64(B, SmallB)) {
+    uint64_t Sum = SmallA + SmallB;
+    if (Sum >= SmallA) // no carry out of 64 bits
+      return magFromUint64(Sum);
+  }
   std::vector<uint32_t> Result;
   Result.reserve(std::max(A.size(), B.size()) + 1);
   uint64_t Carry = 0;
@@ -223,6 +279,9 @@ std::vector<uint32_t> BigInt::addMagnitude(const std::vector<uint32_t> &A,
 std::vector<uint32_t> BigInt::subMagnitude(const std::vector<uint32_t> &A,
                                            const std::vector<uint32_t> &B) {
   assert(compareMagnitude(A, B) >= 0 && "subtraction would underflow");
+  uint64_t SmallA, SmallB;
+  if (magToUint64(A, SmallA) && magToUint64(B, SmallB))
+    return magFromUint64(SmallA - SmallB);
   std::vector<uint32_t> Result;
   Result.reserve(A.size());
   int64_t Borrow = 0;
@@ -244,6 +303,21 @@ std::vector<uint32_t> BigInt::subMagnitude(const std::vector<uint32_t> &A,
 
 std::vector<uint32_t> BigInt::mulMagnitude(const std::vector<uint32_t> &A,
                                            const std::vector<uint32_t> &B) {
+  uint64_t SmallA, SmallB;
+  if (magToUint64(A, SmallA) && magToUint64(B, SmallB)) {
+    unsigned __int128 Product =
+        static_cast<unsigned __int128>(SmallA) * SmallB;
+    uint64_t Hi = static_cast<uint64_t>(Product >> 64);
+    uint64_t Lo = static_cast<uint64_t>(Product);
+    if (Hi == 0)
+      return magFromUint64(Lo);
+    std::vector<uint32_t> Wide = magFromUint64(Lo);
+    Wide.resize(2, 0);
+    Wide.push_back(static_cast<uint32_t>(Hi & 0xffffffffu));
+    if (Hi >> 32)
+      Wide.push_back(static_cast<uint32_t>(Hi >> 32));
+    return Wide;
+  }
   std::vector<uint32_t> Result(A.size() + B.size(), 0);
   for (size_t I = 0; I != A.size(); ++I) {
     uint64_t Carry = 0;
@@ -274,6 +348,27 @@ void BigInt::divModMagnitude(const std::vector<uint32_t> &A,
   if (compareMagnitude(A, B) < 0) {
     Rem = A;
     trim(Rem);
+    return;
+  }
+  // Machine-word fast path: both operands fit in 64 bits.
+  uint64_t SmallA, SmallB;
+  if (magToUint64(A, SmallA) && magToUint64(B, SmallB)) {
+    uint64ToMag(SmallA / SmallB, Quot);
+    uint64ToMag(SmallA % SmallB, Rem);
+    return;
+  }
+  // Single-limb divisor: one pass of schoolbook short division.
+  if (B.size() == 1) {
+    uint64_t Divisor = B[0];
+    Quot.assign(A.size(), 0);
+    uint64_t Carry = 0;
+    for (size_t I = A.size(); I-- > 0;) {
+      uint64_t Cur = (Carry << 32) | A[I];
+      Quot[I] = static_cast<uint32_t>(Cur / Divisor);
+      Carry = Cur % Divisor;
+    }
+    trim(Quot);
+    uint64ToMag(Carry, Rem);
     return;
   }
   // Bit-by-bit long division: simple and obviously correct; the magnitudes

@@ -61,9 +61,25 @@ public:
   LinExpr operator-(const LinExpr &RHS) const;
   LinExpr operator*(const Rational &Scale) const;
 
-  LinExpr &operator+=(const LinExpr &RHS) { return *this = *this + RHS; }
-  LinExpr &operator-=(const LinExpr &RHS) { return *this = *this - RHS; }
+  LinExpr &operator+=(const LinExpr &RHS) {
+    Const += RHS.Const;
+    for (const auto &[Id, Coeff] : RHS.Coeffs)
+      addTerm(Id, Coeff);
+    return *this;
+  }
+  LinExpr &operator-=(const LinExpr &RHS) {
+    Const -= RHS.Const;
+    for (const auto &[Id, Coeff] : RHS.Coeffs)
+      addTerm(Id, -Coeff);
+    return *this;
+  }
   LinExpr &operator*=(const Rational &S) { return *this = *this * S; }
+
+  /// Adds Coeff * Id in place (cancelling terms are erased).
+  void addTerm(ParamId Id, const Rational &Coeff);
+
+  /// Adds a constant in place.
+  void addConstant(const Rational &C) { Const += C; }
 
   bool operator==(const LinExpr &RHS) const {
     return Const == RHS.Const && Coeffs == RHS.Coeffs;
@@ -91,8 +107,6 @@ public:
   std::string toString(const ParamSpace &Space) const;
 
 private:
-  void addTerm(ParamId Id, const Rational &Coeff);
-
   Rational Const;
   std::map<ParamId, Rational> Coeffs;
 };

@@ -1,0 +1,101 @@
+//===- support/ThreadPool.cpp - Fork-join worker pool --------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
+using namespace paco;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  unsigned Spawned = NumThreads > 1 ? NumThreads - 1 : 0;
+  Workers.reserve(Spawned);
+  for (unsigned I = 0; I != Spawned; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    Stop = true;
+  }
+  CV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+void ThreadPool::runItems(const std::shared_ptr<Job> &J) {
+  while (true) {
+    size_t I = J->Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= J->NumItems)
+      break;
+    (*J->Body)(I);
+    // Release so the joining thread's acquire load of Done sees every
+    // side effect of the body.
+    if (J->Done.fetch_add(1, std::memory_order_acq_rel) + 1 == J->NumItems) {
+      std::lock_guard<std::mutex> Lock(Mtx);
+      CV.notify_all();
+    }
+  }
+  // All indices are claimed; retire the job so scanners skip it. Several
+  // threads may race here -- only the first erase finds it.
+  std::lock_guard<std::mutex> Lock(Mtx);
+  auto It = std::find(Jobs.begin(), Jobs.end(), J);
+  if (It != Jobs.end())
+    Jobs.erase(It);
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mtx);
+  while (true) {
+    CV.wait(Lock, [this] { return Stop || !Jobs.empty(); });
+    if (Stop)
+      return;
+    std::shared_ptr<Job> J = Jobs.back();
+    Lock.unlock();
+    runItems(J);
+    Lock.lock();
+  }
+}
+
+void ThreadPool::parallelFor(size_t NumItems,
+                             const std::function<void(size_t)> &Body) {
+  if (NumItems == 0)
+    return;
+  if (Workers.empty() || NumItems == 1) {
+    for (size_t I = 0; I != NumItems; ++I)
+      Body(I);
+    return;
+  }
+  auto J = std::make_shared<Job>();
+  J->NumItems = NumItems;
+  J->Body = &Body;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    Jobs.push_back(J);
+  }
+  CV.notify_all();
+  runItems(J);
+  // Our items are all claimed but some may still be running on workers.
+  // Help with other active jobs (nested parallelFor calls in particular)
+  // instead of blocking while work remains.
+  std::unique_lock<std::mutex> Lock(Mtx);
+  while (J->Done.load(std::memory_order_acquire) != J->NumItems) {
+    if (!Jobs.empty()) {
+      std::shared_ptr<Job> Other = Jobs.back();
+      Lock.unlock();
+      runItems(Other);
+      Lock.lock();
+      continue;
+    }
+    CV.wait(Lock);
+  }
+}

@@ -1,0 +1,87 @@
+//===- support/ThreadPool.h - Fork-join worker pool ------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fork-join thread pool for the parametric solver. Work is
+/// expressed as parallelFor(N, Body) calls; the calling thread always
+/// participates, idle workers claim indices from the newest active job
+/// (LIFO, so nested parallelFor calls issued from inside a worker finish
+/// first and the outer join can make progress), and a blocked caller helps
+/// with whatever job is active instead of sleeping while work remains.
+/// Item claiming is a single atomic fetch-add, so the pool adds no
+/// per-item locking to the solver's hot loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_SUPPORT_THREADPOOL_H
+#define PACO_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace paco {
+
+/// Fork-join pool with caller participation and nested-job support.
+///
+/// parallelFor may be called from the owning thread or from inside a
+/// running item (nested fork-join); bodies must not throw.
+class ThreadPool {
+public:
+  /// Creates a pool that runs parallelFor bodies on \p NumThreads threads
+  /// total (the caller plus NumThreads - 1 spawned workers). NumThreads of
+  /// 0 or 1 spawns no workers; parallelFor then runs inline.
+  explicit ThreadPool(unsigned NumThreads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total threads that execute bodies (including the caller).
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size()) + 1;
+  }
+
+  /// Runs Body(0) .. Body(NumItems - 1), in no particular order and with
+  /// no fairness guarantee, returning once every call has finished. The
+  /// caller executes items too. Safe to call recursively from a body.
+  void parallelFor(size_t NumItems, const std::function<void(size_t)> &Body);
+
+  /// std::thread::hardware_concurrency, clamped to at least 1.
+  static unsigned hardwareThreads();
+
+private:
+  /// One parallelFor invocation: indices below Next are claimed, Done
+  /// counts finished bodies.
+  struct Job {
+    size_t NumItems = 0;
+    const std::function<void(size_t)> *Body = nullptr;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+  };
+
+  void workerLoop();
+  /// Claims and runs items of \p J until exhausted, then retires the job
+  /// from the active list.
+  void runItems(const std::shared_ptr<Job> &J);
+
+  std::vector<std::thread> Workers;
+  std::mutex Mtx;
+  /// Signaled when a job is pushed and when a job's last item completes.
+  std::condition_variable CV;
+  /// Active jobs, newest last (workers scan from the back).
+  std::vector<std::shared_ptr<Job>> Jobs;
+  bool Stop = false;
+};
+
+} // namespace paco
+
+#endif // PACO_SUPPORT_THREADPOOL_H

@@ -281,6 +281,55 @@ TEST(FlowNetworkTest, SimplifyPreservesMinCutOnPaperExample) {
   }
 }
 
+TEST(FlowNetworkTest, Int64FastPathMatchesBigIntSolver) {
+  // The interior-cut diamond again: with ordinary capacities the checked
+  // int64 solver must run and produce the same cut as the BigInt solver.
+  ParamSpace Space;
+  FlowNetwork Net;
+  NodeId A = Net.addNode("a"), B = Net.addNode("b");
+  Net.addArc(Net.source(), A, cap(4));
+  Net.addArc(Net.source(), B, cap(2));
+  Net.addArc(A, Net.sink(), cap(2));
+  Net.addArc(B, Net.sink(), cap(3));
+  Net.addArc(A, B, cap(1));
+  CutStructure Fast = solveMinCutStructure(Net, emptyPoint(Space));
+  CutStructure Slow =
+      solveMinCutStructure(Net, emptyPoint(Space), /*ForceBigInt=*/true);
+  EXPECT_TRUE(Fast.UsedFastPath);
+  EXPECT_FALSE(Slow.UsedFastPath);
+  EXPECT_TRUE(Fast.Finite);
+  // The minimal source side is unique across all maximum flows, so the
+  // two solvers must agree exactly, not just on the cut value.
+  EXPECT_EQ(Fast.SourceSide, Slow.SourceSide);
+  EXPECT_EQ(Fast.CutArcs, Slow.CutArcs);
+}
+
+TEST(FlowNetworkTest, HugeCapacitiesFallBackToBigInt) {
+  // Scale the same diamond by 2^61: the finite capacity total exceeds the
+  // int64 safety bound (INT64_MAX/4), so the solver must take the BigInt
+  // fallback and still find the scaled cut {s,a} of value 5 * 2^61.
+  BigInt Huge(int64_t(1) << 61);
+  auto bigCap = [&](int64_t Units) {
+    return Capacity::finite(LinExpr(Rational(BigInt(Units) * Huge)));
+  };
+  ParamSpace Space;
+  FlowNetwork Net;
+  NodeId A = Net.addNode("a"), B = Net.addNode("b");
+  Net.addArc(Net.source(), A, bigCap(4));
+  Net.addArc(Net.source(), B, bigCap(2));
+  Net.addArc(A, Net.sink(), bigCap(2));
+  Net.addArc(B, Net.sink(), bigCap(3));
+  Net.addArc(A, B, bigCap(1));
+  CutStructure St = solveMinCutStructure(Net, emptyPoint(Space));
+  EXPECT_FALSE(St.UsedFastPath);
+  EXPECT_TRUE(St.Finite);
+  EXPECT_TRUE(St.SourceSide[A]);
+  EXPECT_FALSE(St.SourceSide[B]);
+  CutResult Cut = solveMinCut(Net, emptyPoint(Space));
+  EXPECT_EQ(Cut.Value.asConstant(), Rational(BigInt(5) * Huge));
+  EXPECT_EQ(Cut.SourceSide, St.SourceSide);
+}
+
 TEST(FlowNetworkTest, CutResultMapsBackThroughNodeMap) {
   PaperExample E;
   SimplifiedNetwork Simple = simplifyNetwork(E.Net, E.Space);

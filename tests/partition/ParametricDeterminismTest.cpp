@@ -1,0 +1,107 @@
+//===- tests/partition/ParametricDeterminismTest.cpp ----------------------===//
+//
+// The parallel parametric solver must be bit-identical to the serial one:
+// slices are constructed serially, solved independently, and merged in
+// slice order, so the thread count can change only the wall time. This
+// test pins that guarantee on every paper program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+using namespace paco::programs;
+
+namespace {
+
+/// Everything observable about one solver run.
+struct Snapshot {
+  std::string Describe;
+  std::vector<std::vector<bool>> TaskOnServer;
+  std::vector<std::vector<bool>> SourceSide;
+  std::vector<std::string> Costs;
+  unsigned FlowSolves = 0;
+  unsigned PointCacheHits = 0;
+  unsigned CutSignatureHits = 0;
+  unsigned FastPathSolves = 0;
+  unsigned BigIntSolves = 0;
+  bool Approximate = false;
+  bool VertexLimitHit = false;
+};
+
+Snapshot solveWith(const CompiledProgram &CP, unsigned Threads) {
+  ParametricOptions Opts;
+  Opts.Threads = Threads;
+  // The pipeline already extended the space with the residual monomials;
+  // a rerun interns the same monomials, so a copy stays aligned.
+  ParamSpace Space = CP.Space;
+  ParametricResult R = solveParametric(CP.Problem, Space, Opts);
+  EXPECT_EQ(R.ThreadsUsed, Threads);
+  Snapshot S;
+  S.Describe = R.describe(Space, CP.Graph);
+  for (const PartitionChoice &C : R.Choices) {
+    S.TaskOnServer.push_back(C.TaskOnServer);
+    S.SourceSide.push_back(C.Cut.SourceSide);
+    S.Costs.push_back(C.CostExpr.toString(Space));
+  }
+  S.FlowSolves = R.FlowSolves;
+  S.PointCacheHits = R.PointCacheHits;
+  S.CutSignatureHits = R.CutSignatureHits;
+  S.FastPathSolves = R.FastPathSolves;
+  S.BigIntSolves = R.BigIntSolves;
+  S.Approximate = R.Approximate;
+  S.VertexLimitHit = R.VertexLimitHit;
+  return S;
+}
+
+TEST(ParametricDeterminismTest, ParallelMatchesSerialOnAllPaperPrograms) {
+  for (const BenchProgram &P : allPrograms()) {
+    std::string Diags;
+    std::unique_ptr<CompiledProgram> CP =
+        compileForOffloading(P.Source, CostModel::defaults(), {}, &Diags);
+    ASSERT_TRUE(CP != nullptr) << P.Name << ":\n" << Diags;
+    Snapshot Serial = solveWith(*CP, 1);
+    EXPECT_GT(Serial.FlowSolves, 0u) << P.Name;
+    for (unsigned Threads : {2u, 4u, 8u}) {
+      SCOPED_TRACE(std::string(P.Name) + " with " +
+                   std::to_string(Threads) + " threads");
+      Snapshot Par = solveWith(*CP, Threads);
+      // Byte-identical report: covers choice order, cut values, costs,
+      // region constraints, and the summary lines.
+      EXPECT_EQ(Par.Describe, Serial.Describe);
+      EXPECT_EQ(Par.TaskOnServer, Serial.TaskOnServer);
+      EXPECT_EQ(Par.SourceSide, Serial.SourceSide);
+      EXPECT_EQ(Par.Costs, Serial.Costs);
+      // The work counters are deterministic too: the solver does the
+      // same solves in the same per-slice order at any thread count.
+      EXPECT_EQ(Par.FlowSolves, Serial.FlowSolves);
+      EXPECT_EQ(Par.PointCacheHits, Serial.PointCacheHits);
+      EXPECT_EQ(Par.CutSignatureHits, Serial.CutSignatureHits);
+      EXPECT_EQ(Par.FastPathSolves, Serial.FastPathSolves);
+      EXPECT_EQ(Par.BigIntSolves, Serial.BigIntSolves);
+      EXPECT_EQ(Par.Approximate, Serial.Approximate);
+      EXPECT_EQ(Par.VertexLimitHit, Serial.VertexLimitHit);
+    }
+  }
+}
+
+TEST(ParametricDeterminismTest, HardwareDefaultResolvesThreads) {
+  const BenchProgram &P = programByName("fft");
+  std::string Diags;
+  std::unique_ptr<CompiledProgram> CP =
+      compileForOffloading(P.Source, CostModel::defaults(), {}, &Diags);
+  ASSERT_TRUE(CP != nullptr) << Diags;
+  ParamSpace Space = CP->Space;
+  ParametricOptions Opts;
+  Opts.Threads = 0;
+  ParametricResult R = solveParametric(CP->Problem, Space, Opts);
+  EXPECT_GE(R.ThreadsUsed, 1u);
+  EXPECT_EQ(R.describe(Space, CP->Graph),
+            CP->Partition.describe(Space, CP->Graph));
+}
+
+} // namespace

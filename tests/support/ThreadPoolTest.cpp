@@ -1,0 +1,62 @@
+//===- tests/support/ThreadPoolTest.cpp - ThreadPool unit tests -----------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+using namespace paco;
+
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numThreads(), 4u);
+  std::vector<std::atomic<int>> Hits(1000);
+  Pool.parallelFor(Hits.size(), [&](size_t I) { Hits[I].fetch_add(1); });
+  for (const std::atomic<int> &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.numThreads(), 1u);
+  // Inline execution implies in-order execution.
+  std::vector<size_t> Order;
+  Pool.parallelFor(10, [&](size_t I) { Order.push_back(I); });
+  std::vector<size_t> Expected(10);
+  std::iota(Expected.begin(), Expected.end(), 0);
+  EXPECT_EQ(Order, Expected);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoOp) {
+  ThreadPool Pool(4);
+  Pool.parallelFor(0, [&](size_t) { FAIL() << "body ran for empty range"; });
+}
+
+TEST(ThreadPoolTest, NestedParallelForCompletes) {
+  ThreadPool Pool(4);
+  std::atomic<int> Total{0};
+  Pool.parallelFor(8, [&](size_t) {
+    Pool.parallelFor(8, [&](size_t) { Total.fetch_add(1); });
+  });
+  EXPECT_EQ(Total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossCalls) {
+  ThreadPool Pool(3);
+  for (int Round = 0; Round != 50; ++Round) {
+    std::atomic<int> Count{0};
+    Pool.parallelFor(17, [&](size_t) { Count.fetch_add(1); });
+    ASSERT_EQ(Count.load(), 17);
+  }
+}
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1u);
+}
+
+} // namespace
