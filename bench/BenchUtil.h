@@ -16,6 +16,7 @@
 #define PACO_BENCH_BENCHUTIL_H
 
 #include "interp/Interp.h"
+#include "obs/Stats.h"
 #include "programs/Programs.h"
 
 #include <cstdio>
@@ -47,6 +48,14 @@ compiled(const std::string &Name,
   }
   Cache.emplace(Name, CP);
   return CP;
+}
+
+/// Writes the process-wide stats-registry snapshot into an already-open
+/// JSON stream as the value of a `"stats"` member, indented by \p Indent.
+inline void writeStatsMember(std::FILE *Out,
+                             const std::string &Indent = "  ") {
+  std::fprintf(Out, "%s\"stats\": %s", Indent.c_str(),
+               obs::StatsRegistry::global().snapshot().toJSON(Indent).c_str());
 }
 
 /// One representative choice index per distinct task assignment,

@@ -192,7 +192,9 @@ int main(int argc, char **argv) {
                  FastMs, BigMs);
     FirstSize = false;
   }
-  std::fprintf(Out, "\n  ]\n}\n");
+  std::fprintf(Out, "\n  ],\n");
+  writeStatsMember(Out);
+  std::fprintf(Out, "\n}\n");
   std::fclose(Out);
   std::printf("\nwrote %s\n", OutPath);
   return 0;

@@ -16,11 +16,14 @@
 //       [--run] [--jobs N] [--dump-ir] [--dump-source]
 //       [--fault-seed N] [--drop-rate P] [--jitter U]
 //       [--disconnect-at MSG[:LEN]] [--policy fail-fast|retry-only|degrade]
+//       [--trace=FILE] [--stats]
 //
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
 #include "lang/PrintAST.h"
+#include "obs/Trace.h"
+#include "programs/Programs.h"
 #include "transform/Transform.h"
 
 #include <cstdio>
@@ -53,9 +56,8 @@ const char *policyName(FaultPolicy Policy) {
   return "?";
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runExplorer(int Argc, char **Argv, std::string &TracePath,
+                bool &PrintStats) {
   if (Argc < 2) {
     std::fprintf(stderr,
                  "usage: %s program.mc [--params v1,v2,...] "
@@ -63,17 +65,30 @@ int main(int Argc, char **Argv) {
                  "[--dump-source]\n"
                  "  fault injection: [--fault-seed N] [--drop-rate P] "
                  "[--jitter U] [--disconnect-at MSG[:LEN]]\n"
-                 "                   [--policy fail-fast|retry-only|degrade]\n",
+                 "                   [--policy fail-fast|retry-only|degrade]\n"
+                 "  observability:   [--trace=FILE] [--stats]\n",
                  Argv[0]);
     return 2;
   }
+  // The program argument is either a MiniC file or the name of one of
+  // the registered paper benchmarks (rawcaudio, fft, susan, ...).
+  std::string Source;
   std::ifstream In(Argv[1]);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
-    return 2;
+  if (In) {
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+  } else {
+    for (const programs::BenchProgram &P : programs::allPrograms())
+      if (P.Name == std::string(Argv[1]))
+        Source = P.Source;
+    if (Source.empty()) {
+      std::fprintf(stderr,
+                   "error: cannot open %s (and no benchmark has that name)\n",
+                   Argv[1]);
+      return 2;
+    }
   }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
 
   bool DumpIR = false;
   bool DumpSource = false;
@@ -129,14 +144,22 @@ int main(int Argc, char **Argv) {
         return 2;
       }
       Run = true;
+    } else if (std::strncmp(Argv[A], "--trace=", 8) == 0) {
+      TracePath = Argv[A] + 8;
+    } else if (std::strcmp(Argv[A], "--trace") == 0 && A + 1 < Argc) {
+      TracePath = Argv[++A];
+    } else if (std::strcmp(Argv[A], "--stats") == 0) {
+      PrintStats = true;
     } else {
       std::fprintf(stderr, "error: unknown argument %s\n", Argv[A]);
       return 2;
     }
   }
+  if (!TracePath.empty())
+    obs::Tracer::global().enable();
 
   std::string Diags;
-  auto CP = compileForOffloading(Buffer.str(), CostModel::defaults(),
+  auto CP = compileForOffloading(Source, CostModel::defaults(),
                                  AnalysisOpts, &Diags);
   if (!CP) {
     std::fprintf(stderr, "%s", Diags.c_str());
@@ -244,4 +267,27 @@ int main(int Argc, char **Argv) {
               R.Outputs == Local.Outputs ? "bit-identical to"
                                          : "DIFFERENT from");
   return R.Outputs == Local.Outputs ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string TracePath;
+  bool PrintStats = false;
+  int Code = runExplorer(Argc, Argv, TracePath, PrintStats);
+  // Emit observability output on every exit path, including failures --
+  // a trace of a failed run is exactly what one wants to look at.
+  if (PrintStats)
+    std::printf("\n== stats ==\n%s",
+                obs::StatsRegistry::global().snapshot().toText().c_str());
+  if (!TracePath.empty()) {
+    if (!obs::Tracer::global().writeJSON(TracePath)) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n",
+                   TracePath.c_str());
+      return Code ? Code : 1;
+    }
+    std::fprintf(stderr, "trace: %zu event(s) written to %s\n",
+                 obs::Tracer::global().eventCount(), TracePath.c_str());
+  }
+  return Code;
 }

@@ -6,6 +6,8 @@
 
 #include "analysis/Memory.h"
 
+#include "obs/Trace.h"
+
 using namespace paco;
 
 unsigned paco::elementBytes(TypeKind Ty) {
@@ -23,6 +25,7 @@ unsigned paco::elementBytes(TypeKind Ty) {
 }
 
 MemoryModel::MemoryModel(const IRModule &M, ParamSpace &Space) {
+  obs::ScopedSpan Span("analysis.memory_model", "analysis");
   GlobalBase = 0;
   for (unsigned G = 0; G != M.Globals.size(); ++G) {
     const GlobalVar &Var = M.Globals[G];

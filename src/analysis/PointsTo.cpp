@@ -6,6 +6,8 @@
 
 #include "analysis/PointsTo.h"
 
+#include "obs/Trace.h"
+
 using namespace paco;
 
 std::vector<unsigned>
@@ -201,6 +203,7 @@ PointsToResult AndersenSolver::solve() {
 
 PointsToResult paco::runPointsTo(const IRModule &M,
                                  const MemoryModel &Memory) {
+  obs::ScopedSpan Span("analysis.points_to", "analysis");
   AndersenSolver Solver(M, Memory);
   return Solver.solve();
 }

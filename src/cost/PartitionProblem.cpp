@@ -6,6 +6,8 @@
 
 #include "cost/PartitionProblem.h"
 
+#include "obs/Trace.h"
+
 #include <queue>
 
 using namespace paco;
@@ -85,6 +87,7 @@ PartitionProblem paco::buildPartitionProblem(const TCFG &Graph,
                                              const MemoryModel &Memory,
                                              const CostModel &Costs,
                                              ParamSpace &Space) {
+  obs::ScopedSpan Span("cost.reduction", "cost");
   PartitionProblem P;
   FlowNetwork &Net = P.Net;
   NodeId S = Net.source(), T = Net.sink();
@@ -215,5 +218,11 @@ PartitionProblem paco::buildPartitionProblem(const TCFG &Graph,
                  Capacity::finite(LinExpr::mul(Count, ScCost, Space)));
     }
   }
+  Span.arg("nodes", Net.numNodes());
+  Span.arg("arcs", Net.numArcs());
+  obs::StatsRegistry::global().counter("cost.network_nodes")
+      .add(Net.numNodes());
+  obs::StatsRegistry::global().counter("cost.network_arcs")
+      .add(Net.numArcs());
   return P;
 }

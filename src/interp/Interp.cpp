@@ -6,6 +6,8 @@
 
 #include "interp/Interp.h"
 
+#include "obs/Trace.h"
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -234,6 +236,11 @@ private:
         Region.ClientValid = true;
       }
     ++Fallbacks;
+    obs::StatsRegistry::global().counter("sim.fallbacks").add();
+    if (obs::Tracer::global().enabled())
+      obs::Tracer::global().instantEvent(
+          "sim.fallback", "sim",
+          {{"resume_task", CP.Graph.Tasks[CurrentTask].Label}});
   }
 
   /// Called when a message exhausted its retries. Either requests a
@@ -377,6 +384,12 @@ bool Machine::crossTask(unsigned NewTask) {
     if (!Sim.trySchedule(/*ToServer=*/NewServer))
       return linkLost("task-scheduling message");
     OnServer = NewServer;
+    if (obs::Tracer::global().enabled())
+      obs::Tracer::global().instantEvent(
+          "sim.schedule", "sim",
+          {{"from_task", CP.Graph.Tasks[OldTask].Label},
+           {"to_task", CP.Graph.Tasks[NewTask].Label},
+           {"dir", NewServer ? "c2s" : "s2c"}});
   }
   static const bool Trace = std::getenv("PACO_TRACE_TRANSFERS") != nullptr;
   for (const Movement &Move : transferSet(OldTask, NewTask)) {
@@ -396,6 +409,15 @@ bool Machine::crossTask(unsigned NewTask) {
     // destination copies change only when the data actually arrives.
     if (!Sim.tryTransfer(Move.ToServer, Bytes))
       return linkLost("data transfer");
+    if (obs::Tracer::global().enabled())
+      obs::Tracer::global().instantEvent(
+          "sim.transfer", "sim",
+          {{"from_task", CP.Graph.Tasks[OldTask].Label},
+           {"to_task", CP.Graph.Tasks[NewTask].Label},
+           {"data", CP.Memory->loc(Move.LocId).Name},
+           {"loc", static_cast<uint64_t>(Move.LocId)},
+           {"bytes", Bytes},
+           {"dir", Move.ToServer ? "c2s" : "s2c"}});
     if (LiveIt != LiveOfLoc.end()) {
       for (unsigned RegionId : LiveIt->second) {
         // The transfer's purpose is to validate the destination copy; the
@@ -756,6 +778,7 @@ bool Machine::execInstr(const Instr &I) {
 }
 
 ExecResult Machine::run() {
+  obs::ScopedSpan Span("interp.run", "interp");
   // Placement choice.
   if (Opts.Mode == ExecOptions::Placement::Forced) {
     Choice = Opts.ForcedChoice;
@@ -862,6 +885,9 @@ ExecResult Machine::run() {
   for (unsigned T = 0; T != TaskInstrCounts.size(); ++T)
     if (TaskInstrCounts[T])
       Result.TaskInstrs[T] = TaskInstrCounts[T];
+  Span.arg("instructions", Executed);
+  Span.arg("transfers", Result.TransferCount);
+  Span.arg("migrations", Result.Migrations);
   return Result;
 }
 

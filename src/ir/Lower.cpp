@@ -6,6 +6,8 @@
 
 #include "ir/Lower.h"
 
+#include "obs/Trace.h"
+
 #include <set>
 
 using namespace paco;
@@ -930,6 +932,7 @@ std::unique_ptr<IRModule> paco::lowerProgram(const Program &Prog,
                                              const SymbolicInfo &Info,
                                              ParamSpace &Space,
                                              DiagEngine &Diags) {
+  obs::ScopedSpan Span("ir.lower", "ir");
   Lowering L(Prog, Info, Space, Diags);
   return L.run();
 }

@@ -6,6 +6,8 @@
 
 #include "lang/Lexer.h"
 
+#include "obs/Trace.h"
+
 #include <cctype>
 #include <cstdlib>
 #include <map>
@@ -83,6 +85,7 @@ const char *paco::tokKindName(TokKind Kind) {
 }
 
 std::vector<Token> Lexer::lexAll() {
+  obs::ScopedSpan Span("lang.lex", "lang");
   std::vector<Token> Tokens;
   while (true) {
     Token Tok = next();
@@ -91,6 +94,7 @@ std::vector<Token> Lexer::lexAll() {
     if (Done)
       break;
   }
+  Span.arg("tokens", static_cast<uint64_t>(Tokens.size()));
   return Tokens;
 }
 
@@ -240,6 +244,10 @@ Token Lexer::lexNumber(SourceLoc Loc) {
   if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
     advance();
     advance();
+    if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+      Diags.error(Loc, "expected hexadecimal digits after '0x'");
+      return makeToken(TokKind::Error, Loc);
+    }
     while (std::isxdigit(static_cast<unsigned char>(peek())))
       advance();
     Token Tok = makeToken(TokKind::IntLiteral, Loc);
@@ -257,6 +265,7 @@ Token Lexer::lexNumber(SourceLoc Loc) {
   }
   if (peek() == 'e' || peek() == 'E') {
     size_t Mark = Pos;
+    unsigned MarkColumn = Column;
     advance();
     if (peek() == '+' || peek() == '-')
       advance();
@@ -265,7 +274,11 @@ Token Lexer::lexNumber(SourceLoc Loc) {
       while (std::isdigit(static_cast<unsigned char>(peek())))
         advance();
     } else {
-      Pos = Mark; // Not an exponent after all; leave 'e' for the caller.
+      // Not an exponent after all; leave 'e' for the caller. The column
+      // must rewind with the position or every later diagnostic on the
+      // line points past the true spot.
+      Pos = Mark;
+      Column = MarkColumn;
     }
   }
   std::string Text = Source.substr(Start, Pos - Start);

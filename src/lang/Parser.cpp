@@ -8,11 +8,13 @@
 
 #include "lang/Inliner.h"
 #include "lang/Lexer.h"
+#include "obs/Trace.h"
 
 using namespace paco;
 
 std::unique_ptr<Program> paco::parseMiniC(const std::string &Source,
                                           DiagEngine &Diags) {
+  obs::ScopedSpan Span("lang.parse", "lang");
   Lexer Lex(Source, Diags);
   std::vector<Token> Tokens = Lex.lexAll();
   if (Diags.hasErrors())

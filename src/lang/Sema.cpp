@@ -6,6 +6,8 @@
 
 #include "lang/Sema.h"
 
+#include "obs/Trace.h"
+
 #include <map>
 #include <vector>
 
@@ -574,6 +576,7 @@ TypeKind Sema::checkCall(CallExpr &Call) {
 } // namespace
 
 bool paco::runSema(Program &Prog, DiagEngine &Diags) {
+  obs::ScopedSpan Span("lang.sema", "lang");
   Sema S(Prog, Diags);
   return S.run();
 }

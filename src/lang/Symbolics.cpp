@@ -6,6 +6,8 @@
 
 #include "lang/Symbolics.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <set>
 
@@ -851,6 +853,7 @@ void SymbolicAnalyzer::processFunction(const FuncDecl &Func) {
 
 SymbolicInfo paco::analyzeSymbolics(const Program &Prog, ParamSpace &Space,
                                     DiagEngine &Diags) {
+  obs::ScopedSpan Span("lang.symbolics", "lang");
   SymbolicAnalyzer Analyzer(Prog, Space, Diags);
   return Analyzer.run();
 }

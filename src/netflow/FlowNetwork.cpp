@@ -6,6 +6,8 @@
 
 #include "netflow/FlowNetwork.h"
 
+#include "obs/Stats.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -234,6 +236,15 @@ CutStructure paco::solveMinCutStructure(const FlowNetwork &Net,
   bool FastPath =
       !ForceBigInt && FiniteTotal.fitsInt64() &&
       FiniteTotal.toInt64() <= std::numeric_limits<int64_t>::max() / 4;
+
+  static obs::Counter &Solves =
+      obs::StatsRegistry::global().counter("netflow.solves");
+  static obs::Counter &FastSolves =
+      obs::StatsRegistry::global().counter("netflow.fast_path_solves");
+  static obs::Counter &BigSolves =
+      obs::StatsRegistry::global().counter("netflow.bigint_solves");
+  Solves.add();
+  (FastPath ? FastSolves : BigSolves).add();
 
   CutStructure Result;
   if (FastPath) {

@@ -1,0 +1,138 @@
+//===- obs/Stats.cpp - Process-wide stats registry ------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Stats.h"
+
+#include <cstdio>
+
+using namespace paco;
+using namespace paco::obs;
+
+StatsRegistry &StatsRegistry::global() {
+  static StatsRegistry Registry;
+  return Registry;
+}
+
+Counter &StatsRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters[Name];
+}
+
+Gauge &StatsRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Gauges[Name];
+}
+
+Timer &StatsRegistry::timer(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Timers[Name];
+}
+
+StatsSnapshot StatsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  StatsSnapshot Snap;
+  for (const auto &[Name, C] : Counters)
+    Snap.Counters.emplace(Name, C.value());
+  for (const auto &[Name, G] : Gauges)
+    Snap.Gauges.emplace(Name, G.value());
+  for (const auto &[Name, T] : Timers)
+    Snap.Timers.emplace(Name, StatsSnapshot::TimerValue{T.count(),
+                                                        T.seconds()});
+  return Snap;
+}
+
+void StatsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Name, C] : Counters)
+    C.Value.store(0, std::memory_order_relaxed);
+  for (auto &[Name, G] : Gauges)
+    G.Value.store(0, std::memory_order_relaxed);
+  for (auto &[Name, T] : Timers) {
+    T.Count.store(0, std::memory_order_relaxed);
+    T.Nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &Text) {
+  for (char C : Text) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+std::string StatsSnapshot::toJSON(const std::string &Indent) const {
+  std::string Out = "{\n";
+  auto key = [&](const std::string &Name) {
+    std::string K = Indent + "    \"";
+    appendEscaped(K, Name);
+    K += "\": ";
+    return K;
+  };
+  bool FirstSection = true;
+  auto section = [&](const char *Name) {
+    if (!FirstSection)
+      Out += ",\n";
+    FirstSection = false;
+    Out += Indent + "  \"" + Name + "\": {\n";
+  };
+  section("counters");
+  bool First = true;
+  for (const auto &[Name, V] : Counters) {
+    Out += (First ? "" : ",\n") + key(Name) + std::to_string(V);
+    First = false;
+  }
+  Out += "\n" + Indent + "  }";
+  section("gauges");
+  First = true;
+  for (const auto &[Name, V] : Gauges) {
+    Out += (First ? "" : ",\n") + key(Name) + std::to_string(V);
+    First = false;
+  }
+  Out += "\n" + Indent + "  }";
+  section("timers");
+  First = true;
+  for (const auto &[Name, V] : Timers) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"count\": %llu, \"seconds\": %.6f}",
+                  static_cast<unsigned long long>(V.Count), V.Seconds);
+    Out += (First ? "" : ",\n") + key(Name) + Buf;
+    First = false;
+  }
+  Out += "\n" + Indent + "  }\n" + Indent + "}";
+  return Out;
+}
+
+std::string StatsSnapshot::toText() const {
+  std::string Out;
+  for (const auto &[Name, V] : Counters)
+    Out += Name + " " + std::to_string(V) + "\n";
+  for (const auto &[Name, V] : Gauges)
+    Out += Name + " " + std::to_string(V) + "\n";
+  for (const auto &[Name, V] : Timers) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), " %.6fs over %llu call(s)\n", V.Seconds,
+                  static_cast<unsigned long long>(V.Count));
+    Out += Name + Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,125 @@
+//===- obs/Stats.h - Process-wide stats registry ----------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe registry of named counters, gauges and timers shared by
+/// every layer of the pipeline. Call sites hold on to a handle (stable
+/// address, atomic updates) so the hot path is a single relaxed atomic
+/// increment; readers take a consistent snapshot by name.
+///
+/// Naming scheme: `<area>.<metric>` with the area matching the source
+/// directory (`lang`, `tcfg`, `analysis`, `partition`, `poly`, `netflow`,
+/// `sim`, `interp`) -- see DESIGN.md section 5d. Timers are recorded in
+/// seconds and also count their invocations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_OBS_STATS_H
+#define PACO_OBS_STATS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace paco {
+namespace obs {
+
+/// Monotonic event count. Handles stay valid for the registry's lifetime.
+class Counter {
+public:
+  void add(uint64_t N = 1) { Value.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class StatsRegistry;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Last-written level (queue depths, sizes); set wins over add.
+class Gauge {
+public:
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  void add(int64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  friend class StatsRegistry;
+  std::atomic<int64_t> Value{0};
+};
+
+/// Accumulated duration plus invocation count.
+class Timer {
+public:
+  void record(double Seconds) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Nanos.fetch_add(static_cast<uint64_t>(Seconds * 1e9),
+                    std::memory_order_relaxed);
+  }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  double seconds() const {
+    return static_cast<double>(Nanos.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+private:
+  friend class StatsRegistry;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Nanos{0};
+};
+
+/// Point-in-time copy of every registered stat.
+struct StatsSnapshot {
+  std::map<std::string, uint64_t> Counters;
+  std::map<std::string, int64_t> Gauges;
+  struct TimerValue {
+    uint64_t Count = 0;
+    double Seconds = 0;
+  };
+  std::map<std::string, TimerValue> Timers;
+
+  bool empty() const {
+    return Counters.empty() && Gauges.empty() && Timers.empty();
+  }
+
+  /// Renders the snapshot as a JSON object
+  /// `{"counters": {...}, "gauges": {...}, "timers": {...}}`, each line
+  /// prefixed with \p Indent.
+  std::string toJSON(const std::string &Indent = "") const;
+
+  /// Human-readable table, one `name value` line per stat.
+  std::string toText() const;
+};
+
+/// The registry. Registration takes a mutex; updates through handles are
+/// lock-free. Handles are never invalidated (entries live in node-stable
+/// maps and are only ever zeroed, not removed).
+class StatsRegistry {
+public:
+  /// The process-wide registry used by all built-in instrumentation.
+  static StatsRegistry &global();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Timer &timer(const std::string &Name);
+
+  StatsSnapshot snapshot() const;
+
+  /// Zeroes every registered value (handles stay valid).
+  void reset();
+
+private:
+  mutable std::mutex Mutex;
+  // std::map never moves its nodes, so handle addresses are stable.
+  std::map<std::string, Counter> Counters;
+  std::map<std::string, Gauge> Gauges;
+  std::map<std::string, Timer> Timers;
+};
+
+} // namespace obs
+} // namespace paco
+
+#endif // PACO_OBS_STATS_H

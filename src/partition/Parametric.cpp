@@ -6,6 +6,7 @@
 
 #include "partition/Parametric.h"
 
+#include "obs/Trace.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -382,6 +383,7 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
                                        ParamSpace &Space,
                                        const ParametricOptions &Options) {
   auto StartTime = std::chrono::steady_clock::now();
+  obs::ScopedSpan Span("partition.solve", "partition");
   ParametricResult Result;
   Result.FullNodes = Problem.Net.numNodes();
   Result.FullArcs = Problem.Net.numArcs();
@@ -490,6 +492,10 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
   // each one computes exactly what it would compute serially.
   ThreadPool Pool(Threads);
   auto solveSlice = [&](SliceState &S) {
+    obs::ScopedSpan SliceSpan("partition.slice", "partition");
+    SliceSpan.arg("case", S.CaseBits);
+    SliceSpan.arg("dims", S.Mapper->dim());
+    SliceSpan.arg("arcs", S.SubNet.numArcs());
     const DimMapper &Mapper = *S.Mapper;
     const std::map<ParamId, int64_t> &FlagVals = S.FlagVals;
 
@@ -790,5 +796,23 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     StartTime)
           .count();
+
+  // Publish the solver work counters (PR 2's ad-hoc fields) into the
+  // process-wide registry: the ParametricResult fields stay authoritative
+  // per solve (and deterministic across thread counts); the registry
+  // aggregates across every solve in the process for --stats and the
+  // bench snapshots.
+  obs::StatsRegistry &Reg = obs::StatsRegistry::global();
+  Reg.counter("partition.solves").add();
+  Reg.counter("partition.flow_solves").add(Result.FlowSolves);
+  Reg.counter("partition.point_cache_hits").add(Result.PointCacheHits);
+  Reg.counter("partition.cut_signature_hits").add(Result.CutSignatureHits);
+  Reg.counter("partition.fast_path_solves").add(Result.FastPathSolves);
+  Reg.counter("partition.bigint_solves").add(Result.BigIntSolves);
+  Reg.counter("partition.choices").add(Result.Choices.size());
+  Reg.gauge("partition.threads_used").set(Result.ThreadsUsed);
+  Span.arg("choices", static_cast<uint64_t>(Result.Choices.size()));
+  Span.arg("flow_solves", Result.FlowSolves);
+  Span.arg("threads", Result.ThreadsUsed);
   return Result;
 }

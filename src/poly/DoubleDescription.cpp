@@ -6,6 +6,8 @@
 
 #include "poly/DoubleDescription.h"
 
+#include "obs/Stats.h"
+
 #include <cassert>
 
 using namespace paco;
@@ -53,6 +55,9 @@ void ConeBuilder::pushSatBit(std::vector<uint64_t> &Row,
 
 void ConeBuilder::addInequality(const std::vector<BigInt> &Normal) {
   assert(Normal.size() == Dim && "halfspace normal has wrong dimension");
+  static obs::Counter &Halfspaces =
+      obs::StatsRegistry::global().counter("poly.dd_halfspaces");
+  Halfspaces.add();
   // Case 1: some line is not orthogonal to the new halfspace. That line
   // leaves the lineality space: the direction pointing into the halfspace
   // becomes an extreme ray, and every other generator is combined with it
@@ -148,6 +153,9 @@ void ConeBuilder::addInequality(const std::vector<BigInt> &Normal) {
     pushSatBit(KeptSat.back(), Dots[R].isZero());
     KeptRays.push_back(std::move(Rays[R]));
   }
+  static obs::Counter &Combinations =
+      obs::StatsRegistry::global().counter("poly.dd_ray_combinations");
+  Combinations.add(NewRays.size());
   for (size_t I = 0; I != NewRays.size(); ++I) {
     KeptRays.push_back(std::move(NewRays[I]));
     KeptSat.push_back(std::move(NewSat[I]));

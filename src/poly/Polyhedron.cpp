@@ -6,6 +6,7 @@
 
 #include "poly/Polyhedron.h"
 
+#include "obs/Trace.h"
 #include "poly/DoubleDescription.h"
 
 using namespace paco;
@@ -32,8 +33,13 @@ void Polyhedron::addConstraint(LinConstraint C) {
 }
 
 void Polyhedron::computeGenerators() const {
-  if (Gens)
+  static obs::Counter &CacheHits =
+      obs::StatsRegistry::global().counter("poly.generator_cache_hits");
+  if (Gens) {
+    CacheHits.add();
     return;
+  }
+  obs::ScopedSpan Span("poly.generators", "poly");
   // Homogenize: P = {x : A.x + b >= 0} becomes the cone
   // {(x, xi) : A.x + b*xi >= 0, xi >= 0}; rays with xi > 0 are vertices.
   ConeGenerators Cone;

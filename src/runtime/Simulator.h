@@ -20,6 +20,7 @@
 #define PACO_RUNTIME_SIMULATOR_H
 
 #include "cost/CostModel.h"
+#include "obs/Trace.h"
 #include "runtime/LinkModel.h"
 
 #include <cstdint>
@@ -62,6 +63,7 @@ public:
   void schedule(bool ToServer) {
     ++Migrations;
     SchedulingTime += ToServer ? Costs.Tcst : Costs.Tsct;
+    statCounter("sim.migrations").add();
   }
 
   /// Accounts one data transfer of \p Bytes.
@@ -71,16 +73,20 @@ public:
     if (ToServer) {
       BytesToServer += Bytes;
       TransferTime += Costs.Tcsh + Costs.Tcsu * Size;
+      statCounter("sim.bytes_to_server").add(Bytes);
     } else {
       BytesToClient += Bytes;
       TransferTime += Costs.Tsch + Costs.Tscu * Size;
+      statCounter("sim.bytes_to_client").add(Bytes);
     }
+    statCounter("sim.transfers").add();
   }
 
   /// Accounts one dynamic-data registration.
   void registration() {
     ++Registrations;
     RegistrationTime += Costs.Ta;
+    statCounter("sim.registrations").add();
   }
 
   //===------------------------------------------------------------------===//
@@ -164,6 +170,12 @@ public:
   std::string summary() const;
 
 private:
+  /// Registry counter lookup; message-grained call sites only, never the
+  /// per-instruction path.
+  static obs::Counter &statCounter(const char *Name) {
+    return obs::StatsRegistry::global().counter(Name);
+  }
+
   /// Runs one logical message through the link: up to 1 + MaxRetries
   /// attempts, charging Tto plus the capped exponential backoff for each
   /// failure. Returns false when every attempt was lost.
@@ -174,14 +186,28 @@ private:
       LinkModel::Attempt A = Link.next();
       if (A.Delivered) {
         JitterTime += Rational(static_cast<int64_t>(A.Jitter));
+        if (A.Jitter != 0)
+          statCounter("sim.jitter_units").add(A.Jitter);
         return true;
       }
       ++Timeouts;
       FaultTime += Costs.Tto;
+      statCounter("sim.timeouts").add();
+      if (obs::Tracer::global().enabled())
+        obs::Tracer::global().instantEvent(
+            "sim.timeout", "sim",
+            {{"attempt", static_cast<uint64_t>(Attempt)}});
       if (Attempt == Retry.MaxRetries)
         return false;
       ++Retries;
-      FaultTime += backoffDelay(Retry, Attempt);
+      Rational Backoff = backoffDelay(Retry, Attempt);
+      FaultTime += Backoff;
+      statCounter("sim.retries").add();
+      if (obs::Tracer::global().enabled())
+        obs::Tracer::global().instantEvent(
+            "sim.backoff_wait", "sim",
+            {{"attempt", static_cast<uint64_t>(Attempt)},
+             {"wait_units", Backoff.toString()}});
     }
   }
 

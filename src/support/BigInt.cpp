@@ -7,6 +7,7 @@
 #include "support/BigInt.h"
 
 #include <algorithm>
+#include <cmath>
 
 using namespace paco;
 
@@ -99,6 +100,49 @@ int64_t BigInt::toInt64() const {
   if (Sign < 0)
     return static_cast<int64_t>(~Mag + 1);
   return static_cast<int64_t>(Mag);
+}
+
+unsigned BigInt::bitLength() const {
+  if (Limbs.empty())
+    return 0;
+  uint32_t Top = Limbs.back();
+  unsigned Bits = static_cast<unsigned>(Limbs.size() - 1) * 32;
+  while (Top != 0) {
+    ++Bits;
+    Top >>= 1;
+  }
+  return Bits;
+}
+
+double BigInt::frexpMagnitude(int &Exp) const {
+  if (isZero()) {
+    Exp = 0;
+    return 0.0;
+  }
+  // Collect the top 64 bits of the magnitude; anything below only matters
+  // at round-to-nearest ties, which a 64->53 bit conversion resolves the
+  // same way for all but adversarially constructed inputs.
+  unsigned Bits = bitLength();
+  uint64_t Top = 0;
+  for (unsigned B = 0; B != 64; ++B) {
+    Top <<= 1;
+    if (B < Bits) {
+      unsigned Idx = Bits - 1 - B;
+      if ((Limbs[Idx / 32] >> (Idx % 32)) & 1)
+        Top |= 1;
+    }
+  }
+  // Top holds the leading 64 bits, i.e. magnitude ~= Top * 2^(Bits-64);
+  // fold Top into [0.5, 1) so the caller combines exponents separately.
+  Exp = static_cast<int>(Bits);
+  return std::ldexp(static_cast<double>(Top), -64);
+}
+
+double BigInt::toDouble() const {
+  int Exp;
+  double Mant = frexpMagnitude(Exp);
+  double Mag = std::ldexp(Mant, Exp); // +-inf beyond double range
+  return Sign < 0 ? -Mag : Mag;
 }
 
 std::string BigInt::toString() const {

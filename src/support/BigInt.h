@@ -66,6 +66,18 @@ public:
   /// Asserts unless fitsInt64().
   int64_t toInt64() const;
 
+  /// Number of significant bits in the magnitude (0 for zero).
+  unsigned bitLength() const;
+
+  /// Nearest-double approximation of the magnitude, split as
+  /// `m * 2^Exp` with m in [0.5, 1) (m = 0 and Exp = 0 for zero). Exact
+  /// for values of up to 53 significant bits regardless of magnitude, so
+  /// callers can recombine mantissas without overflowing double range.
+  double frexpMagnitude(int &Exp) const;
+
+  /// Nearest double approximation (+-HUGE_VAL beyond double range).
+  double toDouble() const;
+
   /// Renders the value in decimal.
   std::string toString() const;
 

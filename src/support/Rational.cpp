@@ -6,6 +6,8 @@
 
 #include "support/Rational.h"
 
+#include <cmath>
+
 using namespace paco;
 
 Rational::Rational(BigInt Numerator, BigInt Denominator)
@@ -75,17 +77,17 @@ BigInt Rational::ceil() const {
 }
 
 double Rational::toDouble() const {
-  // Sufficient precision for reporting: scale into int64 range by repeated
-  // halving of both parts.
-  BigInt N = Num, D = Den;
-  BigInt Two(2);
-  while (!N.fitsInt64() || !D.fitsInt64()) {
-    N = N / Two;
-    D = D / Two;
-    if (D.isZero())
-      return N.isNegative() ? -1e308 : 1e308;
-  }
-  return static_cast<double>(N.toInt64()) / static_cast<double>(D.toInt64());
+  // Split each side as m * 2^e with m in [0.5, 1): the mantissa quotient
+  // stays in (0.5, 2), so the division never overflows, and ldexp applies
+  // the exponent difference with correct overflow/underflow semantics
+  // (+-inf / 0). Any value representable as a double converts exactly.
+  int NumExp, DenExp;
+  double NumMant = Num.frexpMagnitude(NumExp);
+  if (Num.isZero())
+    return 0.0;
+  double DenMant = Den.frexpMagnitude(DenExp);
+  double Mag = std::ldexp(NumMant / DenMant, NumExp - DenExp);
+  return Num.isNegative() ? -Mag : Mag;
 }
 
 std::string Rational::toString() const {

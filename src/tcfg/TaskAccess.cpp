@@ -6,6 +6,8 @@
 
 #include "tcfg/TaskAccess.h"
 
+#include "obs/Trace.h"
+
 using namespace paco;
 
 std::vector<unsigned> TaskAccessInfo::accessedLocations() const {
@@ -235,6 +237,7 @@ TaskAccessInfo paco::computeTaskAccess(const IRModule &M,
                                        const MemoryModel &Memory,
                                        const PointsToResult &PT,
                                        const TCFG &Graph) {
+  obs::ScopedSpan Span("tcfg.task_access", "tcfg");
   AccessBuilder Builder(M, Memory, PT, Graph);
   return Builder.build();
 }

@@ -6,6 +6,8 @@
 
 #include "tcfg/TaskGraph.h"
 
+#include "obs/Trace.h"
+
 #include <queue>
 
 using namespace paco;
@@ -427,6 +429,12 @@ TCFG TCFGBuilder::build() {
 
 TCFG paco::buildTCFG(const IRModule &M, const MemoryModel &Memory,
                      const PointsToResult &PT) {
+  obs::ScopedSpan Span("tcfg.build", "tcfg");
   TCFGBuilder Builder(M, Memory, PT);
-  return Builder.build();
+  TCFG Graph = Builder.build();
+  Span.arg("tasks", static_cast<uint64_t>(Graph.Tasks.size()));
+  Span.arg("edges", static_cast<uint64_t>(Graph.Edges.size()));
+  obs::StatsRegistry::global().counter("tcfg.tasks").add(Graph.Tasks.size());
+  obs::StatsRegistry::global().counter("tcfg.edges").add(Graph.Edges.size());
+  return Graph;
 }

@@ -6,6 +6,8 @@
 
 #include "transform/Pipeline.h"
 
+#include "obs/Trace.h"
+
 using namespace paco;
 
 std::vector<Rational>
@@ -26,6 +28,7 @@ paco::compileForOffloading(const std::string &Source, const CostModel &Costs,
                            const ParametricOptions &Options,
                            std::string *DiagsOut,
                            const InlineOptions &Inline) {
+  obs::ScopedSpan Span("pipeline.compile", "pipeline");
   auto CP = std::make_unique<CompiledProgram>();
   CP->Costs = Costs;
   CP->AST = parseMiniC(Source, CP->Diags);

@@ -100,6 +100,39 @@ TEST(LexerTest, SourceLocationsTracked) {
   EXPECT_EQ(Tokens[1].Loc.Column, 3u);
 }
 
+TEST(LexerTest, ColumnRewindsAfterExponentRollback) {
+  // "1e+x": the lexer speculatively consumes "e+" as an exponent, finds
+  // no digit and rolls back. The rollback must restore the column too, or
+  // every later token on the line reports a location two columns right of
+  // the truth.
+  std::vector<Token> Tokens = lex("1e+x");
+  ASSERT_GE(Tokens.size(), 4u);
+  EXPECT_TRUE(Tokens[0].is(TokKind::IntLiteral));
+  EXPECT_EQ(Tokens[0].IntValue, 1);
+  EXPECT_TRUE(Tokens[1].is(TokKind::Identifier));
+  EXPECT_EQ(Tokens[1].Text, "e");
+  EXPECT_EQ(Tokens[1].Loc.Column, 2u);
+  EXPECT_TRUE(Tokens[2].is(TokKind::Plus));
+  EXPECT_EQ(Tokens[2].Loc.Column, 3u);
+  EXPECT_TRUE(Tokens[3].is(TokKind::Identifier));
+  EXPECT_EQ(Tokens[3].Loc.Column, 4u);
+}
+
+TEST(LexerTest, BareHexPrefixIsError) {
+  // "0x" with no digits used to lex silently as IntLiteral 0.
+  std::vector<Token> Tokens = lex("0x", /*ExpectErrors=*/true);
+  ASSERT_GE(Tokens.size(), 1u);
+  EXPECT_TRUE(Tokens[0].is(TokKind::Error));
+}
+
+TEST(LexerTest, BareHexPrefixBeforeNonHexChar) {
+  std::vector<Token> Tokens = lex("0xg", /*ExpectErrors=*/true);
+  ASSERT_GE(Tokens.size(), 2u);
+  EXPECT_TRUE(Tokens[0].is(TokKind::Error));
+  EXPECT_TRUE(Tokens[1].is(TokKind::Identifier));
+  EXPECT_EQ(Tokens[1].Text, "g");
+}
+
 TEST(LexerTest, UnexpectedCharacter) {
   std::vector<Token> Tokens = lex("a $ b", /*ExpectErrors=*/true);
   EXPECT_TRUE(Tokens[1].is(TokKind::Error));

@@ -1,0 +1,281 @@
+//===- tests/obs/ObsTest.cpp - Stats registry + tracer tests --------------===//
+
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace paco;
+using namespace paco::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON syntax checker, enough to prove the exported trace and
+// snapshot strings are well-formed (objects, arrays, strings with escapes,
+// numbers, literals).
+//===----------------------------------------------------------------------===//
+
+class JSONChecker {
+public:
+  explicit JSONChecker(const std::string &Text) : Text(Text) {}
+
+  bool valid() {
+    skipSpace();
+    return value() && (skipSpace(), Pos == Text.size());
+  }
+
+private:
+  void skipSpace() {
+    while (Pos != Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    skipSpace();
+    if (Pos == Text.size() || Text[Pos] != C)
+      return false;
+    ++Pos;
+    return true;
+  }
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (Pos != Text.size() && Text[Pos] != '"') {
+      if (Text[Pos] == '\\') {
+        ++Pos;
+        if (Pos == Text.size())
+          return false;
+      }
+      ++Pos;
+    }
+    return Pos != Text.size() && Text[Pos++] == '"';
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (Pos != Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos != Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    return Pos != Start;
+  }
+  bool value() {
+    skipSpace();
+    if (Pos == Text.size())
+      return false;
+    switch (Text[Pos]) {
+    case '{': {
+      ++Pos;
+      if (eat('}'))
+        return true;
+      do {
+        skipSpace();
+        if (!string() || !eat(':') || !value())
+          return false;
+      } while (eat(','));
+      return eat('}');
+    }
+    case '[': {
+      ++Pos;
+      if (eat(']'))
+        return true;
+      do {
+        if (!value())
+          return false;
+      } while (eat(','));
+      return eat(']');
+    }
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+bool isValidJSON(const std::string &Text) {
+  return JSONChecker(Text).valid();
+}
+
+TEST(JSONCheckerTest, SanityOnTheCheckerItself) {
+  EXPECT_TRUE(isValidJSON("{}"));
+  EXPECT_TRUE(isValidJSON("{\"a\": [1, 2.5, -3e4], \"b\": {\"c\": \"d\\\"\"}}"));
+  EXPECT_FALSE(isValidJSON("{\"a\": }"));
+  EXPECT_FALSE(isValidJSON("{\"a\": 1"));
+  EXPECT_FALSE(isValidJSON("[1 2]"));
+}
+
+//===----------------------------------------------------------------------===//
+// StatsRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(StatsRegistryTest, CounterGaugeTimerRoundTrip) {
+  StatsRegistry Reg;
+  Reg.counter("test.count").add(3);
+  Reg.counter("test.count").add();
+  Reg.gauge("test.level").set(7);
+  Reg.gauge("test.level").add(-2);
+  Reg.timer("test.time").record(0.25);
+  Reg.timer("test.time").record(0.5);
+
+  StatsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.Counters.at("test.count"), 4u);
+  EXPECT_EQ(Snap.Gauges.at("test.level"), 5);
+  EXPECT_EQ(Snap.Timers.at("test.time").Count, 2u);
+  EXPECT_NEAR(Snap.Timers.at("test.time").Seconds, 0.75, 1e-6);
+}
+
+TEST(StatsRegistryTest, HandlesAreStableAcrossRegistrations) {
+  StatsRegistry Reg;
+  Counter &First = Reg.counter("stable.a");
+  // Registering many more entries must not move the first handle.
+  for (int I = 0; I != 100; ++I)
+    Reg.counter("stable.fill" + std::to_string(I)).add();
+  Counter &Again = Reg.counter("stable.a");
+  EXPECT_EQ(&First, &Again);
+  First.add(5);
+  EXPECT_EQ(Reg.snapshot().Counters.at("stable.a"), 5u);
+}
+
+TEST(StatsRegistryTest, ConcurrentIncrementsAreLossless) {
+  StatsRegistry Reg;
+  constexpr unsigned NumThreads = 8;
+  constexpr uint64_t PerThread = 50000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([&Reg] {
+      // Half through a cached handle, half through fresh lookups, to
+      // exercise concurrent registration against concurrent increments.
+      Counter &C = Reg.counter("mt.count");
+      for (uint64_t I = 0; I != PerThread / 2; ++I)
+        C.add();
+      for (uint64_t I = 0; I != PerThread / 2; ++I)
+        Reg.counter("mt.count").add();
+      Reg.timer("mt.time").record(0.001);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  StatsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.Counters.at("mt.count"), NumThreads * PerThread);
+  EXPECT_EQ(Snap.Timers.at("mt.time").Count, NumThreads);
+}
+
+TEST(StatsRegistryTest, ResetZeroesButKeepsHandles) {
+  StatsRegistry Reg;
+  Counter &C = Reg.counter("reset.count");
+  C.add(9);
+  Reg.timer("reset.time").record(1.0);
+  Reg.reset();
+  StatsSnapshot Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.Counters.at("reset.count"), 0u);
+  EXPECT_EQ(Snap.Timers.at("reset.time").Count, 0u);
+  C.add();
+  EXPECT_EQ(Reg.snapshot().Counters.at("reset.count"), 1u);
+}
+
+TEST(StatsRegistryTest, SnapshotJSONIsWellFormed) {
+  StatsRegistry Reg;
+  Reg.counter("json.a\"quote").add(1);
+  Reg.gauge("json.g").set(-4);
+  Reg.timer("json.t").record(0.125);
+  EXPECT_TRUE(isValidJSON(Reg.snapshot().toJSON()));
+  // And an empty registry still renders a valid object.
+  StatsRegistry Empty;
+  EXPECT_TRUE(isValidJSON(Empty.snapshot().toJSON()));
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer &T = Tracer::global();
+  T.disable();
+  T.clear();
+  T.instantEvent("never", "test");
+  T.completeEvent("never", "test", 0, 1);
+  EXPECT_EQ(T.eventCount(), 0u);
+  EXPECT_TRUE(isValidJSON(T.toJSON()));
+}
+
+TEST(TracerTest, RecordsSpansAndInstantsAsValidJSON) {
+  Tracer &T = Tracer::global();
+  T.enable();
+  T.clear();
+  {
+    ScopedSpan Span("test.span", "test");
+    Span.arg("items", 42u);
+    Span.arg("label", "hello \"world\"");
+    T.instantEvent("test.instant", "test",
+                   {{"bytes", static_cast<uint64_t>(1024)}});
+  }
+  T.disable();
+  EXPECT_EQ(T.eventCount(), 2u);
+  std::string JSON = T.toJSON();
+  EXPECT_TRUE(isValidJSON(JSON)) << JSON;
+  EXPECT_NE(JSON.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"test.span\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"test.instant\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(JSON.find("\"items\": 42"), std::string::npos);
+  T.clear();
+}
+
+TEST(TracerTest, ConcurrentEventsAllRecorded) {
+  Tracer &T = Tracer::global();
+  T.enable();
+  T.clear();
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned PerThread = 500;
+  std::vector<std::thread> Threads;
+  for (unsigned I = 0; I != NumThreads; ++I)
+    Threads.emplace_back([&T] {
+      for (unsigned E = 0; E != PerThread; ++E)
+        T.instantEvent("mt.event", "test");
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  T.disable();
+  EXPECT_EQ(T.eventCount(), NumThreads * PerThread);
+  EXPECT_TRUE(isValidJSON(T.toJSON()));
+  T.clear();
+}
+
+TEST(ScopedSpanTest, FeedsRegistryTimerEvenWhenTracingDisabled) {
+  Tracer::global().disable();
+  StatsSnapshot Before = StatsRegistry::global().snapshot();
+  uint64_t Calls = 0;
+  auto It = Before.Timers.find("test.disabled_span");
+  if (It != Before.Timers.end())
+    Calls = It->second.Count;
+  { ScopedSpan Span("test.disabled_span", "test"); }
+  StatsSnapshot After = StatsRegistry::global().snapshot();
+  EXPECT_EQ(After.Timers.at("test.disabled_span").Count, Calls + 1);
+}
+
+} // namespace

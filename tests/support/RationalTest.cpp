@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdlib>
+
 using namespace paco;
 
 namespace {
@@ -65,6 +68,46 @@ TEST(RationalTest, AbsAndInteger) {
   EXPECT_EQ(Rational::fraction(-3, 4).abs(), Rational::fraction(3, 4));
   EXPECT_TRUE(Rational(9).isInteger());
   EXPECT_FALSE(Rational::fraction(9, 2).isInteger());
+}
+
+TEST(RationalTest, ToDoublePowerOfTwoIsExact) {
+  // 2^70: exactly representable, so the conversion must not lose a bit
+  // (the old halving loop clamped anything past 1e308's halvings).
+  BigInt Half(int64_t(1) << 35);
+  Rational R(Half * Half, BigInt(1));
+  EXPECT_EQ(R.toDouble(), std::ldexp(1.0, 70));
+  Rational Neg(-(Half * Half), BigInt(1));
+  EXPECT_EQ(Neg.toDouble(), -std::ldexp(1.0, 70));
+  // And the reciprocal exercises the denominator's exponent path.
+  Rational Inv(BigInt(1), Half * Half);
+  EXPECT_EQ(Inv.toDouble(), std::ldexp(1.0, -70));
+}
+
+TEST(RationalTest, ToDoubleLargeNumeratorMatchesStrtod) {
+  const char *Digits = "123456789123456789123456789123456789";
+  Rational R(BigInt::fromString(Digits), BigInt(1));
+  double Expected = std::strtod(Digits, nullptr);
+  double Got = R.toDouble();
+  // The conversion truncates below the top 64 bits, so allow 1 ulp.
+  double Ulp = std::nextafter(Expected, INFINITY) - Expected;
+  EXPECT_LE(std::abs(Got - Expected), Ulp) << Got << " vs " << Expected;
+}
+
+TEST(RationalTest, ToDoubleHugeNumeratorAndDenominator) {
+  // Both parts individually overflow double's halving headroom; the
+  // quotient is a tame 1e20.
+  BigInt Num = BigInt::fromString("1" + std::string(340, '0'));
+  BigInt Den = BigInt::fromString("1" + std::string(320, '0'));
+  Rational R(Num, Den);
+  double Expected = 1e20;
+  double Ulp = std::nextafter(Expected, INFINITY) - Expected;
+  EXPECT_LE(std::abs(R.toDouble() - Expected), Ulp);
+}
+
+TEST(RationalTest, ToDoubleOverflowSaturatesToInfinity) {
+  Rational R(BigInt::fromString("1" + std::string(400, '0')), BigInt(1));
+  EXPECT_TRUE(std::isinf(R.toDouble()));
+  EXPECT_GT(R.toDouble(), 0.0);
 }
 
 TEST(RationalTest, LargeValuesStayExact) {
