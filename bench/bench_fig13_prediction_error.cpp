@@ -10,16 +10,73 @@
 // evaluated at the parameter point; the measurement is the simulated
 // execution. The paper reports all ratios within +/-10%.
 //
+// Emits BENCH_fig13.json (override with --out FILE): per combo and per
+// partitioning, the predicted/measured ratio plus the cost audit's
+// component breakdown (computation / scheduling / communication /
+// registration relative errors and the cut-decomposition cross-check),
+// and the stats-registry snapshot of the whole run.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
+#include "obs/CostAudit.h"
+
 #include <cmath>
+#include <cstring>
 
 using namespace paco;
 using namespace paco::bench;
 
-int main() {
+namespace {
+
+/// Writes one audit entry as a compact JSON object member.
+void writeEntry(std::FILE *Out, const char *Key, const obs::AuditEntry &E) {
+  std::fprintf(Out,
+               "\"%s\": {\"predicted\": %.10g, \"actual\": %.10g, "
+               "\"rel_error_pct\": %.4g}",
+               Key, E.Predicted.toDouble(), E.Actual.toDouble(),
+               E.relErrorPct());
+}
+
+/// Writes the compact audit summary for one run (the full per-task and
+/// per-message detail stays in offload_explorer --audit; the bench keeps
+/// the component totals the figure is about).
+void writeAudit(std::FILE *Out, const obs::CostAuditReport &A) {
+  std::fprintf(Out, "\"audit\": {");
+  writeEntry(Out, "total", A.Total);
+  std::fprintf(Out, ", \"components\": {");
+  writeEntry(Out, "client_compute", A.ClientCompute);
+  std::fprintf(Out, ", ");
+  writeEntry(Out, "server_compute", A.ServerCompute);
+  std::fprintf(Out, ", ");
+  writeEntry(Out, "scheduling", A.Scheduling);
+  std::fprintf(Out, ", ");
+  writeEntry(Out, "communication", A.Communication);
+  std::fprintf(Out, ", ");
+  writeEntry(Out, "registration", A.Registration);
+  std::fprintf(Out, "}, \"cut_matches_components\": %s}",
+               A.CutMatchesComponents ? "true" : "false");
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *OutPath = "BENCH_fig13.json";
+  for (int I = 1; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--out") == 0 && I + 1 != argc)
+      OutPath = argv[++I];
+    else {
+      std::fprintf(stderr, "usage: %s [--out FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+  std::FILE *Out = std::fopen(OutPath, "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath);
+    return 1;
+  }
+
   std::printf("== Figure 13: prediction error for G.721 encode ==\n\n");
   std::shared_ptr<CompiledProgram> CP = compiled("encode");
   std::vector<unsigned> Parts = distinctPartitionings(*CP, 8);
@@ -41,13 +98,18 @@ int main() {
   for (unsigned P = 0; P != Parts.size(); ++P)
     std::printf("    part%u", P + 1);
   std::printf("   (predicted / measured)\n");
+  std::fprintf(Out, "{\n  \"program\": \"encode\",\n  \"combos\": [\n");
 
   double WorstError = 0;
+  bool FirstCombo = true;
   for (const Combo &C : Combos) {
     std::vector<int64_t> Params = {C.Use3, C.Use4, C.FmtA, C.FmtU, Frames,
                                    Buf};
     std::vector<Rational> Point = CP->parameterPoint(Params);
     std::printf("%-8s", C.Label);
+    std::fprintf(Out, "%s    {\"options\": \"%s\", \"runs\": [\n",
+                 FirstCombo ? "" : ",\n", C.Label);
+    FirstCombo = false;
 
     // Local prediction: the all-client assignment's cost expression is
     // the sum of the client computation arcs; find its choice if present,
@@ -61,6 +123,11 @@ int main() {
         LocalCost.evaluate(Point).toDouble() / Local.Time.toDouble();
     WorstError = std::max(WorstError, std::abs(Ratio - 1.0));
     std::printf(" %9.3f", Ratio);
+    obs::CostAuditReport LocalAudit = obs::auditRun(*CP, Local, Params);
+    std::fprintf(Out, "      {\"partitioning\": \"local\", \"ratio\": %.6f, ",
+                 Ratio);
+    writeAudit(Out, LocalAudit);
+    std::fprintf(Out, "}");
 
     for (unsigned P : Parts) {
       ExecResult Measured =
@@ -70,11 +137,25 @@ int main() {
       double R = Predicted / Measured.Time.toDouble();
       WorstError = std::max(WorstError, std::abs(R - 1.0));
       std::printf(" %8.3f", R);
+      obs::CostAuditReport Audit = obs::auditRun(*CP, Measured, Params);
+      std::fprintf(Out,
+                   ",\n      {\"partitioning\": \"part%u\", \"choice\": %u, "
+                   "\"ratio\": %.6f, ",
+                   P + 1, P, R);
+      writeAudit(Out, Audit);
+      std::fprintf(Out, "}");
     }
     std::printf("\n");
+    std::fprintf(Out, "\n    ]}");
   }
   std::printf("\nworst |prediction error|: %.1f%%\n", WorstError * 100.0);
   std::printf("paper Figure 13: all predicted/measured ratios within "
               "+/-10%%.\n");
+  std::fprintf(Out, "\n  ],\n  \"worst_abs_error_pct\": %.4f,\n",
+               WorstError * 100.0);
+  writeStatsMember(Out);
+  std::fprintf(Out, "\n}\n");
+  std::fclose(Out);
+  std::printf("\nwrote %s\n", OutPath);
   return 0;
 }

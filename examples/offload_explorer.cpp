@@ -16,12 +16,13 @@
 //       [--run] [--jobs N] [--dump-ir] [--dump-source]
 //       [--fault-seed N] [--drop-rate P] [--jitter U]
 //       [--disconnect-at MSG[:LEN]] [--policy fail-fast|retry-only|degrade]
-//       [--trace=FILE] [--stats]
+//       [--trace=FILE] [--stats] [--audit=FILE] [--report]
 //
 //===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
 #include "lang/PrintAST.h"
+#include "obs/CostAudit.h"
 #include "obs/Trace.h"
 #include "programs/Programs.h"
 #include "transform/Transform.h"
@@ -56,6 +57,27 @@ const char *policyName(FaultPolicy Policy) {
   return "?";
 }
 
+/// Verifies \p Path can be created for writing now, so a long analysis
+/// never ends in silently dropped output (satellite: clear, early error).
+bool checkWritable(const std::string &Path, const char *What) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s file %s\n", What,
+                 Path.c_str());
+    return false;
+  }
+  std::fclose(Out);
+  return true;
+}
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out)
+    return false;
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), Out);
+  return std::fclose(Out) == 0 && Written == Text.size();
+}
+
 int runExplorer(int Argc, char **Argv, std::string &TracePath,
                 bool &PrintStats) {
   if (Argc < 2) {
@@ -66,7 +88,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                  "  fault injection: [--fault-seed N] [--drop-rate P] "
                  "[--jitter U] [--disconnect-at MSG[:LEN]]\n"
                  "                   [--policy fail-fast|retry-only|degrade]\n"
-                 "  observability:   [--trace=FILE] [--stats]\n",
+                 "  observability:   [--trace=FILE] [--stats] "
+                 "[--audit=FILE] [--report]\n",
                  Argv[0]);
     return 2;
   }
@@ -93,6 +116,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   bool DumpIR = false;
   bool DumpSource = false;
   bool Run = false;
+  bool Report = false;
+  std::string AuditPath;
   std::vector<int64_t> Params;
   bool HaveParams = false;
   std::vector<int64_t> Inputs;
@@ -150,11 +175,27 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
       TracePath = Argv[++A];
     } else if (std::strcmp(Argv[A], "--stats") == 0) {
       PrintStats = true;
+    } else if (std::strncmp(Argv[A], "--audit=", 8) == 0) {
+      AuditPath = Argv[A] + 8;
+      Run = true;
+    } else if (std::strcmp(Argv[A], "--audit") == 0 && A + 1 < Argc) {
+      AuditPath = Argv[++A];
+      Run = true;
+    } else if (std::strcmp(Argv[A], "--report") == 0) {
+      Report = true;
+      Run = true;
     } else {
       std::fprintf(stderr, "error: unknown argument %s\n", Argv[A]);
       return 2;
     }
   }
+  // Fail output paths now, before minutes of analysis, not after.
+  if (!TracePath.empty() && !checkWritable(TracePath, "trace")) {
+    TracePath.clear();
+    return 2;
+  }
+  if (!AuditPath.empty() && !checkWritable(AuditPath, "audit"))
+    return 2;
   if (!TracePath.empty())
     obs::Tracer::global().enable();
 
@@ -227,7 +268,39 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   Opts.Inputs = Inputs;
   Opts.Link = Link;
   Opts.OnLinkFailure = Policy;
+  // The timeline recorder feeds the cost audit, the text Gantt and the
+  // simulated-time trace lanes; skip it when nothing consumes it.
+  RuntimeRecorder Recorder;
+  bool WantTimeline = !AuditPath.empty() || Report || !TracePath.empty();
+  if (WantTimeline)
+    Opts.Recorder = &Recorder;
   ExecResult R = runProgram(*CP, Opts);
+
+  std::vector<std::string> TaskLabels, DataLabels;
+  if (WantTimeline) {
+    for (const TCFG::Task &Task : CP->Graph.Tasks)
+      TaskLabels.push_back(Task.Label);
+    for (unsigned D = 0; D != CP->Memory->numLocs(); ++D)
+      DataLabels.push_back(CP->Memory->loc(D).Name);
+    Recorder.emitChromeLanes(obs::Tracer::global(), TaskLabels, DataLabels);
+  }
+  if (!AuditPath.empty() || Report) {
+    obs::CostAuditReport Audit = obs::auditRun(*CP, R, Params, &Recorder);
+    if (!AuditPath.empty()) {
+      if (!writeFile(AuditPath, Audit.toJSON())) {
+        std::fprintf(stderr, "error: cannot write audit file %s\n",
+                     AuditPath.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "audit: report written to %s\n",
+                   AuditPath.c_str());
+    }
+    if (Report) {
+      std::printf("\n%s", Audit.toText().c_str());
+      std::printf("\n== runtime timeline (cost units) ==\n%s",
+                  Recorder.renderTimeline(TaskLabels, DataLabels).c_str());
+    }
+  }
 
   std::printf("\n== adaptive run (policy %s", policyName(Policy));
   if (!Link.faultFree()) {
@@ -277,9 +350,11 @@ int main(int Argc, char **Argv) {
   int Code = runExplorer(Argc, Argv, TracePath, PrintStats);
   // Emit observability output on every exit path, including failures --
   // a trace of a failed run is exactly what one wants to look at.
+  // Human-readable stats go to stderr: stdout stays machine-parseable
+  // (dispatch tables, --report output) for scripts piping the tool.
   if (PrintStats)
-    std::printf("\n== stats ==\n%s",
-                obs::StatsRegistry::global().snapshot().toText().c_str());
+    std::fprintf(stderr, "\n== stats ==\n%s",
+                 obs::StatsRegistry::global().snapshot().toText().c_str());
   if (!TracePath.empty()) {
     if (!obs::Tracer::global().writeJSON(TracePath)) {
       std::fprintf(stderr, "error: cannot write trace to %s\n",

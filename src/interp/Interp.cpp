@@ -88,7 +88,7 @@ public:
   Machine(const CompiledProgram &CP, const ExecOptions &Opts,
           const EnergyModel &Energy)
       : CP(CP), Opts(Opts), Energy(Energy),
-        Sim(CP.Costs, Opts.Link, effectiveRetry(Opts)) {}
+        Sim(CP.Costs, Opts.Link, effectiveRetry(Opts)), Rec(Opts.Recorder) {}
 
   ExecResult run();
 
@@ -178,6 +178,57 @@ private:
   bool crossTask(unsigned NewTask);
 
   //===--------------------------------------------------------------===//
+  // Timeline recording
+  //
+  // Segments and messages partition the run on the simulated clock:
+  // every message (scheduling, transfer, registration -- the last can
+  // strike mid-segment, at a malloc) closes the open segment first, so
+  // span durations sum exactly to the elapsed time. All hooks are task/
+  // message-grained; the per-instruction path only bumps SegInstrs.
+  //===--------------------------------------------------------------===//
+
+  void recEndSegment() {
+    if (Rec && Rec->open()) {
+      Rec->endSegment(Sim.elapsed(), SegInstrs);
+      obs::StatsRegistry::global()
+          .histogram("sim.task_segment_instrs")
+          .record(SegInstrs);
+      SegInstrs = 0;
+    }
+  }
+
+  void recBeginSegment() {
+    if (Rec)
+      Rec->beginSegment(CurrentTask, OnServer, Sim.elapsed());
+  }
+
+  /// Runs \p Send (one simulator message) and records it. Returns the
+  /// delivery status of the send.
+  template <typename SendFn>
+  bool recMessage(MessageRecord::Kind K, bool ToServer, unsigned FromTask,
+                  unsigned ToTask, unsigned LocId, uint64_t Bytes,
+                  SendFn &&Send) {
+    if (!Rec)
+      return Send();
+    MessageRecord M;
+    M.K = K;
+    M.ToServer = ToServer;
+    M.FromTask = FromTask;
+    M.ToTask = ToTask;
+    M.LocId = LocId;
+    M.Bytes = Bytes;
+    M.Start = Sim.elapsed();
+    uint64_t Timeouts0 = Sim.timeouts(), Retries0 = Sim.retries();
+    bool Delivered = Send();
+    M.Timeouts = Sim.timeouts() - Timeouts0;
+    M.Retries = Sim.retries() - Retries0;
+    M.Delivered = Delivered;
+    M.End = Sim.elapsed();
+    Rec->message(std::move(M));
+    return Delivered;
+  }
+
+  //===--------------------------------------------------------------===//
   // Fault recovery
   //
   // While the link can fault and the policy allows degrading, the
@@ -216,6 +267,7 @@ private:
   /// Restores the last checkpoint and pins the rest of the run to the
   /// client. Degradation is permanent, so the snapshot can be moved out.
   void restoreCheckpoint() {
+    recEndSegment(); // The failed message may have left no open segment.
     Regions = std::move(Ckpt.Regions);
     LiveOfLoc = std::move(Ckpt.LiveOfLoc);
     Stack = std::move(Ckpt.Stack);
@@ -241,6 +293,7 @@ private:
       obs::Tracer::global().instantEvent(
           "sim.fallback", "sim",
           {{"resume_task", CP.Graph.Tasks[CurrentTask].Label}});
+    recBeginSegment(); // Resume the timeline on the client.
   }
 
   /// Called when a message exhausted its retries. Either requests a
@@ -340,6 +393,9 @@ private:
   std::map<std::pair<unsigned, unsigned>, std::vector<Movement>>
       MovementCache;
   std::vector<uint64_t> TaskInstrCounts;
+
+  RuntimeRecorder *Rec = nullptr;
+  uint64_t SegInstrs = 0; ///< Instructions in the open timeline segment.
 };
 
 const std::vector<Machine::Movement> &Machine::transferSet(unsigned A,
@@ -375,13 +431,18 @@ const std::vector<Machine::Movement> &Machine::transferSet(unsigned A,
 bool Machine::crossTask(unsigned NewTask) {
   unsigned OldTask = CurrentTask;
   CurrentTask = NewTask;
+  recEndSegment();
   // A degraded run self-schedules everything on the client: no messages,
   // no transfers, exactly like running under the all-client partitioning.
-  if (Choice == KNone || Degraded)
+  if (Choice == KNone || Degraded) {
+    recBeginSegment();
     return true;
+  }
   bool NewServer = taskOnServer(NewTask);
   if (NewServer != OnServer) {
-    if (!Sim.trySchedule(/*ToServer=*/NewServer))
+    if (!recMessage(MessageRecord::Kind::Schedule, NewServer, OldTask,
+                    NewTask, KNone, 0,
+                    [&] { return Sim.trySchedule(/*ToServer=*/NewServer); }))
       return linkLost("task-scheduling message");
     OnServer = NewServer;
     if (obs::Tracer::global().enabled())
@@ -407,7 +468,9 @@ bool Machine::crossTask(unsigned NewTask) {
         Bytes += Regions[RegionId].Client.size() * ElemBytes;
     // Drive the message through the (possibly lossy) link first; the
     // destination copies change only when the data actually arrives.
-    if (!Sim.tryTransfer(Move.ToServer, Bytes))
+    if (!recMessage(MessageRecord::Kind::Transfer, Move.ToServer, OldTask,
+                    NewTask, Move.LocId, Bytes,
+                    [&] { return Sim.tryTransfer(Move.ToServer, Bytes); }))
       return linkLost("data transfer");
     if (obs::Tracer::global().enabled())
       obs::Tracer::global().instantEvent(
@@ -441,6 +504,7 @@ bool Machine::crossTask(unsigned NewTask) {
       }
     }
   }
+  recBeginSegment();
   return true;
 }
 
@@ -656,8 +720,16 @@ bool Machine::execInstr(const Instr &I) {
         It != CP.Problem.AccessNodes.end()) {
       bool Ns = CP.Partition.nodeValue(Choice, It->second.first);
       bool Nc = !CP.Partition.nodeValue(Choice, It->second.second);
-      if (Ns && Nc && !Sim.tryRegistration())
-        return linkLost("registration");
+      if (Ns && Nc) {
+        // Registration strikes mid-segment, so the timeline splits the
+        // segment around the message.
+        recEndSegment();
+        if (!recMessage(MessageRecord::Kind::Registration, true, CurrentTask,
+                        CurrentTask, LocId, 0,
+                        [&] { return Sim.tryRegistration(); }))
+          return linkLost("registration");
+        recBeginSegment();
+      }
     }
     return writeLocal(I.Dst, Value::ofPointer(I.Ty, Region, 0));
   }
@@ -779,6 +851,8 @@ bool Machine::execInstr(const Instr &I) {
 
 ExecResult Machine::run() {
   obs::ScopedSpan Span("interp.run", "interp");
+  if (Rec)
+    Rec->clear();
   // Placement choice.
   if (Opts.Mode == ExecOptions::Placement::Forced) {
     Choice = Opts.ForcedChoice;
@@ -844,6 +918,7 @@ ExecResult Machine::run() {
     CurrentTask = SavedTask;
   }
 
+  recBeginSegment(); // The virtual entry task opens the timeline.
   if (!enterBlock(CP.Module->MainIndex, 0))
     rollback(); // Either restores into the loop below or leaves Failed set.
 
@@ -863,9 +938,12 @@ ExecResult Machine::run() {
     }
     Sim.execInstructions(OnServer, 1);
     ++TaskInstrCounts[CurrentTask];
+    ++SegInstrs;
     if (!execInstr(I) && !rollback())
       break;
   }
+  recEndSegment();
+  Sim.flushInstrs();
 
   Result.OK = !Failed;
   Result.Time = Sim.elapsed();
@@ -877,6 +955,9 @@ ExecResult Machine::run() {
   Result.BytesToServer = Sim.bytesToServer();
   Result.BytesToClient = Sim.bytesToClient();
   Result.Registrations = Sim.registrationCount();
+  Result.SchedulingTime = Sim.schedulingTime();
+  Result.TransferTime = Sim.transferTime();
+  Result.RegistrationTime = Sim.registrationTime();
   Result.Timeouts = Sim.timeouts();
   Result.Retries = Sim.retries();
   Result.Fallbacks = Fallbacks;

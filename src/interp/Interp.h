@@ -21,6 +21,7 @@
 #define PACO_INTERP_INTERP_H
 
 #include "runtime/Simulator.h"
+#include "runtime/Timeline.h"
 #include "transform/Pipeline.h"
 
 namespace paco {
@@ -47,6 +48,11 @@ struct ExecOptions {
   RetryPolicy Retry;
   /// Recovery policy when a message exhausts its retries.
   FaultPolicy OnLinkFailure = FaultPolicy::DegradeToLocal;
+  /// Optional timeline recorder (cleared at run start): receives every
+  /// task-execution segment and runtime message on the simulated clock.
+  /// Costs one elapsed-time evaluation per task boundary, nothing on the
+  /// per-instruction path.
+  RuntimeRecorder *Recorder = nullptr;
 };
 
 /// Everything measured during one run.
@@ -76,6 +82,12 @@ struct ExecResult {
   uint64_t BytesToClient = 0;
   uint64_t Registrations = 0;
   unsigned ChoiceUsed = KNone; ///< Partitioning choice, if any.
+
+  /// Per-component time split of Time (cost audit): task-scheduling
+  /// messages, data transfers, dynamic-data registrations.
+  Rational SchedulingTime;
+  Rational TransferTime;
+  Rational RegistrationTime;
 
   /// Fault accounting (all zero on a fault-free link).
   uint64_t Timeouts = 0;  ///< Message attempts declared lost.

@@ -13,6 +13,17 @@
 
 using namespace paco;
 
+namespace {
+// Registered at static-init time (single-threaded) so the registry's
+// registration order -- and therefore snapshot emission order -- stays
+// deterministic even though first solves race across pool threads.
+obs::Counter &Solves = obs::StatsRegistry::global().counter("netflow.solves");
+obs::Counter &FastSolves =
+    obs::StatsRegistry::global().counter("netflow.fast_path_solves");
+obs::Counter &BigSolves =
+    obs::StatsRegistry::global().counter("netflow.bigint_solves");
+} // namespace
+
 void Capacity::accumulate(const Capacity &Other) {
   if (Other.Infinite)
     Infinite = true;
@@ -237,12 +248,6 @@ CutStructure paco::solveMinCutStructure(const FlowNetwork &Net,
       !ForceBigInt && FiniteTotal.fitsInt64() &&
       FiniteTotal.toInt64() <= std::numeric_limits<int64_t>::max() / 4;
 
-  static obs::Counter &Solves =
-      obs::StatsRegistry::global().counter("netflow.solves");
-  static obs::Counter &FastSolves =
-      obs::StatsRegistry::global().counter("netflow.fast_path_solves");
-  static obs::Counter &BigSolves =
-      obs::StatsRegistry::global().counter("netflow.bigint_solves");
   Solves.add();
   (FastPath ? FastSolves : BigSolves).add();
 

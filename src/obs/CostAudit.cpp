@@ -1,0 +1,393 @@
+//===- obs/CostAudit.cpp - Predicted-vs-actual cost audit -----------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/CostAudit.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <tuple>
+
+using namespace paco;
+using namespace paco::obs;
+
+double AuditEntry::relErrorPct() const {
+  Rational Err = (Actual - Predicted).abs();
+  if (Err.isZero())
+    return 0;
+  Rational Scale = std::max(Predicted.abs(), Actual.abs());
+  return 100.0 * (Err / Scale).toDouble();
+}
+
+namespace {
+
+/// The audited run's placement: per-task host plus the validity / access
+/// node values of the chosen cut, mirroring the Theorem-1 arc semantics
+/// (source side = server = logic value 1).
+struct PlacementView {
+  const CompiledProgram &CP;
+  unsigned Choice;
+
+  bool onServer(unsigned Task) const {
+    return Choice != KNone && CP.Partition.Choices[Choice].TaskOnServer[Task];
+  }
+  bool value(NodeId N) const { return CP.Partition.nodeValue(Choice, N); }
+};
+
+std::string fmtUnits(const Rational &V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V.toDouble());
+  return Buf;
+}
+
+std::string jsonNum(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.10g", V);
+  return Buf;
+}
+
+void appendEscaped(std::string &Out, const std::string &Text) {
+  for (char C : Text) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+std::string entryJSON(const AuditEntry &E, bool WithWhat) {
+  std::string Out = "{";
+  if (WithWhat) {
+    Out += "\"what\": \"";
+    appendEscaped(Out, E.What);
+    Out += "\", ";
+  }
+  Out += "\"predicted\": " + jsonNum(E.Predicted.toDouble()) +
+         ", \"actual\": " + jsonNum(E.Actual.toDouble()) +
+         ", \"error_units\": " + jsonNum(E.errorUnits()) +
+         ", \"rel_error_pct\": " + jsonNum(E.relErrorPct()) +
+         ", \"exact\": " + (E.exact() ? "true" : "false") + "}";
+  return Out;
+}
+
+} // namespace
+
+std::vector<const AuditEntry *>
+CostAuditReport::worstOffenders(size_t N) const {
+  std::vector<const AuditEntry *> Rows;
+  for (const AuditEntry &E : Tasks)
+    if (!E.exact())
+      Rows.push_back(&E);
+  for (const AuditEntry &E : Messages)
+    if (!E.exact())
+      Rows.push_back(&E);
+  std::stable_sort(Rows.begin(), Rows.end(),
+                   [](const AuditEntry *A, const AuditEntry *B) {
+                     Rational EA = (A->Actual - A->Predicted).abs();
+                     Rational EB = (B->Actual - B->Predicted).abs();
+                     int Cmp = EA.compare(EB);
+                     if (Cmp != 0)
+                       return Cmp > 0;
+                     return A->What < B->What;
+                   });
+  if (Rows.size() > N)
+    Rows.resize(N);
+  return Rows;
+}
+
+double CostAuditReport::worstRelErrorPct() const {
+  double Worst = 0;
+  for (const AuditEntry &E : Tasks)
+    Worst = std::max(Worst, E.relErrorPct());
+  for (const AuditEntry &E : Messages)
+    Worst = std::max(Worst, E.relErrorPct());
+  return Worst;
+}
+
+std::string CostAuditReport::toJSON() const {
+  std::string Out = "{\n";
+  Out += "  \"valid\": " + std::string(Valid ? "true" : "false") + ",\n";
+  Out += "  \"note\": \"";
+  appendEscaped(Out, Note);
+  Out += "\",\n";
+  Out += "  \"choice\": " +
+         (Choice == KNone ? std::string("null") : std::to_string(Choice)) +
+         ",\n";
+  Out += "  \"degraded\": " + std::string(Degraded ? "true" : "false") +
+         ",\n";
+  Out += "  \"params\": [";
+  for (size_t I = 0; I != ParamValues.size(); ++I)
+    Out += (I ? ", " : "") + std::to_string(ParamValues[I]);
+  Out += "],\n";
+  Out += "  \"total\": " + entryJSON(Total, false) + ",\n";
+  Out += "  \"components\": {\n";
+  const std::pair<const char *, const AuditEntry *> Components[] = {
+      {"client_compute", &ClientCompute}, {"server_compute", &ServerCompute},
+      {"scheduling", &Scheduling},        {"communication", &Communication},
+      {"registration", &Registration}};
+  for (size_t I = 0; I != 5; ++I)
+    Out += "    \"" + std::string(Components[I].first) +
+           "\": " + entryJSON(*Components[I].second, false) +
+           (I + 1 != 5 ? ",\n" : "\n");
+  Out += "  },\n";
+  Out += "  \"fault_units\": " + jsonNum(FaultUnits.toDouble()) + ",\n";
+  Out += "  \"cut_value\": " + jsonNum(CutValue.toDouble()) + ",\n";
+  Out += "  \"cut_matches_components\": " +
+         std::string(CutMatchesComponents ? "true" : "false") + ",\n";
+  auto rows = [&](const char *Name, const std::vector<AuditEntry> &Rows) {
+    Out += "  \"" + std::string(Name) + "\": [";
+    for (size_t I = 0; I != Rows.size(); ++I)
+      Out += (I ? ",\n    " : "\n    ") + entryJSON(Rows[I], true);
+    Out += Rows.empty() ? "],\n" : "\n  ],\n";
+  };
+  rows("tasks", Tasks);
+  rows("messages", Messages);
+  Out += "  \"worst_offenders\": [";
+  std::vector<const AuditEntry *> Worst = worstOffenders(5);
+  for (size_t I = 0; I != Worst.size(); ++I)
+    Out += (I ? ",\n    " : "\n    ") + entryJSON(*Worst[I], true);
+  Out += Worst.empty() ? "]\n" : "\n  ]\n";
+  Out += "}\n";
+  return Out;
+}
+
+std::string CostAuditReport::toText() const {
+  std::string Out;
+  Out += "== cost audit: " +
+         (Choice == KNone ? std::string("all-client baseline")
+                          : "choice " + std::to_string(Choice)) +
+         ", params [";
+  for (size_t I = 0; I != ParamValues.size(); ++I)
+    Out += (I ? ", " : "") + std::to_string(ParamValues[I]);
+  Out += "] ==\n";
+  if (!Note.empty())
+    Out += "note: " + Note + "\n";
+  auto line = [&](const std::string &Name, const AuditEntry &E) {
+    char Buf[160];
+    std::snprintf(Buf, sizeof(Buf), "%-16s %-14s %-14s %+-12.3f %6.2f%%%s\n",
+                  Name.c_str(), fmtUnits(E.Predicted).c_str(),
+                  fmtUnits(E.Actual).c_str(), E.errorUnits(),
+                  E.relErrorPct(), E.exact() ? "  exact" : "");
+    Out += Buf;
+  };
+  Out += "component        predicted      actual         err          "
+         "rel\n";
+  line("client_compute", ClientCompute);
+  line("server_compute", ServerCompute);
+  line("scheduling", Scheduling);
+  line("communication", Communication);
+  line("registration", Registration);
+  line("total", Total);
+  Out += "fault time (unpredicted): " + fmtUnits(FaultUnits) + " units\n";
+  Out += "cut value at h: " + fmtUnits(CutValue) +
+         " (components match: " + (CutMatchesComponents ? "yes" : "NO") +
+         ")\n";
+  if (!Tasks.empty()) {
+    Out += "\nper-task computation:\n";
+    for (const AuditEntry &E : Tasks)
+      line("  " + E.What, E);
+  }
+  if (!Messages.empty()) {
+    Out += "\nper-message costs:\n";
+    for (const AuditEntry &E : Messages)
+      line("  " + E.What, E);
+  }
+  std::vector<const AuditEntry *> Worst = worstOffenders(5);
+  if (!Worst.empty()) {
+    Out += "\nworst offenders:\n";
+    for (size_t I = 0; I != Worst.size(); ++I) {
+      char Buf[160];
+      std::snprintf(Buf, sizeof(Buf), "  %zu. %s  err=%+.3f (%.2f%%)\n",
+                    I + 1, Worst[I]->What.c_str(), Worst[I]->errorUnits(),
+                    Worst[I]->relErrorPct());
+      Out += Buf;
+    }
+  }
+  return Out;
+}
+
+CostAuditReport paco::obs::auditRun(const CompiledProgram &CP,
+                                    const ExecResult &Run,
+                                    const std::vector<int64_t> &ParamValues,
+                                    const RuntimeRecorder *Rec) {
+  CostAuditReport R;
+  R.Choice = Run.ChoiceUsed;
+  R.Degraded = Run.Degraded;
+  R.ParamValues = ParamValues;
+  R.FaultUnits = Run.FaultTime;
+  if (!Run.OK) {
+    R.Note = "run failed: " + Run.Error;
+    return R;
+  }
+  R.Valid = true;
+  if (R.Choice == KNone)
+    R.Note = "all-client baseline: no messages predicted or sent";
+  else if (R.Degraded)
+    R.Note = "run degraded to local execution mid-way; the static "
+             "prediction assumes the partition ran to completion";
+
+  const std::vector<Rational> Point = CP.parameterPoint(ParamValues);
+  const CostModel &C = CP.Costs;
+  PlacementView P{CP, R.Choice};
+
+  //===------------------------------------------------------------------===//
+  // Computation: s->M(v) arcs (client, cut when M(v)=0) and M(v)->t arcs
+  // (server, cut when M(v)=1).
+  //===------------------------------------------------------------------===//
+  for (unsigned V = 0; V != CP.Graph.numTasks(); ++V) {
+    const TCFG::Task &Task = CP.Graph.Tasks[V];
+    bool Server = P.onServer(V);
+    Rational Units = Task.ComputeUnits.evaluate(Point);
+    Rational Rate = Server ? C.Ts : C.Tc;
+    auto It = Run.TaskInstrs.find(V);
+    uint64_t Instrs = It == Run.TaskInstrs.end() ? 0 : It->second;
+    AuditEntry E;
+    E.What = "compute " + Task.Label + (Server ? " @server" : " @client");
+    E.Predicted = Units * Rate;
+    E.Actual = Rational(static_cast<int64_t>(Instrs)) * Rate;
+    (Server ? R.ServerCompute : R.ClientCompute).Predicted += E.Predicted;
+    if (E.Predicted.isZero() && E.Actual.isZero())
+      continue;
+    R.Tasks.push_back(std::move(E));
+  }
+  R.ClientCompute.Actual =
+      Rational(static_cast<int64_t>(Run.ClientInstrs)) * C.Tc;
+  R.ServerCompute.Actual =
+      Rational(static_cast<int64_t>(Run.ServerInstrs)) * C.Ts;
+
+  //===------------------------------------------------------------------===//
+  // Messages. Keyed rows merge the static prediction with the recorder's
+  // actuals; ordered map keys make emission order deterministic.
+  //===------------------------------------------------------------------===//
+  // (kind, from, to, loc, toServer) -> row. Kind: 0 sched, 1 xfer, 2 reg.
+  using MsgKey = std::tuple<int, unsigned, unsigned, unsigned, bool>;
+  std::map<MsgKey, AuditEntry> Msg;
+  auto taskLabel = [&](unsigned T) {
+    return T < CP.Graph.Tasks.size() ? CP.Graph.Tasks[T].Label
+                                     : "task" + std::to_string(T);
+  };
+  auto locLabel = [&](unsigned D) {
+    return D < CP.Memory->numLocs() ? CP.Memory->loc(D).Name
+                                    : "loc" + std::to_string(D);
+  };
+  auto msgRow = [&](int Kind, unsigned From, unsigned To, unsigned Loc,
+                    bool ToServer) -> AuditEntry & {
+    auto [It, Inserted] =
+        Msg.try_emplace(MsgKey{Kind, From, To, Loc, ToServer});
+    if (Inserted) {
+      const char *Dir = ToServer ? " c2s" : " s2c";
+      if (Kind == 0)
+        It->second.What =
+            "schedule " + taskLabel(From) + "->" + taskLabel(To) + Dir;
+      else if (Kind == 1)
+        It->second.What = "transfer " + locLabel(Loc) + " " +
+                          taskLabel(From) + "->" + taskLabel(To) + Dir;
+      else
+        It->second.What = "register " + locLabel(Loc);
+    }
+    return It->second;
+  };
+
+  if (R.Choice != KNone) {
+    for (const auto &[Edge, CountExpr] : CP.Graph.Edges) {
+      if (CountExpr.isZero())
+        continue;
+      auto [U, V] = Edge;
+      bool MU = P.onServer(U), MV = P.onServer(V);
+      Rational Count = CountExpr.evaluate(Point);
+      // Scheduling arcs M(v)->M(u) (c2s) / M(u)->M(v) (s2c).
+      if (!MU && MV)
+        msgRow(0, U, V, KNone, true).Predicted += Count * C.Tcst;
+      else if (MU && !MV)
+        msgRow(0, U, V, KNone, false).Predicted += Count * C.Tsct;
+      // Communication arcs per relevant data item on this edge.
+      for (unsigned D : CP.Problem.DataItems) {
+        auto UIt = CP.Problem.VNodes.find({U, D});
+        auto VIt = CP.Problem.VNodes.find({V, D});
+        if (UIt == CP.Problem.VNodes.end() ||
+            VIt == CP.Problem.VNodes.end())
+          continue;
+        Rational Bytes = CP.Memory->byteSize(D).evaluate(Point);
+        // Arc Vsi(v)->Vso(u): cut when Vsi(v)=1 and Vso(u)=0.
+        if (P.value(VIt->second.Vsi) && !P.value(UIt->second.Vso))
+          msgRow(1, U, V, D, true).Predicted +=
+              Count * (C.Tcsh + Bytes * C.Tcsu);
+        // Arc nVco(u)->nVci(v): cut when nVco(u)=1 and nVci(v)=0.
+        if (P.value(UIt->second.NVco) && !P.value(VIt->second.NVci))
+          msgRow(1, U, V, D, false).Predicted +=
+              Count * (C.Tsch + Bytes * C.Tscu);
+      }
+    }
+    // Registration arcs Ns(d)->nNc(d): cut when Ns=1 and nNc=0.
+    for (const auto &[D, Nodes] : CP.Problem.AccessNodes) {
+      bool Ns = P.value(Nodes.first);
+      bool Nc = !P.value(Nodes.second);
+      if (Ns && Nc)
+        msgRow(2, KNone, KNone, D, true).Predicted +=
+            CP.Memory->loc(D).AllocCount.evaluate(Point) * C.Ta;
+    }
+  }
+
+  // Actual message costs, reconstructed from the recorder exactly as the
+  // Simulator charged them (lost attempts charge only fault time, which
+  // is reported separately).
+  if (Rec) {
+    for (const MessageRecord &M : Rec->messages()) {
+      if (!M.Delivered)
+        continue;
+      switch (M.K) {
+      case MessageRecord::Kind::Schedule:
+        msgRow(0, M.FromTask, M.ToTask, KNone, M.ToServer).Actual +=
+            M.ToServer ? C.Tcst : C.Tsct;
+        break;
+      case MessageRecord::Kind::Transfer: {
+        Rational Bytes(static_cast<int64_t>(M.Bytes));
+        msgRow(1, M.FromTask, M.ToTask, M.LocId, M.ToServer).Actual +=
+            M.ToServer ? C.Tcsh + Bytes * C.Tcsu : C.Tsch + Bytes * C.Tscu;
+        break;
+      }
+      case MessageRecord::Kind::Registration:
+        msgRow(2, KNone, KNone, M.LocId, true).Actual += C.Ta;
+        break;
+      }
+    }
+  }
+
+  for (auto &[Key, E] : Msg) {
+    switch (std::get<0>(Key)) {
+    case 0: R.Scheduling.Predicted += E.Predicted; break;
+    case 1: R.Communication.Predicted += E.Predicted; break;
+    default: R.Registration.Predicted += E.Predicted; break;
+    }
+    R.Messages.push_back(std::move(E));
+  }
+  R.Scheduling.Actual = Run.SchedulingTime;
+  R.Communication.Actual = Run.TransferTime;
+  R.Registration.Actual = Run.RegistrationTime;
+
+  //===------------------------------------------------------------------===//
+  // Totals and the cut-value cross-check.
+  //===------------------------------------------------------------------===//
+  R.Total.Predicted = R.ClientCompute.Predicted + R.ServerCompute.Predicted +
+                      R.Scheduling.Predicted + R.Communication.Predicted +
+                      R.Registration.Predicted;
+  R.Total.Actual = Run.Time;
+  R.CutValue =
+      R.Choice == KNone
+          ? R.Total.Predicted
+          : CP.Partition.Choices[R.Choice].CostExpr.evaluate(Point);
+  R.CutMatchesComponents = R.CutValue == R.Total.Predicted;
+  return R;
+}

@@ -11,6 +11,40 @@
 using namespace paco;
 using namespace paco::obs;
 
+uint64_t HistogramSnapshot::count() const {
+  uint64_t N = 0;
+  for (uint64_t B : Buckets)
+    N += B;
+  return N;
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  for (unsigned B = 0; B != Histogram::NumBuckets; ++B)
+    Buckets[B] += Other.Buckets[B];
+  Sum += Other.Sum;
+}
+
+double HistogramSnapshot::percentile(double P) const {
+  uint64_t Total = count();
+  if (Total == 0)
+    return 0;
+  double Target = P / 100.0 * static_cast<double>(Total);
+  double Cum = 0;
+  for (unsigned B = 0; B != Histogram::NumBuckets; ++B) {
+    if (!Buckets[B])
+      continue;
+    double C = static_cast<double>(Buckets[B]);
+    if (Cum + C >= Target) {
+      double Lo = static_cast<double>(bucketLo(B));
+      double Hi = static_cast<double>(bucketHi(B));
+      double Frac = Target <= Cum ? 0 : (Target - Cum) / C;
+      return Lo + (Hi - Lo) * Frac;
+    }
+    Cum += C;
+  }
+  return static_cast<double>(bucketHi(Histogram::NumBuckets - 1));
+}
+
 StatsRegistry &StatsRegistry::global() {
   static StatsRegistry Registry;
   return Registry;
@@ -18,17 +52,34 @@ StatsRegistry &StatsRegistry::global() {
 
 Counter &StatsRegistry::counter(const std::string &Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Counters[Name];
+  auto [It, Inserted] = Counters.try_emplace(Name);
+  if (Inserted)
+    CounterOrder.push_back(&It->first);
+  return It->second;
 }
 
 Gauge &StatsRegistry::gauge(const std::string &Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Gauges[Name];
+  auto [It, Inserted] = Gauges.try_emplace(Name);
+  if (Inserted)
+    GaugeOrder.push_back(&It->first);
+  return It->second;
 }
 
 Timer &StatsRegistry::timer(const std::string &Name) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Timers[Name];
+  auto [It, Inserted] = Timers.try_emplace(Name);
+  if (Inserted)
+    TimerOrder.push_back(&It->first);
+  return It->second;
+}
+
+Histogram &StatsRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Histograms.try_emplace(Name);
+  if (Inserted)
+    HistogramOrder.push_back(&It->first);
+  return It->second;
 }
 
 StatsSnapshot StatsRegistry::snapshot() const {
@@ -41,6 +92,21 @@ StatsSnapshot StatsRegistry::snapshot() const {
   for (const auto &[Name, T] : Timers)
     Snap.Timers.emplace(Name, StatsSnapshot::TimerValue{T.count(),
                                                         T.seconds()});
+  for (const auto &[Name, H] : Histograms) {
+    HistogramSnapshot HS;
+    for (unsigned B = 0; B != Histogram::NumBuckets; ++B)
+      HS.Buckets[B] = H.Buckets[B].load(std::memory_order_relaxed);
+    HS.Sum = H.Sum.load(std::memory_order_relaxed);
+    Snap.Histograms.emplace(Name, HS);
+  }
+  for (const std::string *Name : CounterOrder)
+    Snap.CounterOrder.push_back(*Name);
+  for (const std::string *Name : GaugeOrder)
+    Snap.GaugeOrder.push_back(*Name);
+  for (const std::string *Name : TimerOrder)
+    Snap.TimerOrder.push_back(*Name);
+  for (const std::string *Name : HistogramOrder)
+    Snap.HistogramOrder.push_back(*Name);
   return Snap;
 }
 
@@ -53,6 +119,11 @@ void StatsRegistry::reset() {
   for (auto &[Name, T] : Timers) {
     T.Count.store(0, std::memory_order_relaxed);
     T.Nanos.store(0, std::memory_order_relaxed);
+  }
+  for (auto &[Name, H] : Histograms) {
+    for (auto &B : H.Buckets)
+      B.store(0, std::memory_order_relaxed);
+    H.Sum.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -77,6 +148,35 @@ void appendEscaped(std::string &Out, const std::string &Text) {
   }
 }
 
+/// Renders a double as a bare JSON number (no inf/nan, which percentile
+/// values cannot produce from finite buckets anyway).
+std::string jsonNumber(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  return Buf;
+}
+
+std::string histogramJSON(const HistogramSnapshot &H) {
+  std::string Out = "{\"count\": " + std::to_string(H.count()) +
+                    ", \"sum\": " + std::to_string(H.Sum) +
+                    ", \"p50\": " + jsonNumber(H.percentile(50)) +
+                    ", \"p95\": " + jsonNumber(H.percentile(95)) +
+                    ", \"p99\": " + jsonNumber(H.percentile(99)) +
+                    ", \"buckets\": [";
+  bool First = true;
+  for (unsigned B = 0; B != Histogram::NumBuckets; ++B) {
+    if (!H.Buckets[B])
+      continue;
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += "[" + std::to_string(HistogramSnapshot::bucketLo(B)) + ", " +
+           std::to_string(HistogramSnapshot::bucketHi(B)) + ", " +
+           std::to_string(H.Buckets[B]) + "]";
+  }
+  return Out + "]}";
+}
+
 } // namespace
 
 std::string StatsSnapshot::toJSON(const std::string &Indent) const {
@@ -96,26 +196,35 @@ std::string StatsSnapshot::toJSON(const std::string &Indent) const {
   };
   section("counters");
   bool First = true;
-  for (const auto &[Name, V] : Counters) {
-    Out += (First ? "" : ",\n") + key(Name) + std::to_string(V);
+  for (const std::string &Name : CounterOrder) {
+    Out += (First ? "" : ",\n") + key(Name) +
+           std::to_string(Counters.at(Name));
     First = false;
   }
   Out += "\n" + Indent + "  }";
   section("gauges");
   First = true;
-  for (const auto &[Name, V] : Gauges) {
-    Out += (First ? "" : ",\n") + key(Name) + std::to_string(V);
+  for (const std::string &Name : GaugeOrder) {
+    Out += (First ? "" : ",\n") + key(Name) + std::to_string(Gauges.at(Name));
     First = false;
   }
   Out += "\n" + Indent + "  }";
   section("timers");
   First = true;
-  for (const auto &[Name, V] : Timers) {
+  for (const std::string &Name : TimerOrder) {
+    const TimerValue &V = Timers.at(Name);
     char Buf[64];
     std::snprintf(Buf, sizeof(Buf),
                   "{\"count\": %llu, \"seconds\": %.6f}",
                   static_cast<unsigned long long>(V.Count), V.Seconds);
     Out += (First ? "" : ",\n") + key(Name) + Buf;
+    First = false;
+  }
+  Out += "\n" + Indent + "  }";
+  section("histograms");
+  First = true;
+  for (const std::string &Name : HistogramOrder) {
+    Out += (First ? "" : ",\n") + key(Name) + histogramJSON(Histograms.at(Name));
     First = false;
   }
   Out += "\n" + Indent + "  }\n" + Indent + "}";
@@ -124,14 +233,25 @@ std::string StatsSnapshot::toJSON(const std::string &Indent) const {
 
 std::string StatsSnapshot::toText() const {
   std::string Out;
-  for (const auto &[Name, V] : Counters)
-    Out += Name + " " + std::to_string(V) + "\n";
-  for (const auto &[Name, V] : Gauges)
-    Out += Name + " " + std::to_string(V) + "\n";
-  for (const auto &[Name, V] : Timers) {
+  for (const std::string &Name : CounterOrder)
+    Out += Name + " " + std::to_string(Counters.at(Name)) + "\n";
+  for (const std::string &Name : GaugeOrder)
+    Out += Name + " " + std::to_string(Gauges.at(Name)) + "\n";
+  for (const std::string &Name : TimerOrder) {
+    const TimerValue &V = Timers.at(Name);
     char Buf[64];
     std::snprintf(Buf, sizeof(Buf), " %.6fs over %llu call(s)\n", V.Seconds,
                   static_cast<unsigned long long>(V.Count));
+    Out += Name + Buf;
+  }
+  for (const std::string &Name : HistogramOrder) {
+    const HistogramSnapshot &H = Histograms.at(Name);
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  " count=%llu sum=%llu p50=%g p95=%g p99=%g\n",
+                  static_cast<unsigned long long>(H.count()),
+                  static_cast<unsigned long long>(H.Sum), H.percentile(50),
+                  H.percentile(95), H.percentile(99));
     Out += Name + Buf;
   }
   return Out;

@@ -20,11 +20,14 @@
 #ifndef PACO_OBS_STATS_H
 #define PACO_OBS_STATS_H
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace paco {
 namespace obs {
@@ -71,7 +74,67 @@ private:
   std::atomic<uint64_t> Nanos{0};
 };
 
-/// Point-in-time copy of every registered stat.
+/// Value distribution over fixed base-2 log-scale buckets: bucket 0
+/// holds zeros, bucket b >= 1 holds values in [2^(b-1), 2^b). Recording
+/// is lock-free (two relaxed atomic adds), so the type is safe on
+/// message-grained hot paths; snapshots are mergeable and expose
+/// percentile estimates (linear interpolation inside a bucket).
+class Histogram {
+public:
+  static constexpr unsigned NumBuckets = 65;
+
+  /// Bucket index for \p V: 0 for zero, otherwise bit_width(V).
+  static unsigned bucketOf(uint64_t V) {
+    return static_cast<unsigned>(std::bit_width(V));
+  }
+
+  void record(uint64_t V) {
+    Buckets[bucketOf(V)].fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(V, std::memory_order_relaxed);
+  }
+
+private:
+  friend class StatsRegistry;
+  std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
+  std::atomic<uint64_t> Sum{0};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::array<uint64_t, Histogram::NumBuckets> Buckets{};
+  uint64_t Sum = 0;
+
+  uint64_t count() const;
+
+  /// Inclusive lower edge of bucket \p B (0 for the zeros bucket).
+  static uint64_t bucketLo(unsigned B) {
+    return B == 0 ? 0 : uint64_t(1) << (B - 1);
+  }
+  /// Exclusive upper edge of bucket \p B (0 for the zeros bucket; the
+  /// top bucket is capped at 2^64 - 1).
+  static uint64_t bucketHi(unsigned B) {
+    if (B == 0)
+      return 0;
+    if (B == Histogram::NumBuckets - 1)
+      return ~uint64_t(0);
+    return uint64_t(1) << B;
+  }
+
+  /// Element-wise accumulation of \p Other (bucket layouts are fixed, so
+  /// snapshots from different registries merge exactly).
+  void merge(const HistogramSnapshot &Other);
+
+  /// Estimated \p P -th percentile (P in [0, 100]): finds the bucket
+  /// holding the target rank and interpolates linearly between its
+  /// edges. Exact when every value in that bucket is the same up to the
+  /// interpolation model; 0 for an empty histogram.
+  double percentile(double P) const;
+};
+
+/// Point-in-time copy of every registered stat. The *Order vectors hold
+/// the names in registration order; toJSON()/toText() emit in that
+/// sequence, so repeated runs of the same workload produce byte-identical
+/// (diffable) snapshots.
 struct StatsSnapshot {
   std::map<std::string, uint64_t> Counters;
   std::map<std::string, int64_t> Gauges;
@@ -80,9 +143,14 @@ struct StatsSnapshot {
     double Seconds = 0;
   };
   std::map<std::string, TimerValue> Timers;
+  std::map<std::string, HistogramSnapshot> Histograms;
+
+  std::vector<std::string> CounterOrder, GaugeOrder, TimerOrder,
+      HistogramOrder;
 
   bool empty() const {
-    return Counters.empty() && Gauges.empty() && Timers.empty();
+    return Counters.empty() && Gauges.empty() && Timers.empty() &&
+           Histograms.empty();
   }
 
   /// Renders the snapshot as a JSON object
@@ -105,6 +173,7 @@ public:
   Counter &counter(const std::string &Name);
   Gauge &gauge(const std::string &Name);
   Timer &timer(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
 
   StatsSnapshot snapshot() const;
 
@@ -117,6 +186,10 @@ private:
   std::map<std::string, Counter> Counters;
   std::map<std::string, Gauge> Gauges;
   std::map<std::string, Timer> Timers;
+  std::map<std::string, Histogram> Histograms;
+  // Registration order per kind (pointers into the maps' stable keys).
+  std::vector<const std::string *> CounterOrder, GaugeOrder, TimerOrder,
+      HistogramOrder;
 };
 
 } // namespace obs

@@ -49,7 +49,33 @@ void Tracer::completeEvent(const std::string &Name, const char *Category,
     return;
   std::lock_guard<std::mutex> Lock(Mutex);
   Events.push_back(
-      {'X', Name, Category, TsUs, DurUs, tidLocked(), std::move(Args)});
+      {'X', Name, Category, TsUs, DurUs, 1, tidLocked(), std::move(Args)});
+}
+
+void Tracer::laneEvent(const std::string &Name, const char *Category,
+                       uint32_t Pid, uint32_t Tid, double TsUs, double DurUs,
+                       std::vector<TraceArg> Args) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({'X', Name, Category, TsUs, DurUs, Pid, Tid,
+                    std::move(Args)});
+}
+
+void Tracer::nameThread(uint32_t Pid, uint32_t Tid, const std::string &Label) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({'M', "thread_name", "__metadata", 0, 0, Pid, Tid,
+                    {TraceArg("name", Label)}});
+}
+
+void Tracer::nameProcess(uint32_t Pid, const std::string &Label) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({'M', "process_name", "__metadata", 0, 0, Pid, 0,
+                    {TraceArg("name", Label)}});
 }
 
 void Tracer::instantEvent(const std::string &Name, const char *Category,
@@ -58,7 +84,7 @@ void Tracer::instantEvent(const std::string &Name, const char *Category,
     return;
   double Ts = nowUs();
   std::lock_guard<std::mutex> Lock(Mutex);
-  Events.push_back({'i', Name, Category, Ts, 0, tidLocked(),
+  Events.push_back({'i', Name, Category, Ts, 0, 1, tidLocked(),
                     std::move(Args)});
 }
 
@@ -125,13 +151,17 @@ std::string Tracer::toJSON() const {
     if (E.Phase == 'X')
       std::snprintf(Buf, sizeof(Buf),
                     "\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, "
-                    "\"pid\": 1, \"tid\": %u",
-                    E.TsUs, E.DurUs, E.Tid);
+                    "\"pid\": %u, \"tid\": %u",
+                    E.TsUs, E.DurUs, E.Pid, E.Tid);
+    else if (E.Phase == 'M')
+      std::snprintf(Buf, sizeof(Buf),
+                    "\", \"ph\": \"M\", \"pid\": %u, \"tid\": %u", E.Pid,
+                    E.Tid);
     else
       std::snprintf(Buf, sizeof(Buf),
                     "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": %.3f, "
-                    "\"pid\": 1, \"tid\": %u",
-                    E.TsUs, E.Tid);
+                    "\"pid\": %u, \"tid\": %u",
+                    E.TsUs, E.Pid, E.Tid);
     Out += Buf;
     if (!E.Args.empty()) {
       Out += ", \"args\": {";

@@ -70,6 +70,18 @@ public:
                      double TsUs, double DurUs,
                      std::vector<TraceArg> Args = {});
 
+  /// Records a complete event on an explicit (pid, tid) lane with caller-
+  /// supplied timestamps, for synthetic timelines whose clock is not the
+  /// wall clock (e.g. simulated cost units). No-op when disabled.
+  void laneEvent(const std::string &Name, const char *Category, uint32_t Pid,
+                 uint32_t Tid, double TsUs, double DurUs,
+                 std::vector<TraceArg> Args = {});
+
+  /// Records "ph":"M" metadata naming lane (pid, tid) / process \p Pid, so
+  /// viewers show a label instead of a bare id. No-op when disabled.
+  void nameThread(uint32_t Pid, uint32_t Tid, const std::string &Label);
+  void nameProcess(uint32_t Pid, const std::string &Label);
+
   /// Records an instant ("ph":"i") event at the current time. No-op when
   /// disabled.
   void instantEvent(const std::string &Name, const char *Category,
@@ -86,11 +98,12 @@ public:
 
 private:
   struct Event {
-    char Phase; // 'X' or 'i'
+    char Phase; // 'X', 'i' or 'M'
     std::string Name;
     const char *Category;
     double TsUs;
     double DurUs;
+    uint32_t Pid;
     uint32_t Tid;
     std::vector<TraceArg> Args;
   };

@@ -12,6 +12,15 @@
 
 using namespace paco;
 
+namespace {
+// Registered at static-init time (single-threaded) so snapshot
+// emission order stays deterministic across racy first touches.
+obs::Counter &Halfspaces =
+    obs::StatsRegistry::global().counter("poly.dd_halfspaces");
+obs::Counter &RayCombinations =
+    obs::StatsRegistry::global().counter("poly.dd_ray_combinations");
+} // namespace
+
 BigInt paco::dotProduct(const std::vector<BigInt> &A,
                         const std::vector<BigInt> &B) {
   assert(A.size() == B.size() && "dot product dimension mismatch");
@@ -55,8 +64,6 @@ void ConeBuilder::pushSatBit(std::vector<uint64_t> &Row,
 
 void ConeBuilder::addInequality(const std::vector<BigInt> &Normal) {
   assert(Normal.size() == Dim && "halfspace normal has wrong dimension");
-  static obs::Counter &Halfspaces =
-      obs::StatsRegistry::global().counter("poly.dd_halfspaces");
   Halfspaces.add();
   // Case 1: some line is not orthogonal to the new halfspace. That line
   // leaves the lineality space: the direction pointing into the halfspace
@@ -153,9 +160,7 @@ void ConeBuilder::addInequality(const std::vector<BigInt> &Normal) {
     pushSatBit(KeptSat.back(), Dots[R].isZero());
     KeptRays.push_back(std::move(Rays[R]));
   }
-  static obs::Counter &Combinations =
-      obs::StatsRegistry::global().counter("poly.dd_ray_combinations");
-  Combinations.add(NewRays.size());
+  RayCombinations.add(NewRays.size());
   for (size_t I = 0; I != NewRays.size(); ++I) {
     KeptRays.push_back(std::move(NewRays[I]));
     KeptSat.push_back(std::move(NewSat[I]));

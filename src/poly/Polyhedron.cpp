@@ -11,6 +11,13 @@
 
 using namespace paco;
 
+namespace {
+// Registered at static-init time (single-threaded) so snapshot
+// emission order stays deterministic across racy first touches.
+obs::Counter &GeneratorCacheHits =
+    obs::StatsRegistry::global().counter("poly.generator_cache_hits");
+} // namespace
+
 void Polyhedron::addConstraint(LinConstraint C) {
   assert(C.dimension() == Dim && "constraint dimension mismatch");
   Gens.reset();
@@ -33,10 +40,8 @@ void Polyhedron::addConstraint(LinConstraint C) {
 }
 
 void Polyhedron::computeGenerators() const {
-  static obs::Counter &CacheHits =
-      obs::StatsRegistry::global().counter("poly.generator_cache_hits");
   if (Gens) {
-    CacheHits.add();
+    GeneratorCacheHits.add();
     return;
   }
   obs::ScopedSpan Span("poly.generators", "poly");

@@ -51,12 +51,30 @@ public:
 
   /// Accounts \p N instructions on the active host. Costs are derived
   /// from the counters on demand, so this is a bare increment on the
-  /// interpreter's hottest path.
+  /// interpreter's hottest path; the registry only sees the count once
+  /// per kInstrStride instructions (a sampled flush keeps the registry
+  /// lookup off the hot path -- the fault-overhead budget is <2%).
   void execInstructions(bool OnServer, uint64_t N) {
     if (OnServer)
       ServerInstrs += N;
     else
       ClientInstrs += N;
+#ifndef PACO_DISABLE_OBS
+    if ((PendingInstrs += N) >= kInstrStride)
+      flushInstrs();
+#endif
+  }
+
+  /// Drains the sampled instruction count into the "sim.instructions"
+  /// registry counter (the interpreter calls this at run end so the
+  /// final remainder below one stride is not lost).
+  void flushInstrs() {
+#ifndef PACO_DISABLE_OBS
+    if (PendingInstrs) {
+      statCounter("sim.instructions").add(PendingInstrs);
+      PendingInstrs = 0;
+    }
+#endif
   }
 
   /// Accounts one task-scheduling message.
@@ -80,6 +98,7 @@ public:
       statCounter("sim.bytes_to_client").add(Bytes);
     }
     statCounter("sim.transfers").add();
+    statHistogram("sim.transfer_bytes").record(Bytes);
   }
 
   /// Accounts one dynamic-data registration.
@@ -157,6 +176,12 @@ public:
   uint64_t bytesToServer() const { return BytesToServer; }
   uint64_t bytesToClient() const { return BytesToClient; }
 
+  /// Per-component time accounting (audit layer): what the run spent on
+  /// task-scheduling messages, data transfers and registrations.
+  Rational schedulingTime() const { return SchedulingTime; }
+  Rational transferTime() const { return TransferTime; }
+  Rational registrationTime() const { return RegistrationTime; }
+
   uint64_t retries() const { return Retries; }
   uint64_t timeouts() const { return Timeouts; }
   /// Time spent detecting lost messages and waiting out backoff.
@@ -174,6 +199,9 @@ private:
   /// per-instruction path.
   static obs::Counter &statCounter(const char *Name) {
     return obs::StatsRegistry::global().counter(Name);
+  }
+  static obs::Histogram &statHistogram(const char *Name) {
+    return obs::StatsRegistry::global().histogram(Name);
   }
 
   /// Runs one logical message through the link: up to 1 + MaxRetries
@@ -203,6 +231,8 @@ private:
       Rational Backoff = backoffDelay(Retry, Attempt);
       FaultTime += Backoff;
       statCounter("sim.retries").add();
+      statHistogram("sim.backoff_wait_units")
+          .record(static_cast<uint64_t>(Backoff.toDouble()));
       if (obs::Tracer::global().enabled())
         obs::Tracer::global().instantEvent(
             "sim.backoff_wait", "sim",
@@ -211,9 +241,14 @@ private:
     }
   }
 
+  /// Instruction-count flush granularity for the registry (see
+  /// execInstructions).
+  static constexpr uint64_t kInstrStride = 8192;
+
   CostModel Costs;
   LinkModel Link;
   RetryPolicy Retry;
+  uint64_t PendingInstrs = 0;
   Rational SchedulingTime, TransferTime, RegistrationTime;
   Rational FaultTime, JitterTime;
   uint64_t ClientInstrs = 0, ServerInstrs = 0;

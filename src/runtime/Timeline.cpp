@@ -1,0 +1,224 @@
+//===- runtime/Timeline.cpp - Simulated-run timeline recorder -------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Timeline.h"
+
+#include "obs/Trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace paco;
+
+void RuntimeRecorder::beginSegment(unsigned Task, bool OnServer,
+                                   Rational Now) {
+  if (SegmentOpen)
+    endSegment(Now, 0);
+  TaskSegment S;
+  S.Task = Task;
+  S.OnServer = OnServer;
+  S.Start = std::move(Now);
+  Segments.push_back(std::move(S));
+  SegmentOpen = true;
+}
+
+void RuntimeRecorder::endSegment(Rational Now, uint64_t Instrs) {
+  if (!SegmentOpen)
+    return;
+  Segments.back().End = std::move(Now);
+  Segments.back().Instrs = Instrs;
+  SegmentOpen = false;
+}
+
+void RuntimeRecorder::clear() {
+  Segments.clear();
+  Messages.clear();
+  SegmentOpen = false;
+}
+
+Rational RuntimeRecorder::clientUnits() const {
+  Rational Total;
+  for (const TaskSegment &S : Segments)
+    if (!S.OnServer)
+      Total += S.End - S.Start;
+  return Total;
+}
+
+Rational RuntimeRecorder::serverUnits() const {
+  Rational Total;
+  for (const TaskSegment &S : Segments)
+    if (S.OnServer)
+      Total += S.End - S.Start;
+  return Total;
+}
+
+Rational RuntimeRecorder::channelUnits() const {
+  Rational Total;
+  for (const MessageRecord &M : Messages)
+    Total += M.End - M.Start;
+  return Total;
+}
+
+namespace {
+
+std::string labelOf(const std::vector<std::string> &Labels, unsigned Id,
+                    const char *Prefix) {
+  if (Id < Labels.size() && !Labels[Id].empty())
+    return Labels[Id];
+  if (Id == ~0u)
+    return std::string(Prefix) + "?";
+  return std::string(Prefix) + std::to_string(Id);
+}
+
+std::string describeMessage(const MessageRecord &M,
+                            const std::vector<std::string> &TaskLabels,
+                            const std::vector<std::string> &DataLabels) {
+  std::string What;
+  switch (M.K) {
+  case MessageRecord::Kind::Schedule:
+    What = "schedule";
+    break;
+  case MessageRecord::Kind::Transfer:
+    What = "transfer " + labelOf(DataLabels, M.LocId, "loc");
+    break;
+  case MessageRecord::Kind::Registration:
+    What = "register " + labelOf(DataLabels, M.LocId, "loc");
+    break;
+  }
+  What += M.ToServer ? " c2s " : " s2c ";
+  What += labelOf(TaskLabels, M.FromTask, "task") + "->" +
+          labelOf(TaskLabels, M.ToTask, "task");
+  if (M.K == MessageRecord::Kind::Transfer)
+    What += " " + std::to_string(M.Bytes) + "B";
+  if (M.Timeouts)
+    What += " [" + std::to_string(M.Timeouts) + " timeout(s), " +
+            std::to_string(M.Retries) + " retry(s)]";
+  if (!M.Delivered)
+    What += " LOST";
+  return What;
+}
+
+/// Fixed-point rendering of a Rational with three decimals; exact inputs
+/// make the output deterministic.
+std::string units(const Rational &V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", V.toDouble());
+  return Buf;
+}
+
+struct Row {
+  Rational Start, End;
+  int Lane = 0; ///< 0 client, 1 server, 2 channel; tie-break key.
+  std::string Text;
+};
+
+} // namespace
+
+std::string RuntimeRecorder::renderTimeline(
+    const std::vector<std::string> &TaskLabels,
+    const std::vector<std::string> &DataLabels) const {
+  std::vector<Row> Rows;
+  Rows.reserve(Segments.size() + Messages.size());
+  for (const TaskSegment &S : Segments) {
+    Row R;
+    R.Start = S.Start;
+    R.End = S.End;
+    R.Lane = S.OnServer ? 1 : 0;
+    R.Text = "run " + labelOf(TaskLabels, S.Task, "task") + " [" +
+             std::to_string(S.Instrs) + " instr(s)]";
+    Rows.push_back(std::move(R));
+  }
+  for (const MessageRecord &M : Messages) {
+    Row R;
+    R.Start = M.Start;
+    R.End = M.End;
+    R.Lane = 2;
+    R.Text = describeMessage(M, TaskLabels, DataLabels);
+    Rows.push_back(std::move(R));
+  }
+  // Events never overlap (one host or the link is active at a time), so
+  // start order is total up to zero-length spans; lane breaks the tie.
+  std::stable_sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    int Cmp = A.Start.compare(B.Start);
+    if (Cmp != 0)
+      return Cmp < 0;
+    return A.Lane < B.Lane;
+  });
+
+  static const char *LaneName[] = {"client ", "server ", "channel"};
+  std::string Out = "lane    start        end          dur          what\n";
+  for (const Row &R : Rows) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%s %-12s %-12s %-12s ", LaneName[R.Lane],
+                  units(R.Start).c_str(), units(R.End).c_str(),
+                  units(R.End - R.Start).c_str());
+    Out += Buf;
+    Out += R.Text;
+    Out += "\n";
+  }
+  Rational Client = clientUnits(), Server = serverUnits(),
+           Channel = channelUnits();
+  Rational Elapsed = Client + Server + Channel;
+  auto pct = [&](const Rational &V) -> std::string {
+    if (Elapsed.isZero())
+      return "0.0";
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.1f",
+                  100.0 * (V / Elapsed).toDouble());
+    return Buf;
+  };
+  Out += "total " + units(Elapsed) + " units: client " + units(Client) +
+         " (" + pct(Client) + "%), server " + units(Server) + " (" +
+         pct(Server) + "%), channel " + units(Channel) + " (" +
+         pct(Channel) + "%); " + std::to_string(Segments.size()) +
+         " segment(s), " + std::to_string(Messages.size()) + " message(s)\n";
+  return Out;
+}
+
+void RuntimeRecorder::emitChromeLanes(
+    obs::Tracer &T, const std::vector<std::string> &TaskLabels,
+    const std::vector<std::string> &DataLabels) const {
+  if (!T.enabled())
+    return;
+  constexpr uint32_t ClientTid = 1, ServerTid = 2, ChannelTid = 3;
+  T.nameProcess(TracePid, "simulated run (1us = 1 cost unit)");
+  T.nameThread(TracePid, ClientTid, "client");
+  T.nameThread(TracePid, ServerTid, "server");
+  T.nameThread(TracePid, ChannelTid, "channel");
+  for (const TaskSegment &S : Segments) {
+    double Start = S.Start.toDouble();
+    double Dur = (S.End - S.Start).toDouble();
+    T.laneEvent(labelOf(TaskLabels, S.Task, "task"), "simtime", TracePid,
+                S.OnServer ? ServerTid : ClientTid, Start, Dur,
+                {{"instrs", S.Instrs},
+                 {"task", static_cast<uint64_t>(S.Task)}});
+  }
+  for (const MessageRecord &M : Messages) {
+    double Start = M.Start.toDouble();
+    double Dur = (M.End - M.Start).toDouble();
+    std::vector<obs::TraceArg> Args = {
+        {"dir", M.ToServer ? "c2s" : "s2c"},
+        {"from_task", labelOf(TaskLabels, M.FromTask, "task")},
+        {"to_task", labelOf(TaskLabels, M.ToTask, "task")}};
+    const char *Name = "schedule";
+    if (M.K == MessageRecord::Kind::Transfer) {
+      Name = "transfer";
+      Args.emplace_back("data", labelOf(DataLabels, M.LocId, "loc"));
+      Args.emplace_back("bytes", M.Bytes);
+    } else if (M.K == MessageRecord::Kind::Registration) {
+      Name = "register";
+      Args.emplace_back("data", labelOf(DataLabels, M.LocId, "loc"));
+    }
+    if (M.Timeouts) {
+      Args.emplace_back("timeouts", M.Timeouts);
+      Args.emplace_back("retries", M.Retries);
+    }
+    if (!M.Delivered)
+      Args.emplace_back("lost", "true");
+    T.laneEvent(Name, "simtime", TracePid, ChannelTid, Start, Dur,
+                std::move(Args));
+  }
+}

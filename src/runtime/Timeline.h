@@ -1,0 +1,116 @@
+//===- runtime/Timeline.h - Simulated-run timeline recorder ----*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Records what one simulated run did and when, on the *simulated* clock
+/// (exact Rational cost units, not wall time). The interpreter attaches a
+/// RuntimeRecorder through ExecOptions and reports every task-execution
+/// segment and every runtime message (scheduling, data transfer,
+/// registration) with its start/end simulated time. Segments are split at
+/// every message, so the recorded spans partition the run exactly: the sum
+/// of all span durations equals the run's elapsed time, which the test
+/// suite checks and the cost audit relies on.
+///
+/// The recorder renders two views: Chrome-trace lanes (a dedicated pid
+/// with client / server / channel threads, one microsecond per cost unit)
+/// and a deterministic text Gantt whose bytes depend only on the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_RUNTIME_TIMELINE_H
+#define PACO_RUNTIME_TIMELINE_H
+
+#include "support/Rational.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace paco {
+
+namespace obs {
+class Tracer;
+} // namespace obs
+
+/// One contiguous stay of the program on one host: no messages and no
+/// host change between Start and End.
+struct TaskSegment {
+  unsigned Task = ~0u;
+  bool OnServer = false;
+  uint64_t Instrs = 0; ///< Instructions charged during the segment.
+  Rational Start, End;
+};
+
+/// One runtime message on the channel lane. The span covers everything
+/// the message cost the run, including timeout detection, backoff waits
+/// and latency jitter of lost attempts.
+struct MessageRecord {
+  enum class Kind { Schedule, Transfer, Registration };
+  Kind K = Kind::Schedule;
+  bool ToServer = true;
+  unsigned FromTask = ~0u;
+  unsigned ToTask = ~0u;
+  unsigned LocId = ~0u;   ///< Transfer/Registration: the data item.
+  uint64_t Bytes = 0;     ///< Transfer only.
+  uint64_t Timeouts = 0;  ///< Attempts declared lost by this message.
+  uint64_t Retries = 0;   ///< Re-sends after a timeout.
+  bool Delivered = true;  ///< False when retries were exhausted.
+  Rational Start, End;
+};
+
+/// Collects the timeline of one simulated run. Not thread-safe: the
+/// interpreter is single-threaded and owns the recorder for the run.
+class RuntimeRecorder {
+public:
+  /// Opens a segment for \p Task on the given host. Any still-open
+  /// segment is closed first at \p Now with zero further instructions.
+  void beginSegment(unsigned Task, bool OnServer, Rational Now);
+
+  /// Closes the open segment (no-op when none is open).
+  void endSegment(Rational Now, uint64_t Instrs);
+
+  bool open() const { return SegmentOpen; }
+
+  void message(MessageRecord M) { Messages.push_back(std::move(M)); }
+
+  /// Drops all recorded state, ready for a fresh run.
+  void clear();
+
+  const std::vector<TaskSegment> &segments() const { return Segments; }
+  const std::vector<MessageRecord> &messages() const { return Messages; }
+
+  /// Total simulated units per lane. client + server + channel equals the
+  /// run's elapsed time (segments and messages partition the run).
+  Rational clientUnits() const;
+  Rational serverUnits() const;
+  Rational channelUnits() const;
+
+  /// Deterministic text Gantt: one line per segment and message in start
+  /// order, plus lane totals. \p TaskLabels / \p DataLabels map task and
+  /// memory-location ids to names (out-of-range ids print numerically).
+  std::string renderTimeline(const std::vector<std::string> &TaskLabels,
+                             const std::vector<std::string> &DataLabels) const;
+
+  /// Emits the timeline into \p T as complete events on a dedicated
+  /// "simulated run" process (client/server/channel lanes, 1 us per cost
+  /// unit). No-op when tracing is disabled.
+  void emitChromeLanes(obs::Tracer &T,
+                       const std::vector<std::string> &TaskLabels,
+                       const std::vector<std::string> &DataLabels) const;
+
+  /// The pid the Chrome lanes are emitted under (pid 1 is wall-clock
+  /// pipeline tracing).
+  static constexpr uint32_t TracePid = 2;
+
+private:
+  std::vector<TaskSegment> Segments;
+  std::vector<MessageRecord> Messages;
+  bool SegmentOpen = false;
+};
+
+} // namespace paco
+
+#endif // PACO_RUNTIME_TIMELINE_H
