@@ -16,7 +16,14 @@
 //       [--run] [--jobs N] [--dump-ir] [--dump-source]
 //       [--fault-seed N] [--drop-rate P] [--jitter U]
 //       [--disconnect-at MSG[:LEN]] [--policy fail-fast|retry-only|degrade]
+//       [--adapt=static|react|closed-loop] [--drift=SPEC]
 //       [--trace=FILE] [--stats] [--audit=FILE] [--report]
+//
+// A drift SPEC is a semicolon-separated list of phases, each
+// "at=T[,comm=F][,server=F][,down]" with T and F integers or fractions
+// (e.g. --drift="at=400,comm=16;at=900,comm=1"): from simulated time T
+// on, communication costs scale by comm, server compute by server, and
+// "down" forces the link dead until the next phase.
 //
 //===----------------------------------------------------------------------===//
 
@@ -43,6 +50,24 @@ std::vector<int64_t> parseList(const char *Text) {
   while (std::getline(List, Item, ','))
     Values.push_back(std::strtoll(Item.c_str(), nullptr, 10));
   return Values;
+}
+
+const char *adaptName(AdaptationPolicy Policy) {
+  switch (Policy) {
+  case AdaptationPolicy::Static:
+    return "static";
+  case AdaptationPolicy::ReactOnFailure:
+    return "react";
+  case AdaptationPolicy::ClosedLoop:
+    return "closed-loop";
+  }
+  return "?";
+}
+
+std::string choiceLabel(unsigned Choice) {
+  // Matches the 1-based numbering the dispatch table prints.
+  return Choice == KNone ? std::string("local")
+                         : "choice " + std::to_string(Choice + 1);
 }
 
 const char *policyName(FaultPolicy Policy) {
@@ -88,6 +113,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                  "  fault injection: [--fault-seed N] [--drop-rate P] "
                  "[--jitter U] [--disconnect-at MSG[:LEN]]\n"
                  "                   [--policy fail-fast|retry-only|degrade]\n"
+                 "  adaptation:      [--adapt=static|react|closed-loop] "
+                 "[--drift=at=T[,comm=F][,server=F][,down];...]\n"
                  "  observability:   [--trace=FILE] [--stats] "
                  "[--audit=FILE] [--report]\n",
                  Argv[0]);
@@ -123,7 +150,35 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   std::vector<int64_t> Inputs;
   FaultSpec Link;
   FaultPolicy Policy = FaultPolicy::DegradeToLocal;
+  AdaptationOptions Adapt;
+  DriftSchedule Drift;
   ParametricOptions AnalysisOpts;
+  auto parseAdapt = [&](const char *Name) {
+    if (std::strcmp(Name, "static") == 0)
+      Adapt.Policy = AdaptationPolicy::Static;
+    else if (std::strcmp(Name, "react") == 0)
+      Adapt.Policy = AdaptationPolicy::ReactOnFailure;
+    else if (std::strcmp(Name, "closed-loop") == 0)
+      Adapt.Policy = AdaptationPolicy::ClosedLoop;
+    else {
+      std::fprintf(stderr,
+                   "error: unknown adaptation policy %s (want "
+                   "static|react|closed-loop)\n",
+                   Name);
+      return false;
+    }
+    Run = true;
+    return true;
+  };
+  auto parseDrift = [&](const char *Spec) {
+    std::string Err;
+    if (DriftSchedule::parse(Spec, Drift, Err)) {
+      Run = true;
+      return true;
+    }
+    std::fprintf(stderr, "error: bad drift schedule: %s\n", Err.c_str());
+    return false;
+  };
   for (int A = 2; A < Argc; ++A) {
     if (std::strcmp(Argv[A], "--jobs") == 0 && A + 1 < Argc) {
       // 0 = hardware concurrency; any value yields identical results.
@@ -169,6 +224,18 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
         return 2;
       }
       Run = true;
+    } else if (std::strncmp(Argv[A], "--adapt=", 8) == 0) {
+      if (!parseAdapt(Argv[A] + 8))
+        return 2;
+    } else if (std::strcmp(Argv[A], "--adapt") == 0 && A + 1 < Argc) {
+      if (!parseAdapt(Argv[++A]))
+        return 2;
+    } else if (std::strncmp(Argv[A], "--drift=", 8) == 0) {
+      if (!parseDrift(Argv[A] + 8))
+        return 2;
+    } else if (std::strcmp(Argv[A], "--drift") == 0 && A + 1 < Argc) {
+      if (!parseDrift(Argv[++A]))
+        return 2;
     } else if (std::strncmp(Argv[A], "--trace=", 8) == 0) {
       TracePath = Argv[A] + 8;
     } else if (std::strcmp(Argv[A], "--trace") == 0 && A + 1 < Argc) {
@@ -188,6 +255,13 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
       std::fprintf(stderr, "error: unknown argument %s\n", Argv[A]);
       return 2;
     }
+  }
+  // Reject malformed fault schedules now, with the same one-line style
+  // the drift parser uses; a bad spec silently sampled for an hour is a
+  // far worse failure mode.
+  if (std::string Err = validateFaultSpec(Link); !Err.empty()) {
+    std::fprintf(stderr, "error: bad fault spec: %s\n", Err.c_str());
+    return 2;
   }
   // Fail output paths now, before minutes of analysis, not after.
   if (!TracePath.empty() && !checkWritable(TracePath, "trace")) {
@@ -268,6 +342,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   Opts.Inputs = Inputs;
   Opts.Link = Link;
   Opts.OnLinkFailure = Policy;
+  Opts.Adapt = Adapt;
+  Opts.Drift = Drift;
   // The timeline recorder feeds the cost audit, the text Gantt and the
   // simulated-time trace lanes; skip it when nothing consumes it.
   RuntimeRecorder Recorder;
@@ -302,7 +378,10 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
     }
   }
 
-  std::printf("\n== adaptive run (policy %s", policyName(Policy));
+  std::printf("\n== adaptive run (policy %s, adapt %s", policyName(Policy),
+              adaptName(Adapt.Policy));
+  if (Drift.active())
+    std::printf(", %zu drift phase(s)", Drift.Phases.size());
   if (!Link.faultFree()) {
     std::printf(", seed %llu, drop %.3g",
                 static_cast<unsigned long long>(Link.Seed), Link.DropRate);
@@ -335,6 +414,18 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                 static_cast<unsigned long long>(R.Fallbacks),
                 R.FaultTime.toString().c_str(),
                 R.Degraded ? "  (degraded to local)" : "");
+  if (!R.Redispatches.empty() || R.FinalChoice != R.ChoiceUsed) {
+    std::printf("adaptation: %zu re-dispatch(es), finished on %s\n",
+                R.Redispatches.size(),
+                choiceLabel(R.FinalChoice).c_str());
+    for (const ExecResult::RedispatchEvent &E : R.Redispatches)
+      std::printf("  t=%s: %s -> %s (predicted %s -> %s)\n",
+                  E.At.toString().c_str(),
+                  choiceLabel(E.FromChoice).c_str(),
+                  choiceLabel(E.ToChoice).c_str(),
+                  E.PredictedStay.toString().c_str(),
+                  E.PredictedSwitch.toString().c_str());
+  }
   std::printf("outputs: %zu value(s), %s the all-client run\n",
               R.Outputs.size(),
               R.Outputs == Local.Outputs ? "bit-identical to"

@@ -7,9 +7,12 @@
 #include "interp/Interp.h"
 
 #include "obs/Trace.h"
+#include "partition/Reprice.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 using namespace paco;
 
@@ -83,12 +86,29 @@ RetryPolicy effectiveRetry(const ExecOptions &Opts) {
   return Retry;
 }
 
+/// Static adaptation pins the dispatched choice: degrading to local is
+/// itself an adaptation, so under AdaptationPolicy::Static a message
+/// that exhausts its retries becomes a structured failure instead.
+FaultPolicy effectivePolicy(const ExecOptions &Opts) {
+  if (Opts.Adapt.Policy == AdaptationPolicy::Static &&
+      Opts.OnLinkFailure == FaultPolicy::DegradeToLocal)
+    return FaultPolicy::RetryOnly;
+  return Opts.OnLinkFailure;
+}
+
 class Machine {
 public:
   Machine(const CompiledProgram &CP, const ExecOptions &Opts,
           const EnergyModel &Energy)
       : CP(CP), Opts(Opts), Energy(Energy),
-        Sim(CP.Costs, Opts.Link, effectiveRetry(Opts)), Rec(Opts.Recorder) {}
+        Sim(CP.Costs, Opts.Link, effectiveRetry(Opts), Opts.Drift),
+        EffPolicy(effectivePolicy(Opts)),
+        ClosedLoop(Opts.Adapt.Policy == AdaptationPolicy::ClosedLoop),
+        EvalPeriod(std::max(1u, Opts.Adapt.EvalPeriod)),
+        Rec(Opts.Recorder) {
+    if (ClosedLoop)
+      Prof.emplace(CP.Costs, Opts.Adapt.Alpha);
+  }
 
   ExecResult run();
 
@@ -188,43 +208,67 @@ private:
   //===--------------------------------------------------------------===//
 
   void recEndSegment() {
-    if (Rec && Rec->open()) {
-      Rec->endSegment(Sim.elapsed(), SegInstrs);
+    bool RecOpen = Rec && Rec->open();
+    if (!RecOpen && !ProfSegOpen)
+      return;
+    Rational Now = Sim.elapsed();
+    if (ProfSegOpen) {
+      Prof->observeCompute(ProfSegServer, SegInstrs, Now - ProfSegStart);
+      ProfSegOpen = false;
+    }
+    if (RecOpen) {
+      Rec->endSegment(std::move(Now), SegInstrs);
       obs::StatsRegistry::global()
           .histogram("sim.task_segment_instrs")
           .record(SegInstrs);
-      SegInstrs = 0;
     }
+    SegInstrs = 0;
   }
 
   void recBeginSegment() {
+    if (!Rec && !Prof)
+      return;
+    Rational Now = Sim.elapsed();
     if (Rec)
-      Rec->beginSegment(CurrentTask, OnServer, Sim.elapsed());
+      Rec->beginSegment(CurrentTask, OnServer, Now);
+    if (Prof) {
+      ProfSegStart = std::move(Now);
+      ProfSegServer = OnServer;
+      ProfSegOpen = true;
+    }
   }
 
-  /// Runs \p Send (one simulator message) and records it. Returns the
-  /// delivery status of the send.
+  /// Runs \p Send (one simulator message) and records it -- to the
+  /// timeline recorder and, in a closed-loop run, to the online
+  /// profiler (the observed cost spans everything the message charged,
+  /// fault time included). Returns the delivery status of the send.
   template <typename SendFn>
   bool recMessage(MessageRecord::Kind K, bool ToServer, unsigned FromTask,
                   unsigned ToTask, unsigned LocId, uint64_t Bytes,
                   SendFn &&Send) {
-    if (!Rec)
+    if (!Rec && !Prof)
       return Send();
-    MessageRecord M;
-    M.K = K;
-    M.ToServer = ToServer;
-    M.FromTask = FromTask;
-    M.ToTask = ToTask;
-    M.LocId = LocId;
-    M.Bytes = Bytes;
-    M.Start = Sim.elapsed();
+    Rational Start = Sim.elapsed();
     uint64_t Timeouts0 = Sim.timeouts(), Retries0 = Sim.retries();
     bool Delivered = Send();
-    M.Timeouts = Sim.timeouts() - Timeouts0;
-    M.Retries = Sim.retries() - Retries0;
-    M.Delivered = Delivered;
-    M.End = Sim.elapsed();
-    Rec->message(std::move(M));
+    Rational End = Sim.elapsed();
+    if (Prof && Delivered)
+      Prof->observeMessage(K, ToServer, Bytes, End - Start);
+    if (Rec) {
+      MessageRecord M;
+      M.K = K;
+      M.ToServer = ToServer;
+      M.FromTask = FromTask;
+      M.ToTask = ToTask;
+      M.LocId = LocId;
+      M.Bytes = Bytes;
+      M.Timeouts = Sim.timeouts() - Timeouts0;
+      M.Retries = Sim.retries() - Retries0;
+      M.Delivered = Delivered;
+      M.Start = std::move(Start);
+      M.End = std::move(End);
+      Rec->message(std::move(M));
+    }
     return Delivered;
   }
 
@@ -300,7 +344,7 @@ private:
   /// rollback (DegradeToLocal) or fails the run with a structured
   /// LinkFailure classification.
   bool linkLost(const char *What) {
-    if (Opts.OnLinkFailure == FaultPolicy::DegradeToLocal) {
+    if (EffPolicy == FaultPolicy::DegradeToLocal) {
       WantRollback = true;
       return false;
     }
@@ -318,6 +362,39 @@ private:
     restoreCheckpoint();
     return true;
   }
+
+  //===--------------------------------------------------------------===//
+  // Closed-loop adaptation
+  //
+  // At every task-boundary checkpoint of a ClosedLoop run, the drift
+  // detector re-prices the computed cuts (plus the all-client
+  // fallback) under the profiler's live cost model and, with
+  // hysteresis, switches the rest of the run to the cheapest one. A
+  // switch reconciles memory validity with the new choice's entry
+  // assumptions through real (charged, lossy) messages, so the run
+  // stays bit-identical to the all-client outputs and any failure
+  // lands in the ordinary rollback-and-degrade path.
+  //===--------------------------------------------------------------===//
+
+  /// Re-prices choice \p C (KNone = all-client) at the run's parameter
+  /// point under \p Model.
+  Rational reprice(unsigned C, const CostModel &Model) const {
+    return repriceChoice(CP.Graph, *CP.Memory, CP.Problem, CP.Partition, C,
+                         FullPoint, Model);
+  }
+
+  /// The drift detector; runs right after a boundary checkpoint.
+  /// Returns false when a reconciliation message was lost (the caller
+  /// rolls back, exactly like any other link failure).
+  bool maybeAdapt();
+
+  /// Switches the run to \p NewChoice at the current boundary.
+  bool redispatch(unsigned NewChoice, Rational Stay, Rational Go);
+
+  /// Makes the \p ToServer copy of loc \p D's live regions valid,
+  /// charging one transfer when anything is stale; false on link
+  /// failure.
+  bool migrateLoc(unsigned D, bool ToServer);
 
   //===--------------------------------------------------------------===//
   // Execution
@@ -365,6 +442,12 @@ private:
   const ExecOptions &Opts;
   EnergyModel Energy;
   Simulator Sim;
+  FaultPolicy EffPolicy;
+  bool ClosedLoop = false;
+  unsigned EvalPeriod = 1;
+  std::optional<OnlineProfiler> Prof; ///< Armed iff ClosedLoop.
+  std::vector<Rational> FullPoint;    ///< Parameter point (closed loop /
+                                      ///< dispatch).
   ExecResult Result;
 
   std::vector<MemRegion> Regions;
@@ -396,6 +479,19 @@ private:
 
   RuntimeRecorder *Rec = nullptr;
   uint64_t SegInstrs = 0; ///< Instructions in the open timeline segment.
+
+  // Drift-detector state: boundary counters for the evaluation cadence
+  // and dwell, and the challenger's confirmation streak.
+  uint64_t Boundaries = 0;
+  uint64_t BoundariesSinceSwitch = 0;
+  bool HavePending = false;
+  unsigned PendingChoice = KNone;
+  unsigned PendingStreak = 0;
+  // Profiler's view of the open segment (tracked independently of the
+  // optional timeline recorder).
+  bool ProfSegOpen = false;
+  bool ProfSegServer = false;
+  Rational ProfSegStart;
 };
 
 const std::vector<Machine::Movement> &Machine::transferSet(unsigned A,
@@ -504,6 +600,174 @@ bool Machine::crossTask(unsigned NewTask) {
       }
     }
   }
+  recBeginSegment();
+  return true;
+}
+
+bool Machine::maybeAdapt() {
+  ++Boundaries;
+  ++BoundariesSinceSwitch;
+  if (Boundaries % EvalPeriod != 0)
+    return true;
+  if (Prof->samples() < Opts.Adapt.MinSamples)
+    return true;
+  if (Result.Redispatches.size() >= Opts.Adapt.MaxRedispatches)
+    return true;
+
+  CostModel Profiled = Prof->model();
+  Rational Stay = reprice(Choice, Profiled);
+  // Candidates: every computed cut plus the all-client fallback -- the
+  // safe landing when the profiled point matches no region at all.
+  unsigned Best = Choice;
+  Rational BestCost = Stay;
+  for (unsigned C = 0; C <= CP.Partition.Choices.size(); ++C) {
+    unsigned Cand = C == CP.Partition.Choices.size() ? KNone : C;
+    if (Cand == Choice)
+      continue;
+    Rational Cost = reprice(Cand, Profiled);
+    if (Cost < BestCost) {
+      Best = Cand;
+      BestCost = Cost;
+    }
+  }
+
+  // Hysteresis: the challenger must beat the incumbent by the margin,
+  // keep winning for ConfirmEvals consecutive evaluations, and the run
+  // must have dwelt on the incumbent long enough.
+  static const Rational One(1);
+  if (Best == Choice ||
+      !(BestCost <= Stay * (One - Opts.Adapt.SwitchMargin))) {
+    HavePending = false;
+    PendingStreak = 0;
+    return true;
+  }
+  if (!HavePending || PendingChoice != Best) {
+    HavePending = true;
+    PendingChoice = Best;
+    PendingStreak = 1;
+  } else {
+    ++PendingStreak;
+  }
+  if (PendingStreak < Opts.Adapt.ConfirmEvals ||
+      BoundariesSinceSwitch < Opts.Adapt.MinDwellBoundaries)
+    return true;
+  return redispatch(Best, std::move(Stay), std::move(BestCost));
+}
+
+bool Machine::migrateLoc(unsigned D, bool ToServer) {
+  auto LiveIt = LiveOfLoc.find(D);
+  if (LiveIt == LiveOfLoc.end() || LiveIt->second.empty())
+    return true;
+  bool Stale = false;
+  uint64_t Bytes = 0;
+  unsigned ElemBytes = elementBytes(CP.Memory->loc(D).ElemType);
+  for (unsigned RegionId : LiveIt->second) {
+    const MemRegion &Region = Regions[RegionId];
+    Stale = Stale || !(ToServer ? Region.ServerValid : Region.ClientValid);
+    Bytes += Region.Client.size() * ElemBytes;
+  }
+  if (!Stale)
+    return true;
+  if (!recMessage(MessageRecord::Kind::Transfer, ToServer, CurrentTask,
+                  CurrentTask, D, Bytes,
+                  [&] { return Sim.tryTransfer(ToServer, Bytes); }))
+    return linkLost("re-dispatch data transfer");
+  for (unsigned RegionId : LiveIt->second) {
+    // Like crossTask: the valid copy is the source; a region whose
+    // destination copy is already valid is untouched.
+    MemRegion &Region = Regions[RegionId];
+    if (ToServer) {
+      if (Region.ClientValid) {
+        Region.Server = Region.Client;
+        Region.ServerValid = true;
+      }
+    } else {
+      if (Region.ServerValid) {
+        Region.Client = Region.Server;
+        Region.ClientValid = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool Machine::redispatch(unsigned NewChoice, Rational Stay, Rational Go) {
+  recEndSegment(); // The switch happens between tasks.
+  ExecResult::RedispatchEvent E;
+  E.At = Sim.elapsed();
+  E.AtTask = CurrentTask;
+  E.FromChoice = Choice;
+  E.ToChoice = NewChoice;
+  E.PredictedStay = std::move(Stay);
+  E.PredictedSwitch = std::move(Go);
+
+  Choice = NewChoice;
+  // The cached movement sets encode the old choice's certificate.
+  MovementCache.clear();
+
+  // Reconcile the live state with the new choice's entry assumptions at
+  // this boundary through real (charged, lossy) messages: move the host
+  // if the boundary task now runs elsewhere, then make every copy the
+  // new certificate claims valid at this task actually valid. A lost
+  // message lands in the ordinary rollback path against the checkpoint
+  // just taken.
+  bool NewServer = taskOnServer(CurrentTask);
+  if (NewServer != OnServer) {
+    if (!recMessage(MessageRecord::Kind::Schedule, NewServer, CurrentTask,
+                    CurrentTask, KNone, 0,
+                    [&] { return Sim.trySchedule(NewServer); }))
+      return linkLost("re-dispatch scheduling message");
+    OnServer = NewServer;
+  }
+  if (Choice == KNone) {
+    // All-client from here on: every live region must be client-valid.
+    for (const auto &[D, RegionList] : LiveOfLoc) {
+      (void)RegionList;
+      if (!migrateLoc(D, /*ToServer=*/false))
+        return false;
+    }
+  } else {
+    for (unsigned D : CP.Problem.DataItems) {
+      auto It = CP.Problem.VNodes.find({CurrentTask, D});
+      if (It == CP.Problem.VNodes.end())
+        continue;
+      if (CP.Partition.nodeValue(Choice, It->second.Vsi) &&
+          !migrateLoc(D, /*ToServer=*/true))
+        return false;
+      if (!CP.Partition.nodeValue(Choice, It->second.NVci) &&
+          !migrateLoc(D, /*ToServer=*/false))
+        return false;
+    }
+  }
+  // The completed switch is the new rollback anchor and dwell origin.
+  takeCheckpoint();
+  BoundariesSinceSwitch = 0;
+  HavePending = false;
+  PendingStreak = 0;
+
+  obs::StatsRegistry::global().counter("sim.redispatches").add();
+  auto choiceArg = [](unsigned C) {
+    return C == KNone ? std::string("local") : std::to_string(C);
+  };
+  if (obs::Tracer::global().enabled())
+    obs::Tracer::global().instantEvent(
+        "adapt.redispatch", "sim",
+        {{"at_task", CP.Graph.Tasks[E.AtTask].Label},
+         {"from_choice", choiceArg(E.FromChoice)},
+         {"to_choice", choiceArg(E.ToChoice)},
+         {"predicted_stay", E.PredictedStay.toString()},
+         {"predicted_switch", E.PredictedSwitch.toString()}});
+  if (Rec) {
+    AdaptMark M;
+    M.At = E.At;
+    M.AtTask = E.AtTask;
+    M.FromChoice = E.FromChoice;
+    M.ToChoice = E.ToChoice;
+    M.PredictedStay = E.PredictedStay;
+    M.PredictedSwitch = E.PredictedSwitch;
+    Rec->adapt(std::move(M));
+  }
+  Result.Redispatches.push_back(std::move(E));
   recBeginSegment();
   return true;
 }
@@ -857,8 +1121,11 @@ ExecResult Machine::run() {
   if (Opts.Mode == ExecOptions::Placement::Forced) {
     Choice = Opts.ForcedChoice;
   } else if (Opts.Mode == ExecOptions::Placement::Dispatch) {
-    Choice = CP.Partition.pickChoice(CP.parameterPoint(Opts.ParamValues));
+    FullPoint = CP.parameterPoint(Opts.ParamValues);
+    Choice = CP.Partition.pickChoice(FullPoint);
   }
+  if (ClosedLoop && FullPoint.empty())
+    FullPoint = CP.parameterPoint(Opts.ParamValues);
   Result.ChoiceUsed = Choice;
 
   // Globals: client copies take the initializers, server copies start
@@ -902,12 +1169,20 @@ ExecResult Machine::run() {
     return Result;
 
   // Arm task-boundary checkpointing only when a fault can actually
-  // strike and the policy wants recovery; the common (fault-free) case
-  // never pays for it. The initial checkpoint describes the state "about
-  // to execute main's first instruction, locally": even a failure on the
-  // very first task boundary can roll back to it.
-  CheckpointsOn = Opts.OnLinkFailure == FaultPolicy::DegradeToLocal &&
-                  Choice != KNone && !Opts.Link.faultFree();
+  // strike and the policy wants recovery, or when the closed loop needs
+  // boundaries to re-dispatch at; the common (fault-free, static) case
+  // never pays for it. A drift schedule with Down phases can fail even
+  // a nominally fault-free link. The initial checkpoint describes the
+  // state "about to execute main's first instruction, locally": even a
+  // failure on the very first task boundary can roll back to it.
+  bool DriftCanFail = false;
+  for (const DriftPhase &P : Opts.Drift.Phases)
+    DriftCanFail = DriftCanFail || P.Down;
+  CheckpointsOn =
+      Choice != KNone &&
+      ((EffPolicy == FaultPolicy::DegradeToLocal &&
+        (!Opts.Link.faultFree() || DriftCanFail)) ||
+       ClosedLoop);
   if (CheckpointsOn) {
     unsigned SavedTask = CurrentTask;
     CurrentTask = CP.Graph.taskOfBlock(CP.Module->MainIndex, 0);
@@ -923,8 +1198,14 @@ ExecResult Machine::run() {
     rollback(); // Either restores into the loop below or leaves Failed set.
 
   while (!Failed && !Finished) {
-    if (CheckpointsOn && !Degraded && CurrentTask != Ckpt.CurrentTask)
+    if (CheckpointsOn && !Degraded && CurrentTask != Ckpt.CurrentTask) {
       takeCheckpoint();
+      // The boundary checkpoint doubles as the re-dispatch point: the
+      // drift detector runs here, where no instruction is mid-flight
+      // and a failed switch can roll back to the snapshot just taken.
+      if (ClosedLoop && !maybeAdapt() && !rollback())
+        break;
+    }
     const BasicBlock &Block = func().Blocks[CurBlock];
     if (InstrIdx >= Block.Instrs.size()) {
       fail("fell off the end of a basic block");
@@ -963,6 +1244,7 @@ ExecResult Machine::run() {
   Result.Fallbacks = Fallbacks;
   Result.FaultTime = Sim.faultTime() + Sim.jitterTime();
   Result.Degraded = Degraded;
+  Result.FinalChoice = Degraded ? KNone : Choice;
   for (unsigned T = 0; T != TaskInstrCounts.size(); ++T)
     if (TaskInstrCounts[T])
       Result.TaskInstrs[T] = TaskInstrCounts[T];

@@ -20,11 +20,50 @@
 #ifndef PACO_INTERP_INTERP_H
 #define PACO_INTERP_INTERP_H
 
+#include "runtime/OnlineProfiler.h"
 #include "runtime/Simulator.h"
 #include "runtime/Timeline.h"
 #include "transform/Pipeline.h"
 
 namespace paco {
+
+/// How the run may adapt its partitioning after dispatch.
+enum class AdaptationPolicy {
+  /// The dispatched choice is final; a link failure that exhausts its
+  /// retries fails the run even under FaultPolicy::DegradeToLocal.
+  Static,
+  /// The PR-1 behavior: adapt only by degrading to all-client execution
+  /// when a message exhausts its retries (per FaultPolicy).
+  ReactOnFailure,
+  /// Full closed loop: profile the live link and server online, detect
+  /// when the environment has drifted across a partitioning-region
+  /// boundary, and re-dispatch to the newly optimal cut at a task-
+  /// boundary checkpoint. Failure degradation stays armed as the
+  /// backstop.
+  ClosedLoop,
+};
+
+/// Tuning knobs of the closed loop. The defaults favor stability over
+/// reaction speed: transient jitter must survive several evaluations
+/// and clear a cost margin before the run pays for a switch.
+struct AdaptationOptions {
+  AdaptationPolicy Policy = AdaptationPolicy::ReactOnFailure;
+  /// EWMA smoothing weight of the online profiler, in (0, 1].
+  Rational Alpha = Rational::fraction(1, 4);
+  /// Profiler observations required before the detector may fire.
+  uint64_t MinSamples = 8;
+  /// Evaluate the detector every Nth task boundary (>= 1).
+  unsigned EvalPeriod = 4;
+  /// Task boundaries to dwell on a choice before switching again.
+  unsigned MinDwellBoundaries = 16;
+  /// Consecutive evaluations that must agree on the same challenger.
+  unsigned ConfirmEvals = 2;
+  /// Required relative improvement: switch only when the challenger's
+  /// repriced cost is at most (1 - Margin) times the incumbent's.
+  Rational SwitchMargin = Rational::fraction(1, 8);
+  /// Hard cap on re-dispatches per run (thrash guard).
+  unsigned MaxRedispatches = 8;
+};
 
 /// How to run the program.
 struct ExecOptions {
@@ -48,6 +87,12 @@ struct ExecOptions {
   RetryPolicy Retry;
   /// Recovery policy when a message exhausts its retries.
   FaultPolicy OnLinkFailure = FaultPolicy::DegradeToLocal;
+  /// Closed-loop adaptation policy and tuning (see AdaptationPolicy).
+  AdaptationOptions Adapt;
+  /// Piecewise environment-drift schedule the simulator applies on the
+  /// simulated clock (bandwidth ramps, server load spikes, timed
+  /// outages). Empty = the static environment.
+  DriftSchedule Drift;
   /// Optional timeline recorder (cleared at run start): receives every
   /// task-execution segment and runtime message on the simulated clock.
   /// Costs one elapsed-time evaluation per task boundary, nothing on the
@@ -81,7 +126,9 @@ struct ExecResult {
   uint64_t BytesToServer = 0;
   uint64_t BytesToClient = 0;
   uint64_t Registrations = 0;
-  unsigned ChoiceUsed = KNone; ///< Partitioning choice, if any.
+  unsigned ChoiceUsed = KNone;  ///< Initially dispatched choice, if any.
+  unsigned FinalChoice = KNone; ///< Choice the run finished under (KNone
+                                ///< after a switch to local or a degrade).
 
   /// Per-component time split of Time (cost audit): task-scheduling
   /// messages, data transfers, dynamic-data registrations.
@@ -99,6 +146,18 @@ struct ExecResult {
 
   /// Measured instruction executions per task (for prediction error).
   std::map<unsigned, uint64_t> TaskInstrs;
+
+  /// One closed-loop re-dispatch the run performed (same payload the
+  /// timeline records as an AdaptMark).
+  struct RedispatchEvent {
+    Rational At;             ///< Simulated time of the switch.
+    unsigned AtTask = KNone; ///< The task boundary it fired at.
+    unsigned FromChoice = KNone;
+    unsigned ToChoice = KNone; ///< KNone = switched to all-client.
+    Rational PredictedStay;    ///< Profiled cost of keeping FromChoice.
+    Rational PredictedSwitch;  ///< Profiled cost of ToChoice.
+  };
+  std::vector<RedispatchEvent> Redispatches;
 };
 
 /// Runs the program.

@@ -142,6 +142,22 @@ std::string CostAuditReport::toJSON() const {
            "\": " + entryJSON(*Components[I].second, false) +
            (I + 1 != 5 ? ",\n" : "\n");
   Out += "  },\n";
+  Out += "  \"redispatches\": [";
+  for (size_t I = 0; I != Redispatches.size(); ++I) {
+    const ExecResult::RedispatchEvent &E = Redispatches[I];
+    auto choice = [](unsigned C) {
+      return C == KNone ? std::string("null") : std::to_string(C);
+    };
+    Out += (I ? ",\n    " : "\n    ");
+    Out += "{\"at\": " + jsonNum(E.At.toDouble()) +
+           ", \"at_task\": " + choice(E.AtTask) +
+           ", \"from_choice\": " + choice(E.FromChoice) +
+           ", \"to_choice\": " + choice(E.ToChoice) +
+           ", \"predicted_stay\": " + jsonNum(E.PredictedStay.toDouble()) +
+           ", \"predicted_switch\": " +
+           jsonNum(E.PredictedSwitch.toDouble()) + "}";
+  }
+  Out += Redispatches.empty() ? "],\n" : "\n  ],\n";
   Out += "  \"fault_units\": " + jsonNum(FaultUnits.toDouble()) + ",\n";
   Out += "  \"cut_value\": " + jsonNum(CutValue.toDouble()) + ",\n";
   Out += "  \"cut_matches_components\": " +
@@ -190,6 +206,24 @@ std::string CostAuditReport::toText() const {
   line("communication", Communication);
   line("registration", Registration);
   line("total", Total);
+  if (!Redispatches.empty()) {
+    Out += "re-dispatches:\n";
+    auto choice = [](unsigned C) {
+      return C == KNone ? std::string("local")
+                        : "choice " + std::to_string(C);
+    };
+    for (const ExecResult::RedispatchEvent &E : Redispatches) {
+      char Buf[192];
+      std::snprintf(Buf, sizeof(Buf),
+                    "  t=%s task %u: %s -> %s (predicted %s -> %s)\n",
+                    fmtUnits(E.At).c_str(), E.AtTask,
+                    choice(E.FromChoice).c_str(),
+                    choice(E.ToChoice).c_str(),
+                    fmtUnits(E.PredictedStay).c_str(),
+                    fmtUnits(E.PredictedSwitch).c_str());
+      Out += Buf;
+    }
+  }
   Out += "fault time (unpredicted): " + fmtUnits(FaultUnits) + " units\n";
   Out += "cut value at h: " + fmtUnits(CutValue) +
          " (components match: " + (CutMatchesComponents ? "yes" : "NO") +
@@ -232,11 +266,17 @@ CostAuditReport paco::obs::auditRun(const CompiledProgram &CP,
     return R;
   }
   R.Valid = true;
+  R.Redispatches = Run.Redispatches;
   if (R.Choice == KNone)
     R.Note = "all-client baseline: no messages predicted or sent";
   else if (R.Degraded)
     R.Note = "run degraded to local execution mid-way; the static "
              "prediction assumes the partition ran to completion";
+  else if (!R.Redispatches.empty())
+    R.Note = "closed-loop run re-dispatched " +
+             std::to_string(R.Redispatches.size()) +
+             " time(s); the static prediction assumes the initial "
+             "choice ran to completion";
 
   const std::vector<Rational> Point = CP.parameterPoint(ParamValues);
   const CostModel &C = CP.Costs;

@@ -56,6 +56,12 @@ struct CostAuditReport {
   bool Degraded = false;   ///< Run fell back to the client mid-way.
   std::vector<int64_t> ParamValues;
 
+  /// Closed-loop re-dispatches the run performed, in order. The static
+  /// prediction below is the *initial* choice's, so a re-dispatched run
+  /// legitimately diverges from it -- that divergence is the drift the
+  /// adaptation reacted to.
+  std::vector<ExecResult::RedispatchEvent> Redispatches;
+
   /// Component totals (the paper's cost taxonomy) plus the grand total.
   AuditEntry ClientCompute, ServerCompute, Scheduling, Communication,
       Registration, Total;

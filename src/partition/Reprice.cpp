@@ -1,0 +1,60 @@
+//===- partition/Reprice.cpp - Re-price choices under a cost model --------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "partition/Reprice.h"
+
+using namespace paco;
+
+Rational paco::repriceChoice(const TCFG &Graph, const MemoryModel &Memory,
+                             const PartitionProblem &Problem,
+                             const ParametricResult &Partition,
+                             unsigned Choice,
+                             const std::vector<Rational> &Point,
+                             const CostModel &Costs) {
+  auto onServer = [&](unsigned Task) {
+    return Choice != KNone && Partition.Choices[Choice].TaskOnServer[Task];
+  };
+  auto value = [&](NodeId N) { return Partition.nodeValue(Choice, N); };
+
+  // Computation: every task runs at its host's rate.
+  Rational Total;
+  for (unsigned V = 0; V != Graph.numTasks(); ++V)
+    Total += Graph.Tasks[V].ComputeUnits.evaluate(Point) *
+             (onServer(V) ? Costs.Ts : Costs.Tc);
+  if (Choice == KNone)
+    return Total;
+
+  // Messages, mirroring the audit's arc semantics: scheduling on
+  // placement-crossing edges, transfers where an item becomes valid on
+  // the other host, registration where both hosts access a dynamic
+  // item.
+  for (const auto &[Edge, CountExpr] : Graph.Edges) {
+    if (CountExpr.isZero())
+      continue;
+    auto [U, V] = Edge;
+    bool MU = onServer(U), MV = onServer(V);
+    Rational Count = CountExpr.evaluate(Point);
+    if (!MU && MV)
+      Total += Count * Costs.Tcst;
+    else if (MU && !MV)
+      Total += Count * Costs.Tsct;
+    for (unsigned D : Problem.DataItems) {
+      auto UIt = Problem.VNodes.find({U, D});
+      auto VIt = Problem.VNodes.find({V, D});
+      if (UIt == Problem.VNodes.end() || VIt == Problem.VNodes.end())
+        continue;
+      Rational Bytes = Memory.byteSize(D).evaluate(Point);
+      if (value(VIt->second.Vsi) && !value(UIt->second.Vso))
+        Total += Count * (Costs.Tcsh + Bytes * Costs.Tcsu);
+      if (value(UIt->second.NVco) && !value(VIt->second.NVci))
+        Total += Count * (Costs.Tsch + Bytes * Costs.Tscu);
+    }
+  }
+  for (const auto &[D, Nodes] : Problem.AccessNodes)
+    if (value(Nodes.first) && !value(Nodes.second))
+      Total += Memory.loc(D).AllocCount.evaluate(Point) * Costs.Ta;
+  return Total;
+}

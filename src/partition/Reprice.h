@@ -1,0 +1,39 @@
+//===- partition/Reprice.h - Re-price choices under a cost model *- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prices a partitioning choice at a concrete parameter point under an
+/// *arbitrary* cost model, using the same Theorem-1 arc decomposition
+/// the min cut and the cost audit use: per-task computation, scheduling
+/// messages on placement-crossing TCFG edges, validity-dictated data
+/// transfers, and dynamic-data registrations. Every capacity is linear
+/// in the platform constants, so swapping the constants re-prices a cut
+/// exactly without re-running any flow computation -- this is what lets
+/// the closed-loop adaptation layer ask "under the link I am *actually*
+/// seeing, which of the already-computed cuts is cheapest?" at a task
+/// boundary in O(edges) time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_PARTITION_REPRICE_H
+#define PACO_PARTITION_REPRICE_H
+
+#include "partition/Parametric.h"
+
+namespace paco {
+
+/// Total predicted whole-program cost of running \p Choice (an index
+/// into \p Partition's choices, or KNone for the all-client baseline)
+/// at full-space parameter point \p Point, under \p Costs.
+Rational repriceChoice(const TCFG &Graph, const MemoryModel &Memory,
+                       const PartitionProblem &Problem,
+                       const ParametricResult &Partition, unsigned Choice,
+                       const std::vector<Rational> &Point,
+                       const CostModel &Costs);
+
+} // namespace paco
+
+#endif // PACO_PARTITION_REPRICE_H

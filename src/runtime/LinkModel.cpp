@@ -6,15 +6,151 @@
 
 #include "runtime/LinkModel.h"
 
+#include <cmath>
+
 using namespace paco;
 
 Rational paco::backoffDelay(const RetryPolicy &Policy, unsigned Attempt) {
-  // min(Base * 2^Attempt, Cap), with the doubling stopped at the cap so
-  // the exact arithmetic stays bounded for absurd attempt counts.
+  // min(Base * 2^Attempt, Cap), saturating: the doubling stops at the
+  // cap so the exact arithmetic stays bounded for absurd attempt
+  // counts, and degenerate policies (non-positive base or cap, for
+  // which the doubling would never terminate or the wait would run
+  // time backwards) clamp to a zero wait.
+  const Rational Zero;
+  if (!(Policy.BackoffBase > Zero) || !(Policy.BackoffCap > Zero))
+    return Zero;
   Rational Delay = Policy.BackoffBase;
   for (unsigned K = 0; K != Attempt && Delay < Policy.BackoffCap; ++K)
     Delay *= Rational(2);
   return Delay < Policy.BackoffCap ? Delay : Policy.BackoffCap;
+}
+
+uint64_t paco::saturatingCostUnits(const Rational &Units) {
+  if (Units.isNegative())
+    return 0;
+  BigInt Whole = Units.floor();
+  if (!Whole.fitsInt64())
+    return UINT64_MAX;
+  return static_cast<uint64_t>(Whole.toInt64());
+}
+
+std::string paco::validateFaultSpec(const FaultSpec &Spec) {
+  if (std::isnan(Spec.DropRate) || Spec.DropRate < 0.0 ||
+      Spec.DropRate > 1.0)
+    return "drop rate must be a probability in [0, 1]";
+  if (Spec.DisconnectLength != 0 &&
+      Spec.DisconnectAt > UINT64_MAX - Spec.DisconnectLength)
+    return "disconnect window must not wrap past 2^64 attempts";
+  return "";
+}
+
+std::string DriftSchedule::validate() const {
+  const Rational Zero;
+  for (size_t I = 0; I != Phases.size(); ++I) {
+    const DriftPhase &P = Phases[I];
+    if (P.At.isNegative())
+      return "drift phase " + std::to_string(I) +
+             ": start time must be non-negative";
+    if (I && !(Phases[I - 1].At < P.At))
+      return "drift phase " + std::to_string(I) +
+             ": start times must be strictly increasing";
+    if (!(P.CommScale > Zero))
+      return "drift phase " + std::to_string(I) +
+             ": comm factor must be positive";
+    if (P.ServerScale.isNegative())
+      return "drift phase " + std::to_string(I) +
+             ": server factor must be non-negative";
+  }
+  return "";
+}
+
+namespace {
+
+/// Parses a non-negative exact number: "N" or "N/D" with decimal
+/// integer parts.
+bool parseRational(const std::string &Text, Rational &Out) {
+  size_t Slash = Text.find('/');
+  std::string NumText = Text.substr(0, Slash);
+  std::string DenText =
+      Slash == std::string::npos ? "1" : Text.substr(Slash + 1);
+  auto parseInt = [](const std::string &S, int64_t &V) {
+    if (S.empty() || S.size() > 18)
+      return false;
+    V = 0;
+    for (char C : S) {
+      if (C < '0' || C > '9')
+        return false;
+      V = V * 10 + (C - '0');
+    }
+    return true;
+  };
+  int64_t Num = 0, Den = 1;
+  if (!parseInt(NumText, Num) || !parseInt(DenText, Den) || Den == 0)
+    return false;
+  Out = Rational::fraction(Num, Den);
+  return true;
+}
+
+} // namespace
+
+bool DriftSchedule::parse(const std::string &Spec, DriftSchedule &Out,
+                          std::string &Err) {
+  Out.Phases.clear();
+  Err.clear();
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Phase = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Phase.empty())
+      continue;
+    DriftPhase P;
+    bool HaveAt = false;
+    size_t FPos = 0;
+    while (FPos <= Phase.size()) {
+      size_t FEnd = Phase.find(',', FPos);
+      if (FEnd == std::string::npos)
+        FEnd = Phase.size();
+      std::string Field = Phase.substr(FPos, FEnd - FPos);
+      FPos = FEnd + 1;
+      if (Field.empty())
+        continue;
+      if (Field == "down") {
+        P.Down = true;
+        continue;
+      }
+      size_t Eq = Field.find('=');
+      std::string Key = Field.substr(0, Eq);
+      std::string Val = Eq == std::string::npos ? "" : Field.substr(Eq + 1);
+      Rational *Dst = nullptr;
+      if (Key == "at") {
+        Dst = &P.At;
+        HaveAt = true;
+      } else if (Key == "comm") {
+        Dst = &P.CommScale;
+      } else if (Key == "server") {
+        Dst = &P.ServerScale;
+      } else {
+        Err = "drift: unknown field '" + Key +
+              "' (want at=, comm=, server=, down)";
+        return false;
+      }
+      if (!parseRational(Val, *Dst)) {
+        Err = "drift: bad value '" + Val + "' for '" + Key +
+              "' (want N or N/D)";
+        return false;
+      }
+    }
+    if (!HaveAt) {
+      Err = "drift: phase '" + Phase + "' is missing at=TIME";
+      return false;
+    }
+    Out.Phases.push_back(std::move(P));
+  }
+  Err = Out.validate();
+  return Err.empty();
 }
 
 namespace {
@@ -29,12 +165,12 @@ uint64_t mix64(uint64_t X) {
 
 } // namespace
 
-LinkModel::Attempt LinkModel::next() {
+LinkModel::Attempt LinkModel::next(bool ForceDown) {
   uint64_t Index = NextAttempt++;
   Event E;
   E.Attempt = Index;
-  if (Spec.DisconnectLength != 0 && Index >= Spec.DisconnectAt &&
-      Index - Spec.DisconnectAt < Spec.DisconnectLength) {
+  if (ForceDown || (Spec.DisconnectLength != 0 && Index >= Spec.DisconnectAt &&
+                    Index - Spec.DisconnectAt < Spec.DisconnectLength)) {
     E.What = Outcome::Disconnected;
   } else {
     // One hash decides delivery, a second (chained) one the jitter, so

@@ -50,6 +50,54 @@ struct FaultSpec {
   }
 };
 
+/// One-line sanity check of a FaultSpec from an untrusted source (CLI,
+/// config). Returns the empty string when the spec is well-formed, else
+/// a human-readable reason.
+std::string validateFaultSpec(const FaultSpec &Spec);
+
+/// One phase of a piecewise environment-drift schedule. From simulated
+/// time At onward (until the next phase), every message cost is scaled
+/// by CommScale (bandwidth drift: startup, per-byte, scheduling and
+/// registration alike), every server instruction by ServerScale (load
+/// spikes), and a Down phase forces every link attempt to fail
+/// regardless of the drop rate (time-based disconnect-and-recover, as
+/// opposed to FaultSpec's attempt-indexed window).
+struct DriftPhase {
+  Rational At;             ///< Phase start on the simulated clock.
+  Rational CommScale{1};   ///< Multiplier on message costs (> 0).
+  Rational ServerScale{1}; ///< Multiplier on server compute (>= 0).
+  bool Down = false;       ///< Link hard-down while the phase lasts.
+};
+
+/// A deterministic, piecewise-constant drift schedule keyed on the
+/// simulated clock. Before the first phase the environment matches the
+/// static CostModel exactly; each phase then holds until the next one
+/// starts. Everything stays exact Rational arithmetic, so a drifting
+/// run is as bit-reproducible as a static one.
+struct DriftSchedule {
+  std::vector<DriftPhase> Phases; ///< Sorted by strictly increasing At.
+
+  bool active() const { return !Phases.empty(); }
+
+  /// Empty string when well-formed; else the reason (negative times,
+  /// non-monotone phase starts, non-positive scale factors).
+  std::string validate() const;
+
+  /// Parses the CLI form: semicolon-separated phases, each
+  /// "at=TIME[,comm=FACTOR][,server=FACTOR][,down]" with TIME and
+  /// FACTOR as non-negative integers or N/D rationals, e.g.
+  /// "at=500,comm=16;at=900,comm=1". Validates the result. Returns
+  /// false with a one-line message in \p Err on any problem.
+  static bool parse(const std::string &Spec, DriftSchedule &Out,
+                    std::string &Err);
+};
+
+/// Rounds \p Units down to a whole number of cost units, saturating at
+/// the uint64_t range instead of invoking the undefined behavior of an
+/// out-of-range float-to-integer cast (a long forced-outage replay with
+/// an absurd backoff cap produces exact waits far beyond 2^64).
+uint64_t saturatingCostUnits(const Rational &Units);
+
 /// Bounded-exponential-backoff retry schedule for lost messages: after
 /// failed attempt k (0-based) the sender waits min(Base * 2^k, Cap) cost
 /// units before resending, and gives up after MaxRetries resends.
@@ -94,7 +142,11 @@ public:
   bool faultFree() const { return Spec.faultFree(); }
 
   /// Decides the next attempt. Deterministic in (seed, attempt index).
-  Attempt next();
+  /// \p ForceDown overrides the spec and fails the attempt outright --
+  /// the simulator passes it while a DriftSchedule Down phase covers the
+  /// current simulated time (the attempt index still advances, so the
+  /// post-recovery schedule is unperturbed).
+  Attempt next(bool ForceDown = false);
 
   /// Number of attempts consumed so far.
   uint64_t attempts() const { return NextAttempt; }

@@ -1,0 +1,72 @@
+//===- runtime/OnlineProfiler.cpp - EWMA cost-model profiler --------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/OnlineProfiler.h"
+
+using namespace paco;
+
+namespace {
+
+/// Snaps \p V down to the 2^-16 grid. An un-quantized EWMA multiplies
+/// denominators by Alpha's on every update, growing the exact numbers
+/// without bound; the grid keeps them word-sized at a resolution far
+/// below any switching margin.
+Rational quantize(const Rational &V) {
+  static const int64_t Grid = 1 << 16;
+  return Rational((V * Rational(Grid)).floor(), BigInt(Grid));
+}
+
+} // namespace
+
+void OnlineProfiler::update(Rational &Est, const Rational &Observed) {
+  Est = quantize(Est + Alpha * (Observed - Est));
+  ++Samples;
+}
+
+void OnlineProfiler::observeMessage(MessageRecord::Kind K, bool ToServer,
+                                    uint64_t Bytes, const Rational &Cost) {
+  Rational BaseCost;
+  switch (K) {
+  case MessageRecord::Kind::Schedule:
+    BaseCost = ToServer ? Base.Tcst : Base.Tsct;
+    break;
+  case MessageRecord::Kind::Transfer: {
+    Rational Size(static_cast<int64_t>(Bytes));
+    BaseCost = ToServer ? Base.Tcsh + Base.Tcsu * Size
+                        : Base.Tsch + Base.Tscu * Size;
+    break;
+  }
+  case MessageRecord::Kind::Registration:
+    BaseCost = Base.Ta;
+    break;
+  }
+  if (!BaseCost.isPositive())
+    return;
+  update(ToServer ? CommC2S : CommS2C, Cost / BaseCost);
+}
+
+void OnlineProfiler::observeCompute(bool OnServer, uint64_t Instrs,
+                                    const Rational &Duration) {
+  Rational BaseCost = (OnServer ? Base.Ts : Base.Tc) *
+                      Rational(static_cast<int64_t>(Instrs));
+  if (!BaseCost.isPositive())
+    return;
+  update(OnServer ? ServerScale : ClientScale, Duration / BaseCost);
+}
+
+CostModel OnlineProfiler::model() const {
+  CostModel M = Base;
+  M.Tc *= ClientScale;
+  M.Ts *= ServerScale;
+  M.Tcsh *= CommC2S;
+  M.Tcsu *= CommC2S;
+  M.Tcst *= CommC2S;
+  M.Ta *= CommC2S;
+  M.Tsch *= CommS2C;
+  M.Tscu *= CommS2C;
+  M.Tsct *= CommS2C;
+  return M;
+}

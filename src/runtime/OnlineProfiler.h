@@ -1,0 +1,84 @@
+//===- runtime/OnlineProfiler.h - EWMA cost-model profiler -----*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Estimates, while a run executes, how far the live environment has
+/// drifted from the static CostModel the partitioning was computed
+/// against. Rather than re-fitting the raw platform constants (one
+/// observation cannot split a transfer into its startup and per-byte
+/// parts), the profiler tracks EWMA *scale factors* per cost group --
+/// client compute, server compute, client-to-server messages,
+/// server-to-client messages -- each the ratio of an observed cost to
+/// what the base model predicts for the same event. Message
+/// observations include any fault time the message suffered, so a lossy
+/// link simply looks like an expensive one, which is exactly what a
+/// re-pricing decision wants. model() applies the factors to the base
+/// model, handing the drift detector an up-to-date cost model to
+/// re-price partitioning choices under.
+///
+/// Everything is exact Rational arithmetic; estimates are quantized to
+/// a fixed 2^-16 grid after every update so their denominators stay
+/// bounded over arbitrarily long runs while results remain fully
+/// deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_RUNTIME_ONLINEPROFILER_H
+#define PACO_RUNTIME_ONLINEPROFILER_H
+
+#include "cost/CostModel.h"
+#include "runtime/Timeline.h"
+
+namespace paco {
+
+class OnlineProfiler {
+public:
+  /// \p Alpha is the EWMA smoothing weight in (0, 1]: the fraction of
+  /// each new observation blended into the estimate.
+  OnlineProfiler(const CostModel &Base, Rational Alpha)
+      : Base(Base), Alpha(std::move(Alpha)) {}
+
+  /// Feeds one delivered runtime message: its kind/direction/size and
+  /// the total simulated time it cost (including timeout, backoff and
+  /// jitter time). Zero-cost classes under the base model (e.g. a free
+  /// scheduling message) carry no scale information and are skipped.
+  void observeMessage(MessageRecord::Kind K, bool ToServer, uint64_t Bytes,
+                      const Rational &Cost);
+
+  /// Feeds one completed task segment: \p Instrs instructions on one
+  /// host over \p Duration simulated units.
+  void observeCompute(bool OnServer, uint64_t Instrs,
+                      const Rational &Duration);
+
+  /// Observations folded in so far (the drift detector's warm-up gate).
+  uint64_t samples() const { return Samples; }
+
+  /// The base model with every estimated scale applied: compute rates
+  /// per host, message costs per direction (registration rides the
+  /// client-to-server group).
+  CostModel model() const;
+
+  /// Current estimates, exposed for reports and tests.
+  const Rational &commToServerScale() const { return CommC2S; }
+  const Rational &commToClientScale() const { return CommS2C; }
+  const Rational &clientComputeScale() const { return ClientScale; }
+  const Rational &serverComputeScale() const { return ServerScale; }
+
+private:
+  void update(Rational &Est, const Rational &Observed);
+
+  CostModel Base;
+  Rational Alpha;
+  Rational CommC2S{1};
+  Rational CommS2C{1};
+  Rational ClientScale{1};
+  Rational ServerScale{1};
+  uint64_t Samples = 0;
+};
+
+} // namespace paco
+
+#endif // PACO_RUNTIME_ONLINEPROFILER_H

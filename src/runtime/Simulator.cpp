@@ -8,6 +8,24 @@
 
 using namespace paco;
 
+void Simulator::driftInstructions(bool OnServer, uint64_t N) {
+  Rational T = (OnServer ? Costs.Ts : Costs.Tc) *
+               Rational(static_cast<int64_t>(N));
+  if (OnServer) {
+    if (const DriftPhase *P = phaseNow()) {
+      static const Rational One(1);
+      if (P->ServerScale != One) {
+        // The spike surcharge is tracked separately so serverCompute()
+        // can stay derived from the instruction counter.
+        Rational Extra = T * (P->ServerScale - One);
+        DriftServerExtra += Extra;
+        T += Extra;
+      }
+    }
+  }
+  DriftNow += T;
+}
+
 std::string Simulator::summary() const {
   std::string Out = "elapsed=" + elapsed().toString();
   Out += " client_instrs=" + std::to_string(ClientInstrs);

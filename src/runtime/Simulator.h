@@ -44,10 +44,18 @@ public:
   explicit Simulator(const CostModel &Costs) : Costs(Costs) {}
 
   /// A simulator whose link follows the injected fault schedule \p Faults
-  /// and retries lost messages under \p Retry.
+  /// and retries lost messages under \p Retry. An active \p Drift
+  /// schedule additionally scales message and server-compute costs (and
+  /// forces outages) phase by phase on the simulated clock; the
+  /// fault-free, drift-free fast paths are untouched when it is empty.
   Simulator(const CostModel &Costs, const FaultSpec &Faults,
-            const RetryPolicy &Retry)
-      : Costs(Costs), Link(Faults), Retry(Retry) {}
+            const RetryPolicy &Retry,
+            const DriftSchedule &Drift = DriftSchedule())
+      : Costs(Costs), Link(Faults), Retry(Retry), Drift(Drift),
+        DriftOn(this->Drift.active()) {
+    for (const DriftPhase &P : this->Drift.Phases)
+      DriftHasDown = DriftHasDown || P.Down;
+  }
 
   /// Accounts \p N instructions on the active host. Costs are derived
   /// from the counters on demand, so this is a bare increment on the
@@ -59,6 +67,8 @@ public:
       ServerInstrs += N;
     else
       ClientInstrs += N;
+    if (DriftOn)
+      driftInstructions(OnServer, N);
 #ifndef PACO_DISABLE_OBS
     if ((PendingInstrs += N) >= kInstrStride)
       flushInstrs();
@@ -80,7 +90,9 @@ public:
   /// Accounts one task-scheduling message.
   void schedule(bool ToServer) {
     ++Migrations;
-    SchedulingTime += ToServer ? Costs.Tcst : Costs.Tsct;
+    Rational Cost = commCost(ToServer ? Costs.Tcst : Costs.Tsct);
+    SchedulingTime += Cost;
+    advanceClock(Cost);
     statCounter("sim.migrations").add();
   }
 
@@ -88,15 +100,18 @@ public:
   void transfer(bool ToServer, uint64_t Bytes) {
     ++Transfers;
     Rational Size(static_cast<int64_t>(Bytes));
+    Rational Cost;
     if (ToServer) {
       BytesToServer += Bytes;
-      TransferTime += Costs.Tcsh + Costs.Tcsu * Size;
+      Cost = commCost(Costs.Tcsh + Costs.Tcsu * Size);
       statCounter("sim.bytes_to_server").add(Bytes);
     } else {
       BytesToClient += Bytes;
-      TransferTime += Costs.Tsch + Costs.Tscu * Size;
+      Cost = commCost(Costs.Tsch + Costs.Tscu * Size);
       statCounter("sim.bytes_to_client").add(Bytes);
     }
+    TransferTime += Cost;
+    advanceClock(Cost);
     statCounter("sim.transfers").add();
     statHistogram("sim.transfer_bytes").record(Bytes);
   }
@@ -104,7 +119,9 @@ public:
   /// Accounts one dynamic-data registration.
   void registration() {
     ++Registrations;
-    RegistrationTime += Costs.Ta;
+    Rational Cost = commCost(Costs.Ta);
+    RegistrationTime += Cost;
+    advanceClock(Cost);
     statCounter("sim.registrations").add();
   }
 
@@ -141,11 +158,14 @@ public:
   }
 
   /// Computation time per host, derived from the instruction counters.
+  /// Server time includes what drift-phase load spikes added on top of
+  /// the static Ts rate.
   Rational clientCompute() const {
     return Costs.Tc * Rational(static_cast<int64_t>(ClientInstrs));
   }
   Rational serverCompute() const {
-    return Costs.Ts * Rational(static_cast<int64_t>(ServerInstrs));
+    return Costs.Ts * Rational(static_cast<int64_t>(ServerInstrs)) +
+           DriftServerExtra;
   }
 
   /// Total elapsed time in cost units (hosts never overlap). Time lost
@@ -191,6 +211,13 @@ public:
   /// The link, exposed for fault-trace inspection.
   const LinkModel &link() const { return Link; }
 
+  /// The drift schedule driving this run (empty when static).
+  const DriftSchedule &drift() const { return Drift; }
+  /// The simulated clock the drift layer maintains incrementally; always
+  /// equals elapsed() while a schedule is active (invariant-checked by
+  /// the tests), and stays zero otherwise.
+  const Rational &driftClock() const { return DriftNow; }
+
   /// One-line summary for logs.
   std::string summary() const;
 
@@ -206,20 +233,25 @@ private:
 
   /// Runs one logical message through the link: up to 1 + MaxRetries
   /// attempts, charging Tto plus the capped exponential backoff for each
-  /// failure. Returns false when every attempt was lost.
+  /// failure. Returns false when every attempt was lost. Backoff waits
+  /// advance the drift clock, so a retry loop can ride out a time-based
+  /// Down phase and deliver after recovery.
   bool sendMessage() {
-    if (Link.faultFree())
+    if (Link.faultFree() && !DriftHasDown)
       return true;
     for (unsigned Attempt = 0;; ++Attempt) {
-      LinkModel::Attempt A = Link.next();
+      LinkModel::Attempt A = Link.next(driftDown());
       if (A.Delivered) {
-        JitterTime += Rational(static_cast<int64_t>(A.Jitter));
+        Rational Jitter(static_cast<int64_t>(A.Jitter));
+        JitterTime += Jitter;
+        advanceClock(Jitter);
         if (A.Jitter != 0)
           statCounter("sim.jitter_units").add(A.Jitter);
         return true;
       }
       ++Timeouts;
       FaultTime += Costs.Tto;
+      advanceClock(Costs.Tto);
       statCounter("sim.timeouts").add();
       if (obs::Tracer::global().enabled())
         obs::Tracer::global().instantEvent(
@@ -230,9 +262,10 @@ private:
       ++Retries;
       Rational Backoff = backoffDelay(Retry, Attempt);
       FaultTime += Backoff;
+      advanceClock(Backoff);
       statCounter("sim.retries").add();
       statHistogram("sim.backoff_wait_units")
-          .record(static_cast<uint64_t>(Backoff.toDouble()));
+          .record(saturatingCostUnits(Backoff));
       if (obs::Tracer::global().enabled())
         obs::Tracer::global().instantEvent(
             "sim.backoff_wait", "sim",
@@ -241,6 +274,47 @@ private:
     }
   }
 
+  //===------------------------------------------------------------------===//
+  // Drift layer. DriftNow mirrors elapsed() incrementally (every charge
+  // site advances it) so the piecewise schedule can be indexed by the
+  // current simulated time without re-deriving the total; the cursor
+  // only moves forward because simulated time is monotone.
+  //===------------------------------------------------------------------===//
+
+  /// The phase in effect at the current simulated time, or null before
+  /// the first phase (the static cost model).
+  const DriftPhase *phaseNow() {
+    while (PhaseIdx != Drift.Phases.size() &&
+           !(DriftNow < Drift.Phases[PhaseIdx].At))
+      ++PhaseIdx;
+    return PhaseIdx ? &Drift.Phases[PhaseIdx - 1] : nullptr;
+  }
+
+  /// Message cost under the current drift phase's bandwidth factor.
+  Rational commCost(Rational Base) {
+    if (DriftOn)
+      if (const DriftPhase *P = phaseNow())
+        Base *= P->CommScale;
+    return Base;
+  }
+
+  /// True while a Down phase covers the current simulated time.
+  bool driftDown() {
+    if (!DriftHasDown)
+      return false;
+    const DriftPhase *P = phaseNow();
+    return P && P->Down;
+  }
+
+  void advanceClock(const Rational &Delta) {
+    if (DriftOn)
+      DriftNow += Delta;
+  }
+
+  /// Out-of-line per-instruction drift charging (server load spikes plus
+  /// the clock mirror); only runs when a schedule is active.
+  void driftInstructions(bool OnServer, uint64_t N);
+
   /// Instruction-count flush granularity for the registry (see
   /// execInstructions).
   static constexpr uint64_t kInstrStride = 8192;
@@ -248,6 +322,12 @@ private:
   CostModel Costs;
   LinkModel Link;
   RetryPolicy Retry;
+  DriftSchedule Drift;
+  bool DriftOn = false;
+  bool DriftHasDown = false;
+  size_t PhaseIdx = 0;       ///< Phases already started (cursor).
+  Rational DriftNow;         ///< Incremental mirror of elapsed().
+  Rational DriftServerExtra; ///< Load-spike surcharge on server compute.
   uint64_t PendingInstrs = 0;
   Rational SchedulingTime, TransferTime, RegistrationTime;
   Rational FaultTime, JitterTime;

@@ -36,6 +36,7 @@ void RuntimeRecorder::endSegment(Rational Now, uint64_t Instrs) {
 void RuntimeRecorder::clear() {
   Segments.clear();
   Messages.clear();
+  Adaptations.clear();
   SegmentOpen = false;
 }
 
@@ -109,6 +110,11 @@ std::string units(const Rational &V) {
   return Buf;
 }
 
+std::string choiceName(unsigned Choice) {
+  return Choice == ~0u ? std::string("local")
+                       : "choice " + std::to_string(Choice);
+}
+
 struct Row {
   Rational Start, End;
   int Lane = 0; ///< 0 client, 1 server, 2 channel; tie-break key.
@@ -129,6 +135,20 @@ std::string RuntimeRecorder::renderTimeline(
     R.Lane = S.OnServer ? 1 : 0;
     R.Text = "run " + labelOf(TaskLabels, S.Task, "task") + " [" +
              std::to_string(S.Instrs) + " instr(s)]";
+    Rows.push_back(std::move(R));
+  }
+  // Marks precede messages so a re-dispatch row sorts ahead of the
+  // reconciliation messages it triggered at the same instant.
+  for (const AdaptMark &A : Adaptations) {
+    Row R;
+    R.Start = A.At;
+    R.End = A.At;
+    R.Lane = 2;
+    R.Text = "redispatch " + choiceName(A.FromChoice) + "->" +
+             choiceName(A.ToChoice) + " at " +
+             labelOf(TaskLabels, A.AtTask, "task") + " (predicted " +
+             units(A.PredictedStay) + " -> " + units(A.PredictedSwitch) +
+             ")";
     Rows.push_back(std::move(R));
   }
   for (const MessageRecord &M : Messages) {
@@ -174,7 +194,10 @@ std::string RuntimeRecorder::renderTimeline(
          " (" + pct(Client) + "%), server " + units(Server) + " (" +
          pct(Server) + "%), channel " + units(Channel) + " (" +
          pct(Channel) + "%); " + std::to_string(Segments.size()) +
-         " segment(s), " + std::to_string(Messages.size()) + " message(s)\n";
+         " segment(s), " + std::to_string(Messages.size()) + " message(s)";
+  if (!Adaptations.empty())
+    Out += ", " + std::to_string(Adaptations.size()) + " redispatch(es)";
+  Out += "\n";
   return Out;
 }
 
@@ -220,5 +243,14 @@ void RuntimeRecorder::emitChromeLanes(
       Args.emplace_back("lost", "true");
     T.laneEvent(Name, "simtime", TracePid, ChannelTid, Start, Dur,
                 std::move(Args));
+  }
+  for (const AdaptMark &A : Adaptations) {
+    T.laneEvent("redispatch", "simtime", TracePid, ChannelTid,
+                A.At.toDouble(), 0.0,
+                {{"at_task", labelOf(TaskLabels, A.AtTask, "task")},
+                 {"from", choiceName(A.FromChoice)},
+                 {"to", choiceName(A.ToChoice)},
+                 {"predicted_stay", A.PredictedStay.toString()},
+                 {"predicted_switch", A.PredictedSwitch.toString()}});
   }
 }

@@ -61,6 +61,18 @@ struct MessageRecord {
   Rational Start, End;
 };
 
+/// One closed-loop re-dispatch: at a task boundary the adaptation layer
+/// switched the run to a different partitioning choice, with the
+/// repriced (profiled-model) costs that justified it.
+struct AdaptMark {
+  Rational At;               ///< Simulated time of the switch.
+  unsigned AtTask = ~0u;     ///< The boundary task.
+  unsigned FromChoice = ~0u; ///< ~0u renders as the all-client "local".
+  unsigned ToChoice = ~0u;
+  Rational PredictedStay;   ///< Keeping FromChoice, under the profile.
+  Rational PredictedSwitch; ///< Running ToChoice, under the profile.
+};
+
 /// Collects the timeline of one simulated run. Not thread-safe: the
 /// interpreter is single-threaded and owns the recorder for the run.
 class RuntimeRecorder {
@@ -76,11 +88,15 @@ public:
 
   void message(MessageRecord M) { Messages.push_back(std::move(M)); }
 
+  /// Records one re-dispatch (rendered as a zero-length channel event).
+  void adapt(AdaptMark M) { Adaptations.push_back(std::move(M)); }
+
   /// Drops all recorded state, ready for a fresh run.
   void clear();
 
   const std::vector<TaskSegment> &segments() const { return Segments; }
   const std::vector<MessageRecord> &messages() const { return Messages; }
+  const std::vector<AdaptMark> &adaptations() const { return Adaptations; }
 
   /// Total simulated units per lane. client + server + channel equals the
   /// run's elapsed time (segments and messages partition the run).
@@ -108,6 +124,7 @@ public:
 private:
   std::vector<TaskSegment> Segments;
   std::vector<MessageRecord> Messages;
+  std::vector<AdaptMark> Adaptations;
   bool SegmentOpen = false;
 };
 

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 using namespace paco;
 
 namespace {
@@ -106,6 +108,89 @@ TEST(LinkModelTest, BackoffDoublesUpToCap) {
   EXPECT_EQ(backoffDelay(Policy, 100), Rational(64)); // stays capped
 }
 
+TEST(LinkModelTest, ValidateFaultSpecFlagsBadInputs) {
+  EXPECT_EQ(validateFaultSpec(FaultSpec()), "");
+  EXPECT_EQ(validateFaultSpec(lossy(7, 0.5)), "");
+  FaultSpec Window;
+  Window.DisconnectAt = 10;
+  Window.DisconnectLength = 5;
+  EXPECT_EQ(validateFaultSpec(Window), "");
+
+  EXPECT_NE(validateFaultSpec(lossy(0, -0.1)), "");
+  EXPECT_NE(validateFaultSpec(lossy(0, 1.5)), "");
+  EXPECT_NE(validateFaultSpec(lossy(0, std::nan(""))), "");
+  FaultSpec Wrap;
+  Wrap.DisconnectAt = ~0ull - 2;
+  Wrap.DisconnectLength = 10;
+  EXPECT_NE(validateFaultSpec(Wrap), "");
+}
+
+TEST(LinkModelTest, DriftScheduleParseRoundTrip) {
+  DriftSchedule Drift;
+  std::string Err;
+  ASSERT_TRUE(DriftSchedule::parse(
+      "at=500,comm=16;at=900,comm=1,server=3/2;at=1200,down", Drift, Err))
+      << Err;
+  ASSERT_EQ(Drift.Phases.size(), 3u);
+  EXPECT_EQ(Drift.Phases[0].At, Rational(500));
+  EXPECT_EQ(Drift.Phases[0].CommScale, Rational(16));
+  EXPECT_EQ(Drift.Phases[1].ServerScale, Rational::fraction(3, 2));
+  EXPECT_FALSE(Drift.Phases[1].Down);
+  EXPECT_TRUE(Drift.Phases[2].Down);
+  EXPECT_TRUE(Drift.active());
+  EXPECT_EQ(Drift.validate(), "");
+  EXPECT_FALSE(DriftSchedule().active());
+}
+
+TEST(LinkModelTest, DriftScheduleParseRejectsBadSpecs) {
+  for (const char *Bad : {
+           "comm=2",              // missing at=
+           "at=5,comm=0",         // zero bandwidth factor
+           "at=10;at=10",         // non-monotone phase starts
+           "at=10,comm=16;at=5",  // going backwards
+           "at=5,bogus=1",        // unknown field
+           "at=5,comm=1/0",       // zero denominator
+           "at=",                 // empty value
+           "at=12345678901234567890", // overflows the 18-digit guard
+       }) {
+    DriftSchedule Drift;
+    std::string Err;
+    EXPECT_FALSE(DriftSchedule::parse(Bad, Drift, Err)) << Bad;
+    EXPECT_NE(Err, "") << Bad;
+  }
+}
+
+// UBSan regression: an absurd backoff cap used to reach the simulator's
+// histogram through an out-of-range float-to-integer cast; the conversion
+// now saturates instead.
+TEST(LinkModelTest, SaturatingCostUnitsClampsExtremes) {
+  EXPECT_EQ(saturatingCostUnits(Rational(0)), 0u);
+  EXPECT_EQ(saturatingCostUnits(Rational(-5)), 0u);
+  EXPECT_EQ(saturatingCostUnits(Rational::fraction(7, 2)), 3u);
+  EXPECT_EQ(saturatingCostUnits(Rational(1000000)), 1000000u);
+
+  Rational Huge(1);
+  for (int I = 0; I != 12; ++I)
+    Huge *= Rational(1000000000); // 10^108, far beyond 2^64
+  EXPECT_EQ(saturatingCostUnits(Huge), UINT64_MAX);
+
+  RetryPolicy Absurd;
+  Absurd.BackoffBase = Huge;
+  Absurd.BackoffCap = Huge * Huge;
+  // The delay itself stays exact; recording it must not overflow.
+  EXPECT_EQ(saturatingCostUnits(backoffDelay(Absurd, 500)), UINT64_MAX);
+}
+
+TEST(LinkModelTest, DegenerateBackoffPoliciesWaitZero) {
+  RetryPolicy ZeroBase;
+  ZeroBase.BackoffBase = Rational(0);
+  EXPECT_EQ(backoffDelay(ZeroBase, 0), Rational(0));
+  EXPECT_EQ(backoffDelay(ZeroBase, 17), Rational(0));
+  RetryPolicy NegativeCap;
+  NegativeCap.BackoffCap = Rational(-8);
+  EXPECT_EQ(backoffDelay(NegativeCap, 3), Rational(0));
+}
+
 //===----------------------------------------------------------------------===//
 // Simulator retry accounting over the lossy link
 //===----------------------------------------------------------------------===//
@@ -195,6 +280,33 @@ TEST(SimulatorFaultTest, FaultFreeLinkBypassesTheLayer) {
   EXPECT_EQ(Sim.retries(), 0u);
   EXPECT_TRUE(Sim.faultTime().isZero());
   EXPECT_EQ(Sim.link().attempts(), 0u); // no PRNG consumed
+}
+
+TEST(SimulatorFaultTest, DisconnectDuringRetriesIsRiddenOut) {
+  // The window opens on the attempt index right after the first message:
+  // the second message's initial send and first retry both land inside
+  // it, and the second retry crosses the far edge and delivers.
+  FaultSpec Spec;
+  Spec.DisconnectAt = 1;
+  Spec.DisconnectLength = 2;
+  CostModel Costs = timeoutCosts();
+  Simulator Sim(Costs, Spec, smallRetry());
+  EXPECT_TRUE(Sim.trySchedule(true));  // attempt 0, clean
+  EXPECT_TRUE(Sim.tryTransfer(true, 64)); // attempts 1, 2 eaten; 3 delivers
+  EXPECT_EQ(Sim.timeouts(), 2u);
+  EXPECT_EQ(Sim.retries(), 2u);
+  EXPECT_EQ(Sim.faultTime(), Rational(2 * 5 + 4 + 8));
+  EXPECT_EQ(Sim.link().traceString(), ".DD.");
+  EXPECT_EQ(Sim.elapsed(), Costs.Tcst + Costs.Tcsh +
+                               Costs.Tcsu * Rational(64) + Sim.faultTime());
+
+  // Bit-identical replay: the same spec reproduces the exact costs.
+  Simulator Replay(Costs, Spec, smallRetry());
+  EXPECT_TRUE(Replay.trySchedule(true));
+  EXPECT_TRUE(Replay.tryTransfer(true, 64));
+  EXPECT_EQ(Replay.elapsed(), Sim.elapsed());
+  EXPECT_EQ(Replay.faultTime(), Sim.faultTime());
+  EXPECT_EQ(Replay.link().traceString(), Sim.link().traceString());
 }
 
 TEST(SimulatorFaultTest, SummaryMentionsFaultCounters) {

@@ -2,6 +2,8 @@
 
 #include "runtime/Simulator.h"
 
+#include "runtime/OnlineProfiler.h"
+
 #include <gtest/gtest.h>
 
 using namespace paco;
@@ -99,6 +101,144 @@ TEST(SimulatorTest, PaperExampleCostsAreFree) {
   EXPECT_TRUE(Sim.elapsed().isZero());
   Sim.transfer(true, 4); // one 4-byte element: startup 6 + 1
   EXPECT_EQ(Sim.elapsed(), Rational(7));
+}
+
+//===----------------------------------------------------------------------===//
+// Environment-drift schedules
+//===----------------------------------------------------------------------===//
+
+DriftSchedule oneRamp(int64_t At, int64_t Comm) {
+  DriftSchedule Drift;
+  DriftPhase P;
+  P.At = Rational(At);
+  P.CommScale = Rational(Comm);
+  Drift.Phases.push_back(P);
+  return Drift;
+}
+
+TEST(SimulatorDriftTest, CommScaleAppliesFromPhaseStart) {
+  CostModel Costs = CostModel::defaults();
+  Simulator Sim(Costs, FaultSpec(), RetryPolicy(), oneRamp(10000, 4));
+  Rational Base = Costs.Tcsh + Costs.Tcsu * Rational(256);
+  Sim.transfer(true, 256); // before the ramp: static price
+  EXPECT_EQ(Sim.elapsed(), Base);
+  Sim.execInstructions(false, 20000); // pushes the clock past the ramp
+  Sim.transfer(true, 256); // after: 4x
+  EXPECT_EQ(Sim.elapsed(), Base + Rational(20000) + Base * Rational(4));
+  EXPECT_EQ(Sim.driftClock(), Sim.elapsed());
+}
+
+TEST(SimulatorDriftTest, ServerLoadSpikeSlowsServerCompute) {
+  CostModel Costs = CostModel::defaults();
+  DriftSchedule Drift;
+  DriftPhase P;
+  P.ServerScale = Rational(2); // from t=0: server twice as slow
+  Drift.Phases.push_back(P);
+  Simulator Sim(Costs, FaultSpec(), RetryPolicy(), Drift);
+  Sim.execInstructions(true, 100);
+  EXPECT_EQ(Sim.serverCompute(), Costs.Ts * Rational(100) * Rational(2));
+  Sim.execInstructions(false, 100); // client rate is untouched
+  EXPECT_EQ(Sim.clientCompute(), Costs.Tc * Rational(100));
+  EXPECT_EQ(Sim.driftClock(), Sim.elapsed());
+}
+
+TEST(SimulatorDriftTest, TimedOutageRecoversViaBackoff) {
+  // The link is down from t=0 and recovers at t=30; the retry loop's
+  // timeout and backoff waits advance the clock across the recovery
+  // point, so the fourth attempt delivers.
+  CostModel Costs = CostModel::defaults();
+  Costs.Tto = Rational(5);
+  RetryPolicy Retry; // base 4 doubling to cap 64
+  DriftSchedule Drift;
+  DriftPhase DownP, UpP;
+  DownP.Down = true;
+  UpP.At = Rational(30);
+  Drift.Phases.push_back(DownP);
+  Drift.Phases.push_back(UpP);
+  Simulator Sim(Costs, FaultSpec(), Retry, Drift);
+  EXPECT_TRUE(Sim.trySchedule(true));
+  // t=0 down (+5, +4), t=9 down (+5, +8), t=22 down (+5, +16), t=43 up.
+  EXPECT_EQ(Sim.timeouts(), 3u);
+  EXPECT_EQ(Sim.retries(), 3u);
+  EXPECT_EQ(Sim.faultTime(), Rational(3 * 5 + 4 + 8 + 16));
+  EXPECT_EQ(Sim.migrations(), 1u);
+  EXPECT_EQ(Sim.elapsed(), Sim.faultTime() + Costs.Tcst);
+  EXPECT_EQ(Sim.driftClock(), Sim.elapsed());
+}
+
+TEST(SimulatorDriftTest, SameScheduleSameCosts) {
+  FaultSpec Spec;
+  Spec.Seed = 21;
+  Spec.DropRate = 0.3;
+  Spec.JitterUnits = 5;
+  DriftSchedule Drift = oneRamp(5000, 8);
+  Simulator A(CostModel::defaults(), Spec, RetryPolicy(), Drift);
+  Simulator B(CostModel::defaults(), Spec, RetryPolicy(), Drift);
+  for (int I = 0; I != 40; ++I) {
+    A.trySchedule(I & 1);
+    B.trySchedule(I & 1);
+    A.tryTransfer(I & 1, 96);
+    B.tryTransfer(I & 1, 96);
+    A.execInstructions(I & 1, 500);
+    B.execInstructions(I & 1, 500);
+  }
+  EXPECT_EQ(A.elapsed(), B.elapsed());
+  EXPECT_EQ(A.link().traceString(), B.link().traceString());
+  EXPECT_EQ(A.driftClock(), A.elapsed());
+  EXPECT_EQ(B.driftClock(), B.elapsed());
+}
+
+//===----------------------------------------------------------------------===//
+// Online profiler
+//===----------------------------------------------------------------------===//
+
+TEST(OnlineProfilerTest, ScalesConvergeOnObservedRatio) {
+  CostModel Base = CostModel::defaults();
+  OnlineProfiler Prof(Base, Rational::fraction(1, 2));
+  Rational BaseCost = Base.Tcsh + Base.Tcsu * Rational(64);
+  for (int I = 0; I != 20; ++I)
+    Prof.observeMessage(MessageRecord::Kind::Transfer, true, 64,
+                        BaseCost * Rational(4));
+  EXPECT_EQ(Prof.samples(), 20u);
+  EXPECT_GT(Prof.commToServerScale().toDouble(), 3.9);
+  EXPECT_LE(Prof.commToServerScale().toDouble(), 4.0);
+  EXPECT_EQ(Prof.commToClientScale(), Rational(1));
+  CostModel Scaled = Prof.model();
+  EXPECT_EQ(Scaled.Tcsh, Base.Tcsh * Prof.commToServerScale());
+  EXPECT_EQ(Scaled.Tsch, Base.Tsch); // other direction untouched
+}
+
+TEST(OnlineProfilerTest, ComputeScalesTrackEachHost) {
+  CostModel Base = CostModel::defaults();
+  OnlineProfiler Prof(Base, Rational(1)); // no smoothing: jump straight
+  // 100 server instructions took 3x the base model's prediction.
+  Prof.observeCompute(true, 100, Base.Ts * Rational(100) * Rational(3));
+  EXPECT_EQ(Prof.serverComputeScale(), Rational(3));
+  EXPECT_EQ(Prof.clientComputeScale(), Rational(1));
+  EXPECT_EQ(Prof.model().Ts, Base.Ts * Rational(3));
+  EXPECT_EQ(Prof.model().Tc, Base.Tc);
+}
+
+TEST(OnlineProfilerTest, ZeroBaseCostObservationsAreSkipped) {
+  CostModel Base = CostModel::paperExample(); // Tcst = 0: no information
+  OnlineProfiler Prof(Base, Rational(1));
+  Prof.observeMessage(MessageRecord::Kind::Schedule, true, 0, Rational(50));
+  EXPECT_EQ(Prof.samples(), 0u);
+  Prof.observeCompute(true, 100, Rational(7)); // Ts = 0 likewise
+  EXPECT_EQ(Prof.samples(), 0u);
+}
+
+TEST(OnlineProfilerTest, EstimatesStayOnTheQuantizationGrid) {
+  // An adversarial ratio whose exact EWMA would blow up the denominator;
+  // after every update the estimate must still be a multiple of 2^-16.
+  CostModel Base = CostModel::defaults();
+  OnlineProfiler Prof(Base, Rational::fraction(1, 3));
+  Rational BaseCost = Base.Tcsh + Base.Tcsu * Rational(7);
+  for (int I = 0; I != 50; ++I)
+    Prof.observeMessage(MessageRecord::Kind::Transfer, true, 7,
+                        BaseCost * Rational::fraction(22, 7));
+  Rational OnGrid = Prof.commToServerScale() * Rational(1 << 16);
+  EXPECT_EQ(OnGrid, Rational(OnGrid.floor()));
 }
 
 } // namespace
