@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_degeneracy.dir/bench_ablation_degeneracy.cpp.o"
+  "CMakeFiles/bench_ablation_degeneracy.dir/bench_ablation_degeneracy.cpp.o.d"
+  "bench_ablation_degeneracy"
+  "bench_ablation_degeneracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_degeneracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_simplify.dir/bench_ablation_simplify.cpp.o"
+  "CMakeFiles/bench_ablation_simplify.dir/bench_ablation_simplify.cpp.o.d"
+  "bench_ablation_simplify"
+  "bench_ablation_simplify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_simplify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

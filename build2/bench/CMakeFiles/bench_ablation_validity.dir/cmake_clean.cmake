@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_validity.dir/bench_ablation_validity.cpp.o"
+  "CMakeFiles/bench_ablation_validity.dir/bench_ablation_validity.cpp.o.d"
+  "bench_ablation_validity"
+  "bench_ablation_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptation.dir/bench_adaptation.cpp.o"
+  "CMakeFiles/bench_adaptation.dir/bench_adaptation.cpp.o.d"
+  "bench_adaptation"
+  "bench_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

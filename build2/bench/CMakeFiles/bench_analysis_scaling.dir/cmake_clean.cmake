@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_scaling.dir/bench_analysis_scaling.cpp.o"
+  "CMakeFiles/bench_analysis_scaling.dir/bench_analysis_scaling.cpp.o.d"
+  "bench_analysis_scaling"
+  "bench_analysis_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

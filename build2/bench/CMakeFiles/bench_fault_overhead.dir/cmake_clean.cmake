@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fault_overhead.dir/bench_fault_overhead.cpp.o"
+  "CMakeFiles/bench_fault_overhead.dir/bench_fault_overhead.cpp.o.d"
+  "bench_fault_overhead"
+  "bench_fault_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fault_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

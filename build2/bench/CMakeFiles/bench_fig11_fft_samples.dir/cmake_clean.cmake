@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fft_samples.dir/bench_fig11_fft_samples.cpp.o"
+  "CMakeFiles/bench_fig11_fft_samples.dir/bench_fig11_fft_samples.cpp.o.d"
+  "bench_fig11_fft_samples"
+  "bench_fig11_fft_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fft_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_susan.dir/bench_fig12_susan.cpp.o"
+  "CMakeFiles/bench_fig12_susan.dir/bench_fig12_susan.cpp.o.d"
+  "bench_fig12_susan"
+  "bench_fig12_susan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_susan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

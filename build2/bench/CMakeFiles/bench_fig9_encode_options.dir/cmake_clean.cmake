@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_encode_options.dir/bench_fig9_encode_options.cpp.o"
+  "CMakeFiles/bench_fig9_encode_options.dir/bench_fig9_encode_options.cpp.o.d"
+  "bench_fig9_encode_options"
+  "bench_fig9_encode_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_encode_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

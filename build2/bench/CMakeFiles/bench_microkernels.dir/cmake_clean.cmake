@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_microkernels.dir/bench_microkernels.cpp.o"
+  "CMakeFiles/bench_microkernels.dir/bench_microkernels.cpp.o.d"
+  "bench_microkernels"
+  "bench_microkernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_microkernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_energy.dir/bench_speedup_energy.cpp.o"
+  "CMakeFiles/bench_speedup_energy.dir/bench_speedup_energy.cpp.o.d"
+  "bench_speedup_energy"
+  "bench_speedup_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

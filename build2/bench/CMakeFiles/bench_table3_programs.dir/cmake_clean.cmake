@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_programs.dir/bench_table3_programs.cpp.o"
+  "CMakeFiles/bench_table3_programs.dir/bench_table3_programs.cpp.o.d"
+  "bench_table3_programs"
+  "bench_table3_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

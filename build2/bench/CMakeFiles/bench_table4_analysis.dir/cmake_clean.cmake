@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_analysis.dir/bench_table4_analysis.cpp.o"
+  "CMakeFiles/bench_table4_analysis.dir/bench_table4_analysis.cpp.o.d"
+  "bench_table4_analysis"
+  "bench_table4_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_codec.dir/adaptive_codec.cpp.o"
+  "CMakeFiles/adaptive_codec.dir/adaptive_codec.cpp.o.d"
+  "adaptive_codec"
+  "adaptive_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/offload_explorer.cpp" "examples/CMakeFiles/offload_explorer.dir/offload_explorer.cpp.o" "gcc" "examples/CMakeFiles/offload_explorer.dir/offload_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/interp/CMakeFiles/paco_interp.dir/DependInfo.cmake"
+  "/root/repo/build2/src/programs/CMakeFiles/paco_programs.dir/DependInfo.cmake"
+  "/root/repo/build2/src/transform/CMakeFiles/paco_transform.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_audit.dir/DependInfo.cmake"
+  "/root/repo/build2/src/partition/CMakeFiles/paco_partition.dir/DependInfo.cmake"
+  "/root/repo/build2/src/poly/CMakeFiles/paco_poly.dir/DependInfo.cmake"
+  "/root/repo/build2/src/runtime/CMakeFiles/paco_runtime.dir/DependInfo.cmake"
+  "/root/repo/build2/src/cost/CMakeFiles/paco_cost.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tcfg/CMakeFiles/paco_tcfg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/paco_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ir/CMakeFiles/paco_ir.dir/DependInfo.cmake"
+  "/root/repo/build2/src/lang/CMakeFiles/paco_lang.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netflow/CMakeFiles/paco_netflow.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

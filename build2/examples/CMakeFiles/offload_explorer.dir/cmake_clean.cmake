@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offload_explorer.dir/offload_explorer.cpp.o"
+  "CMakeFiles/offload_explorer.dir/offload_explorer.cpp.o.d"
+  "offload_explorer"
+  "offload_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offload_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

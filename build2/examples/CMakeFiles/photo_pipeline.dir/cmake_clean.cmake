@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/photo_pipeline.dir/photo_pipeline.cpp.o"
+  "CMakeFiles/photo_pipeline.dir/photo_pipeline.cpp.o.d"
+  "photo_pipeline"
+  "photo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/photo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

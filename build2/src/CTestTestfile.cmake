@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build2/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("support")
+subdirs("poly")
+subdirs("netflow")
+subdirs("lang")
+subdirs("ir")
+subdirs("analysis")
+subdirs("tcfg")
+subdirs("cost")
+subdirs("partition")
+subdirs("transform")
+subdirs("runtime")
+subdirs("interp")
+subdirs("programs")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_analysis.dir/Memory.cpp.o"
+  "CMakeFiles/paco_analysis.dir/Memory.cpp.o.d"
+  "CMakeFiles/paco_analysis.dir/PointsTo.cpp.o"
+  "CMakeFiles/paco_analysis.dir/PointsTo.cpp.o.d"
+  "libpaco_analysis.a"
+  "libpaco_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_cost.dir/PartitionProblem.cpp.o"
+  "CMakeFiles/paco_cost.dir/PartitionProblem.cpp.o.d"
+  "libpaco_cost.a"
+  "libpaco_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_interp.dir/Interp.cpp.o"
+  "CMakeFiles/paco_interp.dir/Interp.cpp.o.d"
+  "libpaco_interp.a"
+  "libpaco_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

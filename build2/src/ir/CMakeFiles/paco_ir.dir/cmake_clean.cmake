@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_ir.dir/IR.cpp.o"
+  "CMakeFiles/paco_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/paco_ir.dir/Lower.cpp.o"
+  "CMakeFiles/paco_ir.dir/Lower.cpp.o.d"
+  "libpaco_ir.a"
+  "libpaco_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/Inliner.cpp" "src/lang/CMakeFiles/paco_lang.dir/Inliner.cpp.o" "gcc" "src/lang/CMakeFiles/paco_lang.dir/Inliner.cpp.o.d"
+  "/root/repo/src/lang/Lexer.cpp" "src/lang/CMakeFiles/paco_lang.dir/Lexer.cpp.o" "gcc" "src/lang/CMakeFiles/paco_lang.dir/Lexer.cpp.o.d"
+  "/root/repo/src/lang/Parser.cpp" "src/lang/CMakeFiles/paco_lang.dir/Parser.cpp.o" "gcc" "src/lang/CMakeFiles/paco_lang.dir/Parser.cpp.o.d"
+  "/root/repo/src/lang/PrintAST.cpp" "src/lang/CMakeFiles/paco_lang.dir/PrintAST.cpp.o" "gcc" "src/lang/CMakeFiles/paco_lang.dir/PrintAST.cpp.o.d"
+  "/root/repo/src/lang/Sema.cpp" "src/lang/CMakeFiles/paco_lang.dir/Sema.cpp.o" "gcc" "src/lang/CMakeFiles/paco_lang.dir/Sema.cpp.o.d"
+  "/root/repo/src/lang/Symbolics.cpp" "src/lang/CMakeFiles/paco_lang.dir/Symbolics.cpp.o" "gcc" "src/lang/CMakeFiles/paco_lang.dir/Symbolics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_lang.dir/Inliner.cpp.o"
+  "CMakeFiles/paco_lang.dir/Inliner.cpp.o.d"
+  "CMakeFiles/paco_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/paco_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/paco_lang.dir/Parser.cpp.o"
+  "CMakeFiles/paco_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/paco_lang.dir/PrintAST.cpp.o"
+  "CMakeFiles/paco_lang.dir/PrintAST.cpp.o.d"
+  "CMakeFiles/paco_lang.dir/Sema.cpp.o"
+  "CMakeFiles/paco_lang.dir/Sema.cpp.o.d"
+  "CMakeFiles/paco_lang.dir/Symbolics.cpp.o"
+  "CMakeFiles/paco_lang.dir/Symbolics.cpp.o.d"
+  "libpaco_lang.a"
+  "libpaco_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for paco_lang.
+# This may be replaced when dependencies are built.

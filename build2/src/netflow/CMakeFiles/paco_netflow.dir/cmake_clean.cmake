@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_netflow.dir/FlowNetwork.cpp.o"
+  "CMakeFiles/paco_netflow.dir/FlowNetwork.cpp.o.d"
+  "libpaco_netflow.a"
+  "libpaco_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_audit.dir/CostAudit.cpp.o"
+  "CMakeFiles/paco_audit.dir/CostAudit.cpp.o.d"
+  "libpaco_audit.a"
+  "libpaco_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

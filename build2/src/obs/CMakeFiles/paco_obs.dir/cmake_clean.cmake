@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_obs.dir/Stats.cpp.o"
+  "CMakeFiles/paco_obs.dir/Stats.cpp.o.d"
+  "CMakeFiles/paco_obs.dir/Trace.cpp.o"
+  "CMakeFiles/paco_obs.dir/Trace.cpp.o.d"
+  "libpaco_obs.a"
+  "libpaco_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

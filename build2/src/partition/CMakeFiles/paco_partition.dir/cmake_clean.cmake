@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_partition.dir/Parametric.cpp.o"
+  "CMakeFiles/paco_partition.dir/Parametric.cpp.o.d"
+  "CMakeFiles/paco_partition.dir/Reprice.cpp.o"
+  "CMakeFiles/paco_partition.dir/Reprice.cpp.o.d"
+  "libpaco_partition.a"
+  "libpaco_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_poly.dir/Constraint.cpp.o"
+  "CMakeFiles/paco_poly.dir/Constraint.cpp.o.d"
+  "CMakeFiles/paco_poly.dir/DoubleDescription.cpp.o"
+  "CMakeFiles/paco_poly.dir/DoubleDescription.cpp.o.d"
+  "CMakeFiles/paco_poly.dir/Polyhedron.cpp.o"
+  "CMakeFiles/paco_poly.dir/Polyhedron.cpp.o.d"
+  "libpaco_poly.a"
+  "libpaco_poly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

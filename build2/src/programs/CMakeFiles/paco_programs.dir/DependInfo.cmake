@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/programs/Fft.cpp" "src/programs/CMakeFiles/paco_programs.dir/Fft.cpp.o" "gcc" "src/programs/CMakeFiles/paco_programs.dir/Fft.cpp.o.d"
+  "/root/repo/src/programs/G721Decode.cpp" "src/programs/CMakeFiles/paco_programs.dir/G721Decode.cpp.o" "gcc" "src/programs/CMakeFiles/paco_programs.dir/G721Decode.cpp.o.d"
+  "/root/repo/src/programs/G721Encode.cpp" "src/programs/CMakeFiles/paco_programs.dir/G721Encode.cpp.o" "gcc" "src/programs/CMakeFiles/paco_programs.dir/G721Encode.cpp.o.d"
+  "/root/repo/src/programs/Programs.cpp" "src/programs/CMakeFiles/paco_programs.dir/Programs.cpp.o" "gcc" "src/programs/CMakeFiles/paco_programs.dir/Programs.cpp.o.d"
+  "/root/repo/src/programs/Rawcaudio.cpp" "src/programs/CMakeFiles/paco_programs.dir/Rawcaudio.cpp.o" "gcc" "src/programs/CMakeFiles/paco_programs.dir/Rawcaudio.cpp.o.d"
+  "/root/repo/src/programs/Rawdaudio.cpp" "src/programs/CMakeFiles/paco_programs.dir/Rawdaudio.cpp.o" "gcc" "src/programs/CMakeFiles/paco_programs.dir/Rawdaudio.cpp.o.d"
+  "/root/repo/src/programs/Susan.cpp" "src/programs/CMakeFiles/paco_programs.dir/Susan.cpp.o" "gcc" "src/programs/CMakeFiles/paco_programs.dir/Susan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_programs.dir/Fft.cpp.o"
+  "CMakeFiles/paco_programs.dir/Fft.cpp.o.d"
+  "CMakeFiles/paco_programs.dir/G721Decode.cpp.o"
+  "CMakeFiles/paco_programs.dir/G721Decode.cpp.o.d"
+  "CMakeFiles/paco_programs.dir/G721Encode.cpp.o"
+  "CMakeFiles/paco_programs.dir/G721Encode.cpp.o.d"
+  "CMakeFiles/paco_programs.dir/Programs.cpp.o"
+  "CMakeFiles/paco_programs.dir/Programs.cpp.o.d"
+  "CMakeFiles/paco_programs.dir/Rawcaudio.cpp.o"
+  "CMakeFiles/paco_programs.dir/Rawcaudio.cpp.o.d"
+  "CMakeFiles/paco_programs.dir/Rawdaudio.cpp.o"
+  "CMakeFiles/paco_programs.dir/Rawdaudio.cpp.o.d"
+  "CMakeFiles/paco_programs.dir/Susan.cpp.o"
+  "CMakeFiles/paco_programs.dir/Susan.cpp.o.d"
+  "libpaco_programs.a"
+  "libpaco_programs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_programs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/LinkModel.cpp" "src/runtime/CMakeFiles/paco_runtime.dir/LinkModel.cpp.o" "gcc" "src/runtime/CMakeFiles/paco_runtime.dir/LinkModel.cpp.o.d"
+  "/root/repo/src/runtime/OnlineProfiler.cpp" "src/runtime/CMakeFiles/paco_runtime.dir/OnlineProfiler.cpp.o" "gcc" "src/runtime/CMakeFiles/paco_runtime.dir/OnlineProfiler.cpp.o.d"
+  "/root/repo/src/runtime/Simulator.cpp" "src/runtime/CMakeFiles/paco_runtime.dir/Simulator.cpp.o" "gcc" "src/runtime/CMakeFiles/paco_runtime.dir/Simulator.cpp.o.d"
+  "/root/repo/src/runtime/Timeline.cpp" "src/runtime/CMakeFiles/paco_runtime.dir/Timeline.cpp.o" "gcc" "src/runtime/CMakeFiles/paco_runtime.dir/Timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/cost/CMakeFiles/paco_cost.dir/DependInfo.cmake"
+  "/root/repo/build2/src/tcfg/CMakeFiles/paco_tcfg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/paco_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ir/CMakeFiles/paco_ir.dir/DependInfo.cmake"
+  "/root/repo/build2/src/lang/CMakeFiles/paco_lang.dir/DependInfo.cmake"
+  "/root/repo/build2/src/netflow/CMakeFiles/paco_netflow.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

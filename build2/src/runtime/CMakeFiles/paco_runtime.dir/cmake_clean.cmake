@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_runtime.dir/LinkModel.cpp.o"
+  "CMakeFiles/paco_runtime.dir/LinkModel.cpp.o.d"
+  "CMakeFiles/paco_runtime.dir/OnlineProfiler.cpp.o"
+  "CMakeFiles/paco_runtime.dir/OnlineProfiler.cpp.o.d"
+  "CMakeFiles/paco_runtime.dir/Simulator.cpp.o"
+  "CMakeFiles/paco_runtime.dir/Simulator.cpp.o.d"
+  "CMakeFiles/paco_runtime.dir/Timeline.cpp.o"
+  "CMakeFiles/paco_runtime.dir/Timeline.cpp.o.d"
+  "libpaco_runtime.a"
+  "libpaco_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_support.dir/BigInt.cpp.o"
+  "CMakeFiles/paco_support.dir/BigInt.cpp.o.d"
+  "CMakeFiles/paco_support.dir/Diag.cpp.o"
+  "CMakeFiles/paco_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/paco_support.dir/LinExpr.cpp.o"
+  "CMakeFiles/paco_support.dir/LinExpr.cpp.o.d"
+  "CMakeFiles/paco_support.dir/ParamSpace.cpp.o"
+  "CMakeFiles/paco_support.dir/ParamSpace.cpp.o.d"
+  "CMakeFiles/paco_support.dir/Rational.cpp.o"
+  "CMakeFiles/paco_support.dir/Rational.cpp.o.d"
+  "CMakeFiles/paco_support.dir/ThreadPool.cpp.o"
+  "CMakeFiles/paco_support.dir/ThreadPool.cpp.o.d"
+  "libpaco_support.a"
+  "libpaco_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpaco_support.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_tcfg.dir/TaskAccess.cpp.o"
+  "CMakeFiles/paco_tcfg.dir/TaskAccess.cpp.o.d"
+  "CMakeFiles/paco_tcfg.dir/TaskGraph.cpp.o"
+  "CMakeFiles/paco_tcfg.dir/TaskGraph.cpp.o.d"
+  "libpaco_tcfg.a"
+  "libpaco_tcfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_tcfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paco_transform.dir/Pipeline.cpp.o"
+  "CMakeFiles/paco_transform.dir/Pipeline.cpp.o.d"
+  "CMakeFiles/paco_transform.dir/Transform.cpp.o"
+  "CMakeFiles/paco_transform.dir/Transform.cpp.o.d"
+  "libpaco_transform.a"
+  "libpaco_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paco_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptation_tests.dir/interp/AdaptationTest.cpp.o"
+  "CMakeFiles/adaptation_tests.dir/interp/AdaptationTest.cpp.o.d"
+  "adaptation_tests"
+  "adaptation_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptation_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_tests.dir/obs/CostAuditTest.cpp.o"
+  "CMakeFiles/audit_tests.dir/obs/CostAuditTest.cpp.o.d"
+  "audit_tests"
+  "audit_tests.pdb"
+  "audit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_tests.dir/cost/PartitionProblemTest.cpp.o"
+  "CMakeFiles/cost_tests.dir/cost/PartitionProblemTest.cpp.o.d"
+  "cost_tests"
+  "cost_tests.pdb"
+  "cost_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinism_tests.dir/partition/ParametricDeterminismTest.cpp.o"
+  "CMakeFiles/determinism_tests.dir/partition/ParametricDeterminismTest.cpp.o.d"
+  "determinism_tests"
+  "determinism_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinism_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

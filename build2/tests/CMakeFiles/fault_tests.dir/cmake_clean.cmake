@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tests.dir/interp/FaultToleranceTest.cpp.o"
+  "CMakeFiles/fault_tests.dir/interp/FaultToleranceTest.cpp.o.d"
+  "fault_tests"
+  "fault_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interp_tests.dir/interp/InterpTest.cpp.o"
+  "CMakeFiles/interp_tests.dir/interp/InterpTest.cpp.o.d"
+  "interp_tests"
+  "interp_tests.pdb"
+  "interp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

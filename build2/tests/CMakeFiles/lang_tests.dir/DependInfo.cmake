@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lang/InlinerTest.cpp" "tests/CMakeFiles/lang_tests.dir/lang/InlinerTest.cpp.o" "gcc" "tests/CMakeFiles/lang_tests.dir/lang/InlinerTest.cpp.o.d"
+  "/root/repo/tests/lang/LexerTest.cpp" "tests/CMakeFiles/lang_tests.dir/lang/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/lang_tests.dir/lang/LexerTest.cpp.o.d"
+  "/root/repo/tests/lang/ParserTest.cpp" "tests/CMakeFiles/lang_tests.dir/lang/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/lang_tests.dir/lang/ParserTest.cpp.o.d"
+  "/root/repo/tests/lang/SemaTest.cpp" "tests/CMakeFiles/lang_tests.dir/lang/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/lang_tests.dir/lang/SemaTest.cpp.o.d"
+  "/root/repo/tests/lang/SymbolicsTest.cpp" "tests/CMakeFiles/lang_tests.dir/lang/SymbolicsTest.cpp.o" "gcc" "tests/CMakeFiles/lang_tests.dir/lang/SymbolicsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/lang/CMakeFiles/paco_lang.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

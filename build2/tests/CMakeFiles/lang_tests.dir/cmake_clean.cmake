@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lang_tests.dir/lang/InlinerTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/InlinerTest.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/LexerTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/LexerTest.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/ParserTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/ParserTest.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/SemaTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/SemaTest.cpp.o.d"
+  "CMakeFiles/lang_tests.dir/lang/SymbolicsTest.cpp.o"
+  "CMakeFiles/lang_tests.dir/lang/SymbolicsTest.cpp.o.d"
+  "lang_tests"
+  "lang_tests.pdb"
+  "lang_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lang_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/netflow/FlowNetworkTest.cpp" "tests/CMakeFiles/netflow_tests.dir/netflow/FlowNetworkTest.cpp.o" "gcc" "tests/CMakeFiles/netflow_tests.dir/netflow/FlowNetworkTest.cpp.o.d"
+  "/root/repo/tests/netflow/MinCutPropertyTest.cpp" "tests/CMakeFiles/netflow_tests.dir/netflow/MinCutPropertyTest.cpp.o" "gcc" "tests/CMakeFiles/netflow_tests.dir/netflow/MinCutPropertyTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/netflow/CMakeFiles/paco_netflow.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

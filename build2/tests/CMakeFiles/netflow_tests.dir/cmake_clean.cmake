@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netflow_tests.dir/netflow/FlowNetworkTest.cpp.o"
+  "CMakeFiles/netflow_tests.dir/netflow/FlowNetworkTest.cpp.o.d"
+  "CMakeFiles/netflow_tests.dir/netflow/MinCutPropertyTest.cpp.o"
+  "CMakeFiles/netflow_tests.dir/netflow/MinCutPropertyTest.cpp.o.d"
+  "netflow_tests"
+  "netflow_tests.pdb"
+  "netflow_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netflow_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_tests.dir/partition/ParametricTest.cpp.o"
+  "CMakeFiles/partition_tests.dir/partition/ParametricTest.cpp.o.d"
+  "partition_tests"
+  "partition_tests.pdb"
+  "partition_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poly_tests.dir/poly/PolyhedronPropertyTest.cpp.o"
+  "CMakeFiles/poly_tests.dir/poly/PolyhedronPropertyTest.cpp.o.d"
+  "CMakeFiles/poly_tests.dir/poly/PolyhedronTest.cpp.o"
+  "CMakeFiles/poly_tests.dir/poly/PolyhedronTest.cpp.o.d"
+  "poly_tests"
+  "poly_tests.pdb"
+  "poly_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poly_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

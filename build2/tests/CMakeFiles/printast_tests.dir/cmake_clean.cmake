@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printast_tests.dir/lang/PrintASTTest.cpp.o"
+  "CMakeFiles/printast_tests.dir/lang/PrintASTTest.cpp.o.d"
+  "printast_tests"
+  "printast_tests.pdb"
+  "printast_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printast_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/programs_tests.dir/programs/ProgramsTest.cpp.o"
+  "CMakeFiles/programs_tests.dir/programs/ProgramsTest.cpp.o.d"
+  "programs_tests"
+  "programs_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/programs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

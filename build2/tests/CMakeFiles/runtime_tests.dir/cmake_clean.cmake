@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tests.dir/runtime/LinkModelTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/LinkModelTest.cpp.o.d"
+  "CMakeFiles/runtime_tests.dir/runtime/SimulatorTest.cpp.o"
+  "CMakeFiles/runtime_tests.dir/runtime/SimulatorTest.cpp.o.d"
+  "runtime_tests"
+  "runtime_tests.pdb"
+  "runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/BigIntTest.cpp" "tests/CMakeFiles/support_tests.dir/support/BigIntTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/BigIntTest.cpp.o.d"
+  "/root/repo/tests/support/LinExprTest.cpp" "tests/CMakeFiles/support_tests.dir/support/LinExprTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/LinExprTest.cpp.o.d"
+  "/root/repo/tests/support/ParamSpaceTest.cpp" "tests/CMakeFiles/support_tests.dir/support/ParamSpaceTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/ParamSpaceTest.cpp.o.d"
+  "/root/repo/tests/support/RationalTest.cpp" "tests/CMakeFiles/support_tests.dir/support/RationalTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/RationalTest.cpp.o.d"
+  "/root/repo/tests/support/ThreadPoolTest.cpp" "tests/CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o" "gcc" "tests/CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/BigIntTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/BigIntTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/LinExprTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/LinExprTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/ParamSpaceTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/ParamSpaceTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/RationalTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/RationalTest.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o"
+  "CMakeFiles/support_tests.dir/support/ThreadPoolTest.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tcfg/TaskGraphTest.cpp" "tests/CMakeFiles/tcfg_tests.dir/tcfg/TaskGraphTest.cpp.o" "gcc" "tests/CMakeFiles/tcfg_tests.dir/tcfg/TaskGraphTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build2/src/tcfg/CMakeFiles/paco_tcfg.dir/DependInfo.cmake"
+  "/root/repo/build2/src/analysis/CMakeFiles/paco_analysis.dir/DependInfo.cmake"
+  "/root/repo/build2/src/ir/CMakeFiles/paco_ir.dir/DependInfo.cmake"
+  "/root/repo/build2/src/lang/CMakeFiles/paco_lang.dir/DependInfo.cmake"
+  "/root/repo/build2/src/support/CMakeFiles/paco_support.dir/DependInfo.cmake"
+  "/root/repo/build2/src/obs/CMakeFiles/paco_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

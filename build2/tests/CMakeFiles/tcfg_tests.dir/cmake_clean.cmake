@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcfg_tests.dir/tcfg/TaskGraphTest.cpp.o"
+  "CMakeFiles/tcfg_tests.dir/tcfg/TaskGraphTest.cpp.o.d"
+  "tcfg_tests"
+  "tcfg_tests.pdb"
+  "tcfg_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcfg_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build2/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build2/tests/obs_tests[1]_include.cmake")
+include("/root/repo/build2/tests/support_tests[1]_include.cmake")
+include("/root/repo/build2/tests/poly_tests[1]_include.cmake")
+include("/root/repo/build2/tests/netflow_tests[1]_include.cmake")
+include("/root/repo/build2/tests/lang_tests[1]_include.cmake")
+include("/root/repo/build2/tests/ir_tests[1]_include.cmake")
+include("/root/repo/build2/tests/analysis_tests[1]_include.cmake")
+include("/root/repo/build2/tests/tcfg_tests[1]_include.cmake")
+include("/root/repo/build2/tests/partition_tests[1]_include.cmake")
+include("/root/repo/build2/tests/interp_tests[1]_include.cmake")
+include("/root/repo/build2/tests/transform_tests[1]_include.cmake")
+include("/root/repo/build2/tests/runtime_tests[1]_include.cmake")
+include("/root/repo/build2/tests/printast_tests[1]_include.cmake")
+include("/root/repo/build2/tests/cost_tests[1]_include.cmake")
+include("/root/repo/build2/tests/audit_tests[1]_include.cmake")
+add_test(determinism_tests "/root/repo/build2/tests/determinism_tests")
+set_tests_properties(determinism_tests PROPERTIES  TIMEOUT "3000" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;73;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(programs_tests "/root/repo/build2/tests/programs_tests")
+set_tests_properties(programs_tests PROPERTIES  TIMEOUT "3000" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;88;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fault_tests "/root/repo/build2/tests/fault_tests")
+set_tests_properties(fault_tests PROPERTIES  TIMEOUT "3000" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;109;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(adaptation_tests "/root/repo/build2/tests/adaptation_tests")
+set_tests_properties(adaptation_tests PROPERTIES  TIMEOUT "3000" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;119;add_test;/root/repo/tests/CMakeLists.txt;0;")
