@@ -16,7 +16,9 @@
 //       [--run] [--jobs N] [--dump-ir] [--dump-source]
 //       [--fault-seed N] [--drop-rate P] [--jitter U]
 //       [--disconnect-at MSG[:LEN]] [--policy fail-fast|retry-only|degrade]
-//       [--adapt=static|react|closed-loop] [--drift=SPEC]
+//       [--adapt=static|react|closed-loop] [--drift=SPEC] [--crash=SPEC]
+//       [--probe-period=N] [--probe-bytes=N] [--probe-budget=N]
+//       [--ledger-budget=BYTES]
 //       [--trace=FILE] [--stats] [--audit=FILE] [--report]
 //
 // A drift SPEC is a semicolon-separated list of phases, each
@@ -24,6 +26,15 @@
 // (e.g. --drift="at=400,comm=16;at=900,comm=1"): from simulated time T
 // on, communication costs scale by comm, server compute by server, and
 // "down" forces the link dead until the next phase.
+//
+// A crash SPEC is a semicolon-separated list of server failures, each
+// "at=T[,restart=T2]" (e.g. --crash="at=50000,restart=90000"): at
+// simulated time T the server process dies, losing every server-resident
+// data copy; with restart=T2 a blank server comes back at T2. Under
+// --policy degrade the run rolls back to the last task boundary and
+// restores lost items from the client-held recovery ledger; under
+// --adapt closed-loop it then probes the server (priced messages, knobs
+// above) and re-offloads when the remote cut wins again.
 //
 //===----------------------------------------------------------------------===//
 
@@ -115,6 +126,9 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                  "                   [--policy fail-fast|retry-only|degrade]\n"
                  "  adaptation:      [--adapt=static|react|closed-loop] "
                  "[--drift=at=T[,comm=F][,server=F][,down];...]\n"
+                 "  server failure:  [--crash=at=T[,restart=T2];...] "
+                 "[--probe-period=N] [--probe-bytes=N] [--probe-budget=N]\n"
+                 "                   [--ledger-budget=BYTES]\n"
                  "  observability:   [--trace=FILE] [--stats] "
                  "[--audit=FILE] [--report]\n",
                  Argv[0]);
@@ -152,6 +166,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   FaultPolicy Policy = FaultPolicy::DegradeToLocal;
   AdaptationOptions Adapt;
   DriftSchedule Drift;
+  CrashSchedule Crash;
+  uint64_t LedgerBudget = 1ull << 20;
   ParametricOptions AnalysisOpts;
   auto parseAdapt = [&](const char *Name) {
     if (std::strcmp(Name, "static") == 0)
@@ -177,6 +193,15 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
       return true;
     }
     std::fprintf(stderr, "error: bad drift schedule: %s\n", Err.c_str());
+    return false;
+  };
+  auto parseCrash = [&](const char *Spec) {
+    std::string Err;
+    if (CrashSchedule::parse(Spec, Crash, Err)) {
+      Run = true;
+      return true;
+    }
+    std::fprintf(stderr, "error: bad crash schedule: %s\n", Err.c_str());
     return false;
   };
   for (int A = 2; A < Argc; ++A) {
@@ -236,6 +261,26 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
     } else if (std::strcmp(Argv[A], "--drift") == 0 && A + 1 < Argc) {
       if (!parseDrift(Argv[++A]))
         return 2;
+    } else if (std::strncmp(Argv[A], "--crash=", 8) == 0) {
+      if (!parseCrash(Argv[A] + 8))
+        return 2;
+    } else if (std::strcmp(Argv[A], "--crash") == 0 && A + 1 < Argc) {
+      if (!parseCrash(Argv[++A]))
+        return 2;
+    } else if (std::strncmp(Argv[A], "--probe-period=", 15) == 0) {
+      Adapt.ProbePeriodBoundaries =
+          static_cast<unsigned>(std::strtoul(Argv[A] + 15, nullptr, 10));
+      Run = true;
+    } else if (std::strncmp(Argv[A], "--probe-bytes=", 14) == 0) {
+      Adapt.ProbeBytes = std::strtoull(Argv[A] + 14, nullptr, 10);
+      Run = true;
+    } else if (std::strncmp(Argv[A], "--probe-budget=", 15) == 0) {
+      Adapt.ProbeBudget =
+          static_cast<unsigned>(std::strtoul(Argv[A] + 15, nullptr, 10));
+      Run = true;
+    } else if (std::strncmp(Argv[A], "--ledger-budget=", 16) == 0) {
+      LedgerBudget = std::strtoull(Argv[A] + 16, nullptr, 10);
+      Run = true;
     } else if (std::strncmp(Argv[A], "--trace=", 8) == 0) {
       TracePath = Argv[A] + 8;
     } else if (std::strcmp(Argv[A], "--trace") == 0 && A + 1 < Argc) {
@@ -261,6 +306,15 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   // far worse failure mode.
   if (std::string Err = validateFaultSpec(Link); !Err.empty()) {
     std::fprintf(stderr, "error: bad fault spec: %s\n", Err.c_str());
+    return 2;
+  }
+  // The closed loop adapts by degrading and re-offloading; fail-fast
+  // forbids exactly that recovery, so the combination can only ever fail.
+  if (Adapt.Policy == AdaptationPolicy::ClosedLoop &&
+      Policy == FaultPolicy::FailFast) {
+    std::fprintf(stderr, "error: --policy fail-fast conflicts with "
+                         "--adapt closed-loop (the closed loop needs the "
+                         "degrade/rollback path; use --policy degrade)\n");
     return 2;
   }
   // Fail output paths now, before minutes of analysis, not after.
@@ -344,6 +398,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   Opts.OnLinkFailure = Policy;
   Opts.Adapt = Adapt;
   Opts.Drift = Drift;
+  Opts.Crash = Crash;
+  Opts.LedgerBudgetBytes = LedgerBudget;
   // The timeline recorder feeds the cost audit, the text Gantt and the
   // simulated-time trace lanes; skip it when nothing consumes it.
   RuntimeRecorder Recorder;
@@ -382,6 +438,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
               adaptName(Adapt.Policy));
   if (Drift.active())
     std::printf(", %zu drift phase(s)", Drift.Phases.size());
+  if (Crash.active())
+    std::printf(", %zu crash event(s)", Crash.Events.size());
   if (!Link.faultFree()) {
     std::printf(", seed %llu, drop %.3g",
                 static_cast<unsigned long long>(Link.Seed), Link.DropRate);
@@ -414,6 +472,23 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                 static_cast<unsigned long long>(R.Fallbacks),
                 R.FaultTime.toString().c_str(),
                 R.Degraded ? "  (degraded to local)" : "");
+  if (R.Crashes || R.Probes)
+    std::printf("recovery: %llu crash(es)  %llu restart(s)  %llu "
+                "rollback(s)  %llu restored  %llu probe(s) (%llu lost)  "
+                "%llu re-offload(s)  ledger %llu sync(s)/%llu B (peak "
+                "%llu B, %llu evicted, %llu refetched)\n",
+                static_cast<unsigned long long>(R.Crashes),
+                static_cast<unsigned long long>(R.Restarts),
+                static_cast<unsigned long long>(R.CrashRecoveries),
+                static_cast<unsigned long long>(R.LedgerRestores),
+                static_cast<unsigned long long>(R.Probes),
+                static_cast<unsigned long long>(R.ProbeFailures),
+                static_cast<unsigned long long>(R.Reoffloads),
+                static_cast<unsigned long long>(R.LedgerSyncs),
+                static_cast<unsigned long long>(R.LedgerSyncBytes),
+                static_cast<unsigned long long>(R.LedgerPeakBytes),
+                static_cast<unsigned long long>(R.LedgerEvictions),
+                static_cast<unsigned long long>(R.LedgerRefetches));
   if (!R.Redispatches.empty() || R.FinalChoice != R.ChoiceUsed) {
     std::printf("adaptation: %zu re-dispatch(es), finished on %s\n",
                 R.Redispatches.size(),

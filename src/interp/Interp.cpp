@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <set>
 
 using namespace paco;
 
@@ -65,6 +66,11 @@ struct MemRegion {
   bool Live = true;
   bool ClientValid = true;
   bool ServerValid = true;
+  /// Counts server-side writes to this region. The recovery ledger keys
+  /// pin freshness on it: a pin taken at version V is exactly the server
+  /// content until the next server store. Transfers do not bump it --
+  /// they only copy content the version already describes.
+  uint64_t ServerVersion = 0;
   std::vector<Value> Client, Server;
 };
 
@@ -101,11 +107,13 @@ public:
   Machine(const CompiledProgram &CP, const ExecOptions &Opts,
           const EnergyModel &Energy)
       : CP(CP), Opts(Opts), Energy(Energy),
-        Sim(CP.Costs, Opts.Link, effectiveRetry(Opts), Opts.Drift),
+        Sim(CP.Costs, Opts.Link, effectiveRetry(Opts), Opts.Drift,
+            Opts.Crash),
         EffPolicy(effectivePolicy(Opts)),
         ClosedLoop(Opts.Adapt.Policy == AdaptationPolicy::ClosedLoop),
         EvalPeriod(std::max(1u, Opts.Adapt.EvalPeriod)),
-        Rec(Opts.Recorder) {
+        ProbePeriod(std::max(1u, Opts.Adapt.ProbePeriodBoundaries)),
+        CrashArmed(Opts.Crash.active()), Rec(Opts.Recorder) {
     if (ClosedLoop)
       Prof.emplace(CP.Costs, Opts.Adapt.Alpha);
   }
@@ -171,6 +179,7 @@ private:
     if (OnServer) {
       R.ServerValid = true;
       R.ClientValid = false;
+      ++R.ServerVersion;
     } else {
       R.ClientValid = true;
       R.ServerValid = false;
@@ -183,7 +192,7 @@ private:
   //===--------------------------------------------------------------===//
 
   bool taskOnServer(unsigned Task) const {
-    if (Choice == KNone || Degraded)
+    if (Choice == KNone || Degraded || LocalFallback)
       return false;
     return CP.Partition.Choices[Choice].TaskOnServer[Task];
   }
@@ -308,8 +317,13 @@ private:
     Ckpt.OutputCount = Result.Outputs.size();
   }
 
-  /// Restores the last checkpoint and pins the rest of the run to the
-  /// client. Degradation is permanent, so the snapshot can be moved out.
+  /// Restores the last checkpoint and resumes on the client -- either as
+  /// a permanent degrade (the PR-1 behavior) or, under ClosedLoop with
+  /// probe budget left, as a temporary LocalFallback the recovery probes
+  /// can later lift. The snapshot is moved out: every rollback consumes a
+  /// checkpoint taken since the previous rollback (boundary checkpoints,
+  /// the redispatch checkpoint, or the pre-re-offload checkpoint
+  /// maybeProbe takes), so no checkpoint is ever restored twice.
   void restoreCheckpoint() {
     recEndSegment(); // The failed message may have left no open segment.
     Regions = std::move(Ckpt.Regions);
@@ -321,22 +335,77 @@ private:
     InstrIdx = Ckpt.InstrIdx;
     InputPos = Ckpt.InputPos;
     Result.Outputs.resize(Ckpt.OutputCount);
-    Degraded = true;
     OnServer = false;
     // The client recovers data it had shipped to the server from its
-    // shadow copies (the checkpoint retains them); after this merge the
+    // shadow copies (the checkpoint retains them while the server is
+    // alive); after this merge plus the ledger restores below, the
     // client copy of every live region is authoritative.
     for (MemRegion &Region : Regions)
       if (Region.Live && !Region.ClientValid && Region.ServerValid) {
         Region.Client = Region.Server;
         Region.ClientValid = true;
       }
+    // After a crash the server copies are gone (onServerCrash invalidated
+    // them in the snapshot too): items whose authoritative copy died come
+    // back from the client-held recovery ledger. Sync-before-checkpoint
+    // and the never-evict-needed-pins rule guarantee a version-matched
+    // pin for each; a miss here is an internal invariant violation.
+    uint64_t Restored = 0;
+    for (unsigned Id = 0; Id != Regions.size(); ++Id) {
+      MemRegion &Region = Regions[Id];
+      if (!Region.Live || Region.ClientValid || Region.ServerValid)
+        continue;
+      auto It = Ledger.find(Id);
+      if (It == Ledger.end() || It->second.Version != Region.ServerVersion) {
+        fail("server crash lost " + CP.Memory->loc(Region.LocId).Name +
+                 " and the recovery ledger has no matching pin (ledger bug)",
+             ExecResult::FailureKind::ServerCrash);
+        return;
+      }
+      Region.Client = It->second.Data;
+      Region.ClientValid = true;
+      ++Restored;
+    }
+    LedgerRestores += Restored;
+    // Pins for regions the rewind destroyed are dead weight.
+    for (auto It = Ledger.begin(); It != Ledger.end();) {
+      if (It->first >= Regions.size() || !Regions[It->first].Live) {
+        PinnedBytes -= It->second.Bytes;
+        It = Ledger.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    // Probing keeps the fallback temporary while budget remains; without
+    // it (or without the closed loop) the degrade is permanent.
+    if (ClosedLoop && ProbesSent < Opts.Adapt.ProbeBudget) {
+      LocalFallback = true;
+      LastFallbackTask = CurrentTask;
+      FallbackBoundaries = 0;
+    } else {
+      Degraded = true;
+      LocalFallback = false;
+    }
     ++Fallbacks;
     obs::StatsRegistry::global().counter("sim.fallbacks").add();
+    if (Restored)
+      obs::StatsRegistry::global()
+          .counter("recovery.ledger_restores")
+          .add(Restored);
     if (obs::Tracer::global().enabled())
       obs::Tracer::global().instantEvent(
           "sim.fallback", "sim",
-          {{"resume_task", CP.Graph.Tasks[CurrentTask].Label}});
+          {{"resume_task", CP.Graph.Tasks[CurrentTask].Label},
+           {"restored", Restored},
+           {"permanent", LocalFallback ? "false" : "true"}});
+    if (Rec) {
+      RecoveryMark M;
+      M.K = RecoveryMark::Kind::Fallback;
+      M.At = Sim.elapsed();
+      M.AtTask = CurrentTask;
+      M.Restored = Restored;
+      Rec->recovery(std::move(M));
+    }
     recBeginSegment(); // Resume the timeline on the client.
   }
 
@@ -358,8 +427,287 @@ private:
   bool rollback() {
     if (!WantRollback)
       return false;
+    // A crash may have crossed during the failed message itself (its
+    // retries can outlive the server). Process it before restoring: the
+    // snapshot's server copies must be invalidated first, so the shadow
+    // merge cannot "recover" data from a dead process -- only the
+    // ledger can.
+    if (CrashArmed && Sim.serverEventPending()) {
+      bool Crashed = false, Restarted = false;
+      Rational CrashedAt, RestartedAt;
+      Sim.takeServerEvents(Crashed, CrashedAt, Restarted, RestartedAt);
+      if (Crashed)
+        onServerCrash(CrashedAt); // Re-requests the same rollback.
+      if (Restarted && Rec) {
+        RecoveryMark M;
+        M.K = RecoveryMark::Kind::Restart;
+        M.At = RestartedAt;
+        M.AtTask = CurrentTask;
+        Rec->recovery(std::move(M));
+      }
+    }
     WantRollback = false;
+    if (Failed)
+      return false;
     restoreCheckpoint();
+    return !Failed;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Server-failure recovery
+  //
+  // A scheduled crash kills the server process: every server-resident
+  // authoritative copy is gone and the in-flight server task aborts.
+  // While a crash schedule is armed, the client maintains a bounded
+  // recovery ledger -- pinned copies of every data item whose only
+  // valid copy lives server-side, refreshed at each task boundary
+  // *before* the checkpoint and committed atomically with it, so the
+  // pins are exactly as old as the snapshot they protect. Recovery
+  // rolls back to the last boundary, restores the lost items from the
+  // ledger, and resumes on the client with exactly-once task
+  // semantics; under ClosedLoop, priced probes then test whether a
+  // restarted server is worth re-offloading to.
+  //===--------------------------------------------------------------===//
+
+  /// Handles a crash event the simulated clock crossed. Returns false
+  /// when the caller must roll back (WantRollback set) or the run
+  /// failed; true when the crash needs no further action.
+  bool onServerCrash(const Rational &At) {
+    if (Rec) {
+      RecoveryMark M;
+      M.K = RecoveryMark::Kind::Crash;
+      M.At = At;
+      M.AtTask = CurrentTask;
+      Rec->recovery(std::move(M));
+    }
+    // The server process died: both the live state and the snapshot lose
+    // their server-side copies (the snapshot's "server" halves lived in
+    // the same process).
+    for (MemRegion &Region : Regions)
+      Region.ServerValid = false;
+    for (MemRegion &Region : Ckpt.Regions)
+      Region.ServerValid = false;
+    if (Choice == KNone || Degraded || LocalFallback)
+      return true; // Already running entirely on the client.
+    if (EffPolicy != FaultPolicy::DegradeToLocal || !CheckpointsOn)
+      return fail("server crashed at t=" + At.toString() +
+                      " and the policy has no recovery path",
+                  ExecResult::FailureKind::ServerCrash);
+    ++CrashRecoveries;
+    obs::StatsRegistry::global().counter("recovery.crash_rollbacks").add();
+    WantRollback = true;
+    return false;
+  }
+
+  /// One pinned client-held copy of a server-authoritative data item.
+  struct LedgerPin {
+    uint64_t Version = 0;  ///< MemRegion::ServerVersion at pin time.
+    uint64_t Bytes = 0;    ///< Accounting size (budget + transfer price).
+    uint64_t LastUsed = 0; ///< LRU stamp (LedgerSeq).
+    bool Needed = false;   ///< The current checkpoint depends on it.
+    std::vector<Value> Data;
+  };
+
+  /// Pre-checkpoint ledger sync: makes sure every live region whose
+  /// authoritative copy is server-side has a version-matched pin,
+  /// charging one s2c transfer per stale or missing pin. Fetched copies
+  /// land in PendingPins and commit only together with the checkpoint
+  /// (commitLedger), so a failure or crash mid-sync leaves the ledger
+  /// consistent with the previous checkpoint. Returns false on link
+  /// failure (WantRollback set); returns true early, without touching
+  /// the ledger, when a server event crossed mid-sync (the caller
+  /// re-checks before checkpointing).
+  bool syncLedger() {
+    PendingPins.clear();
+    // Sweep pins whose region died since the last boundary.
+    for (auto It = Ledger.begin(); It != Ledger.end();) {
+      if (It->first >= Regions.size() || !Regions[It->first].Live) {
+        PinnedBytes -= It->second.Bytes;
+        It = Ledger.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    bool SplitSegment = false;
+    for (unsigned Id = 0; Id != Regions.size(); ++Id) {
+      MemRegion &Region = Regions[Id];
+      bool Needed =
+          Region.Live && !Region.ClientValid && Region.ServerValid;
+      auto It = Ledger.find(Id);
+      if (It != Ledger.end()) {
+        It->second.Needed = Needed;
+        if (Needed && It->second.Version == Region.ServerVersion) {
+          It->second.LastUsed = ++LedgerSeq;
+          continue; // Pin still matches the server content.
+        }
+      }
+      if (!Needed)
+        continue;
+      if (Sim.serverEventPending()) {
+        if (SplitSegment)
+          recBeginSegment();
+        return true; // Crash first; no checkpoint will be taken.
+      }
+      uint64_t Bytes = Region.Server.size() *
+                       elementBytes(CP.Memory->loc(Region.LocId).ElemType);
+      // The pin rides the real (charged, lossy) link as an s2c transfer;
+      // like any message it splits the open segment.
+      if (!SplitSegment) {
+        recEndSegment();
+        SplitSegment = true;
+      }
+      if (!recMessage(MessageRecord::Kind::LedgerSync, false, CurrentTask,
+                      CurrentTask, Region.LocId, Bytes,
+                      [&] { return Sim.tryLedgerSync(Bytes); }))
+        return linkLost("recovery-ledger sync");
+      if (EvictedOnce.count(Id)) {
+        ++LedgerRefetches;
+        EvictedOnce.erase(Id);
+        obs::StatsRegistry::global()
+            .counter("recovery.ledger_refetches")
+            .add();
+      }
+      LedgerPin Pin;
+      Pin.Version = Region.ServerVersion;
+      Pin.Bytes = Bytes;
+      Pin.LastUsed = ++LedgerSeq;
+      Pin.Needed = true;
+      Pin.Data = Region.Server;
+      PendingPins.emplace_back(Id, std::move(Pin));
+    }
+    if (SplitSegment)
+      recBeginSegment();
+    return true;
+  }
+
+  /// Commits the pins syncLedger fetched, then enforces the byte budget
+  /// by LRU-evicting pins the just-taken checkpoint does not depend on.
+  /// Needed pins are never evicted: the budget is a soft target with a
+  /// hard safety floor (a needed pin is the only recovery source for its
+  /// item).
+  void commitLedger() {
+    for (auto &[Id, Pin] : PendingPins) {
+      auto It = Ledger.find(Id);
+      if (It != Ledger.end())
+        PinnedBytes -= It->second.Bytes;
+      PinnedBytes += Pin.Bytes;
+      Ledger[Id] = std::move(Pin);
+    }
+    PendingPins.clear();
+    while (PinnedBytes > Opts.LedgerBudgetBytes) {
+      auto Victim = Ledger.end();
+      for (auto It = Ledger.begin(); It != Ledger.end(); ++It)
+        if (!It->second.Needed &&
+            (Victim == Ledger.end() ||
+             It->second.LastUsed < Victim->second.LastUsed))
+          Victim = It;
+      if (Victim == Ledger.end())
+        break; // Everything left is load-bearing.
+      PinnedBytes -= Victim->second.Bytes;
+      EvictedOnce.insert(Victim->first);
+      ++LedgerEvictions;
+      obs::StatsRegistry::global().counter("recovery.ledger_evictions").add();
+      Ledger.erase(Victim);
+    }
+    LedgerPeakBytes = std::max(LedgerPeakBytes, PinnedBytes);
+    obs::StatsRegistry::global()
+        .histogram("recovery.ledger_pinned_bytes")
+        .record(PinnedBytes);
+  }
+
+  /// Spends the probe budget: the fallback becomes a permanent degrade.
+  void exhaustProbes() {
+    Degraded = true;
+    LocalFallback = false;
+    obs::StatsRegistry::global()
+        .counter("recovery.probe_budget_exhausted")
+        .add();
+    if (obs::Tracer::global().enabled())
+      obs::Tracer::global().instantEvent(
+          "recovery.probe_exhausted", "sim",
+          {{"probes", ProbesSent}});
+    if (Rec) {
+      RecoveryMark M;
+      M.K = RecoveryMark::Kind::Exhausted;
+      M.At = Sim.elapsed();
+      M.AtTask = CurrentTask;
+      Rec->recovery(std::move(M));
+    }
+  }
+
+  /// Runs at each task boundary of a LocalFallback run: every
+  /// ProbePeriod boundaries, sends one model-priced probe. A delivered
+  /// probe feeds the profiler and reprices local-vs-remote under the
+  /// profiled model; when the best remote cut clears the hysteresis
+  /// margin, the run checkpoints and re-dispatches to it. Returns false
+  /// when a re-dispatch message was lost (caller rolls back -- into
+  /// fallback again).
+  bool maybeProbe() {
+    ++FallbackBoundaries;
+    if (FallbackBoundaries % ProbePeriod != 0)
+      return true;
+    if (ProbesSent >= Opts.Adapt.ProbeBudget) {
+      // Reachable when the final probe succeeded but repricing kept the
+      // run local: the budget is gone, so stop paying for boundaries.
+      exhaustProbes();
+      return true;
+    }
+    ++ProbesSent;
+    recEndSegment(); // The probe splits the open segment.
+    bool Up = recMessage(MessageRecord::Kind::Probe, true, CurrentTask,
+                         CurrentTask, KNone, Opts.Adapt.ProbeBytes,
+                         [&] { return Sim.tryProbe(Opts.Adapt.ProbeBytes); });
+    if (obs::Tracer::global().enabled())
+      obs::Tracer::global().instantEvent(
+          "recovery.probe", "sim",
+          {{"delivered", Up ? "true" : "false"},
+           {"probes_sent", ProbesSent}});
+    if (!Up) {
+      if (ProbesSent >= Opts.Adapt.ProbeBudget)
+        exhaustProbes();
+      recBeginSegment();
+      return true; // Still down (or still crashed); keep running local.
+    }
+    // The server answered and the profiler just folded the probe's
+    // observed cost into its c2s scale. Reprice staying local against
+    // every computed cut under the live model; re-offload only when the
+    // best remote cut beats local by the switch margin (same hysteresis
+    // bar as the drift detector's).
+    CostModel Profiled = Prof->model();
+    Rational Stay = reprice(KNone, Profiled);
+    unsigned Best = KNone;
+    Rational BestCost = Stay;
+    for (unsigned C = 0; C != CP.Partition.Choices.size(); ++C) {
+      Rational Cost = reprice(C, Profiled);
+      if (Cost < BestCost) {
+        Best = C;
+        BestCost = Cost;
+      }
+    }
+    static const Rational One(1);
+    if (Best == KNone ||
+        !(BestCost <= Stay * (One - Opts.Adapt.SwitchMargin)) ||
+        Result.Redispatches.size() >= Opts.Adapt.MaxRedispatches) {
+      recBeginSegment();
+      return true; // Remote not (sufficiently) worth it yet.
+    }
+    // Leave the fallback and re-dispatch. A fresh checkpoint first: the
+    // one the fallback rolled back to was consumed by that restore, and
+    // a lost reconciliation message below must land here, not there.
+    Choice = KNone; // The incumbent really is all-client now.
+    LocalFallback = false;
+    takeCheckpoint();
+    if (!redispatch(Best, std::move(Stay), std::move(BestCost)))
+      return false;
+    ++Reoffloads;
+    obs::StatsRegistry::global().counter("recovery.reoffloads").add();
+    if (Rec) {
+      RecoveryMark M;
+      M.K = RecoveryMark::Kind::Reoffload;
+      M.At = Sim.elapsed();
+      M.AtTask = CurrentTask;
+      Rec->recovery(std::move(M));
+    }
     return true;
   }
 
@@ -473,6 +821,26 @@ private:
   bool WantRollback = false;  ///< A link failure requested a rollback.
   uint64_t Fallbacks = 0;
 
+  // Server-failure recovery state.
+  unsigned ProbePeriod = 1;   ///< Boundaries between recovery probes.
+  bool CrashArmed = false;    ///< A crash schedule is active.
+  bool LedgerOn = false;      ///< Maintain the recovery ledger.
+  bool LocalFallback = false; ///< Degraded, but probing may lift it.
+  std::map<unsigned, LedgerPin> Ledger; ///< Pins, keyed by region id.
+  std::vector<std::pair<unsigned, LedgerPin>> PendingPins;
+  std::set<unsigned> EvictedOnce; ///< Evicted ids (refetch accounting).
+  uint64_t PinnedBytes = 0;
+  uint64_t LedgerSeq = 0; ///< Monotone LRU clock.
+  unsigned LastFallbackTask = KNone;
+  uint64_t FallbackBoundaries = 0;
+  unsigned ProbesSent = 0;
+  uint64_t CrashRecoveries = 0;
+  uint64_t LedgerRestores = 0;
+  uint64_t LedgerEvictions = 0;
+  uint64_t LedgerRefetches = 0;
+  uint64_t LedgerPeakBytes = 0;
+  uint64_t Reoffloads = 0;
+
   std::map<std::pair<unsigned, unsigned>, std::vector<Movement>>
       MovementCache;
   std::vector<uint64_t> TaskInstrCounts;
@@ -528,9 +896,10 @@ bool Machine::crossTask(unsigned NewTask) {
   unsigned OldTask = CurrentTask;
   CurrentTask = NewTask;
   recEndSegment();
-  // A degraded run self-schedules everything on the client: no messages,
-  // no transfers, exactly like running under the all-client partitioning.
-  if (Choice == KNone || Degraded) {
+  // A degraded (or probing-fallback) run self-schedules everything on the
+  // client: no messages, no transfers, exactly like running under the
+  // all-client partitioning.
+  if (Choice == KNone || Degraded || LocalFallback) {
     recBeginSegment();
     return true;
   }
@@ -980,7 +1349,7 @@ bool Machine::execInstr(const Instr &I) {
     // Registration overhead when the static analysis decides the data is
     // accessed by both hosts (paper section 2.3).
     auto It = CP.Problem.AccessNodes.find(LocId);
-    if (Choice != KNone && !Degraded &&
+    if (Choice != KNone && !Degraded && !LocalFallback &&
         It != CP.Problem.AccessNodes.end()) {
       bool Ns = CP.Partition.nodeValue(Choice, It->second.first);
       bool Nc = !CP.Partition.nodeValue(Choice, It->second.second);
@@ -1181,8 +1550,12 @@ ExecResult Machine::run() {
   CheckpointsOn =
       Choice != KNone &&
       ((EffPolicy == FaultPolicy::DegradeToLocal &&
-        (!Opts.Link.faultFree() || DriftCanFail)) ||
+        (!Opts.Link.faultFree() || DriftCanFail || CrashArmed)) ||
        ClosedLoop);
+  // The recovery ledger runs only when a crash can actually destroy
+  // server-held data *and* the policy will roll back instead of failing.
+  LedgerOn = CrashArmed && Choice != KNone &&
+             EffPolicy == FaultPolicy::DegradeToLocal && CheckpointsOn;
   if (CheckpointsOn) {
     unsigned SavedTask = CurrentTask;
     CurrentTask = CP.Graph.taskOfBlock(CP.Module->MainIndex, 0);
@@ -1198,8 +1571,47 @@ ExecResult Machine::run() {
     rollback(); // Either restores into the loop below or leaves Failed set.
 
   while (!Failed && !Finished) {
-    if (CheckpointsOn && !Degraded && CurrentTask != Ckpt.CurrentTask) {
+    // Server lifecycle events fire strictly at the instruction/message
+    // grain the simulated clock advances by; handle them at the loop
+    // top, where no instruction is mid-flight.
+    if (CrashArmed && Sim.serverEventPending()) {
+      bool Crashed = false, Restarted = false;
+      Rational CrashedAt, RestartedAt;
+      Sim.takeServerEvents(Crashed, CrashedAt, Restarted, RestartedAt);
+      bool CrashHandled = !Crashed || onServerCrash(CrashedAt);
+      if (Restarted && Rec) {
+        RecoveryMark M;
+        M.K = RecoveryMark::Kind::Restart;
+        M.At = RestartedAt;
+        M.AtTask = CurrentTask;
+        Rec->recovery(std::move(M));
+      }
+      if (!CrashHandled && !rollback())
+        break;
+    }
+    if (CheckpointsOn && LocalFallback) {
+      // Probing fallback: no checkpoints (the client-only run cannot
+      // fail recoverably), but each fresh task boundary may probe.
+      if (CurrentTask != LastFallbackTask) {
+        LastFallbackTask = CurrentTask;
+        if (!maybeProbe() && !rollback())
+          break;
+      }
+    } else if (CheckpointsOn && !Degraded &&
+               CurrentTask != Ckpt.CurrentTask) {
+      // Pin server-authoritative items *before* the checkpoint, and
+      // re-check for a crash that crossed mid-sync: the pins commit
+      // only together with the snapshot they protect.
+      if (LedgerOn && !syncLedger()) {
+        if (!rollback())
+          break;
+        continue;
+      }
+      if (CrashArmed && Sim.serverEventPending())
+        continue;
       takeCheckpoint();
+      if (LedgerOn)
+        commitLedger();
       // The boundary checkpoint doubles as the re-dispatch point: the
       // drift detector runs here, where no instruction is mid-flight
       // and a failed switch can roll back to the snapshot just taken.
@@ -1243,8 +1655,24 @@ ExecResult Machine::run() {
   Result.Retries = Sim.retries();
   Result.Fallbacks = Fallbacks;
   Result.FaultTime = Sim.faultTime() + Sim.jitterTime();
-  Result.Degraded = Degraded;
-  Result.FinalChoice = Degraded ? KNone : Choice;
+  // A run still sitting in the probing fallback at exit finished on the
+  // client, exactly like a permanent degrade.
+  Result.Degraded = Degraded || LocalFallback;
+  Result.FinalChoice = (Degraded || LocalFallback) ? KNone : Choice;
+  Result.Crashes = Sim.crashCount();
+  Result.Restarts = Sim.restartCount();
+  Result.CrashRecoveries = CrashRecoveries;
+  Result.LedgerRestores = LedgerRestores;
+  Result.Probes = Sim.probes();
+  Result.ProbeFailures = Sim.probeFailures();
+  Result.Reoffloads = Reoffloads;
+  Result.LedgerSyncs = Sim.ledgerSyncs();
+  Result.LedgerSyncBytes = Sim.ledgerBytes();
+  Result.LedgerEvictions = LedgerEvictions;
+  Result.LedgerRefetches = LedgerRefetches;
+  Result.LedgerPeakBytes = LedgerPeakBytes;
+  Result.ProbeTime = Sim.probeTime();
+  Result.LedgerTime = Sim.ledgerTime();
   for (unsigned T = 0; T != TaskInstrCounts.size(); ++T)
     if (TaskInstrCounts[T])
       Result.TaskInstrs[T] = TaskInstrCounts[T];

@@ -63,6 +63,20 @@ struct AdaptationOptions {
   Rational SwitchMargin = Rational::fraction(1, 8);
   /// Hard cap on re-dispatches per run (thrash guard).
   unsigned MaxRedispatches = 8;
+
+  /// Active recovery probing (ClosedLoop only). While the run sits in
+  /// local fallback after a degrade or a server crash, it sends one
+  /// probe message every ProbePeriodBoundaries task boundaries, priced
+  /// through the CostModel like any other traffic. A delivered probe
+  /// feeds the profiler and reprices local-vs-remote under the profiled
+  /// model; the run re-offloads only when the best remote cut beats
+  /// local by SwitchMargin. ProbeBudget bounds the total spend: once
+  /// exhausted, the fallback becomes a permanent degrade. Zero disables
+  /// probing (every fallback is immediately permanent, the PR-6
+  /// behavior).
+  unsigned ProbePeriodBoundaries = 8;
+  uint64_t ProbeBytes = 64;
+  unsigned ProbeBudget = 16;
 };
 
 /// How to run the program.
@@ -93,6 +107,19 @@ struct ExecOptions {
   /// simulated clock (bandwidth ramps, server load spikes, timed
   /// outages). Empty = the static environment.
   DriftSchedule Drift;
+  /// Scheduled server crash/restart events on the simulated clock. A
+  /// crash loses every server-resident data copy and aborts the
+  /// in-flight server task; under a recovery policy the run rolls back
+  /// to the last task boundary and restores the lost items from the
+  /// client-held recovery ledger. Empty = the server never fails.
+  CrashSchedule Crash;
+  /// Byte budget of the client-held recovery ledger (pinned client
+  /// copies of server-authoritative data, maintained at task boundaries
+  /// while a crash schedule is armed). Items beyond the budget are
+  /// evicted LRU and re-fetched -- at full transfer price -- when
+  /// needed again. Pins the current checkpoint depends on are never
+  /// evicted, so the budget is a soft target with a hard safety floor.
+  uint64_t LedgerBudgetBytes = 1ull << 20;
   /// Optional timeline recorder (cleared at run start): receives every
   /// task-execution segment and runtime message on the simulated clock.
   /// Costs one elapsed-time evaluation per task boundary, nothing on the
@@ -108,6 +135,8 @@ struct ExecResult {
     InstructionLimit, ///< The MaxInstructions runaway guard tripped.
     LinkFailure,      ///< A message exhausted its retries and the policy
                       ///< forbade degrading to local execution.
+    ServerCrash,      ///< The server process died and the policy had no
+                      ///< recovery path (FailFast/RetryOnly/Static).
     BadInput,         ///< Program-level fault (bad pointer, div by zero,
                       ///< missing main, analysis bug, ...).
   };
@@ -142,7 +171,24 @@ struct ExecResult {
   uint64_t Fallbacks = 0; ///< Rollbacks that degraded the run to local.
   Rational FaultTime;     ///< Time lost to timeouts, backoff and jitter.
   bool Degraded = false;  ///< The run finished on the client after a
-                          ///< link failure.
+                          ///< link failure or server crash.
+
+  /// Server-failure recovery accounting (all zero without a crash
+  /// schedule and with probing off).
+  uint64_t Crashes = 0;         ///< Scheduled crashes the run crossed.
+  uint64_t Restarts = 0;        ///< Scheduled restarts the run crossed.
+  uint64_t CrashRecoveries = 0; ///< Rollbacks forced by a crash.
+  uint64_t LedgerRestores = 0;  ///< Data items restored from the ledger.
+  uint64_t Probes = 0;          ///< Recovery probes sent.
+  uint64_t ProbeFailures = 0;   ///< Probes lost (down/dropped/crashed).
+  uint64_t Reoffloads = 0;      ///< Probe-driven returns to a remote cut.
+  uint64_t LedgerSyncs = 0;     ///< Charged ledger pin transfers.
+  uint64_t LedgerSyncBytes = 0; ///< Bytes those transfers moved.
+  uint64_t LedgerEvictions = 0; ///< Pins evicted under the byte budget.
+  uint64_t LedgerRefetches = 0; ///< Evicted pins fetched again later.
+  uint64_t LedgerPeakBytes = 0; ///< Ledger high-water mark.
+  Rational ProbeTime;           ///< Time spent probing.
+  Rational LedgerTime;          ///< Time spent syncing the ledger.
 
   /// Measured instruction executions per task (for prediction error).
   std::map<unsigned, uint64_t> TaskInstrs;

@@ -158,6 +158,35 @@ std::string CostAuditReport::toJSON() const {
            jsonNum(E.PredictedSwitch.toDouble()) + "}";
   }
   Out += Redispatches.empty() ? "],\n" : "\n  ],\n";
+  Out += "  \"recovery\": {";
+  if (Recovery.active()) {
+    Out += "\n    \"crashes\": " + std::to_string(Recovery.Crashes) +
+           ",\n    \"restarts\": " + std::to_string(Recovery.Restarts) +
+           ",\n    \"crash_rollbacks\": " +
+           std::to_string(Recovery.CrashRecoveries) +
+           ",\n    \"ledger_restores\": " +
+           std::to_string(Recovery.LedgerRestores) +
+           ",\n    \"probes\": " + std::to_string(Recovery.Probes) +
+           ",\n    \"probe_failures\": " +
+           std::to_string(Recovery.ProbeFailures) +
+           ",\n    \"reoffloads\": " + std::to_string(Recovery.Reoffloads) +
+           ",\n    \"ledger_syncs\": " +
+           std::to_string(Recovery.LedgerSyncs) +
+           ",\n    \"ledger_sync_bytes\": " +
+           std::to_string(Recovery.LedgerSyncBytes) +
+           ",\n    \"ledger_evictions\": " +
+           std::to_string(Recovery.LedgerEvictions) +
+           ",\n    \"ledger_refetches\": " +
+           std::to_string(Recovery.LedgerRefetches) +
+           ",\n    \"ledger_peak_bytes\": " +
+           std::to_string(Recovery.LedgerPeakBytes) +
+           ",\n    \"probe_units\": " +
+           jsonNum(Recovery.ProbeUnits.toDouble()) +
+           ",\n    \"ledger_units\": " +
+           jsonNum(Recovery.LedgerUnits.toDouble()) + "\n  },\n";
+  } else {
+    Out += "},\n";
+  }
   Out += "  \"fault_units\": " + jsonNum(FaultUnits.toDouble()) + ",\n";
   Out += "  \"cut_value\": " + jsonNum(CutValue.toDouble()) + ",\n";
   Out += "  \"cut_matches_components\": " +
@@ -224,6 +253,32 @@ std::string CostAuditReport::toText() const {
       Out += Buf;
     }
   }
+  if (Recovery.active()) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "recovery: %llu crash(es), %llu restart(s), %llu "
+                  "rollback(s), %llu item(s) restored, %llu probe(s) (%llu "
+                  "lost, %s units), %llu re-offload(s)\n",
+                  static_cast<unsigned long long>(Recovery.Crashes),
+                  static_cast<unsigned long long>(Recovery.Restarts),
+                  static_cast<unsigned long long>(Recovery.CrashRecoveries),
+                  static_cast<unsigned long long>(Recovery.LedgerRestores),
+                  static_cast<unsigned long long>(Recovery.Probes),
+                  static_cast<unsigned long long>(Recovery.ProbeFailures),
+                  fmtUnits(Recovery.ProbeUnits).c_str(),
+                  static_cast<unsigned long long>(Recovery.Reoffloads));
+    Out += Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "recovery ledger: %llu sync(s), %llu byte(s), %s units, "
+                  "%llu eviction(s), %llu refetch(es), peak %llu byte(s)\n",
+                  static_cast<unsigned long long>(Recovery.LedgerSyncs),
+                  static_cast<unsigned long long>(Recovery.LedgerSyncBytes),
+                  fmtUnits(Recovery.LedgerUnits).c_str(),
+                  static_cast<unsigned long long>(Recovery.LedgerEvictions),
+                  static_cast<unsigned long long>(Recovery.LedgerRefetches),
+                  static_cast<unsigned long long>(Recovery.LedgerPeakBytes));
+    Out += Buf;
+  }
   Out += "fault time (unpredicted): " + fmtUnits(FaultUnits) + " units\n";
   Out += "cut value at h: " + fmtUnits(CutValue) +
          " (components match: " + (CutMatchesComponents ? "yes" : "NO") +
@@ -267,6 +322,20 @@ CostAuditReport paco::obs::auditRun(const CompiledProgram &CP,
   }
   R.Valid = true;
   R.Redispatches = Run.Redispatches;
+  R.Recovery.Crashes = Run.Crashes;
+  R.Recovery.Restarts = Run.Restarts;
+  R.Recovery.CrashRecoveries = Run.CrashRecoveries;
+  R.Recovery.LedgerRestores = Run.LedgerRestores;
+  R.Recovery.Probes = Run.Probes;
+  R.Recovery.ProbeFailures = Run.ProbeFailures;
+  R.Recovery.Reoffloads = Run.Reoffloads;
+  R.Recovery.LedgerSyncs = Run.LedgerSyncs;
+  R.Recovery.LedgerSyncBytes = Run.LedgerSyncBytes;
+  R.Recovery.LedgerEvictions = Run.LedgerEvictions;
+  R.Recovery.LedgerRefetches = Run.LedgerRefetches;
+  R.Recovery.LedgerPeakBytes = Run.LedgerPeakBytes;
+  R.Recovery.ProbeUnits = Run.ProbeTime;
+  R.Recovery.LedgerUnits = Run.LedgerTime;
   if (R.Choice == KNone)
     R.Note = "all-client baseline: no messages predicted or sent";
   else if (R.Degraded)
@@ -311,7 +380,8 @@ CostAuditReport paco::obs::auditRun(const CompiledProgram &CP,
   // Messages. Keyed rows merge the static prediction with the recorder's
   // actuals; ordered map keys make emission order deterministic.
   //===------------------------------------------------------------------===//
-  // (kind, from, to, loc, toServer) -> row. Kind: 0 sched, 1 xfer, 2 reg.
+  // (kind, from, to, loc, toServer) -> row. Kind: 0 sched, 1 xfer, 2 reg,
+  // 3 recovery probe, 4 ledger sync.
   using MsgKey = std::tuple<int, unsigned, unsigned, unsigned, bool>;
   std::map<MsgKey, AuditEntry> Msg;
   auto taskLabel = [&](unsigned T) {
@@ -334,8 +404,13 @@ CostAuditReport paco::obs::auditRun(const CompiledProgram &CP,
       else if (Kind == 1)
         It->second.What = "transfer " + locLabel(Loc) + " " +
                           taskLabel(From) + "->" + taskLabel(To) + Dir;
-      else
+      else if (Kind == 2)
         It->second.What = "register " + locLabel(Loc);
+      else if (Kind == 3)
+        It->second.What = "probe @" + taskLabel(From) + Dir;
+      else
+        It->second.What = "ledger-sync " + locLabel(Loc) + " @" +
+                          taskLabel(From) + Dir;
     }
     return It->second;
   };
@@ -401,6 +476,20 @@ CostAuditReport paco::obs::auditRun(const CompiledProgram &CP,
       case MessageRecord::Kind::Registration:
         msgRow(2, KNone, KNone, M.LocId, true).Actual += C.Ta;
         break;
+      case MessageRecord::Kind::Probe: {
+        // Recovery traffic: nothing predicted, priced like a c2s
+        // transfer header + payload.
+        Rational Bytes(static_cast<int64_t>(M.Bytes));
+        msgRow(3, M.FromTask, M.ToTask, KNone, true).Actual +=
+            C.Tcsh + Bytes * C.Tcsu;
+        break;
+      }
+      case MessageRecord::Kind::LedgerSync: {
+        Rational Bytes(static_cast<int64_t>(M.Bytes));
+        msgRow(4, M.FromTask, M.ToTask, M.LocId, false).Actual +=
+            C.Tsch + Bytes * C.Tscu;
+        break;
+      }
       }
     }
   }

@@ -70,6 +70,33 @@ struct CostAuditReport {
   /// it is part of Total.Actual.
   Rational FaultUnits;
 
+  /// Server-failure recovery accounting (crash/restart events, ledger
+  /// maintenance, recovery probes). The static prediction contains none
+  /// of it; ProbeUnits + LedgerUnits are part of Total.Actual.
+  struct RecoverySection {
+    uint64_t Crashes = 0;
+    uint64_t Restarts = 0;
+    uint64_t CrashRecoveries = 0;
+    uint64_t LedgerRestores = 0;
+    uint64_t Probes = 0;
+    uint64_t ProbeFailures = 0;
+    uint64_t Reoffloads = 0;
+    uint64_t LedgerSyncs = 0;
+    uint64_t LedgerSyncBytes = 0;
+    uint64_t LedgerEvictions = 0;
+    uint64_t LedgerRefetches = 0;
+    uint64_t LedgerPeakBytes = 0;
+    Rational ProbeUnits;
+    Rational LedgerUnits;
+
+    /// True when the run saw any crash/probe/ledger activity at all;
+    /// false keeps the section out of the rendered reports.
+    bool active() const {
+      return Crashes || Restarts || Probes || LedgerSyncs || Reoffloads;
+    }
+  };
+  RecoverySection Recovery;
+
   /// The chosen region's cut-value expression evaluated at h, and whether
   /// the component decomposition reproduces it exactly (it must -- a
   /// mismatch is an analysis bug, not a model error).

@@ -157,12 +157,20 @@ std::string jsonNumber(double V) {
 }
 
 std::string histogramJSON(const HistogramSnapshot &H) {
-  std::string Out = "{\"count\": " + std::to_string(H.count()) +
-                    ", \"sum\": " + std::to_string(H.Sum) +
-                    ", \"p50\": " + jsonNumber(H.percentile(50)) +
-                    ", \"p95\": " + jsonNumber(H.percentile(95)) +
-                    ", \"p99\": " + jsonNumber(H.percentile(99)) +
-                    ", \"buckets\": [";
+  // Sequential appends rather than one chained operator+ expression:
+  // GCC 12's -Wrestrict misfires on `const char * + std::string &&`
+  // chains at -O3 (GCC PR 105651), and this file builds with -Werror.
+  std::string Out = "{\"count\": ";
+  Out += std::to_string(H.count());
+  Out += ", \"sum\": ";
+  Out += std::to_string(H.Sum);
+  Out += ", \"p50\": ";
+  Out += jsonNumber(H.percentile(50));
+  Out += ", \"p95\": ";
+  Out += jsonNumber(H.percentile(95));
+  Out += ", \"p99\": ";
+  Out += jsonNumber(H.percentile(99));
+  Out += ", \"buckets\": [";
   bool First = true;
   for (unsigned B = 0; B != Histogram::NumBuckets; ++B) {
     if (!H.Buckets[B])
@@ -170,11 +178,16 @@ std::string histogramJSON(const HistogramSnapshot &H) {
     if (!First)
       Out += ", ";
     First = false;
-    Out += "[" + std::to_string(HistogramSnapshot::bucketLo(B)) + ", " +
-           std::to_string(HistogramSnapshot::bucketHi(B)) + ", " +
-           std::to_string(H.Buckets[B]) + "]";
+    Out += "[";
+    Out += std::to_string(HistogramSnapshot::bucketLo(B));
+    Out += ", ";
+    Out += std::to_string(HistogramSnapshot::bucketHi(B));
+    Out += ", ";
+    Out += std::to_string(H.Buckets[B]);
+    Out += "]";
   }
-  return Out + "]}";
+  Out += "]}";
+  return Out;
 }
 
 } // namespace

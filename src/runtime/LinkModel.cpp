@@ -153,6 +153,84 @@ bool DriftSchedule::parse(const std::string &Spec, DriftSchedule &Out,
   return Err.empty();
 }
 
+std::string CrashSchedule::validate() const {
+  for (size_t I = 0; I != Events.size(); ++I) {
+    const ServerCrash &E = Events[I];
+    if (E.At.isNegative())
+      return "crash " + std::to_string(I) +
+             ": crash time must be non-negative";
+    if (E.Restarts && !(E.At < E.RestartAt))
+      return "crash " + std::to_string(I) +
+             ": restart time must be strictly after the crash time";
+    if (I) {
+      const ServerCrash &Prev = Events[I - 1];
+      if (!Prev.Restarts)
+        return "crash " + std::to_string(I) +
+               ": unreachable after a permanent crash (event " +
+               std::to_string(I - 1) + " never restarts)";
+      if (!(Prev.RestartAt < E.At))
+        return "crash " + std::to_string(I) +
+               ": windows must not overlap and must be strictly "
+               "increasing (crash must come after the previous restart)";
+    }
+  }
+  return "";
+}
+
+bool CrashSchedule::parse(const std::string &Spec, CrashSchedule &Out,
+                          std::string &Err) {
+  Out.Events.clear();
+  Err.clear();
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Event = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Event.empty())
+      continue;
+    ServerCrash E;
+    bool HaveAt = false;
+    size_t FPos = 0;
+    while (FPos <= Event.size()) {
+      size_t FEnd = Event.find(',', FPos);
+      if (FEnd == std::string::npos)
+        FEnd = Event.size();
+      std::string Field = Event.substr(FPos, FEnd - FPos);
+      FPos = FEnd + 1;
+      if (Field.empty())
+        continue;
+      size_t Eq = Field.find('=');
+      std::string Key = Field.substr(0, Eq);
+      std::string Val = Eq == std::string::npos ? "" : Field.substr(Eq + 1);
+      Rational *Dst = nullptr;
+      if (Key == "at") {
+        Dst = &E.At;
+        HaveAt = true;
+      } else if (Key == "restart") {
+        Dst = &E.RestartAt;
+        E.Restarts = true;
+      } else {
+        Err = "crash: unknown field '" + Key + "' (want at=, restart=)";
+        return false;
+      }
+      if (!parseRational(Val, *Dst)) {
+        Err = "crash: bad value '" + Val + "' for '" + Key +
+              "' (want N or N/D)";
+        return false;
+      }
+    }
+    if (!HaveAt) {
+      Err = "crash: event '" + Event + "' is missing at=TIME";
+      return false;
+    }
+    Out.Events.push_back(std::move(E));
+  }
+  Err = Out.validate();
+  return Err.empty();
+}
+
 namespace {
 
 /// SplitMix64 finalizer: a high-quality stateless mix of one 64-bit word.

@@ -92,6 +92,41 @@ struct DriftSchedule {
                     std::string &Err);
 };
 
+/// One injected server-process failure on the simulated clock. At time
+/// At the surrogate process dies: every server-resident authoritative
+/// data copy is lost, the in-flight server task aborts, and every link
+/// attempt fails while the process is down. If Restarts, a blank server
+/// process comes back at RestartAt (registered state does NOT survive
+/// the restart -- the runtime must re-upload whatever it wants back).
+struct ServerCrash {
+  Rational At;          ///< Crash instant on the simulated clock.
+  Rational RestartAt;   ///< Restart instant; meaningful only if Restarts.
+  bool Restarts = false;
+};
+
+/// A deterministic schedule of server crash/restart events keyed on the
+/// simulated clock, the server-process analogue of DriftSchedule. Events
+/// are ordered and non-overlapping; a crash without a restart is final
+/// (nothing may follow it). Exact Rational times keep crashing runs as
+/// bit-reproducible as fault-free ones.
+struct CrashSchedule {
+  std::vector<ServerCrash> Events; ///< Ordered, non-overlapping windows.
+
+  bool active() const { return !Events.empty(); }
+
+  /// Empty string when well-formed; else the reason (negative times,
+  /// restart not after its crash, overlapping or non-monotone windows,
+  /// an event scheduled after a permanent crash).
+  std::string validate() const;
+
+  /// Parses the CLI form: semicolon-separated events, each
+  /// "at=TIME[,restart=TIME]" with TIME a non-negative integer or N/D
+  /// rational, e.g. "at=500,restart=900;at=2000". Validates the result.
+  /// Returns false with a one-line message in \p Err on any problem.
+  static bool parse(const std::string &Spec, CrashSchedule &Out,
+                    std::string &Err);
+};
+
 /// Rounds \p Units down to a whole number of cost units, saturating at
 /// the uint64_t range instead of invoking the undefined behavior of an
 /// out-of-range float-to-integer cast (a long forced-outage replay with

@@ -42,6 +42,15 @@ void OnlineProfiler::observeMessage(MessageRecord::Kind K, bool ToServer,
   case MessageRecord::Kind::Registration:
     BaseCost = Base.Ta;
     break;
+  case MessageRecord::Kind::Probe:
+    // A recovery probe is priced like a c2s transfer header + payload,
+    // so its observed cost feeds the c2s scale -- exactly the estimate
+    // the re-offload repricing needs after an outage.
+    BaseCost = Base.Tcsh + Base.Tcsu * Rational(static_cast<int64_t>(Bytes));
+    break;
+  case MessageRecord::Kind::LedgerSync:
+    BaseCost = Base.Tsch + Base.Tscu * Rational(static_cast<int64_t>(Bytes));
+    break;
   }
   if (!BaseCost.isPositive())
     return;

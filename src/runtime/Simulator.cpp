@@ -8,10 +8,10 @@
 
 using namespace paco;
 
-void Simulator::driftInstructions(bool OnServer, uint64_t N) {
+void Simulator::clockInstructions(bool OnServer, uint64_t N) {
   Rational T = (OnServer ? Costs.Ts : Costs.Tc) *
                Rational(static_cast<int64_t>(N));
-  if (OnServer) {
+  if (OnServer && DriftOn) {
     if (const DriftPhase *P = phaseNow()) {
       static const Rational One(1);
       if (P->ServerScale != One) {
@@ -24,6 +24,8 @@ void Simulator::driftInstructions(bool OnServer, uint64_t N) {
     }
   }
   DriftNow += T;
+  if (CrashOn)
+    pollServerClock();
 }
 
 std::string Simulator::summary() const {
@@ -39,6 +41,13 @@ std::string Simulator::summary() const {
     Out += " timeouts=" + std::to_string(Timeouts);
     Out += " retries=" + std::to_string(Retries);
     Out += " fault_time=" + (FaultTime + JitterTime).toString();
+  }
+  if (CrashCount || Probes) {
+    Out += " crashes=" + std::to_string(CrashCount);
+    Out += " restarts=" + std::to_string(RestartCount);
+    Out += " probes=" + std::to_string(Probes);
+    Out += " probe_failures=" + std::to_string(ProbeFailures);
+    Out += " ledger_syncs=" + std::to_string(LedgerSyncs);
   }
   return Out;
 }

@@ -46,13 +46,18 @@ public:
   /// A simulator whose link follows the injected fault schedule \p Faults
   /// and retries lost messages under \p Retry. An active \p Drift
   /// schedule additionally scales message and server-compute costs (and
-  /// forces outages) phase by phase on the simulated clock; the
-  /// fault-free, drift-free fast paths are untouched when it is empty.
+  /// forces outages) phase by phase on the simulated clock; an active
+  /// \p Crash schedule kills and optionally restarts the server process
+  /// at fixed simulated times (every link attempt fails while it is
+  /// down). The fault-free fast paths are untouched when both are empty.
   Simulator(const CostModel &Costs, const FaultSpec &Faults,
             const RetryPolicy &Retry,
-            const DriftSchedule &Drift = DriftSchedule())
+            const DriftSchedule &Drift = DriftSchedule(),
+            const CrashSchedule &Crash = CrashSchedule())
       : Costs(Costs), Link(Faults), Retry(Retry), Drift(Drift),
-        DriftOn(this->Drift.active()) {
+        Crashes(Crash), DriftOn(this->Drift.active()),
+        CrashOn(this->Crashes.active()),
+        ClockOn(DriftOn || CrashOn) {
     for (const DriftPhase &P : this->Drift.Phases)
       DriftHasDown = DriftHasDown || P.Down;
   }
@@ -67,8 +72,8 @@ public:
       ServerInstrs += N;
     else
       ClientInstrs += N;
-    if (DriftOn)
-      driftInstructions(OnServer, N);
+    if (ClockOn)
+      clockInstructions(OnServer, N);
 #ifndef PACO_DISABLE_OBS
     if ((PendingInstrs += N) >= kInstrStride)
       flushInstrs();
@@ -157,6 +162,52 @@ public:
     return true;
   }
 
+  /// One active recovery probe: a single link attempt (no retries) of a
+  /// \p Bytes payload, priced like a client-to-server transfer under the
+  /// current drift phase. A delivered probe charges that message cost
+  /// (plus jitter) to ProbeTime and returns true; a lost one (dropped,
+  /// drift-down or crashed server) charges the timeout-detection time
+  /// instead and returns false. Either way the attempt index advances,
+  /// so probing never perturbs the fault schedule of later traffic.
+  bool tryProbe(uint64_t Bytes) {
+    ++Probes;
+    statCounter("sim.probes").add();
+    LinkModel::Attempt A = Link.next(driftDown() || ServerDownNow);
+    if (!A.Delivered) {
+      ++ProbeFailures;
+      ProbeTime += Costs.Tto;
+      advanceClock(Costs.Tto);
+      statCounter("sim.probe_failures").add();
+      return false;
+    }
+    Rational Cost = commCost(Costs.Tcsh +
+                             Costs.Tcsu *
+                                 Rational(static_cast<int64_t>(Bytes)));
+    Cost += Rational(static_cast<int64_t>(A.Jitter));
+    ProbeTime += Cost;
+    advanceClock(Cost);
+    return true;
+  }
+
+  /// One recovery-ledger sync: pins \p Bytes of server-authoritative
+  /// data on the client, driven through the retry machinery like any
+  /// transfer but priced into its own LedgerTime bucket so the audit can
+  /// show what crash insurance cost. Returns false when retries run out.
+  bool tryLedgerSync(uint64_t Bytes) {
+    if (!sendMessage())
+      return false;
+    ++LedgerSyncs;
+    LedgerBytes += Bytes;
+    Rational Cost = commCost(Costs.Tsch +
+                             Costs.Tscu *
+                                 Rational(static_cast<int64_t>(Bytes)));
+    LedgerTime += Cost;
+    advanceClock(Cost);
+    statCounter("sim.ledger_syncs").add();
+    statHistogram("sim.ledger_sync_bytes").record(Bytes);
+    return true;
+  }
+
   /// Computation time per host, derived from the instruction counters.
   /// Server time includes what drift-phase load spikes added on top of
   /// the static Ts rate.
@@ -173,7 +224,8 @@ public:
   /// on the client like any other communication time.
   Rational elapsed() const {
     return clientCompute() + serverCompute() + SchedulingTime +
-           TransferTime + RegistrationTime + FaultTime + JitterTime;
+           TransferTime + RegistrationTime + FaultTime + JitterTime +
+           ProbeTime + LedgerTime;
   }
 
   /// Time the client radio/CPU is active (everything except waiting for
@@ -213,10 +265,43 @@ public:
 
   /// The drift schedule driving this run (empty when static).
   const DriftSchedule &drift() const { return Drift; }
-  /// The simulated clock the drift layer maintains incrementally; always
-  /// equals elapsed() while a schedule is active (invariant-checked by
-  /// the tests), and stays zero otherwise.
+  /// The simulated clock the drift/crash layer maintains incrementally;
+  /// always equals elapsed() while a schedule is active (invariant-
+  /// checked by the tests), and stays zero otherwise.
   const Rational &driftClock() const { return DriftNow; }
+
+  /// The crash schedule driving this run (empty when the server is
+  /// assumed reliable).
+  const CrashSchedule &crashes() const { return Crashes; }
+  /// True while a scheduled crash window covers the current simulated
+  /// time (the server process is dead; every link attempt fails).
+  bool serverDown() const { return ServerDownNow; }
+  /// True when the clock crossed a crash or restart instant that the
+  /// runtime has not consumed yet (cheap flag for the interpreter loop).
+  bool serverEventPending() const { return PendingCrash || PendingRestart; }
+  /// Consumes pending crash/restart crossings. \p CrashedAt / \p
+  /// RestartedAt receive the *scheduled* instants (exact Rationals from
+  /// the schedule, not the detection time). Both can fire in one call
+  /// when a whole crash window fit inside a single clock advance.
+  void takeServerEvents(bool &Crashed, Rational &CrashedAt, bool &Restarted,
+                        Rational &RestartedAt) {
+    Crashed = PendingCrash;
+    CrashedAt = PendingCrashAt;
+    Restarted = PendingRestart;
+    RestartedAt = PendingRestartAt;
+    PendingCrash = PendingRestart = false;
+  }
+
+  uint64_t crashCount() const { return CrashCount; }
+  uint64_t restartCount() const { return RestartCount; }
+  uint64_t probes() const { return Probes; }
+  uint64_t probeFailures() const { return ProbeFailures; }
+  uint64_t ledgerSyncs() const { return LedgerSyncs; }
+  uint64_t ledgerBytes() const { return LedgerBytes; }
+  /// Time spent on recovery probes (delivered and lost alike).
+  Rational probeTime() const { return ProbeTime; }
+  /// Time spent syncing the client-held recovery ledger.
+  Rational ledgerTime() const { return LedgerTime; }
 
   /// One-line summary for logs.
   std::string summary() const;
@@ -237,10 +322,10 @@ private:
   /// advance the drift clock, so a retry loop can ride out a time-based
   /// Down phase and deliver after recovery.
   bool sendMessage() {
-    if (Link.faultFree() && !DriftHasDown)
+    if (Link.faultFree() && !DriftHasDown && !CrashOn)
       return true;
     for (unsigned Attempt = 0;; ++Attempt) {
-      LinkModel::Attempt A = Link.next(driftDown());
+      LinkModel::Attempt A = Link.next(driftDown() || ServerDownNow);
       if (A.Delivered) {
         Rational Jitter(static_cast<int64_t>(A.Jitter));
         JitterTime += Jitter;
@@ -275,10 +360,11 @@ private:
   }
 
   //===------------------------------------------------------------------===//
-  // Drift layer. DriftNow mirrors elapsed() incrementally (every charge
-  // site advances it) so the piecewise schedule can be indexed by the
-  // current simulated time without re-deriving the total; the cursor
-  // only moves forward because simulated time is monotone.
+  // Clock layer (drift + crashes). DriftNow mirrors elapsed()
+  // incrementally (every charge site advances it) so the piecewise drift
+  // schedule and the crash windows can be indexed by the current
+  // simulated time without re-deriving the total; the cursors only move
+  // forward because simulated time is monotone.
   //===------------------------------------------------------------------===//
 
   /// The phase in effect at the current simulated time, or null before
@@ -307,13 +393,52 @@ private:
   }
 
   void advanceClock(const Rational &Delta) {
-    if (DriftOn)
-      DriftNow += Delta;
+    if (!ClockOn)
+      return;
+    DriftNow += Delta;
+    if (CrashOn)
+      pollServerClock();
   }
 
-  /// Out-of-line per-instruction drift charging (server load spikes plus
-  /// the clock mirror); only runs when a schedule is active.
-  void driftInstructions(bool OnServer, uint64_t N);
+  /// Advances the crash cursor past every crash/restart instant the
+  /// clock has crossed, flagging crossings for the interpreter. A crash
+  /// window is [At, RestartAt) -- or [At, inf) when the event never
+  /// restarts -- during which serverDown() holds.
+  void pollServerClock() {
+    while (CrashIdx != Crashes.Events.size()) {
+      const ServerCrash &E = Crashes.Events[CrashIdx];
+      if (!ServerDownNow) {
+        if (DriftNow < E.At)
+          return;
+        ServerDownNow = true;
+        PendingCrash = true;
+        PendingCrashAt = E.At;
+        ++CrashCount;
+        statCounter("sim.crashes").add();
+        if (obs::Tracer::global().enabled())
+          obs::Tracer::global().instantEvent(
+              "sim.server_crash", "sim", {{"at", E.At.toString()}});
+      } else {
+        if (!E.Restarts || DriftNow < E.RestartAt)
+          return;
+        ServerDownNow = false;
+        PendingRestart = true;
+        PendingRestartAt = E.RestartAt;
+        ++RestartCount;
+        ++CrashIdx;
+        statCounter("sim.restarts").add();
+        if (obs::Tracer::global().enabled())
+          obs::Tracer::global().instantEvent(
+              "sim.server_restart", "sim",
+              {{"at", E.RestartAt.toString()}});
+      }
+    }
+  }
+
+  /// Out-of-line per-instruction clock charging (server load spikes plus
+  /// the clock mirror and crash-crossing detection); only runs when a
+  /// drift or crash schedule is active.
+  void clockInstructions(bool OnServer, uint64_t N);
 
   /// Instruction-count flush granularity for the registry (see
   /// execInstructions).
@@ -323,18 +448,29 @@ private:
   LinkModel Link;
   RetryPolicy Retry;
   DriftSchedule Drift;
+  CrashSchedule Crashes;
   bool DriftOn = false;
+  bool CrashOn = false;
+  bool ClockOn = false;
   bool DriftHasDown = false;
-  size_t PhaseIdx = 0;       ///< Phases already started (cursor).
+  size_t PhaseIdx = 0;       ///< Drift phases already started (cursor).
+  size_t CrashIdx = 0;       ///< Crash events fully behind us (cursor).
+  bool ServerDownNow = false;
+  bool PendingCrash = false, PendingRestart = false;
+  Rational PendingCrashAt, PendingRestartAt;
   Rational DriftNow;         ///< Incremental mirror of elapsed().
   Rational DriftServerExtra; ///< Load-spike surcharge on server compute.
   uint64_t PendingInstrs = 0;
   Rational SchedulingTime, TransferTime, RegistrationTime;
   Rational FaultTime, JitterTime;
+  Rational ProbeTime, LedgerTime;
   uint64_t ClientInstrs = 0, ServerInstrs = 0;
   uint64_t Migrations = 0, Transfers = 0, Registrations = 0;
   uint64_t BytesToServer = 0, BytesToClient = 0;
   uint64_t Retries = 0, Timeouts = 0;
+  uint64_t CrashCount = 0, RestartCount = 0;
+  uint64_t Probes = 0, ProbeFailures = 0;
+  uint64_t LedgerSyncs = 0, LedgerBytes = 0;
 };
 
 } // namespace paco

@@ -37,6 +37,7 @@ void RuntimeRecorder::clear() {
   Segments.clear();
   Messages.clear();
   Adaptations.clear();
+  Recoveries.clear();
   SegmentOpen = false;
 }
 
@@ -88,11 +89,19 @@ std::string describeMessage(const MessageRecord &M,
   case MessageRecord::Kind::Registration:
     What = "register " + labelOf(DataLabels, M.LocId, "loc");
     break;
+  case MessageRecord::Kind::Probe:
+    What = "probe";
+    break;
+  case MessageRecord::Kind::LedgerSync:
+    What = "ledger-sync " + labelOf(DataLabels, M.LocId, "loc");
+    break;
   }
   What += M.ToServer ? " c2s " : " s2c ";
   What += labelOf(TaskLabels, M.FromTask, "task") + "->" +
           labelOf(TaskLabels, M.ToTask, "task");
-  if (M.K == MessageRecord::Kind::Transfer)
+  if (M.K == MessageRecord::Kind::Transfer ||
+      M.K == MessageRecord::Kind::Probe ||
+      M.K == MessageRecord::Kind::LedgerSync)
     What += " " + std::to_string(M.Bytes) + "B";
   if (M.Timeouts)
     What += " [" + std::to_string(M.Timeouts) + " timeout(s), " +
@@ -113,6 +122,22 @@ std::string units(const Rational &V) {
 std::string choiceName(unsigned Choice) {
   return Choice == ~0u ? std::string("local")
                        : "choice " + std::to_string(Choice);
+}
+
+const char *recoveryName(RecoveryMark::Kind K) {
+  switch (K) {
+  case RecoveryMark::Kind::Crash:
+    return "server-crash";
+  case RecoveryMark::Kind::Restart:
+    return "server-restart";
+  case RecoveryMark::Kind::Fallback:
+    return "crash-fallback";
+  case RecoveryMark::Kind::Reoffload:
+    return "re-offload";
+  case RecoveryMark::Kind::Exhausted:
+    return "probe-budget-exhausted";
+  }
+  return "?";
 }
 
 struct Row {
@@ -149,6 +174,19 @@ std::string RuntimeRecorder::renderTimeline(
              labelOf(TaskLabels, A.AtTask, "task") + " (predicted " +
              units(A.PredictedStay) + " -> " + units(A.PredictedSwitch) +
              ")";
+    Rows.push_back(std::move(R));
+  }
+  for (const RecoveryMark &M : Recoveries) {
+    Row R;
+    R.Start = M.At;
+    R.End = M.At;
+    R.Lane = 2;
+    R.Text = recoveryName(M.K);
+    if (M.AtTask != ~0u)
+      R.Text += " at " + labelOf(TaskLabels, M.AtTask, "task");
+    if (M.K == RecoveryMark::Kind::Fallback)
+      R.Text += " [" + std::to_string(M.Restored) +
+                " item(s) restored from ledger]";
     Rows.push_back(std::move(R));
   }
   for (const MessageRecord &M : Messages) {
@@ -197,6 +235,8 @@ std::string RuntimeRecorder::renderTimeline(
          " segment(s), " + std::to_string(Messages.size()) + " message(s)";
   if (!Adaptations.empty())
     Out += ", " + std::to_string(Adaptations.size()) + " redispatch(es)";
+  if (!Recoveries.empty())
+    Out += ", " + std::to_string(Recoveries.size()) + " recovery event(s)";
   Out += "\n";
   return Out;
 }
@@ -234,6 +274,13 @@ void RuntimeRecorder::emitChromeLanes(
     } else if (M.K == MessageRecord::Kind::Registration) {
       Name = "register";
       Args.emplace_back("data", labelOf(DataLabels, M.LocId, "loc"));
+    } else if (M.K == MessageRecord::Kind::Probe) {
+      Name = "probe";
+      Args.emplace_back("bytes", M.Bytes);
+    } else if (M.K == MessageRecord::Kind::LedgerSync) {
+      Name = "ledger-sync";
+      Args.emplace_back("data", labelOf(DataLabels, M.LocId, "loc"));
+      Args.emplace_back("bytes", M.Bytes);
     }
     if (M.Timeouts) {
       Args.emplace_back("timeouts", M.Timeouts);
@@ -252,5 +299,13 @@ void RuntimeRecorder::emitChromeLanes(
                  {"to", choiceName(A.ToChoice)},
                  {"predicted_stay", A.PredictedStay.toString()},
                  {"predicted_switch", A.PredictedSwitch.toString()}});
+  }
+  for (const RecoveryMark &M : Recoveries) {
+    std::vector<obs::TraceArg> Args = {
+        {"at_task", labelOf(TaskLabels, M.AtTask, "task")}};
+    if (M.K == RecoveryMark::Kind::Fallback)
+      Args.emplace_back("restored", M.Restored);
+    T.laneEvent(recoveryName(M.K), "simtime", TracePid, ChannelTid,
+                M.At.toDouble(), 0.0, std::move(Args));
   }
 }

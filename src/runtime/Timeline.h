@@ -48,7 +48,7 @@ struct TaskSegment {
 /// the message cost the run, including timeout detection, backoff waits
 /// and latency jitter of lost attempts.
 struct MessageRecord {
-  enum class Kind { Schedule, Transfer, Registration };
+  enum class Kind { Schedule, Transfer, Registration, Probe, LedgerSync };
   Kind K = Kind::Schedule;
   bool ToServer = true;
   unsigned FromTask = ~0u;
@@ -73,6 +73,24 @@ struct AdaptMark {
   Rational PredictedSwitch; ///< Running ToChoice, under the profile.
 };
 
+/// One server-failure lifecycle event: a scheduled crash or restart, the
+/// rollback-and-fallback it forced, or the end state of the recovery
+/// probing that followed (rendered as zero-length channel events; the
+/// probes themselves are MessageRecords).
+struct RecoveryMark {
+  enum class Kind {
+    Crash,     ///< The server process died; server-resident data lost.
+    Restart,   ///< A blank server process came back.
+    Fallback,  ///< Rolled back to the checkpoint, resumed on the client.
+    Reoffload, ///< A probe priced the remote cut back in; re-dispatched.
+    Exhausted, ///< Probe budget spent; the degrade became permanent.
+  };
+  Kind K = Kind::Crash;
+  Rational At;           ///< Simulated time of the event.
+  unsigned AtTask = ~0u; ///< Task active when the run observed it.
+  uint64_t Restored = 0; ///< Fallback: data items restored from the ledger.
+};
+
 /// Collects the timeline of one simulated run. Not thread-safe: the
 /// interpreter is single-threaded and owns the recorder for the run.
 class RuntimeRecorder {
@@ -91,12 +109,16 @@ public:
   /// Records one re-dispatch (rendered as a zero-length channel event).
   void adapt(AdaptMark M) { Adaptations.push_back(std::move(M)); }
 
+  /// Records one server-failure lifecycle event.
+  void recovery(RecoveryMark M) { Recoveries.push_back(std::move(M)); }
+
   /// Drops all recorded state, ready for a fresh run.
   void clear();
 
   const std::vector<TaskSegment> &segments() const { return Segments; }
   const std::vector<MessageRecord> &messages() const { return Messages; }
   const std::vector<AdaptMark> &adaptations() const { return Adaptations; }
+  const std::vector<RecoveryMark> &recoveries() const { return Recoveries; }
 
   /// Total simulated units per lane. client + server + channel equals the
   /// run's elapsed time (segments and messages partition the run).
@@ -125,6 +147,7 @@ private:
   std::vector<TaskSegment> Segments;
   std::vector<MessageRecord> Messages;
   std::vector<AdaptMark> Adaptations;
+  std::vector<RecoveryMark> Recoveries;
   bool SegmentOpen = false;
 };
 

@@ -309,6 +309,68 @@ TEST(SimulatorFaultTest, DisconnectDuringRetriesIsRiddenOut) {
   EXPECT_EQ(Replay.link().traceString(), Sim.link().traceString());
 }
 
+TEST(CrashScheduleTest, ParsesEventsAndRationalTimes) {
+  CrashSchedule Sched;
+  std::string Err;
+  ASSERT_TRUE(CrashSchedule::parse("at=500,restart=900;at=2000", Sched, Err))
+      << Err;
+  ASSERT_EQ(Sched.Events.size(), 2u);
+  EXPECT_EQ(Sched.Events[0].At, Rational(500));
+  EXPECT_TRUE(Sched.Events[0].Restarts);
+  EXPECT_EQ(Sched.Events[0].RestartAt, Rational(900));
+  EXPECT_EQ(Sched.Events[1].At, Rational(2000));
+  EXPECT_FALSE(Sched.Events[1].Restarts);
+  EXPECT_TRUE(Sched.active());
+
+  ASSERT_TRUE(CrashSchedule::parse("at=3/2,restart=7/4", Sched, Err)) << Err;
+  ASSERT_EQ(Sched.Events.size(), 1u);
+  EXPECT_EQ(Sched.Events[0].At, Rational::fraction(3, 2));
+  EXPECT_EQ(Sched.Events[0].RestartAt, Rational::fraction(7, 4));
+
+  EXPECT_FALSE(CrashSchedule().active());
+}
+
+TEST(CrashScheduleTest, RejectsMalformedSpecs) {
+  CrashSchedule Sched;
+  std::string Err;
+
+  EXPECT_FALSE(CrashSchedule::parse("at=500,reboot=900", Sched, Err));
+  EXPECT_NE(Err.find("unknown field 'reboot'"), std::string::npos);
+
+  EXPECT_FALSE(CrashSchedule::parse("restart=900", Sched, Err));
+  EXPECT_NE(Err.find("missing at=TIME"), std::string::npos);
+
+  EXPECT_FALSE(CrashSchedule::parse("at=banana", Sched, Err));
+  EXPECT_NE(Err.find("bad value 'banana'"), std::string::npos);
+}
+
+TEST(CrashScheduleTest, ValidateRejectsNonMonotonePhases) {
+  CrashSchedule Sched;
+  std::string Err;
+
+  // Restart must be strictly after its crash.
+  EXPECT_FALSE(CrashSchedule::parse("at=500,restart=400", Sched, Err));
+  EXPECT_NE(Err.find("strictly after the crash time"), std::string::npos);
+  EXPECT_FALSE(CrashSchedule::parse("at=500,restart=500", Sched, Err));
+
+  // Nothing may follow a permanent crash.
+  EXPECT_FALSE(CrashSchedule::parse("at=500;at=900", Sched, Err));
+  EXPECT_NE(Err.find("unreachable after a permanent crash"),
+            std::string::npos);
+
+  // Windows must be disjoint and strictly increasing.
+  EXPECT_FALSE(CrashSchedule::parse("at=500,restart=900;at=700", Sched, Err));
+  EXPECT_NE(Err.find("must not overlap"), std::string::npos);
+  EXPECT_FALSE(CrashSchedule::parse("at=500,restart=900;at=900", Sched, Err));
+
+  // Negative times are caught by validate() on hand-built schedules.
+  CrashSchedule Negative;
+  ServerCrash E;
+  E.At = Rational(-5);
+  Negative.Events.push_back(E);
+  EXPECT_NE(Negative.validate().find("non-negative"), std::string::npos);
+}
+
 TEST(SimulatorFaultTest, SummaryMentionsFaultCounters) {
   FaultSpec DeadLink;
   DeadLink.DisconnectAt = 0;
