@@ -11,8 +11,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dispatch/DispatchIndex.h"
 #include "interp/Interp.h"
 #include "poly/Polyhedron.h"
+#include "programs/Programs.h"
 
 #include <benchmark/benchmark.h>
 
@@ -130,6 +132,52 @@ void BM_InterpreterThroughput(benchmark::State &State) {
       static_cast<double>(Instrs), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_InterpreterThroughput);
+
+/// fft compiled once per process for the dispatch-latency baselines.
+const CompiledProgram &fftCompiled() {
+  static std::shared_ptr<CompiledProgram> CP = [] {
+    std::string Diags;
+    auto P = compileForOffloading(programs::programByName("fft").Source,
+                                  CostModel::defaults(), {}, &Diags);
+    if (!P) {
+      std::fprintf(stderr, "fft failed to compile:\n%s", Diags.c_str());
+      std::exit(1);
+    }
+    return P;
+  }();
+  return *CP;
+}
+
+std::vector<int64_t> fftMidParams() {
+  const CompiledProgram &CP = fftCompiled();
+  std::vector<int64_t> Mid;
+  for (unsigned I = 0; I != CP.AST->RuntimeParams.size(); ++I)
+    Mid.push_back((CP.Space.lower(I).toInt64() + CP.Space.upper(I).toInt64()) /
+                  2);
+  return Mid;
+}
+
+void BM_DispatchPickLinear(benchmark::State &State) {
+  const CompiledProgram &CP = fftCompiled();
+  std::vector<int64_t> Mid = fftMidParams();
+  std::vector<Rational> Full = CP.parameterPoint(Mid);
+  PickScratch Scratch;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(CP.Partition.pickChoice(Full, Scratch));
+}
+BENCHMARK(BM_DispatchPickLinear);
+
+void BM_DispatchPickIndexed(benchmark::State &State) {
+  const CompiledProgram &CP = fftCompiled();
+  static DispatchIndex Index(
+      CP.Partition, CP.Space,
+      static_cast<unsigned>(CP.AST->RuntimeParams.size()));
+  std::vector<int64_t> Mid = fftMidParams();
+  DispatchScratch Scratch;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Index.pick(Mid.data(), Mid.size(), Scratch));
+}
+BENCHMARK(BM_DispatchPickIndexed);
 
 } // namespace
 

@@ -19,7 +19,15 @@
 //       [--adapt=static|react|closed-loop] [--drift=SPEC] [--crash=SPEC]
 //       [--probe-period=N] [--probe-bytes=N] [--probe-budget=N]
 //       [--ledger-budget=BYTES]
+//       [--serve=FILE] [--serve-threads=N] [--serve-repeat=K]
 //       [--trace=FILE] [--stats] [--audit=FILE] [--report]
+//
+// --serve replays a fleet request file through the compiled dispatch
+// index behind the multi-threaded DispatchService: each non-empty,
+// non-comment line holds one request as whitespace-separated runtime
+// parameter values. The replay prints the per-choice histogram, the
+// ns/query throughput, and the fast-path/exact-confirm/fallback mix, and
+// cross-checks a subsample of answers against the linear pickChoice scan.
 //
 // A drift SPEC is a semicolon-separated list of phases, each
 // "at=T[,comm=F][,server=F][,down]" with T and F integers or fractions
@@ -38,6 +46,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "dispatch/DispatchService.h"
 #include "interp/Interp.h"
 #include "lang/PrintAST.h"
 #include "obs/CostAudit.h"
@@ -45,6 +54,7 @@
 #include "programs/Programs.h"
 #include "transform/Transform.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -106,6 +116,102 @@ bool checkWritable(const std::string &Path, const char *What) {
   return true;
 }
 
+/// Replays a fleet request file (one request per line, whitespace-
+/// separated runtime parameter values; '#' starts a comment) through the
+/// compiled dispatch index behind the multi-threaded service. Returns 0
+/// on success, nonzero on malformed input or an index-vs-scan mismatch.
+int serveRequests(const CompiledProgram &CP, const std::string &Path,
+                  unsigned Threads, unsigned Repeat) {
+  size_t NumParams = CP.AST->RuntimeParams.size();
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open request file %s\n",
+                 Path.c_str());
+    return 2;
+  }
+  std::vector<int64_t> Flat;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (size_t Hash = Line.find('#'); Hash != std::string::npos)
+      Line.resize(Hash);
+    std::stringstream Fields(Line);
+    size_t Count = 0;
+    int64_t V;
+    while (Fields >> V) {
+      Flat.push_back(V);
+      ++Count;
+    }
+    if (Count == 0)
+      continue; // blank or comment-only line
+    if (Count != NumParams) {
+      std::fprintf(stderr,
+                   "error: %s:%zu: request has %zu value(s), program "
+                   "declares %zu parameter(s)\n",
+                   Path.c_str(), LineNo, Count, NumParams);
+      return 2;
+    }
+  }
+  size_t NumRequests = NumParams == 0 ? 0 : Flat.size() / NumParams;
+  if (NumRequests == 0) {
+    std::fprintf(stderr, "error: %s contains no requests\n", Path.c_str());
+    return 2;
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  DispatchIndex Index(CP.Partition, CP.Space,
+                      static_cast<unsigned>(NumParams));
+  DispatchService Service(Index, Threads);
+  std::printf("\n== serving %zu request(s) x%u from %s (%u thread(s)) "
+              "==\n%s\n",
+              NumRequests, Repeat, Path.c_str(), Service.numThreads(),
+              Index.describe().c_str());
+
+  std::vector<unsigned> Choices(NumRequests);
+  Start = std::chrono::steady_clock::now();
+  for (unsigned R = 0; R != Repeat; ++R)
+    Service.dispatchBatch(Flat.data(), NumRequests, NumParams,
+                          Choices.data());
+  double Sec = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
+  DispatchService::Stats S = Service.totals();
+
+  std::vector<uint64_t> Histogram(CP.Partition.Choices.size(), 0);
+  for (unsigned C : Choices)
+    ++Histogram[C];
+  for (unsigned C = 0; C != Histogram.size(); ++C)
+    if (Histogram[C])
+      std::printf("  choice %-3u %8llu request(s)  (%5.1f%%)\n", C + 1,
+                  static_cast<unsigned long long>(Histogram[C]),
+                  100.0 * double(Histogram[C]) / double(NumRequests));
+  double Total = double(NumRequests) * Repeat;
+  std::printf("served %.0f queries in %.3fs: %.1f ns/query, %.2f Mq/s\n",
+              Total, Sec, Sec * 1e9 / Total, Total / Sec / 1e6);
+  std::printf("fast path %.1f%%  exact confirms %llu  fallbacks %llu\n",
+              100.0 * double(S.FastQueries) / double(S.Queries),
+              static_cast<unsigned long long>(S.ExactConfirms),
+              static_cast<unsigned long long>(S.Fallbacks));
+
+  // Cross-check a subsample against the linear scan the index replaces.
+  size_t VerifyCount = std::min<size_t>(NumRequests, 1000);
+  size_t Stride = NumRequests / VerifyCount;
+  PickScratch Linear;
+  size_t Mismatches = 0;
+  for (size_t I = 0; I < NumRequests; I += Stride) {
+    std::vector<int64_t> Req(Flat.begin() +
+                                 static_cast<ptrdiff_t>(I * NumParams),
+                             Flat.begin() +
+                                 static_cast<ptrdiff_t>((I + 1) * NumParams));
+    if (CP.Partition.pickChoice(CP.parameterPoint(Req), Linear) != Choices[I])
+      ++Mismatches;
+  }
+  std::printf("verification: %zu sampled request(s), %zu mismatch(es)\n",
+              (NumRequests + Stride - 1) / Stride, Mismatches);
+  return Mismatches == 0 ? 0 : 1;
+}
+
 bool writeFile(const std::string &Path, const std::string &Text) {
   std::FILE *Out = std::fopen(Path.c_str(), "w");
   if (!Out)
@@ -129,6 +235,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                  "  server failure:  [--crash=at=T[,restart=T2];...] "
                  "[--probe-period=N] [--probe-bytes=N] [--probe-budget=N]\n"
                  "                   [--ledger-budget=BYTES]\n"
+                 "  fleet serving:   [--serve=FILE] [--serve-threads=N] "
+                 "[--serve-repeat=K]\n"
                  "  observability:   [--trace=FILE] [--stats] "
                  "[--audit=FILE] [--report]\n",
                  Argv[0]);
@@ -168,6 +276,9 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   DriftSchedule Drift;
   CrashSchedule Crash;
   uint64_t LedgerBudget = 1ull << 20;
+  std::string ServePath;
+  unsigned ServeThreads = 0; // 0 = hardware concurrency
+  unsigned ServeRepeat = 1;
   ParametricOptions AnalysisOpts;
   auto parseAdapt = [&](const char *Name) {
     if (std::strcmp(Name, "static") == 0)
@@ -281,6 +392,16 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
     } else if (std::strncmp(Argv[A], "--ledger-budget=", 16) == 0) {
       LedgerBudget = std::strtoull(Argv[A] + 16, nullptr, 10);
       Run = true;
+    } else if (std::strncmp(Argv[A], "--serve=", 8) == 0) {
+      ServePath = Argv[A] + 8;
+    } else if (std::strcmp(Argv[A], "--serve") == 0 && A + 1 < Argc) {
+      ServePath = Argv[++A];
+    } else if (std::strncmp(Argv[A], "--serve-threads=", 16) == 0) {
+      ServeThreads =
+          static_cast<unsigned>(std::strtoul(Argv[A] + 16, nullptr, 10));
+    } else if (std::strncmp(Argv[A], "--serve-repeat=", 15) == 0) {
+      ServeRepeat = std::max(
+          1u, static_cast<unsigned>(std::strtoul(Argv[A] + 15, nullptr, 10)));
     } else if (std::strncmp(Argv[A], "--trace=", 8) == 0) {
       TracePath = Argv[A] + 8;
     } else if (std::strcmp(Argv[A], "--trace") == 0 && A + 1 < Argc) {
@@ -367,6 +488,12 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                     .CostExpr.evaluate(CP->parameterPoint(Params))
                     .toString()
                     .c_str());
+  }
+
+  if (!ServePath.empty()) {
+    int Code = serveRequests(*CP, ServePath, ServeThreads, ServeRepeat);
+    if (Code != 0 || !Run)
+      return Code;
   }
 
   if (!Run)

@@ -1,0 +1,90 @@
+//===- dispatch/DispatchService.cpp - Multi-threaded fleet dispatch -------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/DispatchService.h"
+
+#include "obs/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace paco;
+
+namespace {
+
+// Registered at static-init time so the registration (and snapshot
+// emission) order is deterministic regardless of which thread serves the
+// first batch.
+obs::Counter &QueriesC =
+    obs::StatsRegistry::global().counter("dispatch.queries");
+obs::Counter &FastC =
+    obs::StatsRegistry::global().counter("dispatch.fast_path");
+obs::Counter &ExactC =
+    obs::StatsRegistry::global().counter("dispatch.exact_confirms");
+obs::Counter &FallbackC =
+    obs::StatsRegistry::global().counter("dispatch.fallbacks");
+obs::Counter &BatchesC =
+    obs::StatsRegistry::global().counter("dispatch.batches");
+
+} // namespace
+
+DispatchService::DispatchService(const DispatchIndex &Index, unsigned Threads)
+    : Idx(Index), Pool(Threads == 0 ? ThreadPool::hardwareThreads() : Threads),
+      Shards(Pool.numThreads()) {
+  obs::StatsRegistry::global().gauge("dispatch.threads").set(numThreads());
+}
+
+void DispatchService::dispatchBatch(const int64_t *Values, size_t NumRequests,
+                                    size_t NumParams, unsigned *ChoicesOut) {
+  assert(NumParams == Idx.numRuntimeParams() &&
+         "one value per declared parameter");
+  Stats Before = totals();
+  size_t NumShards = Shards.size();
+  size_t Chunk = (NumRequests + NumShards - 1) / NumShards;
+  Pool.parallelFor(NumShards, [&](size_t Shard) {
+    DispatchScratch &Scratch = Shards[Shard];
+    size_t Lo = Shard * Chunk;
+    size_t Hi = std::min(NumRequests, Lo + Chunk);
+    for (size_t I = Lo; I < Hi; ++I)
+      ChoicesOut[I] =
+          Idx.pick(Values + I * NumParams, NumParams, Scratch);
+  });
+  ++Batches;
+  Stats After = totals();
+  QueriesC.add(After.Queries - Before.Queries);
+  FastC.add(After.FastQueries - Before.FastQueries);
+  ExactC.add(After.ExactConfirms - Before.ExactConfirms);
+  FallbackC.add(After.Fallbacks - Before.Fallbacks);
+  BatchesC.add();
+}
+
+std::vector<unsigned> DispatchService::dispatchBatch(
+    const std::vector<std::vector<int64_t>> &Requests) {
+  size_t NumParams = Idx.numRuntimeParams();
+  std::vector<int64_t> Flat(Requests.size() * NumParams);
+  for (size_t I = 0; I != Requests.size(); ++I) {
+    assert(Requests[I].size() == NumParams);
+    std::copy(Requests[I].begin(), Requests[I].end(),
+              Flat.begin() + static_cast<ptrdiff_t>(I * NumParams));
+  }
+  std::vector<unsigned> Choices(Requests.size());
+  dispatchBatch(Flat.data(), Requests.size(), NumParams, Choices.data());
+  return Choices;
+}
+
+DispatchService::Stats DispatchService::totals() const {
+  Stats T;
+  for (const DispatchScratch &S : Shards) {
+    T.Queries += S.Queries;
+    T.FastQueries += S.FastQueries;
+    T.ExactConfirms += S.ExactConfirms;
+    T.Fallbacks += S.Fallbacks;
+    T.LeafTests += S.LeafTests;
+    T.NodeVisits += S.NodeVisits;
+  }
+  T.Batches = Batches;
+  return T;
+}

@@ -1,0 +1,72 @@
+//===- dispatch/DispatchService.h - Multi-threaded fleet dispatch -*- C++ -*-=//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A long-running dispatcher around a shared read-only DispatchIndex:
+/// request batches are sharded over a support/ThreadPool, each worker
+/// owning a DispatchScratch so the steady state performs no per-query
+/// heap allocation. Results are written by request position and shard
+/// boundaries depend only on the batch size, so the output -- and the
+/// aggregated statistics -- are deterministic for every thread count.
+/// After each batch the per-shard counters are published as deltas to
+/// the obs/StatsRegistry (`dispatch.*`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_DISPATCH_DISPATCHSERVICE_H
+#define PACO_DISPATCH_DISPATCHSERVICE_H
+
+#include "dispatch/DispatchIndex.h"
+#include "support/ThreadPool.h"
+
+namespace paco {
+
+/// Shards batches of dispatch requests over a thread pool.
+class DispatchService {
+public:
+  /// Aggregated query statistics (sum over shards; deterministic).
+  struct Stats {
+    uint64_t Queries = 0;
+    uint64_t FastQueries = 0;
+    uint64_t ExactConfirms = 0;
+    uint64_t Fallbacks = 0;
+    uint64_t LeafTests = 0;
+    uint64_t NodeVisits = 0;
+    uint64_t Batches = 0;
+  };
+
+  /// \p Threads as in ThreadPool (0 = hardware concurrency). The index
+  /// must outlive the service.
+  explicit DispatchService(const DispatchIndex &Index, unsigned Threads = 0);
+
+  unsigned numThreads() const { return Pool.numThreads(); }
+  const DispatchIndex &index() const { return Idx; }
+
+  /// Dispatches \p NumRequests requests stored row-major in \p Values
+  /// (NumParams values each; NumParams must equal the index's runtime
+  /// parameter count), writing one choice per request to \p ChoicesOut.
+  void dispatchBatch(const int64_t *Values, size_t NumRequests,
+                     size_t NumParams, unsigned *ChoicesOut);
+
+  /// Convenience overload for ragged request lists.
+  std::vector<unsigned>
+  dispatchBatch(const std::vector<std::vector<int64_t>> &Requests);
+
+  /// Totals over every batch served so far.
+  Stats totals() const;
+
+private:
+  const DispatchIndex &Idx;
+  ThreadPool Pool;
+  /// One scratch per pool thread; shard s serves a contiguous request
+  /// range, so no scratch is ever touched by two workers in one batch.
+  std::vector<DispatchScratch> Shards;
+  uint64_t Batches = 0;
+};
+
+} // namespace paco
+
+#endif // PACO_DISPATCH_DISPATCHSERVICE_H

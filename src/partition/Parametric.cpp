@@ -19,6 +19,17 @@ using namespace paco;
 
 namespace {
 
+// Registered at static-init time (single-threaded) so the registry's
+// registration order -- and therefore snapshot emission order -- stays
+// deterministic, and so the counter shows up in every --stats snapshot
+// even when no query ever falls off the certified regions.
+obs::Counter &PickFallbacks =
+    obs::StatsRegistry::global().counter("partition.pick_fallback");
+
+} // namespace
+
+namespace {
+
 /// Maps LinExprs into the effective-dimension space and back.
 class DimMapper {
 public:
@@ -323,13 +334,21 @@ struct SliceState {
 
 unsigned
 ParametricResult::pickChoice(const std::vector<Rational> &FullPoint) const {
-  std::vector<Rational> Eff(EffectiveDims.size());
+  PickScratch Scratch;
+  return pickChoice(FullPoint, Scratch);
+}
+
+unsigned ParametricResult::pickChoice(const std::vector<Rational> &FullPoint,
+                                      PickScratch &Scratch) const {
+  std::vector<Rational> &Eff = Scratch.Eff;
+  Eff.resize(EffectiveDims.size());
   for (unsigned K = 0; K != EffectiveDims.size(); ++K)
     Eff[K] = FullPoint[EffectiveDims[K]];
   for (unsigned C = 0; C != Choices.size(); ++C)
     if (Choices[C].Region.contains(Eff))
       return C;
   // Boundary/relaxation corner case: pick the cheapest choice directly.
+  PickFallbacks.add();
   unsigned Best = 0;
   Rational BestCost = Choices[0].CostExpr.evaluate(FullPoint);
   for (unsigned C = 1; C != Choices.size(); ++C) {

@@ -79,6 +79,13 @@ struct PartitionChoice {
   PartitionChoice() : Region(0) {}
 };
 
+/// Reusable scratch for ParametricResult::pickChoice. Dispatch-heavy
+/// callers (the dispatch service, benchmarks) pass one per worker so the
+/// effective-point projection is not reallocated on every query.
+struct PickScratch {
+  std::vector<Rational> Eff;
+};
+
 /// Result of the parametric analysis.
 struct ParametricResult {
   std::vector<PartitionChoice> Choices;
@@ -125,8 +132,14 @@ struct ParametricResult {
 
   /// Selects the choice for concrete parameter values (full-space point,
   /// monomials filled in). Falls back to direct cost comparison if no
-  /// region matches.
+  /// region matches; every fallback is counted on the
+  /// `partition.pick_fallback` stats counter.
   unsigned pickChoice(const std::vector<Rational> &FullPoint) const;
+
+  /// As above with caller-provided scratch, avoiding the per-call
+  /// effective-point allocation.
+  unsigned pickChoice(const std::vector<Rational> &FullPoint,
+                      PickScratch &Scratch) const;
 
   /// Number of distinct task assignments among the choices (the paper's
   /// Table-4 "No. of Partitioning Choices"; option slices can rediscover

@@ -1,0 +1,342 @@
+//===- tests/dispatch/DispatchIndexTest.cpp -------------------------------===//
+//
+// The dispatch index must be bit-identical to the linear pickChoice scan
+// on every input: randomized fuzz across all paper programs, points
+// sampled exactly on region facets and at box corners, region vertices,
+// and inconsistent full-space points that force the cost-comparison
+// fallback. DispatchService results and aggregated statistics must not
+// depend on the thread count.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dispatch/DispatchService.h"
+
+#include "obs/Stats.h"
+#include "programs/Programs.h"
+#include "transform/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+using namespace paco;
+using namespace paco::programs;
+
+namespace {
+
+/// Compiles a paper program once per process (the heavy part of this
+/// suite; every test shares the cache).
+const CompiledProgram &compiledCached(const std::string &Name) {
+  static std::map<std::string, std::unique_ptr<CompiledProgram>> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end()) {
+    const BenchProgram &Prog = programByName(Name);
+    std::string Diags;
+    std::unique_ptr<CompiledProgram> CP =
+        compileForOffloading(Prog.Source, CostModel::defaults(), {}, &Diags);
+    if (!CP) {
+      ADD_FAILURE() << Name << " failed to compile:\n" << Diags;
+      std::abort();
+    }
+    It = Cache.emplace(Name, std::move(CP)).first;
+  }
+  return *It->second;
+}
+
+const DispatchIndex &indexCached(const std::string &Name) {
+  static std::map<std::string, std::unique_ptr<DispatchIndex>> Cache;
+  auto It = Cache.find(Name);
+  if (It == Cache.end()) {
+    const CompiledProgram &CP = compiledCached(Name);
+    It = Cache
+             .emplace(Name, std::make_unique<DispatchIndex>(
+                                CP.Partition, CP.Space,
+                                static_cast<unsigned>(
+                                    CP.AST->RuntimeParams.size())))
+             .first;
+  }
+  return *It->second;
+}
+
+uint64_t xorshift(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+struct ParamRange {
+  int64_t Lo, Hi;
+};
+
+std::vector<ParamRange> paramRanges(const CompiledProgram &CP) {
+  std::vector<ParamRange> R;
+  for (unsigned I = 0; I != CP.AST->RuntimeParams.size(); ++I)
+    R.push_back({CP.Space.lower(I).toInt64(), CP.Space.upper(I).toInt64()});
+  return R;
+}
+
+std::vector<int64_t> uniformPoint(const std::vector<ParamRange> &Ranges,
+                                  uint64_t &Seed) {
+  std::vector<int64_t> V(Ranges.size());
+  for (size_t I = 0; I != Ranges.size(); ++I) {
+    uint64_t Span = static_cast<uint64_t>(Ranges[I].Hi - Ranges[I].Lo) + 1;
+    V[I] = Ranges[I].Lo + static_cast<int64_t>(xorshift(Seed) % Span);
+  }
+  return V;
+}
+
+/// Runtime parameters that are not a factor of any *other* effective
+/// dimension: snapping one of them onto a facet does not disturb any
+/// monomial slot, so the adjusted point stays a consistent full point.
+std::vector<bool> safeParams(const CompiledProgram &CP) {
+  unsigned NumRuntime = static_cast<unsigned>(CP.AST->RuntimeParams.size());
+  std::vector<bool> Safe(NumRuntime, true);
+  for (ParamId Id : CP.Partition.EffectiveDims) {
+    if (!CP.Space.isMonomial(Id))
+      continue;
+    for (ParamId F : CP.Space.factors(Id))
+      if (F < NumRuntime)
+        Safe[F] = false;
+  }
+  return Safe;
+}
+
+/// Tries to move \p Vals exactly onto the zero set of a region facet by
+/// solving a.x + c = 0 for one safe base parameter. Returns true when the
+/// snapped point is integral and in range.
+bool snapToFacet(const CompiledProgram &CP, const LinConstraint &Facet,
+                 const std::vector<bool> &Safe,
+                 const std::vector<ParamRange> &Ranges,
+                 std::vector<int64_t> &Vals) {
+  const std::vector<ParamId> &Eff = CP.Partition.EffectiveDims;
+  std::vector<Rational> Full = CP.parameterPoint(Vals);
+  std::vector<Rational> EffPt(Eff.size());
+  for (unsigned K = 0; K != Eff.size(); ++K)
+    EffPt[K] = Full[Eff[K]];
+  Rational Val = Facet.evaluate(EffPt);
+  if (Val.isZero())
+    return true; // already exactly on the facet
+  for (unsigned K = 0; K != Eff.size(); ++K) {
+    if (Facet.Coeffs[K].isZero())
+      continue;
+    ParamId Id = Eff[K];
+    if (Id >= Safe.size() || !Safe[Id] || CP.Space.isMonomial(Id))
+      continue;
+    Rational Target =
+        Rational(Full[Id]) - Val / Rational(Facet.Coeffs[K]);
+    if (!Target.isInteger() || !Target.numerator().fitsInt64())
+      continue;
+    int64_t T = Target.numerator().toInt64();
+    if (T < Ranges[Id].Lo || T > Ranges[Id].Hi)
+      continue;
+    Vals[Id] = T;
+    return true;
+  }
+  return false;
+}
+
+const char *kPrograms[] = {"rawcaudio", "rawdaudio", "encode",
+                           "decode",    "fft",       "susan"};
+
+} // namespace
+
+TEST(DispatchIndexTest, FuzzAgreementAllPrograms) {
+  uint64_t TotalExactConfirms = 0;
+  uint64_t TotalQueries = 0;
+  for (const char *Name : kPrograms) {
+    const CompiledProgram &CP = compiledCached(Name);
+    const DispatchIndex &Index = indexCached(Name);
+    std::vector<ParamRange> Ranges = paramRanges(CP);
+    std::vector<bool> Safe = safeParams(CP);
+
+    // Every region facet, cycled through by the facet-adversarial part.
+    std::vector<const LinConstraint *> Facets;
+    for (const PartitionChoice &Choice : CP.Partition.Choices)
+      for (const LinConstraint &C : Choice.Region.constraints())
+        if (!C.isTautology() && !C.isContradiction())
+          Facets.push_back(&C);
+
+    uint64_t Seed = 0x9E3779B97F4A7C15ull ^ std::string(Name).size();
+    PickScratch Linear;
+    DispatchScratch ScratchInt, ScratchFull;
+    unsigned Mismatches = 0;
+    for (unsigned I = 0; I != 10000; ++I) {
+      std::vector<int64_t> Vals = uniformPoint(Ranges, Seed);
+      switch (I % 5) {
+      case 0:
+        break; // uniform
+      case 1:  // box corner / partial corner
+        for (size_t P = 0; P != Vals.size(); ++P)
+          if (xorshift(Seed) & 1)
+            Vals[P] = (xorshift(Seed) & 1) ? Ranges[P].Hi : Ranges[P].Lo;
+        break;
+      case 2: // clamp one parameter to a box face
+        if (!Vals.empty()) {
+          size_t P = xorshift(Seed) % Vals.size();
+          Vals[P] = (xorshift(Seed) & 1) ? Ranges[P].Hi : Ranges[P].Lo;
+        }
+        break;
+      default: // exactly on a region facet when snappable
+        if (!Facets.empty())
+          snapToFacet(CP, *Facets[I % Facets.size()], Safe, Ranges, Vals);
+        break;
+      }
+      unsigned Expect =
+          CP.Partition.pickChoice(CP.parameterPoint(Vals), Linear);
+      unsigned GotInt = Index.pick(Vals, ScratchInt);
+      unsigned GotFull =
+          Index.pickFull(CP.parameterPoint(Vals), ScratchFull);
+      if (GotInt != Expect || GotFull != Expect) {
+        ++Mismatches;
+        if (Mismatches <= 5)
+          ADD_FAILURE() << Name << ": point " << I << " expected "
+                        << Expect << " got int64=" << GotInt
+                        << " full=" << GotFull;
+      }
+    }
+    EXPECT_EQ(Mismatches, 0u) << Name;
+    EXPECT_EQ(ScratchInt.Queries, 10000u) << Name;
+    EXPECT_EQ(ScratchFull.Queries, 10000u) << Name;
+    TotalExactConfirms += ScratchInt.ExactConfirms + ScratchFull.ExactConfirms;
+    TotalQueries += ScratchInt.Queries + ScratchFull.Queries;
+    // The int64/int128 fast path must carry the bulk of the traffic.
+    EXPECT_GT(ScratchInt.FastQueries * 2, ScratchInt.Queries) << Name;
+  }
+  // The facet-adversarial points must actually exercise the epsilon-band
+  // exact confirmation tier somewhere across the programs.
+  EXPECT_GT(TotalExactConfirms, 0u);
+  EXPECT_EQ(TotalQueries, 20000u * 6);
+}
+
+TEST(DispatchIndexTest, RegionVertexQueries) {
+  // Exact results only: approximate (sampled) regions may not have
+  // enumerable generators, and the index never asks for them either.
+  for (const char *Name : kPrograms) {
+    const CompiledProgram &CP = compiledCached(Name);
+    if (CP.Partition.Approximate)
+      continue;
+    const DispatchIndex &Index = indexCached(Name);
+    const std::vector<ParamId> &Eff = CP.Partition.EffectiveDims;
+    std::vector<Rational> Template(CP.Space.size());
+    for (unsigned Id = 0; Id != CP.Space.size(); ++Id)
+      Template[Id] = Rational(CP.Space.lower(Id));
+    PickScratch Linear;
+    DispatchScratch Scratch;
+    for (const PartitionChoice &Choice : CP.Partition.Choices) {
+      const Generators &G = Choice.Region.generators();
+      unsigned Tested = 0;
+      for (const std::vector<Rational> &V : G.Vertices) {
+        if (++Tested > 100)
+          break;
+        std::vector<Rational> Full = Template;
+        for (unsigned K = 0; K != Eff.size(); ++K)
+          Full[Eff[K]] = V[K];
+        unsigned Expect = CP.Partition.pickChoice(Full, Linear);
+        EXPECT_EQ(Index.pickFull(Full, Scratch), Expect) << Name;
+      }
+    }
+  }
+}
+
+TEST(DispatchIndexTest, FallbackSharesAccounting) {
+  // A full point whose monomial slot is pushed past its interval bound
+  // lies outside every region, forcing the cost-comparison fallback in
+  // both the linear scan and the index; both must count it on
+  // partition.pick_fallback and still agree on the answer.
+  const CompiledProgram &CP = compiledCached("fft");
+  const DispatchIndex &Index = indexCached("fft");
+  std::vector<int64_t> Mid;
+  for (const ParamRange &R : paramRanges(CP))
+    Mid.push_back((R.Lo + R.Hi) / 2);
+  std::vector<Rational> Full = CP.parameterPoint(Mid);
+  bool Broke = false;
+  for (ParamId Id : CP.Partition.EffectiveDims) {
+    if (!CP.Space.isMonomial(Id))
+      continue;
+    Full[Id] = Rational(CP.Space.upper(Id) + BigInt(1));
+    Broke = true;
+    break;
+  }
+  ASSERT_TRUE(Broke) << "fft should have a monomial effective dimension";
+
+  obs::Counter &C =
+      obs::StatsRegistry::global().counter("partition.pick_fallback");
+  PickScratch Linear;
+  DispatchScratch Scratch;
+  uint64_t Before = C.value();
+  unsigned Expect = CP.Partition.pickChoice(Full, Linear);
+  EXPECT_EQ(C.value(), Before + 1);
+  unsigned Got = Index.pickFull(Full, Scratch);
+  EXPECT_EQ(C.value(), Before + 2);
+  EXPECT_EQ(Got, Expect);
+  EXPECT_EQ(Scratch.Fallbacks, 1u);
+}
+
+TEST(DispatchIndexTest, ScratchOverloadDelegates) {
+  const CompiledProgram &CP = compiledCached("fft");
+  std::vector<ParamRange> Ranges = paramRanges(CP);
+  uint64_t Seed = 42;
+  PickScratch Scratch;
+  for (unsigned I = 0; I != 50; ++I) {
+    std::vector<Rational> Full =
+        CP.parameterPoint(uniformPoint(Ranges, Seed));
+    EXPECT_EQ(CP.Partition.pickChoice(Full),
+              CP.Partition.pickChoice(Full, Scratch));
+  }
+}
+
+TEST(DispatchIndexTest, IndexStructure) {
+  const CompiledProgram &CP = compiledCached("encode");
+  const DispatchIndex &Index = indexCached("encode");
+  EXPECT_EQ(Index.numChoices(), CP.Partition.Choices.size());
+  EXPECT_GE(Index.depth(), 1u);
+  EXPECT_LT(Index.maxLeafCandidates(), Index.numChoices());
+  EXPECT_GT(Index.numHyperplanes(), 0u);
+  EXPECT_FALSE(Index.describe().empty());
+}
+
+TEST(DispatchServiceTest, DeterministicAcrossThreadCounts) {
+  const CompiledProgram &CP = compiledCached("encode");
+  const DispatchIndex &Index = indexCached("encode");
+  std::vector<ParamRange> Ranges = paramRanges(CP);
+  size_t NumParams = Ranges.size();
+  const size_t NumRequests = 20000;
+  uint64_t Seed = 7;
+  std::vector<int64_t> Flat(NumRequests * NumParams);
+  for (size_t I = 0; I != NumRequests; ++I) {
+    std::vector<int64_t> V = uniformPoint(Ranges, Seed);
+    std::copy(V.begin(), V.end(),
+              Flat.begin() + static_cast<ptrdiff_t>(I * NumParams));
+  }
+
+  std::vector<unsigned> Reference;
+  DispatchService::Stats RefStats;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    DispatchService Service(Index, Threads);
+    EXPECT_EQ(Service.numThreads(), Threads);
+    std::vector<unsigned> Choices(NumRequests);
+    Service.dispatchBatch(Flat.data(), NumRequests, NumParams,
+                          Choices.data());
+    DispatchService::Stats S = Service.totals();
+    EXPECT_EQ(S.Queries, NumRequests);
+    if (Threads == 1) {
+      Reference = Choices;
+      RefStats = S;
+      // Single-thread service must match direct index queries.
+      DispatchScratch Scratch;
+      for (size_t I = 0; I != NumRequests; ++I)
+        ASSERT_EQ(Choices[I],
+                  Index.pick(Flat.data() + I * NumParams, NumParams,
+                             Scratch));
+    } else {
+      EXPECT_EQ(Choices, Reference) << Threads << " threads";
+      EXPECT_EQ(S.FastQueries, RefStats.FastQueries);
+      EXPECT_EQ(S.ExactConfirms, RefStats.ExactConfirms);
+      EXPECT_EQ(S.Fallbacks, RefStats.Fallbacks);
+      EXPECT_EQ(S.LeafTests, RefStats.LeafTests);
+      EXPECT_EQ(S.NodeVisits, RefStats.NodeVisits);
+    }
+  }
+}
