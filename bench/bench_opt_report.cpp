@@ -1,0 +1,174 @@
+//===- bench/bench_opt_report.cpp - IR pass pipeline size report ----------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiles every paper program twice -- pass pipeline on (the default)
+// and off (--no-opt) -- and reports what the optimizer did and what it
+// provably did not change:
+//
+//   * IR sizes before/after (instructions, blocks, cost-expression
+//     terms) and the per-pass work counters,
+//   * the region-discovery mode per build (susan must be Approximate
+//     without the pipeline and exact with it),
+//   * the Table-4 optimal cut cost at a reference parameter point per
+//     program, cross-checked bit-identical between the two builds.
+//
+// Emits BENCH_opt.json (--out FILE). Exits nonzero when any cut cost or
+// interpreter-visible quantity differs between the builds, so CI can
+// gate on pipeline neutrality.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include <cstring>
+
+using namespace paco;
+using namespace paco::bench;
+
+namespace {
+
+struct RefPoint {
+  const char *Name;
+  std::vector<int64_t> Params;
+};
+
+std::vector<RefPoint> refPoints() {
+  return {
+      {"rawcaudio", {256}},
+      {"rawdaudio", {256}},
+      {"encode", {0, 1, 0, 0, 2, 48}},
+      {"decode", {1, 0, 1, 0, 2, 48}},
+      {"fft", {2, 32, 5, 0}},
+      {"susan", {1, 1, 1, 24, 20, 1, 15, 20, 7, 1, 3, 1}},
+  };
+}
+
+std::shared_ptr<CompiledProgram> compileWith(const std::string &Name,
+                                             bool Optimize) {
+  const programs::BenchProgram &Prog = programs::programByName(Name);
+  PassOptions Passes;
+  Passes.Enabled = Optimize;
+  std::string Diags;
+  std::shared_ptr<CompiledProgram> CP =
+      compileForOffloading(Prog.Source, CostModel::defaults(), {}, &Diags,
+                           InlineOptions(), Passes);
+  if (!CP) {
+    std::fprintf(stderr, "error: %s (%s) failed to compile:\n%s",
+                 Name.c_str(), Optimize ? "opt" : "no-opt", Diags.c_str());
+    std::exit(1);
+  }
+  return CP;
+}
+
+Rational optimalCost(const CompiledProgram &CP,
+                     const std::vector<int64_t> &Params) {
+  std::vector<Rational> Point = CP.parameterPoint(Params);
+  Rational Best;
+  bool First = true;
+  for (const PartitionChoice &Choice : CP.Partition.Choices) {
+    Rational Cost = Choice.CostExpr.evaluate(Point);
+    if (First || Cost < Best) {
+      Best = Cost;
+      First = false;
+    }
+  }
+  return Best;
+}
+
+void writeBuildMember(std::FILE *Out, const CompiledProgram &CP,
+                      const Rational &Cost) {
+  const PassStats &S = CP.OptStats;
+  std::fprintf(Out,
+               "{\n"
+               "        \"instrs_before\": %u, \"instrs_after\": %u,\n"
+               "        \"blocks_before\": %u, \"blocks_after\": %u,\n"
+               "        \"cost_terms_before\": %u, \"cost_terms_after\": "
+               "%u,\n"
+               "        \"const_folded\": %u, \"cse_replaced\": %u,\n"
+               "        \"copies_propagated\": %u, \"instrs_removed\": "
+               "%u,\n"
+               "        \"blocks_merged\": %u, \"blocks_removed\": %u,\n"
+               "        \"monomials_merged\": %u, \"merged_dims\": %u,\n"
+               "        \"fixpoint_iterations\": %u,\n"
+               "        \"approximate\": %s, \"choices\": %zu,\n"
+               "        \"analysis_seconds\": %.3f,\n"
+               "        \"optimal_cost\": \"%s\"\n"
+               "      }",
+               S.InstrsBefore, S.InstrsAfter, S.BlocksBefore, S.BlocksAfter,
+               S.CostTermsBefore, S.CostTermsAfter, S.ConstFolded,
+               S.CSEReplaced, S.CopiesPropagated, S.InstrsRemoved,
+               S.BlocksMerged, S.BlocksRemoved, S.MonomialsMerged,
+               S.MergedDims, S.FixpointIterations,
+               CP.Partition.Approximate ? "true" : "false",
+               CP.Partition.Choices.size(), CP.Partition.AnalysisSeconds,
+               Cost.toString().c_str());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_opt.json";
+  for (int A = 1; A < Argc; ++A) {
+    if (std::strcmp(Argv[A], "--out") == 0 && A + 1 < Argc)
+      OutPath = Argv[++A];
+    else {
+      std::fprintf(stderr, "usage: %s [--out FILE]\n", Argv[0]);
+      return 2;
+    }
+  }
+
+  std::FILE *Out = std::fopen(OutPath.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 2;
+  }
+
+  std::printf("== IR pass pipeline: size and neutrality report ==\n");
+  std::printf("%-10s %14s %14s %12s %10s\n", "program", "instrs", "terms",
+              "merged", "regions");
+
+  std::fprintf(Out, "{\n  \"programs\": {\n");
+  bool FirstProg = true;
+  int Failures = 0;
+  for (const RefPoint &Ref : refPoints()) {
+    std::shared_ptr<CompiledProgram> On = compileWith(Ref.Name, true);
+    std::shared_ptr<CompiledProgram> Off = compileWith(Ref.Name, false);
+    Rational CostOn = optimalCost(*On, Ref.Params);
+    Rational CostOff = optimalCost(*Off, Ref.Params);
+    bool CostsMatch = CostOn == CostOff;
+    if (!CostsMatch) {
+      ++Failures;
+      std::fprintf(stderr,
+                   "error: %s optimal cost differs: opt=%s no-opt=%s\n",
+                   Ref.Name, CostOn.toString().c_str(),
+                   CostOff.toString().c_str());
+    }
+
+    const PassStats &S = On->OptStats;
+    std::printf("%-10s %6u -> %-6u %6u -> %-6u %5u/%-5u %10s\n", Ref.Name,
+                S.InstrsBefore, S.InstrsAfter, S.CostTermsBefore,
+                S.CostTermsAfter, S.MonomialsMerged, S.MergedDims,
+                On->Partition.Approximate ? "sampled" : "exact");
+
+    std::fprintf(Out, "%s    \"%s\": {\n      \"opt\": ",
+                 FirstProg ? "" : ",\n", Ref.Name);
+    writeBuildMember(Out, *On, CostOn);
+    std::fprintf(Out, ",\n      \"no_opt\": ");
+    writeBuildMember(Out, *Off, CostOff);
+    std::fprintf(Out, ",\n      \"costs_match\": %s\n    }",
+                 CostsMatch ? "true" : "false");
+    FirstProg = false;
+  }
+  std::fprintf(Out, "\n  },\n");
+  writeStatsMember(Out);
+  std::fprintf(Out, "\n}\n");
+  std::fclose(Out);
+
+  std::printf("report written to %s\n", OutPath.c_str());
+  if (Failures)
+    std::printf("NEUTRALITY VIOLATED for %d program(s)\n", Failures);
+  return Failures ? 1 : 0;
+}

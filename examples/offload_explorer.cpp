@@ -13,7 +13,8 @@
 // run retries with backoff and degrades gracefully to local execution.
 //
 //   offload_explorer program.mc [--params v1,v2,...] [--inputs v1,v2,...]
-//       [--run] [--jobs N] [--dump-ir] [--dump-source]
+//       [--run] [--jobs N] [--no-opt] [--dump-ir[=before|after]]
+//       [--dump-source]
 //       [--fault-seed N] [--drop-rate P] [--jitter U]
 //       [--disconnect-at MSG[:LEN]] [--policy fail-fast|retry-only|degrade]
 //       [--adapt=static|react|closed-loop] [--drift=SPEC] [--crash=SPEC]
@@ -225,8 +226,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   if (Argc < 2) {
     std::fprintf(stderr,
                  "usage: %s program.mc [--params v1,v2,...] "
-                 "[--inputs v1,v2,...] [--run] [--jobs N] [--dump-ir] "
-                 "[--dump-source]\n"
+                 "[--inputs v1,v2,...] [--run] [--jobs N] [--no-opt] "
+                 "[--dump-ir[=before|after]] [--dump-source]\n"
                  "  fault injection: [--fault-seed N] [--drop-rate P] "
                  "[--jitter U] [--disconnect-at MSG[:LEN]]\n"
                  "                   [--policy fail-fast|retry-only|degrade]\n"
@@ -263,6 +264,7 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   }
 
   bool DumpIR = false;
+  bool DumpIRBefore = false;
   bool DumpSource = false;
   bool Run = false;
   bool Report = false;
@@ -280,6 +282,7 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   unsigned ServeThreads = 0; // 0 = hardware concurrency
   unsigned ServeRepeat = 1;
   ParametricOptions AnalysisOpts;
+  PassOptions PassOpts;
   auto parseAdapt = [&](const char *Name) {
     if (std::strcmp(Name, "static") == 0)
       Adapt.Policy = AdaptationPolicy::Static;
@@ -320,8 +323,13 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
       // 0 = hardware concurrency; any value yields identical results.
       AnalysisOpts.Threads =
           static_cast<unsigned>(std::strtoul(Argv[++A], nullptr, 10));
-    } else if (std::strcmp(Argv[A], "--dump-ir") == 0) {
+    } else if (std::strcmp(Argv[A], "--dump-ir") == 0 ||
+               std::strcmp(Argv[A], "--dump-ir=after") == 0) {
       DumpIR = true;
+    } else if (std::strcmp(Argv[A], "--dump-ir=before") == 0) {
+      DumpIRBefore = true;
+    } else if (std::strcmp(Argv[A], "--no-opt") == 0) {
+      PassOpts.Enabled = false;
     } else if (std::strcmp(Argv[A], "--dump-source") == 0) {
       DumpSource = true;
     } else if (std::strcmp(Argv[A], "--run") == 0) {
@@ -449,8 +457,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
     obs::Tracer::global().enable();
 
   std::string Diags;
-  auto CP = compileForOffloading(Source, CostModel::defaults(),
-                                 AnalysisOpts, &Diags);
+  auto CP = compileForOffloading(Source, CostModel::defaults(), AnalysisOpts,
+                                 &Diags, InlineOptions(), PassOpts);
   if (!CP) {
     std::fprintf(stderr, "%s", Diags.c_str());
     return 1;
@@ -461,8 +469,38 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   if (DumpSource)
     std::printf("// program after inlining (%u sites)\n%s\n",
                 CP->InlinedSites, printProgram(*CP->AST).c_str());
+  if (DumpIRBefore) {
+    // Replay the front end (parse, inline, sema, symbolics, lower) into a
+    // scratch space so the pre-optimization IR can be shown even though
+    // the compiled program only keeps the optimized module.
+    DiagEngine RawDiags;
+    ParamSpace RawSpace;
+    auto RawAST = parseMiniC(Source, RawDiags);
+    if (RawAST)
+      inlineSmallFunctions(*RawAST, InlineOptions());
+    if (!RawAST || !runSema(*RawAST, RawDiags)) {
+      std::fprintf(stderr, "%s", RawDiags.dump().c_str());
+      return 1;
+    }
+    SymbolicInfo RawInfo = analyzeSymbolics(*RawAST, RawSpace, RawDiags);
+    LowerResult Raw = lowerProgram(*RawAST, RawInfo, RawSpace, RawDiags);
+    if (!Raw) {
+      std::fprintf(stderr, "%s", Raw.error().toString().c_str());
+      return 1;
+    }
+    std::printf("// IR before optimization\n%s\n",
+                (*Raw)->dump(RawSpace).c_str());
+  }
   if (DumpIR)
-    std::printf("%s\n", CP->Module->dump(CP->Space).c_str());
+    std::printf("// IR after optimization%s\n%s\n",
+                PassOpts.Enabled ? "" : " (--no-opt: pipeline disabled)",
+                CP->Module->dump(CP->Space).c_str());
+  if (PassOpts.Enabled)
+    std::printf("optimizer: %u -> %u instr(s), %u -> %u cost term(s), "
+                "%u monomial(s) merged into %u composite dim(s)\n",
+                CP->OptStats.InstrsBefore, CP->OptStats.InstrsAfter,
+                CP->OptStats.CostTermsBefore, CP->OptStats.CostTermsAfter,
+                CP->OptStats.MonomialsMerged, CP->OptStats.MergedDims);
 
   std::printf("tasks (%u + entry/exit):\n", CP->numRealTasks());
   std::printf("%s\n", CP->Graph.dump(CP->Space).c_str());

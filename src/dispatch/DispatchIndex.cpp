@@ -110,19 +110,45 @@ void DispatchIndex::buildPlans() {
   unsigned MaxDeg = 1;
   for (unsigned K = 0; K != Dim; ++K) {
     ParamId Id = Partition.EffectiveDims[K];
-    DimPlan &P = Plans[K];
-    P.ConstQ = Rational(BigInt(1));
-    const std::vector<ParamId> &Factors = Space.factors(Id);
-    MaxDeg = std::max(MaxDeg, static_cast<unsigned>(Factors.size()));
-    for (ParamId F : Factors) {
+    std::vector<DimProduct> Prods(1);
+    Prods[0].ConstQ = Rational(BigInt(1));
+    auto mulFactor = [&](DimProduct &P, ParamId F) {
       if (F < NumRuntime)
         P.RuntimeFactors.push_back(F);
       else
         P.ConstQ *= Rational(Space.lower(F)); // parameterPoint semantics
+    };
+    for (ParamId F : Space.factors(Id)) {
+      if (Space.isMerged(F)) {
+        // Distribute the merged slot's weighted member sum over the
+        // enclosing product, one product per member.
+        std::vector<DimProduct> Next;
+        for (const auto &[Member, Weight] : Space.mergedTerms(F))
+          for (DimProduct P : Prods) {
+            P.ConstQ *= Rational(Weight);
+            for (ParamId G : Space.factors(Member)) {
+              assert(!Space.isMerged(G) && "merged members are flat");
+              mulFactor(P, G);
+            }
+            Next.push_back(std::move(P));
+          }
+        Prods = std::move(Next);
+      } else {
+        for (DimProduct &P : Prods)
+          mulFactor(P, F);
+      }
     }
-    P.ConstD = P.ConstQ.toDouble();
-    P.ConstIntOK = P.ConstQ.isInteger() && P.ConstQ.numerator().fitsInt64();
-    P.ConstI = P.ConstIntOK ? P.ConstQ.numerator().toInt64() : 0;
+    // Rounding-step budget for this dimension's compiled evaluation: per
+    // product its multiplies plus the accumulating add.
+    unsigned Ops = 1;
+    for (DimProduct &P : Prods) {
+      P.ConstD = P.ConstQ.toDouble();
+      P.ConstIntOK = P.ConstQ.isInteger() && P.ConstQ.numerator().fitsInt64();
+      P.ConstI = P.ConstIntOK ? P.ConstQ.numerator().toInt64() : 0;
+      Ops += static_cast<unsigned>(P.RuntimeFactors.size()) + 1;
+    }
+    MaxDeg = std::max(MaxDeg, Ops);
+    Plans[K].Products = std::move(Prods);
   }
   Eps = 16.0 * (Dim + MaxDeg + 2) * DBL_EPSILON;
 }
@@ -193,6 +219,17 @@ void DispatchIndex::buildHyperplanePool() {
         for (BigInt &Coeff : Canon.Coeffs)
           Coeff = -Coeff;
         Canon.Const = -Canon.Const;
+      }
+      // Scale-normalize by the gcd of every coefficient and the constant
+      // so scaled copies of one facet (2a.x + 2c vs a.x + c) dedup to a
+      // single splitting hyperplane.
+      BigInt G = Canon.Const.isNegative() ? -Canon.Const : Canon.Const;
+      for (const BigInt &Coeff : Canon.Coeffs)
+        G = BigInt::gcd(G, Coeff);
+      if (!G.isZero() && !G.isOne()) {
+        for (BigInt &Coeff : Canon.Coeffs)
+          Coeff = Coeff / G;
+        Canon.Const = Canon.Const / G;
       }
       std::string Key = Canon.Const.toString();
       for (const BigInt &Coeff : Canon.Coeffs) {
@@ -434,10 +471,14 @@ void DispatchIndex::ensureExactEff(DispatchScratch &S) const {
       S.EffQ[K] = (*S.Full)[Partition.EffectiveDims[K]];
   } else {
     for (unsigned K = 0; K != Dim; ++K) {
-      Rational V = Plans[K].ConstQ;
-      for (uint32_t F : Plans[K].RuntimeFactors)
-        V *= Rational(S.Vals[F]);
-      S.EffQ[K] = V;
+      Rational V;
+      for (const DimProduct &Pr : Plans[K].Products) {
+        Rational PV = Pr.ConstQ;
+        for (uint32_t F : Pr.RuntimeFactors)
+          PV *= Rational(S.Vals[F]);
+        V += PV;
+      }
+      S.EffQ[K] = std::move(V);
     }
   }
   S.EffQValid = true;
@@ -609,15 +650,21 @@ unsigned DispatchIndex::pick(const int64_t *Values, size_t NumValues,
   S.EffI.resize(Dim);
   bool AllInt = true;
   for (unsigned K = 0; K != Dim; ++K) {
-    const DimPlan &P = Plans[K];
-    double VD = P.ConstD;
-    int64_t VI = P.ConstI;
-    bool Ok = P.ConstIntOK;
-    for (uint32_t F : P.RuntimeFactors) {
-      int64_t X = Values[F];
-      VD *= static_cast<double>(X);
-      if (Ok)
-        Ok = !__builtin_mul_overflow(VI, X, &VI);
+    double VD = 0;
+    int64_t VI = 0;
+    bool Ok = true;
+    for (const DimProduct &Pr : Plans[K].Products) {
+      double PD = Pr.ConstD;
+      int64_t PI = Pr.ConstI;
+      bool POk = Pr.ConstIntOK;
+      for (uint32_t F : Pr.RuntimeFactors) {
+        int64_t X = Values[F];
+        PD *= static_cast<double>(X);
+        if (POk)
+          POk = !__builtin_mul_overflow(PI, X, &PI);
+      }
+      VD += PD;
+      Ok = Ok && POk && !__builtin_add_overflow(VI, PI, &VI);
     }
     if (Ok && VI > -(int64_t(1) << 52) && VI < (int64_t(1) << 52)) {
       S.EffI[K] = VI;

@@ -126,6 +126,9 @@ public:
   /// Largest candidate list among the leaves (the residual linear work).
   unsigned maxLeafCandidates() const { return MaxLeaf; }
   double buildSeconds() const { return BuildSeconds; }
+  /// True when region classification used exact vertex/ray/line geometry
+  /// (only non-Approximate partitions pay for generator enumeration).
+  bool usesExactGeometry() const { return UseGeometry; }
 
   /// One-line structural summary for logs and benches.
   std::string describe() const;
@@ -163,16 +166,24 @@ private:
     uint32_t Plus = 0, Minus = 0;
     uint32_t FirstCand = 0, NumCands = 0;
   };
-  /// How to compute effective dimension K from declared values: the
-  /// product of the runtime factors times the folded constant (product of
-  /// non-runtime factors' lower bounds), replicating parameterPoint +
-  /// extendPoint.
-  struct DimPlan {
+  /// One product in a dimension's evaluation plan: the runtime factors
+  /// times a folded constant (merged-member weight and non-runtime
+  /// factors' lower bounds).
+  struct DimProduct {
     std::vector<uint32_t> RuntimeFactors;
     Rational ConstQ;
     double ConstD = 1;
     int64_t ConstI = 1;
     bool ConstIntOK = true;
+  };
+  /// How to compute effective dimension K from declared values,
+  /// replicating parameterPoint + extendPoint: a sum of products. A plain
+  /// monomial dimension compiles to a single product; a dimension whose
+  /// factors include a Kind::Merged parameter expands into one product
+  /// per merged member (the weighted sum distributed over the enclosing
+  /// product).
+  struct DimPlan {
+    std::vector<DimProduct> Products;
   };
   /// Compiled cost expression over the effective dimensions.
   struct CostRow {

@@ -1624,14 +1624,18 @@ ExecResult Machine::run() {
       break;
     }
     const Instr &I = Block.Instrs[InstrIdx++];
-    if (++Executed > Opts.MaxInstructions) {
+    // Charge the instruction's cost weight: 1 straight from lowering, or
+    // the folded weight of optimized-away neighbours, so simulated time
+    // and instruction accounting match the unoptimized program exactly.
+    Executed += I.Units;
+    if (Executed > Opts.MaxInstructions) {
       fail("instruction budget exceeded",
            ExecResult::FailureKind::InstructionLimit);
       break;
     }
-    Sim.execInstructions(OnServer, 1);
-    ++TaskInstrCounts[CurrentTask];
-    ++SegInstrs;
+    Sim.execInstructions(OnServer, I.Units);
+    TaskInstrCounts[CurrentTask] += I.Units;
+    SegInstrs += I.Units;
     if (!execInstr(I) && !rollback())
       break;
   }

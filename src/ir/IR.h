@@ -154,6 +154,13 @@ struct Instr {
   unsigned Succ0 = KNone;     ///< Branch target / continuation.
   unsigned Succ1 = KNone;     ///< False target for Br.
   unsigned AllocSite = KNone; ///< Malloc site id.
+  /// Cost-model weight: how many workload units executing this
+  /// instruction charges. Lowering emits weight 1; an optimization pass
+  /// that deletes a reachable instruction folds the deleted weight into a
+  /// surviving instruction of the same block, so block workloads -- and
+  /// therefore every Theorem-1 capacity and simulated time -- are
+  /// bit-identical whether or not the pass pipeline ran.
+  unsigned Units = 1;
   SourceLoc Loc;
 
   bool isTerminator() const {
@@ -225,10 +232,15 @@ public:
   /// their continuation; interprocedural edges are the TCFG's concern).
   std::vector<unsigned> successors(unsigned B) const;
 
-  /// Number of executable instructions in block \p B (terminator
-  /// included) -- the per-execution workload unit of the cost model.
+  /// Workload units of block \p B (terminator included): the sum of the
+  /// instructions' cost weights -- the per-execution workload unit of the
+  /// cost model. Equals the instruction count until an optimization pass
+  /// folds deleted instructions' weights into survivors.
   unsigned instructionCount(unsigned B) const {
-    return static_cast<unsigned>(Blocks[B].Instrs.size());
+    unsigned N = 0;
+    for (const Instr &I : Blocks[B].Instrs)
+      N += I.Units;
+    return N;
   }
 };
 

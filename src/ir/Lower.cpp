@@ -20,9 +20,20 @@ public:
            DiagEngine &Diags)
       : Prog(Prog), Info(Info), Space(Space), Diags(Diags) {}
 
-  std::unique_ptr<IRModule> run();
+  LowerResult run();
 
 private:
+  /// Records the first fatal error (later ones are cascades) and mirrors
+  /// it into the DiagEngine. Always returns false so call sites can
+  /// `return fail(...)` from boolean helpers.
+  bool fail(SourceLoc Loc, const std::string &Message) {
+    if (!Err) {
+      Err = LowerError{Loc, Message};
+      Diags.error(Loc, Message);
+    }
+    return false;
+  }
+
   //===--------------------------------------------------------------===//
   // Block and instruction plumbing
   //===--------------------------------------------------------------===//
@@ -136,9 +147,12 @@ private:
   // Expressions
   //===--------------------------------------------------------------===//
 
-  Operand varSlot(const VarDecl *Var) const {
+  Operand varSlot(const VarDecl *Var, SourceLoc Loc) {
     auto It = VarSlots.find(Var);
-    assert(It != VarSlots.end() && "variable without a slot");
+    if (It == VarSlots.end()) {
+      fail(Loc, "variable '" + Var->Name + "' has no storage slot");
+      return Operand::constInt(0);
+    }
     return It->second;
   }
 
@@ -153,7 +167,7 @@ private:
         I.Op = Opcode::AddrOfVar;
         I.Ty = pointerTo(Ref.Var->Type);
         I.Dst = T;
-        I.A = varSlot(Ref.Var);
+        I.A = varSlot(Ref.Var, Base.loc());
         I.Loc = Base.loc();
         emit(std::move(I));
         return Operand::local(T);
@@ -188,6 +202,7 @@ private:
   IRFunction *F = nullptr;
   unsigned CurBB = 0;
   LinExpr CurCount;
+  std::optional<LowerError> Err;
   std::map<const VarDecl *, Operand> VarSlots;
   std::map<const FuncDecl *, unsigned> FuncIndex;
   std::set<std::string> UsedLocalNames;
@@ -195,7 +210,7 @@ private:
   std::vector<unsigned> ContinueTargets;
 };
 
-std::unique_ptr<IRModule> Lowering::run() {
+LowerResult Lowering::run() {
   auto Module = std::make_unique<IRModule>();
   M = Module.get();
 
@@ -242,8 +257,11 @@ std::unique_ptr<IRModule> Lowering::run() {
   }
   Module->MainIndex = Module->findFunction("main");
 
-  for (const auto &Func : Prog.Functions)
+  for (const auto &Func : Prog.Functions) {
     lowerFunction(*Func, *Module->Functions[FuncIndex[Func.get()]]);
+    if (Err)
+      return std::unexpected(*Err);
+  }
   return Module;
 }
 
@@ -253,7 +271,14 @@ void Lowering::lowerFunction(const FuncDecl &Func, IRFunction &Out) {
   BreakTargets.clear();
   ContinueTargets.clear();
 
-  F->EntryCount = Info.EntryCount.at(&Func);
+  auto EntryIt = Info.EntryCount.find(&Func);
+  if (EntryIt == Info.EntryCount.end()) {
+    fail(Func.Loc, "function '" + Func.Name +
+                       "' has no symbolic entry count; symbolic analysis "
+                       "did not visit it");
+    return;
+  }
+  F->EntryCount = EntryIt->second;
   CurCount = F->EntryCount;
   CurBB = newBlock(CurCount);
 
@@ -287,15 +312,18 @@ Operand Lowering::lowerExprValue(const Expr &E) {
       return Operand::rtParam(static_cast<unsigned>(Ref.ParamIndex));
     if (Ref.Function)
       return Operand::funcRef(FuncIndex.at(Ref.Function));
-    assert(Ref.Var && "unresolved variable reference");
+    if (!Ref.Var) {
+      fail(E.loc(), "unresolved variable reference '" + Ref.Name + "'");
+      return Operand::constInt(0);
+    }
     if (Ref.Var->IsArray)
       return lowerBasePointer(E); // decay
-    return varSlot(Ref.Var);
+    return varSlot(Ref.Var, E.loc());
   }
   case Expr::Kind::Unary: {
     const auto &U = static_cast<const UnaryExpr &>(E);
     Operand V = lowerExprValue(*U.Operand);
-    V = convert(V, E.Type, E.loc());
+    V = convert(V, E.Type, U.Operand->loc());
     unsigned T = newTemp(E.Type);
     Instr I;
     I.Ty = E.Type;
@@ -353,7 +381,7 @@ Operand Lowering::lowerExprValue(const Expr &E) {
     I.Op = Opcode::AddrOfVar;
     I.Ty = E.Type;
     I.Dst = T;
-    I.A = varSlot(Ref.Var);
+    I.A = varSlot(Ref.Var, E.loc());
     I.Loc = E.loc();
     emit(std::move(I));
     return Operand::local(T);
@@ -361,7 +389,7 @@ Operand Lowering::lowerExprValue(const Expr &E) {
   case Expr::Kind::Ternary:
     return lowerTernary(static_cast<const TernaryExpr &>(E));
   }
-  assert(false && "unhandled expression in lowering");
+  fail(E.loc(), "expression kind not handled by lowering");
   return Operand::none();
 }
 
@@ -416,8 +444,8 @@ Operand Lowering::lowerBinary(const BinaryExpr &B) {
     OperateTy = B.Type;
   }
   if (OperateTy == TypeKind::Int || OperateTy == TypeKind::Double) {
-    L = convert(L, OperateTy, B.loc());
-    R = convert(R, OperateTy, B.loc());
+    L = convert(L, OperateTy, B.LHS->loc());
+    R = convert(R, OperateTy, B.RHS->loc());
   }
 
   unsigned T = newTemp(B.Type);
@@ -510,16 +538,19 @@ Operand Lowering::lowerAssign(const AssignExpr &A) {
   case Expr::Kind::VarRef: {
     const auto &Ref = static_cast<const VarRefExpr &>(*A.Target);
     Operand Value = lowerExprValue(*A.Value);
-    Value = convert(Value, Ref.Var->Type, A.loc());
-    Operand Slot = varSlot(Ref.Var);
+    Value = convert(Value, Ref.Var->Type, A.Value->loc());
+    Operand Slot = varSlot(Ref.Var, A.loc());
     Instr I;
     I.Op = Opcode::Copy;
     I.Ty = Ref.Var->Type;
+    if (Err)
+      return Value; // slot lookup failed; module is discarded anyway
     assert(Slot.K == Operand::Kind::Local ||
            Slot.K == Operand::Kind::Global);
     if (Slot.K == Operand::Kind::Local) {
       I.Dst = Slot.Index;
       I.A = Value;
+      I.Loc = A.loc();
       emit(std::move(I));
     } else {
       // Globals are written through a store to their location.
@@ -549,7 +580,7 @@ Operand Lowering::lowerAssign(const AssignExpr &A) {
     Operand Ptr = lowerBasePointer(*Ix.Base);
     Operand Idx = lowerExprValue(*Ix.Index);
     Operand Value = lowerExprValue(*A.Value);
-    Value = convert(Value, A.Target->Type, A.loc());
+    Value = convert(Value, A.Target->Type, A.Value->loc());
     Instr I;
     I.Op = Opcode::Store;
     I.Ty = A.Target->Type;
@@ -564,7 +595,7 @@ Operand Lowering::lowerAssign(const AssignExpr &A) {
     const auto &D = static_cast<const DerefExpr &>(*A.Target);
     Operand Ptr = lowerExprValue(*D.Pointer);
     Operand Value = lowerExprValue(*A.Value);
-    Value = convert(Value, A.Target->Type, A.loc());
+    Value = convert(Value, A.Target->Type, A.Value->loc());
     Instr I;
     I.Op = Opcode::Store;
     I.Ty = A.Target->Type;
@@ -576,7 +607,7 @@ Operand Lowering::lowerAssign(const AssignExpr &A) {
     return Value;
   }
   default:
-    assert(false && "sema rejects other assignment targets");
+    fail(A.loc(), "assignment target kind not handled by lowering");
     return Operand::none();
   }
 }
@@ -623,9 +654,15 @@ Operand Lowering::lowerCall(const CallExpr &Call) {
   }
   case CallExpr::Builtin::Malloc: {
     Operand Count = lowerExprValue(*Call.Args[0]);
+    auto SizeIt = Info.MallocSize.find(&Call);
+    if (SizeIt == Info.MallocSize.end()) {
+      fail(Call.loc(), "malloc site has no symbolic size; symbolic "
+                       "analysis did not visit it");
+      return Operand::constInt(0);
+    }
     unsigned Site = static_cast<unsigned>(M->AllocSites.size());
     AllocSiteInfo SiteInfo;
-    SiteInfo.SizeElems = Info.MallocSize.at(&Call);
+    SiteInfo.SizeElems = SizeIt->second;
     SiteInfo.ExecCount = CurCount;
     SiteInfo.ElemType = isPointerType(Call.Type) ? pointeeType(Call.Type)
                                                  : TypeKind::Int;
@@ -657,7 +694,8 @@ Operand Lowering::lowerCall(const CallExpr &Call) {
     I.Ty = Target->ReturnType;
     for (size_t Idx = 0; Idx != Call.Args.size(); ++Idx) {
       Operand Arg = lowerExprValue(*Call.Args[Idx]);
-      Arg = convert(Arg, Target->Params[Idx]->Type, Call.loc());
+      // Conversions belong to the argument expression, not the call.
+      Arg = convert(Arg, Target->Params[Idx]->Type, Call.Args[Idx]->loc());
       I.Args.push_back(Arg);
     }
     if (Target->ReturnType != TypeKind::Void) {
@@ -668,7 +706,7 @@ Operand Lowering::lowerCall(const CallExpr &Call) {
   } else {
     I.Op = Opcode::CallInd;
     I.Ty = TypeKind::Void;
-    I.A = varSlot(Callee.Var);
+    I.A = varSlot(Callee.Var, Call.loc());
   }
   unsigned Cont = newBlock(CurCount);
   I.Succ0 = Cont;
@@ -697,22 +735,24 @@ Operand Lowering::lowerTernary(const TernaryExpr &T) {
   recordEdge(From, ElseBB, CurCount);
 
   CurBB = ThenBB;
-  Operand ThenV = convert(lowerExprValue(*T.Then), T.Type, T.loc());
+  Operand ThenV = convert(lowerExprValue(*T.Then), T.Type, T.Then->loc());
   Instr CopyThen;
   CopyThen.Op = Opcode::Copy;
   CopyThen.Ty = T.Type;
   CopyThen.Dst = Dst;
   CopyThen.A = ThenV;
+  CopyThen.Loc = T.Then->loc();
   emit(std::move(CopyThen));
   emitJmp(JoinBB);
 
   CurBB = ElseBB;
-  Operand ElseV = convert(lowerExprValue(*T.Else), T.Type, T.loc());
+  Operand ElseV = convert(lowerExprValue(*T.Else), T.Type, T.Else->loc());
   Instr CopyElse;
   CopyElse.Op = Opcode::Copy;
   CopyElse.Ty = T.Type;
   CopyElse.Dst = Dst;
   CopyElse.A = ElseV;
+  CopyElse.Loc = T.Else->loc();
   emit(std::move(CopyElse));
   emitJmp(JoinBB);
 
@@ -721,6 +761,8 @@ Operand Lowering::lowerTernary(const TernaryExpr &T) {
 }
 
 void Lowering::lowerStmt(const Stmt &S) {
+  if (Err)
+    return; // stop the cascade after the first fatal error
   switch (S.getKind()) {
   case Stmt::Kind::Block:
     for (const StmtPtr &Child : static_cast<const BlockStmt &>(S).Body)
@@ -733,7 +775,7 @@ void Lowering::lowerStmt(const Stmt &S) {
     VarSlots[D.Var.get()] = Operand::local(Slot);
     if (D.InitExpr) {
       Operand Value = lowerExprValue(*D.InitExpr);
-      Value = convert(Value, D.Var->Type, S.loc());
+      Value = convert(Value, D.Var->Type, D.InitExpr->loc());
       Instr I;
       I.Op = Opcode::Copy;
       I.Ty = D.Var->Type;
@@ -763,7 +805,7 @@ void Lowering::lowerStmt(const Stmt &S) {
     I.Loc = S.loc();
     if (R.Value) {
       Operand V = lowerExprValue(*R.Value);
-      I.A = convert(V, F->RetType, S.loc());
+      I.A = convert(V, F->RetType, R.Value->loc());
     }
     emit(std::move(I));
     CurCount = LinExpr();
@@ -788,7 +830,13 @@ void Lowering::lowerStmt(const Stmt &S) {
 }
 
 void Lowering::lowerIf(const IfStmt &S) {
-  LinExpr Freq = Info.IfFreq.at(&S);
+  auto FreqIt = Info.IfFreq.find(&S);
+  if (FreqIt == Info.IfFreq.end()) {
+    fail(S.loc(), "if statement has no branch-frequency annotation; "
+                  "symbolic analysis did not visit it");
+    return;
+  }
+  const LinExpr &Freq = FreqIt->second;
   LinExpr Count = CurCount;
   LinExpr ThenCount = LinExpr::mul(Count, Freq, Space);
   LinExpr ElseCount =
@@ -834,7 +882,13 @@ void Lowering::lowerIf(const IfStmt &S) {
 }
 
 void Lowering::lowerWhile(const WhileStmt &S) {
-  LinExpr Trip = Info.LoopTrip.at(&S);
+  auto TripIt = Info.LoopTrip.find(&S);
+  if (TripIt == Info.LoopTrip.end()) {
+    fail(S.loc(), "while loop has no trip-count annotation; symbolic "
+                  "analysis did not visit it");
+    return;
+  }
+  const LinExpr &Trip = TripIt->second;
   LinExpr Count = CurCount;
   LinExpr BodyCount = LinExpr::mul(Count, Trip, Space);
   LinExpr HeaderCount = BodyCount + Count;
@@ -876,7 +930,13 @@ void Lowering::lowerFor(const ForStmt &S) {
   if (S.Init)
     lowerStmt(*S.Init);
 
-  LinExpr Trip = Info.LoopTrip.at(&S);
+  auto TripIt = Info.LoopTrip.find(&S);
+  if (TripIt == Info.LoopTrip.end()) {
+    fail(S.loc(), "for loop has no trip-count annotation; symbolic "
+                  "analysis did not visit it");
+    return;
+  }
+  const LinExpr &Trip = TripIt->second;
   LinExpr Count = CurCount;
   LinExpr BodyCount = LinExpr::mul(Count, Trip, Space);
   LinExpr HeaderCount = BodyCount + Count;
@@ -928,10 +988,8 @@ void Lowering::lowerFor(const ForStmt &S) {
 
 } // namespace
 
-std::unique_ptr<IRModule> paco::lowerProgram(const Program &Prog,
-                                             const SymbolicInfo &Info,
-                                             ParamSpace &Space,
-                                             DiagEngine &Diags) {
+LowerResult paco::lowerProgram(const Program &Prog, const SymbolicInfo &Info,
+                               ParamSpace &Space, DiagEngine &Diags) {
   obs::ScopedSpan Span("ir.lower", "ir");
   Lowering L(Prog, Info, Space, Diags);
   return L.run();

@@ -10,6 +10,13 @@
 /// with its symbolic execution count and every malloc site with its
 /// symbolic size -- the inputs of the parametric cost analysis.
 ///
+/// Failures surface on the std::expected-based LowerResult: every fatal
+/// condition (a statement the symbolic analysis left unannotated, an
+/// unresolved variable slot, an expression kind lowering does not
+/// handle) produces a located LowerError instead of asserting or
+/// throwing, and is mirrored into the DiagEngine so lowering and pass
+/// diagnostics flow through one channel.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PACO_IR_LOWER_H
@@ -18,12 +25,28 @@
 #include "ir/IR.h"
 #include "lang/Symbolics.h"
 
+#include <expected>
+
 namespace paco {
+
+/// A fatal lowering failure, located in the MiniC source.
+struct LowerError {
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders "line:col: error: message" like a Diag.
+  std::string toString() const {
+    return Loc.toString() + ": error: " + Message;
+  }
+};
+
+using LowerResult = std::expected<std::unique_ptr<IRModule>, LowerError>;
 
 /// Lowers \p Prog to IR. Requires successful sema and symbolic analysis.
 /// Short-circuit and ternary subexpressions are counted at their parent
 /// block's frequency (a documented over-approximation of the cost model).
-std::unique_ptr<IRModule> lowerProgram(const Program &Prog,
+/// On failure the first error is returned and also recorded in \p Diags.
+[[nodiscard]] LowerResult lowerProgram(const Program &Prog,
                                        const SymbolicInfo &Info,
                                        ParamSpace &Space, DiagEngine &Diags);
 

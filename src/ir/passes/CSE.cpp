@@ -1,0 +1,146 @@
+//===- ir/passes/CSE.cpp - Local common-subexpression elimination ---------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Local value numbering: within a block, a pure arithmetic instruction
+/// recomputing an expression an earlier instruction already produced is
+/// rewritten into a copy from that instruction's destination. The
+/// representative must be a block-local, pointer-free temp so the new
+/// copy neither changes any task's access flags nor adds a meaningful
+/// points-to constraint.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/passes/PassInternal.h"
+
+#include <map>
+#include <sstream>
+
+using namespace paco;
+using namespace paco::passes;
+
+namespace {
+
+/// Value-numbering state of one block walk.
+struct BlockNumbering {
+  /// Current value number per local; 0 = unknown/initial.
+  std::vector<unsigned> VN;
+  unsigned NextVN = 1;
+  /// Bumped by instructions that may write memory through pointers;
+  /// versions global operands (and is folded into address-taken locals
+  /// by bumping their VN directly).
+  unsigned MemEpoch = 0;
+
+  explicit BlockNumbering(size_t NumLocals) : VN(NumLocals, 0) {}
+
+  void defineLocal(unsigned L) { VN[L] = NextVN++; }
+};
+
+/// Serialized operand identity under the current numbering, or nullopt
+/// for operand kinds CSE does not handle.
+std::optional<std::string> operandKey(const Operand &O,
+                                      const BlockNumbering &N) {
+  std::ostringstream S;
+  switch (O.K) {
+  case Operand::Kind::None:
+    S << "_";
+    break;
+  case Operand::Kind::ConstInt:
+    S << "i" << O.IntVal;
+    break;
+  case Operand::Kind::ConstFloat: {
+    // Bit pattern, so -0.0 and NaN payloads key distinctly.
+    uint64_t Bits;
+    static_assert(sizeof(Bits) == sizeof(O.FloatVal));
+    __builtin_memcpy(&Bits, &O.FloatVal, sizeof(Bits));
+    S << "f" << Bits;
+    break;
+  }
+  case Operand::Kind::RtParam:
+    S << "p" << O.Index;
+    break;
+  case Operand::Kind::Local:
+    S << "l" << O.Index << "v" << N.VN[O.Index];
+    break;
+  case Operand::Kind::Global:
+    S << "g" << O.Index << "e" << N.MemEpoch;
+    break;
+  default:
+    return std::nullopt;
+  }
+  return S.str();
+}
+
+bool mayWriteThroughPointer(const Instr &I) {
+  return I.Op == Opcode::Store || I.Op == Opcode::IoReadBuf;
+}
+
+} // namespace
+
+bool passes::runCSE(IRFunction &F, const FuncInfo &Info, PassStats &Stats) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    BlockNumbering N(F.Locals.size());
+    // Expression key -> (representative local, its VN at definition).
+    std::map<std::string, std::pair<unsigned, unsigned>> Exprs;
+    for (unsigned P = 0; P != B.Instrs.size(); ++P) {
+      Instr &I = B.Instrs[P];
+      if (isPureArith(I.Op) && I.Dst != KNone &&
+          (I.Ty == TypeKind::Int || I.Ty == TypeKind::Double)) {
+        std::ostringstream KeyS;
+        KeyS << static_cast<int>(I.Op) << "/" << static_cast<int>(I.Ty);
+        bool Keyable = true;
+        for (const Operand *O : {&I.A, &I.B, &I.C}) {
+          auto K = operandKey(*O, N);
+          if (!K) {
+            Keyable = false;
+            break;
+          }
+          KeyS << ":" << *K;
+        }
+        if (Keyable) {
+          std::string Key = KeyS.str();
+          auto It = Exprs.find(Key);
+          if (It != Exprs.end()) {
+            auto [R, DefVN] = It->second;
+            // The representative must still hold the value, be invisible
+            // to the partition problem, and provably pointer-free; every
+            // dropped operand read needs an earlier witness.
+            bool CanRewrite = R != I.Dst && N.VN[R] == DefVN &&
+                              Info.BlockLocal[R] && Info.NoPtrDefs[R] &&
+                              canAddRead(Info, B, P, R);
+            if (CanRewrite)
+              for (const Operand *O : {&I.A, &I.B, &I.C})
+                CanRewrite &= canDropRead(Info, B, P, *O);
+            if (CanRewrite) {
+              I.Op = Opcode::Copy;
+              I.A = Operand::local(R);
+              I.B = Operand::none();
+              I.C = Operand::none();
+              ++Stats.CSEReplaced;
+              Changed = true;
+              // Fall through to the generic definition bookkeeping.
+            }
+          } else {
+            N.defineLocal(I.Dst);
+            Exprs.emplace(std::move(Key),
+                          std::make_pair(I.Dst, N.VN[I.Dst]));
+            continue;
+          }
+        }
+      }
+      if (mayWriteThroughPointer(I)) {
+        ++N.MemEpoch;
+        for (unsigned L = 0; L != F.Locals.size(); ++L)
+          if (Info.AddrTaken[L])
+            N.defineLocal(L);
+      }
+      if (I.Dst != KNone)
+        N.defineLocal(I.Dst);
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,188 @@
+//===- ir/passes/Cleanup.cpp - Copy propagation and block cleanup ---------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Redundant-copy and control-flow cleanup: forwards copies within a
+/// block, deletes self-copies, and merges single-predecessor forwarding
+/// blocks (a lone terminator with no data accesses) into their
+/// predecessor when both blocks carry the same symbolic execution
+/// count, so the merged workload -- and the task formation, which never
+/// makes such a block a header -- is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/passes/PassInternal.h"
+
+#include <optional>
+
+using namespace paco;
+using namespace paco::passes;
+
+namespace {
+
+/// What a local was last copied from, with enough versioning to know
+/// the source still holds that value.
+struct CopySource {
+  Operand Src;
+  unsigned SrcVersion = 0; ///< Version of Src's local at record time.
+};
+
+bool propagateCopies(IRFunction &F, const FuncInfo &Info, PassStats &Stats) {
+  bool Changed = false;
+  std::vector<unsigned> Version(F.Locals.size(), 0);
+  std::vector<std::optional<CopySource>> CopyOf(F.Locals.size());
+  for (BasicBlock &B : F.Blocks) {
+    std::fill(Version.begin(), Version.end(), 0u);
+    for (auto &C : CopyOf)
+      C.reset();
+    for (unsigned P = 0; P != B.Instrs.size(); ++P) {
+      Instr &I = B.Instrs[P];
+      forEachSubstitutableRead(I, [&](Operand &O, bool PtrConstraint) {
+        if (O.K != Operand::Kind::Local || !CopyOf[O.Index])
+          return;
+        const CopySource &CS = *CopyOf[O.Index];
+        if (CS.Src.K == Operand::Kind::Local &&
+            Version[CS.Src.Index] != CS.SrcVersion)
+          return; // source re-defined since the copy
+        if (PtrConstraint && !Info.NoPtrDefs[O.Index])
+          return;
+        if (CS.Src.K == Operand::Kind::Local) {
+          if (PtrConstraint && !Info.NoPtrDefs[CS.Src.Index])
+            return;
+          if (!canAddRead(Info, B, P, CS.Src.Index))
+            return;
+        }
+        if (!canDropRead(Info, B, P, O))
+          return;
+        O = CS.Src;
+        ++Stats.CopiesPropagated;
+        Changed = true;
+      });
+      if (I.Dst != KNone) {
+        ++Version[I.Dst];
+        CopyOf[I.Dst].reset();
+        if (I.Op == Opcode::Copy && !Info.AddrTaken[I.Dst]) {
+          bool Trackable =
+              I.A.K == Operand::Kind::ConstInt ||
+              I.A.K == Operand::Kind::ConstFloat ||
+              I.A.K == Operand::Kind::RtParam ||
+              (I.A.K == Operand::Kind::Local && I.A.Index != I.Dst &&
+               !Info.AddrTaken[I.A.Index]);
+          if (Trackable)
+            CopyOf[I.Dst] = CopySource{
+                I.A, I.A.K == Operand::Kind::Local ? Version[I.A.Index] : 0};
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+bool removeSelfCopies(IRFunction &F, const FuncInfo &Info, PassStats &Stats) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    bool Removed = true;
+    while (Removed) {
+      Removed = false;
+      for (unsigned P = 0; P + 1 < B.Instrs.size(); ++P) {
+        const Instr &I = B.Instrs[P];
+        if (I.Op != Opcode::Copy || I.Dst == KNone ||
+            I.A.K != Operand::Kind::Local || I.A.Index != I.Dst)
+          continue;
+        if (!canDropRead(Info, B, P, I.A))
+          continue;
+        // Dropping the write needs the location invisible or an earlier
+        // surviving write in the block.
+        bool WriteOK = Info.BlockLocal[I.Dst];
+        for (unsigned Q = 0; !WriteOK && Q != P; ++Q)
+          WriteOK = B.Instrs[Q].Dst != KNone && B.Instrs[Q].Dst == I.Dst;
+        if (!WriteOK)
+          continue;
+        eraseFoldingUnits(B, P);
+        ++Stats.InstrsRemoved;
+        Changed = true;
+        Removed = true;
+        break;
+      }
+    }
+  }
+  return Changed;
+}
+
+/// True when \p T is a terminator carrying no data accesses.
+bool isAccessFreeTerminator(const Instr &T) {
+  switch (T.Op) {
+  case Opcode::Jmp:
+    return true;
+  case Opcode::Br:
+    return operandReadIsFree(T.A);
+  case Opcode::Ret:
+    return T.A.isNone();
+  default:
+    return false;
+  }
+}
+
+bool mergeForwardingBlocks(IRFunction &F, PassStats &Stats) {
+  bool Changed = false;
+  bool Merged = true;
+  while (Merged) {
+    Merged = false;
+    std::vector<unsigned> Preds(F.Blocks.size(), 0);
+    for (unsigned B = 0; B != F.Blocks.size(); ++B)
+      for (unsigned S : F.successors(B))
+        ++Preds[S];
+    for (unsigned A = 0; A != F.Blocks.size(); ++A) {
+      Instr &Term = F.Blocks[A].Instrs.back();
+      if (Term.Op != Opcode::Jmp)
+        continue;
+      unsigned T = Term.Succ0;
+      if (T == A || T == 0 || Preds[T] != 1)
+        continue;
+      const BasicBlock &BT = F.Blocks[T];
+      if (BT.Instrs.size() != 1 || !isAccessFreeTerminator(BT.Instrs.back()))
+        continue;
+      const Instr &TT = BT.Instrs.back();
+      if (TT.Succ0 == T || TT.Succ1 == T)
+        continue; // self-loop
+      // The merged block executes with A's count; only identical counts
+      // keep the symbolic workload bit-identical.
+      if (F.Blocks[A].Count != BT.Count)
+        continue;
+      Instr NewTerm = TT;
+      NewTerm.Units += Term.Units;
+      F.Blocks[A].Instrs.back() = NewTerm;
+      F.EdgeCounts.erase({A, T});
+      for (unsigned S : {NewTerm.Succ0, NewTerm.Succ1}) {
+        if (S == KNone)
+          continue;
+        auto It = F.EdgeCounts.find({T, S});
+        if (It != F.EdgeCounts.end()) {
+          F.EdgeCounts.emplace(std::make_pair(A, S), std::move(It->second));
+          F.EdgeCounts.erase(It);
+        }
+      }
+      std::vector<bool> Dead(F.Blocks.size(), false);
+      Dead[T] = true;
+      removeBlocks(F, Dead);
+      ++Stats.BlocksMerged;
+      Changed = true;
+      Merged = true;
+      break; // indices shifted; rescan from a fresh pred count
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+bool passes::runCleanup(IRFunction &F, const FuncInfo &Info,
+                        PassStats &Stats) {
+  bool Changed = propagateCopies(F, Info, Stats);
+  Changed |= removeSelfCopies(F, Info, Stats);
+  Changed |= mergeForwardingBlocks(F, Stats);
+  return Changed;
+}

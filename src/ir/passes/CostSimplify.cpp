@@ -1,0 +1,179 @@
+//===- ir/passes/CostSimplify.cpp - Cost-expression monomial merging ------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Canonicalizes the module's cost expressions (block and edge counts,
+/// entry counts, allocation-site sizes and trip counts) by merging
+/// monomial dimensions that always co-occur in a fixed proportional
+/// ratio into one composite ParamSpace dimension.
+///
+/// Each monomial term splits into its flag part (0/1-bounded base
+/// parameters, the dimensions the parametric solver slices on) and its
+/// residual. Two residuals whose coefficient columns over all
+/// (expression, flag-part) observations are parallel are merged: the
+/// family sum(a_i * F * R_i) rewrites to alpha * F * C with
+/// C = sum(w_i * R_i) interned as a Kind::Merged parameter. The rewrite
+/// is value-preserving by construction -- extendPoint fills the merged
+/// slot with exactly that weighted sum -- so every capacity evaluates
+/// identically at every parameter point, while the number of distinct
+/// dimensions a flag slice measures drops. That drop is what moves
+/// susan's widest slices back under ParametricOptions::MaxExactDims,
+/// flipping its region discovery from sampled (Approximate) to the
+/// exact certified frontier.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/passes/PassInternal.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+using namespace paco;
+using namespace paco::passes;
+
+namespace {
+
+/// One decomposed cost term: where it lives and how it factors.
+struct TermObs {
+  Rational Coeff;
+  ParamId OrigId = 0; ///< The monomial the expression currently holds.
+};
+
+/// Observation key: (expression index, sorted flag factors).
+using ObsKey = std::pair<unsigned, std::vector<ParamId>>;
+
+std::string ratKey(const Rational &R) {
+  return R.numerator().toString() + "/" + R.denominator().toString();
+}
+
+BigInt lcm(const BigInt &A, const BigInt &B) {
+  BigInt G = BigInt::gcd(A, B);
+  return (A / G) * B;
+}
+
+} // namespace
+
+bool passes::runCostSimplify(IRModule &M, ParamSpace &Space,
+                             PassStats &Stats) {
+  // 1. Gather every cost-bearing expression.
+  std::vector<LinExpr *> Exprs;
+  for (auto &F : M.Functions) {
+    Exprs.push_back(&F->EntryCount);
+    for (BasicBlock &B : F->Blocks)
+      Exprs.push_back(&B.Count);
+    for (auto &[Edge, Count] : F->EdgeCounts) {
+      (void)Edge;
+      Exprs.push_back(&Count);
+    }
+  }
+  for (AllocSiteInfo &S : M.AllocSites) {
+    Exprs.push_back(&S.SizeElems);
+    Exprs.push_back(&S.ExecCount);
+  }
+
+  auto isFlag = [&Space](ParamId P) {
+    return Space.kind(P) == ParamSpace::Kind::Base &&
+           Space.lower(P).isZero() && Space.upper(P).isOne();
+  };
+
+  // 2. Decompose terms into (flag part, residual) and collect each
+  // residual's coefficient column over all observations.
+  std::map<ParamId, std::map<ObsKey, TermObs>> Columns;
+  for (unsigned E = 0; E != Exprs.size(); ++E) {
+    for (const auto &[Id, Coeff] : Exprs[E]->terms()) {
+      std::vector<ParamId> Flags, Residual;
+      bool Mergeable = true;
+      for (ParamId F : Space.factors(Id)) {
+        if (Space.isMerged(F)) {
+          Mergeable = false; // already composite: idempotence
+          break;
+        }
+        (isFlag(F) ? Flags : Residual).push_back(F);
+      }
+      if (!Mergeable || Residual.empty())
+        continue;
+      std::sort(Flags.begin(), Flags.end());
+      ParamId RId = Residual.size() == 1 ? Residual[0]
+                                         : Space.internMonomial(Residual);
+      TermObs &Obs = Columns[RId][{E, Flags}];
+      Obs.Coeff += Coeff;
+      Obs.OrigId = Id;
+    }
+  }
+
+  // 3. Group residuals whose columns are parallel (same support, same
+  // ratios after normalizing by the first coefficient).
+  struct Member {
+    ParamId RId;
+    Rational Kappa; ///< First-observation coefficient (the raw weight).
+  };
+  std::map<std::string, std::vector<Member>> Groups;
+  for (const auto &[RId, Col] : Columns) {
+    if (Col.empty())
+      continue;
+    const Rational &Kappa = Col.begin()->second.Coeff;
+    if (Kappa.isZero())
+      continue;
+    std::ostringstream Key;
+    for (const auto &[K, Obs] : Col) {
+      Key << K.first << "[";
+      for (ParamId F : K.second)
+        Key << F << ",";
+      Key << "]=" << ratKey(Obs.Coeff / Kappa) << ";";
+    }
+    Groups[Key.str()].push_back({RId, Kappa});
+  }
+
+  // 4. Merge every group of at least two proportional residuals.
+  bool Changed = false;
+  for (const auto &[Key, Members] : Groups) {
+    (void)Key;
+    if (Members.size() < 2)
+      continue;
+    // Integer weights proportional to the kappas.
+    BigInt Denom(1);
+    for (const Member &Mem : Members)
+      Denom = lcm(Denom, Mem.Kappa.denominator());
+    std::vector<ParamSpace::MergedTerm> Terms;
+    for (const Member &Mem : Members)
+      Terms.emplace_back(Mem.RId, Mem.Kappa.numerator() *
+                                      (Denom / Mem.Kappa.denominator()));
+    std::vector<ParamSpace::MergedTerm> Canonical;
+    ParamId C = Space.internMerged(Terms, &Canonical);
+    ++Stats.MergedDims;
+
+    // alpha per observation: the reference member's coefficient divided
+    // by its canonical weight (consistent across members by
+    // construction of the group).
+    BigInt RefW;
+    for (const auto &[MId, W] : Canonical)
+      if (MId == Members.front().RId)
+        RefW = W;
+    assert(!RefW.isZero() && "reference member lost in canonicalization");
+
+    const auto &RefCol = Columns[Members.front().RId];
+    for (const auto &[K, RefObs] : RefCol) {
+      Rational Alpha = RefObs.Coeff / Rational(RefW);
+      LinExpr &Expr = *Exprs[K.first];
+      // Remove the member terms of this observation...
+      for (const Member &Mem : Members) {
+        const TermObs &Obs = Columns[Mem.RId].at(K);
+        Expr.addTerm(Obs.OrigId, -Obs.Coeff);
+        ++Stats.MonomialsMerged;
+      }
+      --Stats.MonomialsMerged; // net elimination is members-1 per slot
+      // ...and add the composite back.
+      std::vector<ParamId> NewFactors = K.second;
+      NewFactors.push_back(C);
+      ParamId NewId =
+          NewFactors.size() == 1 ? C : Space.internMonomial(NewFactors);
+      Expr.addTerm(NewId, Alpha);
+    }
+    Changed = true;
+  }
+  return Changed;
+}

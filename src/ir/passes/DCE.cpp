@@ -1,0 +1,180 @@
+//===- ir/passes/DCE.cpp - Dead code elimination --------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deletes pure instructions whose destination is a never-read
+/// block-local temp (their location reaches no task summary and its
+/// points-to contents feed nothing), folding the freed cost weight into
+/// the next surviving instruction so block workloads stay exact. Also
+/// deletes unreachable blocks whose instructions provably feed neither
+/// the points-to solver nor the reachable-function walk; their weight is
+/// discarded outright, because a zero-trip block contributes nothing to
+/// any capacity.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ir/passes/PassInternal.h"
+
+#include <queue>
+
+using namespace paco;
+using namespace paco::passes;
+
+namespace {
+
+/// True when instruction \p I may be deleted once its destination is
+/// known dead: pure, non-trapping, and -- for the opcodes that do emit
+/// points-to constraints (Copy/PtrAdd/AddrOfVar) -- only writing the
+/// contents of the dead location itself.
+bool deletableWhenDead(const Instr &I) {
+  if (isPureArith(I.Op))
+    return divisorProvablyNonZero(I);
+  switch (I.Op) {
+  case Opcode::Copy:
+  case Opcode::PtrAdd:
+  case Opcode::AddrOfVar:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when local \p L has no data read anywhere in block \p B.
+bool localNeverReadIn(const BasicBlock &B, unsigned L) {
+  for (const Instr &I : B.Instrs) {
+    bool Read = false;
+    forEachAccessRead(I, [&](const Operand &O) {
+      Read |= O.K == Operand::Kind::Local && O.Index == L;
+    });
+    if (Read)
+      return false;
+  }
+  return true;
+}
+
+bool deadInstructionPass(IRFunction &F, const FuncInfo &Info,
+                         PassStats &Stats) {
+  bool Changed = false;
+  for (BasicBlock &B : F.Blocks) {
+    bool Removed = true;
+    while (Removed) {
+      Removed = false;
+      // Backward, so chains of dead temps fall in few scans.
+      for (unsigned P = B.Instrs.size() - 1; P-- > 0;) {
+        const Instr &I = B.Instrs[P];
+        if (!deletableWhenDead(I) || I.Dst == KNone ||
+            !Info.BlockLocal[I.Dst] || !localNeverReadIn(B, I.Dst))
+          continue;
+        bool CanDrop = true;
+        forEachAccessRead(I, [&](const Operand &O) {
+          CanDrop &= canDropRead(Info, B, P, O);
+        });
+        if (!CanDrop)
+          continue;
+        eraseFoldingUnits(B, P);
+        ++Stats.InstrsRemoved;
+        Changed = true;
+        Removed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+/// True when every instruction of \p B is inert for the static analyses
+/// that scan unreachable code: no points-to constraints, no function
+/// references, no call edges.
+bool blockInertWhenUnreachable(const BasicBlock &B) {
+  for (const Instr &I : B.Instrs) {
+    bool OK = false;
+    if (isPureArith(I.Op)) {
+      OK = true;
+    } else {
+      switch (I.Op) {
+      case Opcode::Jmp:
+      case Opcode::Br:
+      case Opcode::IoRead:
+        OK = true;
+        break;
+      case Opcode::Copy:
+      case Opcode::IoWrite:
+        OK = I.A.K == Operand::Kind::ConstInt ||
+             I.A.K == Operand::Kind::ConstFloat ||
+             I.A.K == Operand::Kind::RtParam;
+        break;
+      case Opcode::Ret:
+        OK = I.A.isNone() || I.A.K == Operand::Kind::ConstInt ||
+             I.A.K == Operand::Kind::ConstFloat;
+        break;
+      default:
+        break;
+      }
+    }
+    if (!OK)
+      return false;
+    for (const Operand *O : {&I.A, &I.B, &I.C})
+      if (O->K == Operand::Kind::FuncRef)
+        return false;
+  }
+  return true;
+}
+
+bool unreachableBlockPass(IRFunction &F, PassStats &Stats) {
+  std::vector<bool> Reachable(F.Blocks.size(), false);
+  std::queue<unsigned> Work;
+  Reachable[0] = true;
+  Work.push(0);
+  while (!Work.empty()) {
+    unsigned B = Work.front();
+    Work.pop();
+    for (unsigned S : F.successors(B))
+      if (!Reachable[S]) {
+        Reachable[S] = true;
+        Work.push(S);
+      }
+  }
+  std::vector<bool> Dead(F.Blocks.size(), false);
+  bool Any = false;
+  for (unsigned B = 0; B != F.Blocks.size(); ++B)
+    if (!Reachable[B] && blockInertWhenUnreachable(F.Blocks[B])) {
+      Dead[B] = true;
+      Any = true;
+    }
+  if (!Any)
+    return false;
+  // A deleted block must not be the target of a survivor: shrink the
+  // dead set until the survivors' edges stay closed.
+  bool Shrunk = true;
+  while (Shrunk) {
+    Shrunk = false;
+    for (unsigned B = 0; B != F.Blocks.size(); ++B) {
+      if (Dead[B])
+        continue;
+      for (unsigned S : F.successors(B))
+        if (Dead[S]) {
+          Dead[S] = false;
+          Shrunk = true;
+        }
+    }
+  }
+  unsigned Count = 0;
+  for (unsigned B = 0; B != F.Blocks.size(); ++B)
+    if (Dead[B])
+      ++Count;
+  if (Count == 0)
+    return false;
+  removeBlocks(F, Dead);
+  Stats.BlocksRemoved += Count;
+  return true;
+}
+
+} // namespace
+
+bool passes::runDCE(IRFunction &F, const FuncInfo &Info, PassStats &Stats) {
+  bool Changed = deadInstructionPass(F, Info, Stats);
+  Changed |= unreachableBlockPass(F, Stats);
+  return Changed;
+}

@@ -1,0 +1,183 @@
+//===- ir/passes/PassCommon.cpp - Shared pass machinery -------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/passes/PassInternal.h"
+
+using namespace paco;
+using namespace paco::passes;
+
+bool passes::isPureArith(Opcode Op) {
+  switch (Op) {
+  case Opcode::IntToFloat:
+  case Opcode::FloatToInt:
+  case Opcode::Neg:
+  case Opcode::Not:
+  case Opcode::BitNot:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool passes::operandReadIsFree(const Operand &O) {
+  return O.K != Operand::Kind::Local && O.K != Operand::Kind::Global;
+}
+
+bool passes::divisorProvablyNonZero(const Instr &I) {
+  if (I.Op != Opcode::Div && I.Op != Opcode::Rem)
+    return true;
+  if (I.Op == Opcode::Div && I.Ty == TypeKind::Double)
+    return true; // float division by zero yields 0.0, it never traps
+  // Exclude -1 as well: INT64_MIN / -1 overflows the hardware divide.
+  return I.B.K == Operand::Kind::ConstInt && I.B.IntVal != 0 &&
+         I.B.IntVal != -1;
+}
+
+void FuncInfo::compute(const IRFunction &F) {
+  unsigned N = F.Locals.size();
+  AddrTaken.assign(N, false);
+  NoPtrDefs.assign(N, true);
+  constexpr unsigned Unseen = KNone, Multi = KNone - 1;
+  std::vector<unsigned> Seen(N, Unseen);
+  auto note = [&](unsigned L, unsigned B) {
+    if (Seen[L] == Unseen)
+      Seen[L] = B;
+    else if (Seen[L] != B)
+      Seen[L] = Multi;
+  };
+  for (unsigned B = 0; B != F.Blocks.size(); ++B) {
+    for (const Instr &I : F.Blocks[B].Instrs) {
+      if (I.Op == Opcode::AddrOfVar && I.A.K == Operand::Kind::Local)
+        AddrTaken[I.A.Index] = true;
+      for (const Operand *O : {&I.A, &I.B, &I.C})
+        if (O->K == Operand::Kind::Local)
+          note(O->Index, B);
+      for (const Operand &O : I.Args)
+        if (O.K == Operand::Kind::Local)
+          note(O.Index, B);
+      if (I.Dst != KNone) {
+        note(I.Dst, B);
+        // The access analysis attributes a call's return-value write to
+        // the continuation block, so the destination effectively
+        // appears there too.
+        if (I.Op == Opcode::Call && I.Succ0 != KNone)
+          note(I.Dst, I.Succ0);
+        bool Clean = isPureArith(I.Op) || I.Op == Opcode::IoRead ||
+                     (I.Op == Opcode::Copy &&
+                      (I.A.K == Operand::Kind::ConstInt ||
+                       I.A.K == Operand::Kind::ConstFloat ||
+                       I.A.K == Operand::Kind::RtParam));
+        if (!Clean)
+          NoPtrDefs[I.Dst] = false;
+      }
+    }
+  }
+  BlockLocal.assign(N, false);
+  for (unsigned L = 0; L != N; ++L)
+    BlockLocal[L] = L >= F.NumParams && !AddrTaken[L] && Seen[L] != Multi;
+}
+
+static bool sameLocation(const Operand &A, const Operand &B) {
+  return A.K == B.K && A.Index == B.Index;
+}
+
+bool passes::canDropRead(const FuncInfo &Info, const BasicBlock &B,
+                         unsigned At, const Operand &O) {
+  if (operandReadIsFree(O))
+    return true;
+  if (O.K == Operand::Kind::Local && Info.BlockLocal[O.Index])
+    return true;
+  for (unsigned Q = 0; Q != At; ++Q) {
+    const Instr &I = B.Instrs[Q];
+    bool Witness = false;
+    forEachAccessRead(I, [&](const Operand &R) {
+      Witness |= sameLocation(R, O);
+    });
+    if (Witness)
+      return true;
+    if (O.K == Operand::Kind::Local && I.Dst != KNone && I.Dst == O.Index)
+      return true;
+  }
+  return false;
+}
+
+bool passes::canAddRead(const FuncInfo &Info, const BasicBlock &B,
+                        unsigned At, unsigned Local) {
+  if (Info.BlockLocal[Local])
+    return true;
+  Operand O = Operand::local(Local);
+  for (unsigned Q = 0; Q != At; ++Q) {
+    const Instr &I = B.Instrs[Q];
+    bool Witness = false;
+    forEachAccessRead(I, [&](const Operand &R) {
+      Witness |= sameLocation(R, O);
+    });
+    if (Witness || (I.Dst != KNone && I.Dst == Local))
+      return true;
+  }
+  return false;
+}
+
+void passes::eraseFoldingUnits(BasicBlock &B, unsigned At) {
+  assert(At + 1 < B.Instrs.size() && "cannot erase the terminator");
+  B.Instrs[At + 1].Units += B.Instrs[At].Units;
+  B.Instrs.erase(B.Instrs.begin() + At);
+}
+
+void passes::removeBlocks(IRFunction &F, const std::vector<bool> &Dead) {
+  assert(!Dead[0] && "cannot remove the entry block");
+  std::vector<unsigned> NewIdx(F.Blocks.size(), KNone);
+  unsigned Next = 0;
+  for (unsigned B = 0; B != F.Blocks.size(); ++B)
+    if (!Dead[B])
+      NewIdx[B] = Next++;
+  // Compact the block list.
+  std::vector<BasicBlock> Kept;
+  Kept.reserve(Next);
+  for (unsigned B = 0; B != F.Blocks.size(); ++B)
+    if (!Dead[B])
+      Kept.push_back(std::move(F.Blocks[B]));
+  F.Blocks = std::move(Kept);
+  // Remap successor indices of the survivors.
+  for (BasicBlock &B : F.Blocks) {
+    Instr &T = B.Instrs.back();
+    if (T.Succ0 != KNone) {
+      assert(NewIdx[T.Succ0] != KNone && "successor was deleted");
+      T.Succ0 = NewIdx[T.Succ0];
+    }
+    if (T.Succ1 != KNone) {
+      assert(NewIdx[T.Succ1] != KNone && "successor was deleted");
+      T.Succ1 = NewIdx[T.Succ1];
+    }
+  }
+  // Remap edge-count keys, dropping edges that touch deleted blocks.
+  std::map<std::pair<unsigned, unsigned>, LinExpr> NewEdges;
+  for (auto &[Edge, Count] : F.EdgeCounts) {
+    if (Edge.first >= NewIdx.size() || Edge.second >= NewIdx.size())
+      continue;
+    unsigned From = NewIdx[Edge.first], To = NewIdx[Edge.second];
+    if (From == KNone || To == KNone)
+      continue;
+    NewEdges.emplace(std::make_pair(From, To), std::move(Count));
+  }
+  F.EdgeCounts = std::move(NewEdges);
+}

@@ -1,0 +1,186 @@
+//===- ir/passes/PassInternal.h - Shared pass machinery --------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The neutrality calculus shared by the instruction passes: which
+/// instructions are rewritable at all, which locals are invisible to the
+/// partition problem (block-local), and when removing or adding an
+/// individual access provably leaves every task's access flags alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_IR_PASSES_PASSINTERNAL_H
+#define PACO_IR_PASSES_PASSINTERNAL_H
+
+#include "ir/passes/Passes.h"
+
+#include <vector>
+
+namespace paco {
+namespace passes {
+
+/// Per-function safety facts, recomputed whenever a pass changed the
+/// function (cheap: one scan).
+struct FuncInfo {
+  /// Locals whose address is taken somewhere in the function; stores
+  /// through pointers may alias them, so they are never tracked.
+  std::vector<bool> AddrTaken;
+  /// Locals all of whose operand appearances (including the
+  /// call-destination write, which the access analysis attributes to
+  /// the call's continuation block) sit in one basic block, that are
+  /// not parameters and not address-taken. Their abstract location is
+  /// accessed by at most one task, and single-task data contributes
+  /// nothing to the partition network, so accesses to them may appear
+  /// or disappear freely.
+  std::vector<bool> BlockLocal;
+  /// Locals every definition of which is an instruction that generates
+  /// no points-to constraint (arith/cmp/cast, IoRead, or Copy from a
+  /// constant / run-time parameter). Their location provably holds no
+  /// pointees, so a Copy constraint reading them is a no-op.
+  std::vector<bool> NoPtrDefs;
+
+  void compute(const IRFunction &F);
+};
+
+/// True for opcodes that neither touch memory, nor trap, nor generate
+/// points-to constraints: the rewritable core (casts, unary and binary
+/// arithmetic, comparisons). Div/Rem are included; callers that delete
+/// or fold them must separately prove the divisor non-zero.
+bool isPureArith(Opcode Op);
+
+/// True when evaluating \p O reads no abstract location (constants,
+/// run-time parameters, function references, none).
+bool operandReadIsFree(const Operand &O);
+
+/// Calls \p Fn for every operand the access analysis treats as a data
+/// read of this instruction (mirrors AccessBuilder::instrAccesses;
+/// AddrOfVar reads no data, IoRead reads none).
+template <typename FnT> void forEachAccessRead(const Instr &I, FnT Fn) {
+  switch (I.Op) {
+  case Opcode::AddrOfVar:
+  case Opcode::IoRead:
+    return;
+  case Opcode::Load:
+    Fn(I.A);
+    Fn(I.B);
+    return;
+  case Opcode::Store:
+    Fn(I.A);
+    Fn(I.B);
+    Fn(I.C);
+    return;
+  case Opcode::Malloc:
+  case Opcode::IoWrite:
+  case Opcode::CallInd:
+  case Opcode::Ret:
+    Fn(I.A);
+    return;
+  case Opcode::IoReadBuf:
+  case Opcode::IoWriteBuf:
+    Fn(I.A);
+    Fn(I.B);
+    return;
+  case Opcode::Call:
+    for (const Operand &O : I.Args)
+      Fn(O);
+    return;
+  default:
+    Fn(I.A);
+    Fn(I.B);
+    Fn(I.C);
+    return;
+  }
+}
+
+/// Calls \p Fn(Operand &Slot, bool PtrConstraint) for every operand
+/// slot of \p I a propagation pass may rewrite to an equivalent value.
+/// Slots that feed the Andersen solver as pointer/value sources set
+/// PtrConstraint: substituting there deletes (or redirects) a points-to
+/// constraint, which is only neutral when the locals involved provably
+/// hold no pointees (FuncInfo::NoPtrDefs). Pointer-base slots
+/// (Load/Store/IoBuf base, CallInd callee, AddrOfVar's variable name)
+/// are never offered.
+template <typename FnT> void forEachSubstitutableRead(Instr &I, FnT Fn) {
+  switch (I.Op) {
+  case Opcode::AddrOfVar:
+  case Opcode::IoRead:
+  case Opcode::CallInd:
+  case Opcode::Jmp:
+    return;
+  case Opcode::Copy:
+    Fn(I.A, /*PtrConstraint=*/true);
+    return;
+  case Opcode::PtrAdd:
+  case Opcode::Load:
+  case Opcode::IoReadBuf:
+  case Opcode::IoWriteBuf:
+    Fn(I.B, false);
+    return;
+  case Opcode::Store:
+    Fn(I.B, false);
+    Fn(I.C, true);
+    return;
+  case Opcode::Malloc:
+  case Opcode::IoWrite:
+  case Opcode::Br:
+    Fn(I.A, false);
+    return;
+  case Opcode::Ret:
+    Fn(I.A, true);
+    return;
+  case Opcode::Call:
+    for (Operand &O : I.Args)
+      Fn(O, true);
+    return;
+  default: // pure arithmetic, comparisons, casts
+    Fn(I.A, false);
+    Fn(I.B, false);
+    Fn(I.C, false);
+    return;
+  }
+}
+
+/// True when deleting a read of operand \p O at instruction index \p At
+/// of block \p B leaves every task's flags for O's location unchanged:
+/// the operand is free, its local is block-local, or an earlier
+/// surviving instruction in \p B reads or writes the same location
+/// (within-block coverage is monotone, so the earlier access subsumes
+/// the removed contribution).
+bool canDropRead(const FuncInfo &Info, const BasicBlock &B, unsigned At,
+                 const Operand &O);
+
+/// True when introducing a read of local \p Local at index \p At of
+/// block \p B adds nothing to any task's flags: the local is
+/// block-local or some earlier instruction in \p B already reads or
+/// writes it.
+bool canAddRead(const FuncInfo &Info, const BasicBlock &B, unsigned At,
+                unsigned Local);
+
+/// Deletes the blocks marked in \p Dead, remapping successor indices
+/// and edge-count keys. No surviving block may target a dead one, and
+/// the entry block must survive.
+void removeBlocks(IRFunction &F, const std::vector<bool> &Dead);
+
+/// Folds the cost-model weight of the dying instruction at \p At into
+/// the next surviving instruction of \p B and erases it. \p At must not
+/// be the terminator.
+void eraseFoldingUnits(BasicBlock &B, unsigned At);
+
+/// True when the instruction's divisor guarantees Div/Rem cannot trap
+/// (non-zero integer constant, or the opcode is not Div/Rem on ints).
+bool divisorProvablyNonZero(const Instr &I);
+
+// The individual passes. Each returns true when it changed the module.
+bool runConstProp(IRFunction &F, const FuncInfo &Info, PassStats &Stats);
+bool runCSE(IRFunction &F, const FuncInfo &Info, PassStats &Stats);
+bool runCleanup(IRFunction &F, const FuncInfo &Info, PassStats &Stats);
+bool runDCE(IRFunction &F, const FuncInfo &Info, PassStats &Stats);
+bool runCostSimplify(IRModule &M, ParamSpace &Space, PassStats &Stats);
+
+} // namespace passes
+} // namespace paco
+
+#endif // PACO_IR_PASSES_PASSINTERNAL_H

@@ -1,0 +1,140 @@
+//===- ir/passes/Verify.cpp - Structural IR invariants --------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/passes/Passes.h"
+
+#include <sstream>
+
+using namespace paco;
+
+namespace {
+
+class Verifier {
+public:
+  explicit Verifier(const IRModule &M) : M(M) {}
+
+  std::optional<std::string> run() {
+    if (M.MainIndex != KNone && M.MainIndex >= M.Functions.size())
+      return fail("module", "MainIndex out of range");
+    for (unsigned F = 0; F != M.Functions.size(); ++F)
+      if (auto Err = checkFunction(*M.Functions[F]))
+        return Err;
+    return std::nullopt;
+  }
+
+private:
+  std::optional<std::string> fail(const std::string &Where,
+                                  const std::string &What) const {
+    return Where + ": " + What;
+  }
+
+  std::optional<std::string> checkFunction(const IRFunction &F) const {
+    if (F.Blocks.empty())
+      return fail(F.Name, "function has no blocks");
+    if (F.NumParams > F.Locals.size())
+      return fail(F.Name, "more parameters than locals");
+    for (unsigned B = 0; B != F.Blocks.size(); ++B)
+      if (auto Err = checkBlock(F, B))
+        return Err;
+    for (const auto &[Edge, Count] : F.EdgeCounts) {
+      (void)Count;
+      if (Edge.first >= F.Blocks.size() || Edge.second >= F.Blocks.size())
+        return fail(F.Name, "edge count references a deleted block");
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> checkBlock(const IRFunction &F,
+                                        unsigned B) const {
+    std::ostringstream Tag;
+    Tag << F.Name << ".bb" << B;
+    const BasicBlock &Block = F.Blocks[B];
+    if (Block.Instrs.empty())
+      return fail(Tag.str(), "empty block");
+    for (unsigned P = 0; P != Block.Instrs.size(); ++P) {
+      const Instr &I = Block.Instrs[P];
+      bool IsLast = P + 1 == Block.Instrs.size();
+      if (I.isTerminator() != IsLast)
+        return fail(Tag.str(), IsLast ? "block lacks a terminator"
+                                      : "terminator before block end");
+      if (auto Err = checkInstr(F, Tag.str(), I))
+        return Err;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::string> checkOperand(const IRFunction &F,
+                                          const std::string &Where,
+                                          const Operand &O) const {
+    switch (O.K) {
+    case Operand::Kind::Local:
+      if (O.Index >= F.Locals.size())
+        return fail(Where, "local operand out of range");
+      return std::nullopt;
+    case Operand::Kind::Global:
+      if (O.Index >= M.Globals.size())
+        return fail(Where, "global operand out of range");
+      return std::nullopt;
+    case Operand::Kind::FuncRef:
+      if (O.Index >= M.Functions.size())
+        return fail(Where, "function reference out of range");
+      return std::nullopt;
+    default:
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> checkInstr(const IRFunction &F,
+                                        const std::string &Where,
+                                        const Instr &I) const {
+    if (I.Units == 0)
+      return fail(Where, "instruction with zero cost weight");
+    for (const Operand *O : {&I.A, &I.B, &I.C})
+      if (auto Err = checkOperand(F, Where, *O))
+        return Err;
+    for (const Operand &O : I.Args)
+      if (auto Err = checkOperand(F, Where, O))
+        return Err;
+    if (I.Dst != KNone && I.Dst >= F.Locals.size())
+      return fail(Where, "destination local out of range");
+    auto checkSucc = [&](unsigned S) { return S < F.Blocks.size(); };
+    switch (I.Op) {
+    case Opcode::Call:
+      if (I.Callee >= M.Functions.size())
+        return fail(Where, "callee out of range");
+      if (!checkSucc(I.Succ0))
+        return fail(Where, "call continuation out of range");
+      break;
+    case Opcode::CallInd:
+      if (!checkSucc(I.Succ0))
+        return fail(Where, "call continuation out of range");
+      break;
+    case Opcode::Br:
+      if (!checkSucc(I.Succ0) || !checkSucc(I.Succ1))
+        return fail(Where, "branch target out of range");
+      break;
+    case Opcode::Jmp:
+      if (!checkSucc(I.Succ0))
+        return fail(Where, "jump target out of range");
+      break;
+    case Opcode::Malloc:
+      if (I.AllocSite >= M.AllocSites.size())
+        return fail(Where, "allocation site out of range");
+      break;
+    default:
+      break;
+    }
+    return std::nullopt;
+  }
+
+  const IRModule &M;
+};
+
+} // namespace
+
+std::optional<std::string> paco::verifyModule(const IRModule &M) {
+  return Verifier(M).run();
+}

@@ -797,6 +797,7 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
     return false;
   };
   std::set<ParamId> Needed;
+  std::vector<ParamId> Support;
   for (const PartitionChoice &Choice : Result.Choices)
     for (const LinConstraint &C : Choice.Region.constraints()) {
       if (C.IsEquality || isBoxBound(C))
@@ -804,7 +805,11 @@ ParametricResult paco::solveParametric(const PartitionProblem &Problem,
       for (unsigned K = 0; K != C.Coeffs.size(); ++K) {
         if (C.Coeffs[K].isZero())
           continue;
-        for (ParamId Factor : Space.factors(Result.EffectiveDims[K]))
+        // Transitive support so dummies hidden inside merged members of
+        // a cost-simplified dimension still demand their annotation.
+        Support.clear();
+        Space.baseSupport(Result.EffectiveDims[K], Support);
+        for (ParamId Factor : Support)
           if (Space.isDummy(Factor))
             Needed.insert(Factor);
       }

@@ -89,9 +89,12 @@ std::optional<ParamId> LinExpr::asSingleParam() const {
 }
 
 bool LinExpr::mentionsDummy(const ParamSpace &Space) const {
+  std::vector<ParamId> Support;
   for (const auto &[Id, Coeff] : Coeffs) {
     (void)Coeff;
-    for (ParamId Factor : Space.factors(Id))
+    Support.clear();
+    Space.baseSupport(Id, Support);
+    for (ParamId Factor : Support)
       if (Space.isDummy(Factor))
         return true;
   }

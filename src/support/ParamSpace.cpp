@@ -16,7 +16,7 @@ ParamId ParamSpace::addParam(const std::string &Name, BigInt Lower,
   assert(ByName.find(Name) == ByName.end() && "duplicate parameter name");
   ParamId Id = static_cast<ParamId>(Params.size());
   Params.push_back({Name, Kind::Base, std::move(Lower), std::move(Upper),
-                    {Id}});
+                    {Id}, {}});
   ByName.emplace(Name, Id);
   return Id;
 }
@@ -27,7 +27,7 @@ ParamId ParamSpace::addDummy(const std::string &Name, BigInt Lower,
   assert(ByName.find(Name) == ByName.end() && "duplicate parameter name");
   ParamId Id = static_cast<ParamId>(Params.size());
   Params.push_back({Name, Kind::Dummy, std::move(Lower), std::move(Upper),
-                    {Id}});
+                    {Id}, {}});
   ByName.emplace(Name, Id);
   return Id;
 }
@@ -63,13 +63,94 @@ ParamId ParamSpace::internMonomial(std::vector<ParamId> Factors) {
   }
   ParamId Id = static_cast<ParamId>(Params.size());
   Params.push_back({Name, Kind::Monomial, std::move(Lower), std::move(Upper),
-                    Flat});
+                    Flat, {}});
   MonomialCache.emplace(std::move(Flat), Id);
+  return Id;
+}
+
+ParamId ParamSpace::internMerged(std::vector<MergedTerm> Members,
+                                 std::vector<MergedTerm> *CanonicalOut) {
+  assert(Members.size() >= 2 && "merged parameter needs >= 2 members");
+  std::sort(Members.begin(), Members.end(),
+            [](const MergedTerm &A, const MergedTerm &B) {
+              return A.first < B.first;
+            });
+  BigInt Scale;
+  for (const auto &[M, W] : Members) {
+    assert(M < Params.size() && !isMerged(M) && "merged members must be "
+                                                "base/dummy/monomial");
+    assert(!W.isZero() && "merged member weight must be nonzero");
+    (void)M;
+    Scale = BigInt::gcd(Scale, W);
+  }
+  if (Members.front().second.isNegative())
+    Scale = -Scale;
+  for (MergedTerm &T : Members)
+    T.second = T.second / Scale;
+  if (CanonicalOut)
+    *CanonicalOut = Members;
+  auto Cached = MergedCache.find(Members);
+  if (Cached != MergedCache.end())
+    return Cached->second;
+
+  // Interval sum of the weighted member bounds.
+  BigInt Lower(0), Upper(0);
+  std::string Name;
+  for (const auto &[M, W] : Members) {
+    const Entry &Me = Params[M];
+    BigInt A = W * Me.Lower, B = W * Me.Upper;
+    Lower += W.isNegative() ? B : A;
+    Upper += W.isNegative() ? A : B;
+    if (!Name.empty())
+      Name += W.isNegative() ? "-" : "+";
+    else if (W.isNegative())
+      Name += "-";
+    BigInt AbsW = W.abs();
+    if (!AbsW.isOne())
+      Name += AbsW.toString() + "*";
+    Name += Me.Name;
+  }
+  ParamId Id = static_cast<ParamId>(Params.size());
+  Params.push_back({"(" + Name + ")", Kind::Merged, std::move(Lower),
+                    std::move(Upper), {Id}, Members});
+  MergedCache.emplace(std::move(Members), Id);
   return Id;
 }
 
 const std::vector<ParamId> &ParamSpace::factors(ParamId Id) const {
   return entry(Id).Factors;
+}
+
+const std::vector<ParamSpace::MergedTerm> &
+ParamSpace::mergedTerms(ParamId Id) const {
+  return entry(Id).Members;
+}
+
+void ParamSpace::baseSupport(ParamId Id, std::vector<ParamId> &Out) const {
+  auto addUnique = [&Out](ParamId P) {
+    if (std::find(Out.begin(), Out.end(), P) == Out.end())
+      Out.push_back(P);
+  };
+  const Entry &E = entry(Id);
+  switch (E.ParamKind) {
+  case Kind::Base:
+  case Kind::Dummy:
+    addUnique(Id);
+    break;
+  case Kind::Monomial:
+    for (ParamId F : E.Factors)
+      if (F == Id)
+        addUnique(F);
+      else
+        baseSupport(F, Out);
+    break;
+  case Kind::Merged:
+    for (const auto &[M, W] : E.Members) {
+      (void)W;
+      baseSupport(M, Out);
+    }
+    break;
+  }
 }
 
 bool ParamSpace::lookup(const std::string &Name, ParamId &Id) const {
@@ -82,13 +163,20 @@ bool ParamSpace::lookup(const std::string &Name, ParamId &Id) const {
 
 void ParamSpace::extendPoint(std::vector<Rational> &Values) const {
   assert(Values.size() == Params.size() && "point has wrong dimension");
+  // In id order: a derived parameter only references smaller ids, so its
+  // inputs (including merged factors of later monomials) are final.
   for (unsigned I = 0; I != Params.size(); ++I) {
-    if (Params[I].ParamKind != Kind::Monomial)
-      continue;
-    Rational Product(1);
-    for (ParamId F : Params[I].Factors)
-      Product *= Values[F];
-    Values[I] = Product;
+    if (Params[I].ParamKind == Kind::Monomial) {
+      Rational Product(1);
+      for (ParamId F : Params[I].Factors)
+        Product *= Values[F];
+      Values[I] = Product;
+    } else if (Params[I].ParamKind == Kind::Merged) {
+      Rational Sum(0);
+      for (const auto &[M, W] : Params[I].Members)
+        Sum += Rational(W) * Values[M];
+      Values[I] = Sum;
+    }
   }
 }
 

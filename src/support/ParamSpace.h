@@ -21,6 +21,13 @@
 ///    parameters, interned as a fresh dimension so all cost functions stay
 ///    affine. This is exactly the paper's "approximate a nonlinear
 ///    function as a new parameter independent of h" device.
+///  * Merged parameters: an integer linear combination of monomials that
+///    always co-occur in the same proportion across every cost expression
+///    (e.g. the expansion of (py-2*border)*(px-2*border)). The cost
+///    simplification pass interns one merged dimension per such class so
+///    the parametric solver sees a single parameter instead of the whole
+///    expansion; every full point evaluates it as the exact combination,
+///    so no cost value changes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,7 +48,10 @@ using ParamId = unsigned;
 /// Registry of run-time parameters and interned monomials.
 class ParamSpace {
 public:
-  enum class Kind { Base, Dummy, Monomial };
+  enum class Kind { Base, Dummy, Monomial, Merged };
+
+  /// One (parameter, integer weight) addend of a merged parameter.
+  using MergedTerm = std::pair<ParamId, BigInt>;
 
   /// Registers a base parameter with inclusive integer bounds.
   ParamId addParam(const std::string &Name, BigInt Lower, BigInt Upper);
@@ -56,6 +66,16 @@ public:
   /// factor itself. Bounds are derived by interval multiplication.
   ParamId internMonomial(std::vector<ParamId> Factors);
 
+  /// Interns the merged parameter sum(Weight * Member). Members must be
+  /// base, dummy or monomial parameters (merged parameters do not nest);
+  /// weights must be nonzero. The member list is canonicalized (sorted by
+  /// id, weights gcd-normalized with the first weight positive) so equal
+  /// combinations up to positive scale intern to the same id; the
+  /// canonicalized terms are returned through \p CanonicalOut when given.
+  /// Bounds are derived by interval arithmetic over the member bounds.
+  ParamId internMerged(std::vector<MergedTerm> Members,
+                       std::vector<MergedTerm> *CanonicalOut = nullptr);
+
   /// Number of registered parameters (all kinds).
   unsigned size() const { return static_cast<unsigned>(Params.size()); }
 
@@ -63,21 +83,34 @@ public:
   Kind kind(ParamId Id) const { return entry(Id).ParamKind; }
   bool isDummy(ParamId Id) const { return kind(Id) == Kind::Dummy; }
   bool isMonomial(ParamId Id) const { return kind(Id) == Kind::Monomial; }
+  bool isMerged(ParamId Id) const { return kind(Id) == Kind::Merged; }
   const BigInt &lower(ParamId Id) const { return entry(Id).Lower; }
   const BigInt &upper(ParamId Id) const { return entry(Id).Upper; }
 
-  /// For a monomial, the sorted flattened list of base/dummy factor ids.
-  /// For base/dummy parameters, a singleton list of the id itself.
+  /// For a monomial, the sorted flattened list of base/dummy (or merged,
+  /// which stay atomic under flattening) factor ids. For base, dummy and
+  /// merged parameters, a singleton list of the id itself.
   const std::vector<ParamId> &factors(ParamId Id) const;
+
+  /// For a merged parameter, its canonical (member, weight) terms; empty
+  /// for every other kind.
+  const std::vector<MergedTerm> &mergedTerms(ParamId Id) const;
+
+  /// Appends the base/dummy parameters \p Id transitively depends on
+  /// (through monomial factors and merged members) to \p Out, without
+  /// duplicates relative to what \p Out already holds.
+  void baseSupport(ParamId Id, std::vector<ParamId> &Out) const;
 
   /// Looks up a base or dummy parameter by name; returns true on success.
   bool lookup(const std::string &Name, ParamId &Id) const;
 
   /// Extends a vector of base/dummy parameter values (indexed by id, with
-  /// monomial slots ignored) into a full point where every monomial slot
-  /// holds the product of its factors.
+  /// monomial and merged slots ignored) into a full point where every
+  /// monomial slot holds the product of its factors and every merged slot
+  /// the weighted sum of its members. Derived slots are filled in id
+  /// order, so a monomial over a merged factor sees the merged value.
   ///
-  /// \p Values must have size() entries; monomial entries are overwritten.
+  /// \p Values must have size() entries; derived entries are overwritten.
   void extendPoint(std::vector<Rational> &Values) const;
 
   /// Renders a human-readable name: base params print as-is, monomials as
@@ -91,6 +124,7 @@ private:
     BigInt Lower;
     BigInt Upper;
     std::vector<ParamId> Factors;
+    std::vector<MergedTerm> Members;
   };
 
   const Entry &entry(ParamId Id) const {
@@ -101,6 +135,7 @@ private:
   std::vector<Entry> Params;
   std::map<std::string, ParamId> ByName;
   std::map<std::vector<ParamId>, ParamId> MonomialCache;
+  std::map<std::vector<MergedTerm>, ParamId> MergedCache;
 };
 
 } // namespace paco

@@ -307,7 +307,7 @@ void TCFGBuilder::formTasks(TCFG &Out) {
       }
       LinExpr Units =
           Func.Blocks[B].Count *
-          Rational(static_cast<int64_t>(Func.Blocks[B].Instrs.size()));
+          Rational(static_cast<int64_t>(Func.instructionCount(B)));
       Task.ComputeUnits += Units;
       for (const Instr &I : Func.Blocks[B].Instrs)
         switch (I.Op) {

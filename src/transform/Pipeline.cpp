@@ -26,8 +26,8 @@ CompiledProgram::parameterPoint(const std::vector<int64_t> &Values) const {
 std::unique_ptr<CompiledProgram>
 paco::compileForOffloading(const std::string &Source, const CostModel &Costs,
                            const ParametricOptions &Options,
-                           std::string *DiagsOut,
-                           const InlineOptions &Inline) {
+                           std::string *DiagsOut, const InlineOptions &Inline,
+                           const PassOptions &Passes) {
   obs::ScopedSpan Span("pipeline.compile", "pipeline");
   auto CP = std::make_unique<CompiledProgram>();
   CP->Costs = Costs;
@@ -45,7 +45,24 @@ paco::compileForOffloading(const std::string &Source, const CostModel &Costs,
       *DiagsOut = CP->Diags.dump();
     return nullptr;
   }
-  CP->Module = lowerProgram(*CP->AST, CP->Symbolic, CP->Space, CP->Diags);
+  LowerResult Lowered =
+      lowerProgram(*CP->AST, CP->Symbolic, CP->Space, CP->Diags);
+  if (!Lowered) {
+    if (DiagsOut)
+      *DiagsOut = CP->Diags.dump();
+    return nullptr;
+  }
+  CP->Module = std::move(*Lowered);
+  std::string PassErr;
+  std::optional<PassStats> Stats =
+      runPassPipeline(*CP->Module, CP->Space, Passes, &PassErr);
+  if (!Stats) {
+    CP->Diags.error({}, "IR verification failed " + PassErr);
+    if (DiagsOut)
+      *DiagsOut = CP->Diags.dump();
+    return nullptr;
+  }
+  CP->OptStats = *Stats;
   CP->Memory = std::make_unique<MemoryModel>(*CP->Module, CP->Space);
   CP->PT = std::make_unique<PointsToResult>(
       runPointsTo(*CP->Module, *CP->Memory));

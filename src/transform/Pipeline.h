@@ -20,6 +20,7 @@
 #include "partition/Parametric.h"
 
 #include "ir/Lower.h"
+#include "ir/passes/Passes.h"
 #include "lang/Inliner.h"
 #include "lang/Parser.h"
 #include "lang/Sema.h"
@@ -42,6 +43,9 @@ struct CompiledProgram {
   CostModel Costs;
   /// Call sites expanded by the optional section-5.3 inlining pass.
   unsigned InlinedSites = 0;
+  /// Per-pass statistics of the IR optimization pipeline (engaged even
+  /// when the pipeline is disabled: the before/after sizes then match).
+  PassStats OptStats;
 
   /// Number of non-virtual tasks (the paper's Table-4 "No. of Tasks").
   unsigned numRealTasks() const {
@@ -58,13 +62,17 @@ struct CompiledProgram {
 };
 
 /// Compiles \p Source end to end. Returns null (with diagnostics in
-/// \p DiagsOut if provided) when the program does not compile.
+/// \p DiagsOut if provided) when the program does not compile. The IR
+/// optimization pass pipeline runs between lowering and the memory/TCFG
+/// stages; pass \p Passes with Enabled = false (the explorer's --no-opt)
+/// to compile the raw lowered IR.
 std::unique_ptr<CompiledProgram>
 compileForOffloading(const std::string &Source,
                      const CostModel &Costs = CostModel::defaults(),
                      const ParametricOptions &Options = {},
                      std::string *DiagsOut = nullptr,
-                     const InlineOptions &Inline = InlineOptions());
+                     const InlineOptions &Inline = InlineOptions(),
+                     const PassOptions &Passes = PassOptions());
 
 } // namespace paco
 

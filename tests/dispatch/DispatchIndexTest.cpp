@@ -210,6 +210,19 @@ TEST(DispatchIndexTest, FuzzAgreementAllPrograms) {
   EXPECT_EQ(TotalQueries, 20000u * 6);
 }
 
+TEST(DispatchIndexTest, SusanCompilesOnTheExactGeometryPath) {
+  // With the IR pass pipeline on (the default), susan's partition is no
+  // longer sampled: the index must see exact certified regions and use
+  // vertex/ray/line geometry for side classification, not the
+  // bound-interval over-approximation reserved for Approximate results.
+  const CompiledProgram &CP = compiledCached("susan");
+  EXPECT_FALSE(CP.Partition.Approximate);
+  EXPECT_FALSE(CP.Partition.VertexLimitHit);
+  const DispatchIndex &Index = indexCached("susan");
+  EXPECT_TRUE(Index.usesExactGeometry());
+  EXPECT_GT(Index.numHyperplanes(), 0u);
+}
+
 TEST(DispatchIndexTest, RegionVertexQueries) {
   // Exact results only: approximate (sampled) regions may not have
   // enumerable generators, and the index never asks for them either.

@@ -27,7 +27,12 @@ std::unique_ptr<Lowered> lower(const std::string &Source) {
     return nullptr;
   EXPECT_TRUE(runSema(*R->Prog, R->Diags)) << R->Diags.dump();
   R->Info = analyzeSymbolics(*R->Prog, R->Space, R->Diags);
-  R->Module = lowerProgram(*R->Prog, R->Info, R->Space, R->Diags);
+  auto Lowered = lowerProgram(*R->Prog, R->Info, R->Space, R->Diags);
+  EXPECT_TRUE(Lowered.has_value())
+      << (Lowered ? "" : Lowered.error().toString());
+  if (!Lowered)
+    return nullptr;
+  R->Module = std::move(*Lowered);
   EXPECT_FALSE(R->Diags.hasErrors()) << R->Diags.dump();
   return R;
 }

@@ -1,0 +1,444 @@
+//===- tests/ir/PassesTest.cpp --------------------------------------------===//
+//
+// Unit tests for the optimizing IR pass pipeline on hand-written IR: the
+// structural verifier, each pass in isolation through the pipeline
+// driver (constant folding, CSE, copy/block cleanup, DCE), the
+// cost-weight conservation invariant (deleted instructions fold their
+// units into survivors so block workloads stay bit-identical), the
+// CostSimplify monomial merge with its value-preservation guarantee, and
+// pipeline idempotence (a second run is a no-op).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/passes/PassInternal.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+Operand ci(int64_t V) { return Operand::constInt(V); }
+Operand lo(unsigned I) { return Operand::local(I); }
+
+Instr instr(Opcode Op, unsigned Dst, Operand A = Operand::none(),
+            Operand B = Operand::none()) {
+  Instr I;
+  I.Op = Op;
+  I.Ty = TypeKind::Int;
+  I.Dst = Dst;
+  I.A = A;
+  I.B = B;
+  return I;
+}
+
+Instr term(Opcode Op, unsigned Succ0 = KNone, unsigned Succ1 = KNone) {
+  Instr I;
+  I.Op = Op;
+  I.Ty = TypeKind::Void;
+  I.Succ0 = Succ0;
+  I.Succ1 = Succ1;
+  return I;
+}
+
+/// One function named "f" of \p NumLocals int temps, no blocks yet.
+std::unique_ptr<IRModule> makeModule(unsigned NumLocals) {
+  auto M = std::make_unique<IRModule>();
+  auto F = std::make_unique<IRFunction>();
+  F->Name = "f";
+  F->RetType = TypeKind::Void;
+  for (unsigned I = 0; I != NumLocals; ++I)
+    F->Locals.push_back(
+        {"t" + std::to_string(I), TypeKind::Int, false, 0, true});
+  F->EntryCount = LinExpr::constant(1);
+  M->Functions.push_back(std::move(F));
+  M->MainIndex = 0;
+  return M;
+}
+
+BasicBlock &addBlock(IRFunction &F) {
+  F.Blocks.emplace_back();
+  F.Blocks.back().Count = LinExpr::constant(1);
+  return F.Blocks.back();
+}
+
+unsigned totalUnits(const IRFunction &F) {
+  unsigned N = 0;
+  for (unsigned B = 0; B != F.Blocks.size(); ++B)
+    N += F.instructionCount(B);
+  return N;
+}
+
+std::optional<PassStats> runDefault(IRModule &M, ParamSpace &Space) {
+  PassOptions Options;
+  Options.VerifyEachPass = true;
+  std::string Err;
+  std::optional<PassStats> Stats = runPassPipeline(M, Space, Options, &Err);
+  EXPECT_TRUE(Stats.has_value()) << Err;
+  return Stats;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Verifier
+//===----------------------------------------------------------------------===//
+
+TEST(VerifyTest, AcceptsWellFormedModule) {
+  auto M = makeModule(1);
+  BasicBlock &B = addBlock(*M->Functions[0]);
+  B.Instrs.push_back(instr(Opcode::Copy, 0, ci(1)));
+  B.Instrs.push_back(term(Opcode::Ret));
+  EXPECT_EQ(verifyModule(*M), std::nullopt);
+}
+
+TEST(VerifyTest, RejectsEmptyBlock) {
+  auto M = makeModule(0);
+  M->Functions[0]->Blocks.emplace_back();
+  auto Err = verifyModule(*M);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("empty block"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsMissingTerminator) {
+  auto M = makeModule(1);
+  BasicBlock &B = addBlock(*M->Functions[0]);
+  B.Instrs.push_back(instr(Opcode::Copy, 0, ci(1)));
+  auto Err = verifyModule(*M);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("lacks a terminator"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsMidBlockTerminator) {
+  auto M = makeModule(1);
+  BasicBlock &B = addBlock(*M->Functions[0]);
+  B.Instrs.push_back(term(Opcode::Ret));
+  B.Instrs.push_back(term(Opcode::Ret));
+  auto Err = verifyModule(*M);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("terminator before block end"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsOutOfRangeBranchTarget) {
+  auto M = makeModule(0);
+  BasicBlock &B = addBlock(*M->Functions[0]);
+  B.Instrs.push_back(term(Opcode::Jmp, 7));
+  auto Err = verifyModule(*M);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("jump target out of range"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsZeroCostWeight) {
+  auto M = makeModule(0);
+  BasicBlock &B = addBlock(*M->Functions[0]);
+  B.Instrs.push_back(term(Opcode::Ret));
+  B.Instrs.back().Units = 0;
+  auto Err = verifyModule(*M);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("zero cost weight"), std::string::npos);
+}
+
+TEST(VerifyTest, RejectsOutOfRangeLocal) {
+  auto M = makeModule(1);
+  BasicBlock &B = addBlock(*M->Functions[0]);
+  B.Instrs.push_back(instr(Opcode::Copy, 0, lo(5)));
+  B.Instrs.push_back(term(Opcode::Ret));
+  auto Err = verifyModule(*M);
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_NE(Err->find("local operand out of range"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Constant propagation + folding (and DCE of the leftovers)
+//===----------------------------------------------------------------------===//
+
+TEST(PassesTest, ConstPropFoldsChainAndConservesUnits) {
+  auto M = makeModule(4);
+  IRFunction &F = *M->Functions[0];
+  BasicBlock &B = addBlock(F);
+  B.Instrs.push_back(instr(Opcode::Copy, 0, ci(2)));
+  B.Instrs.push_back(instr(Opcode::Copy, 1, ci(3)));
+  B.Instrs.push_back(instr(Opcode::Add, 2, lo(0), lo(1)));
+  B.Instrs.push_back(instr(Opcode::Mul, 3, lo(2), ci(4)));
+  B.Instrs.push_back(instr(Opcode::IoWrite, KNone, lo(3)));
+  B.Instrs.push_back(term(Opcode::Ret));
+  ASSERT_EQ(verifyModule(*M), std::nullopt);
+
+  ParamSpace Space;
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->ConstFolded, 2u);
+  EXPECT_GE(Stats->ConstOperands, 3u);
+  EXPECT_EQ(Stats->InstrsRemoved, 4u);
+
+  // (2 + 3) * 4 reaches the write as a folded constant; the dead chain
+  // is gone but its cost weight survives in the block workload.
+  ASSERT_EQ(F.Blocks.size(), 1u);
+  ASSERT_EQ(F.Blocks[0].Instrs.size(), 2u);
+  const Instr &W = F.Blocks[0].Instrs[0];
+  EXPECT_EQ(W.Op, Opcode::IoWrite);
+  ASSERT_EQ(W.A.K, Operand::Kind::ConstInt);
+  EXPECT_EQ(W.A.IntVal, 20);
+  EXPECT_EQ(totalUnits(F), 6u);
+}
+
+TEST(PassesTest, ConstPropKeepsTrappingDivision) {
+  auto M = makeModule(1);
+  IRFunction &F = *M->Functions[0];
+  BasicBlock &B = addBlock(F);
+  B.Instrs.push_back(instr(Opcode::Div, 0, ci(1), ci(0)));
+  B.Instrs.push_back(instr(Opcode::IoWrite, KNone, lo(0)));
+  B.Instrs.push_back(term(Opcode::Ret));
+
+  ParamSpace Space;
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  // Division by zero must stay observable at run time: not folded, not
+  // deleted.
+  EXPECT_EQ(Stats->ConstFolded, 0u);
+  ASSERT_EQ(F.Blocks[0].Instrs.size(), 3u);
+  EXPECT_EQ(F.Blocks[0].Instrs[0].Op, Opcode::Div);
+}
+
+//===----------------------------------------------------------------------===//
+// Common-subexpression elimination
+//===----------------------------------------------------------------------===//
+
+TEST(PassesTest, CSECollapsesRepeatedExpression) {
+  auto M = makeModule(3);
+  IRFunction &F = *M->Functions[0];
+  BasicBlock &B = addBlock(F);
+  B.Instrs.push_back(instr(Opcode::IoRead, 0));
+  B.Instrs.push_back(instr(Opcode::Add, 1, lo(0), ci(1)));
+  B.Instrs.push_back(instr(Opcode::Add, 2, lo(0), ci(1)));
+  B.Instrs.push_back(instr(Opcode::IoWrite, KNone, lo(1)));
+  B.Instrs.push_back(instr(Opcode::IoWrite, KNone, lo(2)));
+  B.Instrs.push_back(term(Opcode::Ret));
+
+  ParamSpace Space;
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->CSEReplaced, 1u);
+
+  // The duplicate add becomes a copy, the copy forwards into the second
+  // write, and DCE deletes the copy; both writes read the surviving temp.
+  ASSERT_EQ(F.Blocks[0].Instrs.size(), 5u);
+  const Instr &W1 = F.Blocks[0].Instrs[2];
+  const Instr &W2 = F.Blocks[0].Instrs[3];
+  EXPECT_EQ(W1.Op, Opcode::IoWrite);
+  EXPECT_EQ(W2.Op, Opcode::IoWrite);
+  ASSERT_EQ(W2.A.K, Operand::Kind::Local);
+  EXPECT_EQ(W2.A.Index, W1.A.Index);
+  EXPECT_EQ(totalUnits(F), 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Cleanup: forwarding-block merging
+//===----------------------------------------------------------------------===//
+
+TEST(PassesTest, CleanupMergesForwardingChain) {
+  auto M = makeModule(0);
+  IRFunction &F = *M->Functions[0];
+  addBlock(F).Instrs.push_back(term(Opcode::Jmp, 1));
+  addBlock(F).Instrs.push_back(term(Opcode::Jmp, 2));
+  addBlock(F).Instrs.push_back(term(Opcode::Ret));
+
+  ParamSpace Space;
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->BlocksMerged, 2u);
+  ASSERT_EQ(F.Blocks.size(), 1u);
+  ASSERT_EQ(F.Blocks[0].Instrs.size(), 1u);
+  EXPECT_EQ(F.Blocks[0].Instrs[0].Op, Opcode::Ret);
+  // The three jumps' weights all fold into the surviving terminator.
+  EXPECT_EQ(totalUnits(F), 3u);
+}
+
+TEST(PassesTest, CleanupKeepsBlocksWithDifferentCounts) {
+  auto M = makeModule(0);
+  IRFunction &F = *M->Functions[0];
+  addBlock(F).Instrs.push_back(term(Opcode::Jmp, 1));
+  addBlock(F).Instrs.push_back(term(Opcode::Ret));
+  // A different symbolic count makes the merge non-neutral.
+  F.Blocks[1].Count = LinExpr::constant(2);
+
+  ParamSpace Space;
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->BlocksMerged, 0u);
+  EXPECT_EQ(F.Blocks.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// DCE: unreachable blocks
+//===----------------------------------------------------------------------===//
+
+TEST(PassesTest, DCERemovesInertUnreachableBlock) {
+  auto M = makeModule(1);
+  IRFunction &F = *M->Functions[0];
+  addBlock(F).Instrs.push_back(term(Opcode::Ret));
+  BasicBlock &Dead = addBlock(F);
+  Dead.Instrs.push_back(instr(Opcode::Add, 0, ci(1), ci(2)));
+  Dead.Instrs.push_back(term(Opcode::Jmp, 1));
+
+  ParamSpace Space;
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->BlocksRemoved, 1u);
+  EXPECT_EQ(F.Blocks.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// CostSimplify: proportional-residual merging
+//===----------------------------------------------------------------------===//
+
+TEST(PassesTest, CostSimplifyMergesProportionalResiduals) {
+  auto M = makeModule(0);
+  IRFunction &F = *M->Functions[0];
+  addBlock(F).Instrs.push_back(term(Opcode::Ret));
+
+  ParamSpace Space;
+  ParamId Flag = Space.addParam("f", BigInt(0), BigInt(1));
+  ParamId N = Space.addParam("n", BigInt(1), BigInt(100));
+  ParamId Mm = Space.addParam("m", BigInt(1), BigInt(100));
+  ParamId FN = Space.internMonomial({Flag, N});
+  ParamId FM = Space.internMonomial({Flag, Mm});
+  LinExpr Count;
+  Count.addTerm(FN, Rational(2));
+  Count.addTerm(FM, Rational(3));
+  F.Blocks[0].Count = Count;
+
+  // Before/after evaluation at f=1, n=7, m=9 (the merged slot and all
+  // monomials are derived consistently by extendPoint).
+  auto evalAt = [&](const LinExpr &E) {
+    std::vector<Rational> P(Space.size());
+    P[Flag] = Rational(1);
+    P[N] = Rational(7);
+    P[Mm] = Rational(9);
+    Space.extendPoint(P);
+    return E.evaluate(P);
+  };
+  Rational Before = evalAt(Count);
+
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->MergedDims, 1u);
+  EXPECT_EQ(Stats->MonomialsMerged, 1u);
+  EXPECT_LT(Stats->CostTermsAfter, Stats->CostTermsBefore);
+
+  // Exactly one term survives: alpha * (f * merged), and it evaluates to
+  // the same value at every consistent point (2*7 + 3*9 = 41 here).
+  ASSERT_EQ(F.Blocks[0].Count.terms().size(), 1u);
+  ParamId MergedMono = F.Blocks[0].Count.terms().begin()->first;
+  bool SawMerged = false;
+  for (ParamId Factor : Space.factors(MergedMono))
+    SawMerged |= Space.isMerged(Factor);
+  EXPECT_TRUE(SawMerged);
+  EXPECT_EQ(evalAt(F.Blocks[0].Count), Before);
+  EXPECT_EQ(Before, Rational(41));
+
+  // Idempotence: merged composites are never re-merged.
+  std::optional<PassStats> Again = runDefault(*M, Space);
+  ASSERT_TRUE(Again);
+  EXPECT_EQ(Again->MergedDims, 0u);
+  EXPECT_EQ(Again->MonomialsMerged, 0u);
+}
+
+TEST(PassesTest, CostSimplifyLeavesNonProportionalAlone) {
+  auto M = makeModule(0);
+  IRFunction &F = *M->Functions[0];
+  addBlock(F).Instrs.push_back(term(Opcode::Ret));
+  addBlock(F).Instrs.push_back(term(Opcode::Ret));
+  F.Blocks[0].Instrs.back().Op = Opcode::Jmp;
+  F.Blocks[0].Instrs.back().Succ0 = 1;
+
+  ParamSpace Space;
+  ParamId N = Space.addParam("n", BigInt(1), BigInt(100));
+  ParamId Mm = Space.addParam("m", BigInt(1), BigInt(100));
+  // n and m appear with non-parallel columns: (2,3) in one count but
+  // (1,5) in the other. No merge is sound.
+  LinExpr C0, C1;
+  C0.addTerm(N, Rational(2));
+  C0.addTerm(Mm, Rational(3));
+  C1.addTerm(N, Rational(1));
+  C1.addTerm(Mm, Rational(5));
+  F.Blocks[0].Count = C0;
+  F.Blocks[1].Count = C1;
+
+  std::optional<PassStats> Stats = runDefault(*M, Space);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->MergedDims, 0u);
+  EXPECT_EQ(F.Blocks[0].Count.terms().size(), 2u);
+  EXPECT_EQ(F.Blocks[1].Count.terms().size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline behavior
+//===----------------------------------------------------------------------===//
+
+TEST(PassesTest, DisabledPipelineIsANoop) {
+  auto M = makeModule(2);
+  IRFunction &F = *M->Functions[0];
+  BasicBlock &B = addBlock(F);
+  B.Instrs.push_back(instr(Opcode::Add, 0, ci(1), ci(2)));
+  B.Instrs.push_back(instr(Opcode::IoWrite, KNone, lo(0)));
+  B.Instrs.push_back(term(Opcode::Ret));
+
+  ParamSpace Space;
+  PassOptions Off;
+  Off.Enabled = false;
+  std::optional<PassStats> Stats = runPassPipeline(*M, Space, Off);
+  ASSERT_TRUE(Stats);
+  EXPECT_EQ(Stats->FixpointIterations, 0u);
+  EXPECT_EQ(Stats->InstrsBefore, Stats->InstrsAfter);
+  EXPECT_EQ(F.Blocks[0].Instrs.size(), 3u);
+  EXPECT_EQ(F.Blocks[0].Instrs[0].Op, Opcode::Add);
+}
+
+TEST(PassesTest, PipelineIsIdempotent) {
+  auto M = makeModule(4);
+  IRFunction &F = *M->Functions[0];
+  BasicBlock &B = addBlock(F);
+  B.Instrs.push_back(instr(Opcode::IoRead, 0));
+  B.Instrs.push_back(instr(Opcode::Add, 1, lo(0), ci(1)));
+  B.Instrs.push_back(instr(Opcode::Add, 2, lo(0), ci(1)));
+  B.Instrs.push_back(instr(Opcode::Mul, 3, lo(1), lo(2)));
+  B.Instrs.push_back(instr(Opcode::IoWrite, KNone, lo(3)));
+  B.Instrs.push_back(term(Opcode::Jmp, 1));
+  addBlock(F).Instrs.push_back(term(Opcode::Ret));
+
+  ParamSpace Space;
+  std::optional<PassStats> First = runDefault(*M, Space);
+  ASSERT_TRUE(First);
+  std::string Dump = M->dump(Space);
+
+  std::optional<PassStats> Second = runDefault(*M, Space);
+  ASSERT_TRUE(Second);
+  EXPECT_EQ(Second->ConstFolded, 0u);
+  EXPECT_EQ(Second->ConstOperands, 0u);
+  EXPECT_EQ(Second->CSEReplaced, 0u);
+  EXPECT_EQ(Second->CopiesPropagated, 0u);
+  EXPECT_EQ(Second->InstrsRemoved, 0u);
+  EXPECT_EQ(Second->BlocksRemoved, 0u);
+  EXPECT_EQ(Second->BlocksMerged, 0u);
+  EXPECT_EQ(Second->MergedDims, 0u);
+  EXPECT_EQ(Second->InstrsBefore, Second->InstrsAfter);
+  EXPECT_EQ(M->dump(Space), Dump);
+}
+
+TEST(PassesTest, VerifyEachPassReportsBrokenModule) {
+  auto M = makeModule(0);
+  // A block whose terminator weight is zero trips the verifier; the
+  // pipeline must surface that instead of transforming garbage.
+  BasicBlock &B = addBlock(*M->Functions[0]);
+  B.Instrs.push_back(term(Opcode::Ret));
+  B.Instrs.back().Units = 0;
+
+  ParamSpace Space;
+  PassOptions Options;
+  Options.VerifyEachPass = true;
+  std::string Err;
+  std::optional<PassStats> Stats = runPassPipeline(*M, Space, Options, &Err);
+  EXPECT_FALSE(Stats.has_value());
+  EXPECT_NE(Err.find("zero cost weight"), std::string::npos);
+}

@@ -55,7 +55,12 @@ std::unique_ptr<Built> build(const std::string &Source) {
     return nullptr;
   EXPECT_TRUE(runSema(*R->Prog, R->Diags)) << R->Diags.dump();
   R->Info = analyzeSymbolics(*R->Prog, R->Space, R->Diags);
-  R->Module = lowerProgram(*R->Prog, R->Info, R->Space, R->Diags);
+  auto Lowered = lowerProgram(*R->Prog, R->Info, R->Space, R->Diags);
+  EXPECT_TRUE(Lowered.has_value())
+      << (Lowered ? "" : Lowered.error().toString());
+  if (!Lowered)
+    return nullptr;
+  R->Module = std::move(*Lowered);
   R->Memory = std::make_unique<MemoryModel>(*R->Module, R->Space);
   R->PT = std::make_unique<PointsToResult>(
       runPointsTo(*R->Module, *R->Memory));
