@@ -51,8 +51,12 @@
 #include "interp/Interp.h"
 #include "lang/PrintAST.h"
 #include "obs/CostAudit.h"
+#include "obs/EventLog.h"
+#include "obs/Export.h"
+#include "obs/TimeSeries.h"
 #include "obs/Trace.h"
 #include "programs/Programs.h"
+#include "runtime/SimTelemetry.h"
 #include "transform/Transform.h"
 
 #include <chrono>
@@ -117,12 +121,37 @@ bool checkWritable(const std::string &Path, const char *What) {
   return true;
 }
 
+/// Telemetry sinks and output paths shared between the explorer body and
+/// main(): main flushes every requested file on every exit path -- a log
+/// or trace of a failed run is exactly what one wants to look at -- and
+/// turns a failed flush into a nonzero exit.
+struct ObsOutputs {
+  std::string TracePath;
+  std::string LogPath;        ///< --log: structured JSONL event log.
+  std::string MetricsPath;    ///< --metrics: Prometheus text exposition.
+  std::string TimeseriesPath; ///< --timeseries: window JSONL.
+  bool PrintStats = false;
+  obs::EventLog Log;
+  obs::TimeSeries ServeSeries{"serve", 512}; ///< One window per batch.
+  obs::TimeSeries SimSeries{"sim", 256};     ///< Fixed sim-time windows.
+};
+
+/// Rewrites the Prometheus scrape file: lifetime registry families plus
+/// the latest window of each active series.
+bool flushMetrics(const ObsOutputs &Obs, std::string &Err) {
+  std::string Text =
+      obs::toPrometheusText(obs::StatsRegistry::global().snapshot());
+  Text += obs::windowPrometheusText(Obs.ServeSeries);
+  Text += obs::windowPrometheusText(Obs.SimSeries);
+  return obs::writeTextFile(Obs.MetricsPath, Text, &Err);
+}
+
 /// Replays a fleet request file (one request per line, whitespace-
 /// separated runtime parameter values; '#' starts a comment) through the
 /// compiled dispatch index behind the multi-threaded service. Returns 0
 /// on success, nonzero on malformed input or an index-vs-scan mismatch.
 int serveRequests(const CompiledProgram &CP, const std::string &Path,
-                  unsigned Threads, unsigned Repeat) {
+                  unsigned Threads, unsigned Repeat, ObsOutputs &Obs) {
   size_t NumParams = CP.AST->RuntimeParams.size();
   std::ifstream In(Path);
   if (!In) {
@@ -169,11 +198,27 @@ int serveRequests(const CompiledProgram &CP, const std::string &Path,
               NumRequests, Repeat, Path.c_str(), Service.numThreads(),
               Index.describe().c_str());
 
+  // One TimeWindow and one shard-complete event set per batch; the
+  // scrape file is rewritten after every batch so a watcher polling it
+  // sees live windowed rates, not just the end-of-run totals.
+  bool WantWindows = !Obs.MetricsPath.empty() || !Obs.TimeseriesPath.empty();
+  Service.attachTelemetry(WantWindows ? &Obs.ServeSeries : nullptr,
+                          Obs.LogPath.empty() ? nullptr : &Obs.Log);
+
   std::vector<unsigned> Choices(NumRequests);
   Start = std::chrono::steady_clock::now();
-  for (unsigned R = 0; R != Repeat; ++R)
+  for (unsigned R = 0; R != Repeat; ++R) {
     Service.dispatchBatch(Flat.data(), NumRequests, NumParams,
                           Choices.data());
+    if (!Obs.MetricsPath.empty()) {
+      std::string Err;
+      if (!flushMetrics(Obs, Err)) {
+        std::fprintf(stderr, "error: cannot write metrics file: %s\n",
+                     Err.c_str());
+        return 1;
+      }
+    }
+  }
   double Sec = std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - Start)
                    .count();
@@ -213,16 +258,8 @@ int serveRequests(const CompiledProgram &CP, const std::string &Path,
   return Mismatches == 0 ? 0 : 1;
 }
 
-bool writeFile(const std::string &Path, const std::string &Text) {
-  std::FILE *Out = std::fopen(Path.c_str(), "w");
-  if (!Out)
-    return false;
-  size_t Written = std::fwrite(Text.data(), 1, Text.size(), Out);
-  return std::fclose(Out) == 0 && Written == Text.size();
-}
-
-int runExplorer(int Argc, char **Argv, std::string &TracePath,
-                bool &PrintStats) {
+int runExplorer(int Argc, char **Argv, ObsOutputs &Obs) {
+  std::string &TracePath = Obs.TracePath;
   if (Argc < 2) {
     std::fprintf(stderr,
                  "usage: %s program.mc [--params v1,v2,...] "
@@ -239,7 +276,9 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                  "  fleet serving:   [--serve=FILE] [--serve-threads=N] "
                  "[--serve-repeat=K]\n"
                  "  observability:   [--trace=FILE] [--stats] "
-                 "[--audit=FILE] [--report]\n",
+                 "[--audit=FILE] [--report]\n"
+                 "                   [--log=FILE] [--metrics=FILE] "
+                 "[--timeseries=FILE] [--window=UNITS]\n",
                  Argv[0]);
     return 2;
   }
@@ -281,6 +320,8 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   std::string ServePath;
   unsigned ServeThreads = 0; // 0 = hardware concurrency
   unsigned ServeRepeat = 1;
+  int64_t WindowUnits = 65536; // --window: sim-time window width
+  bool &PrintStats = Obs.PrintStats;
   ParametricOptions AnalysisOpts;
   PassOptions PassOpts;
   auto parseAdapt = [&](const char *Name) {
@@ -414,6 +455,18 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
       TracePath = Argv[A] + 8;
     } else if (std::strcmp(Argv[A], "--trace") == 0 && A + 1 < Argc) {
       TracePath = Argv[++A];
+    } else if (std::strncmp(Argv[A], "--log=", 6) == 0) {
+      Obs.LogPath = Argv[A] + 6;
+    } else if (std::strncmp(Argv[A], "--metrics=", 10) == 0) {
+      Obs.MetricsPath = Argv[A] + 10;
+    } else if (std::strncmp(Argv[A], "--timeseries=", 13) == 0) {
+      Obs.TimeseriesPath = Argv[A] + 13;
+    } else if (std::strncmp(Argv[A], "--window=", 9) == 0) {
+      WindowUnits = std::strtoll(Argv[A] + 9, nullptr, 10);
+      if (WindowUnits <= 0) {
+        std::fprintf(stderr, "error: --window needs a positive width\n");
+        return 2;
+      }
     } else if (std::strcmp(Argv[A], "--stats") == 0) {
       PrintStats = true;
     } else if (std::strncmp(Argv[A], "--audit=", 8) == 0) {
@@ -446,6 +499,18 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
                          "degrade/rollback path; use --policy degrade)\n");
     return 2;
   }
+#ifdef PACO_DISABLE_OBS
+  if (!Obs.LogPath.empty() || !Obs.MetricsPath.empty() ||
+      !Obs.TimeseriesPath.empty()) {
+    std::fprintf(stderr, "error: this build disabled observability "
+                         "(PACO_DISABLE_OBS); --log/--metrics/--timeseries "
+                         "are unavailable\n");
+    Obs.LogPath.clear();
+    Obs.MetricsPath.clear();
+    Obs.TimeseriesPath.clear();
+    return 2;
+  }
+#endif
   // Fail output paths now, before minutes of analysis, not after.
   if (!TracePath.empty() && !checkWritable(TracePath, "trace")) {
     TracePath.clear();
@@ -453,8 +518,39 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   }
   if (!AuditPath.empty() && !checkWritable(AuditPath, "audit"))
     return 2;
+  if (!Obs.LogPath.empty() && !checkWritable(Obs.LogPath, "event log")) {
+    Obs.LogPath.clear();
+    return 2;
+  }
+  if (!Obs.MetricsPath.empty() && !checkWritable(Obs.MetricsPath, "metrics")) {
+    Obs.MetricsPath.clear();
+    return 2;
+  }
+  if (!Obs.TimeseriesPath.empty() &&
+      !checkWritable(Obs.TimeseriesPath, "timeseries")) {
+    Obs.TimeseriesPath.clear();
+    return 2;
+  }
   if (!TracePath.empty())
     obs::Tracer::global().enable();
+
+  // Deterministic run id (no wall-clock data): same invocation, same id,
+  // so two logs of the same run diff byte-for-byte.
+  {
+    std::string RunId = Argv[1];
+    if (size_t Slash = RunId.find_last_of('/'); Slash != std::string::npos)
+      RunId = RunId.substr(Slash + 1);
+    RunId += ServePath.empty() ? (Run ? ":run" : ":analyze") : ":serve";
+    for (int64_t V : Params) {
+      RunId += ":";
+      RunId += std::to_string(V);
+    }
+    if (!Link.faultFree()) {
+      RunId += ":seed";
+      RunId += std::to_string(Link.Seed);
+    }
+    Obs.Log = obs::EventLog(RunId);
+  }
 
   std::string Diags;
   auto CP = compileForOffloading(Source, CostModel::defaults(), AnalysisOpts,
@@ -529,7 +625,7 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   }
 
   if (!ServePath.empty()) {
-    int Code = serveRequests(*CP, ServePath, ServeThreads, ServeRepeat);
+    int Code = serveRequests(*CP, ServePath, ServeThreads, ServeRepeat, Obs);
     if (Code != 0 || !Run)
       return Code;
   }
@@ -565,13 +661,24 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   Opts.Drift = Drift;
   Opts.Crash = Crash;
   Opts.LedgerBudgetBytes = LedgerBudget;
-  // The timeline recorder feeds the cost audit, the text Gantt and the
-  // simulated-time trace lanes; skip it when nothing consumes it.
+  // The timeline recorder feeds the cost audit, the text Gantt, the
+  // simulated-time trace lanes and the sim-time telemetry windows; skip
+  // it when nothing consumes it.
   RuntimeRecorder Recorder;
-  bool WantTimeline = !AuditPath.empty() || Report || !TracePath.empty();
+  bool WantSimWindows =
+      !Obs.MetricsPath.empty() || !Obs.TimeseriesPath.empty();
+  bool WantTimeline = !AuditPath.empty() || Report || !TracePath.empty() ||
+                      WantSimWindows;
   if (WantTimeline)
     Opts.Recorder = &Recorder;
+  if (!Obs.LogPath.empty())
+    Opts.Events = &Obs.Log;
   ExecResult R = runProgram(*CP, Opts);
+  if (WantSimWindows) {
+    SimWindowOptions SimOpts;
+    SimOpts.WindowUnits = Rational(WindowUnits);
+    Obs.SimSeries = buildSimWindows(Recorder, SimOpts);
+  }
 
   std::vector<std::string> TaskLabels, DataLabels;
   if (WantTimeline) {
@@ -584,9 +691,10 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
   if (!AuditPath.empty() || Report) {
     obs::CostAuditReport Audit = obs::auditRun(*CP, R, Params, &Recorder);
     if (!AuditPath.empty()) {
-      if (!writeFile(AuditPath, Audit.toJSON())) {
-        std::fprintf(stderr, "error: cannot write audit file %s\n",
-                     AuditPath.c_str());
+      std::string Err;
+      if (!obs::writeTextFile(AuditPath, Audit.toJSON(), &Err)) {
+        std::fprintf(stderr, "error: cannot write audit file: %s\n",
+                     Err.c_str());
         return 1;
       }
       std::fprintf(stderr, "audit: report written to %s\n",
@@ -676,24 +784,61 @@ int runExplorer(int Argc, char **Argv, std::string &TracePath,
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string TracePath;
-  bool PrintStats = false;
-  int Code = runExplorer(Argc, Argv, TracePath, PrintStats);
+  ObsOutputs Obs;
+  int Code = runExplorer(Argc, Argv, Obs);
   // Emit observability output on every exit path, including failures --
-  // a trace of a failed run is exactly what one wants to look at.
-  // Human-readable stats go to stderr: stdout stays machine-parseable
-  // (dispatch tables, --report output) for scripts piping the tool.
-  if (PrintStats)
+  // a trace or event log of a failed run is exactly what one wants to
+  // look at. Every sink write is checked end to end (open, write, flush,
+  // close) and a failed flush turns into a nonzero exit: silently
+  // dropped telemetry is worse than none. Human-readable stats go to
+  // stderr: stdout stays machine-parseable (dispatch tables, --report
+  // output) for scripts piping the tool.
+  if (Obs.PrintStats)
     std::fprintf(stderr, "\n== stats ==\n%s",
                  obs::StatsRegistry::global().snapshot().toText().c_str());
-  if (!TracePath.empty()) {
-    if (!obs::Tracer::global().writeJSON(TracePath)) {
+  if (!Obs.TracePath.empty()) {
+    if (!obs::Tracer::global().writeJSON(Obs.TracePath)) {
       std::fprintf(stderr, "error: cannot write trace to %s\n",
-                   TracePath.c_str());
-      return Code ? Code : 1;
+                   Obs.TracePath.c_str());
+      Code = Code ? Code : 1;
+    } else {
+      std::fprintf(stderr, "trace: %zu event(s) written to %s\n",
+                   obs::Tracer::global().eventCount(), Obs.TracePath.c_str());
     }
-    std::fprintf(stderr, "trace: %zu event(s) written to %s\n",
-                 obs::Tracer::global().eventCount(), TracePath.c_str());
+  }
+  std::string Err;
+  if (!Obs.LogPath.empty()) {
+    if (!obs::writeTextFile(Obs.LogPath, Obs.Log.toJSONL(), &Err)) {
+      std::fprintf(stderr, "error: cannot write event log: %s\n",
+                   Err.c_str());
+      Code = Code ? Code : 1;
+    } else {
+      std::fprintf(stderr, "log: %zu event(s) written to %s\n",
+                   Obs.Log.size(), Obs.LogPath.c_str());
+    }
+  }
+  if (!Obs.TimeseriesPath.empty()) {
+    std::string Text = Obs.ServeSeries.toJSONL();
+    Text += Obs.SimSeries.toJSONL();
+    if (!obs::writeTextFile(Obs.TimeseriesPath, Text, &Err)) {
+      std::fprintf(stderr, "error: cannot write timeseries: %s\n",
+                   Err.c_str());
+      Code = Code ? Code : 1;
+    } else {
+      std::fprintf(stderr, "timeseries: %zu window(s) written to %s\n",
+                   Obs.ServeSeries.size() + Obs.SimSeries.size(),
+                   Obs.TimeseriesPath.c_str());
+    }
+  }
+  if (!Obs.MetricsPath.empty()) {
+    if (!flushMetrics(Obs, Err)) {
+      std::fprintf(stderr, "error: cannot write metrics file: %s\n",
+                   Err.c_str());
+      Code = Code ? Code : 1;
+    } else {
+      std::fprintf(stderr, "metrics: exposition written to %s\n",
+                   Obs.MetricsPath.c_str());
+    }
   }
   return Code;
 }

@@ -12,7 +12,14 @@
 /// boundaries depend only on the batch size, so the output -- and the
 /// aggregated statistics -- are deterministic for every thread count.
 /// After each batch the per-shard counters are published as deltas to
-/// the obs/StatsRegistry (`dispatch.*`).
+/// the obs/StatsRegistry (`dispatch.*`), and each shard's sampled
+/// per-query latency lands in a `dispatch.shard<k>.latency_ns`
+/// histogram (one wall-clock read per 64 queries, accumulated
+/// thread-locally and merged after the join).
+///
+/// attachTelemetry() additionally turns every batch into one wall-clock
+/// TimeWindow (queries/s, ns/query, fast/exact/fallback mix, per-shard
+/// latency snapshots) and emits one `shard-complete` event per shard.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -20,7 +27,12 @@
 #define PACO_DISPATCH_DISPATCHSERVICE_H
 
 #include "dispatch/DispatchIndex.h"
+#include "obs/EventLog.h"
+#include "obs/Stats.h"
+#include "obs/TimeSeries.h"
 #include "support/ThreadPool.h"
+
+#include <chrono>
 
 namespace paco {
 
@@ -45,6 +57,16 @@ public:
   unsigned numThreads() const { return Pool.numThreads(); }
   const DispatchIndex &index() const { return Idx; }
 
+  /// Streams per-batch telemetry into \p Series (one window per batch)
+  /// and \p Events (one `shard-complete` event per shard per batch).
+  /// Either may be null; both must outlive the service or be detached
+  /// with nulls. Windows are wall-clock driven and therefore not
+  /// replay-deterministic (unlike the sim-time series).
+  void attachTelemetry(obs::TimeSeries *Series, obs::EventLog *Events) {
+    TelemetrySeries = Series;
+    TelemetryEvents = Events;
+  }
+
   /// Dispatches \p NumRequests requests stored row-major in \p Values
   /// (NumParams values each; NumParams must equal the index's runtime
   /// parameter count), writing one choice per request to \p ChoicesOut.
@@ -64,7 +86,15 @@ private:
   /// One scratch per pool thread; shard s serves a contiguous request
   /// range, so no scratch is ever touched by two workers in one batch.
   std::vector<DispatchScratch> Shards;
+  /// Per-shard registry histograms (registered in the constructor so
+  /// snapshot order is deterministic) and the per-batch local
+  /// accumulators the workers fill without contention.
+  std::vector<obs::Histogram *> ShardLatency;
+  std::vector<obs::HistogramSnapshot> BatchLatency;
+  std::chrono::steady_clock::time_point Epoch;
   uint64_t Batches = 0;
+  obs::TimeSeries *TelemetrySeries = nullptr;
+  obs::EventLog *TelemetryEvents = nullptr;
 };
 
 } // namespace paco

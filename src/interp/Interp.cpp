@@ -113,7 +113,8 @@ public:
         ClosedLoop(Opts.Adapt.Policy == AdaptationPolicy::ClosedLoop),
         EvalPeriod(std::max(1u, Opts.Adapt.EvalPeriod)),
         ProbePeriod(std::max(1u, Opts.Adapt.ProbePeriodBoundaries)),
-        CrashArmed(Opts.Crash.active()), Rec(Opts.Recorder) {
+        CrashArmed(Opts.Crash.active()), Rec(Opts.Recorder),
+        Ev(Opts.Events) {
     if (ClosedLoop)
       Prof.emplace(CP.Costs, Opts.Adapt.Alpha);
   }
@@ -220,16 +221,18 @@ private:
     bool RecOpen = Rec && Rec->open();
     if (!RecOpen && !ProfSegOpen)
       return;
-    Rational Now = Sim.elapsed();
+    Rational Now = Sim.now();
     if (ProfSegOpen) {
       Prof->observeCompute(ProfSegServer, SegInstrs, Now - ProfSegStart);
       ProfSegOpen = false;
     }
     if (RecOpen) {
       Rec->endSegment(std::move(Now), SegInstrs);
-      obs::StatsRegistry::global()
-          .histogram("sim.task_segment_instrs")
-          .record(SegInstrs);
+      // Registry entries are never erased, so the by-name lookup (mutex
+      // + map walk) can be paid once per process, not per segment.
+      static obs::Histogram &SegHist =
+          obs::StatsRegistry::global().histogram("sim.task_segment_instrs");
+      SegHist.record(SegInstrs);
     }
     SegInstrs = 0;
   }
@@ -237,7 +240,7 @@ private:
   void recBeginSegment() {
     if (!Rec && !Prof)
       return;
-    Rational Now = Sim.elapsed();
+    Rational Now = Sim.now();
     if (Rec)
       Rec->beginSegment(CurrentTask, OnServer, Now);
     if (Prof) {
@@ -257,10 +260,10 @@ private:
                   SendFn &&Send) {
     if (!Rec && !Prof)
       return Send();
-    Rational Start = Sim.elapsed();
+    Rational Start = Sim.now();
     uint64_t Timeouts0 = Sim.timeouts(), Retries0 = Sim.retries();
     bool Delivered = Send();
-    Rational End = Sim.elapsed();
+    Rational End = Sim.now();
     if (Prof && Delivered)
       Prof->observeMessage(K, ToServer, Bytes, End - Start);
     if (Rec) {
@@ -279,6 +282,19 @@ private:
       Rec->message(std::move(M));
     }
     return Delivered;
+  }
+
+  /// Starts one structured event at simulated time \p At, pre-stamped
+  /// with the exact (Rational) time and the active task. Callers must
+  /// check Ev first; further fields chain onto the returned builder.
+  obs::EventLog::EventBuilder event(obs::LogLevel L, const char *Type,
+                                    const Rational &At) {
+    auto B = Ev->event(L, Type);
+    B.field("t_units", At.toString());
+    B.field("task", CurrentTask);
+    if (CurrentTask < CP.Graph.Tasks.size())
+      B.field("task_label", CP.Graph.Tasks[CurrentTask].Label);
+    return B;
   }
 
   //===--------------------------------------------------------------===//
@@ -401,11 +417,15 @@ private:
     if (Rec) {
       RecoveryMark M;
       M.K = RecoveryMark::Kind::Fallback;
-      M.At = Sim.elapsed();
+      M.At = Sim.now();
       M.AtTask = CurrentTask;
       M.Restored = Restored;
       Rec->recovery(std::move(M));
     }
+    if (Ev)
+      event(obs::LogLevel::Info, "fallback", Sim.now())
+          .field("restored", Restored)
+          .field("permanent", !LocalFallback);
     recBeginSegment(); // Resume the timeline on the client.
   }
 
@@ -438,12 +458,16 @@ private:
       Sim.takeServerEvents(Crashed, CrashedAt, Restarted, RestartedAt);
       if (Crashed)
         onServerCrash(CrashedAt); // Re-requests the same rollback.
-      if (Restarted && Rec) {
-        RecoveryMark M;
-        M.K = RecoveryMark::Kind::Restart;
-        M.At = RestartedAt;
-        M.AtTask = CurrentTask;
-        Rec->recovery(std::move(M));
+      if (Restarted) {
+        if (Rec) {
+          RecoveryMark M;
+          M.K = RecoveryMark::Kind::Restart;
+          M.At = RestartedAt;
+          M.AtTask = CurrentTask;
+          Rec->recovery(std::move(M));
+        }
+        if (Ev)
+          event(obs::LogLevel::Info, "server-restart", RestartedAt);
       }
     }
     WantRollback = false;
@@ -480,6 +504,8 @@ private:
       M.AtTask = CurrentTask;
       Rec->recovery(std::move(M));
     }
+    if (Ev)
+      event(obs::LogLevel::Warn, "server-crash", At);
     // The server process died: both the live state and the snapshot lose
     // their server-side copies (the snapshot's "server" halves lived in
     // the same process).
@@ -566,6 +592,11 @@ private:
         obs::StatsRegistry::global()
             .counter("recovery.ledger_refetches")
             .add();
+        if (Ev)
+          event(obs::LogLevel::Info, "ledger-refetch", Sim.now())
+              .field("region", Id)
+              .field("loc", CP.Memory->loc(Region.LocId).Name)
+              .field("bytes", Bytes);
       }
       LedgerPin Pin;
       Pin.Version = Region.ServerVersion;
@@ -607,6 +638,16 @@ private:
       EvictedOnce.insert(Victim->first);
       ++LedgerEvictions;
       obs::StatsRegistry::global().counter("recovery.ledger_evictions").add();
+      if (Ev) {
+        unsigned Id = Victim->first;
+        event(obs::LogLevel::Info, "ledger-evict", Sim.now())
+            .field("region", Id)
+            .field("loc", Id < Regions.size()
+                              ? CP.Memory->loc(Regions[Id].LocId).Name
+                              : std::string("?"))
+            .field("bytes", Victim->second.Bytes)
+            .field("pinned_bytes", PinnedBytes);
+      }
       Ledger.erase(Victim);
     }
     LedgerPeakBytes = std::max(LedgerPeakBytes, PinnedBytes);
@@ -629,10 +670,13 @@ private:
     if (Rec) {
       RecoveryMark M;
       M.K = RecoveryMark::Kind::Exhausted;
-      M.At = Sim.elapsed();
+      M.At = Sim.now();
       M.AtTask = CurrentTask;
       Rec->recovery(std::move(M));
     }
+    if (Ev)
+      event(obs::LogLevel::Warn, "probe-exhausted", Sim.now())
+          .field("probes", ProbesSent);
   }
 
   /// Runs at each task boundary of a LocalFallback run: every
@@ -662,6 +706,11 @@ private:
           "recovery.probe", "sim",
           {{"delivered", Up ? "true" : "false"},
            {"probes_sent", ProbesSent}});
+    if (Ev)
+      event(obs::LogLevel::Info, "probe", Sim.now())
+          .field("delivered", Up)
+          .field("probes_sent", ProbesSent)
+          .field("probe_bytes", Opts.Adapt.ProbeBytes);
     if (!Up) {
       if (ProbesSent >= Opts.Adapt.ProbeBudget)
         exhaustProbes();
@@ -704,10 +753,13 @@ private:
     if (Rec) {
       RecoveryMark M;
       M.K = RecoveryMark::Kind::Reoffload;
-      M.At = Sim.elapsed();
+      M.At = Sim.now();
       M.AtTask = CurrentTask;
       Rec->recovery(std::move(M));
     }
+    if (Ev)
+      event(obs::LogLevel::Info, "re-offload", Sim.now())
+          .field("to_choice", Best);
     return true;
   }
 
@@ -846,6 +898,7 @@ private:
   std::vector<uint64_t> TaskInstrCounts;
 
   RuntimeRecorder *Rec = nullptr;
+  obs::EventLog *Ev = nullptr;
   uint64_t SegInstrs = 0; ///< Instructions in the open timeline segment.
 
   // Drift-detector state: boundary counters for the evaluation cadence
@@ -1063,7 +1116,7 @@ bool Machine::migrateLoc(unsigned D, bool ToServer) {
 bool Machine::redispatch(unsigned NewChoice, Rational Stay, Rational Go) {
   recEndSegment(); // The switch happens between tasks.
   ExecResult::RedispatchEvent E;
-  E.At = Sim.elapsed();
+  E.At = Sim.now();
   E.AtTask = CurrentTask;
   E.FromChoice = Choice;
   E.ToChoice = NewChoice;
@@ -1136,6 +1189,12 @@ bool Machine::redispatch(unsigned NewChoice, Rational Stay, Rational Go) {
     M.PredictedSwitch = E.PredictedSwitch;
     Rec->adapt(std::move(M));
   }
+  if (Ev)
+    event(obs::LogLevel::Info, "redispatch", E.At)
+        .field("from_choice", choiceArg(E.FromChoice))
+        .field("to_choice", choiceArg(E.ToChoice))
+        .field("predicted_stay", E.PredictedStay.toString())
+        .field("predicted_switch", E.PredictedSwitch.toString());
   Result.Redispatches.push_back(std::move(E));
   recBeginSegment();
   return true;
@@ -1496,6 +1555,16 @@ ExecResult Machine::run() {
   if (ClosedLoop && FullPoint.empty())
     FullPoint = CP.parameterPoint(Opts.ParamValues);
   Result.ChoiceUsed = Choice;
+  if (Ev)
+    event(obs::LogLevel::Info, "run-start", Rational(0))
+        .field("choice",
+               Choice == KNone ? std::string("local") : std::to_string(Choice))
+        .field("mode", Opts.Mode == ExecOptions::Placement::AllClient
+                           ? "all-client"
+                           : (Opts.Mode == ExecOptions::Placement::Dispatch
+                                  ? "dispatch"
+                                  : "forced"))
+        .field("closed_loop", ClosedLoop);
 
   // Globals: client copies take the initializers, server copies start
   // zeroed (they are invalid until a transfer).
@@ -1579,12 +1648,16 @@ ExecResult Machine::run() {
       Rational CrashedAt, RestartedAt;
       Sim.takeServerEvents(Crashed, CrashedAt, Restarted, RestartedAt);
       bool CrashHandled = !Crashed || onServerCrash(CrashedAt);
-      if (Restarted && Rec) {
-        RecoveryMark M;
-        M.K = RecoveryMark::Kind::Restart;
-        M.At = RestartedAt;
-        M.AtTask = CurrentTask;
-        Rec->recovery(std::move(M));
+      if (Restarted) {
+        if (Rec) {
+          RecoveryMark M;
+          M.K = RecoveryMark::Kind::Restart;
+          M.At = RestartedAt;
+          M.AtTask = CurrentTask;
+          Rec->recovery(std::move(M));
+        }
+        if (Ev)
+          event(obs::LogLevel::Info, "server-restart", RestartedAt);
       }
       if (!CrashHandled && !rollback())
         break;
@@ -1683,6 +1756,20 @@ ExecResult Machine::run() {
   Span.arg("instructions", Executed);
   Span.arg("transfers", Result.TransferCount);
   Span.arg("migrations", Result.Migrations);
+  if (Ev)
+    event(obs::LogLevel::Info, "run-end", Result.Time)
+        .field("ok", Result.OK)
+        .field("degraded", Result.Degraded)
+        .field("final_choice", Result.FinalChoice == KNone
+                                   ? std::string("local")
+                                   : std::to_string(Result.FinalChoice))
+        .field("crashes", Result.Crashes)
+        .field("redispatches",
+               static_cast<uint64_t>(Result.Redispatches.size()))
+        .field("reoffloads", Result.Reoffloads)
+        .field("transfers", Result.TransferCount)
+        .field("timeouts", Result.Timeouts)
+        .field("retries", Result.Retries);
   return Result;
 }
 

@@ -20,6 +20,7 @@
 #ifndef PACO_INTERP_INTERP_H
 #define PACO_INTERP_INTERP_H
 
+#include "obs/EventLog.h"
 #include "runtime/OnlineProfiler.h"
 #include "runtime/Simulator.h"
 #include "runtime/Timeline.h"
@@ -125,6 +126,12 @@ struct ExecOptions {
   /// Costs one elapsed-time evaluation per task boundary, nothing on the
   /// per-instruction path.
   RuntimeRecorder *Recorder = nullptr;
+  /// Optional structured event log: receives one event per dispatch,
+  /// redispatch, probe, crash, restart, fallback, re-offload and ledger
+  /// eviction/refetch, stamped with the exact simulated time. Events are
+  /// emitted only at those (rare) control points, never on the
+  /// per-instruction path.
+  obs::EventLog *Events = nullptr;
 };
 
 /// Everything measured during one run.

@@ -1,0 +1,61 @@
+//===- obs/Export.h - Telemetry exporters -----------------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exporters over StatsSnapshot / TimeSeries:
+///
+///  * toPrometheusText() -- Prometheus text exposition (version 0.0.4) of
+///    a registry snapshot: counters as `<prefix><name>_total`, gauges,
+///    timers as `_seconds_total` + `_calls_total` pairs, histograms as
+///    summaries with p50/p95/p99 quantile samples. Metric names matching
+///    `<area>.shard<N>.<rest>` are folded into one family with a
+///    `shard="N"` label so per-shard series group in dashboards.
+///  * windowPrometheusText() -- the most recent TimeSeries window as
+///    `<prefix><series>_window_*` samples (windowed rates and quantiles,
+///    not lifetime totals).
+///  * writeTextFile() -- a fully checked write (open/write/flush/close),
+///    so late ENOSPC surfaces as an error string instead of silence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_OBS_EXPORT_H
+#define PACO_OBS_EXPORT_H
+
+#include "obs/Stats.h"
+#include "obs/TimeSeries.h"
+
+#include <string>
+
+namespace paco {
+namespace obs {
+
+struct PrometheusOptions {
+  /// Prepended to every exported family name.
+  std::string Prefix = "paco_";
+};
+
+/// Renders \p Snap in the Prometheus text exposition format, families in
+/// registration order, one TYPE/HELP header per family.
+std::string toPrometheusText(const StatsSnapshot &Snap,
+                             const PrometheusOptions &Opts = {});
+
+/// Renders the most recent window of \p Series (empty string if the
+/// series has none) as `<prefix><series>_window_*` gauge and summary
+/// samples.
+std::string windowPrometheusText(const TimeSeries &Series,
+                                 const PrometheusOptions &Opts = {});
+
+/// Writes \p Text to \p Path, checking open, write, flush and close; on
+/// any failure returns false and fills \p Err (when non-null) with a
+/// one-line `<path>: <errno text>` message. A short write that errno
+/// cannot explain reports "short write".
+bool writeTextFile(const std::string &Path, const std::string &Text,
+                   std::string *Err = nullptr);
+
+} // namespace obs
+} // namespace paco
+
+#endif // PACO_OBS_EXPORT_H

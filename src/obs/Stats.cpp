@@ -24,6 +24,12 @@ void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
   Sum += Other.Sum;
 }
 
+void HistogramSnapshot::subtract(const HistogramSnapshot &Earlier) {
+  for (unsigned B = 0; B != Histogram::NumBuckets; ++B)
+    Buckets[B] -= Earlier.Buckets[B];
+  Sum -= Earlier.Sum;
+}
+
 double HistogramSnapshot::percentile(double P) const {
   uint64_t Total = count();
   if (Total == 0)
@@ -156,7 +162,10 @@ std::string jsonNumber(double V) {
   return Buf;
 }
 
-std::string histogramJSON(const HistogramSnapshot &H) {
+} // namespace
+
+std::string HistogramSnapshot::toJSON() const {
+  const HistogramSnapshot &H = *this;
   // Sequential appends rather than one chained operator+ expression:
   // GCC 12's -Wrestrict misfires on `const char * + std::string &&`
   // chains at -O3 (GCC PR 105651), and this file builds with -Werror.
@@ -189,6 +198,10 @@ std::string histogramJSON(const HistogramSnapshot &H) {
   Out += "]}";
   return Out;
 }
+
+namespace {
+
+std::string histogramJSON(const HistogramSnapshot &H) { return H.toJSON(); }
 
 } // namespace
 

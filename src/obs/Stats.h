@@ -93,6 +93,17 @@ public:
     Sum.fetch_add(V, std::memory_order_relaxed);
   }
 
+  /// Folds a locally accumulated snapshot in (one atomic add per
+  /// occupied bucket -- the batch-grained alternative to per-value
+  /// record() calls).
+  template <typename SnapshotT> void mergeSnapshot(const SnapshotT &S) {
+    for (unsigned B = 0; B != NumBuckets; ++B)
+      if (S.Buckets[B])
+        Buckets[B].fetch_add(S.Buckets[B], std::memory_order_relaxed);
+    if (S.Sum)
+      Sum.fetch_add(S.Sum, std::memory_order_relaxed);
+  }
+
 private:
   friend class StatsRegistry;
   std::array<std::atomic<uint64_t>, NumBuckets> Buckets{};
@@ -120,9 +131,27 @@ struct HistogramSnapshot {
     return uint64_t(1) << B;
   }
 
+  /// Non-atomic single-value record for thread-local accumulation (same
+  /// bucket layout as Histogram::record; merge into a shared snapshot or
+  /// registry histogram afterwards).
+  void record(uint64_t V) {
+    ++Buckets[Histogram::bucketOf(V)];
+    Sum += V;
+  }
+
   /// Element-wise accumulation of \p Other (bucket layouts are fixed, so
   /// snapshots from different registries merge exactly).
   void merge(const HistogramSnapshot &Other);
+
+  /// Element-wise subtraction of \p Earlier from this snapshot, yielding
+  /// the distribution of values recorded between the two snapshots.
+  /// Requires \p Earlier to be an earlier snapshot of the same histogram
+  /// (every bucket monotonically non-decreasing).
+  void subtract(const HistogramSnapshot &Earlier);
+
+  /// Renders the snapshot as a one-line JSON object
+  /// `{"count": N, "sum": S, "p50": ..., "buckets": [[lo, hi, n], ...]}`.
+  std::string toJSON() const;
 
   /// Estimated \p P -th percentile (P in [0, 100]): finds the bucket
   /// holding the target rank and interpolates linearly between its

@@ -78,6 +78,14 @@ void Tracer::nameProcess(uint32_t Pid, const std::string &Label) {
                     {TraceArg("name", Label)}});
 }
 
+void Tracer::sortProcess(uint32_t Pid, int64_t SortIndex) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Events.push_back({'M', "process_sort_index", "__metadata", 0, 0, Pid, 0,
+                    {TraceArg("sort_index", SortIndex)}});
+}
+
 void Tracer::instantEvent(const std::string &Name, const char *Category,
                           std::vector<TraceArg> Args) {
   if (!enabled())

@@ -82,6 +82,11 @@ public:
   void nameThread(uint32_t Pid, uint32_t Tid, const std::string &Label);
   void nameProcess(uint32_t Pid, const std::string &Label);
 
+  /// Records "ph":"M" process_sort_index metadata for process \p Pid, so
+  /// viewers order process groups by \p SortIndex (ascending) instead of
+  /// interleaving by pid. No-op when disabled.
+  void sortProcess(uint32_t Pid, int64_t SortIndex);
+
   /// Records an instant ("ph":"i") event at the current time. No-op when
   /// disabled.
   void instantEvent(const std::string &Name, const char *Category,

@@ -1,0 +1,52 @@
+//===- runtime/SimTelemetry.h - Sim-clock telemetry windows -----*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bins the RuntimeRecorder's exact simulated-run timeline into
+/// fixed-width cost-unit windows after the run finishes, producing an
+/// obs::TimeSeries of per-window instruction throughput, transfer bytes,
+/// message/backoff counts and message-duration histograms. Building from
+/// the recorder (instead of hooking the simulator hot path) keeps the
+/// telemetry bit-identical across replays and analysis thread counts --
+/// the recorder is part of the deterministic run state -- and costs the
+/// hot path nothing.
+///
+/// Every record is attributed to the window containing its *start* time,
+/// so a segment spanning a window boundary books its instructions where
+/// it began (exact attribution would need the simulator's interior
+/// progress, which the cost model does not define below task/message
+/// granularity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_RUNTIME_SIMTELEMETRY_H
+#define PACO_RUNTIME_SIMTELEMETRY_H
+
+#include "obs/TimeSeries.h"
+#include "support/Rational.h"
+
+#include <cstddef>
+
+namespace paco {
+
+class RuntimeRecorder;
+
+struct SimWindowOptions {
+  /// Window width on the simulated clock, in cost units (> 0).
+  Rational WindowUnits = Rational(65536);
+  /// Ring capacity of the produced series; older windows are dropped.
+  size_t Capacity = 256;
+};
+
+/// Builds the "sim" time series from \p Rec. Windows run from time 0 to
+/// the last recorded end time; empty windows in between are emitted (with
+/// zero counters) so window indices always advance by one.
+obs::TimeSeries buildSimWindows(const RuntimeRecorder &Rec,
+                                const SimWindowOptions &Opts = {});
+
+} // namespace paco
+
+#endif // PACO_RUNTIME_SIMTELEMETRY_H

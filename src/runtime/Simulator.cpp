@@ -19,6 +19,7 @@ void Simulator::clockInstructions(bool OnServer, uint64_t N) {
         // can stay derived from the instruction counter.
         Rational Extra = T * (P->ServerScale - One);
         DriftServerExtra += Extra;
+        ++ChargeEpoch; // Surcharge is outside the instruction counters.
         T += Extra;
       }
     }

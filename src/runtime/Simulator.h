@@ -228,6 +228,36 @@ public:
            ProbeTime + LedgerTime;
   }
 
+  /// Memoized elapsed() for hook-heavy consumers: the timeline recorder
+  /// asks for the current time at every segment and message boundary,
+  /// and the full nine-term Rational sum is what made an attached
+  /// recorder measurably slow down a run. Every non-instruction charge
+  /// site bumps ChargeEpoch, so between two reads with an unchanged
+  /// epoch the clock can only have advanced by pure compute -- applied
+  /// here incrementally from the instruction counters. Exact: Rational
+  /// arithmetic is canonical, so the incremental sum is bit-identical
+  /// to a fresh elapsed().
+  const Rational &now() const {
+    if (CacheEpoch != ChargeEpoch) {
+      CachedNow = elapsed();
+      CacheEpoch = ChargeEpoch;
+      CacheClientInstrs = ClientInstrs;
+      CacheServerInstrs = ServerInstrs;
+      return CachedNow;
+    }
+    if (ClientInstrs != CacheClientInstrs) {
+      CachedNow += Costs.Tc * Rational(static_cast<int64_t>(
+                                  ClientInstrs - CacheClientInstrs));
+      CacheClientInstrs = ClientInstrs;
+    }
+    if (ServerInstrs != CacheServerInstrs) {
+      CachedNow += Costs.Ts * Rational(static_cast<int64_t>(
+                                  ServerInstrs - CacheServerInstrs));
+      CacheServerInstrs = ServerInstrs;
+    }
+    return CachedNow;
+  }
+
   /// Time the client radio/CPU is active (everything except waiting for
   /// server computation).
   Rational clientActive() const { return elapsed() - serverCompute(); }
@@ -393,6 +423,7 @@ private:
   }
 
   void advanceClock(const Rational &Delta) {
+    ++ChargeEpoch; // Invalidate the now() memo: a comm/fault bucket grew.
     if (!ClockOn)
       return;
     DriftNow += Delta;
@@ -460,6 +491,13 @@ private:
   Rational PendingCrashAt, PendingRestartAt;
   Rational DriftNow;         ///< Incremental mirror of elapsed().
   Rational DriftServerExtra; ///< Load-spike surcharge on server compute.
+  // now() memo (mutable: a pure-compute refresh is not an observable
+  // state change). CacheEpoch starts out of sync to force the first
+  // read through the full sum.
+  uint64_t ChargeEpoch = 0;
+  mutable uint64_t CacheEpoch = ~0ull;
+  mutable uint64_t CacheClientInstrs = 0, CacheServerInstrs = 0;
+  mutable Rational CachedNow;
   uint64_t PendingInstrs = 0;
   Rational SchedulingTime, TransferTime, RegistrationTime;
   Rational FaultTime, JitterTime;

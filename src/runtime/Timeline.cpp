@@ -248,6 +248,11 @@ void RuntimeRecorder::emitChromeLanes(
     return;
   constexpr uint32_t ClientTid = 1, ServerTid = 2, ChannelTid = 3;
   T.nameProcess(TracePid, "simulated run (1us = 1 cost unit)");
+  // Explicit sort indices: viewers otherwise interleave the synthetic
+  // sim-clock lanes with the wall-clock pipeline process (pid 1) when
+  // sorting by name/pid heuristics. Pin pid 1 above the sim lanes.
+  T.sortProcess(1, 1);
+  T.sortProcess(TracePid, 2);
   T.nameThread(TracePid, ClientTid, "client");
   T.nameThread(TracePid, ServerTid, "server");
   T.nameThread(TracePid, ChannelTid, "channel");

@@ -1,0 +1,291 @@
+//===- support/JSON.cpp - Minimal JSON parser -----------------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <cstdlib>
+
+using namespace paco;
+using namespace paco::json;
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  ParseResult run() {
+    ParseResult R;
+    skipWS();
+    if (!parseValue(R.V)) {
+      R.Error = "offset " + std::to_string(Pos) + ": " + Message;
+      return R;
+    }
+    skipWS();
+    if (Pos != Text.size()) {
+      R.Error = "offset " + std::to_string(Pos) + ": trailing garbage";
+      return R;
+    }
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  bool fail(const char *Msg) {
+    if (Message.empty())
+      Message = Msg;
+    return false;
+  }
+
+  void skipWS() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = 0;
+    while (Word[Len])
+      ++Len;
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(Value &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case 'n':
+      if (!literal("null"))
+        return false;
+      Out = Value();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return false;
+      Out = Value(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return false;
+      Out = Value(false);
+      return true;
+    case '"': {
+      std::string S;
+      if (!parseString(S))
+        return false;
+      Out = Value(std::move(S));
+      return true;
+    }
+    case '[':
+      return parseArray(Out);
+    case '{':
+      return parseObject(Out);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    if (Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos];
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("unescaped control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      if (++Pos >= Text.size())
+        return fail("unterminated escape");
+      switch (Text[Pos]) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 >= Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos + 1 + I];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code += H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code += H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code += H - 'A' + 10;
+          else
+            return fail("invalid \\u escape");
+        }
+        Pos += 4;
+        // UTF-8 encode (surrogate pairs are left as two 3-byte units;
+        // the repo's artifacts never emit non-BMP text).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("invalid escape");
+      }
+      ++Pos;
+    }
+    if (Pos >= Text.size())
+      return fail("unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseNumber(Value &Out) {
+    size_t Begin = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    if (Pos >= Text.size() ||
+        !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+      return fail("expected value");
+    bool LeadingZero = Text[Pos] == '0';
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    if (LeadingZero && Pos - Begin > (Text[Begin] == '-' ? 2u : 1u))
+      return fail("leading zero in number");
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return fail("digits required after decimal point");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || !(Text[Pos] >= '0' && Text[Pos] <= '9'))
+        return fail("digits required in exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Raw = Text.substr(Begin, Pos - Begin);
+    Out = Value(std::strtod(Raw.c_str(), nullptr), Raw);
+    return true;
+  }
+
+  bool parseArray(Value &Out) {
+    ++Pos; // '['
+    Array Elems;
+    skipWS();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      Out = Value(std::move(Elems));
+      return true;
+    }
+    while (true) {
+      Value V;
+      skipWS();
+      if (!parseValue(V))
+        return false;
+      Elems.push_back(std::move(V));
+      skipWS();
+      if (Pos >= Text.size())
+        return fail("unterminated array");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == ']') {
+        ++Pos;
+        Out = Value(std::move(Elems));
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(Value &Out) {
+    ++Pos; // '{'
+    Object Members;
+    skipWS();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      Out = Value(std::move(Members));
+      return true;
+    }
+    while (true) {
+      skipWS();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      skipWS();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return fail("expected ':' after object key");
+      ++Pos;
+      skipWS();
+      Value V;
+      if (!parseValue(V))
+        return false;
+      Members.emplace_back(std::move(Key), std::move(V));
+      skipWS();
+      if (Pos >= Text.size())
+        return fail("unterminated object");
+      if (Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      if (Text[Pos] == '}') {
+        ++Pos;
+        Out = Value(std::move(Members));
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Message;
+};
+
+} // namespace
+
+ParseResult paco::json::parse(const std::string &Text) {
+  return Parser(Text).run();
+}

@@ -1,0 +1,107 @@
+//===- tests/support/JSONTest.cpp - Minimal JSON parser -------------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/JSON.h"
+
+#include <gtest/gtest.h>
+
+using namespace paco;
+
+namespace {
+
+json::Value parsed(const std::string &Text) {
+  json::ParseResult R = json::parse(Text);
+  EXPECT_TRUE(R.Ok) << R.Error;
+  return R.V;
+}
+
+TEST(JSONTest, Scalars) {
+  EXPECT_TRUE(parsed("null").isNull());
+  EXPECT_TRUE(parsed("true").boolean());
+  EXPECT_FALSE(parsed("false").boolean());
+  EXPECT_DOUBLE_EQ(parsed("42").number(), 42.0);
+  EXPECT_DOUBLE_EQ(parsed("-17.5").number(), -17.5);
+  EXPECT_DOUBLE_EQ(parsed("2.5e3").number(), 2500.0);
+  EXPECT_EQ(parsed("\"hello\"").text(), "hello");
+}
+
+TEST(JSONTest, NumbersKeepRawSpelling) {
+  // 64-bit counters exceed a double's integer range; the raw text must
+  // survive so re-emission does not corrupt them.
+  json::Value V = parsed("12345678901234567890");
+  EXPECT_EQ(V.text(), "12345678901234567890");
+}
+
+TEST(JSONTest, StringEscapes) {
+  EXPECT_EQ(parsed("\"a\\\"b\\\\c\\nd\\te\"").text(), "a\"b\\c\nd\te");
+  // \u escapes are decoded to UTF-8.
+  EXPECT_EQ(parsed("\"\\u0041\"").text(), "A");
+  EXPECT_EQ(parsed("\"\\u00e9\"").text(), "\xc3\xa9");
+  EXPECT_EQ(parsed("\"\\u20ac\"").text(), "\xe2\x82\xac");
+}
+
+TEST(JSONTest, ObjectsPreserveMemberOrder) {
+  json::Value V = parsed("{\"z\": 1, \"a\": 2, \"m\": 3}");
+  ASSERT_TRUE(V.isObject());
+  ASSERT_EQ(V.object().size(), 3u);
+  EXPECT_EQ(V.object()[0].first, "z");
+  EXPECT_EQ(V.object()[1].first, "a");
+  EXPECT_EQ(V.object()[2].first, "m");
+  ASSERT_NE(V.find("m"), nullptr);
+  EXPECT_DOUBLE_EQ(V.find("m")->number(), 3.0);
+  EXPECT_EQ(V.find("missing"), nullptr);
+}
+
+TEST(JSONTest, NestedStructures) {
+  json::Value V = parsed(
+      "{\"counters\": {\"a.b\": 10}, \"list\": [1, [2, 3], {\"k\": null}]}");
+  const json::Value *Counters = V.find("counters");
+  ASSERT_NE(Counters, nullptr);
+  ASSERT_NE(Counters->find("a.b"), nullptr);
+  EXPECT_DOUBLE_EQ(Counters->find("a.b")->number(), 10.0);
+  const json::Value *List = V.find("list");
+  ASSERT_NE(List, nullptr);
+  ASSERT_EQ(List->array().size(), 3u);
+  EXPECT_DOUBLE_EQ(List->array()[1].array()[1].number(), 3.0);
+  EXPECT_TRUE(List->array()[2].find("k")->isNull());
+}
+
+TEST(JSONTest, ErrorsCarryByteOffsets) {
+  json::ParseResult R = json::parse("{\"a\": }");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Error.rfind("offset ", 0), 0u) << R.Error;
+
+  EXPECT_FALSE(json::parse("").Ok);
+  EXPECT_FALSE(json::parse("{").Ok);
+  EXPECT_FALSE(json::parse("[1, 2").Ok);
+  EXPECT_FALSE(json::parse("\"unterminated").Ok);
+  EXPECT_FALSE(json::parse("01").Ok);    // leading zero
+  EXPECT_FALSE(json::parse("1. ").Ok);   // digits required after '.'
+  EXPECT_FALSE(json::parse("nulL").Ok);
+  EXPECT_FALSE(json::parse("{} extra").Ok); // trailing garbage
+}
+
+TEST(JSONTest, RealisticStatsSnapshot) {
+  // The shape StatsSnapshot::toJSON emits -- the differ's actual input.
+  json::Value V = parsed(
+      "{\n"
+      "  \"counters\": {\"dispatch.queries\": 60000},\n"
+      "  \"gauges\": {\"dispatch.threads\": 4},\n"
+      "  \"timers\": {\"t\": {\"count\": 2, \"seconds\": 0.5}},\n"
+      "  \"histograms\": {\"h\": {\"count\": 3, \"sum\": 7, \"p50\": 2,\n"
+      "    \"buckets\": [[1, 2, 2], [2, 4, 1]]}}\n"
+      "}");
+  EXPECT_DOUBLE_EQ(V.find("counters")->find("dispatch.queries")->number(),
+                   60000.0);
+  EXPECT_DOUBLE_EQ(
+      V.find("timers")->find("t")->find("seconds")->number(), 0.5);
+  const json::Value *Buckets = V.find("histograms")->find("h")->find("buckets");
+  ASSERT_NE(Buckets, nullptr);
+  ASSERT_EQ(Buckets->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(Buckets->array()[0].array()[2].number(), 2.0);
+}
+
+} // namespace

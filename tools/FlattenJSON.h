@@ -1,0 +1,82 @@
+//===- tools/FlattenJSON.h - Numeric-leaf flattening ------------*- C++ -*-===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared by obs_diff and bench_aggregate: flattens a parsed JSON
+/// document into dotted-path -> number entries. Object members append
+/// their key; array elements that are objects carrying an identifying
+/// string field (`bench`+`key`, or one of `name`, `program`, `scenario`,
+/// `distribution`) use it as the path component so BENCH rows and stats
+/// snapshots produce stable, human-readable keys; other elements use
+/// their index. Non-numeric leaves are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PACO_TOOLS_FLATTENJSON_H
+#define PACO_TOOLS_FLATTENJSON_H
+
+#include "support/JSON.h"
+
+#include <string>
+#include <vector>
+
+namespace paco {
+namespace tools {
+
+struct FlatEntry {
+  std::string Path;
+  double Value;
+};
+
+inline std::string elementLabel(const json::Value &V, size_t Index) {
+  if (V.isObject()) {
+    const json::Value *Bench = V.find("bench");
+    const json::Value *Key = V.find("key");
+    if (Bench && Bench->isString() && Key && Key->isString())
+      return Bench->text() + "." + Key->text();
+    for (const char *Field : {"name", "program", "scenario", "distribution"}) {
+      const json::Value *Id = V.find(Field);
+      if (Id && Id->isString())
+        return Id->text();
+    }
+  }
+  return std::to_string(Index);
+}
+
+inline void flattenInto(const json::Value &V, const std::string &Path,
+                        std::vector<FlatEntry> &Out) {
+  switch (V.kind()) {
+  case json::Value::Kind::Number:
+    Out.push_back({Path, V.number()});
+    break;
+  case json::Value::Kind::Object:
+    for (const json::Member &M : V.object())
+      flattenInto(M.second, Path.empty() ? M.first : Path + "." + M.first,
+                  Out);
+    break;
+  case json::Value::Kind::Array: {
+    const json::Array &A = V.array();
+    for (size_t I = 0; I != A.size(); ++I) {
+      std::string Label = elementLabel(A[I], I);
+      flattenInto(A[I], Path.empty() ? Label : Path + "." + Label, Out);
+    }
+    break;
+  }
+  default: // null / bool / string leaves carry no comparable number
+    break;
+  }
+}
+
+inline std::vector<FlatEntry> flatten(const json::Value &V) {
+  std::vector<FlatEntry> Out;
+  flattenInto(V, "", Out);
+  return Out;
+}
+
+} // namespace tools
+} // namespace paco
+
+#endif // PACO_TOOLS_FLATTENJSON_H

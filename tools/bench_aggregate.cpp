@@ -1,0 +1,185 @@
+//===- tools/bench_aggregate.cpp - BENCH_*.json aggregator ----------------===//
+//
+// Part of the PACO project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+//
+// Collects every BENCH_*.json produced by a build/CI run into one
+// BENCH_summary.json with the flat schema
+//
+//   {"rows": [{"bench": "...", "key": "...", "value": N, "units": "..."},
+//             ...]}
+//
+// so the bench trajectory can be archived and diffed (obs_diff accepts
+// the summary directly: rows keyed by `<bench>.<key>`). Inputs are named
+// explicitly or discovered with --dir:
+//
+//   bench_aggregate --out=BENCH_summary.json --dir=build
+//   bench_aggregate --out=BENCH_summary.json BENCH_dispatch.json ...
+//
+// Rows are sorted by (bench, key); units are inferred from key suffixes
+// (ns, seconds, bytes, pct, per_second) with "count" as the default.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FlattenJSON.h"
+#include "support/JSON.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace paco;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Row {
+  std::string Bench, Key, Units;
+  double Value;
+};
+
+std::string inferUnits(const std::string &Key) {
+  auto has = [&](const char *S) { return Key.find(S) != std::string::npos; };
+  if (has("_ns") || has("ns_per") || has(".ns"))
+    return "ns";
+  if (has("_us") || has("us_per"))
+    return "us";
+  if (has("seconds") || has("_s_") || has("latency_s"))
+    return "s";
+  if (has("bytes"))
+    return "bytes";
+  if (has("pct") || has("percent"))
+    return "%";
+  if (has("per_second") || has("qps") || has("per_s"))
+    return "1/s";
+  if (has("speedup") || has("ratio") || has("factor"))
+    return "x";
+  return "count";
+}
+
+std::string benchNameOf(const std::string &Path) {
+  std::string Stem = fs::path(Path).stem().string();
+  if (Stem.rfind("BENCH_", 0) == 0)
+    Stem = Stem.substr(6);
+  return Stem;
+}
+
+bool aggregateFile(const std::string &Path, std::vector<Row> &Rows) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "bench_aggregate: cannot open %s\n", Path.c_str());
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  json::ParseResult R = json::parse(Buf.str());
+  if (!R.Ok) {
+    std::fprintf(stderr, "bench_aggregate: %s: %s\n", Path.c_str(),
+                 R.Error.c_str());
+    return false;
+  }
+  std::string Bench = benchNameOf(Path);
+  for (const tools::FlatEntry &E : tools::flatten(R.V))
+    Rows.push_back({Bench, E.Path, inferUnits(E.Path), E.Value});
+  return true;
+}
+
+void appendEscaped(std::string &Out, const std::string &Text) {
+  for (char C : Text) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string OutPath = "BENCH_summary.json";
+  std::vector<std::string> Inputs;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--out=", 0) == 0) {
+      OutPath = Arg.substr(6);
+    } else if (Arg.rfind("--dir=", 0) == 0) {
+      std::error_code EC;
+      for (const fs::directory_entry &Entry :
+           fs::directory_iterator(Arg.substr(6), EC)) {
+        std::string Name = Entry.path().filename().string();
+        if (Name.rfind("BENCH_", 0) == 0 && Name != "BENCH_summary.json" &&
+            Entry.path().extension() == ".json")
+          Inputs.push_back(Entry.path().string());
+      }
+      if (EC) {
+        std::fprintf(stderr, "bench_aggregate: cannot list %s: %s\n",
+                     Arg.c_str() + 6, EC.message().c_str());
+        return 2;
+      }
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "usage: bench_aggregate [--out=FILE] [--dir=DIR] "
+                           "[BENCH_*.json ...]\n");
+      return 2;
+    } else {
+      Inputs.push_back(std::move(Arg));
+    }
+  }
+  std::sort(Inputs.begin(), Inputs.end());
+  Inputs.erase(std::unique(Inputs.begin(), Inputs.end()), Inputs.end());
+  if (Inputs.empty()) {
+    std::fprintf(stderr, "bench_aggregate: no BENCH_*.json inputs\n");
+    return 2;
+  }
+
+  std::vector<Row> Rows;
+  bool Ok = true;
+  for (const std::string &Path : Inputs)
+    Ok &= aggregateFile(Path, Rows);
+  if (!Ok)
+    return 2;
+  std::sort(Rows.begin(), Rows.end(), [](const Row &A, const Row &B) {
+    if (A.Bench != B.Bench)
+      return A.Bench < B.Bench;
+    return A.Key < B.Key;
+  });
+
+  std::string Out = "{\"rows\": [\n";
+  for (size_t I = 0; I != Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    Out += "  {\"bench\": \"";
+    appendEscaped(Out, R.Bench);
+    Out += "\", \"key\": \"";
+    appendEscaped(Out, R.Key);
+    Out += "\", \"value\": ";
+    char Buf[48];
+    std::snprintf(Buf, sizeof(Buf), "%.9g", R.Value);
+    Out += Buf;
+    Out += ", \"units\": \"";
+    appendEscaped(Out, R.Units);
+    Out += "\"}";
+    if (I + 1 != Rows.size())
+      Out += ",";
+    Out += "\n";
+  }
+  Out += "]}\n";
+
+  std::FILE *F = std::fopen(OutPath.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "bench_aggregate: cannot open %s\n", OutPath.c_str());
+    return 2;
+  }
+  size_t Written = std::fwrite(Out.data(), 1, Out.size(), F);
+  if (Written != Out.size() || std::fclose(F) != 0) {
+    std::fprintf(stderr, "bench_aggregate: write to %s failed\n",
+                 OutPath.c_str());
+    return 2;
+  }
+  std::fprintf(stderr, "bench_aggregate: %zu rows from %zu file(s) -> %s\n",
+               Rows.size(), Inputs.size(), OutPath.c_str());
+  return 0;
+}
